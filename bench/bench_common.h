@@ -1,0 +1,39 @@
+// Shared plumbing for the reproduction benches: one binary regenerates one
+// table/figure from the paper. Set WECSIM_SCALE to shrink/grow the workload
+// sizes (default 4, the "MinneSPEC-like" reduced inputs).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/sim_config.h"
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "workloads/workload.h"
+
+namespace wecsim::bench {
+
+inline WorkloadParams bench_params() {
+  WorkloadParams params;
+  if (const char* env = std::getenv("WECSIM_SCALE")) {
+    params.scale = static_cast<uint32_t>(std::strtoul(env, nullptr, 10));
+    if (params.scale == 0) params.scale = 1;
+  }
+  return params;
+}
+
+inline void print_header(const char* what, const char* paper_says) {
+  std::printf("=== %s ===\n", what);
+  std::printf("paper: %s\n", paper_says);
+  std::printf("workload scale: %u (set WECSIM_SCALE to change)\n\n",
+              bench_params().scale);
+}
+
+/// Short benchmark labels in the paper's presentation order.
+inline std::string short_name(const std::string& paper_name) {
+  return paper_name.substr(paper_name.find('.') + 1);
+}
+
+}  // namespace wecsim::bench

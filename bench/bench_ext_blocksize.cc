@@ -1,0 +1,51 @@
+// Extension experiment (paper Section 7 future work): "the effects of ...
+// the block size". Sweeps the L1D/WEC block size; larger blocks change both
+// the conflict behaviour the WEC's victim role fixes and the usefulness of
+// its next-line prefetches.
+#include "bench/bench_common.h"
+
+using namespace wecsim;
+using namespace wecsim::bench;
+
+namespace {
+
+StaConfig with_block(PaperConfig config, uint32_t block) {
+  StaConfig sta = make_paper_config(config, 8);
+  sta.mem.l1d.block_bytes = block;
+  return sta;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Extension: WEC speedup vs L1D block size (8 TUs)",
+      "not evaluated in the paper (named as future work)");
+
+  const uint32_t kBlocks[] = {32, 64, 128};
+  ExperimentRunner runner(bench_params());
+
+  TextTable table({"benchmark", "32B", "64B", "128B"});
+  std::vector<std::vector<double>> columns(3);
+  for (const auto& name : workload_names()) {
+    std::vector<std::string> row = {name};
+    for (size_t i = 0; i < 3; ++i) {
+      const auto& base = runner.run(name, "orig-b" + std::to_string(kBlocks[i]),
+                                    with_block(PaperConfig::kOrig, kBlocks[i]));
+      const auto& wec =
+          runner.run(name, "wec-b" + std::to_string(kBlocks[i]),
+                     with_block(PaperConfig::kWthWpWec, kBlocks[i]));
+      const double pct = relative_speedup_pct(base.sim.cycles, wec.sim.cycles);
+      columns[i].push_back(1.0 + pct / 100.0);
+      row.push_back(TextTable::pct(pct));
+    }
+    table.add_row(row);
+  }
+  std::vector<std::string> avg = {"average"};
+  for (const auto& col : columns) {
+    avg.push_back(TextTable::pct(100.0 * (mean_speedup(col) - 1.0)));
+  }
+  table.add_row(avg);
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

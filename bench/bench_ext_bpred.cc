@@ -1,0 +1,83 @@
+// Extension experiment (paper Section 7 future work): "the relationship of
+// the branch prediction accuracy to the performance of the WEC". Sweeps the
+// direction predictor from pessimal to strong and reports (a) the machine's
+// misprediction rate and (b) the wth-wp-wec speedup over an orig machine
+// with the SAME predictor. More mispredictions mean more wrong-path loads —
+// up to the point where recovery costs dominate.
+#include "bench/bench_common.h"
+
+using namespace wecsim;
+using namespace wecsim::bench;
+
+namespace {
+
+StaConfig with_bpred(PaperConfig config, BpredKind kind) {
+  StaConfig sta = make_paper_config(config, 8);
+  sta.core.bpred.kind = kind;
+  return sta;
+}
+
+const char* kind_name(BpredKind kind) {
+  switch (kind) {
+    case BpredKind::kNotTaken:
+      return "nottaken";
+    case BpredKind::kTaken:
+      return "taken";
+    case BpredKind::kBimodal:
+      return "bimodal";
+    case BpredKind::kGshare:
+      return "gshare";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Extension: WEC gain vs branch predictor strength (8 TUs; baseline "
+      "orig with the same predictor)",
+      "not evaluated in the paper (named as future work); weaker predictors "
+      "create more wrong-path loads for the WEC to exploit");
+
+  const BpredKind kKinds[] = {BpredKind::kNotTaken, BpredKind::kTaken,
+                              BpredKind::kBimodal, BpredKind::kGshare};
+  ExperimentRunner runner(bench_params());
+
+  std::vector<std::string> header = {"benchmark"};
+  for (BpredKind kind : kKinds) {
+    header.push_back(std::string(kind_name(kind)) + " mispred");
+    header.push_back(std::string(kind_name(kind)) + " wec");
+  }
+  TextTable table(header);
+
+  std::vector<std::vector<double>> columns(4);
+  for (const auto& name : workload_names()) {
+    std::vector<std::string> row = {name};
+    for (size_t i = 0; i < 4; ++i) {
+      const std::string kn = kind_name(kKinds[i]);
+      const auto& base = runner.run(name, "orig-" + kn,
+                                    with_bpred(PaperConfig::kOrig, kKinds[i]));
+      const auto& wec =
+          runner.run(name, "wec-" + kn,
+                     with_bpred(PaperConfig::kWthWpWec, kKinds[i]));
+      const double mispred_rate =
+          base.sim.branches == 0
+              ? 0.0
+              : 100.0 * base.sim.mispredicts / base.sim.branches;
+      const double pct = relative_speedup_pct(base.sim.cycles, wec.sim.cycles);
+      columns[i].push_back(1.0 + pct / 100.0);
+      row.push_back(TextTable::pct(mispred_rate));
+      row.push_back(TextTable::pct(pct));
+    }
+    table.add_row(row);
+  }
+  std::vector<std::string> avg = {"average"};
+  for (const auto& col : columns) {
+    avg.push_back("");
+    avg.push_back(TextTable::pct(100.0 * (mean_speedup(col) - 1.0)));
+  }
+  table.add_row(avg);
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Extension experiment (paper Section 7 future work): "the effects of
+// memory latency ... on the performance of the WEC". Sweeps the round-trip
+// memory latency and reports the wth-wp-wec speedup over orig at each point
+// — the WEC is a latency-hiding device, so its gain should grow with the
+// memory wall.
+#include "bench/bench_common.h"
+
+using namespace wecsim;
+using namespace wecsim::bench;
+
+namespace {
+
+StaConfig with_mem_lat(PaperConfig config, uint32_t lat) {
+  StaConfig sta = make_paper_config(config, 8);
+  sta.mem.mem_lat = lat;
+  return sta;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Extension: WEC speedup vs memory latency (8 TUs)",
+      "not evaluated in the paper (named as future work); expectation: the "
+      "WEC's indirect prefetching hides more latency as memory gets slower");
+
+  const uint32_t kLats[] = {50, 100, 200, 400};
+  ExperimentRunner runner(bench_params());
+
+  TextTable table({"benchmark", "50cyc", "100cyc", "200cyc", "400cyc"});
+  std::vector<std::vector<double>> columns(4);
+  for (const auto& name : workload_names()) {
+    std::vector<std::string> row = {name};
+    for (size_t i = 0; i < 4; ++i) {
+      const auto& base =
+          runner.run(name, "orig-m" + std::to_string(kLats[i]),
+                     with_mem_lat(PaperConfig::kOrig, kLats[i]));
+      const auto& wec =
+          runner.run(name, "wec-m" + std::to_string(kLats[i]),
+                     with_mem_lat(PaperConfig::kWthWpWec, kLats[i]));
+      const double pct = relative_speedup_pct(base.sim.cycles, wec.sim.cycles);
+      columns[i].push_back(1.0 + pct / 100.0);
+      row.push_back(TextTable::pct(pct));
+    }
+    table.add_row(row);
+  }
+  std::vector<std::string> avg = {"average"};
+  for (const auto& col : columns) {
+    avg.push_back(TextTable::pct(100.0 * (mean_speedup(col) - 1.0)));
+  }
+  table.add_row(avg);
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 8: ILP vs TLP with fixed total issue capacity (Table 3 machines).
+// Speedup of the parallelized portions relative to a single-thread,
+// single-issue processor, for 1/2/4/8/16 thread units whose per-TU issue
+// width scales as 16/8/4/2/1.
+#include "bench/bench_common.h"
+
+using namespace wecsim;
+using namespace wecsim::bench;
+
+int main() {
+  print_header(
+      "Figure 8: speedup of parallelized portions (Table 3 machines)",
+      "gzip reaches ~14x at 16 TUs; vpr prefers ILP (speedup falls as TUs "
+      "rise); on average TLP beats pure ILP");
+
+  const uint32_t kTus[] = {1, 2, 4, 8, 16};
+  ExperimentRunner runner(bench_params());
+
+  TextTable table({"benchmark", "1TU", "2TU", "4TU", "8TU", "16TU"});
+  std::vector<std::vector<double>> per_config(5);
+  for (const auto& name : workload_names()) {
+    const auto& base =
+        runner.run(name, "table3-baseline", make_table3_baseline());
+    std::vector<std::string> row = {name};
+    for (size_t i = 0; i < 5; ++i) {
+      const auto& m = runner.run(name, "table3-" + std::to_string(kTus[i]),
+                                 make_table3_config(kTus[i]));
+      const double s = speedup(base.parallel_cycles, m.parallel_cycles);
+      per_config[i].push_back(s);
+      row.push_back(TextTable::num(s, 2) + "x");
+    }
+    table.add_row(row);
+  }
+  std::vector<std::string> avg = {"average"};
+  for (const auto& speedups : per_config) {
+    avg.push_back(TextTable::num(mean_speedup(speedups), 2) + "x");
+  }
+  table.add_row(avg);
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 9: whole-program speedup as the number of thread units varies.
+// Baseline: the orig superthreaded processor with ONE thread unit. Series:
+// orig with 2..16 TUs and wth-wp-wec with 1..16 TUs (8-issue cores, paper
+// Section 5.2 defaults per TU).
+#include "bench/bench_common.h"
+
+using namespace wecsim;
+using namespace wecsim::bench;
+
+int main() {
+  print_header(
+      "Figure 9: whole-program speedup vs thread units (baseline: 1-TU orig)",
+      "wth-wp-wec reaches up to +39.2% (183.equake); a 2-TU wth-wp-wec often "
+      "beats a 16-TU orig; 175.vpr slows down under superthreading");
+
+  const uint32_t kTus[] = {1, 2, 4, 8, 16};
+  ExperimentRunner runner(bench_params());
+
+  std::vector<std::string> header = {"benchmark"};
+  for (uint32_t t : kTus) header.push_back(std::to_string(t) + "TU-orig");
+  for (uint32_t t : kTus) header.push_back(std::to_string(t) + "TU-wec");
+  TextTable table(header);
+
+  std::vector<std::vector<double>> columns(10);
+  for (const auto& name : workload_names()) {
+    const auto& base =
+        runner.run(name, "orig-1", make_paper_config(PaperConfig::kOrig, 1));
+    std::vector<std::string> row = {name};
+    size_t col = 0;
+    for (PaperConfig config : {PaperConfig::kOrig, PaperConfig::kWthWpWec}) {
+      for (uint32_t t : kTus) {
+        const std::string key =
+            std::string(paper_config_name(config)) + "-" + std::to_string(t);
+        const auto& m = runner.run(name, key, make_paper_config(config, t));
+        const double pct = relative_speedup_pct(base.sim.cycles, m.sim.cycles);
+        columns[col++].push_back(1.0 + pct / 100.0);
+        row.push_back(TextTable::pct(pct));
+      }
+    }
+    table.add_row(row);
+  }
+  std::vector<std::string> avg = {"average"};
+  for (const auto& col : columns) {
+    avg.push_back(TextTable::pct(100.0 * (mean_speedup(col) - 1.0)));
+  }
+  table.add_row(avg);
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

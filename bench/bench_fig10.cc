@@ -1,0 +1,43 @@
+// Figure 10: speedup of wth-wp-wec over the orig configuration with the SAME
+// number of thread units (the WEC's contribution on top of parallel
+// execution), for 1..16 TUs.
+#include "bench/bench_common.h"
+
+using namespace wecsim;
+using namespace wecsim::bench;
+
+int main() {
+  print_header(
+      "Figure 10: wth-wp-wec speedup over same-TU-count orig",
+      "grows with thread count (more wrong threads -> more prefetching): "
+      "e.g. 181.mcf +6.2% at 1 TU to +20.2% at 16 TUs");
+
+  const uint32_t kTus[] = {1, 2, 4, 8, 16};
+  ExperimentRunner runner(bench_params());
+
+  TextTable table({"benchmark", "1TU", "2TU", "4TU", "8TU", "16TU"});
+  std::vector<std::vector<double>> columns(5);
+  for (const auto& name : workload_names()) {
+    std::vector<std::string> row = {name};
+    for (size_t i = 0; i < 5; ++i) {
+      const uint32_t t = kTus[i];
+      const auto& base = runner.run(name, "orig-" + std::to_string(t),
+                                    make_paper_config(PaperConfig::kOrig, t));
+      const auto& wec =
+          runner.run(name, "wth-wp-wec-" + std::to_string(t),
+                     make_paper_config(PaperConfig::kWthWpWec, t));
+      const double pct =
+          relative_speedup_pct(base.sim.cycles, wec.sim.cycles);
+      columns[i].push_back(1.0 + pct / 100.0);
+      row.push_back(TextTable::pct(pct));
+    }
+    table.add_row(row);
+  }
+  std::vector<std::string> avg = {"average"};
+  for (const auto& col : columns) {
+    avg.push_back(TextTable::pct(100.0 * (mean_speedup(col) - 1.0)));
+  }
+  table.add_row(avg);
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

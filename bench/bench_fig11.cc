@@ -1,0 +1,47 @@
+// Figure 11: relative speedup of every processor configuration over the
+// baseline orig superthreaded processor, all with eight thread units.
+#include "bench/bench_common.h"
+
+using namespace wecsim;
+using namespace wecsim::bench;
+
+int main() {
+  print_header(
+      "Figure 11: relative speedups of all configurations (8 TUs)",
+      "wth-wp-wec wins everywhere (up to +18.5% on mcf, +9.7% average); "
+      "wp/wth/wth-wp alone gain little (pollution offsets prefetch); nlp "
+      "averages +5.5%");
+
+  const PaperConfig kConfigs[] = {
+      PaperConfig::kVc,      PaperConfig::kWp,       PaperConfig::kWth,
+      PaperConfig::kWthWp,   PaperConfig::kWthWpVc,  PaperConfig::kWthWpWec,
+      PaperConfig::kNlp,
+  };
+  ExperimentRunner runner(bench_params());
+
+  std::vector<std::string> header = {"benchmark"};
+  for (PaperConfig config : kConfigs) header.push_back(paper_config_name(config));
+  TextTable table(header);
+
+  std::vector<std::vector<double>> columns(std::size(kConfigs));
+  for (const auto& name : workload_names()) {
+    const auto& base =
+        runner.run(name, "orig", make_paper_config(PaperConfig::kOrig, 8));
+    std::vector<std::string> row = {name};
+    for (size_t i = 0; i < std::size(kConfigs); ++i) {
+      const auto& m = runner.run(name, paper_config_name(kConfigs[i]),
+                                 make_paper_config(kConfigs[i], 8));
+      const double pct = relative_speedup_pct(base.sim.cycles, m.sim.cycles);
+      columns[i].push_back(1.0 + pct / 100.0);
+      row.push_back(TextTable::pct(pct));
+    }
+    table.add_row(row);
+  }
+  std::vector<std::string> avg = {"average"};
+  for (const auto& col : columns) {
+    avg.push_back(TextTable::pct(100.0 * (mean_speedup(col) - 1.0)));
+  }
+  table.add_row(avg);
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 13: sensitivity to L1 data cache size (4K/8K/16K/32K; WEC fixed at
+// 8 entries). Normalized execution time; the per-benchmark baseline (1.0) is
+// orig with the 4K L1.
+#include "bench/bench_common.h"
+
+using namespace wecsim;
+using namespace wecsim::bench;
+
+namespace {
+
+StaConfig with_l1_size(PaperConfig config, uint64_t kb) {
+  StaConfig sta = make_paper_config(config, 8);
+  sta.mem.l1d.size_bytes = kb * 1024;
+  return sta;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Figure 13: normalized execution time vs L1D size (8 TUs; baseline "
+      "orig 4K)",
+      "the WEC's relative gain shrinks as the L1 grows; an 8-entry WEC with "
+      "an 8K L1 beats a 16K L1 without one, and on average a 4K L1 + WEC "
+      "beats a 32K L1 alone");
+
+  const uint64_t kSizes[] = {4, 8, 16, 32};
+  ExperimentRunner runner(bench_params());
+
+  std::vector<std::string> header = {"benchmark"};
+  for (PaperConfig config : {PaperConfig::kOrig, PaperConfig::kWthWpWec}) {
+    for (uint64_t kb : kSizes) {
+      header.push_back(std::string(paper_config_name(config)) + " " +
+                       std::to_string(kb) + "k");
+    }
+  }
+  TextTable table(header);
+
+  for (const auto& name : workload_names()) {
+    const auto& base =
+        runner.run(name, "orig-4k", with_l1_size(PaperConfig::kOrig, 4));
+    std::vector<std::string> row = {name};
+    for (PaperConfig config : {PaperConfig::kOrig, PaperConfig::kWthWpWec}) {
+      for (uint64_t kb : kSizes) {
+        const std::string key = std::string(paper_config_name(config)) + "-" +
+                                std::to_string(kb) + "k";
+        const auto& m = runner.run(name, key, with_l1_size(config, kb));
+        row.push_back(TextTable::num(
+            static_cast<double>(m.sim.cycles) / base.sim.cycles, 3));
+      }
+    }
+    table.add_row(row);
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

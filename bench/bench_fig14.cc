@@ -1,0 +1,56 @@
+// Figure 14: sensitivity to the shared L2 size (128K/256K/512K). Normalized
+// execution time; baseline (1.0) is orig with the 128K L2. A larger L2
+// leaves less memory latency for the WEC to hide, so its relative gain
+// shrinks.
+#include "bench/bench_common.h"
+
+using namespace wecsim;
+using namespace wecsim::bench;
+
+namespace {
+
+StaConfig with_l2_size(PaperConfig config, uint64_t kb) {
+  StaConfig sta = make_paper_config(config, 8);
+  sta.mem.l2.size_bytes = kb * 1024;
+  return sta;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Figure 14: normalized execution time vs L2 size (8 TUs; baseline "
+      "orig 128K)",
+      "both configurations improve with a larger L2, and the wth-wp-wec "
+      "advantage over orig narrows as L2 misses disappear");
+
+  const uint64_t kSizes[] = {128, 256, 512};
+  ExperimentRunner runner(bench_params());
+
+  std::vector<std::string> header = {"benchmark"};
+  for (PaperConfig config : {PaperConfig::kOrig, PaperConfig::kWthWpWec}) {
+    for (uint64_t kb : kSizes) {
+      header.push_back(std::string(paper_config_name(config)) + " " +
+                       std::to_string(kb) + "k");
+    }
+  }
+  TextTable table(header);
+
+  for (const auto& name : workload_names()) {
+    const auto& base =
+        runner.run(name, "orig-128k", with_l2_size(PaperConfig::kOrig, 128));
+    std::vector<std::string> row = {name};
+    for (PaperConfig config : {PaperConfig::kOrig, PaperConfig::kWthWpWec}) {
+      for (uint64_t kb : kSizes) {
+        const std::string key = std::string(paper_config_name(config)) +
+                                "-l2-" + std::to_string(kb) + "k";
+        const auto& m = runner.run(name, key, with_l2_size(config, kb));
+        row.push_back(TextTable::num(
+            static_cast<double>(m.sim.cycles) / base.sim.cycles, 3));
+      }
+    }
+    table.add_row(row);
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

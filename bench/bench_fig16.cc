@@ -1,0 +1,62 @@
+// Figure 16: the WEC against next-line tagged prefetching with equal-sized
+// buffers (8/16/32 entries). Relative speedup over the 8-TU orig baseline.
+#include "bench/bench_common.h"
+
+using namespace wecsim;
+using namespace wecsim::bench;
+
+namespace {
+
+StaConfig with_side_entries(PaperConfig config, uint32_t entries) {
+  StaConfig sta = make_paper_config(config, 8);
+  sta.mem.side_entries = entries;
+  return sta;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Figure 16: WEC vs next-line tagged prefetching (8 TUs; baseline orig)",
+      "an 8-entry WEC performs substantially better than nlp with a "
+      "32-entry prefetch buffer");
+
+  const PaperConfig kConfigs[] = {PaperConfig::kNlp, PaperConfig::kWthWpWec};
+  const uint32_t kEntries[] = {8, 16, 32};
+  ExperimentRunner runner(bench_params());
+
+  std::vector<std::string> header = {"benchmark"};
+  for (PaperConfig config : kConfigs) {
+    for (uint32_t n : kEntries) {
+      header.push_back(std::string(paper_config_name(config)) + " " +
+                       std::to_string(n));
+    }
+  }
+  TextTable table(header);
+
+  std::vector<std::vector<double>> columns(6);
+  for (const auto& name : workload_names()) {
+    const auto& base =
+        runner.run(name, "orig", make_paper_config(PaperConfig::kOrig, 8));
+    std::vector<std::string> row = {name};
+    size_t col = 0;
+    for (PaperConfig config : kConfigs) {
+      for (uint32_t n : kEntries) {
+        const std::string key = std::string(paper_config_name(config)) + "-e" +
+                                std::to_string(n);
+        const auto& m = runner.run(name, key, with_side_entries(config, n));
+        const double pct = relative_speedup_pct(base.sim.cycles, m.sim.cycles);
+        columns[col++].push_back(1.0 + pct / 100.0);
+        row.push_back(TextTable::pct(pct));
+      }
+    }
+    table.add_row(row);
+  }
+  std::vector<std::string> avg = {"average"};
+  for (const auto& col : columns) {
+    avg.push_back(TextTable::pct(100.0 * (mean_speedup(col) - 1.0)));
+  }
+  table.add_row(avg);
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 17: what the WEC does to the L1 data cache: the increase in
+// processor<->L1 traffic from issuing wrong-execution loads, and the
+// reduction in correct-execution L1 miss counts (8 TUs, wth-wp-wec vs orig).
+#include "bench/bench_common.h"
+
+using namespace wecsim;
+using namespace wecsim::bench;
+
+int main() {
+  print_header(
+      "Figure 17: L1 traffic increase and miss-count reduction (8 TUs)",
+      "miss reductions typically 42-73% (mesa highest, mcf lowest); traffic "
+      "increases up to 30% (vpr), 14% on average");
+
+  ExperimentRunner runner(bench_params());
+
+  TextTable table({"benchmark", "traffic increase", "miss reduction",
+                   "orig misses", "wec misses", "wrong accesses"});
+  double traffic_sum = 0.0;
+  double miss_sum = 0.0;
+  size_t n = 0;
+  for (const auto& name : workload_names()) {
+    const auto& base =
+        runner.run(name, "orig", make_paper_config(PaperConfig::kOrig, 8));
+    const auto& wec = runner.run(name, "wth-wp-wec",
+                                 make_paper_config(PaperConfig::kWthWpWec, 8));
+    const double traffic =
+        100.0 * (static_cast<double>(wec.sim.l1d_accesses) /
+                     base.sim.l1d_accesses -
+                 1.0);
+    const double miss_red =
+        100.0 * (1.0 - static_cast<double>(wec.sim.l1d_misses) /
+                           base.sim.l1d_misses);
+    traffic_sum += traffic;
+    miss_sum += miss_red;
+    ++n;
+    table.add_row({name, TextTable::pct(traffic), TextTable::pct(miss_red),
+                   std::to_string(base.sim.l1d_misses),
+                   std::to_string(wec.sim.l1d_misses),
+                   std::to_string(wec.sim.l1d_wrong_accesses)});
+  }
+  table.add_row({"average", TextTable::pct(traffic_sum / n),
+                 TextTable::pct(miss_sum / n), "", "", ""});
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

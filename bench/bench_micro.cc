@@ -1,0 +1,128 @@
+// Component microbenchmarks (google-benchmark): throughput of the simulator
+// building blocks, plus ablations of the WEC design choices DESIGN.md calls
+// out (victim-role on/off is covered by fig15; here: the chained next-line
+// prefetch rule and the side-structure roles on a conflict-heavy kernel).
+#include <benchmark/benchmark.h>
+
+#include "core/sim_config.h"
+#include "core/simulator.h"
+#include "cpu/bpred.h"
+#include "func/interpreter.h"
+#include "isa/assembler.h"
+#include "mem/cache.h"
+#include "mem/side_cache.h"
+#include "workloads/workload.h"
+
+namespace wecsim {
+namespace {
+
+void BM_CacheAccess(benchmark::State& state) {
+  SetAssocCache cache({8 * 1024, static_cast<uint32_t>(state.range(0)), 64});
+  uint64_t addr = 0;
+  Cycle now = 0;
+  for (auto _ : state) {
+    if (!cache.access(addr, false, ++now)) cache.insert(addr, false, now);
+    addr = (addr + 8) & 0xffff;
+    benchmark::DoNotOptimize(addr);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(4);
+
+void BM_SideCacheProbe(benchmark::State& state) {
+  SideCache side(static_cast<uint32_t>(state.range(0)), 64);
+  for (int i = 0; i < state.range(0); ++i) {
+    side.insert(static_cast<Addr>(i) * 64, SideOrigin::kVictim, false, 0);
+  }
+  Addr addr = 0;
+  Cycle now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(side.access(addr, ++now));
+    addr = (addr + 64) & 0x7ff;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SideCacheProbe)->Arg(8)->Arg(32);
+
+void BM_BranchPredictor(benchmark::State& state) {
+  StatsRegistry stats;
+  BranchPredictor bpred(BpredConfig{}, stats, "bp.");
+  Addr pc = 0x1000;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const bool taken = bpred.predict_taken(pc);
+    bpred.update_branch(pc, (i & 3) != 0);
+    benchmark::DoNotOptimize(taken);
+    pc = 0x1000 + (i++ % 64) * kInstrBytes;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredictor);
+
+void BM_Assembler(benchmark::State& state) {
+  Workload w = make_workload("181.mcf", {1, 42});
+  (void)w;  // warm factory path
+  for (auto _ : state) {
+    Workload inner = make_workload("181.mcf", {1, 42});
+    benchmark::DoNotOptimize(inner.program.num_instructions());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Assembler);
+
+void BM_Interpreter(benchmark::State& state) {
+  Workload w = make_workload("164.gzip", {1, 42});
+  for (auto _ : state) {
+    FlatMemory memory;
+    memory.load_program(w.program);
+    w.init(memory);
+    Interpreter interp(w.program, memory);
+    FuncResult r = interp.run();
+    state.SetItemsProcessed(state.items_processed() + r.instrs_total);
+    benchmark::DoNotOptimize(r.instrs_total);
+  }
+}
+BENCHMARK(BM_Interpreter)->Unit(benchmark::kMillisecond);
+
+/// Timing-simulator throughput: simulated cycles per wall second.
+void BM_TimingSimulator(benchmark::State& state) {
+  Workload w = make_workload("183.equake", {1, 42});
+  for (auto _ : state) {
+    Simulator sim(w.program, make_paper_config(PaperConfig::kWthWpWec, 8));
+    w.init(sim.memory());
+    SimResult r = sim.run();
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(r.cycles));
+    benchmark::DoNotOptimize(r.cycles);
+  }
+}
+BENCHMARK(BM_TimingSimulator)->Unit(benchmark::kMillisecond);
+
+/// Ablation: the WEC rule "a correct-path hit on a wrong-fetched block
+/// triggers a next-line prefetch", with and without chaining through blocks
+/// that themselves arrived via prefetch. Reported as simulated cycles of the
+/// conflict-heavy mesa workload (fewer is better).
+void BM_WecChainPrefetchAblation(benchmark::State& state) {
+  const bool chain = state.range(0) != 0;
+  Workload w = make_workload("177.mesa", {2, 42});
+  uint64_t cycles = 0;
+  for (auto _ : state) {
+    StaConfig config = make_paper_config(PaperConfig::kWthWpWec, 8);
+    config.mem.wec_chain_prefetch = chain;
+    Simulator sim(w.program, config);
+    w.init(sim.memory());
+    SimResult r = sim.run();
+    cycles = r.cycles;
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  state.counters["sim_cycles"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_WecChainPrefetchAblation)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wecsim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Quickstart: assemble a small program, run it on the superthreaded
+// simulator, and read results back — the smallest end-to-end use of the
+// wecsim public API.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "core/sim_config.h"
+#include "core/simulator.h"
+#include "isa/assembler.h"
+#include "isa/disasm.h"
+
+using namespace wecsim;
+
+// Dot product of two 256-element vectors, written directly in wecsim
+// assembly. Sequential code only — see superthreaded_loop.cpp for a
+// parallelized example.
+static const char* kProgram = R"(
+  .equ N, 256
+  .data
+a:  .space 2048
+b:  .space 2048
+out:
+  .dword 0
+  .text
+entry:
+  la   r1, a
+  la   r2, b
+  li   r3, 0            # i
+  li   r4, N
+  fli  f1, 0.0          # acc
+loop:
+  fld  f2, 0(r1)
+  fld  f3, 0(r2)
+  fmul f4, f2, f3
+  fadd f1, f1, f4
+  addi r1, r1, 8
+  addi r2, r2, 8
+  addi r3, r3, 1
+  blt  r3, r4, loop
+  la   r5, out
+  fsd  f1, 0(r5)
+  halt
+)";
+
+int main() {
+  // 1. Assemble.
+  Program program = assemble(kProgram);
+  std::printf("assembled %zu instructions; first few:\n%s\n",
+              program.num_instructions(),
+              disassemble(program).substr(0, 280).c_str());
+
+  // 2. Configure a machine: the paper's proposed configuration
+  //    (wrong-path + wrong-thread execution with a Wrong Execution Cache),
+  //    one thread unit since this program is sequential.
+  StaConfig config = make_paper_config(PaperConfig::kWthWpWec, /*num_tus=*/1);
+
+  // 3. Build the simulator and initialize input data in its memory.
+  Simulator sim(program, config);
+  for (int i = 0; i < 256; ++i) {
+    sim.memory().write_f64(program.symbol("a") + 8 * i, 1.0 + i * 0.5);
+    sim.memory().write_f64(program.symbol("b") + 8 * i, 2.0 - i * 0.25);
+  }
+
+  // 4. Run and inspect.
+  SimResult result = sim.run();
+  std::printf("halted: %s after %llu cycles, %llu instructions committed\n",
+              result.halted ? "yes" : "no",
+              static_cast<unsigned long long>(result.cycles),
+              static_cast<unsigned long long>(result.committed));
+  std::printf("dot product = %f\n",
+              sim.memory().read_f64(program.symbol("out")));
+  std::printf("L1D: %llu accesses, %llu misses (%.2f%% miss rate)\n",
+              static_cast<unsigned long long>(result.l1d_accesses),
+              static_cast<unsigned long long>(result.l1d_misses),
+              100.0 * result.l1d_miss_rate());
+  std::printf("branches: %llu (%llu mispredicted)\n",
+              static_cast<unsigned long long>(result.branches),
+              static_cast<unsigned long long>(result.mispredicts));
+  return 0;
+}

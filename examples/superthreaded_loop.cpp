@@ -1,0 +1,111 @@
+// Writing and running a superthreaded (thread-pipelined) loop by hand: a
+// parallel prefix-scaled vector update with a cross-iteration recurrence
+// carried through a target store, executed on 1..8 thread units.
+//
+// The loop computes, over chunks of 16 elements:
+//     s      = s * 0.5 + a[i]        (the serial recurrence, via TSADDR)
+//     b[i]   = s
+// followed by a sequential reduction of b per chunk.
+//
+//   $ ./examples/superthreaded_loop
+#include <cstdio>
+
+#include "core/sim_config.h"
+#include "core/simulator.h"
+#include "isa/assembler.h"
+
+using namespace wecsim;
+
+static const char* kProgram = R"(
+  .equ N, 192
+  .data
+a:    .space 1536
+b:    .space 1536
+s:    .double 0.0
+sum:  .dword 0
+  .text
+entry:
+  li   r1, 0
+  li   r3, N
+outer:
+  addi r2, r1, 16        # chunk limit
+  begin
+  j    body
+body:
+  # continuation stage: claim index, fork successor
+  addi r5, r1, 1
+  mv   r4, r1
+  mv   r1, r5
+  forksp body
+  # TSAG stage: this iteration will update the recurrence cell s
+  la   r6, s
+  tsaddr r6, 0
+  tsagd
+  # computation: s = s*0.5 + a[my]; b[my] = s
+  la   r7, a
+  slli r8, r4, 3
+  add  r7, r7, r8
+  fld  f1, 0(r7)         # a[my]
+  fld  f2, 0(r6)         # s   (stalls until the upstream value arrives)
+  fli  f3, 0.5
+  fmul f2, f2, f3
+  fadd f2, f2, f1
+  fsd  f2, 0(r6)         # target store: forwarded to the successor
+  la   r9, b
+  add  r9, r9, r8
+  fsd  f2, 0(r9)
+  # exit check
+  addi r10, r4, 1
+  bge  r10, r2, exit
+  thend
+exit:
+  abort
+  endpar
+  # sequential glue: fold the chunk of b into sum
+  la   r11, b
+  subi r12, r2, 16
+  slli r13, r12, 3
+  add  r11, r11, r13
+  li   r14, 0
+  la   r15, sum
+  fld  f4, 0(r15)
+fold:
+  fld  f5, 0(r11)
+  fadd f4, f4, f5
+  addi r11, r11, 8
+  addi r14, r14, 1
+  li   r16, 16
+  blt  r14, r16, fold
+  fsd  f4, 0(r15)
+  blt  r2, r3, outer
+  halt
+)";
+
+int main() {
+  Program program = assemble(kProgram);
+  std::printf("thread-pipelined loop, 192 iterations in chunks of 16\n\n");
+  std::printf("%4s %10s %8s %8s %10s %14s\n", "TUs", "cycles", "speedup",
+              "forks", "ring msgs", "sum (check)");
+
+  Cycle base = 0;
+  for (uint32_t tus : {1u, 2u, 4u, 8u}) {
+    Simulator sim(program, make_paper_config(PaperConfig::kOrig, tus));
+    for (int i = 0; i < 192; ++i) {
+      sim.memory().write_f64(program.symbol("a") + 8 * i, 0.125 * (i % 17));
+    }
+    SimResult result = sim.run();
+    if (tus == 1) base = result.cycles;
+    std::printf("%4u %10llu %7.2fx %8llu %10llu %14.4f\n", tus,
+                static_cast<unsigned long long>(result.cycles),
+                static_cast<double>(base) / result.cycles,
+                static_cast<unsigned long long>(result.forks),
+                static_cast<unsigned long long>(
+                    sim.stats().value("sta.ring_msgs")),
+                sim.memory().read_f64(program.symbol("sum")));
+  }
+  std::printf(
+      "\nThe recurrence serializes iterations through the ring, so scaling "
+      "is sublinear —\nexactly the behaviour the paper describes for "
+      "dependence-carrying loops.\n");
+  return 0;
+}

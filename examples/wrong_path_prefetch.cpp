@@ -1,0 +1,64 @@
+// Demonstration of the paper's core claim: letting known-wrong loads run,
+// contained by a Wrong Execution Cache, reduces the misses of the *correct*
+// execution that follows.
+//
+// Runs the conflict-heavy 177.mesa analog on four machines — orig, victim
+// cache, next-line prefetching, and wth-wp-wec — and prints the miss counts,
+// traffic, and speedups side by side.
+//
+//   $ ./examples/wrong_path_prefetch
+#include <cstdio>
+
+#include "core/sim_config.h"
+#include "core/simulator.h"
+#include "workloads/workload.h"
+
+using namespace wecsim;
+
+namespace {
+
+SimResult run_one(const Workload& workload, PaperConfig config) {
+  Simulator sim(workload.program, make_paper_config(config, 8));
+  workload.init(sim.memory());
+  return sim.run();
+}
+
+}  // namespace
+
+int main() {
+  WorkloadParams params;
+  params.scale = 2;
+  Workload workload = make_workload("177.mesa", params);
+  std::printf("workload: %s — %s\n\n", workload.name.c_str(),
+              workload.description.c_str());
+
+  const PaperConfig configs[] = {PaperConfig::kOrig, PaperConfig::kVc,
+                                 PaperConfig::kNlp, PaperConfig::kWthWpWec};
+  SimResult results[4];
+  for (int i = 0; i < 4; ++i) results[i] = run_one(workload, configs[i]);
+
+  std::printf("%-12s %10s %12s %12s %10s %10s\n", "config", "cycles",
+              "L1 misses", "L1 traffic", "side hits", "speedup");
+  for (int i = 0; i < 4; ++i) {
+    const SimResult& r = results[i];
+    const double speedup =
+        static_cast<double>(results[0].cycles) / static_cast<double>(r.cycles);
+    std::printf("%-12s %10llu %12llu %12llu %10llu %9.1f%%\n",
+                paper_config_name(configs[i]),
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.l1d_misses),
+                static_cast<unsigned long long>(r.l1d_accesses),
+                static_cast<unsigned long long>(r.side_hits),
+                100.0 * (speedup - 1.0));
+  }
+
+  const SimResult& wec = results[3];
+  std::printf(
+      "\nwth-wp-wec issued %llu wrong-execution L1 accesses, filled the WEC "
+      "%llu times from wrong execution,\nand launched %llu next-line "
+      "prefetches — that is the indirect prefetching the paper describes.\n",
+      static_cast<unsigned long long>(wec.l1d_wrong_accesses),
+      static_cast<unsigned long long>(wec.wec_wrong_fills),
+      static_cast<unsigned long long>(wec.prefetches));
+  return 0;
+}

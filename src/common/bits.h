@@ -1,0 +1,51 @@
+// Small bit-manipulation helpers used by caches and predictors.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace wecsim {
+
+/// True iff v is a power of two (0 is not).
+constexpr bool is_pow2(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// floor(log2(v)) for v > 0.
+constexpr uint32_t floor_log2(uint64_t v) {
+  return 63u - static_cast<uint32_t>(std::countl_zero(v | 1));
+}
+
+/// log2 of a power of two; checks the precondition.
+inline uint32_t exact_log2(uint64_t v) {
+  WEC_CHECK_MSG(is_pow2(v), "exact_log2 requires a power of two");
+  return floor_log2(v);
+}
+
+/// Mask with the low n bits set (n <= 64).
+constexpr uint64_t low_mask(uint32_t n) {
+  return n >= 64 ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+}
+
+/// Align a down to a power-of-two boundary.
+constexpr Addr align_down(Addr a, uint64_t align) { return a & ~(align - 1); }
+
+/// Align a up to a power-of-two boundary.
+constexpr Addr align_up(Addr a, uint64_t align) {
+  return (a + align - 1) & ~(align - 1);
+}
+
+/// Fold the bits of an address into n low bits (simple XOR hash used by
+/// predictor index functions).
+inline uint64_t fold_xor(uint64_t v, uint32_t n) {
+  uint64_t r = 0;
+  const uint64_t m = low_mask(n);
+  while (v != 0) {
+    r ^= v & m;
+    v >>= n;
+  }
+  return r;
+}
+
+}  // namespace wecsim

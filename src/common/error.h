@@ -1,0 +1,43 @@
+// Error handling: simulator-fatal conditions throw SimError; internal
+// invariants use WEC_CHECK which is active in all build types (simulation
+// correctness bugs must never be silently optimized away).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace wecsim {
+
+/// Exception thrown on user-visible simulator errors (bad assembly, bad
+/// configuration, workload setup failures).
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "WEC_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace wecsim
+
+/// Always-on invariant check. Throws std::logic_error on failure so tests can
+/// assert on broken invariants instead of aborting the process.
+#define WEC_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::wecsim::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define WEC_CHECK_MSG(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::wecsim::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,32 @@
+#include "common/log.h"
+
+namespace wecsim {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff:
+      return "off";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kTrace:
+      return "trace";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace wecsim

@@ -1,0 +1,33 @@
+// Minimal leveled logging. Off by default; tests and the config_explorer
+// example can raise the level to trace pipeline activity.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace wecsim {
+
+enum class LogLevel : int { kOff = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
+
+/// Process-global log level (simulation is single-threaded by design).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+}  // namespace wecsim
+
+/// WEC_LOG(kDebug, "fetched " << n << " instrs");
+#define WEC_LOG(level, expr)                                      \
+  do {                                                            \
+    if (static_cast<int>(::wecsim::LogLevel::level) <=            \
+        static_cast<int>(::wecsim::log_level())) {                \
+      std::ostringstream wec_log_os_;                             \
+      wec_log_os_ << expr;                                        \
+      ::wecsim::detail::log_line(::wecsim::LogLevel::level,       \
+                                 wec_log_os_.str());              \
+    }                                                             \
+  } while (0)

@@ -1,0 +1,42 @@
+// Deterministic pseudo-random number generation for workload data
+// initialization and property-based tests. splitmix64 core: tiny, fast,
+// reproducible across platforms (std::mt19937 would also be portable but is
+// heavier than needed and seeds awkwardly).
+#pragma once
+
+#include <cstdint>
+
+namespace wecsim {
+
+/// splitmix64-based deterministic RNG. Same seed → same sequence, everywhere.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  uint64_t below(uint64_t bound) { return next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t range(uint64_t lo, uint64_t hi) { return lo + below(hi - lo + 1); }
+
+  /// Bernoulli with probability num/den.
+  bool chance(uint64_t num, uint64_t den) { return below(den) < num; }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace wecsim

@@ -1,0 +1,53 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace wecsim {
+
+StatsRegistry::Counter StatsRegistry::counter(const std::string& name) {
+  auto [it, inserted] = counters_.try_emplace(name, 0);
+  (void)inserted;
+  return Counter(&it->second);
+}
+
+uint64_t StatsRegistry::value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+uint64_t StatsRegistry::sum_matching(const std::string& prefix,
+                                     const std::string& suffix) const {
+  uint64_t total = 0;
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    const std::string& name = it->first;
+    if (name.compare(0, prefix.size(), prefix) != 0) break;
+    if (name.size() >= suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      total += it->second;
+    }
+  }
+  return total;
+}
+
+StatsSnapshot StatsRegistry::snapshot() const { return counters_; }
+
+std::vector<std::string> StatsRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, value] : counters_) out.push_back(name);
+  return out;
+}
+
+void StatsRegistry::reset() {
+  for (auto& [name, value] : counters_) value = 0;
+}
+
+std::string StatsRegistry::dump() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) {
+    os << name << " = " << value << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace wecsim

@@ -1,0 +1,70 @@
+// Hierarchical statistics registry. Every simulator component registers named
+// counters; the harness snapshots and diffs them to build the paper's tables.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wecsim {
+
+/// A snapshot of all counters at a point in simulated time.
+using StatsSnapshot = std::map<std::string, uint64_t>;
+
+/// Flat registry of monotonically increasing 64-bit counters, keyed by
+/// dotted path ("tu0.l1d.misses"). Components hold Counter handles; lookups
+/// happen once at construction, increments are a single add.
+class StatsRegistry {
+ public:
+  /// Lightweight handle to one counter slot. Valid as long as the registry
+  /// lives; the registry never removes counters.
+  class Counter {
+   public:
+    Counter() : slot_(nullptr) {}
+    void inc(uint64_t by = 1) {
+      if (slot_ != nullptr) *slot_ += by;
+    }
+    uint64_t value() const { return slot_ != nullptr ? *slot_ : 0; }
+
+   private:
+    friend class StatsRegistry;
+    explicit Counter(uint64_t* slot) : slot_(slot) {}
+    uint64_t* slot_;
+  };
+
+  StatsRegistry() = default;
+  StatsRegistry(const StatsRegistry&) = delete;
+  StatsRegistry& operator=(const StatsRegistry&) = delete;
+
+  /// Get or create the counter with the given dotted name.
+  Counter counter(const std::string& name);
+
+  /// Current value of a counter (0 if it does not exist).
+  uint64_t value(const std::string& name) const;
+
+  /// Sum of all counters whose name matches "prefix*" — used to aggregate
+  /// per-thread-unit stats ("tu*.l1d.misses" style via prefix+suffix).
+  uint64_t sum_matching(const std::string& prefix,
+                        const std::string& suffix) const;
+
+  /// Snapshot every counter.
+  StatsSnapshot snapshot() const;
+
+  /// All counter names in sorted order.
+  std::vector<std::string> names() const;
+
+  /// Reset all counters to zero (registry structure is preserved so existing
+  /// Counter handles stay valid).
+  void reset();
+
+  /// Render a human-readable dump, one "name = value" per line.
+  std::string dump() const;
+
+ private:
+  // std::map guarantees stable node addresses, so Counter handles survive
+  // later insertions.
+  std::map<std::string, uint64_t> counters_;
+};
+
+}  // namespace wecsim

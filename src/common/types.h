@@ -1,0 +1,35 @@
+// Fundamental scalar types shared by every wecsim module.
+#pragma once
+
+#include <cstdint>
+
+namespace wecsim {
+
+/// Byte address in the simulated flat physical address space.
+using Addr = uint64_t;
+
+/// Simulation time in processor clock cycles.
+using Cycle = uint64_t;
+
+/// Architectural register index (integer or floating-point file).
+using RegId = uint8_t;
+
+/// 64-bit integer register / memory word value.
+using Word = uint64_t;
+
+/// Signed view of a register value.
+using SWord = int64_t;
+
+/// Thread-unit index within the superthreaded processor.
+using TuId = uint32_t;
+
+/// Monotonically increasing dynamic instruction sequence number.
+using SeqNum = uint64_t;
+
+/// Sentinel for "no cycle scheduled".
+inline constexpr Cycle kNoCycle = ~Cycle{0};
+
+/// Sentinel for "invalid / unmapped address".
+inline constexpr Addr kBadAddr = ~Addr{0};
+
+}  // namespace wecsim

@@ -1,0 +1,163 @@
+#include "core/sim_config.h"
+
+#include "common/error.h"
+
+namespace wecsim {
+
+const char* paper_config_name(PaperConfig config) {
+  switch (config) {
+    case PaperConfig::kOrig:
+      return "orig";
+    case PaperConfig::kVc:
+      return "vc";
+    case PaperConfig::kWp:
+      return "wp";
+    case PaperConfig::kWth:
+      return "wth";
+    case PaperConfig::kWthWp:
+      return "wth-wp";
+    case PaperConfig::kWthWpVc:
+      return "wth-wp-vc";
+    case PaperConfig::kWthWpWec:
+      return "wth-wp-wec";
+    case PaperConfig::kNlp:
+      return "nlp";
+  }
+  return "?";
+}
+
+PaperConfig paper_config_from_name(const std::string& name) {
+  for (PaperConfig config : kAllPaperConfigs) {
+    if (name == paper_config_name(config)) return config;
+  }
+  throw SimError("unknown configuration name: " + name);
+}
+
+StaConfig make_paper_config(PaperConfig config, uint32_t num_tus) {
+  StaConfig sta;
+  sta.num_tus = num_tus;
+  sta.wrong_thread_exec = false;
+
+  CoreConfig& core = sta.core;
+  core.fetch_width = 8;
+  core.issue_width = 8;
+  core.rob_size = 64;
+  core.lsq_size = 64;
+  core.int_alu = 8;
+  core.int_mult = 4;
+  core.fp_alu = 8;
+  core.fp_mult = 4;
+  core.mem_ports = 2;
+  core.wrong_path_exec = false;
+  core.bpred.btb_entries = 1024;
+  core.bpred.btb_assoc = 4;
+
+  MemConfig& mem = sta.mem;
+  mem.l1i = {32 * 1024, 2, 64};
+  mem.l1d = {8 * 1024, 1, 64};
+  mem.l2 = {512 * 1024, 4, 128};
+  mem.mem_lat = 200;
+  mem.side = SideKind::kNone;
+  mem.side_entries = 8;
+
+  switch (config) {
+    case PaperConfig::kOrig:
+      break;
+    case PaperConfig::kVc:
+      mem.side = SideKind::kVictim;
+      break;
+    case PaperConfig::kWp:
+      core.wrong_path_exec = true;
+      break;
+    case PaperConfig::kWth:
+      sta.wrong_thread_exec = true;
+      break;
+    case PaperConfig::kWthWp:
+      core.wrong_path_exec = true;
+      sta.wrong_thread_exec = true;
+      break;
+    case PaperConfig::kWthWpVc:
+      core.wrong_path_exec = true;
+      sta.wrong_thread_exec = true;
+      mem.side = SideKind::kVictim;
+      break;
+    case PaperConfig::kWthWpWec:
+      core.wrong_path_exec = true;
+      sta.wrong_thread_exec = true;
+      mem.side = SideKind::kWec;
+      break;
+    case PaperConfig::kNlp:
+      mem.side = SideKind::kPrefetchBuffer;
+      break;
+  }
+  core.ifetch_block_bytes = mem.l1i.block_bytes;
+  return sta;
+}
+
+StaConfig make_table3_config(uint32_t num_tus) {
+  StaConfig sta = make_paper_config(PaperConfig::kOrig, num_tus);
+  CoreConfig& core = sta.core;
+  MemConfig& mem = sta.mem;
+  switch (num_tus) {
+    case 1:
+      core.issue_width = 16;
+      core.rob_size = 128;
+      core.int_alu = 16;
+      core.int_mult = 8;
+      core.fp_alu = 16;
+      core.fp_mult = 8;
+      mem.l1d.size_bytes = 32 * 1024;
+      break;
+    case 2:
+      core.issue_width = 8;
+      core.rob_size = 64;
+      core.int_alu = 8;
+      core.int_mult = 4;
+      core.fp_alu = 8;
+      core.fp_mult = 4;
+      mem.l1d.size_bytes = 16 * 1024;
+      break;
+    case 4:
+      core.issue_width = 4;
+      core.rob_size = 32;
+      core.int_alu = 4;
+      core.int_mult = 2;
+      core.fp_alu = 4;
+      core.fp_mult = 2;
+      mem.l1d.size_bytes = 8 * 1024;
+      break;
+    case 8:
+      core.issue_width = 2;
+      core.rob_size = 16;
+      core.int_alu = 2;
+      core.int_mult = 1;
+      core.fp_alu = 2;
+      core.fp_mult = 1;
+      mem.l1d.size_bytes = 4 * 1024;
+      break;
+    case 16:
+      core.issue_width = 1;
+      core.rob_size = 8;
+      core.int_alu = 1;
+      core.int_mult = 1;
+      core.fp_alu = 1;
+      core.fp_mult = 1;
+      mem.l1d.size_bytes = 2 * 1024;
+      break;
+    default:
+      throw SimError("table 3 defines 1/2/4/8/16 thread units only");
+  }
+  // Table 3 uses a 4-way associative L1 data cache throughout.
+  mem.l1d.assoc = 4;
+  core.fetch_width = core.issue_width;
+  core.lsq_size = core.rob_size;
+  return sta;
+}
+
+StaConfig make_table3_baseline() {
+  StaConfig sta = make_table3_config(16);  // per-TU resources of the 16-TU row
+  sta.num_tus = 1;
+  return sta;
+}
+
+}  // namespace wecsim

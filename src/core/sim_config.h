@@ -1,0 +1,50 @@
+// The eight processor configurations evaluated in the paper (Section 4.3)
+// and the hardware scaling rules of Table 3, expressed over the wecsim
+// building blocks.
+#pragma once
+
+#include <string>
+
+#include "sta/sta_config.h"
+
+namespace wecsim {
+
+/// Paper Section 4.3 configuration names.
+enum class PaperConfig {
+  kOrig,      // baseline superthreaded processor
+  kVc,        // orig + victim cache
+  kWp,        // wrong-path load execution
+  kWth,       // wrong-thread load execution
+  kWthWp,     // both
+  kWthWpVc,   // both + victim cache
+  kWthWpWec,  // both + Wrong Execution Cache (the paper's proposal)
+  kNlp,       // next-line tagged prefetching with a prefetch buffer
+};
+
+const char* paper_config_name(PaperConfig config);
+PaperConfig paper_config_from_name(const std::string& name);
+
+/// All eight configs in presentation order (Figure 11).
+inline constexpr PaperConfig kAllPaperConfigs[] = {
+    PaperConfig::kOrig,    PaperConfig::kVc,       PaperConfig::kWp,
+    PaperConfig::kWth,     PaperConfig::kWthWp,    PaperConfig::kWthWpVc,
+    PaperConfig::kWthWpWec, PaperConfig::kNlp,
+};
+
+/// Build the default 8-issue-per-TU machine of Section 5.2 for the given
+/// paper configuration: ROB/LSQ 64 per TU, 8 INT ALU / 4 INT MUL / 8 FP ADD /
+/// 4 FP MUL, L1D 8KB direct-mapped 64B blocks, 8-entry WEC/VC/prefetch
+/// buffer, L1I 32KB 2-way, shared L2 512KB 4-way 128B, 200-cycle memory.
+StaConfig make_paper_config(PaperConfig config, uint32_t num_tus = 8);
+
+/// Table 3 machine for the baseline ILP-vs-TLP study (Figure 8): total issue
+/// capacity fixed at 16, per-TU resources scale down as TUs scale up, and
+/// per-TU L1D size keeps the total at 32KB. num_tus must be one of
+/// {1, 2, 4, 8, 16}.
+StaConfig make_table3_config(uint32_t num_tus);
+
+/// Figure 8's baseline: the single-thread single-issue processor (Table 3's
+/// first column: 1 TU, 1-issue, 8-entry ROB, 2KB L1D).
+StaConfig make_table3_baseline();
+
+}  // namespace wecsim

@@ -1,0 +1,47 @@
+#include "core/simulator.h"
+
+#include "common/error.h"
+
+namespace wecsim {
+
+Simulator::Simulator(const Program& program, const StaConfig& config)
+    : program_(program), config_(config) {
+  memory_.load_program(program);
+  processor_ =
+      std::make_unique<StaProcessor>(config_, program_, stats_, memory_);
+}
+
+Simulator::~Simulator() = default;
+
+SimResult Simulator::run() {
+  WEC_CHECK_MSG(!ran_, "Simulator::run may only be called once");
+  ran_ = true;
+  const StaRunResult sta = processor_->run();
+
+  SimResult result;
+  result.cycles = sta.cycles;
+  result.halted = sta.halted;
+  result.committed = sta.committed;
+
+  auto sum = [&](const char* suffix) {
+    return stats_.sum_matching("tu", suffix);
+  };
+  result.l1d_accesses = sum(".l1d.accesses");
+  result.l1d_wrong_accesses = sum(".l1d.wrong_accesses");
+  result.l1d_misses = sum(".l1d.misses");
+  result.l1d_wrong_misses = sum(".l1d.wrong_misses");
+  result.side_hits = sum(".side.hits") + sum(".side.wrong_hits");
+  result.wec_wrong_fills = sum(".side.wrong_fills");
+  result.prefetches = sum(".side.prefetches");
+  result.mispredicts = sum(".core.mispredicts");
+  result.branches = sum(".core.branches");
+  result.wrong_path_loads = sum(".core.wrong_path_loads");
+  result.coherence_updates = sum(".coherence.updates");
+  result.l2_accesses = stats_.value("l2.accesses");
+  result.l2_misses = stats_.value("l2.misses");
+  result.forks = stats_.value("sta.forks");
+  result.wrong_threads = stats_.value("sta.wrong_threads");
+  return result;
+}
+
+}  // namespace wecsim

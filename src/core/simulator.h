@@ -1,0 +1,83 @@
+// Top-level public API: assemble (or build) a program, pick a paper
+// configuration, run, and read back the measurements the paper reports.
+//
+//   Program program = assemble(source);
+//   Simulator sim(program, make_paper_config(PaperConfig::kWthWpWec));
+//   init_my_data(sim.memory());
+//   SimResult result = sim.run();
+//   std::cout << result.cycles << " cycles\n";
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/stats.h"
+#include "core/sim_config.h"
+#include "mem/flat_memory.h"
+#include "sta/sta_processor.h"
+
+namespace wecsim {
+
+/// Aggregated measurements of one simulation, summed over all thread units.
+struct SimResult {
+  Cycle cycles = 0;
+  bool halted = false;
+  uint64_t committed = 0;
+
+  // Data-side L1 behaviour (the paper's Figure 17 quantities).
+  uint64_t l1d_accesses = 0;        // processor <-> L1 traffic, all loads/stores
+  uint64_t l1d_wrong_accesses = 0;  // portion issued by wrong execution
+  uint64_t l1d_misses = 0;          // correct-execution misses
+  uint64_t l1d_wrong_misses = 0;    // wrong-execution misses
+  uint64_t side_hits = 0;           // vc/wec/prefetch-buffer hits
+  uint64_t wec_wrong_fills = 0;     // blocks brought in by wrong execution
+  uint64_t prefetches = 0;          // next-line prefetches issued
+  uint64_t l2_accesses = 0;
+  uint64_t l2_misses = 0;
+  uint64_t mispredicts = 0;
+  uint64_t branches = 0;
+  uint64_t forks = 0;
+  uint64_t wrong_threads = 0;
+  uint64_t wrong_path_loads = 0;
+  uint64_t coherence_updates = 0;
+
+  double l1d_miss_rate() const {
+    return l1d_accesses == 0
+               ? 0.0
+               : static_cast<double>(l1d_misses) / l1d_accesses;
+  }
+};
+
+/// Owns the full simulated machine: flat memory, statistics, thread units.
+class Simulator {
+ public:
+  /// The program's initialized data segment is loaded into memory; further
+  /// workload-specific initialization can write through memory().
+  Simulator(const Program& program, const StaConfig& config);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Architectural memory (pre-run initialization / post-run inspection).
+  FlatMemory& memory() { return memory_; }
+
+  /// Raw statistics registry (per-TU counters, cache details).
+  StatsRegistry& stats() { return stats_; }
+
+  /// The underlying processor (tests and examples poke at it directly).
+  StaProcessor& processor() { return *processor_; }
+
+  /// Run to completion and aggregate the results. Call once.
+  SimResult run();
+
+ private:
+  const Program& program_;
+  StaConfig config_;
+  FlatMemory memory_;
+  StatsRegistry stats_;
+  std::unique_ptr<StaProcessor> processor_;
+  bool ran_ = false;
+};
+
+}  // namespace wecsim

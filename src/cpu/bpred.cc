@@ -1,0 +1,138 @@
+#include "cpu/bpred.h"
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "isa/isa.h"  // kInstrBytes
+
+namespace wecsim {
+
+BranchPredictor::BranchPredictor(const BpredConfig& config,
+                                 StatsRegistry& stats,
+                                 const std::string& stat_prefix)
+    : config_(config),
+      counters_(uint64_t{1} << config.table_bits, 2),  // weakly taken
+      btb_(config.btb_entries),
+      ras_(config.ras_entries, 0),
+      lookups_(stats.counter(stat_prefix + "bpred.lookups")),
+      btb_hits_(stats.counter(stat_prefix + "bpred.btb_hits")) {
+  WEC_CHECK(config.btb_entries % config.btb_assoc == 0);
+  WEC_CHECK(config.hist_bits <= 30);
+}
+
+uint32_t BranchPredictor::dir_index(Addr pc, uint64_t history) const {
+  const uint64_t pc_bits = pc / kInstrBytes;
+  uint64_t index = pc_bits;
+  if (config_.kind == BpredKind::kGshare) {
+    index ^= history << (config_.table_bits > config_.hist_bits
+                             ? config_.table_bits - config_.hist_bits
+                             : 0);
+  }
+  return static_cast<uint32_t>(index & low_mask(config_.table_bits));
+}
+
+bool BranchPredictor::predict_taken(Addr pc) {
+  lookups_.inc();
+  bool taken;
+  switch (config_.kind) {
+    case BpredKind::kTaken:
+      taken = true;
+      break;
+    case BpredKind::kNotTaken:
+      taken = false;
+      break;
+    default:
+      taken = counters_[dir_index(pc, history_)] >= 2;
+      break;
+  }
+  // Speculative history update (repaired by restore() on mispredict).
+  history_ = ((history_ << 1) | (taken ? 1 : 0)) & low_mask(config_.hist_bits);
+  return taken;
+}
+
+Addr BranchPredictor::btb_lookup(Addr pc) {
+  const uint32_t sets = config_.btb_entries / config_.btb_assoc;
+  const uint32_t set = static_cast<uint32_t>((pc / kInstrBytes) % sets);
+  BtbEntry* base = &btb_[set * config_.btb_assoc];
+  for (uint32_t way = 0; way < config_.btb_assoc; ++way) {
+    if (base[way].valid && base[way].pc == pc) {
+      base[way].lru = ++btb_clock_;
+      btb_hits_.inc();
+      return base[way].target;
+    }
+  }
+  return 0;
+}
+
+void BranchPredictor::ras_push(Addr return_addr) {
+  ras_[ras_top_ % config_.ras_entries] = return_addr;
+  ras_top_ = (ras_top_ + 1) % (2 * config_.ras_entries);
+}
+
+Addr BranchPredictor::ras_pop() {
+  ras_top_ = (ras_top_ + 2 * config_.ras_entries - 1) %
+             (2 * config_.ras_entries);
+  return ras_[ras_top_ % config_.ras_entries];
+}
+
+BpredCheckpoint BranchPredictor::checkpoint() const {
+  return BpredCheckpoint{history_, ras_top_};
+}
+
+void BranchPredictor::restore(const BpredCheckpoint& checkpoint) {
+  history_ = checkpoint.history;
+  ras_top_ = checkpoint.ras_top;
+}
+
+void BranchPredictor::update_branch(Addr pc, bool taken,
+                                    const BpredCheckpoint& at_pred) {
+  if (config_.kind == BpredKind::kTaken ||
+      config_.kind == BpredKind::kNotTaken) {
+    return;
+  }
+  uint8_t& counter = counters_[dir_index(pc, at_pred.history)];
+  if (taken) {
+    if (counter < 3) ++counter;
+  } else {
+    if (counter > 0) --counter;
+  }
+}
+
+void BranchPredictor::update_branch(Addr pc, bool taken) {
+  update_branch(pc, taken, BpredCheckpoint{history_, ras_top_});
+}
+
+void BranchPredictor::update_btb(Addr pc, Addr target) {
+  const uint32_t sets = config_.btb_entries / config_.btb_assoc;
+  const uint32_t set = static_cast<uint32_t>((pc / kInstrBytes) % sets);
+  BtbEntry* base = &btb_[set * config_.btb_assoc];
+  BtbEntry* victim = &base[0];
+  for (uint32_t way = 0; way < config_.btb_assoc; ++way) {
+    BtbEntry& entry = base[way];
+    if (entry.valid && entry.pc == pc) {
+      entry.target = target;
+      entry.lru = ++btb_clock_;
+      return;
+    }
+    if (!entry.valid) {
+      victim = &entry;
+    } else if (victim->valid && entry.lru < victim->lru) {
+      victim = &entry;
+    }
+  }
+  *victim = BtbEntry{true, pc, target, ++btb_clock_};
+}
+
+void BranchPredictor::record_outcome(bool taken) {
+  history_ = ((history_ << 1) | (taken ? 1 : 0)) & low_mask(config_.hist_bits);
+}
+
+void BranchPredictor::reset() {
+  counters_.assign(counters_.size(), 2);
+  history_ = 0;
+  for (auto& entry : btb_) entry = BtbEntry{};
+  btb_clock_ = 0;
+  ras_.assign(ras_.size(), 0);
+  ras_top_ = 0;
+}
+
+}  // namespace wecsim

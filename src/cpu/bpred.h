@@ -1,0 +1,92 @@
+// Branch prediction: direction predictor (bimodal or gshare), a set-
+// associative branch target buffer (paper: 1024-entry, 4-way), and a return
+// address stack. The fetch stage predicts; resolution updates and, on a
+// misprediction, restores the speculative global history / RAS from the
+// checkpoint taken at prediction time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace wecsim {
+
+enum class BpredKind : uint8_t { kBimodal, kGshare, kTaken, kNotTaken };
+
+struct BpredConfig {
+  BpredKind kind = BpredKind::kBimodal;
+  uint32_t table_bits = 11;  // 2048 two-bit counters
+  uint32_t hist_bits = 8;    // gshare global history length
+  uint32_t btb_entries = 1024;
+  uint32_t btb_assoc = 4;
+  uint32_t ras_entries = 8;
+};
+
+/// Speculative state snapshot taken with every prediction; restored on a
+/// misprediction so wrong-path predictions don't corrupt the history.
+struct BpredCheckpoint {
+  uint64_t history = 0;
+  uint32_t ras_top = 0;
+};
+
+class BranchPredictor {
+ public:
+  BranchPredictor(const BpredConfig& config, StatsRegistry& stats,
+                  const std::string& stat_prefix);
+
+  /// Predict a conditional branch at pc. Updates speculative history.
+  bool predict_taken(Addr pc);
+
+  /// BTB lookup (used for indirect jumps). Returns 0 when absent.
+  Addr btb_lookup(Addr pc);
+
+  /// RAS push (on call) / pop (on return). Speculative.
+  void ras_push(Addr return_addr);
+  Addr ras_pop();
+
+  /// Snapshot / restore of speculative state around control instructions.
+  BpredCheckpoint checkpoint() const;
+  void restore(const BpredCheckpoint& checkpoint);
+
+  /// Resolution updates (non-speculative, called when the branch executes).
+  /// The checkpoint taken at prediction time supplies the history the
+  /// prediction was indexed with, so training reinforces the counter that
+  /// actually predicted. The checkpoint-free overload uses the current
+  /// history (fine for bimodal and for tests).
+  void update_branch(Addr pc, bool taken, const BpredCheckpoint& at_pred);
+  void update_branch(Addr pc, bool taken);
+  void update_btb(Addr pc, Addr target);
+
+  /// Commit the real outcome into the global history after a misprediction
+  /// restore (restore() rewinds to pre-prediction state; the real direction
+  /// must then be appended).
+  void record_outcome(bool taken);
+
+  void reset();
+
+ private:
+  uint32_t dir_index(Addr pc, uint64_t history) const;
+
+  BpredConfig config_;
+  std::vector<uint8_t> counters_;  // 2-bit saturating
+  uint64_t history_ = 0;
+
+  struct BtbEntry {
+    bool valid = false;
+    Addr pc = 0;
+    Addr target = 0;
+    uint64_t lru = 0;
+  };
+  std::vector<BtbEntry> btb_;
+  uint64_t btb_clock_ = 0;
+
+  std::vector<Addr> ras_;
+  uint32_t ras_top_ = 0;  // index of next push slot (circular)
+
+  StatsRegistry::Counter lookups_;
+  StatsRegistry::Counter btb_hits_;
+};
+
+}  // namespace wecsim

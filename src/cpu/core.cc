@@ -1,0 +1,624 @@
+#include "cpu/core.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "isa/semantics.h"
+
+namespace wecsim {
+
+namespace {
+
+/// Byte ranges [a, a+an) and [b, b+bn) intersect.
+bool overlaps(Addr a, uint32_t an, Addr b, uint32_t bn) {
+  return a < b + bn && b < a + an;
+}
+
+/// Store [saddr, sn) fully covers load [laddr, ln).
+bool contains(Addr saddr, uint32_t sn, Addr laddr, uint32_t ln) {
+  return saddr <= laddr && laddr + ln <= saddr + sn;
+}
+
+/// Opt-in commit/recovery tracing for debugging (WEC_TRACE2=1).
+bool trace_enabled() {
+  static const bool enabled = std::getenv("WEC_TRACE2") != nullptr;
+  return enabled;
+}
+
+}  // namespace
+
+OooCore::OooCore(const CoreConfig& config, const Program& program,
+                 CoreEnv& env, StatsRegistry& stats,
+                 const std::string& stat_prefix)
+    : config_(config),
+      program_(program),
+      env_(env),
+      bpred_(config.bpred, stats, stat_prefix),
+      stat_committed_(stats.counter(stat_prefix + "core.committed")),
+      stat_mispredicts_(stats.counter(stat_prefix + "core.mispredicts")),
+      stat_branches_(stats.counter(stat_prefix + "core.branches")),
+      stat_wrong_path_loads_(
+          stats.counter(stat_prefix + "core.wrong_path_loads")) {
+  rat_int_.fill(-1);
+  rat_fp_.fill(-1);
+}
+
+void OooCore::start(Addr pc, const std::array<Word, kNumIntRegs>& int_regs,
+                    const std::array<Word, kNumFpRegs>& fp_regs) {
+  int_regs_ = int_regs;
+  fp_regs_ = fp_regs;
+  int_regs_[0] = 0;
+  rat_int_.fill(-1);
+  rat_fp_.fill(-1);
+  rob_.clear();
+  fetch_queue_.clear();
+  recoveries_.clear();
+  wrong_path_queue_.clear();
+  fetch_pc_ = pc;
+  fetch_blocked_ = false;
+  fetch_ready_cycle_ = 0;
+  fetch_block_ = kBadAddr;
+  active_ = true;
+  halted_ = false;
+}
+
+void OooCore::start(Addr pc) {
+  start(pc, std::array<Word, kNumIntRegs>{}, std::array<Word, kNumFpRegs>{});
+}
+
+void OooCore::stop() {
+  rob_.clear();
+  fetch_queue_.clear();
+  recoveries_.clear();
+  wrong_path_queue_.clear();
+  rat_int_.fill(-1);
+  rat_fp_.fill(-1);
+  active_ = false;
+}
+
+void OooCore::tick(Cycle now) {
+  if (!active_) return;
+  fu_used_.fill(0);
+  do_recoveries(now);
+  do_commit(now);
+  if (!active_) return;  // thread ended this cycle
+  do_issue(now);
+  do_dispatch(now);
+  do_fetch(now);
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+OooCore::RobEntry* OooCore::entry_for(SeqNum seq) {
+  if (rob_.empty()) return nullptr;
+  const SeqNum head = rob_.front().seq;
+  if (seq < head || seq >= head + rob_.size()) return nullptr;
+  return &rob_[seq - head];
+}
+
+bool OooCore::operand_ready(const Operand& op, Cycle now) {
+  if (op.file == RegFile::kNone || !op.from_rob) return true;
+  const RobEntry* producer = entry_for(op.producer);
+  if (producer == nullptr) return true;  // producer committed
+  return producer->completed(now);
+}
+
+Word OooCore::operand_value(const Operand& op) {
+  if (op.file == RegFile::kNone) return 0;
+  if (!op.from_rob) return op.value;
+  const RobEntry* producer = entry_for(op.producer);
+  if (producer != nullptr) return producer->result;
+  // Producer already committed; the committed file holds its value (no
+  // younger writer of this register can have committed before us).
+  return op.file == RegFile::kInt ? int_regs_[op.reg] : fp_regs_[op.reg];
+}
+
+uint32_t OooCore::fu_limit(FuClass fu) const {
+  switch (fu) {
+    case FuClass::kIntAlu:
+      return config_.int_alu;
+    case FuClass::kIntMult:
+      return config_.int_mult;
+    case FuClass::kFpAlu:
+      return config_.fp_alu;
+    case FuClass::kFpMult:
+      return config_.fp_mult;
+    case FuClass::kLsu:
+      return config_.mem_ports;
+    case FuClass::kNone:
+      return ~0u;
+  }
+  return ~0u;
+}
+
+// ---------------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------------
+
+void OooCore::do_commit(Cycle now) {
+  uint32_t committed = 0;
+  while (!rob_.empty() && committed < config_.issue_width) {
+    RobEntry& head = rob_.front();
+    if (!head.completed(now)) break;
+    const OpcodeInfo& info = opcode_info(head.instr.op);
+
+    if (info.kind == InstrKind::kThread) {
+      const auto action = env_.thread_op(head.instr, head.mem_addr, now);
+      if (action == CoreEnv::ThreadOpAction::kRetry) break;
+      if (action == CoreEnv::ThreadOpAction::kEndThread) {
+        core_stats_.committed += 1;
+        stat_committed_.inc();
+        stop();
+        return;
+      }
+      // kDone falls through to normal retirement.
+    } else if (head.instr.op == Opcode::kHalt) {
+      core_stats_.committed += 1;
+      stat_committed_.inc();
+      halted_ = true;
+      stop();
+      return;
+    } else if (info.kind == InstrKind::kStore) {
+      env_.commit_store(head.mem_addr, head.store_value,
+                        head.instr.mem_bytes(), now);
+      ++core_stats_.committed_stores;
+    } else if (info.kind == InstrKind::kLoad) {
+      ++core_stats_.committed_loads;
+    }
+
+    if (head.instr.writes_reg()) {
+      if (info.dst == RegFile::kInt) {
+        if (head.instr.rd != 0) int_regs_[head.instr.rd] = head.result;
+        if (rat_int_[head.instr.rd] == static_cast<int64_t>(head.seq)) {
+          rat_int_[head.instr.rd] = -1;
+        }
+      } else {
+        fp_regs_[head.instr.rd] = head.result;
+        if (rat_fp_[head.instr.rd] == static_cast<int64_t>(head.seq)) {
+          rat_fp_[head.instr.rd] = -1;
+        }
+      }
+    }
+    if (trace_enabled()) {
+      fprintf(stderr, "C%llu seq=%llu pc=0x%llx %s\n", (unsigned long long)now,
+              (unsigned long long)head.seq,
+              (unsigned long long)head.pc, opcode_name(head.instr.op));
+    }
+    ++core_stats_.committed;
+    stat_committed_.inc();
+    ++committed;
+    rob_.pop_front();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Misprediction recovery + wrong-path load harvesting
+// ---------------------------------------------------------------------------
+
+void OooCore::do_recoveries(Cycle now) {
+  // Oldest ready recovery wins; recoveries for squashed branches are dropped.
+  std::sort(recoveries_.begin(), recoveries_.end(),
+            [](const PendingRecovery& a, const PendingRecovery& b) {
+              return a.seq < b.seq;
+            });
+  for (size_t i = 0; i < recoveries_.size(); ++i) {
+    const PendingRecovery rec = recoveries_[i];
+    if (rec.at > now) continue;
+    RobEntry* branch = entry_for(rec.seq);
+    if (branch == nullptr) {
+      // The branch itself was squashed by an older recovery.
+      recoveries_.erase(recoveries_.begin() + i);
+      --i;
+      continue;
+    }
+    // Rewind speculative predictor state to just before this prediction,
+    // then record the real outcome.
+    bpred_.restore(branch->bp_ckpt);
+    if (branch->instr.is_branch()) bpred_.record_outcome(rec.actual_taken);
+
+    if (trace_enabled()) {
+      fprintf(stderr, "R%llu squash seq=%llu redirect=0x%llx\n",
+              (unsigned long long)now, (unsigned long long)rec.seq,
+              (unsigned long long)rec.correct_pc);
+    }
+    if (config_.wrong_path_exec) harvest_wrong_path_loads(rec.seq, now);
+    squash_after(rec.seq, now);
+    redirect_fetch(rec.correct_pc, now + 1 + config_.mispredict_penalty);
+    recoveries_.erase(recoveries_.begin() + i);
+    return;  // one recovery per cycle
+  }
+}
+
+void OooCore::harvest_wrong_path_loads(SeqNum branch_seq, Cycle now) {
+  for (RobEntry& entry : rob_) {
+    if (entry.seq <= branch_seq) continue;
+    if (!entry.instr.is_load() || entry.issued) continue;
+    // The load's effective address must be computable from state that
+    // survives the flush: a committed producer or an older-than-the-branch
+    // completed producer (paper Fig. 3: loads C and D; load E is squashed).
+    const Operand& base = entry.src1;
+    bool addr_available;
+    if (!base.from_rob) {
+      addr_available = true;
+    } else {
+      const RobEntry* producer = entry_for(base.producer);
+      addr_available = producer == nullptr ||
+                       (producer->seq <= branch_seq && producer->completed(now));
+    }
+    if (!addr_available) continue;
+    const Addr addr = eval_mem_addr(entry.instr, operand_value(entry.src1));
+    wrong_path_queue_.push_back(addr);
+    ++core_stats_.wrong_path_loads_issued;
+    stat_wrong_path_loads_.inc();
+  }
+}
+
+void OooCore::squash_after(SeqNum seq, Cycle now) {
+  (void)now;
+  RobEntry* keep = entry_for(seq);
+  WEC_CHECK(keep != nullptr);
+  // Restore the rename table from the control instruction's checkpoint
+  // (taken right after its own rename), then drop the younger suffix.
+  WEC_CHECK(keep->has_rat_ckpt);
+  rat_int_ = keep->rat_int_ckpt;
+  rat_fp_ = keep->rat_fp_ckpt;
+  while (!rob_.empty() && rob_.back().seq > seq) rob_.pop_back();
+  // Reuse the squashed sequence numbers: entry_for() indexes the ROB as a
+  // window of consecutive seqs, so the next dispatch must continue right
+  // after the surviving tail.
+  next_seq_ = seq + 1;
+  std::erase_if(recoveries_, [seq](const PendingRecovery& r) {
+    return r.seq > seq;
+  });
+  fetch_queue_.clear();
+  fetch_blocked_ = false;
+}
+
+void OooCore::redirect_fetch(Addr pc, Cycle when) {
+  fetch_pc_ = pc;
+  fetch_ready_cycle_ = when;
+  fetch_block_ = kBadAddr;
+  fetch_blocked_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Issue / execute
+// ---------------------------------------------------------------------------
+
+OooCore::LoadOrder OooCore::check_older_stores(const RobEntry& load, Cycle now,
+                                               Word* value) {
+  const uint32_t load_bytes = load.instr.mem_bytes();
+  // Scan younger→older so the *youngest* older matching store forwards.
+  for (auto it = rob_.rbegin(); it != rob_.rend(); ++it) {
+    const RobEntry& entry = *it;
+    if (entry.seq >= load.seq) continue;
+    if (!entry.instr.is_store()) continue;
+    if (!entry.addr_known) return LoadOrder::kWait;  // conservative ordering
+    const uint32_t store_bytes = entry.instr.mem_bytes();
+    if (!overlaps(entry.mem_addr, store_bytes, load.mem_addr, load_bytes)) {
+      continue;
+    }
+    if (contains(entry.mem_addr, store_bytes, load.mem_addr, load_bytes) &&
+        entry.completed(now)) {
+      const uint32_t shift =
+          static_cast<uint32_t>(load.mem_addr - entry.mem_addr) * 8;
+      *value = (entry.store_value >> shift) &
+               low_mask(8 * std::min(load_bytes, 8u));
+      return LoadOrder::kForward;
+    }
+    // Partial overlap or data not ready: wait until the store retires.
+    return LoadOrder::kWait;
+  }
+  return LoadOrder::kToCache;
+}
+
+void OooCore::resolve_control(RobEntry& entry, Cycle now) {
+  const Instruction& instr = entry.instr;
+  entry.done_cycle = now + 1;
+  if (instr.is_branch()) {
+    const bool actual = eval_branch(instr, operand_value(entry.src1),
+                                    operand_value(entry.src2));
+    const Addr target = actual ? static_cast<Addr>(instr.imm)
+                               : entry.pc + kInstrBytes;
+    ++core_stats_.branches;
+    stat_branches_.inc();
+    bpred_.update_branch(entry.pc, actual, entry.bp_ckpt);
+    if (actual) bpred_.update_btb(entry.pc, target);
+    if (actual != entry.predicted_taken) {
+      ++core_stats_.mispredicts;
+      stat_mispredicts_.inc();
+      if (trace_enabled())
+        fprintf(stderr, "M%llu seq=%llu pc=0x%llx pred=%d actual=%d tgt=0x%llx\n",
+                (unsigned long long)now, (unsigned long long)entry.seq,
+                (unsigned long long)entry.pc, (int)entry.predicted_taken,
+                (int)actual, (unsigned long long)target);
+      recoveries_.push_back({entry.seq, now + 1, target, actual});
+    }
+    return;
+  }
+  // Jumps.
+  entry.result = entry.pc + kInstrBytes;  // link value
+  if (instr.op == Opcode::kJal) return;   // fetch already followed the target
+  const Addr target = eval_mem_addr(instr, operand_value(entry.src1));
+  bpred_.update_btb(entry.pc, target);
+  if (target != entry.next_fetch_pc) {
+    ++core_stats_.mispredicts;
+    stat_mispredicts_.inc();
+    recoveries_.push_back({entry.seq, now + 1, target, true});
+  }
+}
+
+void OooCore::execute_entry(RobEntry& entry, Cycle now,
+                            uint32_t* mem_ports_used) {
+  const Instruction& instr = entry.instr;
+  const OpcodeInfo& info = opcode_info(instr.op);
+  entry.issued = true;
+  entry.completed_flag = true;
+
+  switch (info.kind) {
+    case InstrKind::kAlu:
+      entry.result = eval_alu(instr, operand_value(entry.src1),
+                              operand_value(entry.src2));
+      entry.done_cycle = now + info.latency;
+      break;
+    case InstrKind::kLoad: {
+      Word forwarded = 0;
+      // mem_addr/addr_known were established by the caller.
+      const LoadOrder order = check_older_stores(entry, now, &forwarded);
+      WEC_CHECK(order != LoadOrder::kWait);
+      if (order == LoadOrder::kForward) {
+        entry.result = extend_loaded(instr.op, forwarded);
+        entry.done_cycle = now + 1;
+      } else {
+        ++*mem_ports_used;
+        const Word raw = env_.read_data(entry.mem_addr, instr.mem_bytes());
+        entry.result = extend_loaded(instr.op, raw);
+        const MemOutcome outcome =
+            env_.cache_load(entry.mem_addr, env_.mode(), now);
+        entry.done_cycle = outcome.done;
+      }
+      break;
+    }
+    case InstrKind::kStore:
+      entry.store_value = operand_value(entry.src2);
+      entry.done_cycle = now + 1;
+      break;
+    case InstrKind::kBranch:
+    case InstrKind::kJump:
+      resolve_control(entry, now);
+      break;
+    case InstrKind::kSys:
+      entry.done_cycle = now + 1;
+      break;
+    case InstrKind::kThread:
+      // tsaddr computes its target-store address here; all thread ops act
+      // at commit.
+      if (instr.op == Opcode::kTsaddr) {
+        entry.mem_addr = eval_mem_addr(instr, operand_value(entry.src1));
+        entry.addr_known = true;
+      }
+      entry.done_cycle = now + 1;
+      break;
+  }
+}
+
+namespace {
+/// Region-boundary thread ops act as load barriers: a load must not read
+/// memory until every older begin/abort/thend/endpar has committed, because
+/// those ops order this thread's view of memory against other threads'
+/// write-back stages (paper Section 2.2: write-back is in program order).
+bool is_load_barrier(Opcode op) {
+  return op == Opcode::kBegin || op == Opcode::kAbort ||
+         op == Opcode::kThend || op == Opcode::kEndpar;
+}
+}  // namespace
+
+void OooCore::do_issue(Cycle now) {
+  uint32_t issued = 0;
+  uint32_t mem_ports_used = 0;
+  SeqNum barrier_seq = ~SeqNum{0};
+  for (const RobEntry& entry : rob_) {
+    if (is_load_barrier(entry.instr.op)) {
+      barrier_seq = entry.seq;  // oldest uncommitted barrier
+      break;
+    }
+  }
+
+  for (RobEntry& entry : rob_) {
+    if (issued >= config_.issue_width) break;
+    if (entry.issued) continue;
+    const OpcodeInfo& info = opcode_info(entry.instr.op);
+
+    // Early store-address computation (AGU): lets younger loads disambiguate
+    // before the store's data operand is ready.
+    if (entry.instr.is_store() && !entry.addr_known &&
+        operand_ready(entry.src1, now)) {
+      entry.mem_addr = eval_mem_addr(entry.instr, operand_value(entry.src1));
+      entry.addr_known = true;
+    }
+
+    if (!operand_ready(entry.src1, now) || !operand_ready(entry.src2, now)) {
+      continue;
+    }
+    if (info.fu != FuClass::kNone && fu_used_[static_cast<int>(info.fu)] >=
+                                         fu_limit(info.fu)) {
+      continue;
+    }
+
+    if (entry.instr.is_load()) {
+      if (entry.seq > barrier_seq) continue;  // don't cross region boundaries
+      if (mem_ports_used >= config_.mem_ports) continue;
+      entry.mem_addr = eval_mem_addr(entry.instr, operand_value(entry.src1));
+      entry.addr_known = true;
+      Word forwarded = 0;
+      const LoadOrder order = check_older_stores(entry, now, &forwarded);
+      if (order == LoadOrder::kWait) continue;
+      if (order == LoadOrder::kToCache &&
+          env_.check_load(entry.mem_addr, entry.instr.mem_bytes()) ==
+              CoreEnv::LoadGate::kStall) {
+        continue;  // run-time dependence: upstream value not yet forwarded
+      }
+    }
+
+    execute_entry(entry, now, &mem_ports_used);
+    if (info.fu != FuClass::kNone) ++fu_used_[static_cast<int>(info.fu)];
+    ++issued;
+  }
+
+  // Wrong-execution loads drain through whatever memory ports remain.
+  const uint32_t ports_left =
+      config_.mem_ports > mem_ports_used ? config_.mem_ports - mem_ports_used
+                                         : 0;
+  drain_wrong_path_loads(now, ports_left);
+}
+
+void OooCore::drain_wrong_path_loads(Cycle now, uint32_t ports_left) {
+  const ExecMode mode = env_.mode() == ExecMode::kCorrect
+                            ? ExecMode::kWrongPath
+                            : ExecMode::kWrongThread;
+  while (ports_left > 0 && !wrong_path_queue_.empty()) {
+    const Addr addr = wrong_path_queue_.front();
+    wrong_path_queue_.pop_front();
+    env_.cache_load(addr, mode, now);
+    --ports_left;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+void OooCore::do_dispatch(Cycle now) {
+  (void)now;
+  uint32_t dispatched = 0;
+  auto lsq_count = [this] {
+    uint32_t n = 0;
+    for (const RobEntry& e : rob_) n += e.instr.is_mem() ? 1 : 0;
+    return n;
+  };
+  uint32_t lsq_used = lsq_count();
+
+  while (!fetch_queue_.empty() && dispatched < config_.issue_width &&
+         rob_.size() < config_.rob_size) {
+    const FetchedInstr& fetched = fetch_queue_.front();
+    if (fetched.instr.is_mem() && lsq_used >= config_.lsq_size) break;
+
+    RobEntry entry;
+    entry.seq = next_seq_++;
+    WEC_CHECK_MSG(rob_.empty() || rob_.back().seq + 1 == entry.seq,
+                  "ROB sequence numbers must stay contiguous");
+    entry.pc = fetched.pc;
+    entry.instr = fetched.instr;
+    entry.predicted_taken = fetched.predicted_taken;
+    entry.next_fetch_pc = fetched.next_fetch_pc;
+    entry.bp_ckpt = fetched.bp_ckpt;
+
+    const OpcodeInfo& info = opcode_info(entry.instr.op);
+    auto make_operand = [&](RegFile file, RegId reg) {
+      Operand op;
+      op.file = file;
+      op.reg = reg;
+      if (file == RegFile::kNone) return op;
+      const int64_t producer =
+          file == RegFile::kInt ? rat_int_[reg] : rat_fp_[reg];
+      if (producer >= 0) {
+        op.from_rob = true;
+        op.producer = static_cast<SeqNum>(producer);
+      } else {
+        op.value = file == RegFile::kInt ? int_regs_[reg] : fp_regs_[reg];
+      }
+      return op;
+    };
+    entry.src1 = make_operand(info.src1, entry.instr.rs1);
+    entry.src2 = make_operand(info.src2, entry.instr.rs2);
+
+    // Rename the destination, then checkpoint the RAT for control ops.
+    if (info.dst == RegFile::kInt) {
+      if (entry.instr.rd != 0) {
+        rat_int_[entry.instr.rd] = static_cast<int64_t>(entry.seq);
+      }
+    } else if (info.dst == RegFile::kFp) {
+      rat_fp_[entry.instr.rd] = static_cast<int64_t>(entry.seq);
+    }
+    entry.is_control = entry.instr.is_control();
+    if (entry.is_control) {
+      entry.has_rat_ckpt = true;
+      entry.rat_int_ckpt = rat_int_;
+      entry.rat_fp_ckpt = rat_fp_;
+    }
+
+    if (entry.instr.is_mem()) ++lsq_used;
+    rob_.push_back(std::move(entry));
+    fetch_queue_.pop_front();
+    ++dispatched;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------------
+
+void OooCore::do_fetch(Cycle now) {
+  if (fetch_blocked_ || now < fetch_ready_cycle_) return;
+  uint32_t fetched = 0;
+  while (fetched < config_.fetch_width &&
+         fetch_queue_.size() < config_.fetch_queue_size) {
+    // Instruction-cache access per fetch block.
+    const Addr block = align_down(fetch_pc_, config_.ifetch_block_bytes);
+    if (block != fetch_block_) {
+      const Cycle ready = env_.cache_ifetch(fetch_pc_, now);
+      fetch_block_ = block;
+      if (ready > now) {
+        fetch_ready_cycle_ = ready;
+        return;
+      }
+    }
+    const Instruction* instr = program_.fetch(fetch_pc_);
+    if (instr == nullptr) {
+      // Ran off the text segment (deep wrong path): wait for a redirect.
+      fetch_blocked_ = true;
+      return;
+    }
+
+    FetchedInstr f;
+    f.pc = fetch_pc_;
+    f.instr = *instr;
+    f.bp_ckpt = bpred_.checkpoint();
+    Addr next = fetch_pc_ + kInstrBytes;
+
+    if (instr->is_branch()) {
+      f.predicted_taken = bpred_.predict_taken(fetch_pc_);
+      if (f.predicted_taken) next = static_cast<Addr>(instr->imm);
+    } else if (instr->op == Opcode::kJal) {
+      if (instr->rd == 31) bpred_.ras_push(fetch_pc_ + kInstrBytes);
+      next = static_cast<Addr>(instr->imm);
+      f.predicted_taken = true;
+    } else if (instr->op == Opcode::kJalr) {
+      Addr target = 0;
+      if (instr->rd == 0 && instr->rs1 == 31) {
+        target = bpred_.ras_pop();  // return
+      } else {
+        target = bpred_.btb_lookup(fetch_pc_);
+      }
+      if (target == 0) target = fetch_pc_ + kInstrBytes;  // hope & recover
+      next = target;
+      f.predicted_taken = true;
+    } else if (instr->op == Opcode::kHalt) {
+      fetch_blocked_ = true;  // nothing sensible follows halt
+    }
+
+    f.next_fetch_pc = next;
+    fetch_queue_.push_back(f);
+    fetch_pc_ = next;
+    ++fetched;
+    if (fetch_blocked_) return;
+    // A taken control transfer ends the fetch group.
+    if (next != f.pc + kInstrBytes) break;
+  }
+}
+
+}  // namespace wecsim

@@ -1,0 +1,254 @@
+// Out-of-order superscalar core (one per thread unit), in the style of
+// SimpleScalar's sim-outorder: speculative fetch with branch prediction,
+// register renaming via a ROB-based architecture (each in-flight instruction
+// carries its operand producers and result), load/store queue ordering with
+// store-to-load forwarding, FU pools, in-order commit, and checkpointed
+// misprediction recovery.
+//
+// Wrong-path execution (paper Section 3.1.1): when a mispredicted branch
+// resolves, younger loads whose effective address is already computable
+// (base-register producer older than the branch and complete, or read from
+// the committed register file) are issued to the memory hierarchy as
+// wrong-execution loads before the pipeline is flushed. Their values are
+// discarded; only the cache state changes. Loads whose address depends on a
+// flushed producer are squashed, exactly as in the paper's Figure 3.
+//
+// The core is driven cycle-by-cycle by the superthreaded processor, and all
+// thread-level behaviour (fork/abort/write-back, memory buffers, the
+// wrong-thread mode) is delegated to a CoreEnv implemented by the owner.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "cpu/bpred.h"
+#include "isa/program.h"
+#include "mem/mem_system.h"
+
+namespace wecsim {
+
+struct CoreConfig {
+  uint32_t fetch_width = 8;
+  uint32_t issue_width = 8;   // also dispatch and commit width
+  uint32_t rob_size = 64;
+  uint32_t lsq_size = 64;
+  uint32_t int_alu = 8;
+  uint32_t int_mult = 4;
+  uint32_t fp_alu = 8;
+  uint32_t fp_mult = 4;
+  uint32_t mem_ports = 2;
+  uint32_t fetch_queue_size = 16;
+  uint32_t mispredict_penalty = 2;  // recovery cycles after resolution
+  uint32_t ifetch_block_bytes = 64;  // L1I block size (fetch-group tracking)
+  BpredConfig bpred;
+  bool wrong_path_exec = false;  // wp configurations
+};
+
+/// Everything thread- and memory-specific the core needs from its owner.
+class CoreEnv {
+ public:
+  virtual ~CoreEnv() = default;
+
+  /// Architectural value of a memory location as seen by this thread
+  /// (speculative memory buffer first, then global memory).
+  virtual Word read_data(Addr addr, uint32_t bytes) = 0;
+
+  /// Run-time dependence gate for loads (paper Section 2.2): a load whose
+  /// address matches a forwarded target-store entry with no data yet must
+  /// stall until the upstream value arrives.
+  enum class LoadGate : uint8_t { kProceed, kStall };
+  virtual LoadGate check_load(Addr addr, uint32_t bytes) = 0;
+
+  /// A store leaving the ROB: sequential mode writes memory + cache;
+  /// parallel mode writes the speculative memory buffer.
+  virtual void commit_store(Addr addr, Word value, uint32_t bytes,
+                            Cycle now) = 0;
+
+  /// Timing path for data loads / instruction fetch.
+  virtual MemOutcome cache_load(Addr addr, ExecMode mode, Cycle now) = 0;
+  virtual Cycle cache_ifetch(Addr pc, Cycle now) = 0;
+
+  /// A superthreaded op (fork/abort/begin/tsaddr/tsagd/thend/endpar) at the
+  /// commit point. kRetry = try again next cycle (waiting on a resource or
+  /// an upstream flag); kDone = committed; kEndThread = the thread is over
+  /// (thend committed, or a wrong thread killed itself at abort).
+  /// mem_addr carries the computed effective address for tsaddr.
+  enum class ThreadOpAction : uint8_t { kRetry, kDone, kEndThread };
+  virtual ThreadOpAction thread_op(const Instruction& instr, Addr mem_addr,
+                                   Cycle now) = 0;
+
+  /// Thread-level execution mode: kCorrect, or kWrongThread once the thread
+  /// has been marked wrong by an upstream abort.
+  virtual ExecMode mode() const = 0;
+};
+
+/// Per-run committed-instruction statistics of one core.
+struct CoreStats {
+  uint64_t committed = 0;
+  uint64_t committed_loads = 0;
+  uint64_t committed_stores = 0;
+  uint64_t branches = 0;
+  uint64_t mispredicts = 0;
+  uint64_t wrong_path_loads_issued = 0;  // loads issued after resolution
+};
+
+class OooCore {
+ public:
+  OooCore(const CoreConfig& config, const Program& program, CoreEnv& env,
+          StatsRegistry& stats, const std::string& stat_prefix);
+
+  /// Begin executing at pc with the given architectural register state
+  /// (a fork's register snapshot).
+  void start(Addr pc, const std::array<Word, kNumIntRegs>& int_regs,
+             const std::array<Word, kNumFpRegs>& fp_regs);
+  void start(Addr pc);
+
+  /// Advance one cycle. No-op when idle or halted.
+  void tick(Cycle now);
+
+  /// External kill (thread aborted by predecessor / begin). Clears all
+  /// in-flight state; the committed register file survives for inspection.
+  void stop();
+
+  bool active() const { return active_; }
+  bool halted() const { return halted_; }
+
+  /// Committed architectural state.
+  Word int_reg(RegId r) const { return int_regs_[r]; }
+  Word fp_reg(RegId r) const { return fp_regs_[r]; }
+  const std::array<Word, kNumIntRegs>& int_regs() const { return int_regs_; }
+  const std::array<Word, kNumFpRegs>& fp_regs() const { return fp_regs_; }
+
+  const CoreStats& core_stats() const { return core_stats_; }
+  BranchPredictor& predictor() { return bpred_; }
+
+ private:
+  // --- pipeline structures -----------------------------------------------
+
+  struct FetchedInstr {
+    Addr pc = 0;
+    Instruction instr;
+    bool predicted_taken = false;
+    Addr next_fetch_pc = 0;  // where fetch continued after this instruction
+    BpredCheckpoint bp_ckpt; // taken before this instruction's prediction
+  };
+
+  /// Operand source: either a ROB producer (by sequence number) or a value
+  /// latched from the committed register file at dispatch.
+  struct Operand {
+    bool from_rob = false;
+    SeqNum producer = 0;  // valid when from_rob
+    Word value = 0;       // valid when !from_rob
+    RegFile file = RegFile::kNone;
+    RegId reg = 0;        // architectural register (committed-file fallback)
+  };
+
+  struct RobEntry {
+    SeqNum seq = 0;
+    Addr pc = 0;
+    Instruction instr;
+    Operand src1;
+    Operand src2;
+    bool issued = false;
+    bool completed_flag = false;  // result computed
+    Cycle done_cycle = kNoCycle;  // result available / mem access finished
+    Word result = 0;
+    // Memory state.
+    Addr mem_addr = 0;
+    bool addr_known = false;
+    Word store_value = 0;
+    // Control state.
+    bool predicted_taken = false;
+    Addr next_fetch_pc = 0;
+    BpredCheckpoint bp_ckpt;
+    bool is_control = false;
+    bool has_rat_ckpt = false;
+    std::array<int64_t, kNumIntRegs> rat_int_ckpt{};
+    std::array<int64_t, kNumFpRegs> rat_fp_ckpt{};
+
+    bool completed(Cycle now) const {
+      return completed_flag && done_cycle <= now;
+    }
+  };
+
+  struct PendingRecovery {
+    SeqNum seq;       // the mispredicted control instruction
+    Cycle at;         // resolution cycle
+    Addr correct_pc;  // redirect target
+    bool actual_taken;
+  };
+
+  // --- stages --------------------------------------------------------------
+
+  void do_commit(Cycle now);
+  void do_recoveries(Cycle now);
+  void do_issue(Cycle now);
+  void do_dispatch(Cycle now);
+  void do_fetch(Cycle now);
+  void drain_wrong_path_loads(Cycle now, uint32_t ports_left);
+
+  // --- helpers -------------------------------------------------------------
+
+  RobEntry* entry_for(SeqNum seq);
+  bool operand_ready(const Operand& op, Cycle now);
+  Word operand_value(const Operand& op);
+  /// Scan older stores for ordering/forwarding. Returns:
+  ///   kForward (value set), kWait (must stall), kToCache.
+  enum class LoadOrder : uint8_t { kForward, kWait, kToCache };
+  LoadOrder check_older_stores(const RobEntry& load, Cycle now, Word* value);
+  void execute_entry(RobEntry& entry, Cycle now, uint32_t* mem_ports_used);
+  void resolve_control(RobEntry& entry, Cycle now);
+  void squash_after(SeqNum seq, Cycle now);
+  void harvest_wrong_path_loads(SeqNum branch_seq, Cycle now);
+  void redirect_fetch(Addr pc, Cycle when);
+  uint32_t fu_limit(FuClass fu) const;
+
+  // --- members ---------------------------------------------------------
+
+  CoreConfig config_;
+  const Program& program_;
+  CoreEnv& env_;
+  BranchPredictor bpred_;
+
+  bool active_ = false;
+  bool halted_ = false;
+
+  // Committed architectural state.
+  std::array<Word, kNumIntRegs> int_regs_{};
+  std::array<Word, kNumFpRegs> fp_regs_{};
+
+  // Rename table: seq of the latest in-flight producer, or -1.
+  std::array<int64_t, kNumIntRegs> rat_int_{};
+  std::array<int64_t, kNumFpRegs> rat_fp_{};
+
+  // Reorder buffer: consecutive seq numbers, head at front.
+  std::deque<RobEntry> rob_;
+  SeqNum next_seq_ = 1;
+
+  // Fetch state.
+  std::deque<FetchedInstr> fetch_queue_;
+  Addr fetch_pc_ = 0;
+  bool fetch_blocked_ = false;     // ran off the text segment / halt fetched
+  Cycle fetch_ready_cycle_ = 0;    // I-cache fill / redirect penalty
+  Addr fetch_block_ = kBadAddr;    // last block touched in the I-cache
+
+  std::vector<PendingRecovery> recoveries_;
+  std::deque<Addr> wrong_path_queue_;  // addresses awaiting wrong-exec issue
+
+  // Per-cycle FU accounting (rebuilt each tick).
+  std::array<uint32_t, 5> fu_used_{};
+
+  CoreStats core_stats_;
+  StatsRegistry::Counter stat_committed_;
+  StatsRegistry::Counter stat_mispredicts_;
+  StatsRegistry::Counter stat_branches_;
+  StatsRegistry::Counter stat_wrong_path_loads_;
+};
+
+}  // namespace wecsim

@@ -1,0 +1,179 @@
+#include "func/interpreter.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "isa/semantics.h"
+
+namespace wecsim {
+
+Interpreter::Interpreter(const Program& program, FlatMemory& memory)
+    : program_(program), memory_(memory), pc_(program.entry()) {}
+
+void Interpreter::reset() {
+  pc_ = program_.entry();
+  halted_ = false;
+  in_parallel_ = false;
+  int_regs_.fill(0);
+  fp_regs_.fill(0);
+  pending_.clear();
+  result_ = FuncResult{};
+}
+
+double Interpreter::fp_reg_double(RegId r) const {
+  double d;
+  const Word bits = fp_regs_[r];
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+void Interpreter::exec_thread_op(const Instruction& instr) {
+  switch (instr.op) {
+    case Opcode::kBegin:
+      // Hardware: kill lingering wrong threads. Functionally: open a region.
+      in_parallel_ = true;
+      ++result_.parallel_regions;
+      break;
+    case Opcode::kFork:
+    case Opcode::kForksp: {
+      if (!in_parallel_) {
+        throw SimError("fork outside a parallel region at pc 0x" +
+                       std::to_string(pc_));
+      }
+      PendingThread child;
+      child.start_pc = static_cast<Addr>(instr.imm);
+      child.int_regs = int_regs_;
+      child.fp_regs = fp_regs_;
+      child.speculative = instr.op == Opcode::kForksp;
+      pending_.push_back(child);
+      ++result_.forks;
+      break;
+    }
+    case Opcode::kAbort:
+      // Kill all successor threads. Functionally: discard pending forks.
+      pending_.clear();
+      break;
+    case Opcode::kTsaddr:
+    case Opcode::kTsagd:
+      // Target-store bookkeeping has no architectural effect; the sequential
+      // order already realizes every cross-thread dependence.
+      break;
+    case Opcode::kThend: {
+      if (pending_.empty()) {
+        throw SimError(
+            "thend with no successor thread (missing fork or abort?) at pc "
+            "0x" + std::to_string(pc_));
+      }
+      PendingThread next = pending_.front();
+      pending_.pop_front();
+      int_regs_ = next.int_regs;
+      fp_regs_ = next.fp_regs;
+      pc_ = next.start_pc - kInstrBytes;  // step() adds kInstrBytes back
+      break;
+    }
+    case Opcode::kEndpar:
+      if (!pending_.empty()) {
+        throw SimError("endpar with live successor threads at pc 0x" +
+                       std::to_string(pc_));
+      }
+      in_parallel_ = false;
+      break;
+    default:
+      WEC_CHECK_MSG(false, "not a thread opcode");
+  }
+}
+
+bool Interpreter::step() {
+  if (halted_) return false;
+  const Instruction* instr = program_.fetch(pc_);
+  if (instr == nullptr) {
+    throw SimError("functional: PC outside text segment: 0x" +
+                   std::to_string(pc_));
+  }
+  ++result_.instrs_total;
+  if (in_parallel_) ++result_.instrs_parallel;
+
+  const OpcodeInfo& info = opcode_info(instr->op);
+  Addr next_pc = pc_ + kInstrBytes;
+
+  auto src = [&](RegFile file, RegId r) -> Word {
+    switch (file) {
+      case RegFile::kInt:
+        return int_regs_[r];
+      case RegFile::kFp:
+        return fp_regs_[r];
+      case RegFile::kNone:
+        return 0;
+    }
+    return 0;
+  };
+  auto write_dst = [&](Word value) {
+    if (info.dst == RegFile::kInt) {
+      if (instr->rd != 0) int_regs_[instr->rd] = value;
+    } else if (info.dst == RegFile::kFp) {
+      fp_regs_[instr->rd] = value;
+    }
+  };
+
+  switch (info.kind) {
+    case InstrKind::kAlu:
+      write_dst(eval_alu(*instr, src(info.src1, instr->rs1),
+                         src(info.src2, instr->rs2)));
+      break;
+    case InstrKind::kLoad: {
+      const Addr addr = eval_mem_addr(*instr, int_regs_[instr->rs1]);
+      const uint64_t raw = memory_.read(addr, instr->mem_bytes());
+      write_dst(extend_loaded(instr->op, raw));
+      ++result_.loads;
+      break;
+    }
+    case InstrKind::kStore: {
+      const Addr addr = eval_mem_addr(*instr, int_regs_[instr->rs1]);
+      const Word data = src(info.src2, instr->rs2);
+      memory_.write(addr, data, instr->mem_bytes());
+      ++result_.stores;
+      break;
+    }
+    case InstrKind::kBranch: {
+      const bool taken =
+          eval_branch(*instr, int_regs_[instr->rs1], int_regs_[instr->rs2]);
+      ++result_.branches;
+      if (taken) {
+        ++result_.branches_taken;
+        next_pc = static_cast<Addr>(instr->imm);
+      }
+      break;
+    }
+    case InstrKind::kJump: {
+      const Addr target = instr->op == Opcode::kJal
+                              ? static_cast<Addr>(instr->imm)
+                              : eval_mem_addr(*instr, int_regs_[instr->rs1]);
+      write_dst(pc_ + kInstrBytes);  // link register
+      next_pc = target;
+      break;
+    }
+    case InstrKind::kSys:
+      if (instr->op == Opcode::kHalt) {
+        halted_ = true;
+        result_.halted = true;
+        return false;
+      }
+      break;
+    case InstrKind::kThread:
+      exec_thread_op(*instr);
+      // kThend rewrites pc_ so the uniform increment lands on the child.
+      next_pc = pc_ + kInstrBytes;
+      break;
+  }
+  pc_ = next_pc;
+  return true;
+}
+
+FuncResult Interpreter::run(uint64_t max_instrs) {
+  while (!halted_ && result_.instrs_total < max_instrs) {
+    step();
+  }
+  return result_;
+}
+
+}  // namespace wecsim

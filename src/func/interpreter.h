@@ -1,0 +1,95 @@
+// Functional (ISA-level) reference interpreter.
+//
+// Executes a superthreaded program with sequential thread semantics: FORK
+// records a pending successor (start PC + register snapshot), THEND switches
+// to it, ABORT discards pending successors, ENDPAR resumes sequential
+// execution. This yields exactly the architectural state the parallel timing
+// simulation must produce (the superthreaded execution model preserves
+// sequential memory semantics via target-store forwarding and in-order
+// write-back), so it serves as the golden model for differential tests.
+//
+// It also produces the dynamic-instruction accounting behind the paper's
+// Table 2: total instructions and the fraction executed inside parallel
+// regions.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <optional>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "isa/program.h"
+#include "mem/flat_memory.h"
+
+namespace wecsim {
+
+/// Aggregate results of a functional run.
+struct FuncResult {
+  bool halted = false;          // reached HALT (vs. hit the instruction cap)
+  uint64_t instrs_total = 0;    // dynamic instructions executed
+  uint64_t instrs_parallel = 0; // executed between BEGIN and ENDPAR
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+  uint64_t branches = 0;
+  uint64_t branches_taken = 0;
+  uint64_t forks = 0;
+  uint64_t parallel_regions = 0;
+
+  double fraction_parallel() const {
+    return instrs_total == 0
+               ? 0.0
+               : static_cast<double>(instrs_parallel) / instrs_total;
+  }
+};
+
+class Interpreter {
+ public:
+  /// The interpreter mutates memory in place (program data must already be
+  /// loaded via FlatMemory::load_program, or by a workload initializer).
+  Interpreter(const Program& program, FlatMemory& memory);
+
+  /// Reset architectural registers and PC to the program entry. Memory is
+  /// not touched.
+  void reset();
+
+  /// Execute one instruction. Returns false once halted.
+  bool step();
+
+  /// Run until HALT or max_instrs, whichever first.
+  FuncResult run(uint64_t max_instrs = 100'000'000);
+
+  bool halted() const { return halted_; }
+  Addr pc() const { return pc_; }
+
+  Word int_reg(RegId r) const { return int_regs_[r]; }
+  Word fp_reg(RegId r) const { return fp_regs_[r]; }
+  double fp_reg_double(RegId r) const;
+  void set_int_reg(RegId r, Word value) {
+    if (r != 0) int_regs_[r] = value;
+  }
+
+  const FuncResult& result() const { return result_; }
+
+ private:
+  struct PendingThread {
+    Addr start_pc;
+    std::array<Word, kNumIntRegs> int_regs;
+    std::array<Word, kNumFpRegs> fp_regs;
+    bool speculative;
+  };
+
+  void exec_thread_op(const Instruction& instr);
+
+  const Program& program_;
+  FlatMemory& memory_;
+  Addr pc_;
+  bool halted_ = false;
+  bool in_parallel_ = false;
+  std::array<Word, kNumIntRegs> int_regs_{};
+  std::array<Word, kNumFpRegs> fp_regs_{};
+  std::deque<PendingThread> pending_;
+  FuncResult result_;
+};
+
+}  // namespace wecsim

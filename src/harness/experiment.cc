@@ -1,0 +1,46 @@
+#include "harness/experiment.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace wecsim {
+
+const RunMeasurement& ExperimentRunner::run(const std::string& workload_name,
+                                            const std::string& key,
+                                            const StaConfig& config) {
+  const std::string cache_key = workload_name + "|" + key;
+  if (auto it = cache_.find(cache_key); it != cache_.end()) return it->second;
+
+  Workload w = make_workload(workload_name, params_);
+  Simulator sim(w.program, config);
+  w.init(sim.memory());
+  RunMeasurement m;
+  m.sim = sim.run();
+  if (!m.sim.halted) {
+    throw SimError("simulation did not finish: " + cache_key);
+  }
+  m.parallel_cycles = sim.stats().value("sta.parallel_cycles");
+  return cache_.emplace(cache_key, std::move(m)).first->second;
+}
+
+double speedup(Cycle base_cycles, Cycle cycles) {
+  WEC_CHECK(cycles > 0);
+  return static_cast<double>(base_cycles) / static_cast<double>(cycles);
+}
+
+double relative_speedup_pct(Cycle base_cycles, Cycle cycles) {
+  return 100.0 * (speedup(base_cycles, cycles) - 1.0);
+}
+
+double mean_speedup(const std::vector<double>& per_benchmark_speedups) {
+  WEC_CHECK(!per_benchmark_speedups.empty());
+  double log_sum = 0.0;
+  for (double s : per_benchmark_speedups) {
+    WEC_CHECK(s > 0.0);
+    log_sum += std::log(s);
+  }
+  return std::exp(log_sum / per_benchmark_speedups.size());
+}
+
+}  // namespace wecsim

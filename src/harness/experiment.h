@@ -1,0 +1,53 @@
+// Experiment driver shared by the bench binaries: run (workload, config)
+// pairs, cache results within a process, and aggregate speedups the way the
+// paper does.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/sim_config.h"
+#include "core/simulator.h"
+#include "workloads/workload.h"
+
+namespace wecsim {
+
+/// One simulation's relevant measurements (SimResult plus the parallel-
+/// portion cycles used by Figure 8).
+struct RunMeasurement {
+  SimResult sim;
+  Cycle parallel_cycles = 0;
+};
+
+/// Runs simulations and memoizes them by (workload, config-key) so sweeps
+/// that share a baseline don't re-simulate it.
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(const WorkloadParams& params = {})
+      : params_(params) {}
+
+  /// Simulate `workload_name` on `config`. `key` must uniquely identify the
+  /// configuration (e.g. "orig/8tu/l1=8k").
+  const RunMeasurement& run(const std::string& workload_name,
+                            const std::string& key, const StaConfig& config);
+
+  const WorkloadParams& params() const { return params_; }
+
+ private:
+  WorkloadParams params_;
+  std::map<std::string, RunMeasurement> cache_;
+};
+
+/// speedup > 1 means `cycles` is faster than `base_cycles`.
+double speedup(Cycle base_cycles, Cycle cycles);
+
+/// Relative speedup in percent: 100 * (base/new - 1).
+double relative_speedup_pct(Cycle base_cycles, Cycle cycles);
+
+/// The paper reports "execution time weighted average" speedups that give
+/// each benchmark equal importance [Lilja 2000]: the geometric mean of the
+/// per-benchmark speedup ratios.
+double mean_speedup(const std::vector<double>& per_benchmark_speedups);
+
+}  // namespace wecsim

@@ -1,0 +1,59 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace wecsim {
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  WEC_CHECK_MSG(cells.size() == rows_.front().size(),
+                "row width must match the header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string TextTable::pct(double value, int precision) {
+  return num(value, precision) + "%";
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> widths(rows_.front().size(), 0);
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    const auto& row = rows_[r];
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << "  ";
+      if (i == 0) {
+        os << row[i] << std::string(widths[i] - row[i].size(), ' ');
+      } else {
+        os << std::string(widths[i] - row[i].size(), ' ') << row[i];
+      }
+    }
+    os << '\n';
+    if (r == 0) {
+      size_t total = 0;
+      for (size_t w : widths) total += w;
+      os << std::string(total + 2 * (widths.size() - 1), '-') << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace wecsim

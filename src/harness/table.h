@@ -1,0 +1,28 @@
+// Fixed-width text tables for the bench binaries (same rows/series the
+// paper's tables and figures report).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wecsim {
+
+class TextTable {
+ public:
+  /// First row is the header.
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double value, int precision = 1);
+  static std::string pct(double value, int precision = 1);
+
+  /// Render with aligned columns (first column left, rest right).
+  std::string render() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wecsim

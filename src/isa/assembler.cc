@@ -1,0 +1,419 @@
+#include "isa/assembler.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstring>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+
+namespace wecsim {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+// Split one logical line into tokens. Commas and parentheses are separators;
+// parentheses are kept as their own tokens so "imm(rs1)" parses cleanly.
+std::vector<Token> tokenize(std::string_view line) {
+  std::vector<Token> tokens;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      tokens.push_back({cur});
+      cur.clear();
+    }
+  };
+  for (char c : line) {
+    if (c == '#' || c == ';') break;
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+      flush();
+    } else if (c == '(' || c == ')' || c == ':') {
+      flush();
+      tokens.push_back({std::string(1, c)});
+    } else {
+      cur.push_back(c);
+    }
+  }
+  flush();
+  return tokens;
+}
+
+class Assembler {
+ public:
+  explicit Assembler(const AsmOptions& options) {
+    program_ = Program();
+    // Program bases are fixed members; re-home them by building through the
+    // Program API only (text/data bases are the defaults unless overridden).
+    text_base_ = options.text_base;
+    data_base_ = options.data_base;
+    WEC_CHECK_MSG(text_base_ == kDefaultTextBase &&
+                      data_base_ == kDefaultDataBase,
+                  "custom segment bases are not supported yet");
+  }
+
+  Program run(std::string_view source) {
+    size_t start = 0;
+    int line_no = 0;
+    while (start <= source.size()) {
+      size_t end = source.find('\n', start);
+      if (end == std::string_view::npos) end = source.size();
+      ++line_no;
+      line_no_ = line_no;
+      parse_line(source.substr(start, end - start));
+      start = end + 1;
+    }
+    resolve_fixups();
+    if (!entry_symbol_.empty()) {
+      program_.set_entry(lookup(entry_symbol_));
+    }
+    return std::move(program_);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw SimError("asm line " + std::to_string(line_no_) + ": " + msg);
+  }
+
+  void parse_line(std::string_view line) {
+    std::vector<Token> tokens = tokenize(line);
+    size_t i = 0;
+    // Leading labels: "name :".
+    while (i + 1 < tokens.size() && tokens[i + 1].text == ":") {
+      define_label(tokens[i].text);
+      i += 2;
+    }
+    if (i >= tokens.size()) return;
+    const std::string& head = tokens[i].text;
+    std::vector<std::string> args;
+    for (size_t j = i + 1; j < tokens.size(); ++j) args.push_back(tokens[j].text);
+    if (head[0] == '.') {
+      directive(head, args);
+    } else {
+      instruction(head, args);
+    }
+  }
+
+  void define_label(const std::string& name) {
+    const Addr value = in_text_ ? program_.text_end() : program_.data_end();
+    if (program_.has_symbol(name)) fail("symbol redefined: " + name);
+    program_.define_symbol(name, value);
+  }
+
+  // --- expressions -------------------------------------------------------
+
+  static bool looks_numeric(const std::string& s) {
+    if (s.empty()) return false;
+    char c = s[0];
+    return std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+';
+  }
+
+  int64_t parse_int(const std::string& s) const {
+    int64_t value = 0;
+    bool negative = false;
+    size_t pos = 0;
+    if (pos < s.size() && (s[pos] == '-' || s[pos] == '+')) {
+      negative = s[pos] == '-';
+      ++pos;
+    }
+    int base = 10;
+    if (s.size() >= pos + 2 && s[pos] == '0' &&
+        (s[pos + 1] == 'x' || s[pos + 1] == 'X')) {
+      base = 16;
+      pos += 2;
+    }
+    uint64_t mag = 0;
+    auto [ptr, ec] = std::from_chars(s.data() + pos, s.data() + s.size(), mag,
+                                     base);
+    if (ec != std::errc() || ptr != s.data() + s.size()) {
+      fail("bad integer literal: " + s);
+    }
+    value = static_cast<int64_t>(mag);
+    return negative ? -value : value;
+  }
+
+  Addr lookup(const std::string& name) const {
+    if (!program_.has_symbol(name)) {
+      throw SimError("asm: undefined symbol '" + name + "'");
+    }
+    return program_.symbol(name);
+  }
+
+  // Evaluate "int", "sym", "sym+int", or "sym-int". If the expression
+  // references an undefined symbol and allow_forward is true, returns
+  // nullopt (caller records a fixup).
+  std::optional<int64_t> eval(const std::string& expr,
+                              bool allow_forward) const {
+    if (looks_numeric(expr)) return parse_int(expr);
+    size_t op_pos = expr.find_first_of("+-", 1);
+    std::string sym = expr.substr(0, op_pos);
+    int64_t offset = 0;
+    if (op_pos != std::string::npos) {
+      offset = parse_int(expr.substr(op_pos));  // includes the sign
+    }
+    if (!program_.has_symbol(sym)) {
+      if (allow_forward) return std::nullopt;
+      fail("undefined symbol: " + sym);
+    }
+    return static_cast<int64_t>(program_.symbol(sym)) + offset;
+  }
+
+  // --- directives --------------------------------------------------------
+
+  void directive(const std::string& name, const std::vector<std::string>& args) {
+    if (name == ".text") {
+      in_text_ = true;
+    } else if (name == ".data") {
+      in_text_ = false;
+    } else if (name == ".entry") {
+      if (args.size() != 1) fail(".entry takes one label");
+      entry_symbol_ = args[0];
+    } else if (name == ".equ") {
+      if (args.size() != 2) fail(".equ takes name, value");
+      auto value = eval(args[1], /*allow_forward=*/false);
+      if (program_.has_symbol(args[0])) fail("symbol redefined: " + args[0]);
+      program_.define_symbol(args[0], static_cast<Addr>(*value));
+    } else if (name == ".word" || name == ".dword") {
+      const size_t width = name == ".word" ? 4 : 8;
+      for (const auto& arg : args) {
+        auto value = eval(arg, /*allow_forward=*/false);
+        uint64_t bits = static_cast<uint64_t>(*value);
+        program_.push_data(&bits, width);  // little-endian host assumption
+      }
+    } else if (name == ".double") {
+      for (const auto& arg : args) {
+        double d = std::stod(arg);
+        program_.push_data(&d, sizeof(d));
+      }
+    } else if (name == ".space") {
+      if (args.size() != 1) fail(".space takes one size");
+      program_.reserve_data(static_cast<size_t>(*eval(args[0], false)));
+    } else if (name == ".align") {
+      if (args.size() != 1) fail(".align takes one alignment");
+      program_.align_data(static_cast<uint64_t>(*eval(args[0], false)));
+    } else {
+      fail("unknown directive: " + name);
+    }
+  }
+
+  // --- instructions ------------------------------------------------------
+
+  RegId parse_reg(const std::string& s, RegFile file) const {
+    static const std::unordered_map<std::string, int> aliases = {
+        {"zero", 0}, {"ra", 31}, {"sp", 30}};
+    if (file == RegFile::kNone) fail("unexpected register operand " + s);
+    if (auto it = aliases.find(s); it != aliases.end()) {
+      if (file != RegFile::kInt) fail("integer alias used as FP reg: " + s);
+      return static_cast<RegId>(it->second);
+    }
+    const char prefix = file == RegFile::kFp ? 'f' : 'r';
+    if (s.size() < 2 || s[0] != prefix) {
+      fail(std::string("expected ") + prefix + "-register, got " + s);
+    }
+    int idx = 0;
+    auto [ptr, ec] = std::from_chars(s.data() + 1, s.data() + s.size(), idx);
+    if (ec != std::errc() || ptr != s.data() + s.size() || idx < 0 ||
+        idx >= kNumIntRegs) {
+      fail("bad register: " + s);
+    }
+    return static_cast<RegId>(idx);
+  }
+
+  void set_imm_or_fixup(Instruction& instr, const std::string& expr) {
+    auto value = eval(expr, /*allow_forward=*/true);
+    if (value.has_value()) {
+      instr.imm = *value;
+    } else {
+      fixups_.push_back({program_.num_instructions(), expr, line_no_});
+      instr.imm = 0;
+    }
+  }
+
+  std::optional<Opcode> find_opcode(const std::string& mnemonic) const {
+    for (int i = 0; i < kNumOpcodes; ++i) {
+      auto op = static_cast<Opcode>(i);
+      if (mnemonic == opcode_name(op)) return op;
+    }
+    return std::nullopt;
+  }
+
+  void instruction(const std::string& mnemonic,
+                   std::vector<std::string> args) {
+    // Pseudo-instruction expansion first.
+    if (mnemonic == "mv") {
+      require_args(args, 2, "mv rd, rs");
+      args.push_back("0");
+      return emit(Opcode::kAddi, args);
+    }
+    if (mnemonic == "subi") {
+      require_args(args, 3, "subi rd, rs, imm");
+      args[2] = negate_expr(args[2]);
+      return emit(Opcode::kAddi, args);
+    }
+    if (mnemonic == "j") {
+      require_args(args, 1, "j label");
+      return emit(Opcode::kJal, {"r0", args[0]});
+    }
+    if (mnemonic == "call") {
+      require_args(args, 1, "call label");
+      return emit(Opcode::kJal, {"ra", args[0]});
+    }
+    if (mnemonic == "ret") {
+      require_args(args, 0, "ret");
+      return emit(Opcode::kJalr, {"r0", "ra", "0"});
+    }
+    if (mnemonic == "beqz") {
+      require_args(args, 2, "beqz rs, label");
+      return emit(Opcode::kBeq, {args[0], "r0", args[1]});
+    }
+    if (mnemonic == "bnez") {
+      require_args(args, 2, "bnez rs, label");
+      return emit(Opcode::kBne, {args[0], "r0", args[1]});
+    }
+    if (mnemonic == "ble") {  // rs1 <= rs2  ==  !(rs2 < rs1)  ==  rs2 >= rs1
+      require_args(args, 3, "ble rs1, rs2, label");
+      return emit(Opcode::kBge, {args[1], args[0], args[2]});
+    }
+    if (mnemonic == "bgt") {
+      require_args(args, 3, "bgt rs1, rs2, label");
+      return emit(Opcode::kBlt, {args[1], args[0], args[2]});
+    }
+    if (mnemonic == "la") {
+      require_args(args, 2, "la rd, symbol");
+      return emit(Opcode::kLi, args);
+    }
+    auto op = find_opcode(mnemonic);
+    if (!op.has_value()) fail("unknown mnemonic: " + mnemonic);
+    emit(*op, args);
+  }
+
+  std::string negate_expr(const std::string& expr) {
+    auto value = eval(expr, /*allow_forward=*/false);
+    return std::to_string(-*value);
+  }
+
+  void require_args(const std::vector<std::string>& args, size_t n,
+                    const char* usage) const {
+    if (args.size() != n) fail(std::string("usage: ") + usage);
+  }
+
+  void emit(Opcode op, const std::vector<std::string>& args) {
+    if (!in_text_) fail("instruction outside .text");
+    const OpcodeInfo& info = opcode_info(op);
+    Instruction instr;
+    instr.op = op;
+    switch (op) {
+      // Memory operand form: "op rX, imm ( rbase )".
+      case Opcode::kLb:
+      case Opcode::kLbu:
+      case Opcode::kLw:
+      case Opcode::kLd:
+      case Opcode::kFld: {
+        // Tokenized form: rd imm ( rbase ) — five tokens.
+        if (args.size() != 5 || args[2] != "(" || args[4] != ")") {
+          fail("usage: " + std::string(info.name) + " rd, imm(rbase)");
+        }
+        instr.rd = parse_reg(args[0], info.dst);
+        set_imm_or_fixup(instr, args[1]);
+        instr.rs1 = parse_reg(args[3], RegFile::kInt);
+        break;
+      }
+      case Opcode::kSb:
+      case Opcode::kSw:
+      case Opcode::kSd:
+      case Opcode::kFsd: {
+        if (args.size() != 5 || args[2] != "(" || args[4] != ")") {
+          fail("usage: " + std::string(info.name) + " rdata, imm(rbase)");
+        }
+        instr.rs2 = parse_reg(args[0], info.src2);
+        set_imm_or_fixup(instr, args[1]);
+        instr.rs1 = parse_reg(args[3], RegFile::kInt);
+        break;
+      }
+      case Opcode::kFork:
+      case Opcode::kForksp: {
+        require_args(args, 1, "fork label");
+        set_imm_or_fixup(instr, args[0]);
+        break;
+      }
+      case Opcode::kTsaddr: {
+        require_args(args, 2, "tsaddr rbase, imm");
+        instr.rs1 = parse_reg(args[0], RegFile::kInt);
+        set_imm_or_fixup(instr, args[1]);
+        break;
+      }
+      case Opcode::kJalr: {
+        require_args(args, 3, "jalr rd, rs1, imm");
+        instr.rd = parse_reg(args[0], RegFile::kInt);
+        instr.rs1 = parse_reg(args[1], RegFile::kInt);
+        set_imm_or_fixup(instr, args[2]);
+        break;
+      }
+      case Opcode::kFli: {
+        require_args(args, 2, "fli fd, double");
+        instr.rd = parse_reg(args[0], RegFile::kFp);
+        double d = std::stod(args[1]);
+        int64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        instr.imm = bits;
+        break;
+      }
+      default: {
+        // Generic operand order: [rd] [rs1] [rs2] [imm].
+        size_t idx = 0;
+        auto next = [&]() -> const std::string& {
+          if (idx >= args.size()) {
+            fail("too few operands for " + std::string(info.name));
+          }
+          return args[idx++];
+        };
+        if (info.dst != RegFile::kNone) instr.rd = parse_reg(next(), info.dst);
+        if (info.src1 != RegFile::kNone)
+          instr.rs1 = parse_reg(next(), info.src1);
+        if (info.src2 != RegFile::kNone)
+          instr.rs2 = parse_reg(next(), info.src2);
+        if (info.has_imm) set_imm_or_fixup(instr, next());
+        if (idx != args.size()) {
+          fail("too many operands for " + std::string(info.name));
+        }
+        break;
+      }
+    }
+    program_.push(instr);
+  }
+
+  void resolve_fixups() {
+    for (const auto& fixup : fixups_) {
+      line_no_ = fixup.line;
+      auto value = eval(fixup.expr, /*allow_forward=*/false);
+      program_.instr_at_index(fixup.instr_index).imm = *value;
+    }
+  }
+
+  struct Fixup {
+    size_t instr_index;
+    std::string expr;
+    int line;
+  };
+
+  Program program_;
+  Addr text_base_ = kDefaultTextBase;
+  Addr data_base_ = kDefaultDataBase;
+  bool in_text_ = true;
+  int line_no_ = 0;
+  std::string entry_symbol_;
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace
+
+Program assemble(std::string_view source, const AsmOptions& options) {
+  Assembler assembler(options);
+  return assembler.run(source);
+}
+
+}  // namespace wecsim

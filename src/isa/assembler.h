@@ -1,0 +1,42 @@
+// Text assembler for the wecsim ISA.
+//
+// Syntax overview:
+//   # comment                     ; also a comment
+//   .text / .data                 switch section
+//   .entry label                  set program entry point (default: text base)
+//   .equ name, expr               define a constant
+//   .word e1, e2, ...             4-byte little-endian data values
+//   .dword e1, e2, ...            8-byte data values
+//   .double 1.5, ...              IEEE double data values
+//   .space n                      n zero bytes
+//   .align n                      align data cursor to n bytes
+//   label:                        define label (text: instr addr, data: byte)
+//   add  rd, rs1, rs2             integer ops (r0..r31; zero/ra/sp aliases)
+//   addi rd, rs1, imm
+//   ld   rd, imm(rs1)             memory ops; stores are "sd rdata, imm(rbase)"
+//   fadd fd, fs1, fs2             FP ops (f0..f31)
+//   beq  rs1, rs2, label          control flow; targets are labels or exprs
+//   fork label / tsaddr rs1, imm  superthreaded ops
+//
+// Pseudo-instructions: mv, j, call, ret, beqz, bnez, ble, bgt, la, subi.
+// Immediate expressions: integer literals (dec/hex), symbols, symbol±offset.
+// Instruction operands may forward-reference labels; data directives may not.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "isa/program.h"
+
+namespace wecsim {
+
+struct AsmOptions {
+  Addr text_base = kDefaultTextBase;
+  Addr data_base = kDefaultDataBase;
+};
+
+/// Assemble source into a Program. Throws SimError with a line-numbered
+/// message on any syntax or semantic error.
+Program assemble(std::string_view source, const AsmOptions& options = {});
+
+}  // namespace wecsim

@@ -1,0 +1,53 @@
+#include "isa/disasm.h"
+
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace wecsim {
+
+namespace {
+
+// Reverse symbol map for annotating control-flow targets.
+std::map<Addr, std::string> reverse_symbols(const Program& program) {
+  std::map<Addr, std::string> rev;
+  for (const auto& [name, addr] : program.symbols()) {
+    rev.emplace(addr, name);  // keep the first name for an address
+  }
+  return rev;
+}
+
+}  // namespace
+
+std::string disassemble_at(const Program& program, Addr pc) {
+  const Instruction& instr = program.at(pc);
+  std::ostringstream os;
+  os << "0x" << std::hex << std::setw(6) << std::setfill('0') << pc << "  "
+     << std::dec << to_string(instr);
+  return os.str();
+}
+
+std::string disassemble(const Program& program) {
+  const auto rev = reverse_symbols(program);
+  std::ostringstream os;
+  for (size_t i = 0; i < program.num_instructions(); ++i) {
+    const Addr pc = program.text_base() + i * kInstrBytes;
+    if (auto it = rev.find(pc); it != rev.end()) {
+      os << it->second << ":\n";
+    }
+    os << "  " << disassemble_at(program, pc);
+    const Instruction& instr = program.at(pc);
+    if (instr.is_control() || instr.op == Opcode::kFork ||
+        instr.op == Opcode::kForksp) {
+      if (auto it = rev.find(static_cast<Addr>(instr.imm)); it != rev.end()) {
+        os << "    # -> " << it->second;
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace wecsim

@@ -1,0 +1,17 @@
+// Disassembler: renders a Program back to readable assembly with addresses
+// and symbolic branch targets (used by examples and debugging traces).
+#pragma once
+
+#include <string>
+
+#include "isa/program.h"
+
+namespace wecsim {
+
+/// One line: "0x1010  beq r1, r2, loop".
+std::string disassemble_at(const Program& program, Addr pc);
+
+/// The whole text segment.
+std::string disassemble(const Program& program);
+
+}  // namespace wecsim

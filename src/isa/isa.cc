@@ -1,0 +1,213 @@
+#include "isa/isa.h"
+
+#include <array>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace wecsim {
+
+namespace {
+
+// Latencies follow SimpleScalar sim-outorder defaults: integer ALU 1,
+// integer multiply 3, integer divide 20, FP add 2, FP multiply 4,
+// FP divide 12. Loads use 1 here (cache-hit latency is modeled by the
+// memory hierarchy, not the FU).
+constexpr OpcodeInfo kTable[kNumOpcodes] = {
+    // name      kind               fu                 lat dst            src1           src2           imm
+    {"add",     InstrKind::kAlu,    FuClass::kIntAlu,  1, RegFile::kInt,  RegFile::kInt, RegFile::kInt, false},
+    {"sub",     InstrKind::kAlu,    FuClass::kIntAlu,  1, RegFile::kInt,  RegFile::kInt, RegFile::kInt, false},
+    {"mul",     InstrKind::kAlu,    FuClass::kIntMult, 3, RegFile::kInt,  RegFile::kInt, RegFile::kInt, false},
+    {"div",     InstrKind::kAlu,    FuClass::kIntMult, 20, RegFile::kInt, RegFile::kInt, RegFile::kInt, false},
+    {"rem",     InstrKind::kAlu,    FuClass::kIntMult, 20, RegFile::kInt, RegFile::kInt, RegFile::kInt, false},
+    {"and",     InstrKind::kAlu,    FuClass::kIntAlu,  1, RegFile::kInt,  RegFile::kInt, RegFile::kInt, false},
+    {"or",      InstrKind::kAlu,    FuClass::kIntAlu,  1, RegFile::kInt,  RegFile::kInt, RegFile::kInt, false},
+    {"xor",     InstrKind::kAlu,    FuClass::kIntAlu,  1, RegFile::kInt,  RegFile::kInt, RegFile::kInt, false},
+    {"sll",     InstrKind::kAlu,    FuClass::kIntAlu,  1, RegFile::kInt,  RegFile::kInt, RegFile::kInt, false},
+    {"srl",     InstrKind::kAlu,    FuClass::kIntAlu,  1, RegFile::kInt,  RegFile::kInt, RegFile::kInt, false},
+    {"sra",     InstrKind::kAlu,    FuClass::kIntAlu,  1, RegFile::kInt,  RegFile::kInt, RegFile::kInt, false},
+    {"slt",     InstrKind::kAlu,    FuClass::kIntAlu,  1, RegFile::kInt,  RegFile::kInt, RegFile::kInt, false},
+    {"sltu",    InstrKind::kAlu,    FuClass::kIntAlu,  1, RegFile::kInt,  RegFile::kInt, RegFile::kInt, false},
+    {"addi",    InstrKind::kAlu,    FuClass::kIntAlu,  1, RegFile::kInt,  RegFile::kInt, RegFile::kNone, true},
+    {"andi",    InstrKind::kAlu,    FuClass::kIntAlu,  1, RegFile::kInt,  RegFile::kInt, RegFile::kNone, true},
+    {"ori",     InstrKind::kAlu,    FuClass::kIntAlu,  1, RegFile::kInt,  RegFile::kInt, RegFile::kNone, true},
+    {"xori",    InstrKind::kAlu,    FuClass::kIntAlu,  1, RegFile::kInt,  RegFile::kInt, RegFile::kNone, true},
+    {"slli",    InstrKind::kAlu,    FuClass::kIntAlu,  1, RegFile::kInt,  RegFile::kInt, RegFile::kNone, true},
+    {"srli",    InstrKind::kAlu,    FuClass::kIntAlu,  1, RegFile::kInt,  RegFile::kInt, RegFile::kNone, true},
+    {"srai",    InstrKind::kAlu,    FuClass::kIntAlu,  1, RegFile::kInt,  RegFile::kInt, RegFile::kNone, true},
+    {"slti",    InstrKind::kAlu,    FuClass::kIntAlu,  1, RegFile::kInt,  RegFile::kInt, RegFile::kNone, true},
+    {"li",      InstrKind::kAlu,    FuClass::kIntAlu,  1, RegFile::kInt,  RegFile::kNone, RegFile::kNone, true},
+    {"lb",      InstrKind::kLoad,   FuClass::kLsu,     1, RegFile::kInt,  RegFile::kInt, RegFile::kNone, true},
+    {"lbu",     InstrKind::kLoad,   FuClass::kLsu,     1, RegFile::kInt,  RegFile::kInt, RegFile::kNone, true},
+    {"lw",      InstrKind::kLoad,   FuClass::kLsu,     1, RegFile::kInt,  RegFile::kInt, RegFile::kNone, true},
+    {"ld",      InstrKind::kLoad,   FuClass::kLsu,     1, RegFile::kInt,  RegFile::kInt, RegFile::kNone, true},
+    {"sb",      InstrKind::kStore,  FuClass::kLsu,     1, RegFile::kNone, RegFile::kInt, RegFile::kInt, true},
+    {"sw",      InstrKind::kStore,  FuClass::kLsu,     1, RegFile::kNone, RegFile::kInt, RegFile::kInt, true},
+    {"sd",      InstrKind::kStore,  FuClass::kLsu,     1, RegFile::kNone, RegFile::kInt, RegFile::kInt, true},
+    {"fadd",    InstrKind::kAlu,    FuClass::kFpAlu,   2, RegFile::kFp,   RegFile::kFp,  RegFile::kFp,  false},
+    {"fsub",    InstrKind::kAlu,    FuClass::kFpAlu,   2, RegFile::kFp,   RegFile::kFp,  RegFile::kFp,  false},
+    {"fmul",    InstrKind::kAlu,    FuClass::kFpMult,  4, RegFile::kFp,   RegFile::kFp,  RegFile::kFp,  false},
+    {"fdiv",    InstrKind::kAlu,    FuClass::kFpMult,  12, RegFile::kFp,  RegFile::kFp,  RegFile::kFp,  false},
+    {"fcvt.d.l", InstrKind::kAlu,   FuClass::kFpAlu,   2, RegFile::kFp,   RegFile::kInt, RegFile::kNone, false},
+    {"fcvt.l.d", InstrKind::kAlu,   FuClass::kFpAlu,   2, RegFile::kInt,  RegFile::kFp,  RegFile::kNone, false},
+    {"feq",     InstrKind::kAlu,    FuClass::kFpAlu,   2, RegFile::kInt,  RegFile::kFp,  RegFile::kFp,  false},
+    {"flt",     InstrKind::kAlu,    FuClass::kFpAlu,   2, RegFile::kInt,  RegFile::kFp,  RegFile::kFp,  false},
+    {"fle",     InstrKind::kAlu,    FuClass::kFpAlu,   2, RegFile::kInt,  RegFile::kFp,  RegFile::kFp,  false},
+    {"fld",     InstrKind::kLoad,   FuClass::kLsu,     1, RegFile::kFp,   RegFile::kInt, RegFile::kNone, true},
+    {"fsd",     InstrKind::kStore,  FuClass::kLsu,     1, RegFile::kNone, RegFile::kInt, RegFile::kFp,  true},
+    {"fli",     InstrKind::kAlu,    FuClass::kFpAlu,   1, RegFile::kFp,   RegFile::kNone, RegFile::kNone, true},
+    {"fmv",     InstrKind::kAlu,    FuClass::kFpAlu,   1, RegFile::kFp,   RegFile::kFp,  RegFile::kNone, false},
+    {"beq",     InstrKind::kBranch, FuClass::kIntAlu,  1, RegFile::kNone, RegFile::kInt, RegFile::kInt, true},
+    {"bne",     InstrKind::kBranch, FuClass::kIntAlu,  1, RegFile::kNone, RegFile::kInt, RegFile::kInt, true},
+    {"blt",     InstrKind::kBranch, FuClass::kIntAlu,  1, RegFile::kNone, RegFile::kInt, RegFile::kInt, true},
+    {"bge",     InstrKind::kBranch, FuClass::kIntAlu,  1, RegFile::kNone, RegFile::kInt, RegFile::kInt, true},
+    {"bltu",    InstrKind::kBranch, FuClass::kIntAlu,  1, RegFile::kNone, RegFile::kInt, RegFile::kInt, true},
+    {"bgeu",    InstrKind::kBranch, FuClass::kIntAlu,  1, RegFile::kNone, RegFile::kInt, RegFile::kInt, true},
+    {"jal",     InstrKind::kJump,   FuClass::kIntAlu,  1, RegFile::kInt,  RegFile::kNone, RegFile::kNone, true},
+    {"jalr",    InstrKind::kJump,   FuClass::kIntAlu,  1, RegFile::kInt,  RegFile::kInt, RegFile::kNone, true},
+    {"nop",     InstrKind::kSys,    FuClass::kNone,    1, RegFile::kNone, RegFile::kNone, RegFile::kNone, false},
+    {"halt",    InstrKind::kSys,    FuClass::kNone,    1, RegFile::kNone, RegFile::kNone, RegFile::kNone, false},
+    {"begin",   InstrKind::kThread, FuClass::kIntAlu,  1, RegFile::kNone, RegFile::kNone, RegFile::kNone, false},
+    {"fork",    InstrKind::kThread, FuClass::kIntAlu,  1, RegFile::kNone, RegFile::kNone, RegFile::kNone, true},
+    {"forksp",  InstrKind::kThread, FuClass::kIntAlu,  1, RegFile::kNone, RegFile::kNone, RegFile::kNone, true},
+    {"abort",   InstrKind::kThread, FuClass::kIntAlu,  1, RegFile::kNone, RegFile::kNone, RegFile::kNone, false},
+    {"tsaddr",  InstrKind::kThread, FuClass::kIntAlu,  1, RegFile::kNone, RegFile::kInt, RegFile::kNone, true},
+    {"tsagd",   InstrKind::kThread, FuClass::kIntAlu,  1, RegFile::kNone, RegFile::kNone, RegFile::kNone, false},
+    {"thend",   InstrKind::kThread, FuClass::kIntAlu,  1, RegFile::kNone, RegFile::kNone, RegFile::kNone, false},
+    {"endpar",  InstrKind::kThread, FuClass::kIntAlu,  1, RegFile::kNone, RegFile::kNone, RegFile::kNone, false},
+};
+
+}  // namespace
+
+const OpcodeInfo& opcode_info(Opcode op) {
+  const int idx = static_cast<int>(op);
+  WEC_CHECK_MSG(idx >= 0 && idx < kNumOpcodes, "invalid opcode");
+  return kTable[idx];
+}
+
+const char* opcode_name(Opcode op) { return opcode_info(op).name; }
+
+uint32_t Instruction::mem_bytes() const {
+  switch (op) {
+    case Opcode::kLb:
+    case Opcode::kLbu:
+    case Opcode::kSb:
+      return 1;
+    case Opcode::kLw:
+    case Opcode::kSw:
+      return 4;
+    case Opcode::kLd:
+    case Opcode::kSd:
+    case Opcode::kFld:
+    case Opcode::kFsd:
+      return 8;
+    default:
+      return 0;
+  }
+}
+
+EncodedInstr encode(const Instruction& instr) {
+  WEC_CHECK(instr.rd < 64 && instr.rs1 < 64 && instr.rs2 < 64);
+  EncodedInstr e;
+  e.word0 = static_cast<uint64_t>(instr.op) |
+            (static_cast<uint64_t>(instr.rd) << 8) |
+            (static_cast<uint64_t>(instr.rs1) << 14) |
+            (static_cast<uint64_t>(instr.rs2) << 20);
+  e.word1 = static_cast<uint64_t>(instr.imm);
+  return e;
+}
+
+Instruction decode(const EncodedInstr& bits) {
+  const uint64_t opbits = bits.word0 & 0xff;
+  if (opbits >= static_cast<uint64_t>(kNumOpcodes)) {
+    throw SimError("decode: invalid opcode byte " + std::to_string(opbits));
+  }
+  Instruction instr;
+  instr.op = static_cast<Opcode>(opbits);
+  instr.rd = static_cast<RegId>((bits.word0 >> 8) & 0x3f);
+  instr.rs1 = static_cast<RegId>((bits.word0 >> 14) & 0x3f);
+  instr.rs2 = static_cast<RegId>((bits.word0 >> 20) & 0x3f);
+  instr.imm = static_cast<int64_t>(bits.word1);
+  const auto& info = opcode_info(instr.op);
+  auto check_reg = [](RegFile file, RegId reg) {
+    if (file == RegFile::kNone) return reg == 0;
+    return reg < kNumIntRegs;  // both files have 32 registers
+  };
+  if (!check_reg(info.dst, instr.rd) || !check_reg(info.src1, instr.rs1) ||
+      !check_reg(info.src2, instr.rs2)) {
+    throw SimError(std::string("decode: register out of range for ") +
+                   info.name);
+  }
+  return instr;
+}
+
+std::string to_string(const Instruction& instr) {
+  const auto& info = opcode_info(instr.op);
+  std::ostringstream os;
+  os << info.name;
+  const char dst_prefix = info.dst == RegFile::kFp ? 'f' : 'r';
+  const char s1_prefix = info.src1 == RegFile::kFp ? 'f' : 'r';
+  const char s2_prefix = info.src2 == RegFile::kFp ? 'f' : 'r';
+
+  switch (instr.op) {
+    case Opcode::kLi:
+    case Opcode::kFli:
+      os << ' ' << dst_prefix << int(instr.rd) << ", " << instr.imm;
+      break;
+    case Opcode::kLb:
+    case Opcode::kLbu:
+    case Opcode::kLw:
+    case Opcode::kLd:
+    case Opcode::kFld:
+      os << ' ' << dst_prefix << int(instr.rd) << ", " << instr.imm << "(r"
+         << int(instr.rs1) << ')';
+      break;
+    case Opcode::kSb:
+    case Opcode::kSw:
+    case Opcode::kSd:
+    case Opcode::kFsd:
+      os << ' ' << s2_prefix << int(instr.rs2) << ", " << instr.imm << "(r"
+         << int(instr.rs1) << ')';
+      break;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu:
+      os << " r" << int(instr.rs1) << ", r" << int(instr.rs2) << ", 0x"
+         << std::hex << instr.imm;
+      break;
+    case Opcode::kJal:
+      os << " r" << int(instr.rd) << ", 0x" << std::hex << instr.imm;
+      break;
+    case Opcode::kJalr:
+      os << " r" << int(instr.rd) << ", r" << int(instr.rs1) << ", "
+         << instr.imm;
+      break;
+    case Opcode::kFork:
+    case Opcode::kForksp:
+      os << " 0x" << std::hex << instr.imm;
+      break;
+    case Opcode::kTsaddr:
+      os << " r" << int(instr.rs1) << ", " << instr.imm;
+      break;
+    default: {
+      bool first = true;
+      auto emit = [&](char prefix, RegId reg) {
+        os << (first ? " " : ", ") << prefix << int(reg);
+        first = false;
+      };
+      if (info.dst != RegFile::kNone) emit(dst_prefix, instr.rd);
+      if (info.src1 != RegFile::kNone) emit(s1_prefix, instr.rs1);
+      if (info.src2 != RegFile::kNone) emit(s2_prefix, instr.rs2);
+      if (info.has_imm) {
+        os << (first ? " " : ", ") << instr.imm;
+      }
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace wecsim

@@ -1,0 +1,198 @@
+// wecsim ISA: a small RISC instruction set with superthreaded extensions.
+//
+// The simulated machine has 32 integer registers (r0 hardwired to zero) and
+// 32 floating-point registers (IEEE double, stored bit-exact in a Word).
+// Instructions occupy 8 bytes of instruction-memory address space each.
+//
+// Superthreaded extensions (paper Section 2):
+//   BEGIN   — open a parallel region (kills lingering wrong threads)
+//   FORK    — non-speculative fork of the successor thread unit
+//   FORKSP  — speculative fork (abortable by the predecessor)
+//   ABORT   — kill (or, under wrong-thread execution, mark wrong) successors;
+//             executed by a wrong thread it kills that thread itself
+//   TSADDR  — declare a target-store address in the TSAG stage
+//   TSAGD   — end of TSAG stage (sends the TSAG_DONE flag downstream)
+//   THEND   — end of computation stage; run the in-order write-back stage,
+//             then idle the thread unit
+//   ENDPAR  — close the parallel region: commit this (head) thread's buffer
+//             and continue in sequential mode
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace wecsim {
+
+/// Every architectural instruction. Order is part of the binary encoding.
+enum class Opcode : uint8_t {
+  // Integer register-register ALU.
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kRem,
+  kAnd,
+  kOr,
+  kXor,
+  kSll,
+  kSrl,
+  kSra,
+  kSlt,
+  kSltu,
+  // Integer register-immediate ALU.
+  kAddi,
+  kAndi,
+  kOri,
+  kXori,
+  kSlli,
+  kSrli,
+  kSrai,
+  kSlti,
+  kLi,
+  // Integer loads / stores (stores: rs1 = base, rs2 = data).
+  kLb,
+  kLbu,
+  kLw,
+  kLd,
+  kSb,
+  kSw,
+  kSd,
+  // Floating point (double precision).
+  kFadd,
+  kFsub,
+  kFmul,
+  kFdiv,
+  kFcvtDL,  // fp rd <- (double) int rs1
+  kFcvtLD,  // int rd <- (int64) fp rs1 (truncating)
+  kFeq,     // int rd <- fp rs1 == fp rs2
+  kFlt,     // int rd <- fp rs1 <  fp rs2
+  kFle,     // int rd <- fp rs1 <= fp rs2
+  kFld,     // fp rd <- mem[rs1 + imm]
+  kFsd,     // mem[rs1 + imm] <- fp rs2
+  kFli,     // fp rd <- immediate double (bits in imm)
+  kFmv,     // fp rd <- fp rs1
+  // Control transfer. Branch/jump targets are absolute instruction addresses
+  // in imm (the assembler resolves labels).
+  kBeq,
+  kBne,
+  kBlt,
+  kBge,
+  kBltu,
+  kBgeu,
+  kJal,
+  kJalr,
+  // System.
+  kNop,
+  kHalt,
+  // Superthreaded extensions.
+  kBegin,
+  kFork,
+  kForksp,
+  kAbort,
+  kTsaddr,
+  kTsagd,
+  kThend,
+  kEndpar,
+  kOpcodeCount  // sentinel
+};
+
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::kOpcodeCount);
+
+/// Number of architectural registers per file.
+inline constexpr int kNumIntRegs = 32;
+inline constexpr int kNumFpRegs = 32;
+
+/// Bytes of instruction-memory address space per instruction.
+inline constexpr Addr kInstrBytes = 8;
+
+/// Which register file an operand slot touches.
+enum class RegFile : uint8_t { kNone, kInt, kFp };
+
+/// Execution resource classes (map to the paper's FU pools).
+enum class FuClass : uint8_t {
+  kIntAlu,   // 1-cycle integer ops, branches, jumps, thread ops
+  kIntMult,  // integer multiply / divide / remainder
+  kFpAlu,    // FP add/sub/convert/compare/move
+  kFpMult,   // FP multiply / divide
+  kLsu,      // loads and stores (memory port)
+  kNone      // consumes no FU (nop, halt)
+};
+
+/// Broad behavioural category used by the pipeline and the interpreter.
+enum class InstrKind : uint8_t {
+  kAlu,     // any register-writing computational op
+  kLoad,
+  kStore,
+  kBranch,  // conditional branch
+  kJump,    // jal / jalr
+  kSys,     // nop / halt
+  kThread   // superthreaded extension ops
+};
+
+/// Static per-opcode metadata.
+struct OpcodeInfo {
+  const char* name;    // assembler mnemonic
+  InstrKind kind;
+  FuClass fu;
+  uint32_t latency;    // execute latency in cycles (cache-hit latency for mem)
+  RegFile dst;         // register file of rd (kNone if no destination)
+  RegFile src1;        // register file of rs1
+  RegFile src2;        // register file of rs2
+  bool has_imm;        // instruction carries an immediate
+};
+
+/// Lookup table entry for op. Never fails for valid opcodes.
+const OpcodeInfo& opcode_info(Opcode op);
+
+/// Mnemonic for op ("add", "fork", ...).
+const char* opcode_name(Opcode op);
+
+/// A decoded architectural instruction. rd/rs1/rs2 index the register file
+/// given by the opcode metadata; unused slots are zero.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  RegId rd = 0;
+  RegId rs1 = 0;
+  RegId rs2 = 0;
+  int64_t imm = 0;
+
+  bool is_load() const { return opcode_info(op).kind == InstrKind::kLoad; }
+  bool is_store() const { return opcode_info(op).kind == InstrKind::kStore; }
+  bool is_mem() const { return is_load() || is_store(); }
+  bool is_branch() const { return opcode_info(op).kind == InstrKind::kBranch; }
+  bool is_jump() const { return opcode_info(op).kind == InstrKind::kJump; }
+  bool is_control() const { return is_branch() || is_jump(); }
+  bool is_thread_op() const {
+    return opcode_info(op).kind == InstrKind::kThread;
+  }
+  bool writes_reg() const { return opcode_info(op).dst != RegFile::kNone; }
+
+  /// Memory access width in bytes for loads/stores, 0 otherwise.
+  uint32_t mem_bytes() const;
+
+  bool operator==(const Instruction&) const = default;
+};
+
+/// Canonical binary serialization: word0 packs op:8 rd:6 rs1:6 rs2:6 (low 26
+/// bits beyond the opcode), word1 carries the full 64-bit immediate. This is
+/// a storage format, not the PC spacing — instructions still occupy
+/// kInstrBytes of instruction-address space.
+struct EncodedInstr {
+  uint64_t word0 = 0;
+  uint64_t word1 = 0;
+  bool operator==(const EncodedInstr&) const = default;
+};
+
+/// Encode to the canonical binary form.
+EncodedInstr encode(const Instruction& instr);
+
+/// Decode the canonical binary form. Throws SimError on invalid opcodes or
+/// out-of-range register indices.
+Instruction decode(const EncodedInstr& bits);
+
+/// Human-readable rendering ("add r3, r1, r2").
+std::string to_string(const Instruction& instr);
+
+}  // namespace wecsim

@@ -1,0 +1,60 @@
+#include "isa/program.h"
+
+#include <cstring>
+
+#include "common/bits.h"
+#include "common/error.h"
+
+namespace wecsim {
+
+Addr Program::push(const Instruction& instr) {
+  const Addr addr = text_end();
+  text_.push_back(instr);
+  return addr;
+}
+
+void Program::define_symbol(const std::string& name, Addr value) {
+  auto [it, inserted] = symbols_.try_emplace(name, value);
+  (void)it;
+  if (!inserted) throw SimError("symbol redefined: " + name);
+}
+
+Addr Program::push_data(const void* bytes, size_t n) {
+  const Addr addr = data_end();
+  const auto* p = static_cast<const uint8_t*>(bytes);
+  data_.insert(data_.end(), p, p + n);
+  return addr;
+}
+
+Addr Program::reserve_data(size_t n) {
+  const Addr addr = data_end();
+  data_.insert(data_.end(), n, 0);
+  return addr;
+}
+
+void Program::align_data(uint64_t alignment) {
+  WEC_CHECK_MSG(is_pow2(alignment), "alignment must be a power of two");
+  const Addr aligned = align_up(data_end(), alignment);
+  data_.insert(data_.end(), aligned - data_end(), 0);
+}
+
+const Instruction& Program::at(Addr pc) const {
+  const Instruction* instr = fetch(pc);
+  if (instr == nullptr) {
+    throw SimError("invalid PC 0x" + std::to_string(pc));
+  }
+  return *instr;
+}
+
+Addr Program::symbol(const std::string& name) const {
+  auto it = symbols_.find(name);
+  if (it == symbols_.end()) throw SimError("undefined symbol: " + name);
+  return it->second;
+}
+
+Instruction& Program::instr_at_index(size_t idx) {
+  WEC_CHECK(idx < text_.size());
+  return text_[idx];
+}
+
+}  // namespace wecsim

@@ -1,0 +1,98 @@
+// Program image produced by the assembler and consumed by the simulators:
+// a text segment of decoded instructions, an initialized data segment, and a
+// symbol table.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace wecsim {
+
+/// Default segment bases. Text and data live in one flat address space;
+/// the gap leaves room for large text segments.
+inline constexpr Addr kDefaultTextBase = 0x1000;
+inline constexpr Addr kDefaultDataBase = 0x10'0000;
+
+/// An assembled program.
+class Program {
+ public:
+  Program() = default;
+
+  /// --- construction (used by the assembler and program builders) ---
+
+  /// Append an instruction; returns its address.
+  Addr push(const Instruction& instr);
+
+  /// Define a symbol (label or .equ). Throws SimError on redefinition.
+  void define_symbol(const std::string& name, Addr value);
+
+  /// Append raw bytes to the data segment; returns their start address.
+  Addr push_data(const void* bytes, size_t n);
+
+  /// Reserve n zero bytes in the data segment; returns their start address.
+  Addr reserve_data(size_t n);
+
+  /// Align the data cursor to a power-of-two boundary.
+  void align_data(uint64_t alignment);
+
+  void set_entry(Addr entry) { entry_ = entry; }
+
+  /// --- queries ---
+
+  Addr text_base() const { return text_base_; }
+  Addr data_base() const { return data_base_; }
+  Addr entry() const { return entry_; }
+
+  /// First address past the text segment.
+  Addr text_end() const { return text_base_ + text_.size() * kInstrBytes; }
+
+  /// First address past the initialized data segment.
+  Addr data_end() const { return data_base_ + data_.size(); }
+
+  size_t num_instructions() const { return text_.size(); }
+
+  /// True iff pc falls on a valid instruction slot.
+  bool valid_pc(Addr pc) const {
+    return pc >= text_base_ && pc < text_end() &&
+           (pc - text_base_) % kInstrBytes == 0;
+  }
+
+  /// The instruction at pc. Throws SimError for invalid PCs — the timing
+  /// core uses fetch() below for wrong-path-tolerant access.
+  const Instruction& at(Addr pc) const;
+
+  /// Wrong-path-tolerant fetch: returns nullptr for PCs outside the text
+  /// segment (the core treats that as a fetch stall / implicit halt).
+  const Instruction* fetch(Addr pc) const {
+    if (!valid_pc(pc)) return nullptr;
+    return &text_[(pc - text_base_) / kInstrBytes];
+  }
+
+  /// Symbol lookup. Throws SimError if undefined.
+  Addr symbol(const std::string& name) const;
+  bool has_symbol(const std::string& name) const {
+    return symbols_.contains(name);
+  }
+  const std::map<std::string, Addr>& symbols() const { return symbols_; }
+
+  const std::vector<Instruction>& text() const { return text_; }
+  const std::vector<uint8_t>& data() const { return data_; }
+
+  /// Mutable access for late patching (the assembler back-patches label
+  /// references after layout).
+  Instruction& instr_at_index(size_t idx);
+
+ private:
+  Addr text_base_ = kDefaultTextBase;
+  Addr data_base_ = kDefaultDataBase;
+  Addr entry_ = kDefaultTextBase;
+  std::vector<Instruction> text_;
+  std::vector<uint8_t> data_;
+  std::map<std::string, Addr> symbols_;
+};
+
+}  // namespace wecsim

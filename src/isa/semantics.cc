@@ -1,0 +1,165 @@
+#include "isa/semantics.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/error.h"
+
+namespace wecsim {
+
+namespace {
+
+double as_double(Word bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+Word as_bits(double d) {
+  Word bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+SWord sdiv(SWord a, SWord b) {
+  if (b == 0) return -1;
+  if (a == std::numeric_limits<SWord>::min() && b == -1) return a;
+  return a / b;
+}
+
+SWord srem(SWord a, SWord b) {
+  if (b == 0) return a;
+  if (a == std::numeric_limits<SWord>::min() && b == -1) return 0;
+  return a % b;
+}
+
+}  // namespace
+
+Word eval_alu(const Instruction& instr, Word src1, Word src2) {
+  const auto sa = static_cast<SWord>(src1);
+  const auto sb = static_cast<SWord>(src2);
+  const auto imm = instr.imm;
+  switch (instr.op) {
+    case Opcode::kAdd:
+      return src1 + src2;
+    case Opcode::kSub:
+      return src1 - src2;
+    case Opcode::kMul:
+      return src1 * src2;
+    case Opcode::kDiv:
+      return static_cast<Word>(sdiv(sa, sb));
+    case Opcode::kRem:
+      return static_cast<Word>(srem(sa, sb));
+    case Opcode::kAnd:
+      return src1 & src2;
+    case Opcode::kOr:
+      return src1 | src2;
+    case Opcode::kXor:
+      return src1 ^ src2;
+    case Opcode::kSll:
+      return src1 << (src2 & 63);
+    case Opcode::kSrl:
+      return src1 >> (src2 & 63);
+    case Opcode::kSra:
+      return static_cast<Word>(sa >> (src2 & 63));
+    case Opcode::kSlt:
+      return sa < sb ? 1 : 0;
+    case Opcode::kSltu:
+      return src1 < src2 ? 1 : 0;
+    case Opcode::kAddi:
+      return src1 + static_cast<Word>(imm);
+    case Opcode::kAndi:
+      return src1 & static_cast<Word>(imm);
+    case Opcode::kOri:
+      return src1 | static_cast<Word>(imm);
+    case Opcode::kXori:
+      return src1 ^ static_cast<Word>(imm);
+    case Opcode::kSlli:
+      return src1 << (imm & 63);
+    case Opcode::kSrli:
+      return src1 >> (imm & 63);
+    case Opcode::kSrai:
+      return static_cast<Word>(sa >> (imm & 63));
+    case Opcode::kSlti:
+      return sa < imm ? 1 : 0;
+    case Opcode::kLi:
+      return static_cast<Word>(imm);
+    case Opcode::kFadd:
+      return as_bits(as_double(src1) + as_double(src2));
+    case Opcode::kFsub:
+      return as_bits(as_double(src1) - as_double(src2));
+    case Opcode::kFmul:
+      return as_bits(as_double(src1) * as_double(src2));
+    case Opcode::kFdiv:
+      return as_bits(as_double(src1) / as_double(src2));
+    case Opcode::kFcvtDL:
+      return as_bits(static_cast<double>(sa));
+    case Opcode::kFcvtLD: {
+      const double d = as_double(src1);
+      if (std::isnan(d)) return 0;
+      if (d >= 9.2233720368547758e18) {
+        return static_cast<Word>(std::numeric_limits<SWord>::max());
+      }
+      if (d <= -9.2233720368547758e18) {
+        return static_cast<Word>(std::numeric_limits<SWord>::min());
+      }
+      return static_cast<Word>(static_cast<SWord>(d));
+    }
+    case Opcode::kFeq:
+      return as_double(src1) == as_double(src2) ? 1 : 0;
+    case Opcode::kFlt:
+      return as_double(src1) < as_double(src2) ? 1 : 0;
+    case Opcode::kFle:
+      return as_double(src1) <= as_double(src2) ? 1 : 0;
+    case Opcode::kFli:
+      return static_cast<Word>(imm);
+    case Opcode::kFmv:
+      return src1;
+    default:
+      WEC_CHECK_MSG(false, "eval_alu called on non-ALU opcode");
+  }
+}
+
+bool eval_branch(const Instruction& instr, Word src1, Word src2) {
+  const auto sa = static_cast<SWord>(src1);
+  const auto sb = static_cast<SWord>(src2);
+  switch (instr.op) {
+    case Opcode::kBeq:
+      return src1 == src2;
+    case Opcode::kBne:
+      return src1 != src2;
+    case Opcode::kBlt:
+      return sa < sb;
+    case Opcode::kBge:
+      return sa >= sb;
+    case Opcode::kBltu:
+      return src1 < src2;
+    case Opcode::kBgeu:
+      return src1 >= src2;
+    default:
+      WEC_CHECK_MSG(false, "eval_branch called on non-branch opcode");
+  }
+}
+
+Addr eval_mem_addr(const Instruction& instr, Word base) {
+  return static_cast<Addr>(base + static_cast<Word>(instr.imm));
+}
+
+Word extend_loaded(Opcode op, uint64_t raw) {
+  switch (op) {
+    case Opcode::kLb:
+      return static_cast<Word>(static_cast<SWord>(static_cast<int8_t>(raw)));
+    case Opcode::kLbu:
+      return raw & 0xff;
+    case Opcode::kLw:
+      return static_cast<Word>(static_cast<SWord>(static_cast<int32_t>(raw)));
+    case Opcode::kLd:
+    case Opcode::kFld:
+      return raw;
+    default:
+      WEC_CHECK_MSG(false, "extend_loaded called on non-load opcode");
+  }
+}
+
+}  // namespace wecsim

@@ -1,0 +1,27 @@
+// Shared architectural semantics: the single source of truth for what each
+// instruction computes. Both the functional interpreter and the out-of-order
+// timing core call these, so differential tests compare timing against the
+// same definitions they execute.
+#pragma once
+
+#include "common/types.h"
+#include "isa/isa.h"
+
+namespace wecsim {
+
+/// Result of a computational (register-writing, non-memory) instruction.
+/// FP operands/results are IEEE-double bit patterns carried in Words.
+/// Integer division follows RISC-V semantics: x/0 == -1, rem(x,0) == x,
+/// INT64_MIN / -1 == INT64_MIN (no trap, no UB).
+Word eval_alu(const Instruction& instr, Word src1, Word src2);
+
+/// Branch taken/not-taken decision.
+bool eval_branch(const Instruction& instr, Word src1, Word src2);
+
+/// Effective address of a load/store/tsaddr.
+Addr eval_mem_addr(const Instruction& instr, Word base);
+
+/// Sign-/zero-extend a raw little-endian memory value per the load opcode.
+Word extend_loaded(Opcode op, uint64_t raw);
+
+}  // namespace wecsim

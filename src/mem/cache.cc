@@ -1,0 +1,123 @@
+#include "mem/cache.h"
+
+#include "common/bits.h"
+#include "common/error.h"
+
+namespace wecsim {
+
+SetAssocCache::SetAssocCache(const CacheGeom& geom) : geom_(geom) {
+  WEC_CHECK_MSG(is_pow2(geom.block_bytes), "block size must be a power of 2");
+  WEC_CHECK_MSG(geom.size_bytes % geom.block_bytes == 0,
+                "cache size must be a multiple of the block size");
+  WEC_CHECK_MSG(geom.assoc >= 1 && geom.num_blocks() % geom.assoc == 0,
+                "associativity must divide the block count");
+  WEC_CHECK_MSG(is_pow2(geom.num_sets()), "set count must be a power of 2");
+  block_mask_ = geom.block_bytes - 1;
+  set_shift_ = exact_log2(geom.block_bytes);
+  set_mask_ = geom.num_sets() - 1;
+  lines_.resize(geom.num_blocks());
+}
+
+uint64_t SetAssocCache::set_index(Addr addr) const {
+  return (addr >> set_shift_) & set_mask_;
+}
+
+Addr SetAssocCache::tag_of(Addr addr) const {
+  return addr >> set_shift_ >> exact_log2(geom_.num_sets());
+}
+
+SetAssocCache::Line* SetAssocCache::find(Addr addr) {
+  const uint64_t set = set_index(addr);
+  const Addr tag = tag_of(addr);
+  Line* base = &lines_[set * geom_.assoc];
+  for (uint32_t way = 0; way < geom_.assoc; ++way) {
+    if (base[way].valid && base[way].tag == tag) return &base[way];
+  }
+  return nullptr;
+}
+
+const SetAssocCache::Line* SetAssocCache::find(Addr addr) const {
+  return const_cast<SetAssocCache*>(this)->find(addr);
+}
+
+bool SetAssocCache::contains(Addr addr) const { return find(addr) != nullptr; }
+
+std::optional<Cycle> SetAssocCache::access(Addr addr, bool mark_dirty,
+                                           Cycle now) {
+  Line* line = find(addr);
+  if (line == nullptr) return std::nullopt;
+  line->lru = ++lru_clock_;
+  if (mark_dirty) line->dirty = true;
+  return line->ready > now ? line->ready : now;
+}
+
+std::optional<Evicted> SetAssocCache::insert(Addr addr, bool dirty,
+                                             Cycle ready_cycle) {
+  if (Line* hit = find(addr); hit != nullptr) {
+    // Re-insertion of a resident block (e.g. coherence refresh): just renew.
+    hit->lru = ++lru_clock_;
+    hit->dirty = hit->dirty || dirty;
+    return std::nullopt;
+  }
+  const uint64_t set = set_index(addr);
+  Line* base = &lines_[set * geom_.assoc];
+  Line* victim = &base[0];
+  for (uint32_t way = 1; way < geom_.assoc; ++way) {
+    Line& candidate = base[way];
+    if (!candidate.valid) {
+      victim = &candidate;
+      break;
+    }
+    if (victim->valid && candidate.lru < victim->lru) victim = &candidate;
+  }
+  std::optional<Evicted> evicted;
+  if (victim->valid) {
+    const Addr victim_addr =
+        ((victim->tag << exact_log2(geom_.num_sets()) | set) << set_shift_);
+    evicted = Evicted{victim_addr, victim->dirty};
+  }
+  victim->valid = true;
+  victim->dirty = dirty;
+  victim->prefetch_tag = false;
+  victim->tag = tag_of(addr);
+  victim->lru = ++lru_clock_;
+  victim->ready = ready_cycle;
+  return evicted;
+}
+
+std::optional<bool> SetAssocCache::invalidate(Addr addr) {
+  Line* line = find(addr);
+  if (line == nullptr) return std::nullopt;
+  line->valid = false;
+  return line->dirty;
+}
+
+bool SetAssocCache::touch_update(Addr addr) {
+  Line* line = find(addr);
+  if (line == nullptr) return false;
+  line->dirty = true;
+  return true;
+}
+
+bool SetAssocCache::prefetch_tag(Addr addr) const {
+  const Line* line = find(addr);
+  return line != nullptr && line->prefetch_tag;
+}
+
+void SetAssocCache::set_prefetch_tag(Addr addr, bool tag) {
+  Line* line = find(addr);
+  if (line != nullptr) line->prefetch_tag = tag;
+}
+
+std::optional<Cycle> SetAssocCache::ready_cycle(Addr addr) const {
+  const Line* line = find(addr);
+  if (line == nullptr) return std::nullopt;
+  return line->ready;
+}
+
+void SetAssocCache::clear() {
+  for (Line& line : lines_) line = Line{};
+  lru_clock_ = 0;
+}
+
+}  // namespace wecsim

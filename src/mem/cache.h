@@ -1,0 +1,96 @@
+// Generic set-associative cache tag array with true-LRU replacement.
+//
+// Tag-only timing model: data values live in FlatMemory plus the speculative
+// buffers; caches track presence, dirtiness, and the cycle at which an
+// in-flight fill completes (ready_cycle), which models MSHR-style partial
+// miss coverage for prefetched blocks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wecsim {
+
+/// Geometry of one cache level.
+struct CacheGeom {
+  uint64_t size_bytes = 8 * 1024;
+  uint32_t assoc = 1;
+  uint32_t block_bytes = 64;
+
+  uint64_t num_blocks() const { return size_bytes / block_bytes; }
+  uint64_t num_sets() const { return num_blocks() / assoc; }
+};
+
+/// A block evicted by an insertion.
+struct Evicted {
+  Addr block_addr;  // block-aligned address
+  bool dirty;
+};
+
+class SetAssocCache {
+ public:
+  /// Geometry must be power-of-two sized with assoc dividing the block count.
+  explicit SetAssocCache(const CacheGeom& geom);
+
+  uint32_t block_bytes() const { return geom_.block_bytes; }
+  Addr block_addr(Addr addr) const { return addr & ~block_mask_; }
+
+  /// Presence test without touching replacement state.
+  bool contains(Addr addr) const;
+
+  /// Hit test that updates LRU on hit. Returns the block's ready cycle if
+  /// present (kNoCycle-free: a hit on a still-filling block returns when the
+  /// fill completes), or std::nullopt on miss.
+  std::optional<Cycle> access(Addr addr, bool mark_dirty, Cycle now);
+
+  /// Insert (allocating) the block containing addr; returns the victim if a
+  /// valid block was displaced. ready_cycle records when the fill completes.
+  std::optional<Evicted> insert(Addr addr, bool dirty, Cycle ready_cycle);
+
+  /// Remove the block if present; returns whether it was dirty.
+  std::optional<bool> invalidate(Addr addr);
+
+  /// Mark an existing block dirty (e.g. coherence update); no-op on miss.
+  /// Returns true if the block was present.
+  bool touch_update(Addr addr);
+
+  /// Tagged-prefetch support: per-block "prefetched, not yet referenced" bit.
+  bool prefetch_tag(Addr addr) const;
+  void set_prefetch_tag(Addr addr, bool tag);
+
+  /// Ready cycle of a resident block (fill completion time).
+  std::optional<Cycle> ready_cycle(Addr addr) const;
+
+  /// Drop everything.
+  void clear();
+
+  uint64_t num_sets() const { return geom_.num_sets(); }
+  uint32_t assoc() const { return geom_.assoc; }
+
+ private:
+  struct Line {
+    bool valid = false;
+    bool dirty = false;
+    bool prefetch_tag = false;
+    Addr tag = 0;
+    uint64_t lru = 0;  // larger = more recently used
+    Cycle ready = 0;
+  };
+
+  Line* find(Addr addr);
+  const Line* find(Addr addr) const;
+  uint64_t set_index(Addr addr) const;
+  Addr tag_of(Addr addr) const;
+
+  CacheGeom geom_;
+  Addr block_mask_;
+  uint32_t set_shift_;
+  uint64_t set_mask_;
+  uint64_t lru_clock_ = 0;
+  std::vector<Line> lines_;  // sets * assoc, row-major by set
+};
+
+}  // namespace wecsim

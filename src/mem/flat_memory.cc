@@ -1,0 +1,74 @@
+#include "mem/flat_memory.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace wecsim {
+
+const FlatMemory::Page* FlatMemory::find_page(Addr addr) const {
+  auto it = pages_.find(addr >> kPageBits);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+FlatMemory::Page& FlatMemory::get_page(Addr addr) {
+  auto [it, inserted] = pages_.try_emplace(addr >> kPageBits);
+  if (inserted) it->second.assign(kPageSize, 0);
+  return it->second;
+}
+
+uint64_t FlatMemory::read(Addr addr, uint32_t n) const {
+  WEC_CHECK_MSG(n >= 1 && n <= 8, "read width must be 1..8");
+  uint64_t value = 0;
+  // Fast path: access within one page.
+  const Addr offset = addr & kPageMask;
+  if (offset + n <= kPageSize) {
+    const Page* page = find_page(addr);
+    if (page == nullptr) return 0;
+    std::memcpy(&value, page->data() + offset, n);
+    return value;
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    const Page* page = find_page(addr + i);
+    const uint8_t byte =
+        page == nullptr ? 0 : (*page)[(addr + i) & kPageMask];
+    value |= static_cast<uint64_t>(byte) << (8 * i);
+  }
+  return value;
+}
+
+void FlatMemory::write(Addr addr, uint64_t value, uint32_t n) {
+  WEC_CHECK_MSG(n >= 1 && n <= 8, "write width must be 1..8");
+  const Addr offset = addr & kPageMask;
+  if (offset + n <= kPageSize) {
+    Page& page = get_page(addr);
+    std::memcpy(page.data() + offset, &value, n);
+    return;
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    Page& page = get_page(addr + i);
+    page[(addr + i) & kPageMask] = static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+double FlatMemory::read_f64(Addr addr) const {
+  const uint64_t bits = read_u64(addr);
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+void FlatMemory::write_f64(Addr addr, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  write_u64(addr, bits);
+}
+
+void FlatMemory::load_program(const Program& program) {
+  const auto& data = program.data();
+  for (size_t i = 0; i < data.size(); ++i) {
+    write_u8(program.data_base() + i, data[i]);
+  }
+}
+
+}  // namespace wecsim

@@ -1,0 +1,66 @@
+// Sparse byte-addressable functional memory. Holds the architectural memory
+// image shared by the functional interpreter and the timing simulator (the
+// timing caches are tag-only; data values always come from here plus the
+// speculative buffers layered on top).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/program.h"
+
+namespace wecsim {
+
+class FlatMemory {
+ public:
+  FlatMemory() = default;
+  FlatMemory(const FlatMemory&) = delete;
+  FlatMemory& operator=(const FlatMemory&) = delete;
+  FlatMemory(FlatMemory&&) = default;
+  FlatMemory& operator=(FlatMemory&&) = default;
+
+  /// Read n bytes (n ≤ 8) little-endian, zero-extended. Unwritten memory
+  /// reads as zero.
+  uint64_t read(Addr addr, uint32_t n) const;
+
+  /// Write the low n bytes (n ≤ 8) of value little-endian.
+  void write(Addr addr, uint64_t value, uint32_t n);
+
+  uint64_t read_u64(Addr addr) const { return read(addr, 8); }
+  uint32_t read_u32(Addr addr) const {
+    return static_cast<uint32_t>(read(addr, 4));
+  }
+  uint8_t read_u8(Addr addr) const { return static_cast<uint8_t>(read(addr, 1)); }
+  void write_u64(Addr addr, uint64_t value) { write(addr, value, 8); }
+  void write_u32(Addr addr, uint32_t value) { write(addr, value, 4); }
+  void write_u8(Addr addr, uint8_t value) { write(addr, value, 1); }
+
+  double read_f64(Addr addr) const;
+  void write_f64(Addr addr, double value);
+
+  /// Copy a program's initialized data segment into memory.
+  void load_program(const Program& program);
+
+  /// Number of resident pages (for tests / footprint reporting).
+  size_t resident_pages() const { return pages_.size(); }
+
+  /// Drop all contents.
+  void clear() { pages_.clear(); }
+
+ private:
+  static constexpr uint32_t kPageBits = 12;
+  static constexpr Addr kPageSize = Addr{1} << kPageBits;
+  static constexpr Addr kPageMask = kPageSize - 1;
+
+  using Page = std::vector<uint8_t>;
+
+  const Page* find_page(Addr addr) const;
+  Page& get_page(Addr addr);
+
+  std::unordered_map<Addr, Page> pages_;
+};
+
+}  // namespace wecsim

@@ -1,0 +1,284 @@
+#include "mem/mem_system.h"
+
+#include "common/error.h"
+
+namespace wecsim {
+
+// ---------------------------------------------------------------------------
+// SharedL2
+// ---------------------------------------------------------------------------
+
+SharedL2::SharedL2(const MemConfig& config, StatsRegistry& stats)
+    : config_(config),
+      tags_(config.l2),
+      accesses_(stats.counter("l2.accesses")),
+      misses_(stats.counter("l2.misses")),
+      writebacks_(stats.counter("l2.writebacks")),
+      mem_reads_(stats.counter("mem.reads")) {}
+
+Cycle SharedL2::access(Addr addr, Cycle now) {
+  accesses_.inc();
+  const Cycle start = std::max(now, next_free_);
+  next_free_ = start + config_.l2_occupancy;
+  if (auto hit = tags_.access(addr, /*mark_dirty=*/false, start)) {
+    // Hit (possibly on a still-filling line: wait for the fill).
+    return std::max(*hit, start + config_.l2_hit_lat);
+  }
+  misses_.inc();
+  mem_reads_.inc();
+  const Cycle done = start + config_.l2_hit_lat + config_.mem_lat;
+  auto evicted = tags_.insert(addr, /*dirty=*/false, done);
+  if (evicted.has_value() && evicted->dirty) {
+    writebacks_.inc();
+    next_free_ += config_.l2_occupancy;  // write-back consumes bandwidth
+  }
+  return done;
+}
+
+void SharedL2::write_back(Addr addr, Cycle now) {
+  writebacks_.inc();
+  const Cycle start = std::max(now, next_free_);
+  next_free_ = start + config_.l2_occupancy;
+  // Mark (or allocate) the block dirty in L2; a miss here models a
+  // write-back going straight to memory.
+  if (!tags_.touch_update(addr)) {
+    // No allocation on write-back miss: memory absorbs it.
+  }
+}
+
+void SharedL2::reset() {
+  tags_.clear();
+  next_free_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// TuMemSystem
+// ---------------------------------------------------------------------------
+
+TuMemSystem::TuMemSystem(const MemConfig& config, SharedL2& l2,
+                         StatsRegistry& stats, const std::string& stat_prefix)
+    : config_(config),
+      l2_(l2),
+      l1i_(config.l1i),
+      l1d_(config.l1d),
+      l1d_accesses_(stats.counter(stat_prefix + "l1d.accesses")),
+      l1d_wrong_accesses_(stats.counter(stat_prefix + "l1d.wrong_accesses")),
+      l1d_misses_(stats.counter(stat_prefix + "l1d.misses")),
+      l1d_wrong_misses_(stats.counter(stat_prefix + "l1d.wrong_misses")),
+      side_hits_(stats.counter(stat_prefix + "side.hits")),
+      side_wrong_hits_(stats.counter(stat_prefix + "side.wrong_hits")),
+      wec_fills_(stats.counter(stat_prefix + "side.wrong_fills")),
+      prefetches_(stats.counter(stat_prefix + "side.prefetches")),
+      l1i_accesses_(stats.counter(stat_prefix + "l1i.accesses")),
+      l1i_misses_(stats.counter(stat_prefix + "l1i.misses")),
+      coherence_updates_(stats.counter(stat_prefix + "coherence.updates")) {
+  if (config.side != SideKind::kNone) {
+    side_ = std::make_unique<SideCache>(config.side_entries,
+                                        config.l1d.block_bytes);
+  }
+}
+
+void TuMemSystem::handle_side_eviction(const std::optional<Evicted>& evicted,
+                                       Cycle now) {
+  if (evicted.has_value() && evicted->dirty) {
+    l2_.write_back(evicted->block_addr, now);
+  }
+}
+
+Cycle TuMemSystem::fill_l1(Addr addr, bool dirty, Cycle now) {
+  const Cycle done = l2_.access(addr, now);
+  auto victim = l1d_.insert(addr, dirty, done);
+  if (victim.has_value()) {
+    if (side_ != nullptr && (config_.side == SideKind::kVictim ||
+                             config_.side == SideKind::kWec)) {
+      // Victim-caching role: the displaced L1 block moves into the side
+      // structure, dirty bit and all.
+      auto displaced = side_->insert(victim->block_addr, SideOrigin::kVictim,
+                                     victim->dirty, now);
+      handle_side_eviction(displaced, now);
+    } else if (victim->dirty) {
+      l2_.write_back(victim->block_addr, now);
+    }
+  }
+  return done;
+}
+
+void TuMemSystem::prefetch_next(Addr addr, Cycle now) {
+  WEC_CHECK(side_ != nullptr);
+  const Addr next = l1d_.block_addr(addr) + l1d_.block_bytes();
+  if (l1d_.contains(next) || side_->contains(next)) return;
+  prefetches_.inc();
+  const Cycle done = l2_.access(next, now);
+  auto displaced = side_->insert(next, SideOrigin::kPrefetch,
+                                 /*dirty=*/false, done);
+  handle_side_eviction(displaced, now);
+}
+
+MemOutcome TuMemSystem::correct_load(Addr addr, Cycle now) {
+  l1d_accesses_.inc();
+  if (auto hit = l1d_.access(addr, /*mark_dirty=*/false, now)) {
+    // Tagged next-line prefetch: the first demand hit to a prefetched block
+    // triggers the next prefetch.
+    if (config_.side == SideKind::kPrefetchBuffer && config_.nlp_tagged &&
+        l1d_.prefetch_tag(addr)) {
+      l1d_.set_prefetch_tag(addr, false);
+      prefetch_next(addr, now);
+    }
+    return {*hit + config_.l1_hit_lat, true, false};
+  }
+  l1d_misses_.inc();
+
+  if (side_ != nullptr) {
+    if (auto entry = side_->probe(addr)) {
+      side_hits_.inc();
+      const Cycle ready = std::max(now, entry->ready);
+      side_->extract(addr);
+      // The block moves into the L1; under vc/wec the L1 victim swaps into
+      // the side cache, under nlp the promoted block keeps its prefetch tag.
+      auto victim = l1d_.insert(addr, entry->dirty, ready);
+      if (config_.side == SideKind::kPrefetchBuffer) {
+        l1d_.set_prefetch_tag(addr, true);
+        if (victim.has_value() && victim->dirty) {
+          l2_.write_back(victim->block_addr, now);
+        }
+      } else if (victim.has_value()) {
+        auto displaced = side_->insert(victim->block_addr, SideOrigin::kVictim,
+                                       victim->dirty, now);
+        handle_side_eviction(displaced, now);
+      }
+      // WEC rule: a correct-path hit on a wrong-fetched block initiates a
+      // next-line prefetch into the WEC (Fig. 6).
+      if (config_.side == SideKind::kWec &&
+          (entry->origin == SideOrigin::kWrongExec ||
+           (config_.wec_chain_prefetch &&
+            entry->origin == SideOrigin::kPrefetch))) {
+        prefetch_next(addr, ready);
+      }
+      return {ready + config_.side_hit_lat, false, true};
+    }
+  }
+
+  // Miss everywhere: demand fill from L2/memory into the L1.
+  const Cycle done = fill_l1(addr, /*dirty=*/false, now);
+  // Plain next-line prefetch-on-miss for the nlp configuration.
+  if (config_.side == SideKind::kPrefetchBuffer) {
+    l1d_.set_prefetch_tag(addr, true);
+    prefetch_next(addr, now);
+  }
+  return {done, false, false};
+}
+
+MemOutcome TuMemSystem::wrong_load(Addr addr, ExecMode mode, Cycle now) {
+  (void)mode;
+  l1d_accesses_.inc();
+  l1d_wrong_accesses_.inc();
+  if (auto hit = l1d_.access(addr, /*mark_dirty=*/false, now)) {
+    return {*hit + config_.l1_hit_lat, true, false};
+  }
+  l1d_wrong_misses_.inc();
+
+  if (config_.side == SideKind::kWec) {
+    if (auto ready = side_->access(addr, now)) {
+      side_wrong_hits_.inc();
+      // Served by the WEC; no promotion into the L1 (Fig. 6 wrong-exec path).
+      return {*ready + config_.side_hit_lat, false, true};
+    }
+    // Fill the WEC from the next level; the L1 is untouched so wrong
+    // execution can never pollute it.
+    wec_fills_.inc();
+    const Cycle done = l2_.access(addr, now);
+    auto displaced =
+        side_->insert(addr, SideOrigin::kWrongExec, /*dirty=*/false, done);
+    handle_side_eviction(displaced, now);
+    return {done, false, false};
+  }
+
+  // No WEC: wrong-execution loads are treated like correct loads (they fill
+  // the L1 and may pollute it). This is exactly the wp/wth/wth-wp(-vc)
+  // behaviour the paper measures against. Note l1d.misses stays correct-path
+  // only; wrong-execution misses are tracked separately.
+  if (side_ != nullptr) {
+    if (auto entry = side_->probe(addr)) {
+      side_hits_.inc();
+      const Cycle ready = std::max(now, entry->ready);
+      side_->extract(addr);
+      auto victim = l1d_.insert(addr, entry->dirty, ready);
+      if (config_.side == SideKind::kVictim) {
+        if (victim.has_value()) {
+          auto displaced = side_->insert(victim->block_addr,
+                                         SideOrigin::kVictim, victim->dirty,
+                                         now);
+          handle_side_eviction(displaced, now);
+        }
+      } else if (victim.has_value() && victim->dirty) {
+        l2_.write_back(victim->block_addr, now);
+      }
+      return {ready + config_.side_hit_lat, false, true};
+    }
+  }
+  const Cycle done = fill_l1(addr, /*dirty=*/false, now);
+  if (config_.side == SideKind::kPrefetchBuffer) {
+    l1d_.set_prefetch_tag(addr, true);
+    prefetch_next(addr, now);
+  }
+  return {done, false, false};
+}
+
+MemOutcome TuMemSystem::load(Addr addr, ExecMode mode, Cycle now) {
+  return is_wrong(mode) ? wrong_load(addr, mode, now)
+                        : correct_load(addr, now);
+}
+
+MemOutcome TuMemSystem::store(Addr addr, Cycle now) {
+  l1d_accesses_.inc();
+  if (auto hit = l1d_.access(addr, /*mark_dirty=*/true, now)) {
+    return {*hit + config_.l1_hit_lat, true, false};
+  }
+  l1d_misses_.inc();
+  if (side_ != nullptr) {
+    if (auto entry = side_->probe(addr)) {
+      side_hits_.inc();
+      const Cycle ready = std::max(now, entry->ready);
+      side_->extract(addr);
+      auto victim = l1d_.insert(addr, /*dirty=*/true, ready);
+      if (config_.side != SideKind::kPrefetchBuffer && victim.has_value()) {
+        auto displaced = side_->insert(victim->block_addr, SideOrigin::kVictim,
+                                       victim->dirty, now);
+        handle_side_eviction(displaced, now);
+      } else if (victim.has_value() && victim->dirty) {
+        l2_.write_back(victim->block_addr, now);
+      }
+      return {ready + config_.side_hit_lat, false, true};
+    }
+  }
+  // Write-allocate miss; the store buffer hides the fill latency from the
+  // committing thread, so the returned cycle is just the port occupancy.
+  fill_l1(addr, /*dirty=*/true, now);
+  return {now + config_.l1_hit_lat, false, false};
+}
+
+Cycle TuMemSystem::ifetch(Addr pc, Cycle now) {
+  l1i_accesses_.inc();
+  if (auto hit = l1i_.access(pc, /*mark_dirty=*/false, now)) {
+    return *hit + config_.l1_hit_lat;
+  }
+  l1i_misses_.inc();
+  const Cycle done = l2_.access(pc, now);
+  auto victim = l1i_.insert(pc, /*dirty=*/false, done);
+  (void)victim;  // instruction blocks are never dirty
+  return done;
+}
+
+void TuMemSystem::coherence_update(Addr addr) {
+  bool touched = l1d_.touch_update(addr);
+  if (side_ != nullptr) touched = side_->touch_update(addr) || touched;
+  if (touched) coherence_updates_.inc();
+}
+
+void TuMemSystem::reset() {
+  l1i_.clear();
+  l1d_.clear();
+  if (side_ != nullptr) side_->clear();
+}
+
+}  // namespace wecsim

@@ -1,0 +1,160 @@
+// Per-thread-unit memory hierarchy plus the shared L2, implementing the
+// paper's memory-system semantics (Section 3.2, Figures 5 and 6):
+//
+//   * every TU has a private L1 I-cache and L1 D-cache;
+//   * an optional fully-associative side structure sits in parallel with the
+//     L1 D-cache, configured as a victim cache (vc configs), a Wrong
+//     Execution Cache (wec configs), or a next-line-prefetch buffer (nlp);
+//   * a unified L2 is shared by all TUs with limited bandwidth;
+//   * main memory is a flat round-trip latency.
+//
+// Loads carry an execution mode: correct, wrong-path, or wrong-thread.
+// Routing rules (Fig. 6):
+//   correct load,  L1 hit             -> normal hit
+//   correct load,  L1 miss, side hit  -> vc/wec: swap block into L1, victim
+//                                        into side; wec additionally issues a
+//                                        next-line prefetch when the side
+//                                        block was wrong-fetched/prefetched;
+//                                        nlp: promote to L1, tagged prefetch
+//   correct load,  both miss          -> fill L1 from L2/memory; vc/wec: L1
+//                                        victim into the side cache; nlp:
+//                                        prefetch next line into the buffer
+//   wrong load,    L1 hit             -> normal hit (LRU update only)
+//   wrong load,    L1 miss, side hit  -> wec: serve from WEC, update its LRU,
+//                                        no promotion into L1
+//   wrong load,    both miss          -> wec: fill the WEC, never the L1;
+//                                        without a WEC (wp/wth/wth-wp/vc
+//                                        configs) wrong loads fill the L1
+//                                        directly — that is the pollution the
+//                                        WEC exists to remove
+// Stores reach the hierarchy only from correct execution (write-back stage /
+// sequential commit); they are write-back write-allocate and never stall the
+// committing thread (store-buffer assumption).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "mem/cache.h"
+#include "mem/side_cache.h"
+
+namespace wecsim {
+
+/// Execution provenance of a memory access.
+enum class ExecMode : uint8_t { kCorrect, kWrongPath, kWrongThread };
+
+inline bool is_wrong(ExecMode mode) { return mode != ExecMode::kCorrect; }
+
+/// What sits beside the L1 data cache.
+enum class SideKind : uint8_t { kNone, kVictim, kWec, kPrefetchBuffer };
+
+struct MemConfig {
+  CacheGeom l1i{32 * 1024, 2, 64};
+  CacheGeom l1d{8 * 1024, 1, 64};
+  CacheGeom l2{512 * 1024, 4, 128};
+  uint32_t l1_hit_lat = 1;
+  uint32_t side_hit_lat = 2;   // L1-miss/side-hit service (swap) latency
+  uint32_t l2_hit_lat = 12;
+  uint32_t l2_occupancy = 1;   // L2 bandwidth: cycles a request holds the L2
+  uint32_t mem_lat = 200;      // round-trip main-memory latency (paper: 200)
+  SideKind side = SideKind::kNone;
+  uint32_t side_entries = 8;   // paper default WEC: 8 entries
+  bool nlp_tagged = true;      // nlp: prefetch on miss AND first hit to a
+                               // prefetched block (tagged prefetching)
+  bool wec_chain_prefetch = true;  // WEC: next-line prefetch also when the
+                                   // hit block came from an earlier prefetch
+};
+
+/// Unified L2 shared by every thread unit. Models tag state, bandwidth
+/// occupancy, and the flat memory latency behind it.
+class SharedL2 {
+ public:
+  SharedL2(const MemConfig& config, StatsRegistry& stats);
+
+  /// Fetch the block containing addr into L2 (if absent) and return the
+  /// cycle its data is available to the requester.
+  Cycle access(Addr addr, Cycle now);
+
+  /// Account a dirty write-back from an L1/side cache (consumes bandwidth,
+  /// does not return data).
+  void write_back(Addr addr, Cycle now);
+
+  void reset();
+
+ private:
+  MemConfig config_;
+  SetAssocCache tags_;
+  Cycle next_free_ = 0;
+  StatsRegistry::Counter accesses_;
+  StatsRegistry::Counter misses_;
+  StatsRegistry::Counter writebacks_;
+  StatsRegistry::Counter mem_reads_;
+};
+
+/// Outcome of a data access, for stats and core scheduling.
+struct MemOutcome {
+  Cycle done;        // cycle the value is available / store is accepted
+  bool l1_hit;
+  bool side_hit;     // hit in vc/wec/prefetch buffer
+};
+
+/// One thread unit's private hierarchy, sharing a SharedL2 with its peers.
+class TuMemSystem {
+ public:
+  /// stat_prefix is e.g. "tu3." — counters land under "tu3.l1d.*".
+  TuMemSystem(const MemConfig& config, SharedL2& l2, StatsRegistry& stats,
+              const std::string& stat_prefix);
+
+  /// Data-side load. The mode selects the routing rules above.
+  MemOutcome load(Addr addr, ExecMode mode, Cycle now);
+
+  /// Data-side store commit (correct execution only).
+  MemOutcome store(Addr addr, Cycle now);
+
+  /// Instruction fetch of the block containing pc. Returns the cycle the
+  /// fetch group is available.
+  Cycle ifetch(Addr pc, Cycle now);
+
+  /// Coherence: another TU (or the sequential thread) committed a store to
+  /// addr. Refreshes any local copy; counts the shared-bus update. Per the
+  /// paper this adds no delay — traffic goes to otherwise idle caches.
+  void coherence_update(Addr addr);
+
+  void reset();
+
+  SideKind side_kind() const { return config_.side; }
+  uint32_t l1d_block_bytes() const { return l1d_.block_bytes(); }
+
+ private:
+  MemOutcome correct_load(Addr addr, Cycle now);
+  MemOutcome wrong_load(Addr addr, ExecMode mode, Cycle now);
+  /// Fill the L1 from L2/memory; routes the L1 victim per the side config.
+  Cycle fill_l1(Addr addr, bool dirty, Cycle now);
+  /// Issue a next-line prefetch into the side structure (WEC or nlp buffer).
+  void prefetch_next(Addr addr, Cycle now);
+  void handle_side_eviction(const std::optional<Evicted>& evicted, Cycle now);
+
+  MemConfig config_;
+  SharedL2& l2_;
+  SetAssocCache l1i_;
+  SetAssocCache l1d_;
+  std::unique_ptr<SideCache> side_;
+
+  // Statistics (names mirror the paper's reported quantities).
+  StatsRegistry::Counter l1d_accesses_;        // processor<->L1 traffic
+  StatsRegistry::Counter l1d_wrong_accesses_;  // portion from wrong execution
+  StatsRegistry::Counter l1d_misses_;          // correct-path L1 misses
+  StatsRegistry::Counter l1d_wrong_misses_;
+  StatsRegistry::Counter side_hits_;
+  StatsRegistry::Counter side_wrong_hits_;
+  StatsRegistry::Counter wec_fills_;           // wrong-execution fills
+  StatsRegistry::Counter prefetches_;
+  StatsRegistry::Counter l1i_accesses_;
+  StatsRegistry::Counter l1i_misses_;
+  StatsRegistry::Counter coherence_updates_;
+};
+
+}  // namespace wecsim

@@ -1,0 +1,95 @@
+#include "mem/side_cache.h"
+
+#include "common/bits.h"
+#include "common/error.h"
+
+namespace wecsim {
+
+SideCache::SideCache(uint32_t entries, uint32_t block_bytes)
+    : block_bytes_(block_bytes) {
+  WEC_CHECK_MSG(entries >= 1, "side cache needs at least one entry");
+  WEC_CHECK_MSG(is_pow2(block_bytes), "block size must be a power of 2");
+  lines_.resize(entries);
+}
+
+SideCache::Line* SideCache::find(Addr addr) {
+  const Addr block = block_addr(addr);
+  for (Line& line : lines_) {
+    if (line.valid && line.block == block) return &line;
+  }
+  return nullptr;
+}
+
+const SideCache::Line* SideCache::find(Addr addr) const {
+  return const_cast<SideCache*>(this)->find(addr);
+}
+
+bool SideCache::contains(Addr addr) const { return find(addr) != nullptr; }
+
+std::optional<SideCache::Hit> SideCache::probe(Addr addr) const {
+  const Line* line = find(addr);
+  if (line == nullptr) return std::nullopt;
+  return Hit{line->origin, line->dirty, line->ready};
+}
+
+std::optional<Cycle> SideCache::access(Addr addr, Cycle now) {
+  Line* line = find(addr);
+  if (line == nullptr) return std::nullopt;
+  line->lru = ++lru_clock_;
+  return line->ready > now ? line->ready : now;
+}
+
+std::optional<SideCache::Hit> SideCache::extract(Addr addr) {
+  Line* line = find(addr);
+  if (line == nullptr) return std::nullopt;
+  Hit hit{line->origin, line->dirty, line->ready};
+  line->valid = false;
+  return hit;
+}
+
+std::optional<Evicted> SideCache::insert(Addr addr, SideOrigin origin,
+                                         bool dirty, Cycle ready_cycle) {
+  Line* slot = find(addr);
+  std::optional<Evicted> displaced;
+  if (slot == nullptr) {
+    slot = &lines_[0];
+    for (Line& line : lines_) {
+      if (!line.valid) {
+        slot = &line;
+        break;
+      }
+      if (slot->valid && line.lru < slot->lru) slot = &line;
+    }
+    if (slot->valid && slot->dirty) {
+      displaced = Evicted{slot->block, true};
+    }
+  } else {
+    dirty = dirty || slot->dirty;
+  }
+  slot->valid = true;
+  slot->dirty = dirty;
+  slot->block = block_addr(addr);
+  slot->origin = origin;
+  slot->lru = ++lru_clock_;
+  slot->ready = ready_cycle;
+  return displaced;
+}
+
+void SideCache::invalidate(Addr addr) {
+  Line* line = find(addr);
+  if (line != nullptr) line->valid = false;
+}
+
+bool SideCache::touch_update(Addr addr) {
+  Line* line = find(addr);
+  if (line == nullptr) return false;
+  line->dirty = true;
+  return true;
+}
+
+void SideCache::clear() {
+  for (Line& line : lines_) line = Line{};
+  lru_clock_ = 0;
+}
+
+}  // namespace wecsim

@@ -1,0 +1,87 @@
+// Small fully-associative cache placed in parallel with an L1 data cache.
+// One implementation backs three roles from the paper:
+//   * victim cache (Jouppi)            — entries originate from L1 evictions
+//   * Wrong Execution Cache (WEC)      — plus wrong-execution fills and
+//                                        next-line prefetches
+//   * prefetch buffer for nlp          — entries originate from prefetches
+// The entry origin is recorded because the WEC's correct-path hit rule
+// ("a hit on a block previously fetched by a wrong-execution load initiates
+// a next-line prefetch") depends on it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/cache.h"  // Evicted
+
+namespace wecsim {
+
+/// How a block got into the side cache.
+enum class SideOrigin : uint8_t {
+  kVictim,     // evicted from L1 by a correct-path fill
+  kWrongExec,  // fetched by a wrong-path or wrong-thread load
+  kPrefetch,   // fetched by a next-line prefetch
+};
+
+class SideCache {
+ public:
+  /// A fully-associative cache with the given number of block entries.
+  SideCache(uint32_t entries, uint32_t block_bytes);
+
+  uint32_t entries() const { return static_cast<uint32_t>(lines_.size()); }
+  uint32_t block_bytes() const { return block_bytes_; }
+  Addr block_addr(Addr addr) const { return addr & ~Addr{block_bytes_ - 1}; }
+
+  bool contains(Addr addr) const;
+
+  /// Full state of a resident entry (hit path reads origin and readiness).
+  struct Hit {
+    SideOrigin origin;
+    bool dirty;
+    Cycle ready;
+  };
+
+  /// Probe without LRU update.
+  std::optional<Hit> probe(Addr addr) const;
+
+  /// Hit + LRU update. Returns the data-ready cycle (≥ now).
+  std::optional<Cycle> access(Addr addr, Cycle now);
+
+  /// Remove the entry for addr and return its state (swap-out path).
+  std::optional<Hit> extract(Addr addr);
+
+  /// Insert a block; evicts LRU if full. Returns the displaced block if it
+  /// was dirty (needs write-back) — clean victims vanish silently, matching
+  /// a victim cache whose lower level is inclusive of nothing.
+  std::optional<Evicted> insert(Addr addr, SideOrigin origin, bool dirty,
+                                Cycle ready_cycle);
+
+  void invalidate(Addr addr);
+
+  /// Coherence refresh: returns true if addr was present (counted as update
+  /// traffic by the caller).
+  bool touch_update(Addr addr);
+
+  void clear();
+
+ private:
+  struct Line {
+    bool valid = false;
+    bool dirty = false;
+    Addr block = 0;
+    SideOrigin origin = SideOrigin::kVictim;
+    uint64_t lru = 0;
+    Cycle ready = 0;
+  };
+
+  Line* find(Addr addr);
+  const Line* find(Addr addr) const;
+
+  uint32_t block_bytes_;
+  uint64_t lru_clock_ = 0;
+  std::vector<Line> lines_;
+};
+
+}  // namespace wecsim

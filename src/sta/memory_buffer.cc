@@ -1,0 +1,142 @@
+#include "sta/memory_buffer.h"
+
+#include "common/error.h"
+
+namespace wecsim {
+
+MemoryBuffer::MemoryBuffer(uint32_t capacity) : capacity_(capacity) {}
+
+MemoryBuffer::Entry& MemoryBuffer::touch(Addr granule) {
+  auto [it, inserted] = entries_.try_emplace(granule);
+  if (inserted) {
+    if (entries_.size() > capacity_) {
+      throw SimError(
+          "speculative memory buffer overflow (capacity " +
+          std::to_string(capacity_) +
+          "): the parallelized loop body writes too many distinct granules");
+    }
+    insert_order_.push_back(granule);
+  }
+  return it->second;
+}
+
+void MemoryBuffer::declare_local_target(Addr addr) {
+  touch(granule_of(addr)).target_local = true;
+}
+
+void MemoryBuffer::declare_upstream_target(Addr granule) {
+  touch(granule).target_upstream = true;
+}
+
+void MemoryBuffer::receive_upstream_data(Addr granule, uint64_t data) {
+  Entry& entry = touch(granule);
+  entry.target_upstream = true;
+  if (entry.own_written) return;  // this thread's own value is younger
+  entry.has_data = true;
+  entry.data = data;
+}
+
+std::vector<Addr> MemoryBuffer::store(Addr addr, Word value, uint32_t bytes,
+                                      const FlatMemory& memory) {
+  std::vector<Addr> targets;
+  Addr pos = addr;
+  uint32_t remaining = bytes;
+  while (remaining > 0) {
+    const Addr granule = granule_of(pos);
+    const uint32_t offset = static_cast<uint32_t>(pos - granule);
+    const uint32_t chunk = std::min(remaining, 8 - offset);
+
+    Entry& entry = touch(granule);
+    uint64_t base = entry.has_data ? entry.data : memory.read_u64(granule);
+    for (uint32_t i = 0; i < chunk; ++i) {
+      const uint64_t byte = (value >> (8 * (pos - addr + i))) & 0xff;
+      const uint32_t bit = 8 * (offset + i);
+      base = (base & ~(uint64_t{0xff} << bit)) | (byte << bit);
+    }
+    entry.data = base;
+    entry.has_data = true;
+    entry.own_written = true;
+    if (entry.target_upstream || entry.target_local) {
+      targets.push_back(granule);
+    }
+    pos += chunk;
+    remaining -= chunk;
+  }
+  return targets;
+}
+
+bool MemoryBuffer::must_stall(Addr addr, uint32_t bytes) const {
+  for (Addr granule = granule_of(addr); granule < addr + bytes;
+       granule += 8) {
+    auto it = entries_.find(granule);
+    if (it == entries_.end()) continue;
+    const Entry& entry = it->second;
+    if (entry.target_upstream && !entry.has_data) return true;
+  }
+  return false;
+}
+
+uint64_t MemoryBuffer::read(Addr addr, uint32_t bytes,
+                            const FlatMemory& memory) const {
+  uint64_t value = 0;
+  for (uint32_t i = 0; i < bytes; ++i) {
+    const Addr byte_addr = addr + i;
+    const Addr granule = granule_of(byte_addr);
+    uint64_t byte;
+    auto it = entries_.find(granule);
+    if (it != entries_.end() && it->second.has_data) {
+      byte = (it->second.data >> (8 * (byte_addr - granule))) & 0xff;
+    } else {
+      byte = memory.read_u8(byte_addr);
+    }
+    value |= byte << (8 * i);
+  }
+  return value;
+}
+
+bool MemoryBuffer::covers(Addr addr, uint32_t bytes) const {
+  for (Addr granule = granule_of(addr); granule < addr + bytes;
+       granule += 8) {
+    auto it = entries_.find(granule);
+    if (it != entries_.end() && it->second.has_data) return true;
+  }
+  return false;
+}
+
+std::vector<std::pair<Addr, uint64_t>> MemoryBuffer::drain_order() const {
+  std::vector<std::pair<Addr, uint64_t>> out;
+  for (Addr granule : insert_order_) {
+    auto it = entries_.find(granule);
+    if (it != entries_.end() && it->second.has_data &&
+        it->second.own_written) {
+      out.emplace_back(granule, it->second.data);
+    }
+  }
+  return out;
+}
+
+size_t MemoryBuffer::data_entries() const {
+  size_t n = 0;
+  for (const auto& [granule, entry] : entries_) n += entry.has_data ? 1 : 0;
+  return n;
+}
+
+void MemoryBuffer::clear() {
+  entries_.clear();
+  insert_order_.clear();
+}
+
+void MemoryBuffer::copy_targets_to(MemoryBuffer& child) const {
+  // Addresses only: the child must wait for its immediate predecessor (this
+  // thread) to produce each target's value. Copying a value here would hand
+  // the child a stale datum this thread is still going to overwrite.
+  for (Addr granule : insert_order_) {
+    auto it = entries_.find(granule);
+    if (it == entries_.end()) continue;
+    const Entry& entry = it->second;
+    if (!(entry.target_upstream || entry.target_local)) continue;
+    child.touch(granule).target_upstream = true;  // upstream to the child
+  }
+}
+
+}  // namespace wecsim

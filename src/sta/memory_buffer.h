@@ -1,0 +1,90 @@
+// Speculative memory buffer of one thread unit (paper Section 2).
+//
+// Every store a thread executes in a parallel region is buffered here until
+// the thread's write-back stage. Target-store entries (declared by TSADDR,
+// locally or forwarded from upstream threads) additionally drive run-time
+// dependence checking: a load that touches an upstream target-store granule
+// whose data has not arrived yet must stall.
+//
+// The buffer operates on 8-byte-aligned granules. Sub-word stores
+// read-modify-write a granule using the thread's view of memory (buffer
+// first, then global memory).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/flat_memory.h"
+
+namespace wecsim {
+
+class MemoryBuffer {
+ public:
+  /// Fully-associative buffer with the given entry capacity (paper: 128).
+  explicit MemoryBuffer(uint32_t capacity = 128);
+
+  static Addr granule_of(Addr addr) { return addr & ~Addr{7}; }
+
+  struct Entry {
+    bool target_upstream = false;  // declared by an upstream thread's TSADDR
+    bool target_local = false;     // declared by this thread's TSADDR
+    bool has_data = false;         // a value is present (store or forward)
+    bool own_written = false;      // this thread stored here (wins over
+                                   // late-arriving upstream forwards)
+    uint64_t data = 0;
+  };
+
+  /// This thread's TSADDR: declare [addr, addr+8) as a target-store slot.
+  void declare_local_target(Addr addr);
+
+  /// An upstream thread's TSADDR arrived over the ring.
+  void declare_upstream_target(Addr granule);
+
+  /// Upstream target-store data arrived over the ring. Ignored if this
+  /// thread already wrote the granule itself (its value is younger in
+  /// program order).
+  void receive_upstream_data(Addr granule, uint64_t data);
+
+  /// Buffer a committed store. Underlying bytes for sub-word merges come
+  /// from `memory` when the granule has no data yet. Returns the granules
+  /// written that are target stores (the caller forwards them downstream).
+  std::vector<Addr> store(Addr addr, Word value, uint32_t bytes,
+                          const FlatMemory& memory);
+
+  /// Dependence gate for a load of [addr, addr+bytes): true if any touched
+  /// granule is an upstream target without data (and not overwritten
+  /// locally) — the load must stall.
+  bool must_stall(Addr addr, uint32_t bytes) const;
+
+  /// Thread-local view of memory: buffered bytes override `memory`.
+  uint64_t read(Addr addr, uint32_t bytes, const FlatMemory& memory) const;
+
+  /// True if the buffer holds data covering any byte of the range (the load
+  /// can then be served from the buffer without a cache access).
+  bool covers(Addr addr, uint32_t bytes) const;
+
+  /// Granules with data, in first-write order (write-back stage drain).
+  std::vector<std::pair<Addr, uint64_t>> drain_order() const;
+
+  size_t size() const { return entries_.size(); }
+  size_t data_entries() const;
+  uint32_t capacity() const { return capacity_; }
+  bool empty() const { return entries_.empty(); }
+  void clear();
+
+  /// Fork support: copy every target entry (and any data it already has)
+  /// into a child buffer. Non-target local stores are thread-private and do
+  /// not transfer.
+  void copy_targets_to(MemoryBuffer& child) const;
+
+ private:
+  Entry& touch(Addr granule);
+
+  uint32_t capacity_;
+  std::map<Addr, Entry> entries_;
+  std::vector<Addr> insert_order_;
+};
+
+}  // namespace wecsim

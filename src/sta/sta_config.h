@@ -1,0 +1,24 @@
+// Top-level configuration of the superthreaded processor.
+#pragma once
+
+#include <cstdint>
+
+#include "cpu/core.h"
+#include "mem/mem_system.h"
+
+namespace wecsim {
+
+struct StaConfig {
+  uint32_t num_tus = 8;
+  CoreConfig core;            // replicated per thread unit
+  MemConfig mem;              // per-TU L1/side + shared L2 parameters
+  uint32_t fork_delay = 4;    // cycles from fork (or TU free) to child start
+  uint32_t ring_hop_cycles = 2;  // per-value thread-to-thread transfer cost
+  uint32_t membuf_entries = 128;
+  uint32_t wb_ports = 2;      // memory-buffer granules committed per cycle
+  bool wrong_thread_exec = false;  // wth configurations
+  uint64_t max_cycles = 2'000'000'000;
+  uint64_t watchdog_cycles = 1'000'000;  // abort if nothing commits this long
+};
+
+}  // namespace wecsim

@@ -1,0 +1,308 @@
+#include "sta/sta_processor.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace wecsim {
+
+StaProcessor::StaProcessor(const StaConfig& config, const Program& program,
+                           StatsRegistry& stats, FlatMemory& memory)
+    : config_(config),
+      program_(program),
+      stats_(stats),
+      memory_(memory),
+      l2_(config.mem, stats),
+      stat_cycles_(stats.counter("sta.cycles")),
+      stat_forks_(stats.counter("sta.forks")),
+      stat_aborts_(stats.counter("sta.aborts")),
+      stat_wrong_threads_(stats.counter("sta.wrong_threads")),
+      stat_ring_msgs_(stats.counter("sta.ring_msgs")),
+      stat_parallel_cycles_(stats.counter("sta.parallel_cycles")) {
+  WEC_CHECK_MSG(config.num_tus >= 1, "need at least one thread unit");
+  for (TuId id = 0; id < config.num_tus; ++id) {
+    tus_.push_back(std::make_unique<ThreadUnit>(id, config_, program, *this,
+                                                l2_, stats, memory));
+  }
+  // The sequential thread starts on TU 0.
+  tus_[0]->start_thread(program.entry(), {}, {},
+                        MemoryBuffer(config.membuf_entries), /*iter=*/0,
+                        /*parallel=*/false);
+  sequential_tu_ = 0;
+}
+
+bool StaProcessor::step() {
+  ++now_;
+  stat_cycles_.inc();
+  // Figure 8 measures the parallelized portions only: count the cycles
+  // during which a parallel region is open (wrong threads running past the
+  // region's end are glue time, not parallel-portion time).
+  if (region_.active) stat_parallel_cycles_.inc();
+  deliver_ring_msgs();
+  start_pending_forks();
+  for (auto& tu : tus_) tu->tick(now_);
+
+  // Whole-program termination: the sequential thread halted. Any surviving
+  // wrong threads die with the machine.
+  if (tus_[sequential_tu_]->core().halted()) {
+    for (auto& tu : tus_) tu->kill();
+    return false;
+  }
+
+  // Watchdog: if no thread commits anything for a long time, the program
+  // (or the protocol) is deadlocked — fail loudly instead of spinning.
+  uint64_t committed_total = 0;
+  for (const auto& tu : tus_) committed_total += tu->core().core_stats().committed;
+  if (committed_total != last_committed_total_) {
+    last_committed_total_ = committed_total;
+    last_progress_cycle_ = now_;
+  } else if (now_ - last_progress_cycle_ > config_.watchdog_cycles) {
+    throw SimError("deadlock: no instruction committed for " +
+                   std::to_string(config_.watchdog_cycles) + " cycles at " +
+                   std::to_string(now_));
+  }
+  return true;
+}
+
+StaRunResult StaProcessor::run() {
+  bool halted = false;
+  while (now_ < config_.max_cycles) {
+    if (!step()) {
+      halted = true;
+      break;
+    }
+  }
+  StaRunResult result;
+  result.cycles = now_;
+  result.halted = halted;
+  for (const auto& tu : tus_) {
+    result.committed += tu->core().core_stats().committed;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Forking
+// ---------------------------------------------------------------------------
+
+void StaProcessor::queue_fork(ThreadUnit& parent, Addr target_pc, Cycle now) {
+  if (region_.aborted) return;  // the region is over; nothing may fork
+  const TuId target = (parent.id() + 1) % num_tus();
+  WEC_CHECK_MSG(!pending_forks_.contains(target),
+                "two pending forks target the same thread unit");
+  PendingFork fork;
+  fork.target_tu = target;
+  fork.iter = region_.next_iter++;
+  fork.region_id = region_.id;
+  fork.pc = target_pc;
+  fork.int_regs = parent.core().int_regs();
+  fork.fp_regs = parent.core().fp_regs();
+  fork.buffer = MemoryBuffer(config_.membuf_entries);
+  // The fork hands the child the target-store state known so far (the rest
+  // arrives over the ring).
+  parent.buffer().copy_targets_to(fork.buffer);
+  (void)now;
+  pending_forks_.emplace(target, std::move(fork));
+  stat_forks_.inc();
+}
+
+void StaProcessor::start_pending_forks() {
+  for (auto it = pending_forks_.begin(); it != pending_forks_.end();) {
+    PendingFork& fork = it->second;
+    if (fork.region_id != region_.id || !region_.active || region_.aborted) {
+      it = pending_forks_.erase(it);
+      continue;
+    }
+    ThreadUnit& tu = *tus_[fork.target_tu];
+    if (!tu.idle()) {
+      ++it;
+      continue;
+    }
+    if (fork.activation == kNoCycle) {
+      // The target just became available: charge the fork delay.
+      fork.activation = now_ + config_.fork_delay;
+    }
+    if (now_ < fork.activation) {
+      ++it;
+      continue;
+    }
+    tu.start_thread(fork.pc, fork.int_regs, fork.fp_regs,
+                    std::move(fork.buffer), fork.iter, /*parallel=*/true);
+    live_iters_[fork.iter] = fork.target_tu;
+    it = pending_forks_.erase(it);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Regions
+// ---------------------------------------------------------------------------
+
+void StaProcessor::kill_wrong_threads() {
+  for (auto& tu : tus_) {
+    if (!tu->idle() && tu->is_wrong()) tu->kill();
+  }
+}
+
+void StaProcessor::begin_region(ThreadUnit& head, Cycle now) {
+  (void)now;
+  WEC_CHECK_MSG(!region_.active, "begin while a region is active");
+  kill_wrong_threads();
+  pending_forks_.clear();
+  ring_.clear();
+  live_iters_.clear();
+
+  ++region_.id;
+  region_.active = true;
+  region_.aborted = false;
+  region_.next_iter = 1;  // the head is iteration 0
+  region_.tsag_done_iter = -1;
+  region_.tsag_ready_cycle = 0;
+  region_.wb_done_iter = -1;
+  region_.wb_ready_cycle = 0;
+
+  head.start_region_as_head();
+  live_iters_[0] = head.id();
+}
+
+void StaProcessor::abort_successors(ThreadUnit& aborter, Cycle now) {
+  (void)now;
+  stat_aborts_.inc();
+  region_.aborted = true;
+  pending_forks_.clear();
+  for (auto& tu : tus_) {
+    if (tu->idle() || tu.get() == &aborter) continue;
+    if (!tu->is_parallel()) continue;
+    if (tu->iter() <= aborter.iter()) continue;
+    live_iters_.erase(tu->iter());
+    if (config_.wrong_thread_exec) {
+      tu->mark_wrong();
+      stat_wrong_threads_.inc();
+    } else {
+      tu->kill();
+    }
+  }
+}
+
+void StaProcessor::end_region(ThreadUnit& exiter, Cycle now) {
+  (void)now;
+  region_.active = false;
+  live_iters_.clear();
+  ring_.clear();
+  sequential_tu_ = exiter.id();
+}
+
+// ---------------------------------------------------------------------------
+// Ordering chains
+// ---------------------------------------------------------------------------
+
+bool StaProcessor::tsag_ready_for(uint64_t iter, Cycle now) const {
+  if (region_.tsag_done_iter + 1 < static_cast<int64_t>(iter)) return false;
+  if (region_.tsag_done_iter + 1 > static_cast<int64_t>(iter)) return true;
+  return now >= region_.tsag_ready_cycle;
+}
+
+void StaProcessor::set_tsag_done(uint64_t iter, Cycle now) {
+  WEC_CHECK(region_.tsag_done_iter + 1 == static_cast<int64_t>(iter));
+  region_.tsag_done_iter = static_cast<int64_t>(iter);
+  region_.tsag_ready_cycle = now + config_.ring_hop_cycles;
+}
+
+bool StaProcessor::wb_ready_for(uint64_t iter, Cycle now) const {
+  if (region_.wb_done_iter + 1 < static_cast<int64_t>(iter)) return false;
+  if (region_.wb_done_iter + 1 > static_cast<int64_t>(iter)) return true;
+  return now >= region_.wb_ready_cycle;
+}
+
+void StaProcessor::set_wb_done(uint64_t iter, Cycle now) {
+  WEC_CHECK(region_.wb_done_iter + 1 == static_cast<int64_t>(iter));
+  region_.wb_done_iter = static_cast<int64_t>(iter);
+  region_.wb_ready_cycle = now + config_.ring_hop_cycles;
+}
+
+// ---------------------------------------------------------------------------
+// Ring traffic
+// ---------------------------------------------------------------------------
+
+void StaProcessor::send_ts_addr(uint64_t from_iter, Addr granule, Cycle now) {
+  if (!region_.active) return;
+  ring_.push_back({now + config_.ring_hop_cycles, region_.id, from_iter + 1,
+                   /*is_data=*/false, granule, 0});
+  stat_ring_msgs_.inc();
+}
+
+void StaProcessor::send_ts_data(uint64_t from_iter, Addr granule,
+                                uint64_t data, Cycle now) {
+  if (!region_.active) return;
+  ring_.push_back({now + config_.ring_hop_cycles, region_.id, from_iter + 1,
+                   /*is_data=*/true, granule, data});
+  stat_ring_msgs_.inc();
+}
+
+MemoryBuffer* StaProcessor::buffer_for_iter(uint64_t iter) {
+  if (auto it = live_iters_.find(iter); it != live_iters_.end()) {
+    return &tus_[it->second]->buffer();
+  }
+  for (auto& [target_tu, fork] : pending_forks_) {
+    if (fork.iter == iter && fork.region_id == region_.id) {
+      return &fork.buffer;
+    }
+  }
+  return nullptr;
+}
+
+bool StaProcessor::iter_exists(uint64_t iter) const {
+  if (live_iters_.contains(iter)) return true;
+  for (const auto& [target_tu, fork] : pending_forks_) {
+    if (fork.iter == iter && fork.region_id == region_.id) return true;
+  }
+  return false;
+}
+
+void StaProcessor::deliver_ring_msgs() {
+  for (size_t i = 0; i < ring_.size();) {
+    RingMsg& msg = ring_[i];
+    if (msg.region_id != region_.id || !region_.active) {
+      ring_.erase(ring_.begin() + i);
+      continue;
+    }
+    if (msg.due > now_) {
+      ++i;
+      continue;
+    }
+    MemoryBuffer* buffer = buffer_for_iter(msg.target_iter);
+    if (buffer != nullptr) {
+      if (msg.is_data) {
+        buffer->receive_upstream_data(msg.granule, msg.data);
+      } else {
+        buffer->declare_upstream_target(msg.granule);
+      }
+      // Target-store *addresses* propagate down the whole chain (every
+      // younger iteration must know the address to stall on). *Data* does
+      // not: each iteration's value comes from its immediate predecessor's
+      // own store — forwarding it further would hand grandchildren a value
+      // the intermediate iteration is still going to overwrite.
+      if (!msg.is_data && iter_exists(msg.target_iter + 1)) {
+        ring_.push_back({now_ + config_.ring_hop_cycles, region_.id,
+                         msg.target_iter + 1, msg.is_data, msg.granule,
+                         msg.data});
+        stat_ring_msgs_.inc();
+      }
+    }
+    ring_.erase(ring_.begin() + i);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Coherence
+// ---------------------------------------------------------------------------
+
+void StaProcessor::broadcast_store(TuId from, Addr addr, uint32_t bytes) {
+  (void)bytes;  // block-granular update
+  for (auto& tu : tus_) {
+    if (tu->id() == from) continue;
+    tu->mem().coherence_update(addr);
+  }
+}
+
+}  // namespace wecsim

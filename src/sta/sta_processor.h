@@ -1,0 +1,148 @@
+// The superthreaded processor: a ring of thread units sharing a unified L2,
+// with fork/abort/begin orchestration, target-store ring traffic, the
+// TSAG_DONE / WB_DONE ordering chains, wrong-thread execution, and the
+// update-protocol coherence used during sequential execution.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "isa/program.h"
+#include "mem/flat_memory.h"
+#include "sta/sta_config.h"
+#include "sta/thread_unit.h"
+
+namespace wecsim {
+
+/// Result of a whole-program simulation.
+struct StaRunResult {
+  Cycle cycles = 0;
+  bool halted = false;          // reached HALT (vs. cycle cap)
+  uint64_t committed = 0;       // committed instructions (correct threads)
+};
+
+class StaProcessor {
+ public:
+  StaProcessor(const StaConfig& config, const Program& program,
+               StatsRegistry& stats, FlatMemory& memory);
+
+  /// Run the program to HALT (or the cycle cap). The sequential thread
+  /// starts on TU 0 at the program entry.
+  StaRunResult run();
+
+  /// Step one cycle manually (tests). Returns false once halted.
+  bool step();
+
+  Cycle now() const { return now_; }
+  ThreadUnit& tu(TuId id) { return *tus_[id]; }
+  uint32_t num_tus() const { return static_cast<uint32_t>(tus_.size()); }
+  FlatMemory& memory() { return memory_; }
+  const StaConfig& config() const { return config_; }
+
+  /// The TU currently executing (or last to execute) sequential code.
+  TuId sequential_tu() const { return sequential_tu_; }
+
+  // --- protocol hooks called by ThreadUnit ---------------------------------
+
+  /// BEGIN: open a parallel region headed by `head` (iteration 0). Kills any
+  /// wrong threads still running from the previous region.
+  void begin_region(ThreadUnit& head, Cycle now);
+
+  /// FORK/FORKSP at commit: queue a fork of the next ring TU.
+  void queue_fork(ThreadUnit& parent, Addr target_pc, Cycle now);
+
+  /// ABORT by a correct thread: kill (or mark wrong) every younger thread.
+  void abort_successors(ThreadUnit& aborter, Cycle now);
+
+  /// ENDPAR: region is over; `exiter` continues sequentially.
+  void end_region(ThreadUnit& exiter, Cycle now);
+
+  /// Ring traffic: a target-store address / value flowing downstream from
+  /// iteration `from_iter`.
+  void send_ts_addr(uint64_t from_iter, Addr granule, Cycle now);
+  void send_ts_data(uint64_t from_iter, Addr granule, uint64_t data,
+                    Cycle now);
+
+  /// TSAG_DONE chain: may iteration `iter` commit its TSAGD / issue
+  /// computation loads yet?
+  bool tsag_ready_for(uint64_t iter, Cycle now) const;
+  void set_tsag_done(uint64_t iter, Cycle now);
+
+  /// WB_DONE chain: may iteration `iter` run its write-back stage?
+  bool wb_ready_for(uint64_t iter, Cycle now) const;
+  void set_wb_done(uint64_t iter, Cycle now);
+
+  /// Update-protocol coherence: `from` committed a store; refresh every
+  /// other TU's cached copy.
+  void broadcast_store(TuId from, Addr addr, uint32_t bytes);
+
+ private:
+  struct PendingFork {
+    TuId target_tu;
+    uint64_t iter;
+    uint64_t region_id;
+    Addr pc;
+    std::array<Word, kNumIntRegs> int_regs;
+    std::array<Word, kNumFpRegs> fp_regs;
+    MemoryBuffer buffer;
+    Cycle activation = kNoCycle;  // start time once the TU is free
+  };
+
+  struct RingMsg {
+    Cycle due;
+    uint64_t region_id;
+    uint64_t target_iter;
+    bool is_data;  // false: target address declaration
+    Addr granule;
+    uint64_t data;
+  };
+
+  struct RegionState {
+    uint64_t id = 0;
+    bool active = false;
+    bool aborted = false;
+    uint64_t next_iter = 0;
+    int64_t tsag_done_iter = -1;
+    Cycle tsag_ready_cycle = 0;
+    int64_t wb_done_iter = -1;
+    Cycle wb_ready_cycle = 0;
+  };
+
+  void start_pending_forks();
+  void deliver_ring_msgs();
+  /// Locate iteration `iter`'s memory buffer (live thread or pending fork).
+  MemoryBuffer* buffer_for_iter(uint64_t iter);
+  bool iter_exists(uint64_t iter) const;
+  void kill_wrong_threads();
+
+  StaConfig config_;
+  const Program& program_;
+  StatsRegistry& stats_;
+  FlatMemory& memory_;
+  SharedL2 l2_;
+  std::vector<std::unique_ptr<ThreadUnit>> tus_;
+
+  Cycle now_ = 0;
+  TuId sequential_tu_ = 0;
+  RegionState region_;
+  std::map<uint64_t, TuId> live_iters_;          // iteration -> TU
+  std::map<TuId, PendingFork> pending_forks_;    // target TU -> fork
+  std::deque<RingMsg> ring_;                     // unsorted; scanned per cycle
+
+  // Watchdog.
+  uint64_t last_committed_total_ = 0;
+  Cycle last_progress_cycle_ = 0;
+
+  StatsRegistry::Counter stat_cycles_;
+  StatsRegistry::Counter stat_forks_;
+  StatsRegistry::Counter stat_aborts_;
+  StatsRegistry::Counter stat_wrong_threads_;
+  StatsRegistry::Counter stat_ring_msgs_;
+  StatsRegistry::Counter stat_parallel_cycles_;
+};
+
+}  // namespace wecsim

@@ -1,0 +1,227 @@
+#include "sta/thread_unit.h"
+
+#include <cstdlib>
+
+#include "common/error.h"
+#include "sta/sta_processor.h"
+
+namespace wecsim {
+
+namespace {
+std::string tu_prefix(TuId id) { return "tu" + std::to_string(id) + "."; }
+}  // namespace
+
+ThreadUnit::ThreadUnit(TuId id, const StaConfig& config,
+                       const Program& program, StaProcessor& owner,
+                       SharedL2& l2, StatsRegistry& stats, FlatMemory& memory)
+    : id_(id),
+      config_(config),
+      owner_(owner),
+      memory_(memory),
+      mem_(config.mem, l2, stats, tu_prefix(id)),
+      core_(config.core, program, *this, stats, tu_prefix(id)),
+      buffer_(config.membuf_entries) {}
+
+void ThreadUnit::start_thread(Addr pc,
+                              const std::array<Word, kNumIntRegs>& int_regs,
+                              const std::array<Word, kNumFpRegs>& fp_regs,
+                              MemoryBuffer&& buffer, uint64_t iter,
+                              bool parallel) {
+  WEC_CHECK_MSG(idle(), "start_thread on a busy thread unit");
+  buffer_ = std::move(buffer);
+  iter_ = iter;
+  parallel_ = parallel;
+  wrong_ = false;
+  forked_ = false;
+  wb_state_ = WbState::kIdle;
+  drain_.clear();
+  drain_pos_ = 0;
+  core_.start(pc, int_regs, fp_regs);
+}
+
+void ThreadUnit::start_region_as_head() {
+  parallel_ = true;
+  wrong_ = false;
+  forked_ = false;
+  iter_ = 0;
+  buffer_.clear();
+  wb_state_ = WbState::kIdle;
+}
+
+void ThreadUnit::kill() {
+  core_.stop();
+  buffer_.clear();
+  parallel_ = false;
+  wrong_ = false;
+  wb_state_ = WbState::kIdle;
+}
+
+void ThreadUnit::mark_wrong() { wrong_ = true; }
+
+void ThreadUnit::tick(Cycle now) {
+  now_ = now;
+  core_.tick(now);
+}
+
+// ---------------------------------------------------------------------------
+// CoreEnv: data path
+// ---------------------------------------------------------------------------
+
+Word ThreadUnit::read_data(Addr addr, uint32_t bytes) {
+  if (parallel_) return buffer_.read(addr, bytes, memory_);
+  return memory_.read(addr, bytes);
+}
+
+CoreEnv::LoadGate ThreadUnit::check_load(Addr addr, uint32_t bytes) {
+  if (!parallel_ || wrong_) return LoadGate::kProceed;
+  // A thread may not run computation loads until its predecessor's TSAG
+  // stage is done (all upstream target addresses are in the buffer).
+  if (!owner_.tsag_ready_for(iter_, now_)) return LoadGate::kStall;
+  // Run-time dependence check: upstream target store without data yet.
+  if (buffer_.must_stall(addr, bytes)) return LoadGate::kStall;
+  return LoadGate::kProceed;
+}
+
+void ThreadUnit::commit_store(Addr addr, Word value, uint32_t bytes,
+                              Cycle now) {
+  if (!parallel_) {
+    memory_.write(addr, value, bytes);
+    mem_.store(addr, now);
+    owner_.broadcast_store(id_, addr, bytes);
+    return;
+  }
+  if (wrong_) {
+    // Wrong-thread stores stay in the (never drained) buffer; if the buffer
+    // fills up the store is simply dropped — the thread's architectural
+    // effects are discarded anyway.
+    try {
+      buffer_.store(addr, value, bytes, memory_);
+    } catch (const SimError&) {
+    }
+    return;
+  }
+  const std::vector<Addr> targets = buffer_.store(addr, value, bytes, memory_);
+  for (Addr granule : targets) {
+    owner_.send_ts_data(iter_, granule, buffer_.read(granule, 8, memory_),
+                        now);
+  }
+}
+
+MemOutcome ThreadUnit::cache_load(Addr addr, ExecMode mode, Cycle now) {
+  // Loads satisfied by the speculative memory buffer (own stores or
+  // forwarded target-store data) do not touch the cache hierarchy.
+  if (parallel_ && mode == ExecMode::kCorrect && buffer_.covers(addr, 1)) {
+    return {now + 1, true, false};
+  }
+  return mem_.load(addr, mode, now);
+}
+
+Cycle ThreadUnit::cache_ifetch(Addr pc, Cycle now) {
+  return mem_.ifetch(pc, now);
+}
+
+ExecMode ThreadUnit::mode() const {
+  return wrong_ ? ExecMode::kWrongThread : ExecMode::kCorrect;
+}
+
+// ---------------------------------------------------------------------------
+// CoreEnv: thread ops
+// ---------------------------------------------------------------------------
+
+CoreEnv::ThreadOpAction ThreadUnit::thread_op(const Instruction& instr,
+                                              Addr mem_addr, Cycle now) {
+  static const bool trace = std::getenv("WEC_TRACE") != nullptr;
+  if (trace && instr.op != Opcode::kTsaddr && instr.op != Opcode::kTsagd)
+    fprintf(stderr, "[%llu] tu%u iter%llu %s r11=%llu r3=%llu wrong=%d\n",
+            (unsigned long long)now, id_, (unsigned long long)iter_,
+            opcode_name(instr.op), (unsigned long long)core_.int_reg(11),
+            (unsigned long long)core_.int_reg(3), (int)wrong_);
+  switch (instr.op) {
+    case Opcode::kBegin:
+      if (parallel_) {
+        throw SimError("begin inside a parallel region (nested regions are "
+                       "not supported)");
+      }
+      owner_.begin_region(*this, now);
+      return ThreadOpAction::kDone;
+
+    case Opcode::kFork:
+    case Opcode::kForksp:
+      if (!parallel_) {
+        throw SimError("fork outside a parallel region");
+      }
+      if (wrong_) return ThreadOpAction::kDone;  // wrong threads cannot fork
+      if (forked_) {
+        throw SimError("thread forked twice (one successor per thread)");
+      }
+      forked_ = true;
+      owner_.queue_fork(*this, static_cast<Addr>(instr.imm), now);
+      return ThreadOpAction::kDone;
+
+    case Opcode::kTsaddr:
+      buffer_.declare_local_target(mem_addr);
+      if (parallel_ && !wrong_) {
+        owner_.send_ts_addr(iter_, MemoryBuffer::granule_of(mem_addr), now);
+      }
+      return ThreadOpAction::kDone;
+
+    case Opcode::kTsagd:
+      if (wrong_) return ThreadOpAction::kDone;
+      if (!parallel_) return ThreadOpAction::kDone;
+      if (!owner_.tsag_ready_for(iter_, now)) return ThreadOpAction::kRetry;
+      owner_.set_tsag_done(iter_, now);
+      return ThreadOpAction::kDone;
+
+    case Opcode::kAbort:
+      if (wrong_) return ThreadOpAction::kEndThread;  // self-kill
+      if (!parallel_) throw SimError("abort outside a parallel region");
+      owner_.abort_successors(*this, now);
+      return ThreadOpAction::kDone;
+
+    case Opcode::kThend: {
+      if (wrong_) return ThreadOpAction::kEndThread;  // skip write-back
+      if (!parallel_) throw SimError("thend outside a parallel region");
+      return do_writeback(now, /*endpar=*/false);
+    }
+
+    case Opcode::kEndpar: {
+      if (wrong_) return ThreadOpAction::kEndThread;
+      if (!parallel_) throw SimError("endpar outside a parallel region");
+      const ThreadOpAction action = do_writeback(now, /*endpar=*/true);
+      if (action == ThreadOpAction::kDone) {
+        parallel_ = false;
+        owner_.end_region(*this, now);
+      }
+      return action;
+    }
+
+    default:
+      WEC_CHECK_MSG(false, "unknown thread opcode");
+  }
+}
+
+CoreEnv::ThreadOpAction ThreadUnit::do_writeback(Cycle now, bool endpar) {
+  if (wb_state_ == WbState::kIdle) {
+    // Write-back stages run in original program order.
+    if (!owner_.wb_ready_for(iter_, now)) return ThreadOpAction::kRetry;
+    drain_ = buffer_.drain_order();
+    drain_pos_ = 0;
+    wb_state_ = WbState::kDraining;
+  }
+  // Commit up to wb_ports granules per cycle into memory + cache.
+  for (uint32_t n = 0; n < config_.wb_ports && drain_pos_ < drain_.size();
+       ++n, ++drain_pos_) {
+    const auto& [granule, data] = drain_[drain_pos_];
+    memory_.write_u64(granule, data);
+    mem_.store(granule, now);
+    owner_.broadcast_store(id_, granule, 8);
+  }
+  if (drain_pos_ < drain_.size()) return ThreadOpAction::kRetry;
+
+  wb_state_ = WbState::kIdle;
+  buffer_.clear();
+  owner_.set_wb_done(iter_, now + 1);
+  return endpar ? ThreadOpAction::kDone : ThreadOpAction::kEndThread;
+}
+
+}  // namespace wecsim

@@ -1,0 +1,100 @@
+// One thread unit: an out-of-order core, its private memory hierarchy, and
+// its speculative memory buffer, glued to the thread-pipelining protocol.
+// Implements CoreEnv, translating the core's memory and thread-op callbacks
+// into superthreaded semantics (Section 2 of the paper) and the wrong-thread
+// execution mode (Section 3.1.2).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "cpu/core.h"
+#include "isa/program.h"
+#include "mem/flat_memory.h"
+#include "mem/mem_system.h"
+#include "sta/memory_buffer.h"
+#include "sta/sta_config.h"
+
+namespace wecsim {
+
+class StaProcessor;
+
+class ThreadUnit final : public CoreEnv {
+ public:
+  ThreadUnit(TuId id, const StaConfig& config, const Program& program,
+             StaProcessor& owner, SharedL2& l2, StatsRegistry& stats,
+             FlatMemory& memory);
+
+  // --- lifecycle (driven by StaProcessor) --------------------------------
+
+  /// Begin a thread on this unit. `parallel` distinguishes forked loop
+  /// iterations from the sequential thread; `iter` orders iterations within
+  /// the active region.
+  void start_thread(Addr pc, const std::array<Word, kNumIntRegs>& int_regs,
+                    const std::array<Word, kNumFpRegs>& fp_regs,
+                    MemoryBuffer&& buffer, uint64_t iter, bool parallel);
+
+  /// The sequential thread executed BEGIN: it becomes iteration 0 of the new
+  /// region and its stores start flowing into the speculative buffer.
+  void start_region_as_head();
+
+  /// Hard kill (abort without wrong-thread execution, or begin cleaning up
+  /// lingering wrong threads).
+  void kill();
+
+  /// Mark this thread wrong (abort under wrong-thread execution): it keeps
+  /// running, may not fork, skips write-back, and its loads route through
+  /// the wrong-execution path of the memory hierarchy.
+  void mark_wrong();
+
+  void tick(Cycle now);
+
+  bool idle() const { return !core_.active(); }
+  bool is_wrong() const { return wrong_; }
+  bool is_parallel() const { return parallel_; }
+  uint64_t iter() const { return iter_; }
+  TuId id() const { return id_; }
+
+  OooCore& core() { return core_; }
+  const OooCore& core() const { return core_; }
+  MemoryBuffer& buffer() { return buffer_; }
+  TuMemSystem& mem() { return mem_; }
+
+  // --- CoreEnv ------------------------------------------------------------
+
+  Word read_data(Addr addr, uint32_t bytes) override;
+  LoadGate check_load(Addr addr, uint32_t bytes) override;
+  void commit_store(Addr addr, Word value, uint32_t bytes, Cycle now) override;
+  MemOutcome cache_load(Addr addr, ExecMode mode, Cycle now) override;
+  Cycle cache_ifetch(Addr pc, Cycle now) override;
+  ThreadOpAction thread_op(const Instruction& instr, Addr mem_addr,
+                           Cycle now) override;
+  ExecMode mode() const override;
+
+ private:
+  ThreadOpAction do_writeback(Cycle now, bool endpar);
+
+  TuId id_;
+  const StaConfig& config_;
+  StaProcessor& owner_;
+  FlatMemory& memory_;
+  TuMemSystem mem_;
+  OooCore core_;
+  MemoryBuffer buffer_;
+
+  Cycle now_ = 0;
+  bool parallel_ = false;
+  bool wrong_ = false;
+  bool forked_ = false;
+  uint64_t iter_ = 0;
+
+  // Write-back stage state machine (thend / endpar).
+  enum class WbState : uint8_t { kIdle, kDraining };
+  WbState wb_state_ = WbState::kIdle;
+  std::vector<std::pair<Addr, uint64_t>> drain_;
+  size_t drain_pos_ = 0;
+};
+
+}  // namespace wecsim

@@ -1,0 +1,193 @@
+// 183.equake analog: FP sparse matrix-vector products with gathers.
+//
+// equake's time-stepping loop multiplies a sparse stiffness matrix by a
+// displacement vector; the column gathers have poor locality. Each parallel
+// iteration computes one row's dot product: NNZ (value, column) pairs, a
+// data-dependent branch choosing between two gather vectors (its wrong path
+// prefetches the other vector's entry), and an FP accumulate into y[row].
+// Sequential glue accumulates a partial norm and relaxes a slice of x so
+// later regions read updated data.
+#include "workloads/workload.h"
+
+#include "common/rng.h"
+#include "isa/assembler.h"
+#include "workloads/expand.h"
+
+namespace wecsim {
+
+namespace {
+
+constexpr const char* kSource = R"(
+  .data
+vals:
+  .space {VALS_BYTES}     # NR*NNZ doubles
+cols:
+  .space {COLS_BYTES}     # NR*NNZ dword indices into x/xb
+x:
+  .space {X_BYTES}        # NX doubles
+  .space 512              # offset xb by half a set-stride: partial aliasing
+xb:
+  .space {X_BYTES}
+y:
+  .space {Y_BYTES}        # NR doubles
+checksum:
+  .dword 0
+
+  .text
+entry:
+  li   r1, 0              # I: next row
+  li   r3, {NR}
+outer:
+  addi r2, r1, {CHUNK}
+  begin
+  j    body
+
+body:
+  addi r5, r1, 1
+  mv   r4, r1             # my row
+  mv   r1, r5
+  forksp body
+  tsagd
+  # computation: y[my] = sum_k vals[my*NNZ+k] * gather(cols[my*NNZ+k])
+  li   r6, {NNZ}
+  mul  r7, r4, r6         # base entry index
+  slli r8, r7, 3
+  la   r9, vals
+  add  r9, r9, r8
+  la   r10, cols
+  add  r10, r10, r8
+  li   r11, 0             # k
+  fli  f1, 0.0            # acc
+dot:
+  fld  f2, 0(r9)          # val
+  ld   r12, 0(r10)        # col
+  slli r13, r12, 3
+  # both gather addresses are ready before the parity branch resolves; the
+  # wrong arm's gather becomes an indirect prefetch under wrong-path
+  # execution (paper Fig. 3)
+  la   r15, xb
+  add  r15, r15, r13
+  la   r14, x
+  add  r14, r14, r13
+  andi r19, r12, 1
+  beqz r19, evencol
+  fld  f3, 0(r15)         # odd columns gather from the backup vector
+  j    gathered
+evencol:
+  fld  f3, 0(r14)
+gathered:
+  fmul f4, f2, f3
+  fadd f1, f1, f4
+  addi r9, r9, 8
+  addi r10, r10, 8
+  addi r11, r11, 1
+  blt  r11, r6, dot
+  la   r16, y
+  slli r17, r4, 3
+  add  r16, r16, r17
+  fsd  f1, 0(r16)
+  # exit check
+  addi r18, r4, 1
+  bge  r18, r2, exitreg
+  thend
+
+exitreg:
+  abort
+  endpar
+  # glue 1: partial norm of this chunk's y into the checksum
+  la   r20, y
+  subi r21, r2, {CHUNK}
+  slli r22, r21, 3
+  add  r20, r20, r22
+  li   r23, 0
+  la   r24, checksum
+  fld  f5, 0(r24)
+norm:
+  fld  f6, 0(r20)
+  fmul f7, f6, f6
+  fadd f5, f5, f7
+  addi r20, r20, 8
+  addi r23, r23, 1
+  li   r25, {CHUNK}
+  blt  r23, r25, norm
+  fsd  f5, 0(r24)
+  # glue 2: relax a slice of x (so following regions read fresh data)
+  la   r26, x
+  add  r26, r26, r22
+  li   r23, 0
+  fli  f8, 0.96875
+relax:
+  fld  f6, 0(r26)
+  fmul f6, f6, f8
+  fsd  f6, 0(r26)
+  addi r26, r26, 8
+  addi r23, r23, 1
+  li   r25, {CHUNK}
+  blt  r23, r25, relax
+  blt  r2, r3, outer
+
+  # final sequential pass: fold x into the checksum
+  la   r26, x
+  li   r23, 0
+  la   r24, checksum
+  fld  f5, 0(r24)
+xsum:
+  fld  f6, 0(r26)
+  fadd f5, f5, f6
+  addi r26, r26, 16
+  addi r23, r23, 2
+  li   r25, {NX}
+  blt  r23, r25, xsum
+  fsd  f5, 0(r24)
+  halt
+)";
+
+}  // namespace
+
+Workload make_equake_like(const WorkloadParams& params) {
+  const uint64_t nr = 128 * params.scale;  // rows (parallel iterations)
+  const uint64_t nnz = 8;                  // nonzeros per row
+  const uint64_t nx = 1024 * params.scale; // gather vector length
+  const uint64_t chunk = 16;
+
+  AsmParams asm_params = {
+      {"NR", nr},
+      {"NNZ", nnz},
+      {"NX", nx},
+      {"CHUNK", chunk},
+      {"VALS_BYTES", nr * nnz * 8},
+      {"COLS_BYTES", nr * nnz * 8},
+      {"X_BYTES", nx * 8},
+      {"Y_BYTES", nr * 8},
+  };
+  Workload w;
+  w.name = "183.equake";
+  w.description = "FP sparse matrix-vector products with gathers";
+  w.program = assemble(expand_asm(kSource, asm_params));
+  w.checksum_addr = w.program.symbol("checksum");
+
+  const Addr vals = w.program.symbol("vals");
+  const Addr cols = w.program.symbol("cols");
+  const Addr x = w.program.symbol("x");
+  const Addr xb = w.program.symbol("xb");
+  const uint64_t seed = params.seed;
+  w.init = [=](FlatMemory& memory) {
+    Rng rng(seed + 1);
+    for (uint64_t i = 0; i < nr * nnz; ++i) {
+      memory.write_f64(vals + i * 8, 0.25 + rng.uniform());
+      // Columns cluster loosely around the row (banded matrix with
+      // scatter), so nearby rows touch nearby — but not identical — lines.
+      const uint64_t row = i / nnz;
+      const uint64_t band = (row * nx) / nr;
+      const uint64_t col = (band + rng.below(96)) % nx;
+      memory.write_u64(cols + i * 8, col);
+    }
+    for (uint64_t i = 0; i < nx; ++i) {
+      memory.write_f64(x + i * 8, rng.uniform() * 2.0 - 1.0);
+      memory.write_f64(xb + i * 8, rng.uniform() * 2.0 - 1.0);
+    }
+  };
+  return w;
+}
+
+}  // namespace wecsim

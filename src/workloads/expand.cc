@@ -1,0 +1,34 @@
+#include "workloads/expand.h"
+
+#include "common/error.h"
+
+namespace wecsim {
+
+std::string expand_asm(std::string_view templ, const AsmParams& params) {
+  std::string out;
+  out.reserve(templ.size());
+  size_t pos = 0;
+  while (pos < templ.size()) {
+    const size_t open = templ.find('{', pos);
+    if (open == std::string_view::npos) {
+      out.append(templ.substr(pos));
+      break;
+    }
+    out.append(templ.substr(pos, open - pos));
+    const size_t close = templ.find('}', open);
+    if (close == std::string_view::npos) {
+      throw SimError("expand_asm: unbalanced '{' in template");
+    }
+    const std::string_view key = templ.substr(open + 1, close - open - 1);
+    auto it = params.find(key);
+    if (it == params.end()) {
+      throw SimError("expand_asm: unknown parameter {" + std::string(key) +
+                     "}");
+    }
+    out.append(std::to_string(it->second));
+    pos = close + 1;
+  }
+  return out;
+}
+
+}  // namespace wecsim

@@ -1,0 +1,19 @@
+// Tiny template expansion for workload assembly sources: "{NAME}" tokens are
+// replaced by decimal values computed in C++ (the assembler's expression
+// language is deliberately minimal, so sizes are resolved here).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace wecsim {
+
+using AsmParams = std::map<std::string, uint64_t, std::less<>>;
+
+/// Replace every "{KEY}" in templ with the decimal value of params[KEY].
+/// Throws SimError on unknown keys or unbalanced braces.
+std::string expand_asm(std::string_view templ, const AsmParams& params);
+
+}  // namespace wecsim

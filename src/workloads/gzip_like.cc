@@ -1,0 +1,175 @@
+// 164.gzip analog: LZ77-style sliding-window match search.
+//
+// gzip's deflate loop compares the string at the current position against a
+// candidate at some earlier distance, byte by byte, exiting on the first
+// mismatch — a data-dependent loop branch that mispredicts at every match
+// end. Iterations are independent (match positions march forward through
+// the window), which gives this workload the suite's highest thread-level
+// parallelism, as the paper observes for gzip (14x at 16 TUs).
+#include "workloads/workload.h"
+
+#include "common/rng.h"
+#include "isa/assembler.h"
+#include "workloads/expand.h"
+
+namespace wecsim {
+
+namespace {
+
+constexpr const char* kSource = R"(
+  .data
+window:
+  .space {W_BYTES}
+positions:
+  .space {NP_BYTES}       # dword byte positions into window
+dists:
+  .space {NP_BYTES}       # dword match distances
+results:
+  .space {NP_BYTES}
+histo:
+  .space 264              # 33 dword buckets (match lengths 0..32)
+checksum:
+  .dword 0
+
+  .text
+entry:
+  li   r1, 0              # I
+  li   r3, {NP}
+outer:
+  addi r2, r1, {CHUNK}
+  begin
+  j    body
+
+body:
+  addi r5, r1, 1
+  mv   r4, r1
+  mv   r1, r5
+  forksp body
+  tsagd
+  # computation: match length at positions[my] against distance dists[my]
+  la   r6, positions
+  slli r7, r4, 3
+  add  r6, r6, r7
+  ld   r8, 0(r6)          # p
+  la   r9, dists
+  add  r9, r9, r7
+  ld   r10, 0(r9)         # d
+  la   r11, window
+  add  r12, r11, r8       # cur = window + p
+  sub  r13, r12, r10      # cand = cur - d
+  li   r14, 0             # len
+match:
+  lbu  r15, 0(r12)
+  lbu  r16, 0(r13)
+  bne  r15, r16, matched  # data-dependent exit: mispredicts at match end
+  addi r12, r12, 1
+  addi r13, r13, 1
+  addi r14, r14, 1
+  li   r17, {MAXLEN}
+  blt  r14, r17, match
+matched:
+  la   r18, results
+  add  r18, r18, r7
+  sd   r14, 0(r18)
+  # exit check
+  addi r19, r4, 1
+  bge  r19, r2, exitreg
+  thend
+
+exitreg:
+  abort
+  endpar
+  # glue 1: histogram this chunk's match lengths, fold into checksum
+  la   r20, results
+  subi r21, r2, {CHUNK}
+  slli r22, r21, 3
+  add  r20, r20, r22
+  li   r23, 0
+  la   r24, checksum
+  ld   r25, 0(r24)
+hist:
+  ld   r26, 0(r20)        # len
+  slli r27, r26, 3
+  la   r28, histo
+  add  r28, r28, r27
+  ld   r29, 0(r28)
+  addi r29, r29, 1
+  sd   r29, 0(r28)
+  add  r25, r25, r26
+  addi r20, r20, 8
+  addi r23, r23, 1
+  li   r27, {CHUNK}
+  blt  r23, r27, hist
+  sd   r25, 0(r24)
+  blt  r2, r3, outer
+
+  # final sequential pass: rolling byte checksum over a window prefix
+  la   r11, window
+  li   r23, 0
+  la   r24, checksum
+  ld   r25, 0(r24)
+crc:
+  lbu  r15, 0(r11)
+  slli r26, r25, 1
+  add  r25, r26, r15
+  addi r11, r11, 4
+  addi r23, r23, 4
+  li   r27, {CRCLEN}
+  blt  r23, r27, crc
+  sd   r25, 0(r24)
+  halt
+)";
+
+}  // namespace
+
+Workload make_gzip_like(const WorkloadParams& params) {
+  const uint64_t wb = 16 * 1024 * params.scale;  // window bytes
+  const uint64_t np = 128 * params.scale;        // match probes (iterations)
+  const uint64_t chunk = 16;
+  const uint64_t maxlen = 32;
+
+  AsmParams asm_params = {
+      {"W_BYTES", wb},   {"NP", np},       {"NP_BYTES", np * 8},
+      {"CHUNK", chunk},  {"MAXLEN", maxlen},
+      {"CRCLEN", wb / 2},
+  };
+  Workload w;
+  w.name = "164.gzip";
+  w.description = "LZ77 sliding-window match search";
+  w.program = assemble(expand_asm(kSource, asm_params));
+  w.checksum_addr = w.program.symbol("checksum");
+
+  const Addr window = w.program.symbol("window");
+  const Addr positions = w.program.symbol("positions");
+  const Addr dists = w.program.symbol("dists");
+  const uint64_t seed = params.seed;
+  w.init = [=](FlatMemory& memory) {
+    Rng rng(seed + 2);
+    // Text with repeated phrases so matches have a realistic length mix.
+    const uint64_t phrase = 61;
+    for (uint64_t i = 0; i < wb; ++i) {
+      uint8_t byte = static_cast<uint8_t>('a' + (i % phrase) % 23);
+      if (rng.chance(1, 7)) byte = static_cast<uint8_t>(rng.below(256));
+      memory.write_u8(window + i, byte);
+    }
+    // Probe positions march forward; distances often phrase multiples so
+    // matches frequently run several bytes.
+    const uint64_t start = 4096;
+    const uint64_t step = (wb - start - maxlen - 8) / np;
+    for (uint64_t i = 0; i < np; ++i) {
+      memory.write_u64(positions + i * 8, start + i * step);
+      uint64_t d;
+      if (rng.chance(1, 4)) {
+        d = 8192 * (1 + rng.below(2)) + rng.below(32);  // same-set candidate
+      } else if (rng.chance(2, 3)) {
+        d = phrase * (1 + rng.below(8));                // real match
+      } else {
+        d = 1 + rng.below(2048);
+      }
+      memory.write_u64(dists + i * 8, d);
+    }
+  };
+  return w;
+}
+
+}  // namespace wecsim

@@ -1,0 +1,212 @@
+// 181.mcf analog: pointer chasing over shuffled arc lists.
+//
+// mcf's dominant loops walk linked arc/node structures whose layout defeats
+// spatial locality, making it the most cache-miss-bound program in the
+// paper's suite (and the one with the largest WEC gain, 18.5%). This kernel
+// reproduces that shape: each parallel iteration chases a K-deep chain of
+// 32-byte arc records laid out in shuffled order, with a data-dependent
+// branch per step selecting between two side tables (its wrong path loads
+// the table entry later iterations need). Sequential glue re-walks chains
+// to post updates, and a final sequential pass streams over the arc array.
+#include "workloads/workload.h"
+
+#include "common/rng.h"
+#include "isa/assembler.h"
+#include "workloads/expand.h"
+
+namespace wecsim {
+
+namespace {
+
+constexpr const char* kSource = R"(
+  .data
+arcs:
+  .space {ARCS_BYTES}     # {NA} records of 32B: cost@0 next@8 aux@16 pad@24
+heads:
+  .space {HEADS_BYTES}    # {NH} chain-head byte offsets into arcs
+results:
+  .space {HEADS_BYTES}
+penalty:
+  .space 2048             # 256 dwords
+bonus:
+  .space 2048
+checksum:
+  .dword 0
+
+  .text
+entry:
+  li   r1, 0              # I: next iteration index
+  li   r3, {NH}           # total iterations
+outer:
+  addi r2, r1, {CHUNK}    # L: this region's limit
+  begin
+  j    body
+
+body:
+  # continuation: claim my index, fork the next iteration
+  addi r5, r1, 1
+  mv   r4, r1             # my = I
+  mv   r1, r5
+  forksp body
+  # TSAG: no cross-iteration target stores in this kernel
+  tsagd
+  # computation: chase the chain at heads[my], K steps
+  la   r6, heads
+  slli r7, r4, 3
+  add  r6, r6, r7
+  ld   r8, 0(r6)          # off
+  la   r9, arcs
+  li   r10, 0             # acc
+  li   r11, 0             # k
+chase:
+  add  r12, r9, r8
+  ld   r13, 0(r12)        # cost
+  add  r10, r10, r13
+  andi r14, r13, 255
+  slli r14, r14, 3
+  # both table addresses are computed before the branch (scheduled code),
+  # so the wrong arm's load is address-ready when the branch resolves and
+  # wp-mode machines issue it as an indirect prefetch (paper Fig. 3)
+  la   r16, penalty
+  add  r16, r16, r14
+  la   r21, bonus
+  add  r21, r21, r14
+  andi r15, r13, 1
+  beqz r15, even
+  ld   r17, 0(r16)        # odd costs pay a penalty...
+  add  r10, r10, r17
+  j    chased
+even:
+  ld   r17, 0(r21)        # ...even costs earn a bonus
+  sub  r10, r10, r17
+chased:
+  ld   r8, 8(r12)         # off = next
+  addi r11, r11, 1
+  li   r18, {K}
+  blt  r11, r18, chase
+  la   r19, results
+  add  r19, r19, r7
+  sd   r10, 0(r19)
+  # exit check
+  addi r20, r4, 1
+  bge  r20, r2, exitreg
+  thend
+
+exitreg:
+  abort
+  endpar
+  # glue 1: fold this chunk's results into the checksum
+  la   r21, results
+  subi r22, r2, {CHUNK}
+  slli r23, r22, 3
+  add  r21, r21, r23
+  li   r24, 0
+  la   r25, checksum
+  ld   r26, 0(r25)
+glue1:
+  ld   r27, 0(r21)
+  add  r26, r26, r27
+  addi r21, r21, 8
+  addi r24, r24, 1
+  li   r28, {CHUNK}
+  blt  r24, r28, glue1
+  sd   r26, 0(r25)
+  # glue 2: re-walk the chunk's first chain posting aux updates
+  la   r6, heads
+  add  r6, r6, r23
+  ld   r8, 0(r6)
+  la   r9, arcs
+  li   r11, 0
+glue2:
+  add  r12, r9, r8
+  ld   r13, 0(r12)
+  ld   r29, 16(r12)
+  add  r29, r29, r13
+  sd   r29, 16(r12)
+  ld   r8, 8(r12)
+  addi r11, r11, 1
+  li   r18, {K2}
+  blt  r11, r18, glue2
+  blt  r2, r3, outer
+
+  # final sequential pass: fold aux fields into the checksum, visiting
+  # records in multiplicative order (block-random, like mcf's arc scans)
+  li   r11, 0
+  la   r25, checksum
+  ld   r26, 0(r25)
+final:
+  li   r18, 181
+  mul  r9, r11, r18
+  li   r18, {NA_MASK}
+  and  r9, r9, r18
+  slli r9, r9, 5
+  la   r18, arcs
+  add  r9, r9, r18
+  ld   r13, 16(r9)
+  add  r26, r26, r13
+  addi r11, r11, 1
+  li   r18, {NA3}
+  blt  r11, r18, final
+  sd   r26, 0(r25)
+  halt
+)";
+
+}  // namespace
+
+Workload make_mcf_like(const WorkloadParams& params) {
+  // The arc array deliberately exceeds the 512KB shared L2 (like mcf's
+  // multi-megabyte arc lists), so chases keep missing to memory in steady
+  // state instead of running from a once-warmed L2.
+  const uint64_t na = 8192 * params.scale;   // arc records (32B each)
+  const uint64_t nh = 192 * params.scale;    // iterations (chains)
+  const uint64_t chunk = 12;
+  const uint64_t k = 6;
+
+  AsmParams asm_params = {
+      {"NA", na},          {"NH", nh},
+      {"NA_MASK", na - 1}, {"NA3", na / 16},
+      {"ARCS_BYTES", na * 32}, {"HEADS_BYTES", nh * 8},
+      {"CHUNK", chunk},    {"K", k},
+      {"K2", 2 * k},
+  };
+  Workload w;
+  w.name = "181.mcf";
+  w.description = "pointer chasing over shuffled arc lists";
+  w.program = assemble(expand_asm(kSource, asm_params));
+  w.checksum_addr = w.program.symbol("checksum");
+
+  const Addr arcs = w.program.symbol("arcs");
+  const Addr heads = w.program.symbol("heads");
+  const Addr penalty = w.program.symbol("penalty");
+  const Addr bonus = w.program.symbol("bonus");
+  const uint64_t seed = params.seed;
+  w.init = [=](FlatMemory& memory) {
+    Rng rng(seed);
+    // Shuffled ring: record i links to a pseudo-random successor; the walk
+    // has no spatial locality, like mcf's arc lists.
+    std::vector<uint64_t> order(na);
+    for (uint64_t i = 0; i < na; ++i) order[i] = i;
+    for (uint64_t i = na - 1; i > 0; --i) {
+      std::swap(order[i], order[rng.below(i + 1)]);
+    }
+    for (uint64_t i = 0; i < na; ++i) {
+      const Addr rec = arcs + order[i] * 32;
+      const uint64_t next = order[(i + 1) % na];
+      memory.write_u64(rec + 0, rng.below(10'000));  // cost
+      memory.write_u64(rec + 8, next * 32);          // next byte offset
+      memory.write_u64(rec + 16, 0);                 // aux
+    }
+    // Chain heads march forward through the shuffled order so that wrong
+    // threads chasing iteration L+1's chain prefetch the next region's data.
+    for (uint64_t i = 0; i < nh; ++i) {
+      memory.write_u64(heads + i * 8, order[(i * 37) % na] * 32);
+    }
+    for (uint64_t i = 0; i < 256; ++i) {
+      memory.write_u64(penalty + i * 8, rng.below(100));
+      memory.write_u64(bonus + i * 8, rng.below(100));
+    }
+  };
+  return w;
+}
+
+}  // namespace wecsim

@@ -1,0 +1,197 @@
+// 197.parser analog: hash-dictionary probing with chained buckets.
+//
+// parser's dictionary lookups hash a word and walk a collision chain of
+// heap-allocated nodes — short pointer chases with a compare-and-branch per
+// node. Each parallel iteration looks one word up; the chain-walk branches
+// mispredict at chain ends and the wrong path loads the next node (which a
+// later lookup of a colliding word will need). Glue posts hit counts to the
+// matched nodes; a final pass sweeps every bucket.
+#include "workloads/workload.h"
+
+#include "common/rng.h"
+#include "isa/assembler.h"
+#include "workloads/expand.h"
+
+namespace wecsim {
+
+namespace {
+
+constexpr const char* kSource = R"(
+  .data
+buckets:
+  .space {NB_BYTES}       # dword node byte-offsets (0 = empty)
+nodes:
+  .space {NN_BYTES}       # 24B nodes: key@0 next@8 count@16; node 0 unused
+words:
+  .space {NW_BYTES}       # dword keys to look up
+results:
+  .space {NW_BYTES}       # matched node offset or 0
+checksum:
+  .dword 0
+
+  .text
+entry:
+  li   r1, 0
+  li   r3, {NW}
+outer:
+  addi r2, r1, {CHUNK}
+  begin
+  j    body
+
+body:
+  addi r5, r1, 1
+  mv   r4, r1
+  mv   r1, r5
+  forksp body
+  tsagd
+  # computation: hash words[my], walk the bucket chain
+  la   r6, words
+  slli r7, r4, 3
+  add  r6, r6, r7
+  ld   r8, 0(r6)          # key
+  li   r9, 2654435761
+  mul  r10, r8, r9
+  srli r10, r10, 16
+  andi r10, r10, {NB_MASK}
+  slli r10, r10, 3
+  la   r11, buckets
+  add  r11, r11, r10
+  ld   r12, 0(r11)        # off
+  la   r13, nodes
+  li   r14, 0             # result
+walk:
+  beqz r12, done          # end of chain
+  add  r15, r13, r12
+  ld   r16, 0(r15)        # node key
+  bne  r16, r8, miss
+  mv   r14, r12           # found
+  j    done
+miss:
+  ld   r12, 8(r15)        # next
+  j    walk
+done:
+  la   r17, results
+  add  r17, r17, r7
+  sd   r14, 0(r17)
+  # exit check
+  addi r18, r4, 1
+  bge  r18, r2, exitreg
+  thend
+
+exitreg:
+  abort
+  endpar
+  # glue: post hit counts for this chunk, fold into the checksum
+  la   r20, results
+  subi r21, r2, {CHUNK}
+  slli r22, r21, 3
+  add  r20, r20, r22
+  li   r23, 0
+  la   r24, checksum
+  ld   r25, 0(r24)
+  la   r13, nodes
+post:
+  ld   r26, 0(r20)
+  beqz r26, nohit
+  add  r27, r13, r26
+  ld   r28, 16(r27)
+  addi r28, r28, 1
+  sd   r28, 16(r27)
+  addi r25, r25, 1
+nohit:
+  add  r25, r25, r26
+  addi r20, r20, 8
+  addi r23, r23, 1
+  li   r29, {CHUNK}
+  blt  r23, r29, post
+  sd   r25, 0(r24)
+  blt  r2, r3, outer
+
+  # final sequential pass: walk a pseudo-random sample of the buckets'
+  # chains summing counts (hash-order traversal, like the real dictionary)
+  li   r23, 0
+  la   r24, checksum
+  ld   r25, 0(r24)
+  la   r13, nodes
+sweep:
+  li   r29, 97
+  mul  r11, r23, r29
+  li   r29, {NB_MASK}
+  and  r11, r11, r29
+  slli r11, r11, 3
+  la   r29, buckets
+  add  r11, r11, r29
+  ld   r12, 0(r11)
+chain:
+  beqz r12, chaindone
+  add  r15, r13, r12
+  ld   r16, 16(r15)
+  add  r25, r25, r16
+  ld   r12, 8(r15)
+  j    chain
+chaindone:
+  addi r23, r23, 1
+  li   r29, {NB8}
+  blt  r23, r29, sweep
+  sd   r25, 0(r24)
+  halt
+)";
+
+}  // namespace
+
+Workload make_parser_like(const WorkloadParams& params) {
+  // Dictionary sized past the shared L2 so probes miss in steady state.
+  const uint64_t nb = 2048 * params.scale;  // buckets (power of two)
+  const uint64_t nn = 8192 * params.scale;  // nodes: ~768KB at scale 4, well
+                                            // past the shared L2 like the
+                                            // real dictionary heap
+  const uint64_t nw = 160 * params.scale;   // lookups (iterations)
+  const uint64_t chunk = 16;
+
+  AsmParams asm_params = {
+      {"NB", nb},           {"NB_MASK", nb - 1},
+      {"NB8", nb / 32},
+      {"NB_BYTES", nb * 8}, {"NN_BYTES", nn * 24},
+      {"NW", nw},           {"NW_BYTES", nw * 8},
+      {"CHUNK", chunk},
+  };
+  Workload w;
+  w.name = "197.parser";
+  w.description = "hash-dictionary probing with chained buckets";
+  w.program = assemble(expand_asm(kSource, asm_params));
+  w.checksum_addr = w.program.symbol("checksum");
+
+  const Addr buckets = w.program.symbol("buckets");
+  const Addr nodes = w.program.symbol("nodes");
+  const Addr words = w.program.symbol("words");
+  const uint64_t seed = params.seed;
+  w.init = [=](FlatMemory& memory) {
+    Rng rng(seed + 3);
+    auto hash_of = [&](uint64_t key) {
+      return ((key * 2654435761ull) >> 16) & (nb - 1);
+    };
+    // Insert nn-1 nodes (node 0 is the null sentinel) with shuffled keys.
+    std::vector<uint64_t> keys;
+    keys.reserve(nn);
+    for (uint64_t n = 1; n < nn; ++n) {
+      const uint64_t key = rng.below(1ull << 40) | 1;
+      keys.push_back(key);
+      const Addr node = nodes + n * 24;
+      const uint64_t h = hash_of(key);
+      const uint64_t head = memory.read_u64(buckets + h * 8);
+      memory.write_u64(node + 0, key);
+      memory.write_u64(node + 8, head);  // push front
+      memory.write_u64(node + 16, 0);
+      memory.write_u64(buckets + h * 8, node - nodes);
+    }
+    // 70% of lookups hit, 30% miss (absent keys are even).
+    for (uint64_t i = 0; i < nw; ++i) {
+      const uint64_t key = rng.chance(7, 10) ? keys[rng.below(keys.size())]
+                                             : rng.below(1ull << 40) << 1;
+      memory.write_u64(words + i * 8, key);
+    }
+  };
+  return w;
+}
+
+}  // namespace wecsim

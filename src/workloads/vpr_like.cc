@@ -1,0 +1,202 @@
+// 175.vpr analog: placement-swap cost evaluation over a netlist.
+//
+// vpr's placer evaluates bounding-box wirelength deltas for candidate moves:
+// short, branchy computations (absolute differences) over randomly indexed
+// cell positions, with the running placement cost as a serial recurrence.
+// That recurrence is carried here through a target store, so iterations
+// serialize through the ring — the paper observes exactly this shape for
+// vpr: more instruction-level than thread-level parallelism, and a net
+// slowdown under superthreading once fork overhead outweighs overlap. Each
+// iteration evaluates four nets (unrolled) to give a wide core ILP to chew
+// on.
+#include "workloads/workload.h"
+
+#include "common/rng.h"
+#include "isa/assembler.h"
+#include "workloads/expand.h"
+
+namespace wecsim {
+
+namespace {
+
+// One net evaluation: cells a=nets[base], b=nets[base+8];
+// acc += |x_a - x_b| + |y_a - y_b|. Expanded four times per iteration.
+constexpr const char* kNetEval = R"(
+  ld   r12, {OFF0}(r10)   # cell a index
+  ld   r13, {OFF8}(r10)   # cell b index
+  slli r12, r12, 4
+  slli r13, r13, 4
+  add  r14, r11, r12
+  add  r15, r11, r13
+  ld   r16, 0(r14)        # x_a
+  ld   r17, 0(r15)        # x_b
+  sub  r18, r16, r17
+  bge  r18, r0, xpos{ID}
+  sub  r18, r0, r18
+xpos{ID}:
+  ld   r16, 8(r14)        # y_a
+  ld   r17, 8(r15)        # y_b
+  sub  r19, r16, r17
+  bge  r19, r0, ypos{ID}
+  sub  r19, r0, r19
+ypos{ID}:
+  add  r9, r9, r18
+  add  r9, r9, r19
+)";
+
+constexpr const char* kSource = R"(
+  .data
+cells:
+  .space {CELLS_BYTES}    # 16B records: x@0 y@8
+nets:
+  .space {NETS_BYTES}     # pairs of dword cell indices (16B per net)
+total:
+  .dword 0                # running placement cost (target store)
+checksum:
+  .dword 0
+
+  .text
+entry:
+  li   r1, 0
+  li   r3, {NI}
+outer:
+  addi r2, r1, {CHUNK}
+  begin
+  j    body
+
+body:
+  addi r5, r1, 1
+  mv   r4, r1
+  mv   r1, r5
+  forksp body
+  # TSAG: this thread updates the running total
+  la   r6, total
+  tsaddr r6, 0
+  tsagd
+  # computation: evaluate 4 nets (indices my*4 .. my*4+3)
+  slli r7, r4, 6          # my * 4 nets * 16 bytes
+  li   r8, {NETS_WRAP}
+  and  r7, r7, r8         # nets are revisited (annealing passes)
+  la   r10, nets
+  add  r10, r10, r7
+  la   r11, cells
+  li   r9, 0              # acc
+{NET0}
+{NET1}
+{NET2}
+{NET3}
+  ld   r20, 0(r6)         # running total (waits on upstream target store)
+  add  r20, r20, r9
+  sd   r20, 0(r6)         # forwarded downstream
+  # exit check
+  addi r21, r4, 1
+  bge  r21, r2, exitreg
+  thend
+
+exitreg:
+  abort
+  endpar
+  # glue: fold the running total into the checksum
+  la   r24, checksum
+  ld   r25, 0(r24)
+  ld   r26, 0(r6)
+  add  r25, r25, r26
+  sd   r25, 0(r24)
+  blt  r2, r3, outer
+
+  # final sequential pass: recheck nets in pseudo-random order
+  li   r23, 0
+  la   r24, checksum
+  ld   r25, 0(r24)
+recheck:
+  li   r28, 193
+  mul  r29, r23, r28
+  li   r28, {NNETS_MASK}
+  and  r29, r29, r28
+  slli r29, r29, 4
+  la   r10, nets
+  add  r10, r10, r29
+  ld   r12, 0(r10)
+  ld   r13, 8(r10)
+  slli r12, r12, 4
+  slli r13, r13, 4
+  la   r11, cells
+  add  r14, r11, r12
+  add  r15, r11, r13
+  ld   r16, 0(r14)
+  ld   r17, 0(r15)
+  sub  r18, r16, r17
+  bge  r18, r0, fpos
+  sub  r18, r0, r18
+fpos:
+  add  r25, r25, r18
+  addi r23, r23, 1
+  li   r27, {NNETS4}
+  blt  r23, r27, recheck
+  sd   r25, 0(r24)
+  halt
+)";
+
+std::string net_eval(int id, uint64_t offset) {
+  return expand_asm(kNetEval, {{"OFF0", offset},
+                               {"OFF8", offset + 8},
+                               {"ID", static_cast<uint64_t>(id)}});
+}
+
+}  // namespace
+
+Workload make_vpr_like(const WorkloadParams& params) {
+  const uint64_t nc = 64 * params.scale;   // cells (4KB at scale 4: hot)
+  const uint64_t ni = 256 * params.scale;  // iterations (4 nets each)
+  const uint64_t nnets = 256;              // fixed 4KB netlist (L1-hot)
+  const uint64_t chunk = 16;
+
+  // The four unrolled net evaluations are generated, then spliced into the
+  // main template (expand_asm only substitutes numbers, so the generated
+  // blocks are inserted by string replacement on unique markers).
+  std::string source = expand_asm(
+      kSource,
+      {{"CELLS_BYTES", nc * 16},
+       {"NETS_BYTES", nnets * 16},
+       {"NI", ni},
+       {"CHUNK", chunk},
+       {"NNETS_MASK", nnets - 1},
+       {"NNETS4", nnets / 4},
+       {"NETS_WRAP", nnets * 16 - 1},
+       {"NET0", 0},  // placeholder markers, replaced below
+       {"NET1", 1},
+       {"NET2", 2},
+       {"NET3", 3}});
+  // expand_asm replaced {NETn} with "n"; swap those single digits (each on
+  // its own line) for the evaluation blocks.
+  for (int i = 0; i < 4; ++i) {
+    const std::string marker = "\n" + std::to_string(i) + "\n";
+    const size_t at = source.find(marker);
+    source = source.substr(0, at) + "\n" + net_eval(i, i * 16) +
+             source.substr(at + marker.size() - 1);
+  }
+
+  Workload w;
+  w.name = "175.vpr";
+  w.description = "placement-swap evaluation with a serial cost recurrence";
+  w.program = assemble(source);
+  w.checksum_addr = w.program.symbol("checksum");
+
+  const Addr cells = w.program.symbol("cells");
+  const Addr nets = w.program.symbol("nets");
+  const uint64_t seed = params.seed;
+  w.init = [=](FlatMemory& memory) {
+    Rng rng(seed + 4);
+    for (uint64_t i = 0; i < nc; ++i) {
+      memory.write_u64(cells + i * 16 + 0, rng.below(4096));
+      memory.write_u64(cells + i * 16 + 8, rng.below(4096));
+    }
+    for (uint64_t i = 0; i < nnets; ++i) {
+      memory.write_u64(nets + i * 16 + 0, rng.below(nc));
+      memory.write_u64(nets + i * 16 + 8, rng.below(nc));
+    }
+  };
+  return w;
+}
+
+}  // namespace wecsim

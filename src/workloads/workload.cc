@@ -1,0 +1,27 @@
+#include "workloads/workload.h"
+
+#include "common/error.h"
+
+namespace wecsim {
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> names = {
+      "175.vpr",    "164.gzip",   "181.mcf",
+      "197.parser", "183.equake", "177.mesa",
+  };
+  return names;
+}
+
+Workload make_workload(const std::string& name, const WorkloadParams& params) {
+  if (name == "175.vpr" || name == "vpr") return make_vpr_like(params);
+  if (name == "164.gzip" || name == "gzip") return make_gzip_like(params);
+  if (name == "181.mcf" || name == "mcf") return make_mcf_like(params);
+  if (name == "197.parser" || name == "parser")
+    return make_parser_like(params);
+  if (name == "183.equake" || name == "equake")
+    return make_equake_like(params);
+  if (name == "177.mesa" || name == "mesa") return make_mesa_like(params);
+  throw SimError("unknown workload: " + name);
+}
+
+}  // namespace wecsim

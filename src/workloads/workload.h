@@ -1,0 +1,71 @@
+// Synthetic SPEC2000-analog workloads.
+//
+// The paper evaluates six manually parallelized SPEC2000 programs (175.vpr,
+// 164.gzip, 181.mcf, 197.parser, 183.equake, 177.mesa) with MinneSPEC
+// reduced inputs. SPEC sources and the PISA toolchain are unavailable, so
+// each workload here is a kernel written in the wecsim ISA that models the
+// dominant parallelized loops of its namesake:
+//
+//   vpr_like    — placement-swap evaluation over a netlist: short, branchy
+//                 iterations with a serializing cost recurrence (more ILP
+//                 than TLP; superthreading overhead dominates)
+//   gzip_like   — LZ77-style sliding-window match search: independent,
+//                 byte-granular iterations (high TLP)
+//   mcf_like    — pointer chasing over shuffled arc lists (cache-miss bound)
+//   parser_like — hash-dictionary probing with chained buckets
+//   equake_like — FP sparse matrix-vector products with gathers
+//   mesa_like   — FP span interpolation with large-stride framebuffer
+//                 accesses (severe direct-mapped conflict misses)
+//
+// Every workload follows the superthreaded code discipline:
+//   * parallel regions are chunked: region r processes elements
+//     [r*chunk, (r+1)*chunk); sequential glue runs between regions and the
+//     next region continues where the previous stopped, so wrong threads
+//     running past a region's end prefetch exactly the data the following
+//     region (or the glue) needs;
+//   * every thread body: fork first, then TSADDR*/TSAGD, then computation
+//     loads/stores, then the exit check (abort/endpar vs. thend);
+//   * cross-thread data flows only through target stores;
+//   * a checksum accumulates in memory for differential validation.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+#include "mem/flat_memory.h"
+
+namespace wecsim {
+
+/// Size scaling. scale=1 is the default "MinneSPEC-like" reduced size used
+/// by the benches; tests use smaller, quicker sizes.
+struct WorkloadParams {
+  uint32_t scale = 4;    // multiplies working-set size and iteration counts
+  uint64_t seed = 42;    // deterministic data initialization
+};
+
+struct Workload {
+  std::string name;         // paper benchmark it stands in for ("181.mcf")
+  std::string description;
+  Program program;
+  std::function<void(FlatMemory&)> init;  // writes input data into memory
+  Addr checksum_addr = 0;   // 8-byte checksum the program leaves in memory
+};
+
+/// The six benchmarks in the paper's presentation order.
+const std::vector<std::string>& workload_names();
+
+/// Build a workload by paper name ("175.vpr", ... or the short "vpr", ...).
+Workload make_workload(const std::string& name,
+                       const WorkloadParams& params = {});
+
+// Individual factories.
+Workload make_vpr_like(const WorkloadParams& params = {});
+Workload make_gzip_like(const WorkloadParams& params = {});
+Workload make_mcf_like(const WorkloadParams& params = {});
+Workload make_parser_like(const WorkloadParams& params = {});
+Workload make_equake_like(const WorkloadParams& params = {});
+Workload make_mesa_like(const WorkloadParams& params = {});
+
+}  // namespace wecsim

@@ -1,0 +1,230 @@
+// Assembler: directives, labels, pseudo-instructions, expressions, errors.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "isa/assembler.h"
+#include "isa/disasm.h"
+
+namespace wecsim {
+namespace {
+
+TEST(Assembler, EmptySourceYieldsEmptyProgram) {
+  Program p = assemble("");
+  EXPECT_EQ(p.num_instructions(), 0u);
+  EXPECT_EQ(p.entry(), kDefaultTextBase);
+}
+
+TEST(Assembler, CommentsAndBlankLinesIgnored) {
+  Program p = assemble("# comment\n   ; also comment\n\n  nop # trailing\n");
+  ASSERT_EQ(p.num_instructions(), 1u);
+  EXPECT_EQ(p.text()[0].op, Opcode::kNop);
+}
+
+TEST(Assembler, BasicThreeOperandForm) {
+  Program p = assemble("add r3, r1, r2\nsub r4, r3, r1\n");
+  ASSERT_EQ(p.num_instructions(), 2u);
+  EXPECT_EQ(p.text()[0], (Instruction{Opcode::kAdd, 3, 1, 2, 0}));
+  EXPECT_EQ(p.text()[1], (Instruction{Opcode::kSub, 4, 3, 1, 0}));
+}
+
+TEST(Assembler, MemoryOperandForm) {
+  Program p = assemble("ld r4, 16(r2)\nsd r4, -8(r2)\nfld f1, 0(r3)\n");
+  EXPECT_EQ(p.text()[0], (Instruction{Opcode::kLd, 4, 2, 0, 16}));
+  EXPECT_EQ(p.text()[1], (Instruction{Opcode::kSd, 0, 2, 4, -8}));
+  EXPECT_EQ(p.text()[2], (Instruction{Opcode::kFld, 1, 3, 0, 0}));
+}
+
+TEST(Assembler, RegisterAliases) {
+  Program p = assemble("addi sp, sp, -16\nmv r1, zero\njalr r0, ra, 0\n");
+  EXPECT_EQ(p.text()[0].rd, 30);
+  EXPECT_EQ(p.text()[1].rs1, 0);
+  EXPECT_EQ(p.text()[2].rs1, 31);
+}
+
+TEST(Assembler, ForwardAndBackwardLabels) {
+  Program p = assemble(R"(
+start:
+  beq r1, r2, done
+  j start
+done:
+  halt
+)");
+  const Addr start = p.symbol("start");
+  const Addr done = p.symbol("done");
+  EXPECT_EQ(p.text()[0].imm, static_cast<int64_t>(done));
+  EXPECT_EQ(p.text()[1].imm, static_cast<int64_t>(start));
+}
+
+TEST(Assembler, PseudoInstructions) {
+  Program p = assemble(R"(
+  mv r2, r3
+  subi r2, r2, 4
+  beqz r2, out
+  bnez r2, out
+  ble r1, r2, out
+  bgt r1, r2, out
+  call out
+  ret
+out:
+  la r5, out
+  halt
+)");
+  EXPECT_EQ(p.text()[0].op, Opcode::kAddi);
+  EXPECT_EQ(p.text()[1].imm, -4);
+  EXPECT_EQ(p.text()[2].op, Opcode::kBeq);
+  EXPECT_EQ(p.text()[3].op, Opcode::kBne);
+  EXPECT_EQ(p.text()[4].op, Opcode::kBge);  // ble swaps operands
+  EXPECT_EQ(p.text()[4].rs1, 2);
+  EXPECT_EQ(p.text()[5].op, Opcode::kBlt);
+  EXPECT_EQ(p.text()[6].rd, 31);  // call links through ra
+  EXPECT_EQ(p.text()[7].op, Opcode::kJalr);
+  EXPECT_EQ(p.text()[8].op, Opcode::kLi);
+  EXPECT_EQ(p.text()[8].imm, static_cast<int64_t>(p.symbol("out")));
+}
+
+TEST(Assembler, DataDirectives) {
+  Program p = assemble(R"(
+  .data
+w:
+  .word 1, 2
+d:
+  .dword 0x1122334455667788
+f:
+  .double 1.5
+sp:
+  .space 3
+  .align 8
+post:
+  .dword 7
+)");
+  EXPECT_EQ(p.symbol("w"), kDefaultDataBase);
+  EXPECT_EQ(p.symbol("d"), kDefaultDataBase + 8);
+  EXPECT_EQ(p.symbol("f"), p.symbol("d") + 8);
+  EXPECT_EQ(p.symbol("post") % 8, 0u);
+  const auto& data = p.data();
+  EXPECT_EQ(data[0], 1);
+  EXPECT_EQ(data[4], 2);
+  EXPECT_EQ(data[8], 0x88);
+  EXPECT_EQ(data[15], 0x11);
+}
+
+TEST(Assembler, EquAndExpressions) {
+  Program p = assemble(R"(
+  .equ N, 64
+  .equ TWO_N, 128
+  li r1, N
+  li r2, N+8
+  li r3, N-1
+  .data
+buf:
+  .space N
+)");
+  EXPECT_EQ(p.text()[0].imm, 64);
+  EXPECT_EQ(p.text()[1].imm, 72);
+  EXPECT_EQ(p.text()[2].imm, 63);
+  EXPECT_EQ(p.data().size(), 64u);
+}
+
+TEST(Assembler, EntryDirective) {
+  Program p = assemble(".entry main\n  nop\nmain:\n  halt\n");
+  EXPECT_EQ(p.entry(), p.symbol("main"));
+}
+
+TEST(Assembler, HexAndNegativeLiterals) {
+  Program p = assemble("li r1, 0x10\nli r2, -0x10\nli r3, -42\n");
+  EXPECT_EQ(p.text()[0].imm, 16);
+  EXPECT_EQ(p.text()[1].imm, -16);
+  EXPECT_EQ(p.text()[2].imm, -42);
+}
+
+TEST(Assembler, SuperthreadedOps) {
+  Program p = assemble(R"(
+body:
+  forksp body
+  fork body
+  tsaddr r6, 8
+  tsagd
+  begin
+  abort
+  thend
+  endpar
+)");
+  EXPECT_EQ(p.text()[0].op, Opcode::kForksp);
+  EXPECT_EQ(p.text()[0].imm, static_cast<int64_t>(p.symbol("body")));
+  EXPECT_EQ(p.text()[2], (Instruction{Opcode::kTsaddr, 0, 6, 0, 8}));
+}
+
+// --- error cases ----------------------------------------------------------
+
+struct AsmError {
+  const char* source;
+  const char* what_contains;
+};
+
+class AssemblerErrors : public ::testing::TestWithParam<AsmError> {};
+
+TEST_P(AssemblerErrors, ReportsUsefulMessage) {
+  try {
+    assemble(GetParam().source);
+    FAIL() << "expected SimError for: " << GetParam().source;
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find(GetParam().what_contains),
+              std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AssemblerErrors,
+    ::testing::Values(
+        AsmError{"frobnicate r1, r2", "unknown mnemonic"},
+        AsmError{"add r1, r2", "too few operands"},
+        AsmError{"add r1, r2, r3, r4", "too many operands"},
+        AsmError{"add r1, r2, r99", "bad register"},
+        AsmError{"fadd f1, f2, r3", "expected f-register"},
+        AsmError{"j nowhere", "undefined symbol"},
+        AsmError{"dup:\ndup:\n  nop", "symbol redefined"},
+        AsmError{".equ X", ".equ takes"},
+        AsmError{".bogus 1", "unknown directive"},
+        AsmError{".data\n  add r1, r2, r3", "instruction outside .text"},
+        AsmError{"ld r1, r2", "usage: ld"},
+        AsmError{"li r1, 12z4", "bad integer literal"}));
+
+TEST(AssemblerErrors, MessagesCarryLineNumbers) {
+  try {
+    assemble("nop\nnop\nbogus_op r1\n");
+    FAIL();
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Disassembler, RoundTripsThroughReassembly) {
+  const char* source = R"(
+loop:
+  addi r1, r1, 1
+  blt r1, r2, loop
+  ld r3, 8(r1)
+  halt
+)";
+  Program p = assemble(source);
+  // Disassembly contains label annotations and addresses; spot-check text.
+  const std::string dis = disassemble(p);
+  EXPECT_NE(dis.find("addi r1, r1, 1"), std::string::npos);
+  EXPECT_NE(dis.find("loop:"), std::string::npos);
+  EXPECT_NE(dis.find("# -> loop"), std::string::npos);
+}
+
+TEST(Program, ValidPcAndFetch) {
+  Program p = assemble("nop\nhalt\n");
+  EXPECT_TRUE(p.valid_pc(p.text_base()));
+  EXPECT_TRUE(p.valid_pc(p.text_base() + kInstrBytes));
+  EXPECT_FALSE(p.valid_pc(p.text_base() + 2 * kInstrBytes));
+  EXPECT_FALSE(p.valid_pc(p.text_base() + 1));  // misaligned
+  EXPECT_EQ(p.fetch(p.text_base() + 2 * kInstrBytes), nullptr);
+  EXPECT_THROW(p.at(0), SimError);
+}
+
+}  // namespace
+}  // namespace wecsim

@@ -1,0 +1,230 @@
+// Tag-array behaviour of SetAssocCache and SideCache: placement, LRU,
+// dirtiness, readiness, plus property sweeps against a reference model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "mem/cache.h"
+#include "mem/side_cache.h"
+
+namespace wecsim {
+namespace {
+
+TEST(CacheGeom, DerivedQuantities) {
+  CacheGeom g{8 * 1024, 2, 64};
+  EXPECT_EQ(g.num_blocks(), 128u);
+  EXPECT_EQ(g.num_sets(), 64u);
+}
+
+TEST(SetAssocCache, RejectsBadGeometry) {
+  EXPECT_THROW(SetAssocCache({8 * 1024, 3, 64}), std::logic_error);   // 3-way
+  EXPECT_THROW(SetAssocCache({8 * 1024, 1, 48}), std::logic_error);   // block
+}
+
+TEST(SetAssocCache, MissThenHit) {
+  SetAssocCache cache({1024, 1, 64});
+  EXPECT_FALSE(cache.access(0x100, false, 1).has_value());
+  cache.insert(0x100, false, 1);
+  EXPECT_TRUE(cache.contains(0x100));
+  EXPECT_EQ(cache.access(0x100, false, 2), 2u);
+  // Same block, different byte.
+  EXPECT_EQ(cache.access(0x13f, false, 3), 3u);
+  // Next block misses.
+  EXPECT_FALSE(cache.access(0x140, false, 4).has_value());
+}
+
+TEST(SetAssocCache, DirectMappedConflictEvicts) {
+  SetAssocCache cache({1024, 1, 64});  // 16 sets
+  cache.insert(0x0, false, 0);
+  auto evicted = cache.insert(0x400, true, 0);  // same set (1024 apart)
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->block_addr, 0x0u);
+  EXPECT_FALSE(evicted->dirty);
+  EXPECT_FALSE(cache.contains(0x0));
+  EXPECT_TRUE(cache.contains(0x400));
+}
+
+TEST(SetAssocCache, LruVictimSelection) {
+  SetAssocCache cache({256, 4, 64});  // one set, 4 ways
+  for (Addr a : {0x000, 0x100, 0x200, 0x300}) cache.insert(a, false, 0);
+  // Touch everything but 0x100 — it becomes LRU.
+  cache.access(0x000, false, 10);
+  cache.access(0x200, false, 11);
+  cache.access(0x300, false, 12);
+  auto evicted = cache.insert(0x400, false, 13);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->block_addr, 0x100u);
+}
+
+TEST(SetAssocCache, DirtyBitTracksWrites) {
+  SetAssocCache cache({256, 1, 64});
+  cache.insert(0x0, false, 0);
+  cache.access(0x0, /*mark_dirty=*/true, 1);
+  auto evicted = cache.insert(0x100, false, 2);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_TRUE(evicted->dirty);
+}
+
+TEST(SetAssocCache, ReinsertionOfResidentBlockKeepsDirty) {
+  SetAssocCache cache({256, 1, 64});
+  cache.insert(0x0, true, 0);
+  auto evicted = cache.insert(0x0, false, 1);  // refresh, no eviction
+  EXPECT_FALSE(evicted.has_value());
+  auto later = cache.insert(0x100, false, 2);
+  ASSERT_TRUE(later.has_value());
+  EXPECT_TRUE(later->dirty);  // dirtiness survived the refresh
+}
+
+TEST(SetAssocCache, ReadyCycleGatesHitTime) {
+  SetAssocCache cache({256, 1, 64});
+  cache.insert(0x0, false, /*ready_cycle=*/100);
+  // A hit before the fill completes waits for it.
+  EXPECT_EQ(cache.access(0x0, false, 50), 100u);
+  // A hit after the fill is instantaneous.
+  EXPECT_EQ(cache.access(0x0, false, 150), 150u);
+}
+
+TEST(SetAssocCache, InvalidateReturnsDirtiness) {
+  SetAssocCache cache({256, 1, 64});
+  cache.insert(0x0, true, 0);
+  auto dirty = cache.invalidate(0x0);
+  ASSERT_TRUE(dirty.has_value());
+  EXPECT_TRUE(*dirty);
+  EXPECT_FALSE(cache.contains(0x0));
+  EXPECT_FALSE(cache.invalidate(0x0).has_value());
+}
+
+TEST(SetAssocCache, PrefetchTagLifecycle) {
+  SetAssocCache cache({256, 1, 64});
+  cache.insert(0x0, false, 0);
+  EXPECT_FALSE(cache.prefetch_tag(0x0));
+  cache.set_prefetch_tag(0x0, true);
+  EXPECT_TRUE(cache.prefetch_tag(0x0));
+  cache.insert(0x100, false, 1);  // evicts; tag gone with the block
+  cache.insert(0x0, false, 2);
+  EXPECT_FALSE(cache.prefetch_tag(0x0));
+}
+
+// Property: the cache agrees with a brute-force reference model on resident
+// sets under random access/insert/invalidate sequences.
+class CacheProperty : public ::testing::TestWithParam<uint32_t /*assoc*/> {};
+
+TEST_P(CacheProperty, MatchesReferenceModel) {
+  const uint32_t assoc = GetParam();
+  SetAssocCache cache({2048, assoc, 64});
+  const uint64_t sets = cache.num_sets();
+
+  // Reference: per set, list of blocks in LRU order (front = LRU).
+  std::map<uint64_t, std::vector<Addr>> ref;
+  auto ref_set = [&](Addr a) { return (a / 64) % sets; };
+
+  Rng rng(99);
+  for (int step = 0; step < 20000; ++step) {
+    const Addr addr = rng.below(64) * 64;  // 64 distinct blocks
+    const uint64_t s = ref_set(addr);
+    auto& lru = ref[s];
+    auto it = std::find(lru.begin(), lru.end(), addr);
+    const int action = static_cast<int>(rng.below(10));
+    if (action < 6) {
+      // access
+      const bool hit = cache.access(addr, false, step).has_value();
+      EXPECT_EQ(hit, it != lru.end()) << "step " << step;
+      if (it != lru.end()) {
+        lru.erase(it);
+        lru.push_back(addr);
+      }
+    } else if (action < 9) {
+      // insert
+      auto evicted = cache.insert(addr, false, step);
+      if (it != lru.end()) {
+        EXPECT_FALSE(evicted.has_value());
+        lru.erase(std::find(lru.begin(), lru.end(), addr));
+      } else if (lru.size() == assoc) {
+        ASSERT_TRUE(evicted.has_value());
+        EXPECT_EQ(evicted->block_addr, lru.front());
+        lru.erase(lru.begin());
+      } else {
+        EXPECT_FALSE(evicted.has_value());
+      }
+      lru.push_back(addr);
+    } else {
+      cache.invalidate(addr);
+      if (it != lru.end()) lru.erase(it);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Assocs, CacheProperty,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+// --- SideCache -------------------------------------------------------------
+
+TEST(SideCache, InsertProbeExtract) {
+  SideCache side(4, 64);
+  side.insert(0x100, SideOrigin::kWrongExec, false, 5);
+  auto hit = side.probe(0x100);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->origin, SideOrigin::kWrongExec);
+  EXPECT_FALSE(hit->dirty);
+  EXPECT_EQ(hit->ready, 5u);
+  auto extracted = side.extract(0x100);
+  ASSERT_TRUE(extracted.has_value());
+  EXPECT_FALSE(side.contains(0x100));
+}
+
+TEST(SideCache, LruEvictionOrder) {
+  SideCache side(2, 64);
+  side.insert(0x000, SideOrigin::kVictim, false, 0);
+  side.insert(0x040, SideOrigin::kVictim, false, 0);
+  side.access(0x000, 1);  // 0x040 becomes LRU
+  side.insert(0x080, SideOrigin::kVictim, false, 2);
+  EXPECT_TRUE(side.contains(0x000));
+  EXPECT_FALSE(side.contains(0x040));
+  EXPECT_TRUE(side.contains(0x080));
+}
+
+TEST(SideCache, DirtyDisplacementReported) {
+  SideCache side(1, 64);
+  side.insert(0x000, SideOrigin::kVictim, /*dirty=*/true, 0);
+  auto displaced = side.insert(0x040, SideOrigin::kPrefetch, false, 0);
+  ASSERT_TRUE(displaced.has_value());
+  EXPECT_EQ(displaced->block_addr, 0x000u);
+  EXPECT_TRUE(displaced->dirty);
+}
+
+TEST(SideCache, CleanDisplacementSilent) {
+  SideCache side(1, 64);
+  side.insert(0x000, SideOrigin::kVictim, false, 0);
+  EXPECT_FALSE(side.insert(0x040, SideOrigin::kVictim, false, 0).has_value());
+}
+
+TEST(SideCache, ReinsertMergesDirtyAndUpdatesOrigin) {
+  SideCache side(2, 64);
+  side.insert(0x000, SideOrigin::kVictim, true, 0);
+  side.insert(0x000, SideOrigin::kWrongExec, false, 1);
+  auto hit = side.probe(0x000);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->dirty);  // dirtiness is never lost
+  EXPECT_EQ(hit->origin, SideOrigin::kWrongExec);
+}
+
+TEST(SideCache, AccessWaitsForReady) {
+  SideCache side(2, 64);
+  side.insert(0x000, SideOrigin::kPrefetch, false, /*ready=*/50);
+  EXPECT_EQ(side.access(0x000, 10), 50u);
+  EXPECT_EQ(side.access(0x000, 60), 60u);
+}
+
+TEST(SideCache, TouchUpdateReportsPresence) {
+  SideCache side(2, 64);
+  EXPECT_FALSE(side.touch_update(0x000));
+  side.insert(0x000, SideOrigin::kVictim, false, 0);
+  EXPECT_TRUE(side.touch_update(0x000));
+  EXPECT_TRUE(side.probe(0x000)->dirty);
+}
+
+}  // namespace
+}  // namespace wecsim

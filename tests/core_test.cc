@@ -1,0 +1,303 @@
+// Out-of-order core correctness: directed pipeline cases plus a randomized
+// differential property test — for any generated program, the timing core's
+// committed architectural state must equal the functional interpreter's,
+// regardless of speculation depth or wrong-path execution.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/rng.h"
+#include "core/sim_config.h"
+#include "core/simulator.h"
+#include "func/interpreter.h"
+#include "isa/assembler.h"
+
+namespace wecsim {
+namespace {
+
+struct DualRun {
+  Program program;
+  FlatMemory ref_mem;
+  FuncResult func;
+  SimResult sim;
+  std::unique_ptr<Simulator> simulator;
+};
+
+DualRun run_both(const std::string& source, PaperConfig config) {
+  DualRun r;
+  r.program = assemble(source);
+  r.ref_mem.load_program(r.program);
+  Interpreter interp(r.program, r.ref_mem);
+  r.func = interp.run(10'000'000);
+  EXPECT_TRUE(r.func.halted);
+
+  r.simulator =
+      std::make_unique<Simulator>(r.program, make_paper_config(config, 1));
+  r.sim = r.simulator->run();
+  EXPECT_TRUE(r.sim.halted);
+  return r;
+}
+
+TEST(OooCore, DependentChainCommitsInOrder) {
+  auto r = run_both(R"(
+  .data
+out: .space 32
+  .text
+  li r1, 1
+  add r2, r1, r1
+  add r3, r2, r2
+  mul r4, r3, r3
+  la r5, out
+  sd r4, 0(r5)
+  halt
+)",
+                    PaperConfig::kOrig);
+  EXPECT_EQ(r.simulator->memory().read_u64(r.program.symbol("out")), 16u);
+}
+
+TEST(OooCore, StoreToLoadForwarding) {
+  auto r = run_both(R"(
+  .data
+buf: .dword 0
+out: .dword 0
+  .text
+  la r1, buf
+  li r2, 77
+  sd r2, 0(r1)
+  ld r3, 0(r1)       # must forward from the in-flight store
+  addi r3, r3, 1
+  la r4, out
+  sd r3, 0(r4)
+  halt
+)",
+                    PaperConfig::kOrig);
+  EXPECT_EQ(r.simulator->memory().read_u64(r.program.symbol("out")), 78u);
+}
+
+TEST(OooCore, PartialOverlapStoreLoadIsExact) {
+  auto r = run_both(R"(
+  .data
+buf: .dword 0
+out: .dword 0
+  .text
+  la r1, buf
+  li r2, 0x1122334455667788
+  sd r2, 0(r1)
+  li r3, 0xAB
+  sb r3, 2(r1)       # overwrite byte 2
+  ld r4, 0(r1)       # partially overlapping: must see the merged value
+  la r5, out
+  sd r4, 0(r5)
+  halt
+)",
+                    PaperConfig::kOrig);
+  EXPECT_EQ(r.simulator->memory().read_u64(r.program.symbol("out")),
+            0x1122334455AB7788ull);
+}
+
+TEST(OooCore, MispredictedLoopExitRecovers) {
+  auto r = run_both(R"(
+  .data
+out: .dword 0
+  .text
+  li r1, 0
+  li r2, 100
+loop:
+  addi r1, r1, 1
+  blt r1, r2, loop    # mispredicts at exit once trained taken
+  la r3, out
+  sd r1, 0(r3)
+  halt
+)",
+                    PaperConfig::kOrig);
+  EXPECT_EQ(r.simulator->memory().read_u64(r.program.symbol("out")), 100u);
+  EXPECT_GE(r.sim.mispredicts, 1u);
+}
+
+TEST(OooCore, WrongPathLoadsAreIssuedAndDiscarded) {
+  // A data-dependent branch selects between two arrays; the wrong path's
+  // load must reach the cache (wp mode) without changing any result.
+  auto r = run_both(R"(
+  .data
+a:   .space 512
+b:   .space 512
+out: .dword 0
+  .text
+  li r1, 0
+  li r2, 64
+  li r10, 0
+loop:
+  andi r3, r1, 1
+  la r4, a
+  la r5, b
+  slli r6, r1, 3
+  beqz r3, even
+  add r7, r5, r6
+  ld r8, 0(r7)
+  j next
+even:
+  add r7, r4, r6
+  ld r8, 0(r7)
+next:
+  add r10, r10, r8
+  addi r1, r1, 1
+  blt r1, r2, loop
+  la r9, out
+  sd r10, 0(r9)
+  halt
+)",
+                    PaperConfig::kWp);
+  EXPECT_EQ(r.simulator->memory().read_u64(r.program.symbol("out")),
+            r.ref_mem.read_u64(r.program.symbol("out")));
+}
+
+TEST(OooCore, IndirectJumpThroughRegister) {
+  auto r = run_both(R"(
+  .data
+out: .dword 0
+  .text
+  la r1, target
+  jalr r5, r1, 0
+dead:
+  li r2, 666        # must be skipped
+target:
+  li r2, 42
+  la r3, out
+  sd r2, 0(r3)
+  halt
+)",
+                    PaperConfig::kOrig);
+  EXPECT_EQ(r.simulator->memory().read_u64(r.program.symbol("out")), 42u);
+}
+
+TEST(OooCore, DivideLatencyDoesNotReorderResults) {
+  auto r = run_both(R"(
+  .data
+out: .space 16
+  .text
+  li r1, 1000
+  li r2, 7
+  div r3, r1, r2     # long latency
+  addi r4, r2, 1     # independent, completes first
+  la r5, out
+  sd r3, 0(r5)
+  sd r4, 8(r5)
+  halt
+)",
+                    PaperConfig::kOrig);
+  const Addr out = r.program.symbol("out");
+  EXPECT_EQ(r.simulator->memory().read_u64(out), 142u);
+  EXPECT_EQ(r.simulator->memory().read_u64(out + 8), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential property test
+// ---------------------------------------------------------------------------
+
+/// Generates a terminating program: an outer counted loop whose body is a
+/// random mix of ALU ops, loads/stores into a scratch region, FP ops, and
+/// short data-dependent forward branches. Results are spilled to memory at
+/// the end for comparison.
+std::string generate_program(uint64_t seed) {
+  Rng rng(seed);
+  std::ostringstream os;
+  os << "  .data\nscratch:\n  .space 512\nregs_out:\n  .space 256\n"
+     << "  .text\n"
+     << "  la r19, scratch\n"
+     << "  li r20, 0\n"            // loop counter
+     << "  li r21, " << 3 + rng.below(6) << "\n"  // trip count
+     << "  fli f1, 1.5\n  fli f2, 0.25\n";
+  // Seed some registers.
+  for (int reg = 1; reg <= 8; ++reg) {
+    os << "  li r" << reg << ", " << static_cast<int64_t>(rng.below(1000)) - 500
+       << "\n";
+  }
+  os << "loop:\n";
+  int label = 0;
+  const int body_len = 12 + static_cast<int>(rng.below(20));
+  for (int i = 0; i < body_len; ++i) {
+    const auto a = 1 + rng.below(15), b = 1 + rng.below(15),
+               c = 1 + rng.below(15);
+    switch (rng.below(8)) {
+      case 0:
+        os << "  add r" << a << ", r" << b << ", r" << c << "\n";
+        break;
+      case 1:
+        os << "  mul r" << a << ", r" << b << ", r" << c << "\n";
+        break;
+      case 2:
+        os << "  xor r" << a << ", r" << b << ", r" << c << "\n";
+        break;
+      case 3:  // store then load elsewhere
+        os << "  andi r16, r" << b << ", 63\n"
+           << "  slli r16, r16, 3\n"
+           << "  add r16, r16, r19\n"
+           << "  sd r" << c << ", 0(r16)\n";
+        break;
+      case 4:
+        os << "  andi r17, r" << b << ", 63\n"
+           << "  slli r17, r17, 3\n"
+           << "  add r17, r17, r19\n"
+           << "  ld r" << a << ", 0(r17)\n";
+        break;
+      case 5:  // forward branch over one instruction
+        os << "  beq r" << a << ", r" << b << ", skip" << label << "\n"
+           << "  addi r" << c << ", r" << c << ", 13\n"
+           << "skip" << label << ":\n";
+        ++label;
+        break;
+      case 6:
+        os << "  fadd f3, f1, f2\n  fmul f1, f3, f2\n";
+        break;
+      case 7:
+        os << "  srai r" << a << ", r" << b << ", 3\n";
+        break;
+    }
+  }
+  os << "  addi r20, r20, 1\n  blt r20, r21, loop\n";
+  // Spill r1..r15 and the FP accumulator for comparison.
+  os << "  la r18, regs_out\n";
+  for (int reg = 1; reg <= 15; ++reg) {
+    os << "  sd r" << reg << ", " << (reg * 8) << "(r18)\n";
+  }
+  os << "  fsd f1, 128(r18)\n  halt\n";
+  return os.str();
+}
+
+class RandomProgram
+    : public ::testing::TestWithParam<std::tuple<uint64_t, PaperConfig>> {};
+
+TEST_P(RandomProgram, TimingMatchesFunctional) {
+  const auto [seed, config] = GetParam();
+  const std::string source = generate_program(seed);
+  auto r = run_both(source, config);
+  const Addr regs_out = r.program.symbol("regs_out");
+  for (int reg = 1; reg <= 15; ++reg) {
+    EXPECT_EQ(r.simulator->memory().read_u64(regs_out + reg * 8),
+              r.ref_mem.read_u64(regs_out + reg * 8))
+        << "r" << reg << " diverged (seed " << seed << ")";
+  }
+  EXPECT_EQ(r.simulator->memory().read_u64(regs_out + 128),
+            r.ref_mem.read_u64(regs_out + 128))
+      << "f1 diverged (seed " << seed << ")";
+  const Addr scratch = r.program.symbol("scratch");
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(r.simulator->memory().read_u64(scratch + 8 * i),
+              r.ref_mem.read_u64(scratch + 8 * i))
+        << "scratch[" << i << "] diverged (seed " << seed << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomProgram,
+    ::testing::Combine(::testing::Range<uint64_t>(1, 26),
+                       ::testing::Values(PaperConfig::kOrig, PaperConfig::kWp,
+                                         PaperConfig::kWthWpWec)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_" +
+             std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+}  // namespace
+}  // namespace wecsim

@@ -1,0 +1,64 @@
+// Disassembler rendering details and program-image edge cases.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "isa/assembler.h"
+#include "isa/disasm.h"
+
+namespace wecsim {
+namespace {
+
+TEST(Disassembler, AnnotatesForkTargets) {
+  Program p = assemble(R"(
+  begin
+  j body
+body:
+  forksp body
+  tsagd
+  abort
+  endpar
+  halt
+)");
+  const std::string dis = disassemble(p);
+  EXPECT_NE(dis.find("body:"), std::string::npos);
+  EXPECT_NE(dis.find("forksp"), std::string::npos);
+  EXPECT_NE(dis.find("# -> body"), std::string::npos);
+}
+
+TEST(Disassembler, SingleLineHasAddress) {
+  Program p = assemble("nop\naddi r1, r1, 5\n");
+  const std::string line = disassemble_at(p, p.text_base() + kInstrBytes);
+  EXPECT_NE(line.find("0x001008"), std::string::npos);
+  EXPECT_NE(line.find("addi r1, r1, 5"), std::string::npos);
+}
+
+TEST(Disassembler, InvalidPcThrows) {
+  Program p = assemble("nop\n");
+  EXPECT_THROW(disassemble_at(p, 0x50), SimError);
+}
+
+TEST(ProgramImage, SymbolTableIsComplete) {
+  Program p = assemble(R"(
+  .equ K, 7
+start:
+  nop
+  .data
+value:
+  .dword 1
+)");
+  EXPECT_EQ(p.symbols().size(), 3u);
+  EXPECT_EQ(p.symbol("K"), 7u);
+  EXPECT_EQ(p.symbol("start"), p.text_base());
+  EXPECT_EQ(p.symbol("value"), p.data_base());
+  EXPECT_THROW(p.symbol("nope"), SimError);
+}
+
+TEST(ProgramImage, TextAndDataBoundaries) {
+  Program p = assemble("nop\nnop\n.data\n.space 24\n");
+  EXPECT_EQ(p.text_end(), p.text_base() + 2 * kInstrBytes);
+  EXPECT_EQ(p.data_end(), p.data_base() + 24);
+  EXPECT_EQ(p.num_instructions(), 2u);
+}
+
+}  // namespace
+}  // namespace wecsim

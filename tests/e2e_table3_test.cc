@@ -1,0 +1,116 @@
+// End-to-end coverage of the Table 3 machine shapes and cross-workload
+// checks that the earlier suites don't reach: every Figure-8 machine must
+// produce interpreter-identical results on a dependence-carrying parallel
+// program, and the whole-suite checksums must be invariant across machine
+// width, thread count, and side-structure choice.
+#include <gtest/gtest.h>
+
+#include "core/sim_config.h"
+#include "core/simulator.h"
+#include "func/interpreter.h"
+#include "workloads/workload.h"
+
+namespace wecsim {
+namespace {
+
+class Table3Machines : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(Table3Machines, WorkloadChecksumsMatchInterpreter) {
+  const uint32_t tus = GetParam();
+  for (const char* name : {"164.gzip", "183.equake"}) {
+    WorkloadParams params{1, 42};
+    Workload w = make_workload(name, params);
+
+    FlatMemory ref;
+    ref.load_program(w.program);
+    w.init(ref);
+    Interpreter interp(w.program, ref);
+    ASSERT_TRUE(interp.run(50'000'000).halted);
+
+    Simulator sim(w.program, make_table3_config(tus));
+    w.init(sim.memory());
+    SimResult r = sim.run();
+    ASSERT_TRUE(r.halted) << name << " on " << tus << " TUs";
+    EXPECT_EQ(sim.memory().read_u64(w.checksum_addr),
+              ref.read_u64(w.checksum_addr))
+        << name << " on " << tus << " TUs";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, Table3Machines,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u),
+                         [](const auto& info) {
+                           return "tu" + std::to_string(info.param);
+                         });
+
+TEST(ChecksumInvariance, AcrossSideStructureSizes) {
+  // Cache-parameter changes must never leak into architectural results.
+  Workload w = make_workload("177.mesa", {1, 42});
+  FlatMemory ref;
+  ref.load_program(w.program);
+  w.init(ref);
+  Interpreter interp(w.program, ref);
+  ASSERT_TRUE(interp.run(50'000'000).halted);
+  const uint64_t expected = ref.read_u64(w.checksum_addr);
+
+  for (uint32_t entries : {2u, 8u, 64u}) {
+    StaConfig config = make_paper_config(PaperConfig::kWthWpWec, 4);
+    config.mem.side_entries = entries;
+    Simulator sim(w.program, config);
+    w.init(sim.memory());
+    ASSERT_TRUE(sim.run().halted);
+    EXPECT_EQ(sim.memory().read_u64(w.checksum_addr), expected)
+        << entries << "-entry WEC";
+  }
+}
+
+TEST(ChecksumInvariance, AcrossCacheGeometry) {
+  Workload w = make_workload("197.parser", {1, 42});
+  FlatMemory ref;
+  ref.load_program(w.program);
+  w.init(ref);
+  Interpreter interp(w.program, ref);
+  ASSERT_TRUE(interp.run(50'000'000).halted);
+  const uint64_t expected = ref.read_u64(w.checksum_addr);
+
+  struct Geom {
+    uint64_t l1_kb;
+    uint32_t assoc;
+    uint32_t block;
+  };
+  for (const Geom& g : {Geom{2, 1, 32}, Geom{8, 4, 64}, Geom{32, 2, 128}}) {
+    StaConfig config = make_paper_config(PaperConfig::kWthWpWec, 4);
+    config.mem.l1d = {g.l1_kb * 1024, g.assoc, g.block};
+    Simulator sim(w.program, config);
+    w.init(sim.memory());
+    ASSERT_TRUE(sim.run().halted);
+    EXPECT_EQ(sim.memory().read_u64(w.checksum_addr), expected)
+        << g.l1_kb << "KB/" << g.assoc << "-way/" << g.block << "B";
+  }
+}
+
+TEST(ChecksumInvariance, AcrossRingAndForkTiming) {
+  Workload w = make_workload("175.vpr", {1, 42});
+  FlatMemory ref;
+  ref.load_program(w.program);
+  w.init(ref);
+  Interpreter interp(w.program, ref);
+  ASSERT_TRUE(interp.run(50'000'000).halted);
+  const uint64_t expected = ref.read_u64(w.checksum_addr);
+
+  for (uint32_t fork_delay : {1u, 4u, 32u}) {
+    for (uint32_t hop : {1u, 2u, 8u}) {
+      StaConfig config = make_paper_config(PaperConfig::kOrig, 4);
+      config.fork_delay = fork_delay;
+      config.ring_hop_cycles = hop;
+      Simulator sim(w.program, config);
+      w.init(sim.memory());
+      ASSERT_TRUE(sim.run().halted);
+      EXPECT_EQ(sim.memory().read_u64(w.checksum_addr), expected)
+          << "fork_delay=" << fork_delay << " hop=" << hop;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wecsim

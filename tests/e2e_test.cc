@@ -1,0 +1,181 @@
+// End-to-end differential tests: the timing simulator must produce exactly
+// the architectural memory state the functional interpreter produces, for
+// sequential programs, parallel (superthreaded) programs, and every paper
+// configuration (wrong execution must never change architectural state).
+#include <gtest/gtest.h>
+
+#include "core/sim_config.h"
+#include "core/simulator.h"
+#include "func/interpreter.h"
+#include "isa/assembler.h"
+
+namespace wecsim {
+namespace {
+
+// Sum the 64 words at `data`, leaving the result at `out`, sequentially.
+constexpr const char* kSumProgram = R"(
+  .data
+data:
+  .space 512            # 64 dwords, initialized by the host
+out:
+  .dword 0
+  .text
+entry:
+  la   r1, data
+  li   r2, 0            # i
+  li   r3, 64           # n
+  li   r4, 0            # acc
+loop:
+  slli r5, r2, 3
+  add  r5, r5, r1
+  ld   r6, 0(r5)
+  add  r4, r4, r6
+  addi r2, r2, 1
+  blt  r2, r3, loop
+  la   r7, out
+  sd   r4, 0(r7)
+  halt
+)";
+
+// A chunked parallel loop: each iteration (thread) computes
+// b[i] = a[i] * 2 + carry, where carry is a cross-iteration dependence
+// communicated through a target store. The exit iteration aborts its
+// speculative successors and continues sequentially, accumulating b into a
+// checksum. Two parallel regions run back to back over two halves.
+constexpr const char* kParallelProgram = R"(
+  .equ N, 24
+  .data
+a:
+  .space 384            # N dwords (host-initialized)
+b:
+  .space 384
+carry:
+  .dword 0
+sum:
+  .dword 0
+  .text
+entry:
+  li   r2, 0            # i = 0 (first region handles [0, N/2))
+  li   r3, 12           # limit of region 1
+  begin
+  jal  r0, body
+region2:
+  li   r3, 24           # limit of region 2
+  begin
+body:
+  # --- continuation stage: next index, fork successor ---
+  addi r10, r2, 1       # next i
+  mv   r11, r2          # my i
+  mv   r2, r10          # child sees i+1
+  forksp body
+  # --- TSAG stage: this thread will write carry ---
+  la   r12, carry
+  tsaddr r12, 0
+  tsagd
+  # --- computation: b[i] = a[i]*2 + carry; carry = a[i] ---
+  la   r13, a
+  slli r14, r11, 3
+  add  r13, r13, r14
+  ld   r15, 0(r13)      # a[i]
+  ld   r16, 0(r12)      # carry (dependence on upstream target store)
+  slli r17, r15, 1
+  add  r17, r17, r16
+  la   r18, b
+  add  r18, r18, r14
+  sd   r17, 0(r18)      # b[i]
+  sd   r15, 0(r12)      # carry = a[i]  (target store -> forwarded)
+  # --- exit check ---
+  addi r19, r11, 1
+  bge  r19, r3, exit
+  thend
+exit:
+  abort
+  endpar
+  # sequential glue: accumulate b over the finished range
+  la   r20, b
+  la   r21, sum
+  ld   r22, 0(r21)
+  li   r23, 0
+seqloop:
+  ld   r24, 0(r20)
+  add  r22, r22, r24
+  addi r20, r20, 8
+  addi r23, r23, 1
+  blt  r23, r3, seqloop
+  sd   r22, 0(r21)
+  li   r25, 12
+  blt  r11, r25, region2   # after region 1, run region 2
+  halt
+)";
+
+void init_array(FlatMemory& memory, Addr base, size_t n, uint64_t mul,
+                uint64_t add) {
+  for (size_t i = 0; i < n; ++i) {
+    memory.write_u64(base + 8 * i, i * mul + add);
+  }
+}
+
+TEST(E2eSequential, SumMatchesInterpreter) {
+  Program program = assemble(kSumProgram);
+  const Addr data = program.symbol("data");
+  const Addr out = program.symbol("out");
+
+  FlatMemory ref_mem;
+  ref_mem.load_program(program);
+  init_array(ref_mem, data, 64, 3, 7);
+  Interpreter interp(program, ref_mem);
+  FuncResult func = interp.run();
+  ASSERT_TRUE(func.halted);
+
+  Simulator sim(program, make_paper_config(PaperConfig::kOrig, 1));
+  init_array(sim.memory(), data, 64, 3, 7);
+  SimResult result = sim.run();
+  EXPECT_TRUE(result.halted);
+  EXPECT_EQ(sim.memory().read_u64(out), ref_mem.read_u64(out));
+  EXPECT_GT(result.cycles, 0u);
+}
+
+class E2eParallel : public ::testing::TestWithParam<
+                        std::tuple<PaperConfig, uint32_t /*num_tus*/>> {};
+
+TEST_P(E2eParallel, MatchesInterpreterInAllConfigs) {
+  const auto [config, num_tus] = GetParam();
+  Program program = assemble(kParallelProgram);
+  const Addr a = program.symbol("a");
+  const Addr sum = program.symbol("sum");
+  const Addr b = program.symbol("b");
+
+  FlatMemory ref_mem;
+  ref_mem.load_program(program);
+  init_array(ref_mem, a, 24, 5, 11);
+  Interpreter interp(program, ref_mem);
+  FuncResult func = interp.run();
+  ASSERT_TRUE(func.halted);
+  ASSERT_GT(func.forks, 0u);
+
+  Simulator sim(program, make_paper_config(config, num_tus));
+  init_array(sim.memory(), a, 24, 5, 11);
+  SimResult result = sim.run();
+  ASSERT_TRUE(result.halted) << "timing simulation did not finish";
+  EXPECT_EQ(sim.memory().read_u64(sum), ref_mem.read_u64(sum))
+      << paper_config_name(config) << " with " << num_tus << " TUs";
+  for (int i = 0; i < 24; ++i) {
+    EXPECT_EQ(sim.memory().read_u64(b + 8 * i), ref_mem.read_u64(b + 8 * i))
+        << "b[" << i << "] diverged";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, E2eParallel,
+    ::testing::Combine(::testing::ValuesIn(kAllPaperConfigs),
+                       ::testing::Values(1u, 2u, 4u, 8u)),
+    [](const ::testing::TestParamInfo<E2eParallel::ParamType>& info) {
+      std::string name = paper_config_name(std::get<0>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_tu" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace wecsim

@@ -1,0 +1,251 @@
+// Functional interpreter: instruction semantics end to end, the sequential
+// thread model for superthreaded ops, accounting, and error detection.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "func/interpreter.h"
+#include "isa/assembler.h"
+
+namespace wecsim {
+namespace {
+
+struct Run {
+  Program program;
+  FlatMemory memory;
+  FuncResult result;
+};
+
+Run run(const char* source, uint64_t max_instrs = 1'000'000) {
+  Run r{assemble(source), {}, {}};
+  r.memory.load_program(r.program);
+  Interpreter interp(r.program, r.memory);
+  r.result = interp.run(max_instrs);
+  return r;
+}
+
+TEST(Interpreter, ArithmeticAndMemory) {
+  auto r = run(R"(
+  .data
+out: .dword 0
+  .text
+  li r1, 6
+  li r2, 7
+  mul r3, r1, r2
+  la r4, out
+  sd r3, 0(r4)
+  halt
+)");
+  EXPECT_TRUE(r.result.halted);
+  EXPECT_EQ(r.memory.read_u64(r.program.symbol("out")), 42u);
+  EXPECT_EQ(r.result.instrs_total, 6u);
+  EXPECT_EQ(r.result.stores, 1u);
+}
+
+TEST(Interpreter, LoopAndBranchAccounting) {
+  auto r = run(R"(
+  li r1, 0
+  li r2, 10
+loop:
+  addi r1, r1, 1
+  blt r1, r2, loop
+  halt
+)");
+  EXPECT_TRUE(r.result.halted);
+  EXPECT_EQ(r.result.branches, 10u);
+  EXPECT_EQ(r.result.branches_taken, 9u);
+}
+
+TEST(Interpreter, CallAndReturn) {
+  auto r = run(R"(
+  .data
+out: .dword 0
+  .text
+  li r1, 5
+  call double_it
+  la r3, out
+  sd r1, 0(r3)
+  halt
+double_it:
+  slli r1, r1, 1
+  ret
+)");
+  EXPECT_EQ(r.memory.read_u64(r.program.symbol("out")), 10u);
+}
+
+TEST(Interpreter, SubWordLoadsAndStores) {
+  auto r = run(R"(
+  .data
+buf: .dword 0
+out: .space 32
+  .text
+  la r1, buf
+  li r2, -1
+  sb r2, 0(r1)          # one 0xff byte
+  lb r3, 0(r1)          # sign-extends to -1
+  lbu r4, 0(r1)         # zero-extends to 255
+  lw r5, 0(r1)          # 0x000000ff
+  la r6, out
+  sd r3, 0(r6)
+  sd r4, 8(r6)
+  sd r5, 16(r6)
+  halt
+)");
+  const Addr out = r.program.symbol("out");
+  EXPECT_EQ(r.memory.read_u64(out), static_cast<uint64_t>(-1));
+  EXPECT_EQ(r.memory.read_u64(out + 8), 255u);
+  EXPECT_EQ(r.memory.read_u64(out + 16), 255u);
+}
+
+TEST(Interpreter, FpPipeline) {
+  auto r = run(R"(
+  .data
+out: .dword 0
+  .text
+  fli f1, 2.5
+  fli f2, 4.0
+  fmul f3, f1, f2
+  fcvt.l.d r1, f3
+  la r2, out
+  sd r1, 0(r2)
+  halt
+)");
+  EXPECT_EQ(r.memory.read_u64(r.program.symbol("out")), 10u);
+}
+
+TEST(Interpreter, ForkRunsChildAfterParentEnds) {
+  auto r = run(R"(
+  .data
+order: .space 16
+  .text
+  li r9, 0          # slot counter
+  begin
+  jal r0, body
+body:
+  # parent records first, THEN forks: the child's register snapshot sees
+  # the incremented slot counter
+  la r1, order
+  slli r2, r9, 3
+  add r1, r1, r2
+  li r3, 111
+  sd r3, 0(r1)
+  addi r9, r9, 1
+  forksp child_code
+  tsagd
+  thend
+child_code:
+  tsagd
+  la r1, order
+  slli r2, r9, 3
+  add r1, r1, r2
+  li r3, 222
+  sd r3, 0(r1)
+  abort
+  endpar
+  halt
+)");
+  EXPECT_TRUE(r.result.halted);
+  EXPECT_EQ(r.result.forks, 1u);
+  EXPECT_EQ(r.result.parallel_regions, 1u);
+  const Addr order = r.program.symbol("order");
+  EXPECT_EQ(r.memory.read_u64(order), 111u);
+  EXPECT_EQ(r.memory.read_u64(order + 8), 222u);  // child saw r9 == 1
+}
+
+TEST(Interpreter, AbortDiscardsPendingFork) {
+  auto r = run(R"(
+  begin
+  jal r0, body
+body:
+  forksp body       # would loop forever if abort did not kill it
+  tsagd
+  abort
+  endpar
+  halt
+)");
+  EXPECT_TRUE(r.result.halted);
+  EXPECT_EQ(r.result.forks, 1u);
+}
+
+TEST(Interpreter, ParallelFractionAccounting) {
+  auto r = run(R"(
+  li r1, 1           # sequential
+  li r2, 2
+  begin
+  jal r0, body
+body:
+  forksp dummy
+  tsagd
+  abort
+  endpar
+  li r3, 3           # sequential again
+  halt
+dummy:
+  thend
+)");
+  EXPECT_GT(r.result.instrs_parallel, 0u);
+  EXPECT_LT(r.result.instrs_parallel, r.result.instrs_total);
+  EXPECT_GT(r.result.fraction_parallel(), 0.0);
+  EXPECT_LT(r.result.fraction_parallel(), 1.0);
+}
+
+TEST(Interpreter, ThendWithoutForkThrows) {
+  EXPECT_THROW(run("begin\nthend\nhalt\n"), SimError);
+}
+
+TEST(Interpreter, ForkOutsideRegionThrows) {
+  EXPECT_THROW(run("forksp target\ntarget:\nhalt\n"), SimError);
+}
+
+TEST(Interpreter, EndparWithLiveSuccessorsThrows) {
+  EXPECT_THROW(run(R"(
+  begin
+  forksp dummy
+  endpar
+  halt
+dummy:
+  thend
+)"),
+               SimError);
+}
+
+TEST(Interpreter, RunawayProgramHitsInstructionCap) {
+  auto r = run("spin:\n  j spin\n", /*max_instrs=*/1000);
+  EXPECT_FALSE(r.result.halted);
+  EXPECT_EQ(r.result.instrs_total, 1000u);
+}
+
+TEST(Interpreter, InvalidPcThrows) {
+  Program p = assemble("j somewhere\n.equ somewhere, 0x9999000\n");
+  FlatMemory memory;
+  Interpreter interp(p, memory);
+  EXPECT_THROW(interp.run(10), SimError);
+}
+
+TEST(Interpreter, ResetRestoresInitialState) {
+  Program p = assemble("li r1, 42\nhalt\n");
+  FlatMemory memory;
+  Interpreter interp(p, memory);
+  interp.run();
+  EXPECT_EQ(interp.int_reg(1), 42u);
+  interp.reset();
+  EXPECT_EQ(interp.int_reg(1), 0u);
+  EXPECT_FALSE(interp.halted());
+  interp.run();
+  EXPECT_EQ(interp.int_reg(1), 42u);
+}
+
+TEST(Interpreter, R0StaysZero) {
+  auto r = run(R"(
+  .data
+out: .dword 0
+  .text
+  addi r0, r0, 99
+  la r1, out
+  sd r0, 0(r1)
+  halt
+)");
+  EXPECT_EQ(r.memory.read_u64(r.program.symbol("out")), 0u);
+}
+
+}  // namespace
+}  // namespace wecsim

@@ -1,0 +1,112 @@
+// ISA metadata, encode/decode, and rendering tests.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "isa/isa.h"
+
+namespace wecsim {
+namespace {
+
+class OpcodeInfoTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OpcodeInfoTest, MetadataIsSelfConsistent) {
+  const auto op = static_cast<Opcode>(GetParam());
+  const OpcodeInfo& info = opcode_info(op);
+  ASSERT_NE(info.name, nullptr);
+  EXPECT_GT(std::string(info.name).size(), 0u);
+
+  // Loads and stores use the LSU and carry an immediate (displacement).
+  Instruction instr{op, 0, 0, 0, 0};
+  if (instr.is_mem()) {
+    EXPECT_EQ(info.fu, FuClass::kLsu);
+    EXPECT_TRUE(info.has_imm);
+    EXPECT_GT(instr.mem_bytes(), 0u);
+    EXPECT_LE(instr.mem_bytes(), 8u);
+  } else {
+    EXPECT_EQ(instr.mem_bytes(), 0u);
+  }
+  // Branches read two integer registers and write none.
+  if (instr.is_branch()) {
+    EXPECT_EQ(info.dst, RegFile::kNone);
+    EXPECT_EQ(info.src1, RegFile::kInt);
+    EXPECT_EQ(info.src2, RegFile::kInt);
+  }
+  // Stores never write a register.
+  if (instr.is_store()) EXPECT_EQ(info.dst, RegFile::kNone);
+  // Latency is sane.
+  EXPECT_GE(info.latency, 1u);
+  EXPECT_LE(info.latency, 32u);
+  // writes_reg agrees with the metadata.
+  EXPECT_EQ(instr.writes_reg(), info.dst != RegFile::kNone);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, OpcodeInfoTest,
+                         ::testing::Range(0, kNumOpcodes));
+
+TEST(OpcodeNames, AreUnique) {
+  std::set<std::string> names;
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    EXPECT_TRUE(names.insert(opcode_name(static_cast<Opcode>(i))).second)
+        << "duplicate mnemonic " << opcode_name(static_cast<Opcode>(i));
+  }
+}
+
+TEST(EncodeDecode, RoundTripsRandomInstructions) {
+  Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Instruction instr;
+    instr.op = static_cast<Opcode>(rng.below(kNumOpcodes));
+    const OpcodeInfo& info = opcode_info(instr.op);
+    if (info.dst != RegFile::kNone) {
+      instr.rd = static_cast<RegId>(rng.below(kNumIntRegs));
+    }
+    if (info.src1 != RegFile::kNone) {
+      instr.rs1 = static_cast<RegId>(rng.below(kNumIntRegs));
+    }
+    if (info.src2 != RegFile::kNone) {
+      instr.rs2 = static_cast<RegId>(rng.below(kNumIntRegs));
+    }
+    instr.imm = static_cast<int64_t>(rng.next());
+    const Instruction back = decode(encode(instr));
+    EXPECT_EQ(instr, back) << to_string(instr);
+  }
+}
+
+TEST(EncodeDecode, RejectsInvalidOpcodeByte) {
+  EncodedInstr bits;
+  bits.word0 = 0xfe;  // out of range opcode
+  EXPECT_THROW(decode(bits), SimError);
+}
+
+TEST(EncodeDecode, RejectsOutOfRangeRegister) {
+  Instruction instr{Opcode::kAdd, 40, 1, 2, 0};  // rd = 40 > 31
+  EncodedInstr bits = encode(instr);
+  EXPECT_THROW(decode(bits), SimError);
+}
+
+TEST(ToString, RendersRepresentativeForms) {
+  EXPECT_EQ(to_string({Opcode::kAdd, 3, 1, 2, 0}), "add r3, r1, r2");
+  EXPECT_EQ(to_string({Opcode::kAddi, 3, 1, 0, -5}), "addi r3, r1, -5");
+  EXPECT_EQ(to_string({Opcode::kLd, 4, 2, 0, 16}), "ld r4, 16(r2)");
+  EXPECT_EQ(to_string({Opcode::kSd, 0, 2, 4, 16}), "sd r4, 16(r2)");
+  EXPECT_EQ(to_string({Opcode::kFadd, 1, 2, 3, 0}), "fadd f1, f2, f3");
+  EXPECT_EQ(to_string({Opcode::kFsd, 0, 2, 4, 8}), "fsd f4, 8(r2)");
+  EXPECT_EQ(to_string({Opcode::kNop, 0, 0, 0, 0}), "nop");
+  EXPECT_EQ(to_string({Opcode::kTsaddr, 0, 6, 0, 8}), "tsaddr r6, 8");
+}
+
+TEST(Instruction, ControlClassification) {
+  EXPECT_TRUE(Instruction{Opcode::kBeq}.is_control());
+  EXPECT_TRUE(Instruction{Opcode::kJal}.is_control());
+  EXPECT_TRUE(Instruction{Opcode::kJalr}.is_jump());
+  EXPECT_FALSE(Instruction{Opcode::kFork}.is_control());
+  EXPECT_TRUE(Instruction{Opcode::kFork}.is_thread_op());
+  EXPECT_TRUE(Instruction{Opcode::kEndpar}.is_thread_op());
+}
+
+}  // namespace
+}  // namespace wecsim

@@ -1,0 +1,131 @@
+// Property sweeps over the per-TU memory system: for random interleavings
+// of correct/wrong loads and stores across all side-structure kinds, the
+// bookkeeping invariants must hold.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "mem/mem_system.h"
+
+namespace wecsim {
+namespace {
+
+class MemPolicyProperty
+    : public ::testing::TestWithParam<std::tuple<SideKind, uint32_t>> {};
+
+TEST_P(MemPolicyProperty, CountersStayConsistentUnderRandomTraffic) {
+  const auto [side, assoc] = GetParam();
+  MemConfig config;
+  config.l1d = {1024, assoc, 64};  // small cache: lots of evictions
+  config.l2 = {16 * 1024, 4, 128};
+  config.side = side;
+  config.side_entries = 4;
+
+  StatsRegistry stats;
+  SharedL2 l2(config, stats);
+  TuMemSystem tu(config, l2, stats, "tu0.");
+
+  Rng rng(2024);
+  Cycle now = 0;
+  uint64_t expected_accesses = 0;
+  uint64_t expected_wrong = 0;
+  for (int step = 0; step < 30000; ++step) {
+    now += 1 + rng.below(4);
+    const Addr addr = rng.below(128) * 32;  // 4KB footprint, sub-block addrs
+    const int action = static_cast<int>(rng.below(10));
+    if (action < 5) {
+      auto out = tu.load(addr, ExecMode::kCorrect, now);
+      ++expected_accesses;
+      EXPECT_GE(out.done, now);
+      EXPECT_FALSE(out.l1_hit && out.side_hit) << "hit in both is impossible";
+    } else if (action < 8) {
+      const ExecMode mode =
+          rng.chance(1, 2) ? ExecMode::kWrongPath : ExecMode::kWrongThread;
+      auto out = tu.load(addr, mode, now);
+      ++expected_accesses;
+      ++expected_wrong;
+      EXPECT_GE(out.done, now);
+    } else {
+      auto out = tu.store(addr, now);
+      ++expected_accesses;
+      EXPECT_GE(out.done, now);
+    }
+  }
+
+  EXPECT_EQ(stats.value("tu0.l1d.accesses"), expected_accesses);
+  EXPECT_EQ(stats.value("tu0.l1d.wrong_accesses"), expected_wrong);
+  EXPECT_LE(stats.value("tu0.l1d.misses") +
+                stats.value("tu0.l1d.wrong_misses"),
+            expected_accesses);
+  // Side-structure hits only exist when there is a side structure.
+  if (side == SideKind::kNone) {
+    EXPECT_EQ(stats.value("tu0.side.hits"), 0u);
+    EXPECT_EQ(stats.value("tu0.side.prefetches"), 0u);
+  }
+  // Wrong-execution WEC fills only exist for the WEC.
+  if (side != SideKind::kWec) {
+    EXPECT_EQ(stats.value("tu0.side.wrong_fills"), 0u);
+  }
+  // Every L2 access must have been triggered by some miss or prefetch or
+  // write-back; at minimum it cannot exceed total misses + prefetches + a
+  // write-back per access (gross upper bound).
+  EXPECT_GT(stats.value("l2.accesses"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, MemPolicyProperty,
+    ::testing::Combine(::testing::Values(SideKind::kNone, SideKind::kVictim,
+                                         SideKind::kWec,
+                                         SideKind::kPrefetchBuffer),
+                       ::testing::Values(1u, 2u)),
+    [](const auto& info) {
+      const char* side = "";
+      switch (std::get<0>(info.param)) {
+        case SideKind::kNone:
+          side = "none";
+          break;
+        case SideKind::kVictim:
+          side = "vc";
+          break;
+        case SideKind::kWec:
+          side = "wec";
+          break;
+        case SideKind::kPrefetchBuffer:
+          side = "pb";
+          break;
+      }
+      return std::string(side) + "_a" + std::to_string(std::get<1>(info.param));
+    });
+
+// Timing monotonicity: replaying the same access trace with a slower memory
+// can never make any individual access complete earlier.
+TEST(MemPolicyTiming, SlowerMemoryNeverHelps) {
+  auto run_trace = [](uint32_t mem_lat) {
+    MemConfig config;
+    config.l1d = {1024, 1, 64};
+    config.l2 = {16 * 1024, 4, 128};
+    config.side = SideKind::kWec;
+    config.mem_lat = mem_lat;
+    StatsRegistry stats;
+    SharedL2 l2(config, stats);
+    TuMemSystem tu(config, l2, stats, "tu0.");
+    Rng rng(7);
+    Cycle now = 0;
+    uint64_t total_latency = 0;
+    for (int step = 0; step < 5000; ++step) {
+      now += 2;
+      const Addr addr = rng.below(256) * 64;
+      const ExecMode mode =
+          rng.chance(1, 5) ? ExecMode::kWrongPath : ExecMode::kCorrect;
+      auto out = tu.load(addr, mode, now);
+      total_latency += out.done - now;
+    }
+    return total_latency;
+  };
+  EXPECT_LT(run_trace(50), run_trace(400));
+}
+
+}  // namespace
+}  // namespace wecsim

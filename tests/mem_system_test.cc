@@ -1,0 +1,234 @@
+// The paper's memory-system semantics (Figures 5 and 6): every routing path
+// of the WEC, the victim cache, and next-line tagged prefetching, plus L2
+// timing and coherence accounting.
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "mem/mem_system.h"
+
+namespace wecsim {
+namespace {
+
+MemConfig small_config(SideKind side) {
+  MemConfig config;
+  config.l1d = {512, 1, 64};  // 8 direct-mapped sets: conflicts are easy
+  config.l2 = {64 * 1024, 4, 128};
+  config.side = side;
+  config.side_entries = 4;
+  return config;
+}
+
+struct Rig {
+  explicit Rig(SideKind side, MemConfig config = {})
+      : config_(config.l1d.size_bytes == 8 * 1024 ? small_config(side)
+                                                  : config),
+        l2(config_, stats),
+        tu(config_, l2, stats, "tu0.") {}
+
+  StatsRegistry stats;
+  MemConfig config_;
+  SharedL2 l2;
+  TuMemSystem tu;
+
+  uint64_t stat(const std::string& name) { return stats.value(name); }
+};
+
+// Two addresses in the same direct-mapped set (512B cache, 64B blocks).
+constexpr Addr kA = 0x0000;
+constexpr Addr kB = 0x0200;  // kA + cache size
+constexpr Addr kC = 0x0400;
+
+TEST(MemSystemBase, HitAfterFill) {
+  Rig rig(SideKind::kNone);
+  auto miss = rig.tu.load(kA, ExecMode::kCorrect, 10);
+  EXPECT_FALSE(miss.l1_hit);
+  EXPECT_GT(miss.done, Cycle{10 + 200});  // went to memory
+  auto hit = rig.tu.load(kA, ExecMode::kCorrect, miss.done);
+  EXPECT_TRUE(hit.l1_hit);
+  EXPECT_EQ(hit.done, miss.done + 1);
+  EXPECT_EQ(rig.stat("tu0.l1d.misses"), 1u);
+  EXPECT_EQ(rig.stat("tu0.l1d.accesses"), 2u);
+}
+
+TEST(MemSystemBase, SecondAccessBeforeFillCompletesWaits) {
+  Rig rig(SideKind::kNone);
+  auto miss = rig.tu.load(kA, ExecMode::kCorrect, 10);
+  auto early = rig.tu.load(kA, ExecMode::kCorrect, 20);
+  EXPECT_TRUE(early.l1_hit);        // MSHR-style hit on the in-flight line
+  EXPECT_GE(early.done, miss.done); // but data arrives with the fill
+}
+
+TEST(MemSystemBase, L2HitIsMuchFasterThanMemory) {
+  Rig rig(SideKind::kNone);
+  rig.tu.load(kA, ExecMode::kCorrect, 10);   // memory fill, now in L2
+  rig.tu.load(kB, ExecMode::kCorrect, 500);  // evicts kA from L1 (same set)
+  auto reload = rig.tu.load(kA, ExecMode::kCorrect, 1000);
+  EXPECT_FALSE(reload.l1_hit);
+  EXPECT_LE(reload.done, Cycle{1000 + 20});  // L2 hit latency, not 200
+}
+
+TEST(MemSystemBase, DirtyEvictionWritesBackToL2) {
+  Rig rig(SideKind::kNone);
+  rig.tu.store(kA, 10);
+  rig.tu.store(kB, 400);  // evicts dirty kA
+  EXPECT_GE(rig.stat("l2.writebacks"), 1u);
+}
+
+// --- victim cache ----------------------------------------------------------
+
+TEST(VictimCache, CatchesConflictEvictions) {
+  Rig rig(SideKind::kVictim);
+  auto a1 = rig.tu.load(kA, ExecMode::kCorrect, 0);
+  rig.tu.load(kB, ExecMode::kCorrect, a1.done + 300);  // kA -> victim cache
+  auto back = rig.tu.load(kA, ExecMode::kCorrect, a1.done + 900);
+  EXPECT_FALSE(back.l1_hit);
+  EXPECT_TRUE(back.side_hit);  // served by the victim cache, swap back
+  EXPECT_EQ(rig.stat("tu0.side.hits"), 1u);
+  // And kB swapped out into the victim cache: it hits there now.
+  auto b_back = rig.tu.load(kB, ExecMode::kCorrect, a1.done + 1200);
+  EXPECT_TRUE(b_back.side_hit);
+}
+
+TEST(VictimCache, WrongLoadsFillTheL1Directly) {
+  // Without a WEC, wrong-execution loads are cache-filling like any other:
+  // that is the pollution the WEC removes.
+  Rig rig(SideKind::kVictim);
+  rig.tu.load(kA, ExecMode::kCorrect, 0);
+  rig.tu.load(kB, ExecMode::kWrongPath, 700);  // fills L1, evicts kA
+  auto back = rig.tu.load(kA, ExecMode::kCorrect, 1500);
+  EXPECT_FALSE(back.l1_hit);   // polluted away...
+  EXPECT_TRUE(back.side_hit);  // ...but the victim cache caught it here
+}
+
+// --- WEC -------------------------------------------------------------------
+
+TEST(Wec, WrongMissFillsWecNotL1) {
+  Rig rig(SideKind::kWec);
+  rig.tu.load(kA, ExecMode::kWrongThread, 0);
+  EXPECT_EQ(rig.stat("tu0.side.wrong_fills"), 1u);
+  // The L1 set is untouched: a correct load of a conflicting block fills
+  // without evicting anything WEC-worthy, and kA hits in the WEC.
+  auto correct = rig.tu.load(kA, ExecMode::kCorrect, 800);
+  EXPECT_FALSE(correct.l1_hit);
+  EXPECT_TRUE(correct.side_hit);  // indirect prefetch: the paper's effect
+}
+
+TEST(Wec, WrongLoadNeverPollutesL1) {
+  Rig rig(SideKind::kWec);
+  auto a1 = rig.tu.load(kA, ExecMode::kCorrect, 0);  // correct fill of kA
+  rig.tu.load(kB, ExecMode::kWrongPath, a1.done + 300);
+  auto again = rig.tu.load(kA, ExecMode::kCorrect, a1.done + 900);
+  EXPECT_TRUE(again.l1_hit) << "wrong-execution load must not evict kA";
+}
+
+TEST(Wec, CorrectHitOnWrongFetchedBlockTriggersNextLinePrefetch) {
+  Rig rig(SideKind::kWec);
+  rig.tu.load(kA, ExecMode::kWrongPath, 0);       // kA into the WEC
+  rig.tu.load(kA, ExecMode::kCorrect, 800);       // hit: promote + prefetch
+  EXPECT_EQ(rig.stat("tu0.side.prefetches"), 1u);
+  // The next line (kA + 64) is now in the WEC.
+  auto next = rig.tu.load(kA + 64, ExecMode::kCorrect, 1600);
+  EXPECT_TRUE(next.side_hit);
+}
+
+TEST(Wec, VictimHitDoesNotTriggerPrefetch) {
+  Rig rig(SideKind::kWec);
+  auto a1 = rig.tu.load(kA, ExecMode::kCorrect, 0);
+  rig.tu.load(kB, ExecMode::kCorrect, a1.done + 300);   // kA -> WEC (victim)
+  rig.tu.load(kA, ExecMode::kCorrect, a1.done + 900);   // WEC hit, victim role
+  EXPECT_EQ(rig.stat("tu0.side.prefetches"), 0u);
+}
+
+TEST(Wec, WrongHitInWecStaysInWec) {
+  Rig rig(SideKind::kWec);
+  rig.tu.load(kA, ExecMode::kWrongThread, 0);
+  auto wrong_again = rig.tu.load(kA, ExecMode::kWrongThread, 800);
+  EXPECT_TRUE(wrong_again.side_hit);
+  EXPECT_EQ(rig.stat("tu0.side.wrong_hits"), 1u);
+  // Still not in the L1.
+  auto correct = rig.tu.load(kA, ExecMode::kCorrect, 1600);
+  EXPECT_FALSE(correct.l1_hit);
+  EXPECT_TRUE(correct.side_hit);
+}
+
+TEST(Wec, WrongHitInL1CountsAsPlainHit) {
+  Rig rig(SideKind::kWec);
+  auto fill = rig.tu.load(kA, ExecMode::kCorrect, 0);
+  auto wrong = rig.tu.load(kA, ExecMode::kWrongPath, fill.done + 10);
+  EXPECT_TRUE(wrong.l1_hit);
+  EXPECT_EQ(rig.stat("tu0.l1d.wrong_misses"), 0u);
+}
+
+// --- next-line tagged prefetching -------------------------------------------
+
+TEST(Nlp, PrefetchesOnMiss) {
+  Rig rig(SideKind::kPrefetchBuffer);
+  rig.tu.load(kA, ExecMode::kCorrect, 0);
+  EXPECT_EQ(rig.stat("tu0.side.prefetches"), 1u);
+  auto next = rig.tu.load(kA + 64, ExecMode::kCorrect, 800);
+  EXPECT_TRUE(next.side_hit);
+}
+
+TEST(Nlp, TaggedFirstHitPrefetchesAgain) {
+  Rig rig(SideKind::kPrefetchBuffer);
+  rig.tu.load(kA, ExecMode::kCorrect, 0);        // miss: prefetch kA+64
+  rig.tu.load(kA + 64, ExecMode::kCorrect, 800); // buffer hit -> L1, tagged
+  EXPECT_EQ(rig.stat("tu0.side.prefetches"), 1u);
+  // First demand hit on the promoted block triggers the next prefetch.
+  rig.tu.load(kA + 64, ExecMode::kCorrect, 1600);
+  EXPECT_EQ(rig.stat("tu0.side.prefetches"), 2u);
+  auto next = rig.tu.load(kA + 128, ExecMode::kCorrect, 2400);
+  EXPECT_TRUE(next.side_hit || next.l1_hit);
+}
+
+TEST(Nlp, NoPrefetchWhenNextLineResident) {
+  Rig rig(SideKind::kPrefetchBuffer);
+  auto f1 = rig.tu.load(kA + 64, ExecMode::kCorrect, 0);  // fill kA+64 into L1
+  (void)f1;
+  const uint64_t before = rig.stat("tu0.side.prefetches");
+  rig.tu.load(kA, ExecMode::kCorrect, 900);  // next line already in L1
+  // kA's next line (kA+64) is resident in the L1, so the miss on kA issues
+  // no new prefetch.
+  EXPECT_EQ(rig.stat("tu0.side.prefetches"), before);
+}
+
+// --- coherence ---------------------------------------------------------------
+
+TEST(Coherence, UpdateCountsOnlyWhenCached) {
+  Rig rig(SideKind::kWec);
+  rig.tu.coherence_update(kA);
+  EXPECT_EQ(rig.stat("tu0.coherence.updates"), 0u);
+  rig.tu.load(kA, ExecMode::kCorrect, 0);
+  rig.tu.coherence_update(kA);
+  EXPECT_EQ(rig.stat("tu0.coherence.updates"), 1u);
+  // A WEC-resident block also counts.
+  rig.tu.load(kC, ExecMode::kWrongPath, 900);
+  rig.tu.coherence_update(kC);
+  EXPECT_EQ(rig.stat("tu0.coherence.updates"), 2u);
+}
+
+// --- shared L2 ----------------------------------------------------------------
+
+TEST(SharedL2, BandwidthSerializesRequests) {
+  MemConfig config = small_config(SideKind::kNone);
+  config.l2_occupancy = 4;
+  StatsRegistry stats;
+  SharedL2 l2(config, stats);
+  const Cycle t1 = l2.access(0x0000, 10);
+  const Cycle t2 = l2.access(0x1000, 10);  // queued behind the first
+  EXPECT_EQ(t2, t1 + config.l2_occupancy);
+}
+
+TEST(SharedL2, HitOnFillingLineWaitsForMemory) {
+  MemConfig config = small_config(SideKind::kNone);
+  StatsRegistry stats;
+  SharedL2 l2(config, stats);
+  const Cycle fill = l2.access(0x0000, 10);
+  const Cycle hit = l2.access(0x0000, 20);
+  EXPECT_GE(hit, fill);  // the second request cannot beat the fill
+  EXPECT_EQ(stats.value("l2.misses"), 1u);
+  EXPECT_EQ(stats.value("l2.accesses"), 2u);
+}
+
+}  // namespace
+}  // namespace wecsim

@@ -1,0 +1,142 @@
+// Speculative memory buffer: target declarations, run-time dependence
+// stalls, sub-word merging, drain order, fork snapshots, and capacity.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "mem/flat_memory.h"
+#include "sta/memory_buffer.h"
+
+namespace wecsim {
+namespace {
+
+TEST(MemoryBuffer, GranuleAlignment) {
+  EXPECT_EQ(MemoryBuffer::granule_of(0x1007), 0x1000u);
+  EXPECT_EQ(MemoryBuffer::granule_of(0x1008), 0x1008u);
+}
+
+TEST(MemoryBuffer, UpstreamTargetWithoutDataStallsLoads) {
+  MemoryBuffer buf(16);
+  buf.declare_upstream_target(0x1000);
+  EXPECT_TRUE(buf.must_stall(0x1000, 8));
+  EXPECT_TRUE(buf.must_stall(0x1004, 4));   // partial overlap
+  EXPECT_FALSE(buf.must_stall(0x1008, 8));  // different granule
+  buf.receive_upstream_data(0x1000, 42);
+  EXPECT_FALSE(buf.must_stall(0x1000, 8));
+}
+
+TEST(MemoryBuffer, LocalTargetDoesNotStallOwnLoads) {
+  MemoryBuffer buf(16);
+  buf.declare_local_target(0x1000);
+  EXPECT_FALSE(buf.must_stall(0x1000, 8));
+}
+
+TEST(MemoryBuffer, OwnStoreBeatsLateUpstreamData) {
+  MemoryBuffer buf(16);
+  FlatMemory memory;
+  buf.declare_upstream_target(0x1000);
+  buf.store(0x1000, 7, 8, memory);
+  buf.receive_upstream_data(0x1000, 99);  // arrives late; must not clobber
+  EXPECT_EQ(buf.read(0x1000, 8, memory), 7u);
+}
+
+TEST(MemoryBuffer, ReadFallsThroughToMemory) {
+  MemoryBuffer buf(16);
+  FlatMemory memory;
+  memory.write_u64(0x1000, 0x1122334455667788ull);
+  EXPECT_EQ(buf.read(0x1000, 8, memory), 0x1122334455667788ull);
+  buf.store(0x1000, 0xdead, 8, memory);
+  EXPECT_EQ(buf.read(0x1000, 8, memory), 0xdeadu);
+  // Memory itself is untouched until drain.
+  EXPECT_EQ(memory.read_u64(0x1000), 0x1122334455667788ull);
+}
+
+TEST(MemoryBuffer, SubWordStoreMergesWithMemory) {
+  MemoryBuffer buf(16);
+  FlatMemory memory;
+  memory.write_u64(0x1000, 0x8877665544332211ull);
+  buf.store(0x1002, 0xAB, 1, memory);  // one byte into the middle
+  EXPECT_EQ(buf.read(0x1000, 8, memory), 0x8877665544AB2211ull);
+  EXPECT_EQ(buf.read(0x1002, 1, memory), 0xABu);
+}
+
+TEST(MemoryBuffer, StraddlingStoreTouchesTwoGranules) {
+  MemoryBuffer buf(16);
+  FlatMemory memory;
+  buf.store(0x1004, 0x1122334455667788ull, 8, memory);  // crosses 0x1008
+  EXPECT_EQ(buf.read(0x1004, 8, memory), 0x1122334455667788ull);
+  EXPECT_EQ(buf.data_entries(), 2u);
+}
+
+TEST(MemoryBuffer, StoreReturnsTargetGranules) {
+  MemoryBuffer buf(16);
+  FlatMemory memory;
+  buf.declare_local_target(0x1000);
+  auto targets = buf.store(0x1000, 5, 8, memory);
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0], 0x1000u);
+  // Plain stores are not forwarded.
+  EXPECT_TRUE(buf.store(0x2000, 5, 8, memory).empty());
+}
+
+TEST(MemoryBuffer, DrainContainsOnlyOwnWrites) {
+  MemoryBuffer buf(16);
+  FlatMemory memory;
+  buf.declare_upstream_target(0x1000);
+  buf.receive_upstream_data(0x1000, 11);  // upstream value: not ours to drain
+  buf.store(0x2000, 22, 8, memory);
+  buf.store(0x3000, 33, 8, memory);
+  auto drain = buf.drain_order();
+  ASSERT_EQ(drain.size(), 2u);
+  EXPECT_EQ(drain[0].first, 0x2000u);  // first-write order
+  EXPECT_EQ(drain[1].first, 0x3000u);
+  EXPECT_EQ(drain[0].second, 22u);
+}
+
+TEST(MemoryBuffer, CopyTargetsToChildDropsData) {
+  MemoryBuffer parent(16);
+  FlatMemory memory;
+  parent.declare_local_target(0x1000);
+  parent.store(0x1000, 42, 8, memory);
+  parent.store(0x2000, 7, 8, memory);  // non-target: thread private
+
+  MemoryBuffer child(16);
+  parent.copy_targets_to(child);
+  // The child knows the address (stalls on it) but has no value yet: it
+  // must wait for the parent's forwarded store.
+  EXPECT_TRUE(child.must_stall(0x1000, 8));
+  EXPECT_FALSE(child.covers(0x1000, 8));
+  EXPECT_FALSE(child.must_stall(0x2000, 8));
+}
+
+TEST(MemoryBuffer, OverflowThrows) {
+  MemoryBuffer buf(2);
+  FlatMemory memory;
+  buf.store(0x1000, 1, 8, memory);
+  buf.store(0x2000, 2, 8, memory);
+  EXPECT_THROW(buf.store(0x3000, 3, 8, memory), SimError);
+}
+
+TEST(MemoryBuffer, ClearEmptiesEverything) {
+  MemoryBuffer buf(16);
+  FlatMemory memory;
+  buf.declare_upstream_target(0x1000);
+  buf.store(0x2000, 1, 8, memory);
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_FALSE(buf.must_stall(0x1000, 8));
+  EXPECT_TRUE(buf.drain_order().empty());
+}
+
+TEST(MemoryBuffer, CoversReportsDataPresence) {
+  MemoryBuffer buf(16);
+  FlatMemory memory;
+  EXPECT_FALSE(buf.covers(0x1000, 8));
+  buf.declare_upstream_target(0x1000);
+  EXPECT_FALSE(buf.covers(0x1000, 8));  // address known, no data
+  buf.receive_upstream_data(0x1000, 9);
+  EXPECT_TRUE(buf.covers(0x1000, 8));
+  EXPECT_TRUE(buf.covers(0x1004, 1));
+}
+
+}  // namespace
+}  // namespace wecsim

@@ -1,0 +1,128 @@
+// Architectural semantics: ALU ops, branches, load extension, FP bit
+// handling, and the defined-division corner cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "isa/semantics.h"
+
+namespace wecsim {
+namespace {
+
+Word bits_of(double d) {
+  Word w;
+  std::memcpy(&w, &d, sizeof(w));
+  return w;
+}
+
+double double_of(Word w) {
+  double d;
+  std::memcpy(&d, &w, sizeof(d));
+  return d;
+}
+
+Word alu(Opcode op, Word a, Word b, int64_t imm = 0) {
+  Instruction instr{op, 1, 2, 3, imm};
+  return eval_alu(instr, a, b);
+}
+
+TEST(EvalAlu, IntegerBasics) {
+  EXPECT_EQ(alu(Opcode::kAdd, 2, 3), 5u);
+  EXPECT_EQ(alu(Opcode::kSub, 2, 3), static_cast<Word>(-1));
+  EXPECT_EQ(alu(Opcode::kMul, 7, 6), 42u);
+  EXPECT_EQ(alu(Opcode::kAnd, 0b1100, 0b1010), 0b1000u);
+  EXPECT_EQ(alu(Opcode::kOr, 0b1100, 0b1010), 0b1110u);
+  EXPECT_EQ(alu(Opcode::kXor, 0b1100, 0b1010), 0b0110u);
+}
+
+TEST(EvalAlu, ShiftsMaskTheAmount) {
+  EXPECT_EQ(alu(Opcode::kSll, 1, 64), 1u);  // shift amount mod 64
+  EXPECT_EQ(alu(Opcode::kSll, 1, 3), 8u);
+  EXPECT_EQ(alu(Opcode::kSrl, 0x8000'0000'0000'0000ull, 63), 1u);
+  EXPECT_EQ(alu(Opcode::kSra, static_cast<Word>(-8), 1),
+            static_cast<Word>(-4));
+  EXPECT_EQ(alu(Opcode::kSlli, 1, 0, 4), 16u);
+  EXPECT_EQ(alu(Opcode::kSrai, static_cast<Word>(-16), 0, 2),
+            static_cast<Word>(-4));
+}
+
+TEST(EvalAlu, Comparisons) {
+  EXPECT_EQ(alu(Opcode::kSlt, static_cast<Word>(-1), 0), 1u);
+  EXPECT_EQ(alu(Opcode::kSltu, static_cast<Word>(-1), 0), 0u);
+  EXPECT_EQ(alu(Opcode::kSlti, static_cast<Word>(-5), 0, -4), 1u);
+}
+
+TEST(EvalAlu, DivisionFollowsRiscVConventions) {
+  EXPECT_EQ(alu(Opcode::kDiv, 42, 0), static_cast<Word>(-1));
+  EXPECT_EQ(alu(Opcode::kRem, 42, 0), 42u);
+  const Word int_min = static_cast<Word>(std::numeric_limits<SWord>::min());
+  EXPECT_EQ(alu(Opcode::kDiv, int_min, static_cast<Word>(-1)), int_min);
+  EXPECT_EQ(alu(Opcode::kRem, int_min, static_cast<Word>(-1)), 0u);
+  EXPECT_EQ(alu(Opcode::kDiv, static_cast<Word>(-7), 2),
+            static_cast<Word>(-3));
+  EXPECT_EQ(alu(Opcode::kRem, static_cast<Word>(-7), 2),
+            static_cast<Word>(-1));
+}
+
+TEST(EvalAlu, Immediates) {
+  EXPECT_EQ(alu(Opcode::kAddi, 10, 0, -3), 7u);
+  EXPECT_EQ(alu(Opcode::kAndi, 0xff, 0, 0x0f), 0x0fu);
+  EXPECT_EQ(alu(Opcode::kLi, 0, 0, -99), static_cast<Word>(-99));
+}
+
+TEST(EvalAlu, FloatingPoint) {
+  EXPECT_DOUBLE_EQ(
+      double_of(alu(Opcode::kFadd, bits_of(1.5), bits_of(2.25))), 3.75);
+  EXPECT_DOUBLE_EQ(
+      double_of(alu(Opcode::kFsub, bits_of(1.5), bits_of(2.25))), -0.75);
+  EXPECT_DOUBLE_EQ(double_of(alu(Opcode::kFmul, bits_of(3.0), bits_of(0.5))),
+                   1.5);
+  EXPECT_DOUBLE_EQ(double_of(alu(Opcode::kFdiv, bits_of(1.0), bits_of(4.0))),
+                   0.25);
+  EXPECT_EQ(alu(Opcode::kFeq, bits_of(2.0), bits_of(2.0)), 1u);
+  EXPECT_EQ(alu(Opcode::kFlt, bits_of(1.0), bits_of(2.0)), 1u);
+  EXPECT_EQ(alu(Opcode::kFle, bits_of(2.0), bits_of(2.0)), 1u);
+  EXPECT_EQ(alu(Opcode::kFlt, bits_of(2.0), bits_of(1.0)), 0u);
+}
+
+TEST(EvalAlu, FpConversions) {
+  EXPECT_DOUBLE_EQ(
+      double_of(alu(Opcode::kFcvtDL, static_cast<Word>(-3), 0)), -3.0);
+  EXPECT_EQ(alu(Opcode::kFcvtLD, bits_of(3.9), 0), 3u);   // truncates
+  EXPECT_EQ(alu(Opcode::kFcvtLD, bits_of(-3.9), 0), static_cast<Word>(-3));
+  EXPECT_EQ(alu(Opcode::kFcvtLD, bits_of(std::nan("")), 0), 0u);
+  EXPECT_EQ(alu(Opcode::kFcvtLD, bits_of(1e30), 0),
+            static_cast<Word>(std::numeric_limits<SWord>::max()));
+}
+
+TEST(EvalBranch, AllConditions) {
+  auto taken = [](Opcode op, Word a, Word b) {
+    return eval_branch(Instruction{op, 0, 1, 2, 0}, a, b);
+  };
+  EXPECT_TRUE(taken(Opcode::kBeq, 5, 5));
+  EXPECT_FALSE(taken(Opcode::kBeq, 5, 6));
+  EXPECT_TRUE(taken(Opcode::kBne, 5, 6));
+  EXPECT_TRUE(taken(Opcode::kBlt, static_cast<Word>(-1), 0));
+  EXPECT_FALSE(taken(Opcode::kBltu, static_cast<Word>(-1), 0));
+  EXPECT_TRUE(taken(Opcode::kBge, 0, static_cast<Word>(-1)));
+  EXPECT_TRUE(taken(Opcode::kBgeu, static_cast<Word>(-1), 0));
+}
+
+TEST(ExtendLoaded, SignAndZeroExtension) {
+  EXPECT_EQ(extend_loaded(Opcode::kLb, 0x80), static_cast<Word>(-128));
+  EXPECT_EQ(extend_loaded(Opcode::kLbu, 0x80), 0x80u);
+  EXPECT_EQ(extend_loaded(Opcode::kLw, 0x8000'0000u),
+            static_cast<Word>(static_cast<int64_t>(INT32_MIN)));
+  EXPECT_EQ(extend_loaded(Opcode::kLd, 0x8000'0000'0000'0000ull),
+            0x8000'0000'0000'0000ull);
+}
+
+TEST(EvalMemAddr, BasePlusDisplacement) {
+  EXPECT_EQ(eval_mem_addr(Instruction{Opcode::kLd, 1, 2, 0, 16}, 100), 116u);
+  EXPECT_EQ(eval_mem_addr(Instruction{Opcode::kLd, 1, 2, 0, -4}, 100), 96u);
+}
+
+}  // namespace
+}  // namespace wecsim

@@ -1,0 +1,134 @@
+// The Simulator façade: result aggregation, stats plumbing, run-once
+// semantics, Table-3 machines end to end, and the ExperimentRunner cache.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/sim_config.h"
+#include "core/simulator.h"
+#include "harness/experiment.h"
+#include "isa/assembler.h"
+#include "workloads/workload.h"
+
+namespace wecsim {
+namespace {
+
+constexpr const char* kTinyLoop = R"(
+  .data
+a:   .space 4096
+out: .dword 0
+  .text
+  la r1, a
+  li r2, 0
+  li r3, 512
+  li r4, 0
+loop:
+  ld r5, 0(r1)
+  add r4, r4, r5
+  addi r1, r1, 8
+  addi r2, r2, 1
+  blt r2, r3, loop
+  la r6, out
+  sd r4, 0(r6)
+  halt
+)";
+
+TEST(Simulator, RunOnceEnforced) {
+  Program p = assemble(kTinyLoop);
+  Simulator sim(p, make_paper_config(PaperConfig::kOrig, 1));
+  sim.run();
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(Simulator, ResultAggregationMatchesRawCounters) {
+  Program p = assemble(kTinyLoop);
+  Simulator sim(p, make_paper_config(PaperConfig::kOrig, 2));
+  SimResult r = sim.run();
+  ASSERT_TRUE(r.halted);
+  EXPECT_EQ(r.l1d_accesses, sim.stats().sum_matching("tu", ".l1d.accesses"));
+  EXPECT_EQ(r.l1d_misses, sim.stats().sum_matching("tu", ".l1d.misses"));
+  EXPECT_EQ(r.l2_accesses, sim.stats().value("l2.accesses"));
+  EXPECT_EQ(r.cycles, sim.stats().value("sta.cycles"));
+  EXPECT_GT(r.committed, 0u);
+}
+
+TEST(Simulator, MissRateIsSane) {
+  Program p = assemble(kTinyLoop);
+  Simulator sim(p, make_paper_config(PaperConfig::kOrig, 1));
+  SimResult r = sim.run();
+  EXPECT_GT(r.l1d_miss_rate(), 0.0);  // the 4KB streaming array cold-misses
+  EXPECT_LT(r.l1d_miss_rate(), 0.5);  // 8 doubles per block: ~1/8 miss rate
+}
+
+TEST(Simulator, ProgramDataSegmentIsLoaded) {
+  Program p = assemble(".data\nv:\n  .dword 123\n  .text\n  halt\n");
+  Simulator sim(p, make_paper_config(PaperConfig::kOrig, 1));
+  EXPECT_EQ(sim.memory().read_u64(p.symbol("v")), 123u);
+}
+
+TEST(Simulator, Table3MachinesRunWholeWorkloads) {
+  // Smoke the Figure-8 machines end to end on a real workload at tiny scale.
+  Workload w = make_workload("164.gzip", {1, 42});
+  FlatMemory ref;
+  ref.load_program(w.program);
+  w.init(ref);
+  for (uint32_t tus : {1u, 2u, 16u}) {
+    Simulator sim(w.program, make_table3_config(tus));
+    w.init(sim.memory());
+    SimResult r = sim.run();
+    ASSERT_TRUE(r.halted) << tus << " TUs";
+    EXPECT_GT(sim.stats().value("sta.parallel_cycles"), 0u);
+  }
+  Simulator base(w.program, make_table3_baseline());
+  w.init(base.memory());
+  EXPECT_TRUE(base.run().halted);
+}
+
+TEST(Simulator, WecReducesCyclesOnConflictWorkload) {
+  // The repository's headline effect, as a regression test: on the
+  // conflict-heavy mesa analog, wth-wp-wec must beat orig.
+  Workload w = make_workload("177.mesa", {2, 42});
+  Simulator orig(w.program, make_paper_config(PaperConfig::kOrig, 8));
+  w.init(orig.memory());
+  const Cycle orig_cycles = orig.run().cycles;
+
+  Simulator wec(w.program, make_paper_config(PaperConfig::kWthWpWec, 8));
+  w.init(wec.memory());
+  const Cycle wec_cycles = wec.run().cycles;
+  EXPECT_LT(wec_cycles, orig_cycles);
+}
+
+TEST(Simulator, WrongExecutionOnlyAddsTraffic) {
+  Workload w = make_workload("183.equake", {1, 42});
+  Simulator orig(w.program, make_paper_config(PaperConfig::kOrig, 8));
+  w.init(orig.memory());
+  SimResult r_orig = orig.run();
+
+  Simulator wec(w.program, make_paper_config(PaperConfig::kWthWpWec, 8));
+  w.init(wec.memory());
+  SimResult r_wec = wec.run();
+  EXPECT_GT(r_wec.l1d_wrong_accesses, 0u);
+  EXPECT_EQ(r_orig.l1d_wrong_accesses, 0u);
+}
+
+TEST(ExperimentRunner, CachesByKey) {
+  ExperimentRunner runner({1, 42});
+  const auto& a = runner.run("164.gzip", "orig",
+                             make_paper_config(PaperConfig::kOrig, 2));
+  const auto& b = runner.run("164.gzip", "orig",
+                             make_paper_config(PaperConfig::kOrig, 2));
+  EXPECT_EQ(&a, &b) << "same key must return the memoized measurement";
+  const auto& c = runner.run("164.gzip", "other",
+                             make_paper_config(PaperConfig::kOrig, 4));
+  EXPECT_NE(&a, &c);
+}
+
+TEST(ExperimentRunner, UnfinishedSimulationThrows) {
+  // A cycle cap too small to finish must be reported, not silently returned.
+  StaConfig config = make_paper_config(PaperConfig::kOrig, 1);
+  config.max_cycles = 50;
+  ExperimentRunner runner({1, 42});
+  EXPECT_THROW(runner.run("164.gzip", "capped", config), SimError);
+}
+
+}  // namespace
+}  // namespace wecsim

@@ -1,0 +1,291 @@
+// Superthreaded protocol specifics: fork timing, ordering chains, wrong
+// threads, coherence, and failure detection.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/sim_config.h"
+#include "core/simulator.h"
+#include "isa/assembler.h"
+
+namespace wecsim {
+namespace {
+
+// Minimal two-region parallel skeleton used by several tests.
+constexpr const char* kTwoIterations = R"(
+  .data
+out: .space 64
+  .text
+  li r1, 0
+  begin
+  j body
+body:
+  addi r5, r1, 1
+  mv r4, r1
+  mv r1, r5
+  forksp body
+  tsagd
+  la r6, out
+  slli r7, r4, 3
+  add r6, r6, r7
+  addi r8, r4, 100
+  sd r8, 0(r6)
+  addi r9, r4, 1
+  li r10, 4
+  bge r9, r10, exit
+  thend
+exit:
+  abort
+  endpar
+  halt
+)";
+
+TEST(StaProtocol, IterationsLandOnSuccessiveRingTus) {
+  Program p = assemble(kTwoIterations);
+  Simulator sim(p, make_paper_config(PaperConfig::kOrig, 4));
+  SimResult r = sim.run();
+  ASSERT_TRUE(r.halted);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(sim.memory().read_u64(p.symbol("out") + 8 * i),
+              static_cast<uint64_t>(100 + i));
+  }
+  EXPECT_EQ(r.forks, 4u);  // iterations 1..3 plus the aborted fork of 4
+}
+
+TEST(StaProtocol, SingleTuExecutesForkChainSerially) {
+  Program p = assemble(kTwoIterations);
+  Simulator sim(p, make_paper_config(PaperConfig::kOrig, 1));
+  SimResult r = sim.run();
+  ASSERT_TRUE(r.halted);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(sim.memory().read_u64(p.symbol("out") + 8 * i),
+              static_cast<uint64_t>(100 + i));
+  }
+}
+
+constexpr const char* kSlowAbort = R"(
+  .data
+out: .space 64
+  .text
+  li r1, 0
+  begin
+  j body
+body:
+  addi r5, r1, 1
+  mv r4, r1
+  mv r1, r5
+  forksp body
+  tsagd
+  la r6, out
+  slli r7, r4, 3
+  add r6, r6, r7
+  addi r8, r4, 100
+  sd r8, 0(r6)
+  addi r9, r4, 1
+  li r10, 4
+  bge r9, r10, exit
+  thend
+exit:
+  li r20, 300         # linger before aborting: the speculative successor
+dly:                  # has time to start executing (and go wrong)
+  subi r20, r20, 1
+  bnez r20, dly
+  abort
+  endpar
+  halt
+)";
+
+TEST(StaProtocol, WrongThreadsAreCreatedUnderWth) {
+  Program p = assemble(kSlowAbort);
+  Simulator sim(p, make_paper_config(PaperConfig::kWth, 4));
+  SimResult r = sim.run();
+  ASSERT_TRUE(r.halted);
+  // The abort marks at least the already-forked successor wrong instead of
+  // killing it.
+  EXPECT_GE(r.wrong_threads, 1u);
+  // Architectural result unchanged.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(sim.memory().read_u64(p.symbol("out") + 8 * i),
+              static_cast<uint64_t>(100 + i));
+  }
+}
+
+TEST(StaProtocol, OrigKillsSuccessorsImmediately) {
+  Program p = assemble(kTwoIterations);
+  Simulator sim(p, make_paper_config(PaperConfig::kOrig, 4));
+  SimResult r = sim.run();
+  ASSERT_TRUE(r.halted);
+  EXPECT_EQ(r.wrong_threads, 0u);
+}
+
+TEST(StaProtocol, ForkDelayIsCharged) {
+  // One fork on a 2-TU machine: the child cannot start before
+  // fork commit + fork_delay.
+  Program p = assemble(kTwoIterations);
+  StaConfig config = make_paper_config(PaperConfig::kOrig, 2);
+  config.fork_delay = 40;  // exaggerate to make it visible
+  Simulator slow(p, config);
+  SimResult r_slow = slow.run();
+
+  Simulator fast(p, make_paper_config(PaperConfig::kOrig, 2));
+  SimResult r_fast = fast.run();
+  EXPECT_GT(r_slow.cycles, r_fast.cycles);
+}
+
+TEST(StaProtocol, RingMessagesAreCounted) {
+  // The carry example forwards a target-store address and value per
+  // iteration.
+  Program p = assemble(R"(
+  .data
+cell: .dword 0
+out:  .dword 0
+  .text
+  li r1, 0
+  begin
+  j body
+body:
+  addi r5, r1, 1
+  mv r4, r1
+  mv r1, r5
+  forksp body
+  la r6, cell
+  tsaddr r6, 0
+  tsagd
+  ld r7, 0(r6)
+  addi r7, r7, 1
+  sd r7, 0(r6)
+  addi r9, r4, 1
+  li r10, 3
+  bge r9, r10, exit
+  thend
+exit:
+  abort
+  endpar
+  la r11, out
+  ld r12, 0(r6)
+  sd r12, 0(r11)
+  halt
+)");
+  Simulator sim(p, make_paper_config(PaperConfig::kOrig, 4));
+  SimResult r = sim.run();
+  ASSERT_TRUE(r.halted);
+  EXPECT_EQ(sim.memory().read_u64(p.symbol("out")), 3u);
+  EXPECT_GT(sim.stats().value("sta.ring_msgs"), 0u);
+}
+
+TEST(StaProtocol, CoherenceUpdatesFlowToOtherTus) {
+  Program p = assemble(kTwoIterations);
+  Simulator sim(p, make_paper_config(PaperConfig::kOrig, 4));
+  SimResult r = sim.run();
+  ASSERT_TRUE(r.halted);
+  // Write-back drains broadcast to the other TUs; whether any cached copy
+  // was refreshed depends on sharing, but the counters must exist.
+  EXPECT_GE(r.coherence_updates, 0u);
+}
+
+TEST(StaProtocol, DeadlockTripsWatchdog) {
+  // A thread waits forever on an upstream target store that never arrives
+  // (the predecessor never writes it and never ends).
+  Program p = assemble(R"(
+  .data
+cell: .dword 0
+  .text
+  begin
+  j body
+body:
+  forksp waiter
+  la r6, cell
+  tsaddr r6, 0
+  tsagd
+  thend               # head ends WITHOUT storing the target
+waiter:
+  la r6, cell
+  tsagd
+  ld r7, 0(r6)        # stalls forever on the dependence
+  thend
+)");
+  StaConfig config = make_paper_config(PaperConfig::kOrig, 2);
+  config.watchdog_cycles = 5000;
+  Simulator sim(p, config);
+  EXPECT_THROW(sim.run(), SimError);
+}
+
+TEST(StaProtocol, NestedBeginThrows) {
+  Program p = assemble(R"(
+  begin
+  begin
+  halt
+)");
+  Simulator sim(p, make_paper_config(PaperConfig::kOrig, 2));
+  EXPECT_THROW(sim.run(), SimError);
+}
+
+TEST(StaProtocol, ForkOutsideRegionThrows) {
+  Program p = assemble("forksp t\nt:\nhalt\n");
+  Simulator sim(p, make_paper_config(PaperConfig::kOrig, 2));
+  EXPECT_THROW(sim.run(), SimError);
+}
+
+TEST(StaProtocol, CycleCapStopsRunawayPrograms) {
+  Program p = assemble("spin:\n  j spin\n");
+  StaConfig config = make_paper_config(PaperConfig::kOrig, 1);
+  config.max_cycles = 2000;
+  config.watchdog_cycles = 100000;  // watchdog must not fire first
+  Simulator sim(p, config);
+  SimResult r = sim.run();
+  EXPECT_FALSE(r.halted);
+  EXPECT_EQ(r.cycles, 2000u);
+}
+
+TEST(StaProtocol, SequentialThreadMigratesToExitTu) {
+  // With 2 TUs and 4 iterations, the exit iteration (3) runs on TU 1;
+  // sequential execution continues there.
+  Program p = assemble(kTwoIterations);
+  StaConfig config = make_paper_config(PaperConfig::kOrig, 2);
+  Simulator sim(p, config);
+  SimResult r = sim.run();
+  ASSERT_TRUE(r.halted);
+  EXPECT_EQ(sim.processor().sequential_tu(), 1u);
+}
+
+TEST(SimConfig, PresetsMatchThePaper) {
+  const StaConfig wec = make_paper_config(PaperConfig::kWthWpWec, 8);
+  EXPECT_TRUE(wec.wrong_thread_exec);
+  EXPECT_TRUE(wec.core.wrong_path_exec);
+  EXPECT_EQ(wec.mem.side, SideKind::kWec);
+  EXPECT_EQ(wec.mem.side_entries, 8u);
+  EXPECT_EQ(wec.mem.l1d.size_bytes, 8u * 1024);
+  EXPECT_EQ(wec.mem.l1d.assoc, 1u);
+  EXPECT_EQ(wec.mem.mem_lat, 200u);
+  EXPECT_EQ(wec.core.bpred.btb_entries, 1024u);
+
+  const StaConfig orig = make_paper_config(PaperConfig::kOrig, 8);
+  EXPECT_FALSE(orig.wrong_thread_exec);
+  EXPECT_FALSE(orig.core.wrong_path_exec);
+  EXPECT_EQ(orig.mem.side, SideKind::kNone);
+
+  const StaConfig nlp = make_paper_config(PaperConfig::kNlp, 8);
+  EXPECT_EQ(nlp.mem.side, SideKind::kPrefetchBuffer);
+  EXPECT_FALSE(nlp.core.wrong_path_exec);
+}
+
+TEST(SimConfig, Table3ScalesResources) {
+  for (uint32_t tus : {1u, 2u, 4u, 8u, 16u}) {
+    const StaConfig c = make_table3_config(tus);
+    EXPECT_EQ(c.core.issue_width * tus, 16u) << tus;
+    EXPECT_EQ(c.mem.l1d.size_bytes * tus, 32u * 1024) << tus;
+  }
+  EXPECT_THROW(make_table3_config(3), SimError);
+  const StaConfig base = make_table3_baseline();
+  EXPECT_EQ(base.num_tus, 1u);
+  EXPECT_EQ(base.core.issue_width, 1u);
+}
+
+TEST(SimConfig, NamesRoundTrip) {
+  for (PaperConfig config : kAllPaperConfigs) {
+    EXPECT_EQ(paper_config_from_name(paper_config_name(config)), config);
+  }
+  EXPECT_THROW(paper_config_from_name("bogus"), SimError);
+}
+
+}  // namespace
+}  // namespace wecsim

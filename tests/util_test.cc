@@ -1,0 +1,173 @@
+// Common utilities: bit helpers, RNG determinism, the stats registry, flat
+// memory, template expansion, table rendering, and harness math.
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "mem/flat_memory.h"
+#include "workloads/expand.h"
+
+namespace wecsim {
+namespace {
+
+TEST(Bits, PowersOfTwo) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(4096), 12u);
+  EXPECT_EQ(floor_log2(4097), 12u);
+  EXPECT_EQ(exact_log2(64), 6u);
+  EXPECT_THROW(exact_log2(48), std::logic_error);
+}
+
+TEST(Bits, MasksAndAlignment) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(8), 0xffu);
+  EXPECT_EQ(low_mask(64), ~uint64_t{0});
+  EXPECT_EQ(align_down(0x12345, 0x100), 0x12300u);
+  EXPECT_EQ(align_up(0x12345, 0x100), 0x12400u);
+  EXPECT_EQ(align_up(0x12300, 0x100), 0x12300u);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+    const uint64_t v = rng.range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    const double d = rng.uniform();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Stats, CountersAccumulateAndSnapshot) {
+  StatsRegistry stats;
+  auto c1 = stats.counter("a.x");
+  auto c2 = stats.counter("a.y");
+  c1.inc();
+  c1.inc(4);
+  c2.inc();
+  EXPECT_EQ(stats.value("a.x"), 5u);
+  EXPECT_EQ(stats.value("missing"), 0u);
+  auto snap = stats.snapshot();
+  EXPECT_EQ(snap.at("a.y"), 1u);
+  stats.reset();
+  EXPECT_EQ(stats.value("a.x"), 0u);
+  c1.inc();  // handles survive reset
+  EXPECT_EQ(stats.value("a.x"), 1u);
+}
+
+TEST(Stats, SumMatchingPrefixSuffix) {
+  StatsRegistry stats;
+  stats.counter("tu0.l1d.misses").inc(3);
+  stats.counter("tu1.l1d.misses").inc(4);
+  stats.counter("tu1.l1d.accesses").inc(9);
+  stats.counter("l2.misses").inc(100);
+  EXPECT_EQ(stats.sum_matching("tu", ".l1d.misses"), 7u);
+  EXPECT_EQ(stats.sum_matching("tu", ".l1d.accesses"), 9u);
+}
+
+TEST(Stats, SameNameSharesSlot) {
+  StatsRegistry stats;
+  auto a = stats.counter("x");
+  auto b = stats.counter("x");
+  a.inc();
+  b.inc();
+  EXPECT_EQ(stats.value("x"), 2u);
+}
+
+TEST(FlatMemory, ReadWriteWidths) {
+  FlatMemory memory;
+  memory.write_u64(0x1000, 0x1122334455667788ull);
+  EXPECT_EQ(memory.read_u64(0x1000), 0x1122334455667788ull);
+  EXPECT_EQ(memory.read_u32(0x1000), 0x55667788u);
+  EXPECT_EQ(memory.read_u8(0x1007), 0x11u);
+  EXPECT_EQ(memory.read(0x1002, 2), 0x5566u);
+  memory.write_u8(0x1003, 0xAB);
+  EXPECT_EQ(memory.read_u64(0x1000), 0x11223344AB667788ull);
+}
+
+TEST(FlatMemory, UnwrittenReadsZeroAndAllocatesNothing) {
+  FlatMemory memory;
+  EXPECT_EQ(memory.read_u64(0xdeadbeef), 0u);
+  EXPECT_EQ(memory.resident_pages(), 0u);
+  memory.write_u8(0x1, 1);
+  EXPECT_EQ(memory.resident_pages(), 1u);
+}
+
+TEST(FlatMemory, CrossPageAccess) {
+  FlatMemory memory;
+  const Addr boundary = 4096;
+  memory.write(boundary - 4, 0x1122334455667788ull, 8);
+  EXPECT_EQ(memory.read(boundary - 4, 8), 0x1122334455667788ull);
+  EXPECT_EQ(memory.read_u32(boundary), 0x11223344u);
+  EXPECT_EQ(memory.resident_pages(), 2u);
+}
+
+TEST(FlatMemory, Doubles) {
+  FlatMemory memory;
+  memory.write_f64(0x2000, 3.14159);
+  EXPECT_DOUBLE_EQ(memory.read_f64(0x2000), 3.14159);
+}
+
+TEST(ExpandAsm, SubstitutesAndValidates) {
+  EXPECT_EQ(expand_asm(".space {N}\nli r1, {M}", {{"N", 64}, {"M", 7}}),
+            ".space 64\nli r1, 7");
+  EXPECT_EQ(expand_asm("no params", {}), "no params");
+  EXPECT_THROW(expand_asm("{MISSING}", {}), SimError);
+  EXPECT_THROW(expand_asm("{unclosed", {}), SimError);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer", "123"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_THROW(table.add_row({"too", "many", "cells"}), std::logic_error);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::pct(12.345), "12.3%");
+}
+
+TEST(HarnessMath, Speedups) {
+  EXPECT_DOUBLE_EQ(speedup(200, 100), 2.0);
+  EXPECT_DOUBLE_EQ(relative_speedup_pct(110, 100), 10.000000000000009);
+  EXPECT_NEAR(relative_speedup_pct(100, 110), -9.09, 0.01);
+}
+
+TEST(HarnessMath, GeometricMeanSpeedup) {
+  EXPECT_DOUBLE_EQ(mean_speedup({2.0, 2.0}), 2.0);
+  EXPECT_NEAR(mean_speedup({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(mean_speedup({0.5, 2.0}), 1.0, 1e-12);
+}
+
+TEST(Error, CheckMacroThrowsWithContext) {
+  try {
+    WEC_CHECK_MSG(1 == 2, "the message");
+    FAIL();
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("the message"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace wecsim

@@ -1,0 +1,117 @@
+// Structural invariants of the six workloads: they assemble at several
+// scales, declare the expected symbols, follow the superthreaded code
+// discipline, and scale their footprints with the scale parameter.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "func/interpreter.h"
+#include "workloads/workload.h"
+
+namespace wecsim {
+namespace {
+
+class WorkloadStructure : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadStructure, AssemblesAtMultipleScales) {
+  for (uint32_t scale : {1u, 2u, 4u}) {
+    WorkloadParams params;
+    params.scale = scale;
+    Workload w = make_workload(GetParam(), params);
+    EXPECT_GT(w.program.num_instructions(), 20u);
+    EXPECT_NE(w.checksum_addr, 0u);
+    EXPECT_FALSE(w.description.empty());
+  }
+}
+
+TEST_P(WorkloadStructure, FollowsTheCodeDiscipline) {
+  Workload w = make_workload(GetParam(), {1, 42});
+  int forks = 0, tsagds = 0, aborts = 0, thends = 0, endpars = 0, begins = 0,
+      halts = 0;
+  for (const Instruction& instr : w.program.text()) {
+    switch (instr.op) {
+      case Opcode::kFork:
+      case Opcode::kForksp:
+        ++forks;
+        break;
+      case Opcode::kTsagd:
+        ++tsagds;
+        break;
+      case Opcode::kAbort:
+        ++aborts;
+        break;
+      case Opcode::kThend:
+        ++thends;
+        break;
+      case Opcode::kEndpar:
+        ++endpars;
+        break;
+      case Opcode::kBegin:
+        ++begins;
+        break;
+      case Opcode::kHalt:
+        ++halts;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_GE(forks, 1);
+  EXPECT_GE(tsagds, 1) << "every thread body needs a tsagd";
+  EXPECT_GE(aborts, 1);
+  EXPECT_GE(thends, 1);
+  EXPECT_GE(endpars, 1);
+  EXPECT_GE(begins, 1);
+  EXPECT_GE(halts, 1);
+}
+
+TEST_P(WorkloadStructure, ChecksumIsDeterministicAndSeedSensitive) {
+  auto checksum_for = [&](uint64_t seed) {
+    WorkloadParams params{1, seed};
+    Workload w = make_workload(GetParam(), params);
+    FlatMemory memory;
+    memory.load_program(w.program);
+    w.init(memory);
+    Interpreter interp(w.program, memory);
+    FuncResult r = interp.run(50'000'000);
+    EXPECT_TRUE(r.halted);
+    return memory.read_u64(w.checksum_addr);
+  };
+  const uint64_t a1 = checksum_for(42);
+  const uint64_t a2 = checksum_for(42);
+  const uint64_t b = checksum_for(1234);
+  EXPECT_EQ(a1, a2) << "same seed must give the same checksum";
+  EXPECT_NE(a1, b) << "different seeds should give different checksums";
+}
+
+TEST_P(WorkloadStructure, InstructionCountGrowsWithScale) {
+  auto instrs_for = [&](uint32_t scale) {
+    WorkloadParams params{scale, 42};
+    Workload w = make_workload(GetParam(), params);
+    FlatMemory memory;
+    memory.load_program(w.program);
+    w.init(memory);
+    Interpreter interp(w.program, memory);
+    return interp.run(100'000'000).instrs_total;
+  };
+  EXPECT_GT(instrs_for(2), instrs_for(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadStructure,
+                         ::testing::ValuesIn(workload_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           return n.substr(n.find('.') + 1);
+                         });
+
+TEST(WorkloadRegistry, ShortAndLongNamesResolve) {
+  EXPECT_EQ(make_workload("mcf", {1, 42}).name, "181.mcf");
+  EXPECT_EQ(make_workload("181.mcf", {1, 42}).name, "181.mcf");
+  EXPECT_THROW(make_workload("nonexistent", {1, 42}), SimError);
+}
+
+TEST(WorkloadRegistry, SixBenchmarks) {
+  EXPECT_EQ(workload_names().size(), 6u);
+}
+
+}  // namespace
+}  // namespace wecsim

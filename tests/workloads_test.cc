@@ -1,0 +1,74 @@
+// Differential validation of every workload: the timing simulator must leave
+// exactly the checksum the functional interpreter computes, in the baseline
+// and in the full wrong-execution configuration (wrong execution must never
+// change architectural state), across thread-unit counts.
+#include <gtest/gtest.h>
+
+#include "core/sim_config.h"
+#include "core/simulator.h"
+#include "func/interpreter.h"
+#include "workloads/workload.h"
+
+namespace wecsim {
+namespace {
+
+struct Case {
+  const char* workload;
+  PaperConfig config;
+  uint32_t num_tus;
+};
+
+class WorkloadDiff : public ::testing::TestWithParam<Case> {};
+
+TEST_P(WorkloadDiff, ChecksumMatchesInterpreter) {
+  const Case& c = GetParam();
+  WorkloadParams params;
+  params.scale = 1;  // small & quick for tests
+  Workload w = make_workload(c.workload, params);
+
+  FlatMemory ref_mem;
+  ref_mem.load_program(w.program);
+  w.init(ref_mem);
+  Interpreter interp(w.program, ref_mem);
+  FuncResult func = interp.run(50'000'000);
+  ASSERT_TRUE(func.halted) << "interpreter did not finish";
+  ASSERT_GT(func.forks, 0u) << "workload never forked";
+  ASSERT_GT(func.instrs_parallel, 0u);
+
+  Simulator sim(w.program, make_paper_config(c.config, c.num_tus));
+  w.init(sim.memory());
+  SimResult result = sim.run();
+  ASSERT_TRUE(result.halted) << "timing simulation did not finish";
+  EXPECT_EQ(sim.memory().read_u64(w.checksum_addr),
+            ref_mem.read_u64(w.checksum_addr))
+      << c.workload << " / " << paper_config_name(c.config) << " / "
+      << c.num_tus << " TUs";
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (const std::string& name : workload_names()) {
+    for (uint32_t tus : {1u, 4u, 8u}) {
+      cases.push_back({name.c_str(), PaperConfig::kOrig, tus});
+      cases.push_back({name.c_str(), PaperConfig::kWthWpWec, tus});
+    }
+    cases.push_back({name.c_str(), PaperConfig::kNlp, 8});
+    cases.push_back({name.c_str(), PaperConfig::kWthWpVc, 8});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadDiff, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      std::string name = info.param.workload;
+      name = name.substr(name.find('.') + 1);
+      std::string config = paper_config_name(info.param.config);
+      for (char& ch : config) {
+        if (ch == '-') ch = '_';
+      }
+      return name + "_" + config + "_tu" + std::to_string(info.param.num_tus);
+    });
+
+}  // namespace
+}  // namespace wecsim
