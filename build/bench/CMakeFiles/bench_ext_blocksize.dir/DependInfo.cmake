@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_blocksize.cc" "bench/CMakeFiles/bench_ext_blocksize.dir/bench_ext_blocksize.cc.o" "gcc" "bench/CMakeFiles/bench_ext_blocksize.dir/bench_ext_blocksize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/wecsim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/wecsim_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wecsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/wecsim_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/wecsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/wecsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/wecsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/wecsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wecsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_blocksize.dir/bench_ext_blocksize.cc.o"
+  "CMakeFiles/bench_ext_blocksize.dir/bench_ext_blocksize.cc.o.d"
+  "bench_ext_blocksize"
+  "bench_ext_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

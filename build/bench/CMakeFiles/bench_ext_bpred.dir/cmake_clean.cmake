@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_bpred.dir/bench_ext_bpred.cc.o"
+  "CMakeFiles/bench_ext_bpred.dir/bench_ext_bpred.cc.o.d"
+  "bench_ext_bpred"
+  "bench_ext_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_memlat.dir/bench_ext_memlat.cc.o"
+  "CMakeFiles/bench_ext_memlat.dir/bench_ext_memlat.cc.o.d"
+  "bench_ext_memlat"
+  "bench_ext_memlat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_memlat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superthreaded_loop.dir/superthreaded_loop.cpp.o"
+  "CMakeFiles/superthreaded_loop.dir/superthreaded_loop.cpp.o.d"
+  "superthreaded_loop"
+  "superthreaded_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superthreaded_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

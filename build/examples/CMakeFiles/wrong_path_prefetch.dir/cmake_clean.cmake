@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrong_path_prefetch.dir/wrong_path_prefetch.cpp.o"
+  "CMakeFiles/wrong_path_prefetch.dir/wrong_path_prefetch.cpp.o.d"
+  "wrong_path_prefetch"
+  "wrong_path_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrong_path_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

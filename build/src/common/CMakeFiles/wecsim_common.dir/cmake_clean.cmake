@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wecsim_common.dir/log.cc.o"
+  "CMakeFiles/wecsim_common.dir/log.cc.o.d"
+  "CMakeFiles/wecsim_common.dir/stats.cc.o"
+  "CMakeFiles/wecsim_common.dir/stats.cc.o.d"
+  "libwecsim_common.a"
+  "libwecsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wecsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wecsim_core.dir/sim_config.cc.o"
+  "CMakeFiles/wecsim_core.dir/sim_config.cc.o.d"
+  "CMakeFiles/wecsim_core.dir/simulator.cc.o"
+  "CMakeFiles/wecsim_core.dir/simulator.cc.o.d"
+  "libwecsim_core.a"
+  "libwecsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wecsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

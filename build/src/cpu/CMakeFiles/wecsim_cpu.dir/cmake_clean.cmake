@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wecsim_cpu.dir/bpred.cc.o"
+  "CMakeFiles/wecsim_cpu.dir/bpred.cc.o.d"
+  "CMakeFiles/wecsim_cpu.dir/core.cc.o"
+  "CMakeFiles/wecsim_cpu.dir/core.cc.o.d"
+  "libwecsim_cpu.a"
+  "libwecsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wecsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

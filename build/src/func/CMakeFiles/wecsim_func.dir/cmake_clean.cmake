@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wecsim_func.dir/interpreter.cc.o"
+  "CMakeFiles/wecsim_func.dir/interpreter.cc.o.d"
+  "libwecsim_func.a"
+  "libwecsim_func.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wecsim_func.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

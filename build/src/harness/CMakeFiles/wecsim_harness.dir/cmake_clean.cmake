@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wecsim_harness.dir/experiment.cc.o"
+  "CMakeFiles/wecsim_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/wecsim_harness.dir/table.cc.o"
+  "CMakeFiles/wecsim_harness.dir/table.cc.o.d"
+  "libwecsim_harness.a"
+  "libwecsim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wecsim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

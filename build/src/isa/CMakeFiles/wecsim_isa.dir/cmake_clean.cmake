@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wecsim_isa.dir/assembler.cc.o"
+  "CMakeFiles/wecsim_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/wecsim_isa.dir/disasm.cc.o"
+  "CMakeFiles/wecsim_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/wecsim_isa.dir/isa.cc.o"
+  "CMakeFiles/wecsim_isa.dir/isa.cc.o.d"
+  "CMakeFiles/wecsim_isa.dir/program.cc.o"
+  "CMakeFiles/wecsim_isa.dir/program.cc.o.d"
+  "CMakeFiles/wecsim_isa.dir/semantics.cc.o"
+  "CMakeFiles/wecsim_isa.dir/semantics.cc.o.d"
+  "libwecsim_isa.a"
+  "libwecsim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wecsim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wecsim_mem.dir/cache.cc.o"
+  "CMakeFiles/wecsim_mem.dir/cache.cc.o.d"
+  "CMakeFiles/wecsim_mem.dir/flat_memory.cc.o"
+  "CMakeFiles/wecsim_mem.dir/flat_memory.cc.o.d"
+  "CMakeFiles/wecsim_mem.dir/mem_system.cc.o"
+  "CMakeFiles/wecsim_mem.dir/mem_system.cc.o.d"
+  "CMakeFiles/wecsim_mem.dir/side_cache.cc.o"
+  "CMakeFiles/wecsim_mem.dir/side_cache.cc.o.d"
+  "libwecsim_mem.a"
+  "libwecsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wecsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

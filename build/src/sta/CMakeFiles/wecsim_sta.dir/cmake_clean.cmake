@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wecsim_sta.dir/memory_buffer.cc.o"
+  "CMakeFiles/wecsim_sta.dir/memory_buffer.cc.o.d"
+  "CMakeFiles/wecsim_sta.dir/sta_processor.cc.o"
+  "CMakeFiles/wecsim_sta.dir/sta_processor.cc.o.d"
+  "CMakeFiles/wecsim_sta.dir/thread_unit.cc.o"
+  "CMakeFiles/wecsim_sta.dir/thread_unit.cc.o.d"
+  "libwecsim_sta.a"
+  "libwecsim_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wecsim_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwecsim_sta.a"
+)

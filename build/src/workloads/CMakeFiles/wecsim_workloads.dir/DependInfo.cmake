@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/equake_like.cc" "src/workloads/CMakeFiles/wecsim_workloads.dir/equake_like.cc.o" "gcc" "src/workloads/CMakeFiles/wecsim_workloads.dir/equake_like.cc.o.d"
+  "/root/repo/src/workloads/expand.cc" "src/workloads/CMakeFiles/wecsim_workloads.dir/expand.cc.o" "gcc" "src/workloads/CMakeFiles/wecsim_workloads.dir/expand.cc.o.d"
+  "/root/repo/src/workloads/gzip_like.cc" "src/workloads/CMakeFiles/wecsim_workloads.dir/gzip_like.cc.o" "gcc" "src/workloads/CMakeFiles/wecsim_workloads.dir/gzip_like.cc.o.d"
+  "/root/repo/src/workloads/mcf_like.cc" "src/workloads/CMakeFiles/wecsim_workloads.dir/mcf_like.cc.o" "gcc" "src/workloads/CMakeFiles/wecsim_workloads.dir/mcf_like.cc.o.d"
+  "/root/repo/src/workloads/mesa_like.cc" "src/workloads/CMakeFiles/wecsim_workloads.dir/mesa_like.cc.o" "gcc" "src/workloads/CMakeFiles/wecsim_workloads.dir/mesa_like.cc.o.d"
+  "/root/repo/src/workloads/parser_like.cc" "src/workloads/CMakeFiles/wecsim_workloads.dir/parser_like.cc.o" "gcc" "src/workloads/CMakeFiles/wecsim_workloads.dir/parser_like.cc.o.d"
+  "/root/repo/src/workloads/vpr_like.cc" "src/workloads/CMakeFiles/wecsim_workloads.dir/vpr_like.cc.o" "gcc" "src/workloads/CMakeFiles/wecsim_workloads.dir/vpr_like.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/wecsim_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/wecsim_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/wecsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/wecsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wecsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wecsim_workloads.dir/equake_like.cc.o"
+  "CMakeFiles/wecsim_workloads.dir/equake_like.cc.o.d"
+  "CMakeFiles/wecsim_workloads.dir/expand.cc.o"
+  "CMakeFiles/wecsim_workloads.dir/expand.cc.o.d"
+  "CMakeFiles/wecsim_workloads.dir/gzip_like.cc.o"
+  "CMakeFiles/wecsim_workloads.dir/gzip_like.cc.o.d"
+  "CMakeFiles/wecsim_workloads.dir/mcf_like.cc.o"
+  "CMakeFiles/wecsim_workloads.dir/mcf_like.cc.o.d"
+  "CMakeFiles/wecsim_workloads.dir/mesa_like.cc.o"
+  "CMakeFiles/wecsim_workloads.dir/mesa_like.cc.o.d"
+  "CMakeFiles/wecsim_workloads.dir/parser_like.cc.o"
+  "CMakeFiles/wecsim_workloads.dir/parser_like.cc.o.d"
+  "CMakeFiles/wecsim_workloads.dir/vpr_like.cc.o"
+  "CMakeFiles/wecsim_workloads.dir/vpr_like.cc.o.d"
+  "CMakeFiles/wecsim_workloads.dir/workload.cc.o"
+  "CMakeFiles/wecsim_workloads.dir/workload.cc.o.d"
+  "libwecsim_workloads.a"
+  "libwecsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wecsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

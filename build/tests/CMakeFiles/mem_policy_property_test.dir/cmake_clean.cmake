@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_policy_property_test.dir/mem_policy_property_test.cc.o"
+  "CMakeFiles/mem_policy_property_test.dir/mem_policy_property_test.cc.o.d"
+  "mem_policy_property_test"
+  "mem_policy_property_test.pdb"
+  "mem_policy_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_policy_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membuf_test.dir/membuf_test.cc.o"
+  "CMakeFiles/membuf_test.dir/membuf_test.cc.o.d"
+  "membuf_test"
+  "membuf_test.pdb"
+  "membuf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membuf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
