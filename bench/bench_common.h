@@ -36,4 +36,24 @@ inline std::string short_name(const std::string& paper_name) {
   return paper_name.substr(paper_name.find('.') + 1);
 }
 
+/// If WECSIM_REPORT_DIR is set, write the runner's collected simulations as
+/// a machine-readable run report (<dir>/<bench_name>.report.json) next to
+/// the printed table. See docs/OBSERVABILITY.md for the schema.
+inline void write_report_if_requested(const ExperimentRunner& runner,
+                                      const std::string& bench_name) {
+  const char* dir = std::getenv("WECSIM_REPORT_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path =
+      std::string(dir) + "/" + bench_name + ".report.json";
+  try {
+    runner.write_report(path, bench_name);
+    std::printf("\nrun report: %s (%zu runs)\n", path.c_str(),
+                runner.records().size());
+  } catch (const std::exception& e) {
+    // The table already printed; a bad report directory should not turn the
+    // whole bench run into an abort.
+    std::fprintf(stderr, "[warn] run report not written: %s\n", e.what());
+  }
+}
+
 }  // namespace wecsim::bench

@@ -47,5 +47,6 @@ int main() {
   }
   table.add_row(avg);
   std::fputs(table.render().c_str(), stdout);
+  write_report_if_requested(runner, "bench_ext_blocksize");
   return 0;
 }

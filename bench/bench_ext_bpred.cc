@@ -79,5 +79,6 @@ int main() {
   }
   table.add_row(avg);
   std::fputs(table.render().c_str(), stdout);
+  write_report_if_requested(runner, "bench_ext_bpred");
   return 0;
 }

@@ -50,5 +50,6 @@ int main() {
   }
   table.add_row(avg);
   std::fputs(table.render().c_str(), stdout);
+  write_report_if_requested(runner, "bench_ext_memlat");
   return 0;
 }

@@ -43,5 +43,6 @@ int main() {
   }
   table.add_row(avg);
   std::fputs(table.render().c_str(), stdout);
+  write_report_if_requested(runner, "bench_fig11");
   return 0;
 }

@@ -52,5 +52,6 @@ int main() {
     table.add_row(row);
   }
   std::fputs(table.render().c_str(), stdout);
+  write_report_if_requested(runner, "bench_fig14");
   return 0;
 }

@@ -60,5 +60,6 @@ int main() {
   }
   table.add_row(avg);
   std::fputs(table.render().c_str(), stdout);
+  write_report_if_requested(runner, "bench_fig15");
   return 0;
 }

@@ -42,5 +42,6 @@ int main() {
   table.add_row({"average", TextTable::pct(traffic_sum / n),
                  TextTable::pct(miss_sum / n), "", "", ""});
   std::fputs(table.render().c_str(), stdout);
+  write_report_if_requested(runner, "bench_fig17");
   return 0;
 }

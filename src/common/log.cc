@@ -1,8 +1,12 @@
 #include "common/log.h"
 
+#include <cstdlib>
+#include <cstring>
+
 namespace wecsim {
 
 namespace {
+bool g_level_set = false;
 LogLevel g_level = LogLevel::kOff;
 
 const char* level_name(LogLevel level) {
@@ -18,10 +22,40 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// Accepts the level names ("debug") or their numeric values ("2").
+LogLevel parse_level(const char* text) {
+  if (std::strcmp(text, "off") == 0) return LogLevel::kOff;
+  if (std::strcmp(text, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(text, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(text, "trace") == 0) return LogLevel::kTrace;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end != text && *end == '\0' && v >= 0 && v <= 3) {
+    return static_cast<LogLevel>(v);
+  }
+  std::fprintf(stderr, "[warn] unrecognized WECSIM_LOG_LEVEL '%s' ignored\n",
+               text);
+  return LogLevel::kOff;
+}
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() {
+  // WECSIM_LOG_LEVEL is consulted once, at first use, so examples and tests
+  // can raise verbosity without code changes; set_log_level overrides it.
+  if (!g_level_set) {
+    g_level_set = true;
+    if (const char* env = std::getenv("WECSIM_LOG_LEVEL")) {
+      g_level = parse_level(env);
+    }
+  }
+  return g_level;
+}
+
+void set_log_level(LogLevel level) {
+  g_level_set = true;
+  g_level = level;
+}
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {

@@ -1,5 +1,7 @@
 // Minimal leveled logging. Off by default; tests and the config_explorer
-// example can raise the level to trace pipeline activity.
+// example can raise the level to trace pipeline activity, and the
+// WECSIM_LOG_LEVEL environment variable ("off"/"info"/"debug"/"trace" or
+// 0-3, read at first use) raises it without code changes.
 #pragma once
 
 #include <cstdio>

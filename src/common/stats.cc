@@ -1,8 +1,30 @@
 #include "common/stats.h"
 
+#include <bit>
+#include <iomanip>
 #include <sstream>
 
 namespace wecsim {
+
+uint32_t HistogramData::bucket_index(uint64_t v) {
+  if (v == 0) return 0;
+  return 64u - static_cast<uint32_t>(std::countl_zero(v));
+}
+
+std::pair<uint64_t, uint64_t> HistogramData::bucket_range(uint32_t i) {
+  if (i == 0) return {0, 0};
+  const uint64_t lo = uint64_t{1} << (i - 1);
+  const uint64_t hi = i >= 64 ? ~uint64_t{0} : (uint64_t{1} << i) - 1;
+  return {lo, hi};
+}
+
+void HistogramData::record(uint64_t v) {
+  ++buckets[bucket_index(v)];
+  ++count;
+  sum += v;
+  if (v < min) min = v;
+  if (v > max) max = v;
+}
 
 StatsRegistry::Counter StatsRegistry::counter(const std::string& name) {
   auto [it, inserted] = counters_.try_emplace(name, 0);
@@ -10,9 +32,32 @@ StatsRegistry::Counter StatsRegistry::counter(const std::string& name) {
   return Counter(&it->second);
 }
 
+StatsRegistry::Histogram StatsRegistry::histogram(const std::string& name) {
+  auto [it, inserted] = histograms_.try_emplace(name);
+  (void)inserted;
+  return Histogram(&it->second);
+}
+
+StatsRegistry::Gauge StatsRegistry::gauge(const std::string& name) {
+  auto [it, inserted] = gauges_.try_emplace(name, 0);
+  (void)inserted;
+  return Gauge(&it->second);
+}
+
 uint64_t StatsRegistry::value(const std::string& name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
+}
+
+const HistogramData* StatsRegistry::histogram_data(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+int64_t StatsRegistry::gauge_value(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
 }
 
 uint64_t StatsRegistry::sum_matching(const std::string& prefix,
@@ -21,7 +66,9 @@ uint64_t StatsRegistry::sum_matching(const std::string& prefix,
   for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
     const std::string& name = it->first;
     if (name.compare(0, prefix.size(), prefix) != 0) break;
-    if (name.size() >= suffix.size() &&
+    // The prefix and suffix must match disjoint parts of the name, so a
+    // short name can never satisfy both by overlapping.
+    if (name.size() >= prefix.size() + suffix.size() &&
         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
       total += it->second;
     }
@@ -30,6 +77,14 @@ uint64_t StatsRegistry::sum_matching(const std::string& prefix,
 }
 
 StatsSnapshot StatsRegistry::snapshot() const { return counters_; }
+
+std::map<std::string, HistogramData> StatsRegistry::histogram_snapshot() const {
+  return histograms_;
+}
+
+std::map<std::string, int64_t> StatsRegistry::gauge_snapshot() const {
+  return gauges_;
+}
 
 std::vector<std::string> StatsRegistry::names() const {
   std::vector<std::string> out;
@@ -40,14 +95,55 @@ std::vector<std::string> StatsRegistry::names() const {
 
 void StatsRegistry::reset() {
   for (auto& [name, value] : counters_) value = 0;
+  for (auto& [name, data] : histograms_) data = HistogramData{};
+  for (auto& [name, value] : gauges_) value = 0;
 }
 
-std::string StatsRegistry::dump() const {
+std::string StatsRegistry::dump(const DumpHook& hook) const {
   std::ostringstream os;
   for (const auto& [name, value] : counters_) {
     os << name << " = " << value << '\n';
   }
+  for (const auto& [name, value] : gauges_) {
+    os << name << " = " << value << '\n';
+  }
+  for (const auto& [name, data] : histograms_) {
+    os << name << ": count=" << data.count << " sum=" << data.sum;
+    if (data.count > 0) {
+      os << " min=" << data.min << " max=" << data.max
+         << " mean=" << std::fixed << std::setprecision(2) << data.mean();
+      os.unsetf(std::ios::fixed);
+    }
+    os << '\n';
+  }
+  if (hook) hook(*this, os);
   return os.str();
+}
+
+namespace {
+void ratio_line(std::ostream& os, const char* name, uint64_t num,
+                uint64_t den) {
+  if (den == 0) return;
+  os << name << " = " << std::fixed << std::setprecision(6)
+     << (static_cast<double>(num) / static_cast<double>(den)) << '\n';
+  os.unsetf(std::ios::fixed);
+}
+}  // namespace
+
+void append_derived_ratios(const StatsRegistry& stats, std::ostream& os) {
+  ratio_line(os, "derived.l1d.miss_rate",
+             stats.sum_matching("tu", ".l1d.misses"),
+             stats.sum_matching("tu", ".l1d.accesses"));
+  ratio_line(os, "derived.side.hit_rate",
+             stats.sum_matching("tu", ".side.hits") +
+                 stats.sum_matching("tu", ".side.wrong_hits"),
+             stats.sum_matching("tu", ".l1d.misses") +
+                 stats.sum_matching("tu", ".l1d.wrong_misses"));
+  ratio_line(os, "derived.l2.miss_rate", stats.value("l2.misses"),
+             stats.value("l2.accesses"));
+  ratio_line(os, "derived.bpred.mispredict_rate",
+             stats.sum_matching("tu", ".core.mispredicts"),
+             stats.sum_matching("tu", ".core.branches"));
 }
 
 }  // namespace wecsim

@@ -1,16 +1,44 @@
 // Hierarchical statistics registry. Every simulator component registers named
 // counters; the harness snapshots and diffs them to build the paper's tables.
+// Besides flat counters the registry holds log2-bucketed histograms (latency /
+// occupancy distributions) and signed gauges (instantaneous levels), which the
+// observability layer serializes into machine-readable run reports.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace wecsim {
 
 /// A snapshot of all counters at a point in simulated time.
 using StatsSnapshot = std::map<std::string, uint64_t>;
+
+/// Backing storage of one log2-bucketed histogram. Bucket 0 holds the value
+/// 0; bucket k (k >= 1) holds values in [2^(k-1), 2^k).
+struct HistogramData {
+  static constexpr uint32_t kNumBuckets = 65;  // 0 plus one per bit of u64
+
+  std::array<uint64_t, kNumBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = ~uint64_t{0};  // undefined until count > 0
+  uint64_t max = 0;
+
+  /// Bucket index for a value: 0 for 0, otherwise floor(log2(v)) + 1.
+  static uint32_t bucket_index(uint64_t v);
+
+  /// Inclusive [lo, hi] value range covered by bucket i.
+  static std::pair<uint64_t, uint64_t> bucket_range(uint32_t i);
+
+  void record(uint64_t v);
+  double mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / count; }
+};
 
 /// Flat registry of monotonically increasing 64-bit counters, keyed by
 /// dotted path ("tu0.l1d.misses"). Components hold Counter handles; lookups
@@ -33,6 +61,40 @@ class StatsRegistry {
     uint64_t* slot_;
   };
 
+  /// Handle to one histogram. A default-constructed handle drops records,
+  /// so optional instrumentation needs no null checks at the call site.
+  class Histogram {
+   public:
+    Histogram() : data_(nullptr) {}
+    void record(uint64_t v) {
+      if (data_ != nullptr) data_->record(v);
+    }
+    const HistogramData* data() const { return data_; }
+
+   private:
+    friend class StatsRegistry;
+    explicit Histogram(HistogramData* data) : data_(data) {}
+    HistogramData* data_;
+  };
+
+  /// Handle to one signed instantaneous level (e.g. active thread units).
+  class Gauge {
+   public:
+    Gauge() : slot_(nullptr) {}
+    void set(int64_t v) {
+      if (slot_ != nullptr) *slot_ = v;
+    }
+    void add(int64_t by) {
+      if (slot_ != nullptr) *slot_ += by;
+    }
+    int64_t value() const { return slot_ != nullptr ? *slot_ : 0; }
+
+   private:
+    friend class StatsRegistry;
+    explicit Gauge(int64_t* slot) : slot_(slot) {}
+    int64_t* slot_;
+  };
+
   StatsRegistry() = default;
   StatsRegistry(const StatsRegistry&) = delete;
   StatsRegistry& operator=(const StatsRegistry&) = delete;
@@ -40,8 +102,20 @@ class StatsRegistry {
   /// Get or create the counter with the given dotted name.
   Counter counter(const std::string& name);
 
+  /// Get or create the histogram with the given dotted name.
+  Histogram histogram(const std::string& name);
+
+  /// Get or create the gauge with the given dotted name.
+  Gauge gauge(const std::string& name);
+
   /// Current value of a counter (0 if it does not exist).
   uint64_t value(const std::string& name) const;
+
+  /// Histogram payload (nullptr if it does not exist).
+  const HistogramData* histogram_data(const std::string& name) const;
+
+  /// Current value of a gauge (0 if it does not exist).
+  int64_t gauge_value(const std::string& name) const;
 
   /// Sum of all counters whose name matches "prefix*" — used to aggregate
   /// per-thread-unit stats ("tu*.l1d.misses" style via prefix+suffix).
@@ -51,20 +125,37 @@ class StatsRegistry {
   /// Snapshot every counter.
   StatsSnapshot snapshot() const;
 
+  /// Snapshot every histogram / gauge (report serialization).
+  std::map<std::string, HistogramData> histogram_snapshot() const;
+  std::map<std::string, int64_t> gauge_snapshot() const;
+
   /// All counter names in sorted order.
   std::vector<std::string> names() const;
 
-  /// Reset all counters to zero (registry structure is preserved so existing
-  /// Counter handles stay valid).
+  /// Reset all counters, histograms, and gauges to zero (registry structure
+  /// is preserved so existing handles stay valid).
   void reset();
 
-  /// Render a human-readable dump, one "name = value" per line.
-  std::string dump() const;
+  /// Appends derived lines (hit rates etc.) to a dump. Called with the
+  /// registry after the raw values have been rendered.
+  using DumpHook = std::function<void(const StatsRegistry&, std::ostream&)>;
+
+  /// Render a human-readable dump, one "name = value" per line (counters,
+  /// then gauges, then histogram summaries). The optional hook can append
+  /// derived ratios.
+  std::string dump(const DumpHook& hook = {}) const;
 
  private:
-  // std::map guarantees stable node addresses, so Counter handles survive
-  // later insertions.
+  // std::map guarantees stable node addresses, so handles survive later
+  // insertions.
   std::map<std::string, uint64_t> counters_;
+  std::map<std::string, HistogramData> histograms_;
+  std::map<std::string, int64_t> gauges_;
 };
+
+/// Standard DumpHook computing the hit/miss ratios the paper discusses
+/// (L1D miss rate, side-cache hit rate, L2 miss rate, branch misprediction
+/// rate) from the conventional counter names.
+void append_derived_ratios(const StatsRegistry& stats, std::ostream& os);
 
 }  // namespace wecsim

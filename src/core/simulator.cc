@@ -7,8 +7,8 @@ namespace wecsim {
 Simulator::Simulator(const Program& program, const StaConfig& config)
     : program_(program), config_(config) {
   memory_.load_program(program);
-  processor_ =
-      std::make_unique<StaProcessor>(config_, program_, stats_, memory_);
+  processor_ = std::make_unique<StaProcessor>(config_, program_, stats_,
+                                              memory_, &trace_);
 }
 
 Simulator::~Simulator() = default;
@@ -17,6 +17,12 @@ SimResult Simulator::run() {
   WEC_CHECK_MSG(!ran_, "Simulator::run may only be called once");
   ran_ = true;
   const StaRunResult sta = processor_->run();
+
+  // Close the provenance books: blocks still resident in a side cache at the
+  // end of the run count as unused fills.
+  for (TuId id = 0; id < processor_->num_tus(); ++id) {
+    processor_->tu(id).mem().finalize_accounting(sta.cycles);
+  }
 
   SimResult result;
   result.cycles = sta.cycles;
@@ -41,6 +47,12 @@ SimResult Simulator::run() {
   result.l2_misses = stats_.value("l2.misses");
   result.forks = stats_.value("sta.forks");
   result.wrong_threads = stats_.value("sta.wrong_threads");
+  for (size_t i = 0; i < kNumSideOrigins; ++i) {
+    const std::string origin(side_origin_name(static_cast<SideOrigin>(i)));
+    result.wec.fills[i] = sum((".side.fill." + origin).c_str());
+    result.wec.used[i] = sum((".side.used." + origin).c_str());
+    result.wec.unused[i] = sum((".side.unused." + origin).c_str());
+  }
   return result;
 }
 

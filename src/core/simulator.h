@@ -8,15 +8,34 @@
 //   std::cout << result.cycles << " cycles\n";
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 
 #include "common/stats.h"
 #include "core/sim_config.h"
 #include "mem/flat_memory.h"
+#include "mem/side_cache.h"
+#include "obs/trace.h"
 #include "sta/sta_processor.h"
 
 namespace wecsim {
+
+/// Per-origin side-cache (WEC/VC/prefetch buffer) fill accounting: how many
+/// blocks each source brought in, and whether correct-path execution ever
+/// touched them before they left the cache. For every origin,
+/// fills[o] == used[o] + unused[o] once the run is over.
+struct WecProvenance {
+  std::array<uint64_t, kNumSideOrigins> fills{};   // indexed by SideOrigin
+  std::array<uint64_t, kNumSideOrigins> used{};
+  std::array<uint64_t, kNumSideOrigins> unused{};
+
+  uint64_t total_fills() const {
+    uint64_t total = 0;
+    for (uint64_t f : fills) total += f;
+    return total;
+  }
+};
 
 /// Aggregated measurements of one simulation, summed over all thread units.
 struct SimResult {
@@ -40,6 +59,7 @@ struct SimResult {
   uint64_t wrong_threads = 0;
   uint64_t wrong_path_loads = 0;
   uint64_t coherence_updates = 0;
+  WecProvenance wec;  // side-cache fills by origin x used/unused
 
   double l1d_miss_rate() const {
     return l1d_accesses == 0
@@ -68,6 +88,11 @@ class Simulator {
   /// The underlying processor (tests and examples poke at it directly).
   StaProcessor& processor() { return *processor_; }
 
+  /// Pipeline event trace. Disabled by default; call trace().enable()
+  /// before run() to record events (see docs/OBSERVABILITY.md).
+  TraceSink& trace() { return trace_; }
+  const TraceSink& trace() const { return trace_; }
+
   /// Run to completion and aggregate the results. Call once.
   SimResult run();
 
@@ -76,6 +101,7 @@ class Simulator {
   StaConfig config_;
   FlatMemory memory_;
   StatsRegistry stats_;
+  TraceSink trace_;  // must outlive processor_
   std::unique_ptr<StaProcessor> processor_;
   bool ran_ = false;
 };

@@ -31,16 +31,20 @@ bool trace_enabled() {
 
 OooCore::OooCore(const CoreConfig& config, const Program& program,
                  CoreEnv& env, StatsRegistry& stats,
-                 const std::string& stat_prefix)
+                 const std::string& stat_prefix, TuId tu, TraceSink* trace)
     : config_(config),
       program_(program),
       env_(env),
       bpred_(config.bpred, stats, stat_prefix),
+      tu_(tu),
+      trace_(trace),
       stat_committed_(stats.counter(stat_prefix + "core.committed")),
       stat_mispredicts_(stats.counter(stat_prefix + "core.mispredicts")),
       stat_branches_(stats.counter(stat_prefix + "core.branches")),
       stat_wrong_path_loads_(
-          stats.counter(stat_prefix + "core.wrong_path_loads")) {
+          stats.counter(stat_prefix + "core.wrong_path_loads")),
+      hist_rob_occupancy_(stats.histogram(stat_prefix + "core.rob_occupancy")),
+      hist_squash_depth_(stats.histogram(stat_prefix + "core.squash_depth")) {
   rat_int_.fill(-1);
   rat_fp_.fill(-1);
 }
@@ -80,6 +84,7 @@ void OooCore::stop() {
 
 void OooCore::tick(Cycle now) {
   if (!active_) return;
+  hist_rob_occupancy_.record(rob_.size());
   fu_used_.fill(0);
   do_recoveries(now);
   do_commit(now);
@@ -258,7 +263,6 @@ void OooCore::harvest_wrong_path_loads(SeqNum branch_seq, Cycle now) {
 }
 
 void OooCore::squash_after(SeqNum seq, Cycle now) {
-  (void)now;
   RobEntry* keep = entry_for(seq);
   WEC_CHECK(keep != nullptr);
   // Restore the rename table from the control instruction's checkpoint
@@ -266,7 +270,13 @@ void OooCore::squash_after(SeqNum seq, Cycle now) {
   WEC_CHECK(keep->has_rat_ckpt);
   rat_int_ = keep->rat_int_ckpt;
   rat_fp_ = keep->rat_fp_ckpt;
-  while (!rob_.empty() && rob_.back().seq > seq) rob_.pop_back();
+  uint64_t depth = 0;
+  while (!rob_.empty() && rob_.back().seq > seq) {
+    rob_.pop_back();
+    ++depth;
+  }
+  hist_squash_depth_.record(depth);
+  WEC_TRACE(trace_, now, tu_, TraceEventType::kSquash, keep->pc, depth);
   // Reuse the squashed sequence numbers: entry_for() indexes the ROB as a
   // window of consecutive seqs, so the next dispatch must continue right
   // after the surviving tail.
@@ -570,6 +580,7 @@ void OooCore::do_fetch(Cycle now) {
     // Instruction-cache access per fetch block.
     const Addr block = align_down(fetch_pc_, config_.ifetch_block_bytes);
     if (block != fetch_block_) {
+      WEC_TRACE(trace_, now, tu_, TraceEventType::kFetch, fetch_pc_);
       const Cycle ready = env_.cache_ifetch(fetch_pc_, now);
       fetch_block_ = block;
       if (ready > now) {

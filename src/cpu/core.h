@@ -100,8 +100,11 @@ struct CoreStats {
 
 class OooCore {
  public:
+  /// `tu` and `trace` feed the optional pipeline event trace (fetch-block
+  /// accesses, squashes); a null sink disables it.
   OooCore(const CoreConfig& config, const Program& program, CoreEnv& env,
-          StatsRegistry& stats, const std::string& stat_prefix);
+          StatsRegistry& stats, const std::string& stat_prefix,
+          TuId tu = 0, TraceSink* trace = nullptr);
 
   /// Begin executing at pc with the given architectural register state
   /// (a fork's register snapshot).
@@ -244,11 +247,16 @@ class OooCore {
   // Per-cycle FU accounting (rebuilt each tick).
   std::array<uint32_t, 5> fu_used_{};
 
+  TuId tu_ = 0;
+  TraceSink* trace_ = nullptr;
+
   CoreStats core_stats_;
   StatsRegistry::Counter stat_committed_;
   StatsRegistry::Counter stat_mispredicts_;
   StatsRegistry::Counter stat_branches_;
   StatsRegistry::Counter stat_wrong_path_loads_;
+  StatsRegistry::Histogram hist_rob_occupancy_;  // sampled every active cycle
+  StatsRegistry::Histogram hist_squash_depth_;   // ROB entries per recovery
 };
 
 }  // namespace wecsim

@@ -1,10 +1,20 @@
 #include "harness/experiment.h"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/error.h"
+#include "common/log.h"
 
 namespace wecsim {
+
+ExperimentRunner::ExperimentRunner(const WorkloadParams& params)
+    : params_(params) {
+  if (const char* dir = std::getenv("WECSIM_TRACE_DIR"); dir != nullptr) {
+    trace_dir_ = dir;
+  }
+}
 
 const RunMeasurement& ExperimentRunner::run(const std::string& workload_name,
                                             const std::string& key,
@@ -15,13 +25,54 @@ const RunMeasurement& ExperimentRunner::run(const std::string& workload_name,
   Workload w = make_workload(workload_name, params_);
   Simulator sim(w.program, config);
   w.init(sim.memory());
+  if (!trace_dir_.empty()) sim.trace().enable();
   RunMeasurement m;
   m.sim = sim.run();
   if (!m.sim.halted) {
     throw SimError("simulation did not finish: " + cache_key);
   }
   m.parallel_cycles = sim.stats().value("sta.parallel_cycles");
+
+  RunRecord record;
+  record.workload = w.name;
+  record.config_key = key;
+  record.scale = params_.scale;
+  record.result = m.sim;
+  record.counters = sim.stats().snapshot();
+  record.histograms = sim.stats().histogram_snapshot();
+  record.gauges = sim.stats().gauge_snapshot();
+  records_.push_back(std::move(record));
+
+  if (!trace_dir_.empty()) {
+    const std::string base = trace_dir_ + "/" + sanitize_run_name(cache_key);
+    const bool ok = sim.trace().write_jsonl(base + ".trace.jsonl") &&
+                    sim.trace().write_chrome_trace(base + ".trace.chrome.json");
+    if (ok) {
+      WEC_LOG(kInfo, "wrote trace: " << base << ".trace.jsonl ("
+                                     << sim.trace().size() << " events)");
+    } else {
+      std::fprintf(stderr, "[warn] trace not written under %s (directory "
+                           "missing or unwritable)\n", trace_dir_.c_str());
+    }
+  }
   return cache_.emplace(cache_key, std::move(m)).first->second;
+}
+
+void ExperimentRunner::write_report(const std::string& path,
+                                    const std::string& bench_name) const {
+  write_run_report(path, bench_name, records_);
+}
+
+std::string sanitize_run_name(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                      c == '.';
+    out.push_back(safe ? c : '_');
+  }
+  return out;
 }
 
 double speedup(Cycle base_cycles, Cycle cycles) {

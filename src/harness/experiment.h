@@ -1,6 +1,9 @@
 // Experiment driver shared by the bench binaries: run (workload, config)
 // pairs, cache results within a process, and aggregate speedups the way the
-// paper does.
+// paper does. Every fresh simulation is also captured as a RunRecord so a
+// bench can emit a machine-readable run report (see harness/report.h), and
+// setting WECSIM_TRACE_DIR=<dir> in the environment makes each fresh run
+// write its pipeline event trace (JSONL + Chrome trace_event) into <dir>.
 #pragma once
 
 #include <map>
@@ -9,6 +12,7 @@
 
 #include "core/sim_config.h"
 #include "core/simulator.h"
+#include "harness/report.h"
 #include "workloads/workload.h"
 
 namespace wecsim {
@@ -24,8 +28,7 @@ struct RunMeasurement {
 /// that share a baseline don't re-simulate it.
 class ExperimentRunner {
  public:
-  explicit ExperimentRunner(const WorkloadParams& params = {})
-      : params_(params) {}
+  explicit ExperimentRunner(const WorkloadParams& params = {});
 
   /// Simulate `workload_name` on `config`. `key` must uniquely identify the
   /// configuration (e.g. "orig/8tu/l1=8k").
@@ -34,10 +37,22 @@ class ExperimentRunner {
 
   const WorkloadParams& params() const { return params_; }
 
+  /// One record per fresh (uncached) simulation, in execution order.
+  const std::vector<RunRecord>& records() const { return records_; }
+
+  /// Write the collected records as a run report (harness/report.h).
+  void write_report(const std::string& path,
+                    const std::string& bench_name) const;
+
  private:
   WorkloadParams params_;
   std::map<std::string, RunMeasurement> cache_;
+  std::vector<RunRecord> records_;
+  std::string trace_dir_;  // from WECSIM_TRACE_DIR; empty = tracing off
 };
+
+/// "workload|config/key" -> a safe filename fragment (alnum, '-', '_', '.').
+std::string sanitize_run_name(const std::string& s);
 
 /// speedup > 1 means `cycles` is faster than `base_cycles`.
 double speedup(Cycle base_cycles, Cycle cycles);

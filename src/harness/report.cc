@@ -1,0 +1,118 @@
+#include "harness/report.h"
+
+#include <fstream>
+
+#include "common/error.h"
+#include "mem/side_cache.h"
+#include "obs/json.h"
+
+namespace wecsim {
+
+namespace {
+
+void write_histogram(JsonWriter& w, const HistogramData& h) {
+  w.begin_object();
+  w.kv("count", h.count);
+  w.kv("sum", h.sum);
+  w.kv("min", h.count == 0 ? uint64_t{0} : h.min);
+  w.kv("max", h.max);
+  w.kv("mean", h.mean());
+  // Sparse bucket list: [bucket_index, count] pairs for occupied buckets.
+  // Bucket 0 holds the value 0; bucket k holds [2^(k-1), 2^k).
+  w.key("buckets").begin_array();
+  for (uint32_t i = 0; i < HistogramData::kNumBuckets; ++i) {
+    if (h.buckets[i] == 0) continue;
+    w.begin_array().value(i).value(h.buckets[i]).end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_wec_section(JsonWriter& w, const WecProvenance& wec) {
+  w.begin_object();
+  w.kv("total_fills", wec.total_fills());
+  w.key("by_origin").begin_object();
+  for (size_t i = 0; i < kNumSideOrigins; ++i) {
+    w.key(side_origin_name(static_cast<SideOrigin>(i)));
+    w.begin_object();
+    w.kv("fills", wec.fills[i]);
+    w.kv("used", wec.used[i]);
+    w.kv("unused", wec.unused[i]);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void write_result(JsonWriter& w, const SimResult& r) {
+  w.begin_object();
+  w.kv("cycles", r.cycles);
+  w.kv("halted", r.halted);
+  w.kv("committed", r.committed);
+  w.kv("l1d_accesses", r.l1d_accesses);
+  w.kv("l1d_wrong_accesses", r.l1d_wrong_accesses);
+  w.kv("l1d_misses", r.l1d_misses);
+  w.kv("l1d_wrong_misses", r.l1d_wrong_misses);
+  w.kv("side_hits", r.side_hits);
+  w.kv("wec_wrong_fills", r.wec_wrong_fills);
+  w.kv("prefetches", r.prefetches);
+  w.kv("l2_accesses", r.l2_accesses);
+  w.kv("l2_misses", r.l2_misses);
+  w.kv("mispredicts", r.mispredicts);
+  w.kv("branches", r.branches);
+  w.kv("forks", r.forks);
+  w.kv("wrong_threads", r.wrong_threads);
+  w.kv("wrong_path_loads", r.wrong_path_loads);
+  w.kv("coherence_updates", r.coherence_updates);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string render_run_report(const std::string& bench_name,
+                              const std::vector<RunRecord>& runs) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "wecsim.run_report");
+  w.kv("schema_version", kRunReportSchemaVersion);
+  w.kv("bench", bench_name);
+  w.key("runs").begin_array();
+  for (const RunRecord& run : runs) {
+    w.begin_object();
+    w.kv("workload", run.workload);
+    w.kv("config", run.config_key);
+    w.kv("scale", run.scale);
+    w.key("result");
+    write_result(w, run.result);
+    w.key("wec");
+    write_wec_section(w, run.result.wec);
+    w.key("counters").begin_object();
+    for (const auto& [name, value] : run.counters) w.kv(name, value);
+    w.end_object();
+    w.key("gauges").begin_object();
+    for (const auto& [name, value] : run.gauges) w.kv(name, value);
+    w.end_object();
+    w.key("histograms").begin_object();
+    for (const auto& [name, data] : run.histograms) {
+      w.key(name);
+      write_histogram(w, data);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::string out = w.take();
+  out.push_back('\n');
+  return out;
+}
+
+void write_run_report(const std::string& path, const std::string& bench_name,
+                      const std::vector<RunRecord>& runs) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw SimError("cannot open report file: " + path);
+  os << render_run_report(bench_name, runs);
+  if (!os) throw SimError("failed writing report file: " + path);
+}
+
+}  // namespace wecsim

@@ -1,0 +1,42 @@
+// Versioned machine-readable run reports. Every bench binary (and the
+// ExperimentRunner behind it) can serialize the simulations it performed —
+// workload, configuration key, SimResult, WEC provenance breakdown, and the
+// full counter/gauge/histogram state — as a single JSON document, so plots
+// and regression checks consume structured data instead of scraping the
+// printed tables. The schema is documented in docs/OBSERVABILITY.md; bump
+// kRunReportSchemaVersion on any incompatible change.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/simulator.h"
+
+namespace wecsim {
+
+/// Schema version stamped into every report ("schema_version" field).
+inline constexpr int kRunReportSchemaVersion = 1;
+
+/// Everything recorded about one (workload, configuration) simulation.
+struct RunRecord {
+  std::string workload;    // paper name, e.g. "181.mcf"
+  std::string config_key;  // caller's configuration key, e.g. "wth_wp_wec"
+  uint32_t scale = 0;      // WorkloadParams::scale used
+  SimResult result;
+  StatsSnapshot counters;
+  std::map<std::string, HistogramData> histograms;
+  std::map<std::string, int64_t> gauges;
+};
+
+/// Renders the report document for a set of runs. Deterministic: the same
+/// runs in the same order produce byte-identical output.
+std::string render_run_report(const std::string& bench_name,
+                              const std::vector<RunRecord>& runs);
+
+/// Renders and writes the report to `path`. Throws SimError on I/O failure.
+void write_run_report(const std::string& path, const std::string& bench_name,
+                      const std::vector<RunRecord>& runs);
+
+}  // namespace wecsim

@@ -56,11 +56,14 @@ void SharedL2::reset() {
 // ---------------------------------------------------------------------------
 
 TuMemSystem::TuMemSystem(const MemConfig& config, SharedL2& l2,
-                         StatsRegistry& stats, const std::string& stat_prefix)
+                         StatsRegistry& stats, const std::string& stat_prefix,
+                         TuId tu, TraceSink* trace)
     : config_(config),
       l2_(l2),
       l1i_(config.l1i),
       l1d_(config.l1d),
+      tu_(tu),
+      trace_(trace),
       l1d_accesses_(stats.counter(stat_prefix + "l1d.accesses")),
       l1d_wrong_accesses_(stats.counter(stat_prefix + "l1d.wrong_accesses")),
       l1d_misses_(stats.counter(stat_prefix + "l1d.misses")),
@@ -75,13 +78,42 @@ TuMemSystem::TuMemSystem(const MemConfig& config, SharedL2& l2,
   if (config.side != SideKind::kNone) {
     side_ = std::make_unique<SideCache>(config.side_entries,
                                         config.l1d.block_bytes);
+    for (uint32_t i = 0; i < kNumSideOrigins; ++i) {
+      const std::string origin = side_origin_name(static_cast<SideOrigin>(i));
+      side_fill_by_origin_[i] =
+          stats.counter(stat_prefix + "side.fill." + origin);
+      side_used_by_origin_[i] =
+          stats.counter(stat_prefix + "side.used." + origin);
+      side_unused_by_origin_[i] =
+          stats.counter(stat_prefix + "side.unused." + origin);
+    }
+    side_lifetime_ = stats.histogram(stat_prefix + "side.block_lifetime");
   }
+  miss_latency_ = stats.histogram(stat_prefix + "l1d.miss_latency");
 }
 
-void TuMemSystem::handle_side_eviction(const std::optional<Evicted>& evicted,
-                                       Cycle now) {
-  if (evicted.has_value() && evicted->dirty) {
-    l2_.write_back(evicted->block_addr, now);
+void TuMemSystem::account_side_exit(SideOrigin origin, bool used, Cycle filled,
+                                    Cycle now) {
+  auto& by_origin = used ? side_used_by_origin_ : side_unused_by_origin_;
+  by_origin[side_origin_index(origin)].inc();
+  side_lifetime_.record(now > filled ? now - filled : 0);
+}
+
+void TuMemSystem::side_insert(Addr addr, SideOrigin origin, bool dirty,
+                              Cycle ready, Cycle now) {
+  side_fill_by_origin_[side_origin_index(origin)].inc();
+  const TraceEventType event =
+      origin == SideOrigin::kVictim  ? TraceEventType::kVictimEvict
+      : origin == SideOrigin::kPrefetch ? TraceEventType::kNextLinePrefetch
+                                        : TraceEventType::kWecFill;
+  WEC_TRACE(trace_, now, tu_, event, side_->block_addr(addr), 0,
+            side_origin_index(origin));
+  auto ended = side_->insert(addr, origin, dirty, ready, now);
+  if (ended.has_value()) {
+    account_side_exit(ended->origin, /*used=*/false, ended->filled, now);
+    if (ended->displaced && ended->dirty) {
+      l2_.write_back(ended->block, now);
+    }
   }
 }
 
@@ -93,9 +125,8 @@ Cycle TuMemSystem::fill_l1(Addr addr, bool dirty, Cycle now) {
                              config_.side == SideKind::kWec)) {
       // Victim-caching role: the displaced L1 block moves into the side
       // structure, dirty bit and all.
-      auto displaced = side_->insert(victim->block_addr, SideOrigin::kVictim,
-                                     victim->dirty, now);
-      handle_side_eviction(displaced, now);
+      side_insert(victim->block_addr, SideOrigin::kVictim, victim->dirty, now,
+                  now);
     } else if (victim->dirty) {
       l2_.write_back(victim->block_addr, now);
     }
@@ -109,9 +140,7 @@ void TuMemSystem::prefetch_next(Addr addr, Cycle now) {
   if (l1d_.contains(next) || side_->contains(next)) return;
   prefetches_.inc();
   const Cycle done = l2_.access(next, now);
-  auto displaced = side_->insert(next, SideOrigin::kPrefetch,
-                                 /*dirty=*/false, done);
-  handle_side_eviction(displaced, now);
+  side_insert(next, SideOrigin::kPrefetch, /*dirty=*/false, done, now);
 }
 
 MemOutcome TuMemSystem::correct_load(Addr addr, Cycle now) {
@@ -131,8 +160,13 @@ MemOutcome TuMemSystem::correct_load(Addr addr, Cycle now) {
   if (side_ != nullptr) {
     if (auto entry = side_->probe(addr)) {
       side_hits_.inc();
+      WEC_TRACE(trace_, now, tu_, TraceEventType::kWecHit,
+                side_->block_addr(addr), 0, side_origin_index(entry->origin));
       const Cycle ready = std::max(now, entry->ready);
       side_->extract(addr);
+      // Correct execution consumed this fill — the outcome the paper's
+      // usefulness breakdown scores.
+      account_side_exit(entry->origin, /*used=*/true, entry->filled, now);
       // The block moves into the L1; under vc/wec the L1 victim swaps into
       // the side cache, under nlp the promoted block keeps its prefetch tag.
       auto victim = l1d_.insert(addr, entry->dirty, ready);
@@ -142,14 +176,13 @@ MemOutcome TuMemSystem::correct_load(Addr addr, Cycle now) {
           l2_.write_back(victim->block_addr, now);
         }
       } else if (victim.has_value()) {
-        auto displaced = side_->insert(victim->block_addr, SideOrigin::kVictim,
-                                       victim->dirty, now);
-        handle_side_eviction(displaced, now);
+        side_insert(victim->block_addr, SideOrigin::kVictim, victim->dirty,
+                    now, now);
       }
       // WEC rule: a correct-path hit on a wrong-fetched block initiates a
       // next-line prefetch into the WEC (Fig. 6).
       if (config_.side == SideKind::kWec &&
-          (entry->origin == SideOrigin::kWrongExec ||
+          (is_wrong_exec(entry->origin) ||
            (config_.wec_chain_prefetch &&
             entry->origin == SideOrigin::kPrefetch))) {
         prefetch_next(addr, ready);
@@ -160,6 +193,7 @@ MemOutcome TuMemSystem::correct_load(Addr addr, Cycle now) {
 
   // Miss everywhere: demand fill from L2/memory into the L1.
   const Cycle done = fill_l1(addr, /*dirty=*/false, now);
+  miss_latency_.record(done > now ? done - now : 0);
   // Plain next-line prefetch-on-miss for the nlp configuration.
   if (config_.side == SideKind::kPrefetchBuffer) {
     l1d_.set_prefetch_tag(addr, true);
@@ -169,7 +203,6 @@ MemOutcome TuMemSystem::correct_load(Addr addr, Cycle now) {
 }
 
 MemOutcome TuMemSystem::wrong_load(Addr addr, ExecMode mode, Cycle now) {
-  (void)mode;
   l1d_accesses_.inc();
   l1d_wrong_accesses_.inc();
   if (auto hit = l1d_.access(addr, /*mark_dirty=*/false, now)) {
@@ -180,6 +213,8 @@ MemOutcome TuMemSystem::wrong_load(Addr addr, ExecMode mode, Cycle now) {
   if (config_.side == SideKind::kWec) {
     if (auto ready = side_->access(addr, now)) {
       side_wrong_hits_.inc();
+      WEC_TRACE(trace_, now, tu_, TraceEventType::kWecHit,
+                side_->block_addr(addr), /*arg=*/1);
       // Served by the WEC; no promotion into the L1 (Fig. 6 wrong-exec path).
       return {*ready + config_.side_hit_lat, false, true};
     }
@@ -187,9 +222,7 @@ MemOutcome TuMemSystem::wrong_load(Addr addr, ExecMode mode, Cycle now) {
     // execution can never pollute it.
     wec_fills_.inc();
     const Cycle done = l2_.access(addr, now);
-    auto displaced =
-        side_->insert(addr, SideOrigin::kWrongExec, /*dirty=*/false, done);
-    handle_side_eviction(displaced, now);
+    side_insert(addr, side_origin_for(mode), /*dirty=*/false, done, now);
     return {done, false, false};
   }
 
@@ -200,15 +233,18 @@ MemOutcome TuMemSystem::wrong_load(Addr addr, ExecMode mode, Cycle now) {
   if (side_ != nullptr) {
     if (auto entry = side_->probe(addr)) {
       side_hits_.inc();
+      WEC_TRACE(trace_, now, tu_, TraceEventType::kWecHit,
+                side_->block_addr(addr), /*arg=*/1,
+                side_origin_index(entry->origin));
       const Cycle ready = std::max(now, entry->ready);
       side_->extract(addr);
+      // Promoted into the L1 by wrong execution — not a correct-path use.
+      account_side_exit(entry->origin, /*used=*/false, entry->filled, now);
       auto victim = l1d_.insert(addr, entry->dirty, ready);
       if (config_.side == SideKind::kVictim) {
         if (victim.has_value()) {
-          auto displaced = side_->insert(victim->block_addr,
-                                         SideOrigin::kVictim, victim->dirty,
-                                         now);
-          handle_side_eviction(displaced, now);
+          side_insert(victim->block_addr, SideOrigin::kVictim, victim->dirty,
+                      now, now);
         }
       } else if (victim.has_value() && victim->dirty) {
         l2_.write_back(victim->block_addr, now);
@@ -238,13 +274,16 @@ MemOutcome TuMemSystem::store(Addr addr, Cycle now) {
   if (side_ != nullptr) {
     if (auto entry = side_->probe(addr)) {
       side_hits_.inc();
+      WEC_TRACE(trace_, now, tu_, TraceEventType::kWecHit,
+                side_->block_addr(addr), 0, side_origin_index(entry->origin));
       const Cycle ready = std::max(now, entry->ready);
       side_->extract(addr);
+      // A committing store is correct execution consuming the fill.
+      account_side_exit(entry->origin, /*used=*/true, entry->filled, now);
       auto victim = l1d_.insert(addr, /*dirty=*/true, ready);
       if (config_.side != SideKind::kPrefetchBuffer && victim.has_value()) {
-        auto displaced = side_->insert(victim->block_addr, SideOrigin::kVictim,
-                                       victim->dirty, now);
-        handle_side_eviction(displaced, now);
+        side_insert(victim->block_addr, SideOrigin::kVictim, victim->dirty,
+                    now, now);
       } else if (victim.has_value() && victim->dirty) {
         l2_.write_back(victim->block_addr, now);
       }
@@ -273,6 +312,13 @@ void TuMemSystem::coherence_update(Addr addr) {
   bool touched = l1d_.touch_update(addr);
   if (side_ != nullptr) touched = side_->touch_update(addr) || touched;
   if (touched) coherence_updates_.inc();
+}
+
+void TuMemSystem::finalize_accounting(Cycle now) {
+  if (side_ == nullptr) return;
+  for (const auto& ended : side_->drain()) {
+    account_side_exit(ended.origin, /*used=*/false, ended.filled, now);
+  }
 }
 
 void TuMemSystem::reset() {

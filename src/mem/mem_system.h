@@ -30,8 +30,15 @@
 // Stores reach the hierarchy only from correct execution (write-back stage /
 // sequential commit); they are write-back write-allocate and never stall the
 // committing thread (store-buffer assumption).
+//
+// Observability: every side-cache fill is tagged with its origin and scored
+// on exit as used/unused by correct execution ("tuN.side.{fill,used,unused}.
+// <origin>" counters plus a block-lifetime histogram), and the hierarchy
+// emits typed trace events (WEC fill/hit, victim eviction, next-line
+// prefetch) to an optional TraceSink.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <optional>
 #include <string>
@@ -40,6 +47,7 @@
 #include "common/types.h"
 #include "mem/cache.h"
 #include "mem/side_cache.h"
+#include "obs/trace.h"
 
 namespace wecsim {
 
@@ -47,6 +55,12 @@ namespace wecsim {
 enum class ExecMode : uint8_t { kCorrect, kWrongPath, kWrongThread };
 
 inline bool is_wrong(ExecMode mode) { return mode != ExecMode::kCorrect; }
+
+/// Side-cache fill origin for a wrong-execution load of the given mode.
+inline SideOrigin side_origin_for(ExecMode mode) {
+  return mode == ExecMode::kWrongThread ? SideOrigin::kWrongThread
+                                        : SideOrigin::kWrongPath;
+}
 
 /// What sits beside the L1 data cache.
 enum class SideKind : uint8_t { kNone, kVictim, kWec, kPrefetchBuffer };
@@ -104,9 +118,11 @@ struct MemOutcome {
 /// One thread unit's private hierarchy, sharing a SharedL2 with its peers.
 class TuMemSystem {
  public:
-  /// stat_prefix is e.g. "tu3." — counters land under "tu3.l1d.*".
+  /// stat_prefix is e.g. "tu3." — counters land under "tu3.l1d.*". `tu` and
+  /// `trace` feed the optional event trace (null sink: tracing off).
   TuMemSystem(const MemConfig& config, SharedL2& l2, StatsRegistry& stats,
-              const std::string& stat_prefix);
+              const std::string& stat_prefix, TuId tu = 0,
+              TraceSink* trace = nullptr);
 
   /// Data-side load. The mode selects the routing rules above.
   MemOutcome load(Addr addr, ExecMode mode, Cycle now);
@@ -123,6 +139,11 @@ class TuMemSystem {
   /// paper this adds no delay — traffic goes to otherwise idle caches.
   void coherence_update(Addr addr);
 
+  /// End-of-run provenance close-out: every block still resident in the side
+  /// cache is accounted as an unused fill, so that per origin
+  /// fills == used + unused. Idempotent once the side cache is empty.
+  void finalize_accounting(Cycle now);
+
   void reset();
 
   SideKind side_kind() const { return config_.side; }
@@ -135,13 +156,23 @@ class TuMemSystem {
   Cycle fill_l1(Addr addr, bool dirty, Cycle now);
   /// Issue a next-line prefetch into the side structure (WEC or nlp buffer).
   void prefetch_next(Addr addr, Cycle now);
-  void handle_side_eviction(const std::optional<Evicted>& evicted, Cycle now);
+
+  /// Insert into the side cache with provenance accounting: counts the fill
+  /// by origin, emits the matching trace event, accounts the displaced /
+  /// overwritten fill as unused, and writes back displaced dirty data.
+  void side_insert(Addr addr, SideOrigin origin, bool dirty, Cycle ready,
+                   Cycle now);
+  /// A fill's residency ended: score it used/unused and record its lifetime.
+  void account_side_exit(SideOrigin origin, bool used, Cycle filled,
+                         Cycle now);
 
   MemConfig config_;
   SharedL2& l2_;
   SetAssocCache l1i_;
   SetAssocCache l1d_;
   std::unique_ptr<SideCache> side_;
+  TuId tu_;
+  TraceSink* trace_;
 
   // Statistics (names mirror the paper's reported quantities).
   StatsRegistry::Counter l1d_accesses_;        // processor<->L1 traffic
@@ -155,6 +186,13 @@ class TuMemSystem {
   StatsRegistry::Counter l1i_accesses_;
   StatsRegistry::Counter l1i_misses_;
   StatsRegistry::Counter coherence_updates_;
+
+  // Provenance accounting, indexed by SideOrigin.
+  std::array<StatsRegistry::Counter, kNumSideOrigins> side_fill_by_origin_;
+  std::array<StatsRegistry::Counter, kNumSideOrigins> side_used_by_origin_;
+  std::array<StatsRegistry::Counter, kNumSideOrigins> side_unused_by_origin_;
+  StatsRegistry::Histogram side_lifetime_;   // cycles from fill to exit
+  StatsRegistry::Histogram miss_latency_;    // correct-load full-miss service
 };
 
 }  // namespace wecsim

@@ -5,6 +5,20 @@
 
 namespace wecsim {
 
+const char* side_origin_name(SideOrigin origin) {
+  switch (origin) {
+    case SideOrigin::kVictim:
+      return "victim";
+    case SideOrigin::kWrongPath:
+      return "wrong_path";
+    case SideOrigin::kWrongThread:
+      return "wrong_thread";
+    case SideOrigin::kPrefetch:
+      return "next_line";
+  }
+  return "?";
+}
+
 SideCache::SideCache(uint32_t entries, uint32_t block_bytes)
     : block_bytes_(block_bytes) {
   WEC_CHECK_MSG(entries >= 1, "side cache needs at least one entry");
@@ -29,7 +43,7 @@ bool SideCache::contains(Addr addr) const { return find(addr) != nullptr; }
 std::optional<SideCache::Hit> SideCache::probe(Addr addr) const {
   const Line* line = find(addr);
   if (line == nullptr) return std::nullopt;
-  return Hit{line->origin, line->dirty, line->ready};
+  return Hit{line->origin, line->dirty, line->ready, line->filled};
 }
 
 std::optional<Cycle> SideCache::access(Addr addr, Cycle now) {
@@ -42,15 +56,18 @@ std::optional<Cycle> SideCache::access(Addr addr, Cycle now) {
 std::optional<SideCache::Hit> SideCache::extract(Addr addr) {
   Line* line = find(addr);
   if (line == nullptr) return std::nullopt;
-  Hit hit{line->origin, line->dirty, line->ready};
+  Hit hit{line->origin, line->dirty, line->ready, line->filled};
   line->valid = false;
   return hit;
 }
 
-std::optional<Evicted> SideCache::insert(Addr addr, SideOrigin origin,
-                                         bool dirty, Cycle ready_cycle) {
+std::optional<SideCache::SideEvicted> SideCache::insert(Addr addr,
+                                                        SideOrigin origin,
+                                                        bool dirty,
+                                                        Cycle ready_cycle,
+                                                        Cycle now) {
   Line* slot = find(addr);
-  std::optional<Evicted> displaced;
+  std::optional<SideEvicted> ended;
   if (slot == nullptr) {
     slot = &lines_[0];
     for (Line& line : lines_) {
@@ -60,10 +77,15 @@ std::optional<Evicted> SideCache::insert(Addr addr, SideOrigin origin,
       }
       if (slot->valid && line.lru < slot->lru) slot = &line;
     }
-    if (slot->valid && slot->dirty) {
-      displaced = Evicted{slot->block, true};
+    if (slot->valid) {
+      ended = SideEvicted{slot->block, slot->dirty, slot->origin, slot->filled,
+                          /*displaced=*/true};
     }
   } else {
+    // Re-fill of a resident block: the prior fill's residency ends here and
+    // the new fill takes over the line; dirty data merges into it.
+    ended = SideEvicted{slot->block, slot->dirty, slot->origin, slot->filled,
+                        /*displaced=*/false};
     dirty = dirty || slot->dirty;
   }
   slot->valid = true;
@@ -72,12 +94,28 @@ std::optional<Evicted> SideCache::insert(Addr addr, SideOrigin origin,
   slot->origin = origin;
   slot->lru = ++lru_clock_;
   slot->ready = ready_cycle;
-  return displaced;
+  slot->filled = now;
+  return ended;
 }
 
-void SideCache::invalidate(Addr addr) {
+std::optional<SideCache::SideEvicted> SideCache::invalidate(Addr addr) {
   Line* line = find(addr);
-  if (line != nullptr) line->valid = false;
+  if (line == nullptr) return std::nullopt;
+  SideEvicted ended{line->block, line->dirty, line->origin, line->filled,
+                    /*displaced=*/true};
+  line->valid = false;
+  return ended;
+}
+
+std::vector<SideCache::SideEvicted> SideCache::drain() {
+  std::vector<SideEvicted> ended;
+  for (Line& line : lines_) {
+    if (!line.valid) continue;
+    ended.push_back(SideEvicted{line.block, line.dirty, line.origin,
+                                line.filled, /*displaced=*/true});
+    line.valid = false;
+  }
+  return ended;
 }
 
 bool SideCache::touch_update(Addr addr) {

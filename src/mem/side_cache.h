@@ -4,9 +4,13 @@
 //   * Wrong Execution Cache (WEC)      — plus wrong-execution fills and
 //                                        next-line prefetches
 //   * prefetch buffer for nlp          — entries originate from prefetches
-// The entry origin is recorded because the WEC's correct-path hit rule
-// ("a hit on a block previously fetched by a wrong-execution load initiates
-// a next-line prefetch") depends on it.
+// Every entry carries its provenance: the origin that brought it in (victim,
+// wrong-path fill, wrong-thread fill, next-line prefetch) and the cycle it
+// was filled. The WEC's correct-path hit rule ("a hit on a block previously
+// fetched by a wrong-execution load initiates a next-line prefetch") depends
+// on the origin, and the observability layer uses the full provenance to
+// score every fill as used/unused by correct execution — the paper's central
+// attribution claim.
 #pragma once
 
 #include <cstdint>
@@ -18,12 +22,28 @@
 
 namespace wecsim {
 
-/// How a block got into the side cache.
+/// How a block got into the side cache. The enumerator order is the index
+/// order used by provenance counters, reports, and trace serialization.
 enum class SideOrigin : uint8_t {
-  kVictim,     // evicted from L1 by a correct-path fill
-  kWrongExec,  // fetched by a wrong-path or wrong-thread load
-  kPrefetch,   // fetched by a next-line prefetch
+  kVictim,       // evicted from L1 by a correct-path fill
+  kWrongPath,    // fetched by a wrong-path load (past a resolved branch)
+  kWrongThread,  // fetched by a load of an aborted speculative thread
+  kPrefetch,     // fetched by a next-line prefetch
 };
+
+inline constexpr uint32_t kNumSideOrigins = 4;
+
+constexpr uint8_t side_origin_index(SideOrigin origin) {
+  return static_cast<uint8_t>(origin);
+}
+
+constexpr bool is_wrong_exec(SideOrigin origin) {
+  return origin == SideOrigin::kWrongPath ||
+         origin == SideOrigin::kWrongThread;
+}
+
+/// Stable snake_case names used in stats, reports, and traces.
+const char* side_origin_name(SideOrigin origin);
 
 class SideCache {
  public:
@@ -41,6 +61,19 @@ class SideCache {
     SideOrigin origin;
     bool dirty;
     Cycle ready;
+    Cycle filled;  // cycle the block entered the side cache
+  };
+
+  /// A fill whose residency ended: displaced by an insert, dropped by an
+  /// invalidate/drain, or overwritten in place by a fill of the same block.
+  /// The caller accounts the exit (provenance stats, lifetime histogram) and
+  /// writes the block back when `displaced && dirty`.
+  struct SideEvicted {
+    Addr block;
+    bool dirty;
+    SideOrigin origin;
+    Cycle filled;
+    bool displaced;  // false: merged in place, data still resident
   };
 
   /// Probe without LRU update.
@@ -52,13 +85,19 @@ class SideCache {
   /// Remove the entry for addr and return its state (swap-out path).
   std::optional<Hit> extract(Addr addr);
 
-  /// Insert a block; evicts LRU if full. Returns the displaced block if it
-  /// was dirty (needs write-back) — clean victims vanish silently, matching
-  /// a victim cache whose lower level is inclusive of nothing.
-  std::optional<Evicted> insert(Addr addr, SideOrigin origin, bool dirty,
-                                Cycle ready_cycle);
+  /// Insert a block; evicts LRU if full. Returns the fill whose residency
+  /// this insert ended: the displaced LRU block (write-back needed if dirty),
+  /// or the previous fill of the same block when re-inserting over it
+  /// (`displaced == false`; dirty bits are merged into the surviving line).
+  std::optional<SideEvicted> insert(Addr addr, SideOrigin origin, bool dirty,
+                                    Cycle ready_cycle, Cycle now = 0);
 
-  void invalidate(Addr addr);
+  /// Remove addr if present, returning its state for accounting.
+  std::optional<SideEvicted> invalidate(Addr addr);
+
+  /// Remove every resident line and return their states — end-of-run
+  /// provenance accounting for blocks that were never used.
+  std::vector<SideEvicted> drain();
 
   /// Coherence refresh: returns true if addr was present (counted as update
   /// traffic by the caller).
@@ -74,6 +113,7 @@ class SideCache {
     SideOrigin origin = SideOrigin::kVictim;
     uint64_t lru = 0;
     Cycle ready = 0;
+    Cycle filled = 0;
   };
 
   Line* find(Addr addr);

@@ -1,0 +1,98 @@
+// Dependency-free JSON support for the observability layer: a streaming
+// writer that produces compact, deterministic output (trace events, run
+// reports), and a small recursive-descent parser used by schema validation
+// tests. Not a general-purpose JSON library — just what wecsim needs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wecsim {
+
+/// Escapes a string per RFC 8259 (quotes, backslashes, control characters).
+std::string json_escape(const std::string& s);
+
+/// Streaming JSON writer. Emits compact one-line JSON with no trailing
+/// whitespace; the caller is responsible for well-formed nesting (begin/end
+/// pairs are checked, key/value alternation inside objects is not).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key; must be followed by exactly one value (or container).
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(uint64_t v);
+  JsonWriter& value(int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<uint64_t>(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Shorthand for key(k).value(v).
+  template <typename T>
+  JsonWriter& kv(const std::string& k, const T& v) {
+    return key(k).value(v);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::vector<bool> first_in_scope_;  // per open container
+  bool after_key_ = false;
+};
+
+/// Parsed JSON value (schema-validation tests). Numbers keep their source
+/// text so exact 64-bit counters survive the round trip.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  bool as_bool() const { return bool_; }
+  const std::string& as_string() const { return string_; }
+  uint64_t as_u64() const;
+  int64_t as_i64() const;
+  double as_double() const;
+
+  const std::vector<JsonValue>& items() const { return array_; }
+  const std::map<std::string, JsonValue>& fields() const { return object_; }
+
+  bool has(const std::string& k) const { return object_.contains(k); }
+  /// Member access; throws SimError if absent or not an object.
+  const JsonValue& at(const std::string& k) const;
+  const JsonValue& at(size_t i) const;
+
+ private:
+  friend class JsonParser;
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::string string_;  // string value, or number source text
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses a complete JSON document; throws SimError on malformed input or
+/// trailing garbage.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace wecsim

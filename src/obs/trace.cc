@@ -1,0 +1,111 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace wecsim {
+
+const char* trace_event_name(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kFetch:
+      return "fetch";
+    case TraceEventType::kSquash:
+      return "squash";
+    case TraceEventType::kWecFill:
+      return "wec_fill";
+    case TraceEventType::kWecHit:
+      return "wec_hit";
+    case TraceEventType::kVictimEvict:
+      return "victim_evict";
+    case TraceEventType::kNextLinePrefetch:
+      return "next_line_prefetch";
+  }
+  return "?";
+}
+
+namespace {
+
+// Side-cache origin names, indexed like SideOrigin (mem/side_cache.h). Kept
+// as strings here so obs does not depend on mem.
+const char* origin_name(uint8_t origin) {
+  static const char* kNames[] = {"victim", "wrong_path", "wrong_thread",
+                                 "next_line"};
+  if (origin < 4) return kNames[origin];
+  return "none";
+}
+
+std::string hex_addr(Addr addr) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%llx",
+                static_cast<unsigned long long>(addr));
+  return buf;
+}
+
+}  // namespace
+
+std::string TraceSink::to_jsonl() const {
+  std::string out;
+  out.reserve(events_.size() * 80);
+  for (const TraceEvent& e : events_) {
+    JsonWriter w;
+    w.begin_object()
+        .kv("cycle", e.cycle)
+        .kv("tu", static_cast<uint64_t>(e.tu))
+        .kv("type", trace_event_name(e.type))
+        .kv("addr", hex_addr(e.addr));
+    if (e.arg != 0) w.kv("arg", e.arg);
+    if (e.origin != TraceEvent::kNoOrigin) {
+      w.kv("origin", origin_name(e.origin));
+    }
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TraceSink::to_chrome_trace() const {
+  JsonWriter w;
+  w.begin_object().key("traceEvents").begin_array();
+  for (const TraceEvent& e : events_) {
+    w.begin_object()
+        .kv("name", trace_event_name(e.type))
+        .kv("cat", "wecsim")
+        .kv("ph", "i")
+        .kv("s", "t")
+        .kv("ts", e.cycle)
+        .kv("pid", 0)
+        .kv("tid", static_cast<uint64_t>(e.tu))
+        .key("args")
+        .begin_object()
+        .kv("addr", hex_addr(e.addr));
+    if (e.arg != 0) w.kv("arg", e.arg);
+    if (e.origin != TraceEvent::kNoOrigin) {
+      w.kv("origin", origin_name(e.origin));
+    }
+    w.end_object().end_object();
+  }
+  w.end_array().kv("displayTimeUnit", "ns").end_object();
+  return w.take();
+}
+
+namespace {
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  return static_cast<bool>(out);
+}
+}  // namespace
+
+bool TraceSink::write_jsonl(const std::string& path) const {
+  return write_file(path, to_jsonl());
+}
+
+bool TraceSink::write_chrome_trace(const std::string& path) const {
+  return write_file(path, to_chrome_trace());
+}
+
+}  // namespace wecsim

@@ -1,0 +1,97 @@
+// Pipeline event tracing. Components emit typed events to a TraceSink owned
+// by the Simulator; with the sink disabled (the default) each emission is a
+// single predictable branch, and with WECSIM_DISABLE_TRACING defined the
+// WEC_TRACE macro compiles away entirely. Collected traces serialize as
+// JSONL (one event per line, stable field order) and as the Chrome
+// trace_event format so a run can be opened in about://tracing / Perfetto.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wecsim {
+
+enum class TraceEventType : uint8_t {
+  kFetch,             // I-cache fetch-block access (pc)
+  kSquash,            // misprediction recovery; arg = squashed ROB entries
+  kWecFill,           // wrong-execution fill into the side cache
+  kWecHit,            // side-cache hit (arg = 1 for a wrong-execution hit)
+  kVictimEvict,       // L1 victim displaced into the side cache
+  kNextLinePrefetch,  // next-line prefetch issued into the side structure
+};
+
+const char* trace_event_name(TraceEventType type);
+
+/// One pipeline event. `origin` is a SideOrigin index for side-cache events
+/// (kNoOrigin otherwise); `arg` is event-specific (see TraceEventType).
+struct TraceEvent {
+  static constexpr uint8_t kNoOrigin = 0xff;
+
+  Cycle cycle = 0;
+  TuId tu = 0;
+  TraceEventType type = TraceEventType::kFetch;
+  Addr addr = 0;
+  uint64_t arg = 0;
+  uint8_t origin = kNoOrigin;
+};
+
+/// In-memory event buffer. Disabled by default: emit() is a no-op until
+/// enable() is called, so always-constructed sinks cost one branch per
+/// instrumentation site.
+class TraceSink {
+ public:
+  bool enabled() const { return enabled_; }
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+
+  void emit(const TraceEvent& event) {
+    if (enabled_) events_.push_back(event);
+  }
+  void emit(Cycle cycle, TuId tu, TraceEventType type, Addr addr,
+            uint64_t arg = 0, uint8_t origin = TraceEvent::kNoOrigin) {
+    if (enabled_) events_.push_back({cycle, tu, type, addr, arg, origin});
+  }
+
+  size_t size() const { return events_.size(); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// One JSON object per line, deterministic field order:
+  /// {"cycle":12,"tu":0,"type":"wec_fill","addr":"0x1a40","origin":"wrong_path"}
+  std::string to_jsonl() const;
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}), instant events with
+  /// ts = cycle, pid = 0, tid = thread unit.
+  std::string to_chrome_trace() const;
+
+  /// Write either serialization to a file. Returns false on I/O failure.
+  bool write_jsonl(const std::string& path) const;
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace wecsim
+
+/// Emission helper: evaluates to nothing when tracing is compiled out, and
+/// to a guarded emit() otherwise. `sink` is a TraceSink pointer (may be
+/// null).
+#ifndef WECSIM_DISABLE_TRACING
+#define WEC_TRACE(sink, ...)                             \
+  do {                                                   \
+    ::wecsim::TraceSink* wec_trace_sink_ = (sink);       \
+    if (wec_trace_sink_ != nullptr &&                    \
+        wec_trace_sink_->enabled()) {                    \
+      wec_trace_sink_->emit(__VA_ARGS__);                \
+    }                                                    \
+  } while (0)
+#else
+#define WEC_TRACE(sink, ...) \
+  do {                       \
+  } while (0)
+#endif

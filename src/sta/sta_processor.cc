@@ -8,7 +8,8 @@
 namespace wecsim {
 
 StaProcessor::StaProcessor(const StaConfig& config, const Program& program,
-                           StatsRegistry& stats, FlatMemory& memory)
+                           StatsRegistry& stats, FlatMemory& memory,
+                           TraceSink* trace)
     : config_(config),
       program_(program),
       stats_(stats),
@@ -19,11 +20,13 @@ StaProcessor::StaProcessor(const StaConfig& config, const Program& program,
       stat_aborts_(stats.counter("sta.aborts")),
       stat_wrong_threads_(stats.counter("sta.wrong_threads")),
       stat_ring_msgs_(stats.counter("sta.ring_msgs")),
-      stat_parallel_cycles_(stats.counter("sta.parallel_cycles")) {
+      stat_parallel_cycles_(stats.counter("sta.parallel_cycles")),
+      gauge_active_tus_(stats.gauge("sta.active_tus")),
+      gauge_pending_forks_(stats.gauge("sta.pending_forks")) {
   WEC_CHECK_MSG(config.num_tus >= 1, "need at least one thread unit");
   for (TuId id = 0; id < config.num_tus; ++id) {
     tus_.push_back(std::make_unique<ThreadUnit>(id, config_, program, *this,
-                                                l2_, stats, memory));
+                                                l2_, stats, memory, trace));
   }
   // The sequential thread starts on TU 0.
   tus_[0]->start_thread(program.entry(), {}, {},
@@ -41,6 +44,10 @@ bool StaProcessor::step() {
   if (region_.active) stat_parallel_cycles_.inc();
   deliver_ring_msgs();
   start_pending_forks();
+  uint64_t active = 0;
+  for (const auto& tu : tus_) active += tu->idle() ? 0 : 1;
+  gauge_active_tus_.set(active);
+  gauge_pending_forks_.set(pending_forks_.size());
   for (auto& tu : tus_) tu->tick(now_);
 
   // Whole-program termination: the sequential thread halted. Any surviving

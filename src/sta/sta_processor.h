@@ -27,8 +27,10 @@ struct StaRunResult {
 
 class StaProcessor {
  public:
+  /// `trace` (may be null) receives pipeline events from every thread unit.
   StaProcessor(const StaConfig& config, const Program& program,
-               StatsRegistry& stats, FlatMemory& memory);
+               StatsRegistry& stats, FlatMemory& memory,
+               TraceSink* trace = nullptr);
 
   /// Run the program to HALT (or the cycle cap). The sequential thread
   /// starts on TU 0 at the program entry.
@@ -143,6 +145,8 @@ class StaProcessor {
   StatsRegistry::Counter stat_wrong_threads_;
   StatsRegistry::Counter stat_ring_msgs_;
   StatsRegistry::Counter stat_parallel_cycles_;
+  StatsRegistry::Gauge gauge_active_tus_;     // busy TUs, sampled per cycle
+  StatsRegistry::Gauge gauge_pending_forks_;  // queued forks, per cycle
 };
 
 }  // namespace wecsim

@@ -13,13 +13,14 @@ std::string tu_prefix(TuId id) { return "tu" + std::to_string(id) + "."; }
 
 ThreadUnit::ThreadUnit(TuId id, const StaConfig& config,
                        const Program& program, StaProcessor& owner,
-                       SharedL2& l2, StatsRegistry& stats, FlatMemory& memory)
+                       SharedL2& l2, StatsRegistry& stats, FlatMemory& memory,
+                       TraceSink* trace)
     : id_(id),
       config_(config),
       owner_(owner),
       memory_(memory),
-      mem_(config.mem, l2, stats, tu_prefix(id)),
-      core_(config.core, program, *this, stats, tu_prefix(id)),
+      mem_(config.mem, l2, stats, tu_prefix(id), id, trace),
+      core_(config.core, program, *this, stats, tu_prefix(id), id, trace),
       buffer_(config.membuf_entries) {}
 
 void ThreadUnit::start_thread(Addr pc,

@@ -23,9 +23,10 @@ class StaProcessor;
 
 class ThreadUnit final : public CoreEnv {
  public:
+  /// `trace` (may be null) receives this unit's pipeline events.
   ThreadUnit(TuId id, const StaConfig& config, const Program& program,
              StaProcessor& owner, SharedL2& l2, StatsRegistry& stats,
-             FlatMemory& memory);
+             FlatMemory& memory, TraceSink* trace = nullptr);
 
   // --- lifecycle (driven by StaProcessor) --------------------------------
 

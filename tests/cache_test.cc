@@ -164,12 +164,13 @@ INSTANTIATE_TEST_SUITE_P(Assocs, CacheProperty,
 
 TEST(SideCache, InsertProbeExtract) {
   SideCache side(4, 64);
-  side.insert(0x100, SideOrigin::kWrongExec, false, 5);
+  side.insert(0x100, SideOrigin::kWrongPath, false, 5, /*now=*/3);
   auto hit = side.probe(0x100);
   ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ(hit->origin, SideOrigin::kWrongExec);
+  EXPECT_EQ(hit->origin, SideOrigin::kWrongPath);
   EXPECT_FALSE(hit->dirty);
   EXPECT_EQ(hit->ready, 5u);
+  EXPECT_EQ(hit->filled, 3u);
   auto extracted = side.extract(0x100);
   ASSERT_TRUE(extracted.has_value());
   EXPECT_FALSE(side.contains(0x100));
@@ -191,24 +192,52 @@ TEST(SideCache, DirtyDisplacementReported) {
   side.insert(0x000, SideOrigin::kVictim, /*dirty=*/true, 0);
   auto displaced = side.insert(0x040, SideOrigin::kPrefetch, false, 0);
   ASSERT_TRUE(displaced.has_value());
-  EXPECT_EQ(displaced->block_addr, 0x000u);
+  EXPECT_EQ(displaced->block, 0x000u);
   EXPECT_TRUE(displaced->dirty);
+  EXPECT_TRUE(displaced->displaced);
+  EXPECT_EQ(displaced->origin, SideOrigin::kVictim);
 }
 
-TEST(SideCache, CleanDisplacementSilent) {
+TEST(SideCache, CleanDisplacementReportedForAccounting) {
   SideCache side(1, 64);
   side.insert(0x000, SideOrigin::kVictim, false, 0);
-  EXPECT_FALSE(side.insert(0x040, SideOrigin::kVictim, false, 0).has_value());
+  // Even a clean displacement is reported: the ended fill must be accounted
+  // as an unused block (no write-back — dirty is false).
+  auto displaced = side.insert(0x040, SideOrigin::kVictim, false, 0);
+  ASSERT_TRUE(displaced.has_value());
+  EXPECT_EQ(displaced->block, 0x000u);
+  EXPECT_FALSE(displaced->dirty);
+  EXPECT_TRUE(displaced->displaced);
 }
 
 TEST(SideCache, ReinsertMergesDirtyAndUpdatesOrigin) {
   SideCache side(2, 64);
-  side.insert(0x000, SideOrigin::kVictim, true, 0);
-  side.insert(0x000, SideOrigin::kWrongExec, false, 1);
+  side.insert(0x000, SideOrigin::kVictim, true, 0, /*now=*/7);
+  // Re-filling a resident block ends the previous fill's residency
+  // (displaced == false: the line survives, nothing to write back).
+  auto merged = side.insert(0x000, SideOrigin::kWrongPath, false, 1);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->block, 0x000u);
+  EXPECT_EQ(merged->origin, SideOrigin::kVictim);
+  EXPECT_EQ(merged->filled, 7u);
+  EXPECT_FALSE(merged->displaced);
   auto hit = side.probe(0x000);
   ASSERT_TRUE(hit.has_value());
   EXPECT_TRUE(hit->dirty);  // dirtiness is never lost
-  EXPECT_EQ(hit->origin, SideOrigin::kWrongExec);
+  EXPECT_EQ(hit->origin, SideOrigin::kWrongPath);
+}
+
+TEST(SideCache, DrainReturnsAllResidentLines) {
+  SideCache side(4, 64);
+  side.insert(0x000, SideOrigin::kVictim, false, 0);
+  side.insert(0x040, SideOrigin::kWrongThread, true, 0);
+  side.insert(0x080, SideOrigin::kPrefetch, false, 0);
+  auto drained = side.drain();
+  EXPECT_EQ(drained.size(), 3u);
+  EXPECT_FALSE(side.contains(0x000));
+  EXPECT_FALSE(side.contains(0x040));
+  EXPECT_FALSE(side.contains(0x080));
+  EXPECT_TRUE(side.drain().empty());
 }
 
 TEST(SideCache, AccessWaitsForReady) {

@@ -1,0 +1,94 @@
+// Golden-file determinism of the observability outputs: the same workload on
+// the same configuration must serialize byte-identical traces and run
+// reports across runs (a prerequisite for diffing reports in CI), and the
+// WEC provenance books must balance.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/sim_config.h"
+#include "core/simulator.h"
+#include "harness/report.h"
+#include "workloads/workload.h"
+
+namespace wecsim {
+namespace {
+
+struct RunOutput {
+  std::string trace_jsonl;
+  std::string chrome_trace;
+  std::string report;
+  SimResult result;
+};
+
+RunOutput run_once() {
+  WorkloadParams params;
+  params.scale = 1;
+  Workload w = make_workload("mcf", params);
+  Simulator sim(w.program, make_paper_config(PaperConfig::kWthWpWec));
+  w.init(sim.memory());
+  sim.trace().enable();
+  RunOutput out;
+  out.result = sim.run();
+  out.trace_jsonl = sim.trace().to_jsonl();
+  out.chrome_trace = sim.trace().to_chrome_trace();
+
+  RunRecord record;
+  record.workload = w.name;
+  record.config_key = paper_config_name(PaperConfig::kWthWpWec);
+  record.scale = params.scale;
+  record.result = out.result;
+  record.counters = sim.stats().snapshot();
+  record.histograms = sim.stats().histogram_snapshot();
+  record.gauges = sim.stats().gauge_snapshot();
+  out.report = render_run_report("golden", {record});
+  return out;
+}
+
+TEST(ObsGolden, TraceAndReportAreByteIdenticalAcrossRuns) {
+  const RunOutput a = run_once();
+  const RunOutput b = run_once();
+  ASSERT_TRUE(a.result.halted);
+#ifndef WECSIM_DISABLE_TRACING
+  EXPECT_GT(a.trace_jsonl.size(), 0u);
+#endif
+  EXPECT_EQ(a.trace_jsonl, b.trace_jsonl);
+  EXPECT_EQ(a.chrome_trace, b.chrome_trace);
+  EXPECT_EQ(a.report, b.report);
+}
+
+TEST(ObsGolden, ProvenanceBooksBalance) {
+  const RunOutput out = run_once();
+  const WecProvenance& wec = out.result.wec;
+  // The WEC config actually exercises the side cache.
+  EXPECT_GT(wec.total_fills(), 0u);
+  uint64_t fills_sum = 0;
+  for (size_t i = 0; i < kNumSideOrigins; ++i) {
+    // Every fill left the cache exactly once: used or unused, never both.
+    EXPECT_EQ(wec.fills[i], wec.used[i] + wec.unused[i])
+        << "origin " << side_origin_name(static_cast<SideOrigin>(i));
+    fills_sum += wec.fills[i];
+  }
+  EXPECT_EQ(fills_sum, wec.total_fills());
+  // Wrong execution contributed fills (that is the point of the WEC), and
+  // some of them were used by correct-path execution.
+  const size_t wp = side_origin_index(SideOrigin::kWrongPath);
+  const size_t wth = side_origin_index(SideOrigin::kWrongThread);
+  EXPECT_GT(wec.fills[wp] + wec.fills[wth], 0u);
+}
+
+TEST(ObsGolden, TraceDisabledByDefaultAndCostsNothing) {
+  WorkloadParams params;
+  params.scale = 1;
+  Workload w = make_workload("mcf", params);
+  Simulator sim(w.program, make_paper_config(PaperConfig::kWthWpWec));
+  w.init(sim.memory());
+  const SimResult r = sim.run();
+  ASSERT_TRUE(r.halted);
+  EXPECT_EQ(sim.trace().size(), 0u);
+  // Tracing must not perturb timing: cycle counts match the traced run.
+  EXPECT_EQ(r.cycles, run_once().result.cycles);
+}
+
+}  // namespace
+}  // namespace wecsim

@@ -1,0 +1,208 @@
+// Observability layer: histogram bucketing, trace sink serialization, and
+// the dependency-free JSON writer/parser.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace wecsim {
+namespace {
+
+// --- HistogramData ---------------------------------------------------------
+
+TEST(Histogram, BucketIndexBoundaries) {
+  // Bucket 0 holds only the value 0; bucket k holds [2^(k-1), 2^k).
+  EXPECT_EQ(HistogramData::bucket_index(0), 0u);
+  EXPECT_EQ(HistogramData::bucket_index(1), 1u);
+  EXPECT_EQ(HistogramData::bucket_index(2), 2u);
+  EXPECT_EQ(HistogramData::bucket_index(3), 2u);
+  EXPECT_EQ(HistogramData::bucket_index(4), 3u);
+  EXPECT_EQ(HistogramData::bucket_index(7), 3u);
+  EXPECT_EQ(HistogramData::bucket_index(8), 4u);
+  for (uint32_t k = 1; k < 64; ++k) {
+    const uint64_t lo = uint64_t{1} << (k - 1);
+    EXPECT_EQ(HistogramData::bucket_index(lo), k) << "lo of bucket " << k;
+    const uint64_t hi = (uint64_t{1} << k) - 1;
+    EXPECT_EQ(HistogramData::bucket_index(hi), k) << "hi of bucket " << k;
+  }
+  EXPECT_EQ(HistogramData::bucket_index(~uint64_t{0}), 64u);
+  EXPECT_EQ(HistogramData::bucket_index(uint64_t{1} << 63), 64u);
+}
+
+TEST(Histogram, BucketRangeMatchesIndex) {
+  for (uint32_t i = 0; i < HistogramData::kNumBuckets; ++i) {
+    const auto [lo, hi] = HistogramData::bucket_range(i);
+    EXPECT_EQ(HistogramData::bucket_index(lo), i);
+    EXPECT_EQ(HistogramData::bucket_index(hi), i);
+    EXPECT_LE(lo, hi);
+  }
+  EXPECT_EQ(HistogramData::bucket_range(0).first, 0u);
+  EXPECT_EQ(HistogramData::bucket_range(0).second, 0u);
+  EXPECT_EQ(HistogramData::bucket_range(64).second, ~uint64_t{0});
+}
+
+TEST(Histogram, RecordAccumulates) {
+  HistogramData h;
+  h.record(0);
+  h.record(1);
+  h.record(5);
+  h.record(5);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.sum, 11u);
+  EXPECT_EQ(h.min, 0u);
+  EXPECT_EQ(h.max, 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.75);
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[3], 2u);  // 5 is in [4, 8)
+}
+
+TEST(Histogram, RegistryHandleRecords) {
+  StatsRegistry stats;
+  auto h = stats.histogram("x.lat");
+  h.record(3);
+  h.record(100);
+  const HistogramData* data = stats.histogram_data("x.lat");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->count, 2u);
+  EXPECT_EQ(stats.histogram_snapshot().at("x.lat").sum, 103u);
+  EXPECT_EQ(stats.histogram_data("missing"), nullptr);
+}
+
+// --- TraceSink -------------------------------------------------------------
+
+TEST(Trace, DisabledSinkDropsEvents) {
+  TraceSink sink;
+  sink.emit(1, 0, TraceEventType::kFetch, 0x100);
+  EXPECT_EQ(sink.size(), 0u);
+  sink.enable();
+  sink.emit(2, 0, TraceEventType::kFetch, 0x140);
+  EXPECT_EQ(sink.size(), 1u);
+  sink.disable();
+  sink.emit(3, 0, TraceEventType::kFetch, 0x180);
+  EXPECT_EQ(sink.size(), 1u);
+}
+
+TEST(Trace, MacroGuardsNullSink) {
+  WEC_TRACE(static_cast<TraceSink*>(nullptr), 1, 0, TraceEventType::kFetch,
+            0x100);  // must not crash
+  TraceSink sink;
+  sink.enable();
+  WEC_TRACE(&sink, 4, 2, TraceEventType::kSquash, 0x200, 7);
+#ifndef WECSIM_DISABLE_TRACING
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.events()[0].cycle, 4u);
+  EXPECT_EQ(sink.events()[0].tu, 2u);
+  EXPECT_EQ(sink.events()[0].arg, 7u);
+#else
+  EXPECT_EQ(sink.size(), 0u);
+#endif
+}
+
+TEST(Trace, JsonlFormat) {
+  TraceSink sink;
+  sink.enable();
+  sink.emit(12, 0, TraceEventType::kWecFill, 0x1a40, 0, 1);
+  sink.emit(15, 3, TraceEventType::kSquash, 0x400, 9);
+  const std::string jsonl = sink.to_jsonl();
+  EXPECT_EQ(jsonl,
+            "{\"cycle\":12,\"tu\":0,\"type\":\"wec_fill\",\"addr\":\"0x1a40\","
+            "\"origin\":\"wrong_path\"}\n"
+            "{\"cycle\":15,\"tu\":3,\"type\":\"squash\",\"addr\":\"0x400\","
+            "\"arg\":9}\n");
+  // Every line must itself be valid JSON.
+  size_t start = 0;
+  while (start < jsonl.size()) {
+    const size_t end = jsonl.find('\n', start);
+    const JsonValue v = parse_json(jsonl.substr(start, end - start));
+    EXPECT_TRUE(v.is_object());
+    EXPECT_TRUE(v.has("cycle"));
+    EXPECT_TRUE(v.has("type"));
+    start = end + 1;
+  }
+}
+
+TEST(Trace, ChromeTraceParsesAndCarriesEvents) {
+  TraceSink sink;
+  sink.enable();
+  sink.emit(10, 1, TraceEventType::kWecHit, 0x80, 1, 2);
+  sink.emit(11, 0, TraceEventType::kNextLinePrefetch, 0xc0, 0, 3);
+  const JsonValue doc = parse_json(sink.to_chrome_trace());
+  const JsonValue& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.items().size(), 2u);
+  EXPECT_EQ(events.at(0).at("name").as_string(), "wec_hit");
+  EXPECT_EQ(events.at(0).at("ph").as_string(), "i");
+  EXPECT_EQ(events.at(0).at("ts").as_u64(), 10u);
+  EXPECT_EQ(events.at(0).at("tid").as_u64(), 1u);
+  EXPECT_EQ(events.at(0).at("args").at("origin").as_string(), "wrong_thread");
+  EXPECT_EQ(events.at(1).at("args").at("origin").as_string(), "next_line");
+}
+
+// --- JSON writer / parser --------------------------------------------------
+
+TEST(Json, EscapesControlCharacters) {
+  EXPECT_EQ(json_escape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, WriterProducesCompactDocuments) {
+  JsonWriter w;
+  w.begin_object()
+      .kv("s", "hi")
+      .kv("n", uint64_t{18446744073709551615ull})
+      .kv("neg", int64_t{-5})
+      .kv("b", true)
+      .key("a")
+      .begin_array()
+      .value(1)
+      .value(2)
+      .end_array()
+      .key("o")
+      .begin_object()
+      .end_object()
+      .end_object();
+  EXPECT_EQ(w.str(),
+            "{\"s\":\"hi\",\"n\":18446744073709551615,\"neg\":-5,\"b\":true,"
+            "\"a\":[1,2],\"o\":{}}");
+}
+
+TEST(Json, RoundTripPreservesExactU64) {
+  JsonWriter w;
+  w.begin_object().kv("big", ~uint64_t{0}).end_object();
+  const JsonValue v = parse_json(w.str());
+  EXPECT_EQ(v.at("big").as_u64(), ~uint64_t{0});
+}
+
+TEST(Json, ParserHandlesNesting) {
+  const JsonValue v = parse_json(
+      R"({"a":[1,{"b":"x"},null,true,-2.5],"c":{"d":[]}})");
+  EXPECT_EQ(v.at("a").items().size(), 5u);
+  EXPECT_EQ(v.at("a").at(0).as_u64(), 1u);
+  EXPECT_EQ(v.at("a").at(1).at("b").as_string(), "x");
+  EXPECT_EQ(v.at("a").at(2).type(), JsonValue::Type::kNull);
+  EXPECT_TRUE(v.at("a").at(3).as_bool());
+  EXPECT_DOUBLE_EQ(v.at("a").at(4).as_double(), -2.5);
+  EXPECT_TRUE(v.at("c").at("d").is_array());
+  EXPECT_FALSE(v.has("zzz"));
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), SimError);
+  EXPECT_THROW(parse_json("{"), SimError);
+  EXPECT_THROW(parse_json("{} trailing"), SimError);
+  EXPECT_THROW(parse_json("{\"a\":}"), SimError);
+  EXPECT_THROW(parse_json("[1,]"), SimError);
+  EXPECT_THROW(parse_json("\"unterminated"), SimError);
+}
+
+TEST(Json, AtThrowsOnMissingMembers) {
+  const JsonValue v = parse_json(R"({"a":1})");
+  EXPECT_THROW(v.at("b"), SimError);
+  EXPECT_THROW(v.at(size_t{0}), SimError);  // not an array
+}
+
+}  // namespace
+}  // namespace wecsim

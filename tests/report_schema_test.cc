@@ -1,0 +1,144 @@
+// Validates an actually-emitted run report against the documented schema
+// (docs/OBSERVABILITY.md, wecsim.run_report version 1): required keys, value
+// types, and the WEC accounting invariants the report promises.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/sim_config.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "obs/json.h"
+
+namespace wecsim {
+namespace {
+
+class ReportSchemaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkloadParams params;
+    params.scale = 1;
+    ExperimentRunner runner(params);
+    runner.run("mcf", "orig", make_paper_config(PaperConfig::kOrig, 4));
+    runner.run("mcf", "wth_wp_wec",
+               make_paper_config(PaperConfig::kWthWpWec, 4));
+    doc_ = new JsonValue(
+        parse_json(render_run_report("schema_test", runner.records())));
+  }
+  static void TearDownTestSuite() {
+    delete doc_;
+    doc_ = nullptr;
+  }
+
+  static const JsonValue& doc() { return *doc_; }
+
+ private:
+  static const JsonValue* doc_;
+};
+
+const JsonValue* ReportSchemaTest::doc_ = nullptr;
+
+TEST_F(ReportSchemaTest, TopLevelEnvelope) {
+  ASSERT_TRUE(doc().is_object());
+  EXPECT_EQ(doc().at("schema").as_string(), "wecsim.run_report");
+  EXPECT_EQ(doc().at("schema_version").as_i64(), kRunReportSchemaVersion);
+  EXPECT_EQ(doc().at("bench").as_string(), "schema_test");
+  ASSERT_TRUE(doc().at("runs").is_array());
+  EXPECT_EQ(doc().at("runs").items().size(), 2u);
+}
+
+TEST_F(ReportSchemaTest, RunObjectsCarryRequiredFields) {
+  for (const JsonValue& run : doc().at("runs").items()) {
+    ASSERT_TRUE(run.is_object());
+    EXPECT_TRUE(run.at("workload").is_string());
+    EXPECT_TRUE(run.at("config").is_string());
+    EXPECT_TRUE(run.at("scale").is_number());
+    const JsonValue& result = run.at("result");
+    for (const char* key :
+         {"cycles", "committed", "l1d_accesses", "l1d_misses", "side_hits",
+          "l2_accesses", "l2_misses", "mispredicts", "branches", "forks"}) {
+      EXPECT_TRUE(result.at(key).is_number()) << key;
+    }
+    EXPECT_TRUE(result.at("halted").as_bool());
+    EXPECT_TRUE(run.at("counters").is_object());
+    EXPECT_TRUE(run.at("gauges").is_object());
+    EXPECT_TRUE(run.at("histograms").is_object());
+  }
+}
+
+TEST_F(ReportSchemaTest, WecSectionBreaksFillsDownByOrigin) {
+  for (const JsonValue& run : doc().at("runs").items()) {
+    const JsonValue& wec = run.at("wec");
+    const JsonValue& by_origin = wec.at("by_origin");
+    uint64_t fills_sum = 0;
+    for (const char* origin :
+         {"wrong_path", "wrong_thread", "victim", "next_line"}) {
+      const JsonValue& o = by_origin.at(origin);
+      const uint64_t fills = o.at("fills").as_u64();
+      // The report's central invariant: every fill scored exactly once.
+      EXPECT_EQ(fills, o.at("used").as_u64() + o.at("unused").as_u64())
+          << run.at("config").as_string() << " origin " << origin;
+      fills_sum += fills;
+    }
+    // The four origin totals sum to the report's total fill count.
+    EXPECT_EQ(fills_sum, wec.at("total_fills").as_u64());
+  }
+}
+
+TEST_F(ReportSchemaTest, WecConfigRecordsWrongExecutionFills) {
+  // The orig config has no side cache: zero fills everywhere. The WEC config
+  // must record wrong-execution fills.
+  const JsonValue& orig = doc().at("runs").at(0);
+  EXPECT_EQ(orig.at("wec").at("total_fills").as_u64(), 0u);
+  const JsonValue& wec_run = doc().at("runs").at(1);
+  const JsonValue& by_origin = wec_run.at("wec").at("by_origin");
+  EXPECT_GT(by_origin.at("wrong_path").at("fills").as_u64() +
+                by_origin.at("wrong_thread").at("fills").as_u64(),
+            0u);
+}
+
+TEST_F(ReportSchemaTest, HistogramEntriesAreWellFormed) {
+  bool saw_histogram = false;
+  for (const JsonValue& run : doc().at("runs").items()) {
+    for (const auto& [name, h] : run.at("histograms").fields()) {
+      saw_histogram = true;
+      const uint64_t count = h.at("count").as_u64();
+      EXPECT_TRUE(h.at("sum").is_number()) << name;
+      EXPECT_TRUE(h.at("mean").is_number()) << name;
+      uint64_t bucket_total = 0;
+      for (const JsonValue& pair : h.at("buckets").items()) {
+        ASSERT_EQ(pair.items().size(), 2u) << name;
+        EXPECT_LT(pair.at(size_t{0}).as_u64(),
+                  uint64_t{HistogramData::kNumBuckets})
+            << name;
+        bucket_total += pair.at(size_t{1}).as_u64();
+      }
+      EXPECT_EQ(bucket_total, count) << name;
+    }
+  }
+  EXPECT_TRUE(saw_histogram);  // ROB occupancy exists on every config
+}
+
+TEST_F(ReportSchemaTest, WriteReportRoundTripsThroughDisk) {
+  WorkloadParams params;
+  params.scale = 1;
+  ExperimentRunner runner(params);
+  runner.run("gzip", "orig", make_paper_config(PaperConfig::kOrig, 2));
+  const std::string path =
+      ::testing::TempDir() + "/wecsim_report_schema_test.json";
+  runner.write_report(path, "roundtrip");
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), render_run_report("roundtrip", runner.records()));
+  const JsonValue v = parse_json(buf.str());
+  EXPECT_EQ(v.at("bench").as_string(), "roundtrip");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wecsim

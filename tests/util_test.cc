@@ -2,6 +2,8 @@
 // memory, template expansion, table rendering, and harness math.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "common/bits.h"
 #include "common/error.h"
 #include "common/rng.h"
@@ -78,6 +80,78 @@ TEST(Stats, SumMatchingPrefixSuffix) {
   stats.counter("l2.misses").inc(100);
   EXPECT_EQ(stats.sum_matching("tu", ".l1d.misses"), 7u);
   EXPECT_EQ(stats.sum_matching("tu", ".l1d.accesses"), 9u);
+}
+
+TEST(Stats, SumMatchingEdgeCases) {
+  StatsRegistry stats;
+  stats.counter("tu0.l1d.misses").inc(3);
+  stats.counter("tu1.l1d.misses").inc(4);
+  stats.counter("tu").inc(50);
+  stats.counter("l2.misses").inc(100);
+  // Empty suffix: every counter starting with the prefix matches, including
+  // the counter whose full name equals the prefix.
+  EXPECT_EQ(stats.sum_matching("tu", ""), 57u);
+  // Prefix that is a full counter name, with a suffix nothing carries.
+  EXPECT_EQ(stats.sum_matching("tu", ".does.not.exist"), 0u);
+  // No counter matches the prefix at all.
+  EXPECT_EQ(stats.sum_matching("zz", ".l1d.misses"), 0u);
+  // Name shorter than prefix+suffix must not match even if both overlap.
+  stats.counter("ab").inc(1);
+  EXPECT_EQ(stats.sum_matching("ab", "b"), 0u);
+}
+
+TEST(Stats, GaugesSetAndSnapshot) {
+  StatsRegistry stats;
+  auto g = stats.gauge("sta.active_tus");
+  g.set(5);
+  g.add(-2);
+  EXPECT_EQ(stats.gauge_value("sta.active_tus"), 3);
+  EXPECT_EQ(stats.gauge_value("missing"), 0);
+  EXPECT_EQ(stats.gauge_snapshot().at("sta.active_tus"), 3);
+  stats.reset();
+  EXPECT_EQ(stats.gauge_value("sta.active_tus"), 0);
+}
+
+TEST(Stats, NullHandlesAreSafe) {
+  StatsRegistry::Counter c;
+  StatsRegistry::Histogram h;
+  StatsRegistry::Gauge g;
+  c.inc();
+  h.record(7);
+  g.set(1);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.data(), nullptr);
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Stats, DumpListsValuesAndCallsHook) {
+  StatsRegistry stats;
+  stats.counter("a.count").inc(3);
+  stats.gauge("a.level").set(-2);
+  stats.histogram("a.lat").record(5);
+  bool hook_ran = false;
+  const std::string out =
+      stats.dump([&](const StatsRegistry& s, std::ostream& os) {
+        hook_ran = true;
+        os << "derived.custom = " << s.value("a.count") * 2 << "\n";
+      });
+  EXPECT_TRUE(hook_ran);
+  EXPECT_NE(out.find("a.count = 3"), std::string::npos);
+  EXPECT_NE(out.find("a.level = -2"), std::string::npos);
+  EXPECT_NE(out.find("a.lat"), std::string::npos);
+  EXPECT_NE(out.find("derived.custom = 6"), std::string::npos);
+}
+
+TEST(Stats, AppendDerivedRatiosSkipsZeroDenominators) {
+  StatsRegistry stats;
+  std::ostringstream os0;
+  append_derived_ratios(stats, os0);
+  EXPECT_EQ(os0.str(), "");  // nothing to derive from an empty registry
+  stats.counter("tu0.l1d.accesses").inc(100);
+  stats.counter("tu0.l1d.misses").inc(25);
+  const std::string out = stats.dump(append_derived_ratios);
+  EXPECT_NE(out.find("derived.l1d.miss_rate"), std::string::npos);
+  EXPECT_NE(out.find("0.25"), std::string::npos);
 }
 
 TEST(Stats, SameNameSharesSlot) {
