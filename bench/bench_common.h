@@ -10,6 +10,7 @@
 
 #include "core/sim_config.h"
 #include "harness/experiment.h"
+#include "harness/parallel.h"
 #include "harness/table.h"
 #include "workloads/workload.h"
 
@@ -29,6 +30,22 @@ inline void print_header(const char* what, const char* paper_says) {
   std::printf("paper: %s\n", paper_says);
   std::printf("workload scale: %u (set WECSIM_SCALE to change)\n\n",
               bench_params().scale);
+}
+
+/// Parse a `--jobs=N` / `--jobs N` / `-j N` flag. Returns 0 when absent,
+/// which lets ParallelExperimentRunner fall back to WECSIM_JOBS and then the
+/// hardware concurrency.
+inline int parse_jobs_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--jobs=", 0) == 0) {
+      return std::atoi(arg.c_str() + 7);
+    }
+    if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
+      return std::atoi(argv[i + 1]);
+    }
+  }
+  return 0;
 }
 
 /// Short benchmark labels in the paper's presentation order.
@@ -53,6 +70,17 @@ inline void write_report_if_requested(const ExperimentRunner& runner,
     // The table already printed; a bad report directory should not turn the
     // whole bench run into an abort.
     std::fprintf(stderr, "[warn] run report not written: %s\n", e.what());
+  }
+  // The timing side-channel is deliberately a separate file: the canonical
+  // report above must stay byte-stable across runs, wall-clock cannot.
+  const std::string timing_path =
+      std::string(dir) + "/" + bench_name + ".timing.json";
+  try {
+    runner.write_timing(timing_path, bench_name);
+    std::printf("timing: %s (%u jobs, %.2fs wall)\n", timing_path.c_str(),
+                runner.jobs(), runner.elapsed_seconds());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[warn] timing report not written: %s\n", e.what());
   }
 }
 

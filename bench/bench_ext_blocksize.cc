@@ -17,13 +17,24 @@ StaConfig with_block(PaperConfig config, uint32_t block) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   print_header(
       "Extension: WEC speedup vs L1D block size (8 TUs)",
       "not evaluated in the paper (named as future work)");
 
   const uint32_t kBlocks[] = {32, 64, 128};
-  ExperimentRunner runner(bench_params());
+  ParallelExperimentRunner runner(bench_params(), parse_jobs_flag(argc, argv));
+
+  // Submission pre-pass mirroring the measurement loops below.
+  for (const auto& name : workload_names()) {
+    for (uint32_t block : kBlocks) {
+      runner.submit(name, "orig-b" + std::to_string(block),
+                    with_block(PaperConfig::kOrig, block));
+      runner.submit(name, "wec-b" + std::to_string(block),
+                    with_block(PaperConfig::kWthWpWec, block));
+    }
+  }
+  runner.drain();
 
   TextTable table({"benchmark", "32B", "64B", "128B"});
   std::vector<std::vector<double>> columns(3);

@@ -33,7 +33,7 @@ const char* kind_name(BpredKind kind) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   print_header(
       "Extension: WEC gain vs branch predictor strength (8 TUs; baseline "
       "orig with the same predictor)",
@@ -42,7 +42,18 @@ int main() {
 
   const BpredKind kKinds[] = {BpredKind::kNotTaken, BpredKind::kTaken,
                               BpredKind::kBimodal, BpredKind::kGshare};
-  ExperimentRunner runner(bench_params());
+  ParallelExperimentRunner runner(bench_params(), parse_jobs_flag(argc, argv));
+
+  // Submission pre-pass mirroring the measurement loops below.
+  for (const auto& name : workload_names()) {
+    for (BpredKind kind : kKinds) {
+      const std::string kn = kind_name(kind);
+      runner.submit(name, "orig-" + kn, with_bpred(PaperConfig::kOrig, kind));
+      runner.submit(name, "wec-" + kn,
+                    with_bpred(PaperConfig::kWthWpWec, kind));
+    }
+  }
+  runner.drain();
 
   std::vector<std::string> header = {"benchmark"};
   for (BpredKind kind : kKinds) {

@@ -18,14 +18,25 @@ StaConfig with_mem_lat(PaperConfig config, uint32_t lat) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   print_header(
       "Extension: WEC speedup vs memory latency (8 TUs)",
       "not evaluated in the paper (named as future work); expectation: the "
       "WEC's indirect prefetching hides more latency as memory gets slower");
 
   const uint32_t kLats[] = {50, 100, 200, 400};
-  ExperimentRunner runner(bench_params());
+  ParallelExperimentRunner runner(bench_params(), parse_jobs_flag(argc, argv));
+
+  // Submission pre-pass mirroring the measurement loops below.
+  for (const auto& name : workload_names()) {
+    for (uint32_t lat : kLats) {
+      runner.submit(name, "orig-m" + std::to_string(lat),
+                    with_mem_lat(PaperConfig::kOrig, lat));
+      runner.submit(name, "wec-m" + std::to_string(lat),
+                    with_mem_lat(PaperConfig::kWthWpWec, lat));
+    }
+  }
+  runner.drain();
 
   TextTable table({"benchmark", "50cyc", "100cyc", "200cyc", "400cyc"});
   std::vector<std::vector<double>> columns(4);

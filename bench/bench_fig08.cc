@@ -7,14 +7,25 @@
 using namespace wecsim;
 using namespace wecsim::bench;
 
-int main() {
+int main(int argc, char** argv) {
   print_header(
       "Figure 8: speedup of parallelized portions (Table 3 machines)",
       "gzip reaches ~14x at 16 TUs; vpr prefers ILP (speedup falls as TUs "
       "rise); on average TLP beats pure ILP");
 
   const uint32_t kTus[] = {1, 2, 4, 8, 16};
-  ExperimentRunner runner(bench_params());
+  ParallelExperimentRunner runner(bench_params(), parse_jobs_flag(argc, argv));
+
+  // Submission pre-pass mirroring the measurement loops below, so the worker
+  // pool produces records in exactly the serial order.
+  for (const auto& name : workload_names()) {
+    runner.submit(name, "table3-baseline", make_table3_baseline());
+    for (uint32_t t : kTus) {
+      runner.submit(name, "table3-" + std::to_string(t),
+                    make_table3_config(t));
+    }
+  }
+  runner.drain();
 
   TextTable table({"benchmark", "1TU", "2TU", "4TU", "8TU", "16TU"});
   std::vector<std::vector<double>> per_config(5);

@@ -7,14 +7,28 @@
 using namespace wecsim;
 using namespace wecsim::bench;
 
-int main() {
+int main(int argc, char** argv) {
   print_header(
       "Figure 9: whole-program speedup vs thread units (baseline: 1-TU orig)",
       "wth-wp-wec reaches up to +39.2% (183.equake); a 2-TU wth-wp-wec often "
       "beats a 16-TU orig; 175.vpr slows down under superthreading");
 
   const uint32_t kTus[] = {1, 2, 4, 8, 16};
-  ExperimentRunner runner(bench_params());
+  ParallelExperimentRunner runner(bench_params(), parse_jobs_flag(argc, argv));
+
+  // Submission pre-pass mirroring the measurement loops below.
+  for (const auto& name : workload_names()) {
+    runner.submit(name, "orig-1", make_paper_config(PaperConfig::kOrig, 1));
+    for (PaperConfig config : {PaperConfig::kOrig, PaperConfig::kWthWpWec}) {
+      for (uint32_t t : kTus) {
+        runner.submit(name,
+                      std::string(paper_config_name(config)) + "-" +
+                          std::to_string(t),
+                      make_paper_config(config, t));
+      }
+    }
+  }
+  runner.drain();
 
   std::vector<std::string> header = {"benchmark"};
   for (uint32_t t : kTus) header.push_back(std::to_string(t) + "TU-orig");

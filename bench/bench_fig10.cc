@@ -6,14 +6,25 @@
 using namespace wecsim;
 using namespace wecsim::bench;
 
-int main() {
+int main(int argc, char** argv) {
   print_header(
       "Figure 10: wth-wp-wec speedup over same-TU-count orig",
       "grows with thread count (more wrong threads -> more prefetching): "
       "e.g. 181.mcf +6.2% at 1 TU to +20.2% at 16 TUs");
 
   const uint32_t kTus[] = {1, 2, 4, 8, 16};
-  ExperimentRunner runner(bench_params());
+  ParallelExperimentRunner runner(bench_params(), parse_jobs_flag(argc, argv));
+
+  // Submission pre-pass mirroring the measurement loops below.
+  for (const auto& name : workload_names()) {
+    for (uint32_t t : kTus) {
+      runner.submit(name, "orig-" + std::to_string(t),
+                    make_paper_config(PaperConfig::kOrig, t));
+      runner.submit(name, "wth-wp-wec-" + std::to_string(t),
+                    make_paper_config(PaperConfig::kWthWpWec, t));
+    }
+  }
+  runner.drain();
 
   TextTable table({"benchmark", "1TU", "2TU", "4TU", "8TU", "16TU"});
   std::vector<std::vector<double>> columns(5);

@@ -18,7 +18,7 @@ StaConfig with_assoc(PaperConfig config, uint32_t assoc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   print_header(
       "Figure 12: L1 associativity sensitivity (8 TUs; baseline orig of the "
       "same associativity)",
@@ -27,7 +27,22 @@ int main() {
 
   const PaperConfig kConfigs[] = {PaperConfig::kVc, PaperConfig::kWthWpVc,
                                   PaperConfig::kWthWpWec};
-  ExperimentRunner runner(bench_params());
+  ParallelExperimentRunner runner(bench_params(), parse_jobs_flag(argc, argv));
+
+  // Submission pre-pass mirroring the measurement loops below.
+  for (const auto& name : workload_names()) {
+    for (uint32_t assoc : {1u, 4u}) {
+      runner.submit(name, "orig-a" + std::to_string(assoc),
+                    with_assoc(PaperConfig::kOrig, assoc));
+      for (PaperConfig config : kConfigs) {
+        runner.submit(name,
+                      std::string(paper_config_name(config)) + "-a" +
+                          std::to_string(assoc),
+                      with_assoc(config, assoc));
+      }
+    }
+  }
+  runner.drain();
 
   std::vector<std::string> header = {"benchmark"};
   for (uint32_t assoc : {1u, 4u}) {

@@ -16,7 +16,7 @@ StaConfig with_l1_size(PaperConfig config, uint64_t kb) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   print_header(
       "Figure 13: normalized execution time vs L1D size (8 TUs; baseline "
       "orig 4K)",
@@ -25,7 +25,21 @@ int main() {
       "beats a 32K L1 alone");
 
   const uint64_t kSizes[] = {4, 8, 16, 32};
-  ExperimentRunner runner(bench_params());
+  ParallelExperimentRunner runner(bench_params(), parse_jobs_flag(argc, argv));
+
+  // Submission pre-pass mirroring the measurement loops below.
+  for (const auto& name : workload_names()) {
+    runner.submit(name, "orig-4k", with_l1_size(PaperConfig::kOrig, 4));
+    for (PaperConfig config : {PaperConfig::kOrig, PaperConfig::kWthWpWec}) {
+      for (uint64_t kb : kSizes) {
+        runner.submit(name,
+                      std::string(paper_config_name(config)) + "-" +
+                          std::to_string(kb) + "k",
+                      with_l1_size(config, kb));
+      }
+    }
+  }
+  runner.drain();
 
   std::vector<std::string> header = {"benchmark"};
   for (PaperConfig config : {PaperConfig::kOrig, PaperConfig::kWthWpWec}) {

@@ -17,7 +17,7 @@ StaConfig with_l2_size(PaperConfig config, uint64_t kb) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   print_header(
       "Figure 14: normalized execution time vs L2 size (8 TUs; baseline "
       "orig 128K)",
@@ -25,7 +25,21 @@ int main() {
       "advantage over orig narrows as L2 misses disappear");
 
   const uint64_t kSizes[] = {128, 256, 512};
-  ExperimentRunner runner(bench_params());
+  ParallelExperimentRunner runner(bench_params(), parse_jobs_flag(argc, argv));
+
+  // Submission pre-pass mirroring the measurement loops below.
+  for (const auto& name : workload_names()) {
+    runner.submit(name, "orig-128k", with_l2_size(PaperConfig::kOrig, 128));
+    for (PaperConfig config : {PaperConfig::kOrig, PaperConfig::kWthWpWec}) {
+      for (uint64_t kb : kSizes) {
+        runner.submit(name,
+                      std::string(paper_config_name(config)) + "-l2-" +
+                          std::to_string(kb) + "k",
+                      with_l2_size(config, kb));
+      }
+    }
+  }
+  runner.drain();
 
   std::vector<std::string> header = {"benchmark"};
   for (PaperConfig config : {PaperConfig::kOrig, PaperConfig::kWthWpWec}) {

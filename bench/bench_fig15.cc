@@ -16,7 +16,7 @@ StaConfig with_side_entries(PaperConfig config, uint32_t entries) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   print_header(
       "Figure 15: WEC size vs victim cache size (8 TUs; baseline orig)",
       "wth-wp-vc with a 4-entry victim cache beats orig+16-entry vc, and a "
@@ -25,7 +25,21 @@ int main() {
   const PaperConfig kConfigs[] = {PaperConfig::kVc, PaperConfig::kWthWpVc,
                                   PaperConfig::kWthWpWec};
   const uint32_t kEntries[] = {4, 8, 16};
-  ExperimentRunner runner(bench_params());
+  ParallelExperimentRunner runner(bench_params(), parse_jobs_flag(argc, argv));
+
+  // Submission pre-pass mirroring the measurement loops below.
+  for (const auto& name : workload_names()) {
+    runner.submit(name, "orig", make_paper_config(PaperConfig::kOrig, 8));
+    for (PaperConfig config : kConfigs) {
+      for (uint32_t n : kEntries) {
+        runner.submit(name,
+                      std::string(paper_config_name(config)) + "-e" +
+                          std::to_string(n),
+                      with_side_entries(config, n));
+      }
+    }
+  }
+  runner.drain();
 
   std::vector<std::string> header = {"benchmark"};
   for (PaperConfig config : kConfigs) {

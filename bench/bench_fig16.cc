@@ -15,7 +15,7 @@ StaConfig with_side_entries(PaperConfig config, uint32_t entries) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   print_header(
       "Figure 16: WEC vs next-line tagged prefetching (8 TUs; baseline orig)",
       "an 8-entry WEC performs substantially better than nlp with a "
@@ -23,7 +23,21 @@ int main() {
 
   const PaperConfig kConfigs[] = {PaperConfig::kNlp, PaperConfig::kWthWpWec};
   const uint32_t kEntries[] = {8, 16, 32};
-  ExperimentRunner runner(bench_params());
+  ParallelExperimentRunner runner(bench_params(), parse_jobs_flag(argc, argv));
+
+  // Submission pre-pass mirroring the measurement loops below.
+  for (const auto& name : workload_names()) {
+    runner.submit(name, "orig", make_paper_config(PaperConfig::kOrig, 8));
+    for (PaperConfig config : kConfigs) {
+      for (uint32_t n : kEntries) {
+        runner.submit(name,
+                      std::string(paper_config_name(config)) + "-e" +
+                          std::to_string(n),
+                      with_side_entries(config, n));
+      }
+    }
+  }
+  runner.drain();
 
   std::vector<std::string> header = {"benchmark"};
   for (PaperConfig config : kConfigs) {

@@ -6,13 +6,21 @@
 using namespace wecsim;
 using namespace wecsim::bench;
 
-int main() {
+int main(int argc, char** argv) {
   print_header(
       "Figure 17: L1 traffic increase and miss-count reduction (8 TUs)",
       "miss reductions typically 42-73% (mesa highest, mcf lowest); traffic "
       "increases up to 30% (vpr), 14% on average");
 
-  ExperimentRunner runner(bench_params());
+  ParallelExperimentRunner runner(bench_params(), parse_jobs_flag(argc, argv));
+
+  // Submission pre-pass mirroring the measurement loop below.
+  for (const auto& name : workload_names()) {
+    runner.submit(name, "orig", make_paper_config(PaperConfig::kOrig, 8));
+    runner.submit(name, "wth-wp-wec",
+                  make_paper_config(PaperConfig::kWthWpWec, 8));
+  }
+  runner.drain();
 
   TextTable table({"benchmark", "traffic increase", "miss reduction",
                    "orig misses", "wec misses", "wrong accesses"});

@@ -1,0 +1,125 @@
+// Harness scaling micro-bench: runs the same grid of simulation points
+// through the serial ExperimentRunner and the ParallelExperimentRunner,
+// checks the results are identical (cycles per point AND the rendered run
+// report, byte for byte), and reports wall-clock for both modes plus the
+// aggregate simulated-cycles-per-second throughput. Writes the timing as
+// BENCH_harness.json (wecsim.bench_timing schema, see docs/PERFORMANCE.md)
+// into WECSIM_REPORT_DIR, or the working directory when unset.
+//
+// Flags: --jobs=N (worker count for the parallel pass; default WECSIM_JOBS /
+// hardware concurrency) and --smoke (tiny grid at scale 1 for CI, registered
+// under the perf-smoke ctest label).
+#include <cstring>
+
+#include "bench/bench_common.h"
+
+using namespace wecsim;
+using namespace wecsim::bench;
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  // This bench measures real simulations: the result cache would turn the
+  // second pass into pure disk reads, and tracing would skew both passes.
+  ::unsetenv("WECSIM_CACHE_DIR");
+  ::unsetenv("WECSIM_TRACE_DIR");
+
+  WorkloadParams params = bench_params();
+  std::vector<std::string> names = workload_names();
+  int jobs = parse_jobs_flag(argc, argv);
+  if (smoke) {
+    params.scale = 1;
+    names.resize(2);
+    if (jobs <= 0) jobs = 2;
+  }
+  const unsigned parallel_jobs = resolve_jobs(jobs);
+
+  std::printf("=== Harness scaling: serial vs parallel sweep execution ===\n");
+  std::printf("grid: %zu workloads x {orig, wth-wp-wec} at 4 TUs, scale %u\n",
+              names.size(), params.scale);
+  std::printf("parallel jobs: %u\n\n", parallel_jobs);
+
+  const PaperConfig kConfigs[] = {PaperConfig::kOrig, PaperConfig::kWthWpWec};
+
+  // Serial pass ("" disables the disk cache for both runners).
+  ExperimentRunner serial(params, std::string());
+  for (const auto& name : names) {
+    for (PaperConfig config : kConfigs) {
+      serial.run(name, paper_config_name(config), make_paper_config(config, 4));
+    }
+  }
+  const double serial_seconds = serial.elapsed_seconds();
+
+  // Parallel pass over the identical grid.
+  ParallelExperimentRunner parallel(params, jobs, std::string());
+  for (const auto& name : names) {
+    for (PaperConfig config : kConfigs) {
+      parallel.submit(name, paper_config_name(config),
+                      make_paper_config(config, 4));
+    }
+  }
+  parallel.drain();
+  for (const auto& name : names) {
+    for (PaperConfig config : kConfigs) {
+      parallel.run(name, paper_config_name(config),
+                   make_paper_config(config, 4));
+    }
+  }
+  const double parallel_seconds = parallel.elapsed_seconds();
+
+  // The whole point of the engine: identical measurements, not just close.
+  uint64_t cycles_total = 0;
+  for (size_t i = 0; i < serial.records().size(); ++i) {
+    const RunRecord& s = serial.records()[i];
+    const RunRecord& p = parallel.records()[i];
+    if (s.workload != p.workload || s.config_key != p.config_key ||
+        s.result.cycles != p.result.cycles) {
+      std::fprintf(stderr,
+                   "FAIL: record %zu diverged (serial %s|%s %llu cycles, "
+                   "parallel %s|%s %llu cycles)\n",
+                   i, s.workload.c_str(), s.config_key.c_str(),
+                   static_cast<unsigned long long>(s.result.cycles),
+                   p.workload.c_str(), p.config_key.c_str(),
+                   static_cast<unsigned long long>(p.result.cycles));
+      return 1;
+    }
+    cycles_total += s.result.cycles;
+  }
+  const std::string serial_report =
+      render_run_report("bench_harness_scaling", serial.records());
+  const std::string parallel_report =
+      render_run_report("bench_harness_scaling", parallel.records());
+  if (serial.records().size() != parallel.records().size() ||
+      serial_report != parallel_report) {
+    std::fprintf(stderr, "FAIL: run reports are not byte-identical "
+                         "(serial %zu records, parallel %zu records)\n",
+                 serial.records().size(), parallel.records().size());
+    return 1;
+  }
+  std::printf("determinism: %zu records byte-identical across modes\n\n",
+              serial.records().size());
+
+  TextTable table({"mode", "jobs", "wall seconds", "Msim-cycles/s"});
+  table.add_row({"serial", "1", TextTable::num(serial_seconds, 2),
+                 TextTable::num(cycles_total / serial_seconds / 1e6, 2)});
+  table.add_row({"parallel", std::to_string(parallel_jobs),
+                 TextTable::num(parallel_seconds, 2),
+                 TextTable::num(cycles_total / parallel_seconds / 1e6, 2)});
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nparallel speedup: %.2fx\n", serial_seconds / parallel_seconds);
+
+  const char* dir = std::getenv("WECSIM_REPORT_DIR");
+  const std::string path = (dir != nullptr && *dir != '\0')
+                               ? std::string(dir) + "/BENCH_harness.json"
+                               : std::string("BENCH_harness.json");
+  try {
+    write_timing_report(path, "bench_harness_scaling", parallel_jobs,
+                        parallel_seconds, parallel.records());
+    std::printf("timing: %s\n", path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[warn] timing file not written: %s\n", e.what());
+  }
+  return 0;
+}

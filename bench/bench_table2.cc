@@ -6,26 +6,35 @@
 using namespace wecsim;
 using namespace wecsim::bench;
 
-int main() {
+int main(int argc, char** argv) {
   print_header(
       "Table 2: dynamic instruction counts and fraction parallelized",
       "whole-benchmark instruction counts with 8.6%-36.1% of instructions "
       "in the manually parallelized loops");
 
+  // Interpreter runs are independent per workload; run them on the worker
+  // pool and render the rows in workload order afterwards.
+  const std::vector<std::string> names = workload_names();
+  std::vector<FuncResult> results(names.size());
+  parallel_for(names.size(), resolve_jobs(parse_jobs_flag(argc, argv)),
+               [&](size_t i) {
+                 Workload w = make_workload(names[i], bench_params());
+                 FlatMemory memory;
+                 memory.load_program(w.program);
+                 w.init(memory);
+                 Interpreter interp(w.program, memory);
+                 results[i] = interp.run();
+               });
+
   TextTable table({"benchmark", "total instrs", "parallel instrs",
                    "fraction parallel", "forks", "regions"});
-  for (const auto& name : workload_names()) {
-    Workload w = make_workload(name, bench_params());
-    FlatMemory memory;
-    memory.load_program(w.program);
-    w.init(memory);
-    Interpreter interp(w.program, memory);
-    FuncResult r = interp.run();
+  for (size_t i = 0; i < names.size(); ++i) {
+    const FuncResult& r = results[i];
     if (!r.halted) {
-      std::fprintf(stderr, "%s did not halt\n", name.c_str());
+      std::fprintf(stderr, "%s did not halt\n", names[i].c_str());
       return 1;
     }
-    table.add_row({name, std::to_string(r.instrs_total),
+    table.add_row({names[i], std::to_string(r.instrs_total),
                    std::to_string(r.instrs_parallel),
                    TextTable::pct(100.0 * r.fraction_parallel()),
                    std::to_string(r.forks),

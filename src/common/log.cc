@@ -1,13 +1,16 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 
 namespace wecsim {
 
 namespace {
-bool g_level_set = false;
-LogLevel g_level = LogLevel::kOff;
+// Read from simulation worker threads (harness/parallel.h), so both the
+// "initialized yet?" flag and the level itself must be atomic.
+std::atomic<bool> g_level_set{false};
+std::atomic<LogLevel> g_level{LogLevel::kOff};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -43,18 +46,19 @@ LogLevel parse_level(const char* text) {
 LogLevel log_level() {
   // WECSIM_LOG_LEVEL is consulted once, at first use, so examples and tests
   // can raise verbosity without code changes; set_log_level overrides it.
-  if (!g_level_set) {
-    g_level_set = true;
+  // Racing first uses parse the same environment value, so the exchange
+  // settling either way yields the same level.
+  if (!g_level_set.exchange(true, std::memory_order_acq_rel)) {
     if (const char* env = std::getenv("WECSIM_LOG_LEVEL")) {
-      g_level = parse_level(env);
+      g_level.store(parse_level(env), std::memory_order_release);
     }
   }
-  return g_level;
+  return g_level.load(std::memory_order_acquire);
 }
 
 void set_log_level(LogLevel level) {
-  g_level_set = true;
-  g_level = level;
+  g_level_set.store(true, std::memory_order_release);
+  g_level.store(level, std::memory_order_release);
 }
 
 namespace detail {

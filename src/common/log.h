@@ -12,7 +12,7 @@ namespace wecsim {
 
 enum class LogLevel : int { kOff = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
 
-/// Process-global log level (simulation is single-threaded by design).
+/// Process-global log level (atomic: read by simulation worker threads).
 LogLevel log_level();
 void set_log_level(LogLevel level);
 

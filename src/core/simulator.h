@@ -21,6 +21,12 @@
 
 namespace wecsim {
 
+/// Behavioural version of the simulator. Bump whenever a change can alter
+/// the measurements produced for a given (workload, config) point — it is
+/// part of the on-disk result-cache key (harness/result_cache.h), so stale
+/// cached measurements are invalidated automatically.
+inline constexpr uint32_t kSimulatorVersion = 2;
+
 /// Per-origin side-cache (WEC/VC/prefetch buffer) fill accounting: how many
 /// blocks each source brought in, and whether correct-path execution ever
 /// touched them before they left the cache. For every origin,

@@ -6,45 +6,60 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "harness/result_cache.h"
 
 namespace wecsim {
 
-ExperimentRunner::ExperimentRunner(const WorkloadParams& params)
-    : params_(params) {
+ExperimentRunner::ExperimentRunner(const WorkloadParams& params,
+                                   std::optional<std::string> cache_dir)
+    : params_(params), start_(std::chrono::steady_clock::now()) {
   if (const char* dir = std::getenv("WECSIM_TRACE_DIR"); dir != nullptr) {
     trace_dir_ = dir;
   }
+  disk_cache_ = std::make_unique<ResultCache>(
+      cache_dir.has_value() ? *cache_dir : ResultCache::dir_from_env());
 }
 
-const RunMeasurement& ExperimentRunner::run(const std::string& workload_name,
-                                            const std::string& key,
-                                            const StaConfig& config) {
-  const std::string cache_key = workload_name + "|" + key;
-  if (auto it = cache_.find(cache_key); it != cache_.end()) return it->second;
+ExperimentRunner::~ExperimentRunner() = default;
 
-  Workload w = make_workload(workload_name, params_);
+double ExperimentRunner::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+ExperimentRunner::PointOutcome ExperimentRunner::simulate_point(
+    const std::string& workload_name, const std::string& key,
+    const WorkloadParams& params, const StaConfig& config,
+    const std::string& trace_dir) {
+  Workload w = make_workload(workload_name, params);
   Simulator sim(w.program, config);
   w.init(sim.memory());
-  if (!trace_dir_.empty()) sim.trace().enable();
-  RunMeasurement m;
-  m.sim = sim.run();
-  if (!m.sim.halted) {
-    throw SimError("simulation did not finish: " + cache_key);
+  if (!trace_dir.empty()) sim.trace().enable();
+
+  PointOutcome out;
+  const auto t0 = std::chrono::steady_clock::now();
+  out.m.sim = sim.run();
+  out.m.run_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (!out.m.sim.halted) {
+    throw SimError("simulation did not finish: " + workload_name + "|" + key);
   }
-  m.parallel_cycles = sim.stats().value("sta.parallel_cycles");
+  out.m.parallel_cycles = sim.stats().value("sta.parallel_cycles");
 
-  RunRecord record;
-  record.workload = w.name;
-  record.config_key = key;
-  record.scale = params_.scale;
-  record.result = m.sim;
-  record.counters = sim.stats().snapshot();
-  record.histograms = sim.stats().histogram_snapshot();
-  record.gauges = sim.stats().gauge_snapshot();
-  records_.push_back(std::move(record));
+  out.record.workload = w.name;
+  out.record.config_key = key;
+  out.record.scale = params.scale;
+  out.record.result = out.m.sim;
+  out.record.counters = sim.stats().snapshot();
+  out.record.histograms = sim.stats().histogram_snapshot();
+  out.record.gauges = sim.stats().gauge_snapshot();
+  out.record.run_seconds = out.m.run_seconds;
 
-  if (!trace_dir_.empty()) {
-    const std::string base = trace_dir_ + "/" + sanitize_run_name(cache_key);
+  if (!trace_dir.empty()) {
+    const std::string base =
+        trace_dir + "/" + sanitize_run_name(workload_name + "|" + key);
     const bool ok = sim.trace().write_jsonl(base + ".trace.jsonl") &&
                     sim.trace().write_chrome_trace(base + ".trace.chrome.json");
     if (ok) {
@@ -52,15 +67,45 @@ const RunMeasurement& ExperimentRunner::run(const std::string& workload_name,
                                      << sim.trace().size() << " events)");
     } else {
       std::fprintf(stderr, "[warn] trace not written under %s (directory "
-                           "missing or unwritable)\n", trace_dir_.c_str());
+                           "missing or unwritable)\n", trace_dir.c_str());
     }
   }
-  return cache_.emplace(cache_key, std::move(m)).first->second;
+  return out;
+}
+
+const RunMeasurement& ExperimentRunner::run(const std::string& workload_name,
+                                            const std::string& key,
+                                            const StaConfig& config) {
+  const MemoKey memo_key{workload_name, key};
+  if (auto it = cache_.find(memo_key); it != cache_.end()) return it->second;
+
+  const std::string description =
+      disk_cache_->enabled()
+          ? ResultCache::describe(workload_name, params_, config)
+          : std::string();
+  if (disk_cache_->enabled()) {
+    if (auto cached = disk_cache_->load(description)) {
+      // Disk hit: the measurement is served without simulating, and no
+      // RunRecord is appended — records() counts fresh simulations only.
+      return cache_.emplace(memo_key, std::move(*cached)).first->second;
+    }
+  }
+
+  PointOutcome out =
+      simulate_point(workload_name, key, params_, config, trace_dir_);
+  if (disk_cache_->enabled()) disk_cache_->store(description, out.m);
+  records_.push_back(std::move(out.record));
+  return cache_.emplace(memo_key, std::move(out.m)).first->second;
 }
 
 void ExperimentRunner::write_report(const std::string& path,
                                     const std::string& bench_name) const {
   write_run_report(path, bench_name, records_);
+}
+
+void ExperimentRunner::write_timing(const std::string& path,
+                                    const std::string& bench_name) const {
+  write_timing_report(path, bench_name, jobs(), elapsed_seconds(), records_);
 }
 
 std::string sanitize_run_name(const std::string& s) {
@@ -85,10 +130,11 @@ double relative_speedup_pct(Cycle base_cycles, Cycle cycles) {
 }
 
 double mean_speedup(const std::vector<double>& per_benchmark_speedups) {
-  WEC_CHECK(!per_benchmark_speedups.empty());
+  WEC_CHECK_MSG(!per_benchmark_speedups.empty(),
+                "mean_speedup of an empty vector is undefined");
   double log_sum = 0.0;
   for (double s : per_benchmark_speedups) {
-    WEC_CHECK(s > 0.0);
+    WEC_CHECK_MSG(s > 0.0, "speedup ratios must be positive");
     log_sum += std::log(s);
   }
   return std::exp(log_sum / per_benchmark_speedups.size());

@@ -4,10 +4,26 @@
 // bench can emit a machine-readable run report (see harness/report.h), and
 // setting WECSIM_TRACE_DIR=<dir> in the environment makes each fresh run
 // write its pipeline event trace (JSONL + Chrome trace_event) into <dir>.
+//
+// Two caching layers sit in front of the simulator:
+//   * an in-process memo keyed by the composite (workload, key) pair, so
+//     sweeps that share a baseline don't re-simulate it;
+//   * an optional persistent on-disk cache (WECSIM_CACHE_DIR, see
+//     harness/result_cache.h) keyed by a content hash of the workload,
+//     its parameters, the full StaConfig, and kSimulatorVersion, so
+//     regenerating a figure skips simulation entirely. Disk hits do NOT
+//     produce RunRecords — records() counts fresh simulations only.
+//
+// For multi-core execution of independent points, see
+// harness/parallel.h (ParallelExperimentRunner).
 #pragma once
 
+#include <chrono>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/sim_config.h"
@@ -17,21 +33,32 @@
 
 namespace wecsim {
 
+class ResultCache;
+
 /// One simulation's relevant measurements (SimResult plus the parallel-
-/// portion cycles used by Figure 8).
+/// portion cycles used by Figure 8, plus the wall-clock it cost).
 struct RunMeasurement {
   SimResult sim;
   Cycle parallel_cycles = 0;
+  double run_seconds = 0.0;  // host wall-clock of the simulation run
 };
 
-/// Runs simulations and memoizes them by (workload, config-key) so sweeps
-/// that share a baseline don't re-simulate it.
+/// Runs simulations and memoizes them by (workload, key) so sweeps that
+/// share a baseline don't re-simulate it.
 class ExperimentRunner {
  public:
-  explicit ExperimentRunner(const WorkloadParams& params = {});
+  /// `cache_dir` overrides the on-disk result cache location: std::nullopt
+  /// honours WECSIM_CACHE_DIR, "" disables the cache (tests/benchmarks that
+  /// must measure real simulations), anything else is used as the directory.
+  explicit ExperimentRunner(const WorkloadParams& params = {},
+                            std::optional<std::string> cache_dir = std::nullopt);
+  virtual ~ExperimentRunner();
+
+  ExperimentRunner(const ExperimentRunner&) = delete;
+  ExperimentRunner& operator=(const ExperimentRunner&) = delete;
 
   /// Simulate `workload_name` on `config`. `key` must uniquely identify the
-  /// configuration (e.g. "orig/8tu/l1=8k").
+  /// configuration (e.g. "orig/8tu/l1=8k") within this workload.
   const RunMeasurement& run(const std::string& workload_name,
                             const std::string& key, const StaConfig& config);
 
@@ -40,15 +67,47 @@ class ExperimentRunner {
   /// One record per fresh (uncached) simulation, in execution order.
   const std::vector<RunRecord>& records() const { return records_; }
 
+  /// Worker count used to execute simulations (1 for the serial runner).
+  virtual unsigned jobs() const { return 1; }
+
+  /// Wall-clock seconds since this runner was constructed.
+  double elapsed_seconds() const;
+
   /// Write the collected records as a run report (harness/report.h).
   void write_report(const std::string& path,
                     const std::string& bench_name) const;
 
- private:
+  /// Write the timing side-channel (harness/report.h) for this runner.
+  void write_timing(const std::string& path,
+                    const std::string& bench_name) const;
+
+ protected:
+  /// A fresh simulation's full outcome: the measurement handed back to the
+  /// bench and the observability record behind the run report.
+  struct PointOutcome {
+    RunMeasurement m;
+    RunRecord record;
+  };
+
+  /// Composite memo key — (workload, key) as a pair, NOT a concatenated
+  /// string, so user keys containing separator characters cannot collide.
+  using MemoKey = std::pair<std::string, std::string>;
+
+  /// Simulate one point in an isolated Simulator instance. Pure function of
+  /// its arguments (no runner state) — safe to call from worker threads.
+  /// Writes trace files into `trace_dir` when non-empty.
+  static PointOutcome simulate_point(const std::string& workload_name,
+                                     const std::string& key,
+                                     const WorkloadParams& params,
+                                     const StaConfig& config,
+                                     const std::string& trace_dir);
+
   WorkloadParams params_;
-  std::map<std::string, RunMeasurement> cache_;
+  std::map<MemoKey, RunMeasurement> cache_;
   std::vector<RunRecord> records_;
   std::string trace_dir_;  // from WECSIM_TRACE_DIR; empty = tracing off
+  std::unique_ptr<ResultCache> disk_cache_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// "workload|config/key" -> a safe filename fragment (alnum, '-', '_', '.').
@@ -62,7 +121,8 @@ double relative_speedup_pct(Cycle base_cycles, Cycle cycles);
 
 /// The paper reports "execution time weighted average" speedups that give
 /// each benchmark equal importance [Lilja 2000]: the geometric mean of the
-/// per-benchmark speedup ratios.
+/// per-benchmark speedup ratios. Throws (std::logic_error) on an empty
+/// input or a non-positive speedup — never silently returns NaN/garbage.
 double mean_speedup(const std::vector<double>& per_benchmark_speedups);
 
 }  // namespace wecsim

@@ -1,0 +1,131 @@
+#include "harness/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <map>
+#include <thread>
+
+#include "common/error.h"
+#include "harness/result_cache.h"
+
+namespace wecsim {
+
+unsigned resolve_jobs(int explicit_jobs) {
+  if (explicit_jobs > 0) return static_cast<unsigned>(explicit_jobs);
+  if (const char* env = std::getenv("WECSIM_JOBS"); env != nullptr) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<unsigned>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void parallel_for(size_t n, unsigned jobs,
+                  const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (jobs <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<size_t> next{0};
+  std::vector<std::exception_ptr> errors(n);
+  const unsigned workers = jobs < n ? jobs : static_cast<unsigned>(n);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          fn(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+ParallelExperimentRunner::ParallelExperimentRunner(
+    const WorkloadParams& params, int jobs,
+    std::optional<std::string> cache_dir)
+    : ExperimentRunner(params, std::move(cache_dir)),
+      jobs_(resolve_jobs(jobs)) {}
+
+void ParallelExperimentRunner::submit(const std::string& workload_name,
+                                      const std::string& key,
+                                      const StaConfig& config) {
+  MemoKey memo_key{workload_name, key};
+  if (cache_.count(memo_key) != 0 || !queued_.insert(memo_key).second) return;
+  pending_.push_back(Job{workload_name, key, config});
+}
+
+void ParallelExperimentRunner::drain() {
+  if (pending_.empty()) return;
+
+  struct JobOutcome {
+    bool fresh = false;  // simulated this drain (vs served from disk cache)
+    RunMeasurement m;
+    RunRecord record;
+  };
+  std::vector<JobOutcome> outcomes(pending_.size());
+
+  // With the disk cache enabled, two queued points whose configurations are
+  // identical (distinct keys, same description) must behave like serial
+  // execution: the first simulates, the later ones are disk hits. Alias them
+  // up front so the outcome is deterministic rather than a store/load race.
+  constexpr size_t kNoAlias = static_cast<size_t>(-1);
+  std::vector<std::string> descriptions(pending_.size());
+  std::vector<size_t> alias_of(pending_.size(), kNoAlias);
+  if (disk_cache_->enabled()) {
+    std::map<std::string, size_t> first_with;
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      descriptions[i] =
+          ResultCache::describe(pending_[i].workload, params_,
+                                pending_[i].config);
+      const auto [it, inserted] = first_with.emplace(descriptions[i], i);
+      if (!inserted) alias_of[i] = it->second;
+    }
+  }
+
+  // Thread-safe per job: simulate_point is a pure function, the disk cache
+  // uses atomic renames, and each worker touches only outcomes[i].
+  parallel_for(pending_.size(), jobs_, [&](size_t i) {
+    if (alias_of[i] != kNoAlias) return;  // filled from the primary below
+    const Job& job = pending_[i];
+    JobOutcome& out = outcomes[i];
+    if (disk_cache_->enabled()) {
+      if (auto cached = disk_cache_->load(descriptions[i])) {
+        out.m = std::move(*cached);
+        return;
+      }
+    }
+    PointOutcome fresh =
+        simulate_point(job.workload, job.key, params_, job.config, trace_dir_);
+    if (disk_cache_->enabled()) disk_cache_->store(descriptions[i], fresh.m);
+    out.fresh = true;
+    out.m = std::move(fresh.m);
+    out.record = std::move(fresh.record);
+  });
+
+  // Merge in submission order: because submit() mirrors the serial call
+  // order, records_ and the memo end up byte-identical to a serial run.
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    const Job& job = pending_[i];
+    JobOutcome& out = outcomes[i];
+    if (alias_of[i] != kNoAlias) out.m = outcomes[alias_of[i]].m;
+    if (out.fresh) records_.push_back(std::move(out.record));
+    cache_.emplace(MemoKey{job.workload, job.key}, std::move(out.m));
+  }
+  pending_.clear();
+  queued_.clear();
+}
+
+}  // namespace wecsim

@@ -1,0 +1,80 @@
+// Worker-pool execution of independent simulation points. The paper's
+// evaluation is a large grid of independent (workload, config) simulations;
+// ParallelExperimentRunner runs each point in an isolated Simulator on a
+// pool of host threads and merges the results back in submission order, so
+// run reports, traces, and every derived table are byte-identical to serial
+// execution.
+//
+// Usage (the pattern every bench binary follows):
+//
+//   ParallelExperimentRunner runner(bench_params(), parse_jobs_flag(...));
+//   for (...) runner.submit(workload, key, config);   // mirror the run()
+//   runner.drain();                                   // simulate in parallel
+//   for (...) runner.run(workload, key, config);      // memo hits: free
+//
+// submit() deduplicates on the composite (workload, key) memo key, so the
+// submission pre-pass can literally mirror the measurement loops — including
+// repeated baselines — and the merged RunRecord order equals the order a
+// serial runner would have produced.
+//
+// Worker count: constructor argument (e.g. a --jobs flag) > WECSIM_JOBS
+// environment variable > std::thread::hardware_concurrency().
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace wecsim {
+
+/// Resolve a worker count: `explicit_jobs` > 0 wins, else WECSIM_JOBS, else
+/// the hardware concurrency; always at least 1.
+unsigned resolve_jobs(int explicit_jobs = 0);
+
+/// Run fn(0), ..., fn(n-1) on up to `jobs` worker threads. Indices are
+/// handed out atomically; fn must be safe to call concurrently for distinct
+/// indices. If any call throws, the exception for the smallest index is
+/// rethrown after all workers finish (jobs <= 1 degenerates to a plain
+/// in-order loop).
+void parallel_for(size_t n, unsigned jobs,
+                  const std::function<void(size_t)>& fn);
+
+class ParallelExperimentRunner : public ExperimentRunner {
+ public:
+  /// `jobs` <= 0 defers to WECSIM_JOBS / hardware concurrency.
+  /// `cache_dir` as in ExperimentRunner.
+  explicit ParallelExperimentRunner(
+      const WorkloadParams& params = {}, int jobs = 0,
+      std::optional<std::string> cache_dir = std::nullopt);
+
+  /// Queue a point for drain(). Deduplicates against both already-memoized
+  /// results and already-queued points; submission order is preserved.
+  void submit(const std::string& workload_name, const std::string& key,
+              const StaConfig& config);
+
+  /// Points queued and not yet drained.
+  size_t pending() const { return pending_.size(); }
+
+  /// Execute every queued point (worker pool + disk cache), then merge
+  /// measurements and records in submission order. After drain(), run() on
+  /// a submitted point is a memo hit.
+  void drain();
+
+  unsigned jobs() const override { return jobs_; }
+
+ private:
+  struct Job {
+    std::string workload;
+    std::string key;
+    StaConfig config;
+  };
+
+  unsigned jobs_;
+  std::vector<Job> pending_;
+  std::set<MemoKey> queued_;
+};
+
+}  // namespace wecsim

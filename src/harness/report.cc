@@ -115,4 +115,51 @@ void write_run_report(const std::string& path, const std::string& bench_name,
   if (!os) throw SimError("failed writing report file: " + path);
 }
 
+std::string render_timing_report(const std::string& bench_name, unsigned jobs,
+                                 double wall_seconds,
+                                 const std::vector<RunRecord>& runs) {
+  double sim_seconds = 0.0;
+  uint64_t sim_cycles = 0;
+  for (const RunRecord& run : runs) {
+    sim_seconds += run.run_seconds;
+    sim_cycles += run.result.cycles;
+  }
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "wecsim.bench_timing");
+  w.kv("schema_version", kTimingReportSchemaVersion);
+  w.kv("bench", bench_name);
+  w.kv("jobs", static_cast<uint64_t>(jobs));
+  w.kv("wall_seconds", wall_seconds);
+  w.kv("fresh_runs", static_cast<uint64_t>(runs.size()));
+  w.kv("sim_seconds_total", sim_seconds);
+  w.kv("sim_cycles_total", sim_cycles);
+  w.kv("sim_cycles_per_second",
+       sim_seconds > 0.0 ? static_cast<double>(sim_cycles) / sim_seconds : 0.0);
+  w.key("runs").begin_array();
+  for (const RunRecord& run : runs) {
+    w.begin_object();
+    w.kv("workload", run.workload);
+    w.kv("config", run.config_key);
+    w.kv("cycles", run.result.cycles);
+    w.kv("run_seconds", run.run_seconds);
+    w.kv("cycles_per_second", run.sim_cycles_per_second());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::string out = w.take();
+  out.push_back('\n');
+  return out;
+}
+
+void write_timing_report(const std::string& path, const std::string& bench_name,
+                         unsigned jobs, double wall_seconds,
+                         const std::vector<RunRecord>& runs) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw SimError("cannot open timing file: " + path);
+  os << render_timing_report(bench_name, jobs, wall_seconds, runs);
+  if (!os) throw SimError("failed writing timing file: " + path);
+}
+
 }  // namespace wecsim

@@ -28,6 +28,16 @@ struct RunRecord {
   StatsSnapshot counters;
   std::map<std::string, HistogramData> histograms;
   std::map<std::string, int64_t> gauges;
+
+  // Host wall-clock of the simulation. Deliberately NOT serialized into the
+  // canonical run report (which must stay byte-identical across runs and
+  // across serial/parallel execution); render_timing_report carries it.
+  double run_seconds = 0.0;
+
+  double sim_cycles_per_second() const {
+    return run_seconds > 0.0 ? static_cast<double>(result.cycles) / run_seconds
+                             : 0.0;
+  }
 };
 
 /// Renders the report document for a set of runs. Deterministic: the same
@@ -38,5 +48,22 @@ std::string render_run_report(const std::string& bench_name,
 /// Renders and writes the report to `path`. Throws SimError on I/O failure.
 void write_run_report(const std::string& path, const std::string& bench_name,
                       const std::vector<RunRecord>& runs);
+
+/// Schema version of the timing side-channel ("wecsim.bench_timing").
+inline constexpr int kTimingReportSchemaVersion = 1;
+
+/// Wall-clock / throughput report for a bench invocation: per fresh run
+/// `run_seconds` and `cycles_per_second`, plus bench totals (worker count,
+/// wall-clock, aggregate simulated cycles per second). Kept separate from
+/// the run report so that document stays byte-identical regardless of host
+/// speed or WECSIM_JOBS. BENCH_harness.json uses the same schema.
+std::string render_timing_report(const std::string& bench_name, unsigned jobs,
+                                 double wall_seconds,
+                                 const std::vector<RunRecord>& runs);
+
+/// Renders and writes the timing report. Throws SimError on I/O failure.
+void write_timing_report(const std::string& path, const std::string& bench_name,
+                         unsigned jobs, double wall_seconds,
+                         const std::vector<RunRecord>& runs);
 
 }  // namespace wecsim

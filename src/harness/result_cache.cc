@@ -1,0 +1,245 @@
+#include "harness/result_cache.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "obs/json.h"
+
+namespace wecsim {
+
+namespace {
+
+const char* side_kind_tag(SideKind kind) {
+  switch (kind) {
+    case SideKind::kNone:
+      return "none";
+    case SideKind::kVictim:
+      return "vc";
+    case SideKind::kWec:
+      return "wec";
+    case SideKind::kPrefetchBuffer:
+      return "nlp";
+  }
+  return "?";
+}
+
+const char* bpred_kind_tag(BpredKind kind) {
+  switch (kind) {
+    case BpredKind::kBimodal:
+      return "bimodal";
+    case BpredKind::kGshare:
+      return "gshare";
+    case BpredKind::kTaken:
+      return "taken";
+    case BpredKind::kNotTaken:
+      return "nottaken";
+  }
+  return "?";
+}
+
+void describe_geom(std::ostringstream& os, const char* name,
+                   const CacheGeom& g) {
+  os << name << '=' << g.size_bytes << '/' << g.assoc << '/' << g.block_bytes
+     << ';';
+}
+
+}  // namespace
+
+uint64_t fnv1a64(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string ResultCache::dir_from_env() {
+  const char* dir = std::getenv("WECSIM_CACHE_DIR");
+  return dir != nullptr ? std::string(dir) : std::string();
+}
+
+std::string ResultCache::describe(const std::string& workload_name,
+                                  const WorkloadParams& params,
+                                  const StaConfig& c) {
+  std::ostringstream os;
+  os << "wecsim-result/v" << kSimulatorVersion << ';';
+  os << "workload=" << workload_name << ';';
+  os << "scale=" << params.scale << ';';
+  os << "seed=" << params.seed << ';';
+  // StaConfig proper.
+  os << "tus=" << c.num_tus << ';';
+  os << "fork_delay=" << c.fork_delay << ';';
+  os << "ring_hop=" << c.ring_hop_cycles << ';';
+  os << "membuf=" << c.membuf_entries << ';';
+  os << "wb_ports=" << c.wb_ports << ';';
+  os << "wth=" << c.wrong_thread_exec << ';';
+  os << "max_cycles=" << c.max_cycles << ';';
+  os << "watchdog=" << c.watchdog_cycles << ';';
+  // CoreConfig.
+  const CoreConfig& core = c.core;
+  os << "fetch_w=" << core.fetch_width << ';';
+  os << "issue_w=" << core.issue_width << ';';
+  os << "rob=" << core.rob_size << ';';
+  os << "lsq=" << core.lsq_size << ';';
+  os << "fu=" << core.int_alu << '/' << core.int_mult << '/' << core.fp_alu
+     << '/' << core.fp_mult << ';';
+  os << "mem_ports=" << core.mem_ports << ';';
+  os << "fetch_q=" << core.fetch_queue_size << ';';
+  os << "mp_penalty=" << core.mispredict_penalty << ';';
+  os << "ifetch_block=" << core.ifetch_block_bytes << ';';
+  os << "wp=" << core.wrong_path_exec << ';';
+  const BpredConfig& bp = core.bpred;
+  os << "bpred=" << bpred_kind_tag(bp.kind) << '/' << bp.table_bits << '/'
+     << bp.hist_bits << '/' << bp.btb_entries << '/' << bp.btb_assoc << '/'
+     << bp.ras_entries << ';';
+  // MemConfig.
+  const MemConfig& mem = c.mem;
+  describe_geom(os, "l1i", mem.l1i);
+  describe_geom(os, "l1d", mem.l1d);
+  describe_geom(os, "l2", mem.l2);
+  os << "lat=" << mem.l1_hit_lat << '/' << mem.side_hit_lat << '/'
+     << mem.l2_hit_lat << '/' << mem.l2_occupancy << '/' << mem.mem_lat << ';';
+  os << "side=" << side_kind_tag(mem.side) << '/' << mem.side_entries << ';';
+  os << "nlp_tagged=" << mem.nlp_tagged << ';';
+  os << "wec_chain=" << mem.wec_chain_prefetch << ';';
+  return os.str();
+}
+
+std::string ResultCache::entry_path(const std::string& description) const {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016" PRIx64, fnv1a64(description));
+  return dir_ + "/wec-" + hex + ".json";
+}
+
+std::optional<RunMeasurement> ResultCache::load(
+    const std::string& description) const {
+  if (!enabled()) return std::nullopt;
+  std::ifstream in(entry_path(description), std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  try {
+    const JsonValue doc = parse_json(buf.str());
+    if (doc.at("schema").as_string() != "wecsim.result_cache" ||
+        doc.at("schema_version").as_i64() != kResultCacheSchemaVersion ||
+        doc.at("description").as_string() != description) {
+      return std::nullopt;
+    }
+    RunMeasurement m;
+    const JsonValue& sim = doc.at("sim");
+    SimResult& r = m.sim;
+    r.cycles = sim.at("cycles").as_u64();
+    r.halted = sim.at("halted").as_bool();
+    r.committed = sim.at("committed").as_u64();
+    r.l1d_accesses = sim.at("l1d_accesses").as_u64();
+    r.l1d_wrong_accesses = sim.at("l1d_wrong_accesses").as_u64();
+    r.l1d_misses = sim.at("l1d_misses").as_u64();
+    r.l1d_wrong_misses = sim.at("l1d_wrong_misses").as_u64();
+    r.side_hits = sim.at("side_hits").as_u64();
+    r.wec_wrong_fills = sim.at("wec_wrong_fills").as_u64();
+    r.prefetches = sim.at("prefetches").as_u64();
+    r.l2_accesses = sim.at("l2_accesses").as_u64();
+    r.l2_misses = sim.at("l2_misses").as_u64();
+    r.mispredicts = sim.at("mispredicts").as_u64();
+    r.branches = sim.at("branches").as_u64();
+    r.forks = sim.at("forks").as_u64();
+    r.wrong_threads = sim.at("wrong_threads").as_u64();
+    r.wrong_path_loads = sim.at("wrong_path_loads").as_u64();
+    r.coherence_updates = sim.at("coherence_updates").as_u64();
+    const JsonValue& fills = sim.at("wec_fills");
+    const JsonValue& used = sim.at("wec_used");
+    const JsonValue& unused = sim.at("wec_unused");
+    for (size_t i = 0; i < kNumSideOrigins; ++i) {
+      r.wec.fills[i] = fills.at(i).as_u64();
+      r.wec.used[i] = used.at(i).as_u64();
+      r.wec.unused[i] = unused.at(i).as_u64();
+    }
+    m.parallel_cycles = doc.at("parallel_cycles").as_u64();
+    m.run_seconds = doc.at("run_seconds").as_double();
+    return m;
+  } catch (const std::exception&) {
+    // Corrupt or foreign file under our name: treat as a miss.
+    return std::nullopt;
+  }
+}
+
+void ResultCache::store(const std::string& description,
+                        const RunMeasurement& m) const {
+  if (!enabled()) return;
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "wecsim.result_cache");
+  w.kv("schema_version", kResultCacheSchemaVersion);
+  w.kv("description", description);
+  w.key("sim").begin_object();
+  const SimResult& r = m.sim;
+  w.kv("cycles", r.cycles);
+  w.kv("halted", r.halted);
+  w.kv("committed", r.committed);
+  w.kv("l1d_accesses", r.l1d_accesses);
+  w.kv("l1d_wrong_accesses", r.l1d_wrong_accesses);
+  w.kv("l1d_misses", r.l1d_misses);
+  w.kv("l1d_wrong_misses", r.l1d_wrong_misses);
+  w.kv("side_hits", r.side_hits);
+  w.kv("wec_wrong_fills", r.wec_wrong_fills);
+  w.kv("prefetches", r.prefetches);
+  w.kv("l2_accesses", r.l2_accesses);
+  w.kv("l2_misses", r.l2_misses);
+  w.kv("mispredicts", r.mispredicts);
+  w.kv("branches", r.branches);
+  w.kv("forks", r.forks);
+  w.kv("wrong_threads", r.wrong_threads);
+  w.kv("wrong_path_loads", r.wrong_path_loads);
+  w.kv("coherence_updates", r.coherence_updates);
+  auto write_array = [&](const char* key, const auto& values) {
+    w.key(key).begin_array();
+    for (uint64_t v : values) w.value(v);
+    w.end_array();
+  };
+  write_array("wec_fills", r.wec.fills);
+  write_array("wec_used", r.wec.used);
+  write_array("wec_unused", r.wec.unused);
+  w.end_object();
+  w.kv("parallel_cycles", m.parallel_cycles);
+  w.kv("run_seconds", m.run_seconds);
+  w.end_object();
+
+  const std::string path = entry_path(description);
+  // Unique-per-writer temp name, then an atomic rename: concurrent workers
+  // and concurrent bench processes may share the cache directory.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<uint64_t>(::getpid())) +
+      "." +
+      std::to_string(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  {
+    std::ofstream os(tmp, std::ios::binary);
+    if (!os) {
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true)) {
+        std::fprintf(stderr,
+                     "[warn] result cache not writable: %s (WECSIM_CACHE_DIR "
+                     "missing?)\n",
+                     dir_.c_str());
+      }
+      return;
+    }
+    os << w.take() << '\n';
+    if (!os) {
+      std::remove(tmp.c_str());
+      return;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) std::remove(tmp.c_str());
+}
+
+}  // namespace wecsim

@@ -1,0 +1,68 @@
+// Persistent on-disk cache of simulation measurements, keyed by a content
+// hash of everything that determines a point's result: the workload name,
+// its WorkloadParams (scale, seed), every field of the StaConfig, and
+// kSimulatorVersion. With WECSIM_CACHE_DIR set, regenerating a figure whose
+// points were already simulated — by any bench binary, in any process —
+// skips simulation entirely.
+//
+// Invalidation rule: the canonical description string embeds
+// kSimulatorVersion (core/simulator.h); bump that constant whenever a code
+// change can alter simulated measurements and every stale entry misses.
+// Entries additionally store the full description and are verified against
+// it on load, so a filename hash collision degrades to a cache miss, never
+// a wrong result.
+//
+// Concurrency: entries are written to a temporary file and renamed into
+// place (atomic on POSIX), so parallel workers and concurrent bench
+// processes can share one cache directory.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace wecsim {
+
+/// Schema version of a cache entry file; part of the entry envelope.
+inline constexpr int kResultCacheSchemaVersion = 1;
+
+class ResultCache {
+ public:
+  /// An empty `dir` disables the cache (load always misses, store is a
+  /// no-op).
+  explicit ResultCache(std::string dir);
+
+  /// WECSIM_CACHE_DIR, or "" when unset.
+  static std::string dir_from_env();
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  /// Canonical, human-readable content key for one simulation point. Every
+  /// field of StaConfig (core, memory, sta, limits) is serialized; keep in
+  /// sync when configuration structs grow fields.
+  static std::string describe(const std::string& workload_name,
+                              const WorkloadParams& params,
+                              const StaConfig& config);
+
+  /// Entry path for a description: <dir>/wec-<fnv1a64 hex>.json.
+  std::string entry_path(const std::string& description) const;
+
+  /// Look up a description. Returns the cached measurement, or nullopt on
+  /// miss, corrupt entry, or description mismatch (hash collision / stale
+  /// schema).
+  std::optional<RunMeasurement> load(const std::string& description) const;
+
+  /// Best-effort store; failures are reported to stderr once and swallowed
+  /// (a bad cache directory must not abort a bench run).
+  void store(const std::string& description, const RunMeasurement& m) const;
+
+ private:
+  std::string dir_;
+};
+
+/// FNV-1a 64-bit hash (exposed for tests).
+uint64_t fnv1a64(const std::string& s);
+
+}  // namespace wecsim

@@ -44,11 +44,22 @@ bool SetAssocCache::contains(Addr addr) const { return find(addr) != nullptr; }
 
 std::optional<Cycle> SetAssocCache::access(Addr addr, bool mark_dirty,
                                            Cycle now) {
+  const auto hit = access_ex(addr, mark_dirty, /*clear_prefetch_tag=*/false,
+                             now);
+  if (!hit) return std::nullopt;
+  return hit->ready;
+}
+
+std::optional<CacheHit> SetAssocCache::access_ex(Addr addr, bool mark_dirty,
+                                                 bool clear_prefetch_tag,
+                                                 Cycle now) {
   Line* line = find(addr);
   if (line == nullptr) return std::nullopt;
   line->lru = ++lru_clock_;
   if (mark_dirty) line->dirty = true;
-  return line->ready > now ? line->ready : now;
+  const bool was_tagged = line->prefetch_tag;
+  if (clear_prefetch_tag) line->prefetch_tag = false;
+  return CacheHit{line->ready > now ? line->ready : now, was_tagged};
 }
 
 std::optional<Evicted> SetAssocCache::insert(Addr addr, bool dirty,

@@ -30,6 +30,13 @@ struct Evicted {
   bool dirty;
 };
 
+/// Full outcome of a hit (access_ex): when the data is ready plus the state
+/// of the tagged-prefetch bit before the access.
+struct CacheHit {
+  Cycle ready;
+  bool was_prefetch_tagged;
+};
+
 class SetAssocCache {
  public:
   /// Geometry must be power-of-two sized with assoc dividing the block count.
@@ -45,6 +52,12 @@ class SetAssocCache {
   /// present (kNoCycle-free: a hit on a still-filling block returns when the
   /// fill completes), or std::nullopt on miss.
   std::optional<Cycle> access(Addr addr, bool mark_dirty, Cycle now);
+
+  /// Like access(), but also reports (and optionally clears) the block's
+  /// tagged-prefetch bit in the same tag lookup — the nlp hit path needs
+  /// all three and would otherwise walk the set once per question.
+  std::optional<CacheHit> access_ex(Addr addr, bool mark_dirty,
+                                    bool clear_prefetch_tag, Cycle now);
 
   /// Insert (allocating) the block containing addr; returns the victim if a
   /// valid block was displaced. ready_cycle records when the fill completes.

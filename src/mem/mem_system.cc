@@ -102,12 +102,14 @@ void TuMemSystem::account_side_exit(SideOrigin origin, bool used, Cycle filled,
 void TuMemSystem::side_insert(Addr addr, SideOrigin origin, bool dirty,
                               Cycle ready, Cycle now) {
   side_fill_by_origin_[side_origin_index(origin)].inc();
-  const TraceEventType event =
-      origin == SideOrigin::kVictim  ? TraceEventType::kVictimEvict
-      : origin == SideOrigin::kPrefetch ? TraceEventType::kNextLinePrefetch
-                                        : TraceEventType::kWecFill;
-  WEC_TRACE(trace_, now, tu_, event, side_->block_addr(addr), 0,
-            side_origin_index(origin));
+  // The event-type selection lives inside the macro so it costs nothing when
+  // no sink is attached (WEC_TRACE evaluates its arguments lazily).
+  WEC_TRACE(trace_, now, tu_,
+            origin == SideOrigin::kVictim ? TraceEventType::kVictimEvict
+            : origin == SideOrigin::kPrefetch
+                ? TraceEventType::kNextLinePrefetch
+                : TraceEventType::kWecFill,
+            side_->block_addr(addr), 0, side_origin_index(origin));
   auto ended = side_->insert(addr, origin, dirty, ready, now);
   if (ended.has_value()) {
     account_side_exit(ended->origin, /*used=*/false, ended->filled, now);
@@ -145,25 +147,26 @@ void TuMemSystem::prefetch_next(Addr addr, Cycle now) {
 
 MemOutcome TuMemSystem::correct_load(Addr addr, Cycle now) {
   l1d_accesses_.inc();
-  if (auto hit = l1d_.access(addr, /*mark_dirty=*/false, now)) {
-    // Tagged next-line prefetch: the first demand hit to a prefetched block
-    // triggers the next prefetch.
-    if (config_.side == SideKind::kPrefetchBuffer && config_.nlp_tagged &&
-        l1d_.prefetch_tag(addr)) {
-      l1d_.set_prefetch_tag(addr, false);
-      prefetch_next(addr, now);
-    }
-    return {*hit + config_.l1_hit_lat, true, false};
+  // Tagged next-line prefetch: the first demand hit to a prefetched block
+  // triggers the next prefetch. access_ex reads and clears the tag in the
+  // same lookup that serves the hit (was three tag-array walks).
+  const bool tagged_nlp =
+      config_.side == SideKind::kPrefetchBuffer && config_.nlp_tagged;
+  if (auto hit = l1d_.access_ex(addr, /*mark_dirty=*/false,
+                                /*clear_prefetch_tag=*/tagged_nlp, now)) {
+    if (tagged_nlp && hit->was_prefetch_tagged) prefetch_next(addr, now);
+    return {hit->ready + config_.l1_hit_lat, true, false};
   }
   l1d_misses_.inc();
 
   if (side_ != nullptr) {
-    if (auto entry = side_->probe(addr)) {
+    // extract() reports the full entry state, so the hit path needs no
+    // separate probe.
+    if (auto entry = side_->extract(addr)) {
       side_hits_.inc();
       WEC_TRACE(trace_, now, tu_, TraceEventType::kWecHit,
                 side_->block_addr(addr), 0, side_origin_index(entry->origin));
       const Cycle ready = std::max(now, entry->ready);
-      side_->extract(addr);
       // Correct execution consumed this fill — the outcome the paper's
       // usefulness breakdown scores.
       account_side_exit(entry->origin, /*used=*/true, entry->filled, now);
@@ -231,13 +234,12 @@ MemOutcome TuMemSystem::wrong_load(Addr addr, ExecMode mode, Cycle now) {
   // behaviour the paper measures against. Note l1d.misses stays correct-path
   // only; wrong-execution misses are tracked separately.
   if (side_ != nullptr) {
-    if (auto entry = side_->probe(addr)) {
+    if (auto entry = side_->extract(addr)) {
       side_hits_.inc();
       WEC_TRACE(trace_, now, tu_, TraceEventType::kWecHit,
                 side_->block_addr(addr), /*arg=*/1,
                 side_origin_index(entry->origin));
       const Cycle ready = std::max(now, entry->ready);
-      side_->extract(addr);
       // Promoted into the L1 by wrong execution — not a correct-path use.
       account_side_exit(entry->origin, /*used=*/false, entry->filled, now);
       auto victim = l1d_.insert(addr, entry->dirty, ready);
@@ -272,12 +274,11 @@ MemOutcome TuMemSystem::store(Addr addr, Cycle now) {
   }
   l1d_misses_.inc();
   if (side_ != nullptr) {
-    if (auto entry = side_->probe(addr)) {
+    if (auto entry = side_->extract(addr)) {
       side_hits_.inc();
       WEC_TRACE(trace_, now, tu_, TraceEventType::kWecHit,
                 side_->block_addr(addr), 0, side_origin_index(entry->origin));
       const Cycle ready = std::max(now, entry->ready);
-      side_->extract(addr);
       // A committing store is correct execution consuming the fill.
       account_side_exit(entry->origin, /*used=*/true, entry->filled, now);
       auto victim = l1d_.insert(addr, /*dirty=*/true, ready);

@@ -24,14 +24,12 @@ SideCache::SideCache(uint32_t entries, uint32_t block_bytes)
   WEC_CHECK_MSG(entries >= 1, "side cache needs at least one entry");
   WEC_CHECK_MSG(is_pow2(block_bytes), "block size must be a power of 2");
   lines_.resize(entries);
+  index_.reserve(entries);
 }
 
 SideCache::Line* SideCache::find(Addr addr) {
-  const Addr block = block_addr(addr);
-  for (Line& line : lines_) {
-    if (line.valid && line.block == block) return &line;
-  }
-  return nullptr;
+  const auto it = index_.find(block_addr(addr));
+  return it != index_.end() ? &lines_[it->second] : nullptr;
 }
 
 const SideCache::Line* SideCache::find(Addr addr) const {
@@ -58,6 +56,7 @@ std::optional<SideCache::Hit> SideCache::extract(Addr addr) {
   if (line == nullptr) return std::nullopt;
   Hit hit{line->origin, line->dirty, line->ready, line->filled};
   line->valid = false;
+  index_.erase(line->block);
   return hit;
 }
 
@@ -80,6 +79,7 @@ std::optional<SideCache::SideEvicted> SideCache::insert(Addr addr,
     if (slot->valid) {
       ended = SideEvicted{slot->block, slot->dirty, slot->origin, slot->filled,
                           /*displaced=*/true};
+      index_.erase(slot->block);
     }
   } else {
     // Re-fill of a resident block: the prior fill's residency ends here and
@@ -95,6 +95,7 @@ std::optional<SideCache::SideEvicted> SideCache::insert(Addr addr,
   slot->lru = ++lru_clock_;
   slot->ready = ready_cycle;
   slot->filled = now;
+  index_[slot->block] = static_cast<uint32_t>(slot - lines_.data());
   return ended;
 }
 
@@ -104,6 +105,7 @@ std::optional<SideCache::SideEvicted> SideCache::invalidate(Addr addr) {
   SideEvicted ended{line->block, line->dirty, line->origin, line->filled,
                     /*displaced=*/true};
   line->valid = false;
+  index_.erase(line->block);
   return ended;
 }
 
@@ -115,6 +117,7 @@ std::vector<SideCache::SideEvicted> SideCache::drain() {
                                 line.filled, /*displaced=*/true});
     line.valid = false;
   }
+  index_.clear();
   return ended;
 }
 
@@ -127,6 +130,7 @@ bool SideCache::touch_update(Addr addr) {
 
 void SideCache::clear() {
   for (Line& line : lines_) line = Line{};
+  index_.clear();
   lru_clock_ = 0;
 }
 

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -122,6 +123,11 @@ class SideCache {
   uint32_t block_bytes_;
   uint64_t lru_clock_ = 0;
   std::vector<Line> lines_;
+  // block address -> index into lines_, maintained for valid lines only.
+  // Every lookup used to be a linear scan of all entries; with the paper's
+  // sweeps probing the side cache on each L1 access this map is the
+  // simulator's hottest data structure.
+  std::unordered_map<Addr, uint32_t> index_;
 };
 
 }  // namespace wecsim

@@ -1,0 +1,276 @@
+// Tests for the parallel sweep engine (harness/parallel.h), the on-disk
+// result cache (harness/result_cache.h), and the hardened aggregation
+// helpers: parallel execution must be byte-identical to serial execution,
+// warm disk caches must serve results with zero fresh simulations, and the
+// (workload, key) memo must be collision-free.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/parallel.h"
+#include "harness/report.h"
+#include "harness/result_cache.h"
+#include "workloads/workload.h"
+
+namespace wecsim {
+namespace {
+
+// Tiny grid: two workloads, two configurations, two thread counts. Scale 1
+// keeps each simulation in the low milliseconds.
+const WorkloadParams kParams{1, 42};
+
+std::vector<std::pair<std::string, StaConfig>> small_grid() {
+  std::vector<std::pair<std::string, StaConfig>> grid;
+  for (const char* name : {"181.mcf", "164.gzip"}) {
+    for (PaperConfig config : {PaperConfig::kOrig, PaperConfig::kWthWpWec}) {
+      for (uint32_t tus : {1u, 2u}) {
+        grid.emplace_back(std::string(name) + "|" +
+                              paper_config_name(config) + "-" +
+                              std::to_string(tus),
+                          make_paper_config(config, tus));
+      }
+    }
+  }
+  return grid;
+}
+
+std::string workload_of(const std::string& point) {
+  return point.substr(0, point.find('|'));
+}
+
+std::string key_of(const std::string& point) {
+  return point.substr(point.find('|') + 1);
+}
+
+// A unique per-test temp directory (std::filesystem; removed on scope exit).
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = std::filesystem::temp_directory_path() /
+            ("wecsim_test_" + tag + "_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+TEST(ParallelHarness, ByteIdenticalToSerialExecution) {
+  const auto grid = small_grid();
+
+  // "" disables the disk cache so both runners really simulate.
+  ExperimentRunner serial(kParams, std::string());
+  for (const auto& [point, config] : grid) {
+    serial.run(workload_of(point), key_of(point), config);
+  }
+
+  ParallelExperimentRunner parallel(kParams, /*jobs=*/4, std::string());
+  for (const auto& [point, config] : grid) {
+    parallel.submit(workload_of(point), key_of(point), config);
+  }
+  EXPECT_EQ(parallel.pending(), grid.size());
+  parallel.drain();
+  EXPECT_EQ(parallel.pending(), 0u);
+
+  ASSERT_EQ(serial.records().size(), parallel.records().size());
+  for (const auto& [point, config] : grid) {
+    const auto& s = serial.run(workload_of(point), key_of(point), config);
+    const auto& p = parallel.run(workload_of(point), key_of(point), config);
+    EXPECT_EQ(s.sim.cycles, p.sim.cycles) << point;
+    EXPECT_EQ(s.sim.committed, p.sim.committed) << point;
+    EXPECT_EQ(s.parallel_cycles, p.parallel_cycles) << point;
+  }
+
+  // The strongest form of the guarantee: the rendered reports agree byte
+  // for byte, which pins record order, counters, histograms, and gauges.
+  EXPECT_EQ(render_run_report("t", serial.records()),
+            render_run_report("t", parallel.records()));
+}
+
+TEST(ParallelHarness, MoreJobsThanWorkStillWorks) {
+  ParallelExperimentRunner runner(kParams, /*jobs=*/8, std::string());
+  runner.submit("181.mcf", "orig", make_paper_config(PaperConfig::kOrig, 1));
+  runner.drain();
+  EXPECT_EQ(runner.records().size(), 1u);
+}
+
+TEST(ParallelHarness, SubmitDeduplicatesAndRunFillsMemo) {
+  ParallelExperimentRunner runner(kParams, /*jobs=*/2, std::string());
+  const StaConfig config = make_paper_config(PaperConfig::kOrig, 1);
+  runner.submit("181.mcf", "orig", config);
+  runner.submit("181.mcf", "orig", config);  // duplicate: one job
+  EXPECT_EQ(runner.pending(), 1u);
+  runner.drain();
+  EXPECT_EQ(runner.records().size(), 1u);
+  // run() after drain is a memo hit — record count stays put.
+  runner.run("181.mcf", "orig", config);
+  EXPECT_EQ(runner.records().size(), 1u);
+  // Submitting an already-memoized point queues nothing.
+  runner.submit("181.mcf", "orig", config);
+  EXPECT_EQ(runner.pending(), 0u);
+}
+
+TEST(ParallelHarness, WorkerPoolExceptionPropagates) {
+  // An unknown workload throws inside the worker; drain must rethrow.
+  ParallelExperimentRunner runner(kParams, /*jobs=*/4, std::string());
+  runner.submit("181.mcf", "orig", make_paper_config(PaperConfig::kOrig, 1));
+  runner.submit("no.such.workload", "orig",
+                make_paper_config(PaperConfig::kOrig, 1));
+  EXPECT_THROW(runner.drain(), std::exception);
+}
+
+TEST(ParallelFor, CoversAllIndicesConcurrently) {
+  constexpr size_t kN = 100;
+  std::vector<std::atomic<int>> touched(kN);
+  parallel_for(kN, 4, [&](size_t i) { touched[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(touched[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, RethrowsSmallestIndexFailure) {
+  try {
+    parallel_for(8, 4, [](size_t i) {
+      if (i == 3 || i == 6) throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "3");
+  }
+}
+
+TEST(ResultCacheTest, WarmCacheServesWithZeroFreshSimulations) {
+  TempDir dir("cache");
+  const StaConfig orig = make_paper_config(PaperConfig::kOrig, 1);
+  const StaConfig wec = make_paper_config(PaperConfig::kWthWpWec, 1);
+
+  ExperimentRunner cold(kParams, dir.str());
+  const auto a1 = cold.run("181.mcf", "orig", orig);
+  const auto b1 = cold.run("181.mcf", "wec", wec);
+  EXPECT_EQ(cold.records().size(), 2u);
+
+  // Fresh runner, same directory: every point is a disk hit, no RunRecords.
+  ExperimentRunner warm(kParams, dir.str());
+  const auto& a2 = warm.run("181.mcf", "orig", orig);
+  const auto& b2 = warm.run("181.mcf", "wec", wec);
+  EXPECT_EQ(warm.records().size(), 0u);
+  EXPECT_EQ(a1.sim.cycles, a2.sim.cycles);
+  EXPECT_EQ(a1.sim.committed, a2.sim.committed);
+  EXPECT_EQ(a1.parallel_cycles, a2.parallel_cycles);
+  EXPECT_EQ(b1.sim.cycles, b2.sim.cycles);
+  EXPECT_EQ(b1.sim.l1d_misses, b2.sim.l1d_misses);
+
+  // The parallel runner honours the same cache.
+  ParallelExperimentRunner warm_parallel(kParams, /*jobs=*/2, dir.str());
+  warm_parallel.submit("181.mcf", "orig", orig);
+  warm_parallel.submit("181.mcf", "wec", wec);
+  warm_parallel.drain();
+  EXPECT_EQ(warm_parallel.records().size(), 0u);
+  EXPECT_EQ(warm_parallel.run("181.mcf", "orig", orig).sim.cycles,
+            a1.sim.cycles);
+}
+
+TEST(ResultCacheTest, DistinctConfigsGetDistinctEntries) {
+  const StaConfig a = make_paper_config(PaperConfig::kOrig, 1);
+  StaConfig b = a;
+  b.mem.l1d.size_bytes *= 2;
+  EXPECT_NE(ResultCache::describe("181.mcf", kParams, a),
+            ResultCache::describe("181.mcf", kParams, b));
+  EXPECT_NE(ResultCache::describe("181.mcf", kParams, a),
+            ResultCache::describe("164.gzip", kParams, a));
+  EXPECT_NE(ResultCache::describe("181.mcf", WorkloadParams{2, 42}, a),
+            ResultCache::describe("181.mcf", kParams, a));
+}
+
+TEST(ResultCacheTest, CorruptEntryIsAMiss) {
+  TempDir dir("corrupt");
+  ResultCache cache(dir.str());
+  const std::string desc =
+      ResultCache::describe("181.mcf", kParams,
+                            make_paper_config(PaperConfig::kOrig, 1));
+  {
+    std::FILE* f = std::fopen(cache.entry_path(desc).c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{not json", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(cache.load(desc).has_value());
+}
+
+TEST(ResultCacheTest, DisabledCacheNeverStores) {
+  ResultCache cache{std::string()};
+  EXPECT_FALSE(cache.enabled());
+  const std::string desc = "anything";
+  RunMeasurement m;
+  cache.store(desc, m);  // must be a no-op, not a crash
+  EXPECT_FALSE(cache.load(desc).has_value());
+}
+
+TEST(MemoKeyTest, CompositeKeyCannotCollide) {
+  // With the old concatenated "workload|key" scheme these two points
+  // collided: ("a|b", "c") and ("a", "b|c"). The composite pair keeps them
+  // distinct; exercise via ExperimentRunner with keys containing the old
+  // separator character.
+  ExperimentRunner runner(kParams, std::string());
+  const auto& a = runner.run("181.mcf", "x|orig-1",
+                             make_paper_config(PaperConfig::kOrig, 1));
+  const auto& b = runner.run("181.mcf", "x|orig-2",
+                             make_paper_config(PaperConfig::kOrig, 2));
+  EXPECT_EQ(runner.records().size(), 2u);
+  EXPECT_NE(a.sim.cycles, b.sim.cycles);
+  // Same key again: memo hit, no new record, same measurement object.
+  const auto& a2 = runner.run("181.mcf", "x|orig-1",
+                              make_paper_config(PaperConfig::kOrig, 1));
+  EXPECT_EQ(runner.records().size(), 2u);
+  EXPECT_EQ(&a, &a2);
+}
+
+TEST(MeanSpeedupTest, GeometricMeanOfValidInput) {
+  EXPECT_DOUBLE_EQ(mean_speedup({4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean_speedup({1.5}), 1.5);
+}
+
+TEST(MeanSpeedupTest, EmptyInputThrows) {
+  EXPECT_THROW(mean_speedup({}), std::logic_error);
+}
+
+TEST(MeanSpeedupTest, NonPositiveSpeedupThrows) {
+  EXPECT_THROW(mean_speedup({1.2, 0.0}), std::logic_error);
+  EXPECT_THROW(mean_speedup({-1.0}), std::logic_error);
+}
+
+TEST(ResolveJobsTest, ExplicitValueWins) {
+  EXPECT_EQ(resolve_jobs(3), 3u);
+  EXPECT_GE(resolve_jobs(0), 1u);  // env or hardware fallback, never 0
+}
+
+TEST(TimingReportTest, CarriesWallClockOutsideTheRunReport) {
+  ExperimentRunner runner(kParams, std::string());
+  runner.run("181.mcf", "orig", make_paper_config(PaperConfig::kOrig, 1));
+  ASSERT_EQ(runner.records().size(), 1u);
+  EXPECT_GT(runner.records()[0].run_seconds, 0.0);
+  EXPECT_GT(runner.records()[0].sim_cycles_per_second(), 0.0);
+
+  const std::string timing =
+      render_timing_report("t", 1, runner.elapsed_seconds(), runner.records());
+  EXPECT_NE(timing.find("\"schema\":\"wecsim.bench_timing\""),
+            std::string::npos);
+  EXPECT_NE(timing.find("\"cycles_per_second\""), std::string::npos);
+  // The canonical run report must NOT mention wall-clock.
+  const std::string report = render_run_report("t", runner.records());
+  EXPECT_EQ(report.find("run_seconds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wecsim
