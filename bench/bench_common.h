@@ -84,4 +84,40 @@ inline void write_report_if_requested(const ExperimentRunner& runner,
   }
 }
 
+/// Standard bench epilogue: write the (report, timing) pair when requested,
+/// then summarize the fail-soft outcome. Exit status 0 when every point was
+/// measured; 2 when points were quarantined — the table and report above
+/// still carry every point that survived, so a flaky sweep stays useful.
+inline int finish_bench(const ExperimentRunner& runner,
+                        const std::string& bench_name) {
+  write_report_if_requested(runner, bench_name);
+  size_t quarantined = 0;
+  for (const PointFailure& f : runner.failures()) {
+    if (f.status == "quarantined") ++quarantined;
+  }
+  if (!runner.failures().empty()) {
+    std::fprintf(stderr, "\n[fail-soft] %zu point failure(s), %zu quarantined:\n",
+                 runner.failures().size(), quarantined);
+    for (const PointFailure& f : runner.failures()) {
+      std::fprintf(stderr, "  %s|%s: %s after %u attempt(s): %s\n",
+                   f.workload.c_str(), f.config_key.c_str(), f.status.c_str(),
+                   f.attempts, f.error.c_str());
+    }
+  }
+  return quarantined == 0 ? 0 : 2;
+}
+
+/// Average cells that survive quarantined points: a column with no surviving
+/// measurements renders as "n/a" instead of tripping mean_speedup's
+/// empty-input check.
+inline std::string avg_pct_cell(const std::vector<double>& speedups) {
+  if (speedups.empty()) return "n/a";
+  return TextTable::pct(100.0 * (mean_speedup(speedups) - 1.0));
+}
+
+inline std::string avg_x_cell(const std::vector<double>& speedups) {
+  if (speedups.empty()) return "n/a";
+  return TextTable::num(mean_speedup(speedups), 2) + "x";
+}
+
 }  // namespace wecsim::bench

@@ -67,16 +67,22 @@ int main(int argc, char** argv) {
     std::vector<std::string> row = {name};
     for (size_t i = 0; i < 4; ++i) {
       const std::string kn = kind_name(kKinds[i]);
-      const auto& base = runner.run(name, "orig-" + kn,
-                                    with_bpred(PaperConfig::kOrig, kKinds[i]));
-      const auto& wec =
-          runner.run(name, "wec-" + kn,
-                     with_bpred(PaperConfig::kWthWpWec, kKinds[i]));
+      const auto* base = runner.try_run(
+          name, "orig-" + kn, with_bpred(PaperConfig::kOrig, kKinds[i]));
+      const auto* wec =
+          runner.try_run(name, "wec-" + kn,
+                         with_bpred(PaperConfig::kWthWpWec, kKinds[i]));
+      if (base == nullptr || wec == nullptr) {
+        row.push_back("n/a");
+        row.push_back("n/a");
+        continue;
+      }
       const double mispred_rate =
-          base.sim.branches == 0
+          base->sim.branches == 0
               ? 0.0
-              : 100.0 * base.sim.mispredicts / base.sim.branches;
-      const double pct = relative_speedup_pct(base.sim.cycles, wec.sim.cycles);
+              : 100.0 * base->sim.mispredicts / base->sim.branches;
+      const double pct =
+          relative_speedup_pct(base->sim.cycles, wec->sim.cycles);
       columns[i].push_back(1.0 + pct / 100.0);
       row.push_back(TextTable::pct(mispred_rate));
       row.push_back(TextTable::pct(pct));
@@ -86,10 +92,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> avg = {"average"};
   for (const auto& col : columns) {
     avg.push_back("");
-    avg.push_back(TextTable::pct(100.0 * (mean_speedup(col) - 1.0)));
+    avg.push_back(avg_pct_cell(col));
   }
   table.add_row(avg);
   std::fputs(table.render().c_str(), stdout);
-  write_report_if_requested(runner, "bench_ext_bpred");
-  return 0;
+  return finish_bench(runner, "bench_ext_bpred");
 }

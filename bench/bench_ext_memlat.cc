@@ -43,13 +43,18 @@ int main(int argc, char** argv) {
   for (const auto& name : workload_names()) {
     std::vector<std::string> row = {name};
     for (size_t i = 0; i < 4; ++i) {
-      const auto& base =
-          runner.run(name, "orig-m" + std::to_string(kLats[i]),
-                     with_mem_lat(PaperConfig::kOrig, kLats[i]));
-      const auto& wec =
-          runner.run(name, "wec-m" + std::to_string(kLats[i]),
-                     with_mem_lat(PaperConfig::kWthWpWec, kLats[i]));
-      const double pct = relative_speedup_pct(base.sim.cycles, wec.sim.cycles);
+      const auto* base =
+          runner.try_run(name, "orig-m" + std::to_string(kLats[i]),
+                         with_mem_lat(PaperConfig::kOrig, kLats[i]));
+      const auto* wec =
+          runner.try_run(name, "wec-m" + std::to_string(kLats[i]),
+                         with_mem_lat(PaperConfig::kWthWpWec, kLats[i]));
+      if (base == nullptr || wec == nullptr) {
+        row.push_back("n/a");
+        continue;
+      }
+      const double pct =
+          relative_speedup_pct(base->sim.cycles, wec->sim.cycles);
       columns[i].push_back(1.0 + pct / 100.0);
       row.push_back(TextTable::pct(pct));
     }
@@ -57,10 +62,9 @@ int main(int argc, char** argv) {
   }
   std::vector<std::string> avg = {"average"};
   for (const auto& col : columns) {
-    avg.push_back(TextTable::pct(100.0 * (mean_speedup(col) - 1.0)));
+    avg.push_back(avg_pct_cell(col));
   }
   table.add_row(avg);
   std::fputs(table.render().c_str(), stdout);
-  write_report_if_requested(runner, "bench_ext_memlat");
-  return 0;
+  return finish_bench(runner, "bench_ext_memlat");
 }

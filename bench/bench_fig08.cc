@@ -30,13 +30,17 @@ int main(int argc, char** argv) {
   TextTable table({"benchmark", "1TU", "2TU", "4TU", "8TU", "16TU"});
   std::vector<std::vector<double>> per_config(5);
   for (const auto& name : workload_names()) {
-    const auto& base =
-        runner.run(name, "table3-baseline", make_table3_baseline());
+    const auto* base =
+        runner.try_run(name, "table3-baseline", make_table3_baseline());
     std::vector<std::string> row = {name};
     for (size_t i = 0; i < 5; ++i) {
-      const auto& m = runner.run(name, "table3-" + std::to_string(kTus[i]),
-                                 make_table3_config(kTus[i]));
-      const double s = speedup(base.parallel_cycles, m.parallel_cycles);
+      const auto* m = runner.try_run(name, "table3-" + std::to_string(kTus[i]),
+                                     make_table3_config(kTus[i]));
+      if (base == nullptr || m == nullptr) {
+        row.push_back("n/a");
+        continue;
+      }
+      const double s = speedup(base->parallel_cycles, m->parallel_cycles);
       per_config[i].push_back(s);
       row.push_back(TextTable::num(s, 2) + "x");
     }
@@ -44,10 +48,9 @@ int main(int argc, char** argv) {
   }
   std::vector<std::string> avg = {"average"};
   for (const auto& speedups : per_config) {
-    avg.push_back(TextTable::num(mean_speedup(speedups), 2) + "x");
+    avg.push_back(avg_x_cell(speedups));
   }
   table.add_row(avg);
   std::fputs(table.render().c_str(), stdout);
-  write_report_if_requested(runner, "bench_fig08");
-  return 0;
+  return finish_bench(runner, "bench_fig08");
 }

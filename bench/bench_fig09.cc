@@ -37,17 +37,23 @@ int main(int argc, char** argv) {
 
   std::vector<std::vector<double>> columns(10);
   for (const auto& name : workload_names()) {
-    const auto& base =
-        runner.run(name, "orig-1", make_paper_config(PaperConfig::kOrig, 1));
+    const auto* base =
+        runner.try_run(name, "orig-1", make_paper_config(PaperConfig::kOrig, 1));
     std::vector<std::string> row = {name};
     size_t col = 0;
     for (PaperConfig config : {PaperConfig::kOrig, PaperConfig::kWthWpWec}) {
       for (uint32_t t : kTus) {
         const std::string key =
             std::string(paper_config_name(config)) + "-" + std::to_string(t);
-        const auto& m = runner.run(name, key, make_paper_config(config, t));
-        const double pct = relative_speedup_pct(base.sim.cycles, m.sim.cycles);
-        columns[col++].push_back(1.0 + pct / 100.0);
+        const auto* m = runner.try_run(name, key, make_paper_config(config, t));
+        const size_t c = col++;
+        if (base == nullptr || m == nullptr) {
+          row.push_back("n/a");
+          continue;
+        }
+        const double pct =
+            relative_speedup_pct(base->sim.cycles, m->sim.cycles);
+        columns[c].push_back(1.0 + pct / 100.0);
         row.push_back(TextTable::pct(pct));
       }
     }
@@ -55,10 +61,9 @@ int main(int argc, char** argv) {
   }
   std::vector<std::string> avg = {"average"};
   for (const auto& col : columns) {
-    avg.push_back(TextTable::pct(100.0 * (mean_speedup(col) - 1.0)));
+    avg.push_back(avg_pct_cell(col));
   }
   table.add_row(avg);
   std::fputs(table.render().c_str(), stdout);
-  write_report_if_requested(runner, "bench_fig09");
-  return 0;
+  return finish_bench(runner, "bench_fig09");
 }

@@ -32,13 +32,17 @@ int main(int argc, char** argv) {
     std::vector<std::string> row = {name};
     for (size_t i = 0; i < 5; ++i) {
       const uint32_t t = kTus[i];
-      const auto& base = runner.run(name, "orig-" + std::to_string(t),
-                                    make_paper_config(PaperConfig::kOrig, t));
-      const auto& wec =
-          runner.run(name, "wth-wp-wec-" + std::to_string(t),
-                     make_paper_config(PaperConfig::kWthWpWec, t));
+      const auto* base = runner.try_run(name, "orig-" + std::to_string(t),
+                                        make_paper_config(PaperConfig::kOrig, t));
+      const auto* wec =
+          runner.try_run(name, "wth-wp-wec-" + std::to_string(t),
+                         make_paper_config(PaperConfig::kWthWpWec, t));
+      if (base == nullptr || wec == nullptr) {
+        row.push_back("n/a");
+        continue;
+      }
       const double pct =
-          relative_speedup_pct(base.sim.cycles, wec.sim.cycles);
+          relative_speedup_pct(base->sim.cycles, wec->sim.cycles);
       columns[i].push_back(1.0 + pct / 100.0);
       row.push_back(TextTable::pct(pct));
     }
@@ -46,10 +50,9 @@ int main(int argc, char** argv) {
   }
   std::vector<std::string> avg = {"average"};
   for (const auto& col : columns) {
-    avg.push_back(TextTable::pct(100.0 * (mean_speedup(col) - 1.0)));
+    avg.push_back(avg_pct_cell(col));
   }
   table.add_row(avg);
   std::fputs(table.render().c_str(), stdout);
-  write_report_if_requested(runner, "bench_fig10");
-  return 0;
+  return finish_bench(runner, "bench_fig10");
 }

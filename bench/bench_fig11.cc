@@ -35,13 +35,17 @@ int main(int argc, char** argv) {
 
   std::vector<std::vector<double>> columns(std::size(kConfigs));
   for (const auto& name : workload_names()) {
-    const auto& base =
-        runner.run(name, "orig", make_paper_config(PaperConfig::kOrig, 8));
+    const auto* base =
+        runner.try_run(name, "orig", make_paper_config(PaperConfig::kOrig, 8));
     std::vector<std::string> row = {name};
     for (size_t i = 0; i < std::size(kConfigs); ++i) {
-      const auto& m = runner.run(name, paper_config_name(kConfigs[i]),
-                                 make_paper_config(kConfigs[i], 8));
-      const double pct = relative_speedup_pct(base.sim.cycles, m.sim.cycles);
+      const auto* m = runner.try_run(name, paper_config_name(kConfigs[i]),
+                                     make_paper_config(kConfigs[i], 8));
+      if (base == nullptr || m == nullptr) {
+        row.push_back("n/a");
+        continue;
+      }
+      const double pct = relative_speedup_pct(base->sim.cycles, m->sim.cycles);
       columns[i].push_back(1.0 + pct / 100.0);
       row.push_back(TextTable::pct(pct));
     }
@@ -49,10 +53,9 @@ int main(int argc, char** argv) {
   }
   std::vector<std::string> avg = {"average"};
   for (const auto& col : columns) {
-    avg.push_back(TextTable::pct(100.0 * (mean_speedup(col) - 1.0)));
+    avg.push_back(avg_pct_cell(col));
   }
   table.add_row(avg);
   std::fputs(table.render().c_str(), stdout);
-  write_report_if_requested(runner, "bench_fig11");
-  return 0;
+  return finish_bench(runner, "bench_fig11");
 }

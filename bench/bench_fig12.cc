@@ -58,15 +58,21 @@ int main(int argc, char** argv) {
     std::vector<std::string> row = {name};
     size_t col = 0;
     for (uint32_t assoc : {1u, 4u}) {
-      const auto& base =
-          runner.run(name, "orig-a" + std::to_string(assoc),
-                     with_assoc(PaperConfig::kOrig, assoc));
+      const auto* base =
+          runner.try_run(name, "orig-a" + std::to_string(assoc),
+                         with_assoc(PaperConfig::kOrig, assoc));
       for (PaperConfig config : kConfigs) {
         const std::string key = std::string(paper_config_name(config)) +
                                 "-a" + std::to_string(assoc);
-        const auto& m = runner.run(name, key, with_assoc(config, assoc));
-        const double pct = relative_speedup_pct(base.sim.cycles, m.sim.cycles);
-        columns[col++].push_back(1.0 + pct / 100.0);
+        const auto* m = runner.try_run(name, key, with_assoc(config, assoc));
+        const size_t c = col++;
+        if (base == nullptr || m == nullptr) {
+          row.push_back("n/a");
+          continue;
+        }
+        const double pct =
+            relative_speedup_pct(base->sim.cycles, m->sim.cycles);
+        columns[c].push_back(1.0 + pct / 100.0);
         row.push_back(TextTable::pct(pct));
       }
     }
@@ -74,10 +80,9 @@ int main(int argc, char** argv) {
   }
   std::vector<std::string> avg = {"average"};
   for (const auto& col : columns) {
-    avg.push_back(TextTable::pct(100.0 * (mean_speedup(col) - 1.0)));
+    avg.push_back(avg_pct_cell(col));
   }
   table.add_row(avg);
   std::fputs(table.render().c_str(), stdout);
-  write_report_if_requested(runner, "bench_fig12");
-  return 0;
+  return finish_bench(runner, "bench_fig12");
 }

@@ -51,21 +51,24 @@ int main(int argc, char** argv) {
   TextTable table(header);
 
   for (const auto& name : workload_names()) {
-    const auto& base =
-        runner.run(name, "orig-128k", with_l2_size(PaperConfig::kOrig, 128));
+    const auto* base = runner.try_run(name, "orig-128k",
+                                      with_l2_size(PaperConfig::kOrig, 128));
     std::vector<std::string> row = {name};
     for (PaperConfig config : {PaperConfig::kOrig, PaperConfig::kWthWpWec}) {
       for (uint64_t kb : kSizes) {
         const std::string key = std::string(paper_config_name(config)) +
                                 "-l2-" + std::to_string(kb) + "k";
-        const auto& m = runner.run(name, key, with_l2_size(config, kb));
+        const auto* m = runner.try_run(name, key, with_l2_size(config, kb));
+        if (base == nullptr || m == nullptr) {
+          row.push_back("n/a");
+          continue;
+        }
         row.push_back(TextTable::num(
-            static_cast<double>(m.sim.cycles) / base.sim.cycles, 3));
+            static_cast<double>(m->sim.cycles) / base->sim.cycles, 3));
       }
     }
     table.add_row(row);
   }
   std::fputs(table.render().c_str(), stdout);
-  write_report_if_requested(runner, "bench_fig14");
-  return 0;
+  return finish_bench(runner, "bench_fig14");
 }

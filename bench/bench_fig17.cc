@@ -28,28 +28,33 @@ int main(int argc, char** argv) {
   double miss_sum = 0.0;
   size_t n = 0;
   for (const auto& name : workload_names()) {
-    const auto& base =
-        runner.run(name, "orig", make_paper_config(PaperConfig::kOrig, 8));
-    const auto& wec = runner.run(name, "wth-wp-wec",
-                                 make_paper_config(PaperConfig::kWthWpWec, 8));
+    const auto* base =
+        runner.try_run(name, "orig", make_paper_config(PaperConfig::kOrig, 8));
+    const auto* wec = runner.try_run(
+        name, "wth-wp-wec", make_paper_config(PaperConfig::kWthWpWec, 8));
+    if (base == nullptr || wec == nullptr) {
+      table.add_row({name, "n/a", "n/a", "n/a", "n/a", "n/a"});
+      continue;
+    }
     const double traffic =
-        100.0 * (static_cast<double>(wec.sim.l1d_accesses) /
-                     base.sim.l1d_accesses -
+        100.0 * (static_cast<double>(wec->sim.l1d_accesses) /
+                     base->sim.l1d_accesses -
                  1.0);
     const double miss_red =
-        100.0 * (1.0 - static_cast<double>(wec.sim.l1d_misses) /
-                           base.sim.l1d_misses);
+        100.0 * (1.0 - static_cast<double>(wec->sim.l1d_misses) /
+                           base->sim.l1d_misses);
     traffic_sum += traffic;
     miss_sum += miss_red;
     ++n;
     table.add_row({name, TextTable::pct(traffic), TextTable::pct(miss_red),
-                   std::to_string(base.sim.l1d_misses),
-                   std::to_string(wec.sim.l1d_misses),
-                   std::to_string(wec.sim.l1d_wrong_accesses)});
+                   std::to_string(base->sim.l1d_misses),
+                   std::to_string(wec->sim.l1d_misses),
+                   std::to_string(wec->sim.l1d_wrong_accesses)});
   }
-  table.add_row({"average", TextTable::pct(traffic_sum / n),
-                 TextTable::pct(miss_sum / n), "", "", ""});
+  if (n > 0) {
+    table.add_row({"average", TextTable::pct(traffic_sum / n),
+                   TextTable::pct(miss_sum / n), "", "", ""});
+  }
   std::fputs(table.render().c_str(), stdout);
-  write_report_if_requested(runner, "bench_fig17");
-  return 0;
+  return finish_bench(runner, "bench_fig17");
 }

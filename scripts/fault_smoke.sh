@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Runs the robustness suites (fault injection, lockstep checking, fail-soft
+# sweeps) under ASan/UBSan. These tests exercise the simulator's error paths
+# — injected crashes, timeouts, corrupted commits, torn cache writes — which
+# is exactly where leaks and lifetime bugs hide, so they get their own
+# sanitizer pass on top of the plain-release run in the main test suite.
+#
+# Usage: scripts/fault_smoke.sh [--release]
+#   --release   run the fault-smoke label against the release build instead
+#               (faster; no sanitizers)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+preset=fault-smoke-asan
+configure=asan
+if [[ "${1:-}" == "--release" ]]; then
+  preset=fault-smoke
+  configure=release
+fi
+
+cmake --preset "$configure"
+cmake --build --preset "$configure" -j "$(nproc)" \
+  --target fault_test lockstep_test failsoft_test
+ctest --preset "$preset" --output-on-failure -j "$(nproc)"

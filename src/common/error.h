@@ -16,6 +16,14 @@ class SimError : public std::runtime_error {
   explicit SimError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A bounded run (wall-clock or per-point limit) exceeded its budget. The
+/// fail-soft harness treats this as persistent — the simulator is
+/// deterministic, so retrying the same point would time out again.
+class SimTimeout : public SimError {
+ public:
+  explicit SimTimeout(const std::string& what) : SimError(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const std::string& msg) {

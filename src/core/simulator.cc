@@ -1,5 +1,7 @@
 #include "core/simulator.h"
 
+#include <cstdlib>
+
 #include "common/error.h"
 
 namespace wecsim {
@@ -7,16 +9,44 @@ namespace wecsim {
 Simulator::Simulator(const Program& program, const StaConfig& config)
     : program_(program), config_(config) {
   memory_.load_program(program);
+  faults_ = std::make_unique<FaultSession>(FaultPlan::from_env());
+  if (const char* check = std::getenv("WECSIM_CHECK");
+      check != nullptr && *check != '\0') {
+    if (std::string(check) != "lockstep") {
+      throw SimError("WECSIM_CHECK: unknown mode '" + std::string(check) +
+                     "' (supported: lockstep)");
+    }
+    lockstep_ = true;
+  }
   processor_ = std::make_unique<StaProcessor>(config_, program_, stats_,
-                                              memory_, &trace_);
+                                              memory_, &trace_,
+                                              faults_.get());
 }
 
 Simulator::~Simulator() = default;
 
+void Simulator::set_fault_plan(const FaultPlan& plan) {
+  WEC_CHECK_MSG(!ran_, "set_fault_plan after run");
+  *faults_ = FaultSession(plan);
+}
+
 SimResult Simulator::run() {
   WEC_CHECK_MSG(!ran_, "Simulator::run may only be called once");
   ran_ = true;
+  if (lockstep_) {
+    // Clone memory here, not at construction: the workload's init code
+    // writes the input data through memory() between the two points, and the
+    // golden model must start from the same image. The timing memory races
+    // ahead of the replay point during the run, so the checker needs its own
+    // copy either way.
+    checker_ = std::make_unique<LockstepChecker>(program_, memory_, &stats_);
+    processor_->attach_checker(checker_.get());
+  }
   const StaRunResult sta = processor_->run();
+  if (lockstep_ && sta.halted) {
+    const OooCore& seq = processor_->tu(processor_->sequential_tu()).core();
+    checker_->finalize(memory_, seq.int_regs(), seq.fp_regs());
+  }
 
   // Close the provenance books: blocks still resident in a side cache at the
   // end of the run count as unused fills.

@@ -14,6 +14,8 @@
 
 #include "common/stats.h"
 #include "core/sim_config.h"
+#include "fault/fault.h"
+#include "fault/lockstep.h"
 #include "mem/flat_memory.h"
 #include "mem/side_cache.h"
 #include "obs/trace.h"
@@ -99,6 +101,16 @@ class Simulator {
   TraceSink& trace() { return trace_; }
   const TraceSink& trace() const { return trace_; }
 
+  /// Replace the fault plan picked up from WECSIM_FAULTS. Call before run().
+  void set_fault_plan(const FaultPlan& plan);
+  const FaultPlan& fault_plan() const { return faults_->plan(); }
+
+  /// Turn on lockstep architectural checking (also enabled by
+  /// WECSIM_CHECK=lockstep): every committed instruction is replayed against
+  /// the functional interpreter; run() throws CheckFailure on divergence.
+  void enable_lockstep() { lockstep_ = true; }
+  bool lockstep_enabled() const { return lockstep_; }
+
   /// Run to completion and aggregate the results. Call once.
   SimResult run();
 
@@ -108,7 +120,12 @@ class Simulator {
   FlatMemory memory_;
   StatsRegistry stats_;
   TraceSink trace_;  // must outlive processor_
+  // Always allocated (possibly with an empty plan) so the pointer handed to
+  // the processor stays valid when set_fault_plan swaps the plan in place.
+  std::unique_ptr<FaultSession> faults_;
   std::unique_ptr<StaProcessor> processor_;
+  std::unique_ptr<LockstepChecker> checker_;
+  bool lockstep_ = false;
   bool ran_ = false;
 };
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <sstream>
 
 #include "common/bits.h"
 #include "common/error.h"
+#include "fault/fault.h"
 #include "isa/semantics.h"
 
 namespace wecsim {
@@ -31,13 +33,15 @@ bool trace_enabled() {
 
 OooCore::OooCore(const CoreConfig& config, const Program& program,
                  CoreEnv& env, StatsRegistry& stats,
-                 const std::string& stat_prefix, TuId tu, TraceSink* trace)
+                 const std::string& stat_prefix, TuId tu, TraceSink* trace,
+                 FaultSession* faults)
     : config_(config),
       program_(program),
       env_(env),
       bpred_(config.bpred, stats, stat_prefix),
       tu_(tu),
       trace_(trace),
+      faults_(faults),
       stat_committed_(stats.counter(stat_prefix + "core.committed")),
       stat_mispredicts_(stats.counter(stat_prefix + "core.mispredicts")),
       stat_branches_(stats.counter(stat_prefix + "core.branches")),
@@ -151,12 +155,40 @@ void OooCore::do_commit(Cycle now) {
     if (!head.completed(now)) break;
     const OpcodeInfo& info = opcode_info(head.instr.op);
 
+    // Injected commit-stage corruption: flip result bits just before the
+    // value becomes architectural. This is the deliberate timing-core bug
+    // the lockstep checker exists to catch (mutation testing).
+    if (faults_ != nullptr && faults_->armed(FaultKind::kCommitCorrupt) &&
+        head.instr.writes_reg() && head.instr.rd != 0 &&
+        faults_->fire(FaultKind::kCommitCorrupt)) {
+      head.result ^= faults_->arg(FaultKind::kCommitCorrupt, 1);
+    }
+
+    // Snapshot for the commit-stream observer before any early return can
+    // clear the ROB.
+    auto committed_info = [&](const RobEntry& e) {
+      CommittedInstr ci;
+      ci.cycle = now;
+      ci.tu = tu_;
+      ci.pc = e.pc;
+      ci.instr = e.instr;
+      ci.result = e.result;
+      ci.is_store = e.instr.is_store();
+      if (e.instr.is_mem()) {
+        ci.mem_addr = e.mem_addr;
+        ci.mem_bytes = e.instr.mem_bytes();
+        ci.store_value = e.store_value;
+      }
+      return ci;
+    };
+
     if (info.kind == InstrKind::kThread) {
       const auto action = env_.thread_op(head.instr, head.mem_addr, now);
       if (action == CoreEnv::ThreadOpAction::kRetry) break;
       if (action == CoreEnv::ThreadOpAction::kEndThread) {
         core_stats_.committed += 1;
         stat_committed_.inc();
+        if (commit_hook_) commit_hook_(committed_info(head));
         stop();
         return;
       }
@@ -165,6 +197,7 @@ void OooCore::do_commit(Cycle now) {
       core_stats_.committed += 1;
       stat_committed_.inc();
       halted_ = true;
+      if (commit_hook_) commit_hook_(committed_info(head));
       stop();
       return;
     } else if (info.kind == InstrKind::kStore) {
@@ -195,9 +228,36 @@ void OooCore::do_commit(Cycle now) {
     }
     ++core_stats_.committed;
     stat_committed_.inc();
+    if (commit_hook_) commit_hook_(committed_info(head));
     ++committed;
     rob_.pop_front();
   }
+}
+
+std::string OooCore::describe_state() const {
+  if (halted_) return "halted";
+  if (!active_) return "idle";
+  std::ostringstream os;
+  os << "fetch_pc=0x" << std::hex << fetch_pc_ << std::dec;
+  if (fetch_blocked_) os << " (blocked)";
+  uint32_t lsq = 0;
+  for (const RobEntry& e : rob_) lsq += e.instr.is_mem() ? 1 : 0;
+  os << " rob=" << rob_.size() << "/" << config_.rob_size << " lsq=" << lsq
+     << "/" << config_.lsq_size;
+  if (rob_.empty()) {
+    os << " rob-head=<empty>";
+  } else {
+    const RobEntry& head = rob_.front();
+    os << " rob-head=[seq=" << head.seq << " pc=0x" << std::hex << head.pc
+       << std::dec << " " << opcode_name(head.instr.op)
+       << (head.completed_flag
+               ? (head.issued ? " done@" : " precomputed@")
+               : (head.issued ? " issued" : " waiting"));
+    if (head.completed_flag) os << head.done_cycle;
+    os << "]";
+  }
+  os << " wrong_path_queue=" << wrong_path_queue_.size();
+  return os.str();
 }
 
 // ---------------------------------------------------------------------------
@@ -346,6 +406,14 @@ void OooCore::resolve_control(RobEntry& entry, Cycle now) {
                 (unsigned long long)now, (unsigned long long)entry.seq,
                 (unsigned long long)entry.pc, (int)entry.predicted_taken,
                 (int)actual, (unsigned long long)target);
+      recoveries_.push_back({entry.seq, now + 1, target, actual});
+    } else if (faults_ != nullptr && faults_->armed(FaultKind::kMispredict) &&
+               faults_->fire(FaultKind::kMispredict)) {
+      // Injected "misprediction" on a correctly predicted branch: squash and
+      // redirect to the branch's real target, so execution stays
+      // architecturally correct but pays the full recovery (and, under wp
+      // configs, harvests wrong-path loads). Deliberately not counted in the
+      // mispredict stats — those measure the predictor, not the injector.
       recoveries_.push_back({entry.seq, now + 1, target, actual});
     }
     return;

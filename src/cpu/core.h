@@ -21,6 +21,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,10 +29,13 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "cpu/bpred.h"
+#include "fault/committed_instr.h"
 #include "isa/program.h"
 #include "mem/mem_system.h"
 
 namespace wecsim {
+
+class FaultSession;
 
 struct CoreConfig {
   uint32_t fetch_width = 8;
@@ -101,10 +105,18 @@ struct CoreStats {
 class OooCore {
  public:
   /// `tu` and `trace` feed the optional pipeline event trace (fetch-block
-  /// accesses, squashes); a null sink disables it.
+  /// accesses, squashes); a null sink disables it. `faults` (may be null)
+  /// injects forced mispredictions and commit-stage corruption.
   OooCore(const CoreConfig& config, const Program& program, CoreEnv& env,
           StatsRegistry& stats, const std::string& stat_prefix,
-          TuId tu = 0, TraceSink* trace = nullptr);
+          TuId tu = 0, TraceSink* trace = nullptr,
+          FaultSession* faults = nullptr);
+
+  /// Observer of the in-order commit stream (lockstep checking). Fires once
+  /// per committed instruction, after its architectural effect is applied.
+  /// Unset (default) costs one branch per commit.
+  using CommitHook = std::function<void(const CommittedInstr&)>;
+  void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
 
   /// Begin executing at pc with the given architectural register state
   /// (a fork's register snapshot).
@@ -130,6 +142,10 @@ class OooCore {
 
   const CoreStats& core_stats() const { return core_stats_; }
   BranchPredictor& predictor() { return bpred_; }
+
+  /// One-line pipeline snapshot for deadlock/watchdog dumps: fetch PC, ROB
+  /// head instruction and its issue/complete flags, outstanding memory ops.
+  std::string describe_state() const;
 
  private:
   // --- pipeline structures -----------------------------------------------
@@ -249,6 +265,8 @@ class OooCore {
 
   TuId tu_ = 0;
   TraceSink* trace_ = nullptr;
+  FaultSession* faults_ = nullptr;
+  CommitHook commit_hook_;
 
   CoreStats core_stats_;
   StatsRegistry::Counter stat_committed_;

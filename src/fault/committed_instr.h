@@ -1,0 +1,25 @@
+// One instruction leaving a thread unit's reorder buffer, as observed by the
+// core's commit hook. Deliberately a plain record with no dependencies
+// beyond the ISA, so cpu/core.h can expose the hook without pulling the
+// functional interpreter into every translation unit.
+#pragma once
+
+#include "common/types.h"
+#include "isa/isa.h"
+
+namespace wecsim {
+
+struct CommittedInstr {
+  Cycle cycle = 0;
+  TuId tu = 0;
+  uint64_t iter = 0;  // iteration within the parallel region (owner-stamped)
+  Addr pc = 0;
+  Instruction instr;
+  Word result = 0;        // value written to rd (when the op writes a reg)
+  bool is_store = false;
+  Addr mem_addr = 0;      // effective address (loads/stores/tsaddr)
+  uint32_t mem_bytes = 0;
+  Word store_value = 0;
+};
+
+}  // namespace wecsim

@@ -1,0 +1,248 @@
+#include "fault/fault.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace wecsim {
+
+namespace {
+
+constexpr const char* kKindNames[kNumFaultKinds] = {
+    "mem_delay",       "mem_drop",     "mispredict",     "wrong_kill",
+    "side_invalidate", "worker_crash", "worker_timeout", "commit_corrupt",
+};
+
+/// FNV-1a over the seed, kind, and point key: the stateless point-fault
+/// selector. Local copy (harness/result_cache.h has one too) so the fault
+/// library depends only on wecsim_common.
+uint64_t point_fnv(uint64_t seed, FaultKind kind, const std::string& key) {
+  uint64_t h = 1469598103934665603ull ^ (seed * 0x9e3779b97f4a7c15ull);
+  h ^= static_cast<uint64_t>(kind) + 1;
+  h *= 1099511628211ull;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+double hash_to_uniform(uint64_t h) {
+  // Same [0, 1) mapping as Rng::uniform.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool parse_u64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_double(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+std::string trim(const std::string& s) {
+  size_t a = 0, b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  return kKindNames[static_cast<size_t>(kind)];
+}
+
+void FaultPlan::enable(FaultKind kind, const FaultSpec& spec) {
+  specs_[index(kind)] = spec;
+  specs_[index(kind)].enabled = true;
+}
+
+bool FaultPlan::any() const {
+  for (const FaultSpec& s : specs_) {
+    if (s.enabled) return true;
+  }
+  return false;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::vector<std::string> errors;
+  for (const std::string& raw_clause : split(spec, ';')) {
+    const std::string clause = trim(raw_clause);
+    if (clause.empty()) continue;
+    if (clause.rfind("seed=", 0) == 0) {
+      uint64_t seed = 0;
+      if (!parse_u64(clause.substr(5), &seed)) {
+        errors.push_back("bad seed value: '" + clause + "'");
+      } else {
+        plan.seed_ = seed;
+      }
+      continue;
+    }
+    const size_t colon = clause.find(':');
+    const std::string name = trim(clause.substr(0, colon));
+    int kind = -1;
+    for (uint32_t k = 0; k < kNumFaultKinds; ++k) {
+      if (name == kKindNames[k]) kind = static_cast<int>(k);
+    }
+    if (kind < 0) {
+      errors.push_back("unknown fault kind: '" + name + "'");
+      continue;
+    }
+    FaultSpec s;
+    s.enabled = true;
+    if (colon != std::string::npos) {
+      for (const std::string& raw_kv : split(clause.substr(colon + 1), ',')) {
+        const std::string kv = trim(raw_kv);
+        if (kv.empty()) continue;
+        const size_t eq = kv.find('=');
+        if (eq == std::string::npos) {
+          errors.push_back(name + ": expected key=value, got '" + kv + "'");
+          continue;
+        }
+        const std::string key = trim(kv.substr(0, eq));
+        const std::string val = trim(kv.substr(eq + 1));
+        bool ok = true;
+        if (key == "p") {
+          ok = parse_double(val, &s.p) && s.p >= 0.0 && s.p <= 1.0;
+        } else if (key == "every") {
+          ok = parse_u64(val, &s.every);
+        } else if (key == "after") {
+          ok = parse_u64(val, &s.after);
+        } else if (key == "count") {
+          ok = parse_u64(val, &s.count);
+        } else if (key == "arg" || key == "cycles") {
+          ok = parse_u64(val, &s.arg);
+        } else if (key == "match") {
+          s.match = val;
+        } else {
+          errors.push_back(name + ": unknown key '" + key + "'");
+          continue;
+        }
+        if (!ok) {
+          errors.push_back(name + ": bad value for '" + key + "': '" + val +
+                           "'");
+        }
+      }
+    }
+    plan.specs_[static_cast<size_t>(kind)] = s;
+  }
+  if (!errors.empty()) {
+    std::ostringstream os;
+    os << "WECSIM_FAULTS: " << errors.size() << " error(s) in '" << spec
+       << "':";
+    for (const std::string& e : errors) os << "\n  - " << e;
+    throw SimError(os.str());
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* env = std::getenv("WECSIM_FAULTS");
+  if (env == nullptr || *env == '\0') return FaultPlan();
+  return parse(env);
+}
+
+std::string FaultPlan::describe() const {
+  if (!any()) return std::string();
+  std::ostringstream os;
+  os << "seed=" << seed_;
+  for (uint32_t k = 0; k < kNumFaultKinds; ++k) {
+    const FaultSpec& s = specs_[k];
+    if (!s.enabled) continue;
+    os << ';' << kKindNames[k];
+    std::vector<std::string> kvs;
+    if (s.p > 0.0) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "p=%.17g", s.p);
+      kvs.push_back(buf);
+    }
+    if (s.every != 0) kvs.push_back("every=" + std::to_string(s.every));
+    if (s.after != 0) kvs.push_back("after=" + std::to_string(s.after));
+    if (s.count != UINT64_MAX) kvs.push_back("count=" + std::to_string(s.count));
+    if (s.arg != 0) kvs.push_back("arg=" + std::to_string(s.arg));
+    if (!s.match.empty()) kvs.push_back("match=" + s.match);
+    for (size_t i = 0; i < kvs.size(); ++i) {
+      os << (i == 0 ? ':' : ',') << kvs[i];
+    }
+  }
+  return os.str();
+}
+
+bool FaultPlan::should_fail_point(FaultKind kind, const std::string& point_key,
+                                  uint64_t attempt) const {
+  const FaultSpec& s = specs_[index(kind)];
+  if (!s.enabled) return false;
+  if (!s.match.empty() && point_key.find(s.match) == std::string::npos) {
+    return false;
+  }
+  // count bounds failing *attempts*: count=1 is a transient blip (the first
+  // retry succeeds), the default is a persistently failing point.
+  if (attempt >= s.count) return false;
+  const uint64_t h = point_fnv(seed_, kind, point_key);
+  if (s.p > 0.0) return hash_to_uniform(h) < s.p;
+  const uint64_t every = s.every == 0 ? 1 : s.every;
+  return h % every == 0;
+}
+
+FaultSession::FaultSession(const FaultPlan& plan) : plan_(plan) {
+  for (uint32_t k = 0; k < kNumFaultKinds; ++k) {
+    // Mix the kind into the seed so each kind draws an independent stream.
+    state_[k].rng = Rng(plan.seed() * 0x9e3779b97f4a7c15ull + k + 1);
+  }
+}
+
+bool FaultSession::fire(FaultKind kind) {
+  const FaultSpec& s = plan_.spec(kind);
+  if (!s.enabled) return false;
+  KindState& st = state_[static_cast<size_t>(kind)];
+  const uint64_t n = st.seen++;
+  if (n < s.after) return false;
+  if (st.fired >= s.count) return false;
+  bool hit;
+  if (s.p > 0.0) {
+    hit = st.rng.uniform() < s.p;
+  } else {
+    const uint64_t every = s.every == 0 ? 1 : s.every;
+    hit = (n - s.after) % every == 0;
+  }
+  if (hit) ++st.fired;
+  return hit;
+}
+
+uint64_t FaultSession::arg(FaultKind kind, uint64_t fallback) const {
+  const uint64_t a = plan_.spec(kind).arg;
+  return a != 0 ? a : fallback;
+}
+
+}  // namespace wecsim

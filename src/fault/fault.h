@@ -1,0 +1,148 @@
+// Deterministic fault injection (docs/ROBUSTNESS.md). A FaultPlan describes
+// which failure modes to provoke and how often; it is parsed once from the
+// WECSIM_FAULTS environment variable (or built programmatically) and then
+// drives two kinds of decisions:
+//
+//   * FaultSession — per-Simulator, stateful, seeded. Every injection site
+//     inside the machine (memory fills, branch resolution, commit, wrong
+//     threads) asks fire(kind) at each opportunity; the answer stream is a
+//     pure function of the plan, so a faulty run is exactly reproducible.
+//
+//   * FaultPlan::should_fail_point — harness-level, stateless. Worker
+//     crash/timeout faults must behave identically whether a sweep runs
+//     serially or on a pool of threads, so the decision hashes the
+//     (workload, config) point key instead of consuming RNG state.
+//
+// All kinds except commit_corrupt are timing-only: they perturb when things
+// happen, never architectural state, so a lockstep-checked run stays green
+// under them. commit_corrupt deliberately breaks architectural state — it is
+// the seeded bug the lockstep checker must catch (mutation testing).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace wecsim {
+
+/// Thrown when an injected fault surfaces as a failure (worker crashes).
+/// The harness treats it as transient: retry-with-backoff applies.
+class FaultInjected : public SimError {
+ public:
+  explicit FaultInjected(const std::string& what) : SimError(what) {}
+};
+
+/// Every injectable failure mode. Enumerator order is the canonical order
+/// used by FaultPlan::describe().
+enum class FaultKind : uint8_t {
+  kMemDelay,        // mem_delay: fill completes `arg` cycles late
+  kMemDrop,         // mem_drop: fill data returns but the L1 line is dropped
+  kMispredict,      // mispredict: squash a correctly-predicted branch
+  kWrongKill,       // wrong_kill: kill a running wrong thread early
+  kSideInvalidate,  // side_invalidate: evict the side cache's LRU line
+  kWorkerCrash,     // worker_crash: sweep worker throws FaultInjected
+  kWorkerTimeout,   // worker_timeout: sweep worker throws SimTimeout
+  kCommitCorrupt,   // commit_corrupt: XOR a committed result with `arg`
+};
+
+inline constexpr uint32_t kNumFaultKinds = 8;
+
+/// Stable snake_case name used in WECSIM_FAULTS and reports.
+const char* fault_kind_name(FaultKind kind);
+
+/// How often one fault kind fires. Selection: with p > 0, each opportunity
+/// fires with probability p; otherwise every `every`-th opportunity fires
+/// (every == 0 means every opportunity). `after` opportunities are skipped
+/// first, and at most `count` firings happen in total. For the point-level
+/// worker faults, `match` restricts injection to points whose
+/// "workload|config" key contains it, and `count` bounds the number of
+/// *attempts* that fail (count=1 models a transient blip that a retry
+/// survives).
+struct FaultSpec {
+  bool enabled = false;
+  double p = 0.0;
+  uint64_t every = 0;
+  uint64_t after = 0;
+  uint64_t count = UINT64_MAX;
+  uint64_t arg = 0;
+  std::string match;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Parse a WECSIM_FAULTS string:
+  ///   spec   := clause (';' clause)*
+  ///   clause := 'seed=' N | kind | kind ':' key '=' val (',' key '=' val)*
+  ///   key    := 'p' | 'every' | 'after' | 'count' | 'arg' | 'cycles'
+  ///          |  'match'                   ('cycles' is an alias for 'arg')
+  /// Throws one SimError listing *all* problems found, not just the first.
+  static FaultPlan parse(const std::string& spec);
+
+  /// Plan from $WECSIM_FAULTS (empty plan when unset).
+  static FaultPlan from_env();
+
+  bool any() const;
+  bool has(FaultKind kind) const { return specs_[index(kind)].enabled; }
+  const FaultSpec& spec(FaultKind kind) const { return specs_[index(kind)]; }
+  uint64_t seed() const { return seed_; }
+
+  void set_seed(uint64_t seed) { seed_ = seed; }
+  void enable(FaultKind kind, const FaultSpec& spec);
+
+  /// Canonical round-trippable description ("" for an empty plan). Also the
+  /// result-cache salt: faulty measurements never collide with clean ones.
+  std::string describe() const;
+
+  /// Stateless harness-level decision: does `kind` fail attempt number
+  /// `attempt` of the point identified by `point_key` ("workload|config")?
+  /// Deterministic under any worker interleaving.
+  bool should_fail_point(FaultKind kind, const std::string& point_key,
+                         uint64_t attempt) const;
+
+ private:
+  static size_t index(FaultKind kind) { return static_cast<size_t>(kind); }
+
+  std::array<FaultSpec, kNumFaultKinds> specs_{};
+  uint64_t seed_ = 0;
+};
+
+/// Per-simulation fault state: one independently-seeded RNG and opportunity
+/// counter per kind, so adding opportunities of one kind never perturbs the
+/// decision stream of another.
+class FaultSession {
+ public:
+  explicit FaultSession(const FaultPlan& plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Cheap inline guard for hot paths: is this kind enabled at all?
+  bool armed(FaultKind kind) const { return plan_.has(kind); }
+
+  /// Register one opportunity for `kind`; true when the fault fires.
+  bool fire(FaultKind kind);
+
+  /// The kind's `arg` parameter, or `fallback` when left at 0.
+  uint64_t arg(FaultKind kind, uint64_t fallback) const;
+
+  /// How many times `kind` actually fired (reporting / tests).
+  uint64_t injected(FaultKind kind) const {
+    return state_[static_cast<size_t>(kind)].fired;
+  }
+
+ private:
+  struct KindState {
+    Rng rng{0};
+    uint64_t seen = 0;
+    uint64_t fired = 0;
+  };
+
+  FaultPlan plan_;
+  std::array<KindState, kNumFaultKinds> state_;
+};
+
+}  // namespace wecsim

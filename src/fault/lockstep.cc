@@ -1,0 +1,138 @@
+#include "fault/lockstep.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "common/bits.h"
+#include "mem/side_cache.h"
+
+namespace wecsim {
+
+namespace {
+
+std::string hex(uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "0x%" PRIx64, v);
+  return buf;
+}
+
+}  // namespace
+
+LockstepChecker::LockstepChecker(const Program& program,
+                                 const FlatMemory& memory,
+                                 const StatsRegistry* stats, size_t history)
+    : shadow_(memory.clone()),
+      interp_(program, shadow_),
+      stats_(stats),
+      history_cap_(history) {}
+
+void LockstepChecker::fail(const std::string& reason) const {
+  std::ostringstream os;
+  os << "lockstep divergence: " << reason;
+  os << "\nlast " << history_.size() << " committed instruction(s):";
+  for (const CommittedInstr& h : history_) {
+    os << "\n  [" << h.cycle << "] tu" << static_cast<unsigned>(h.tu)
+       << " iter" << h.iter << ' ' << hex(h.pc) << "  " << to_string(h.instr);
+    if (h.instr.writes_reg()) os << "  => " << hex(h.result);
+    if (h.is_store) {
+      os << "  mem[" << hex(h.mem_addr) << "] <- " << hex(h.store_value);
+    }
+  }
+  if (stats_ != nullptr) {
+    os << "\nwec provenance at failure:";
+    for (uint32_t i = 0; i < kNumSideOrigins; ++i) {
+      const std::string origin(side_origin_name(static_cast<SideOrigin>(i)));
+      os << "\n  " << origin << ": fills="
+         << stats_->sum_matching("tu", ".side.fill." + origin)
+         << " used=" << stats_->sum_matching("tu", ".side.used." + origin)
+         << " unused=" << stats_->sum_matching("tu", ".side.unused." + origin);
+    }
+  }
+  throw CheckFailure(os.str());
+}
+
+void LockstepChecker::replay(const CommittedInstr& ci) {
+  history_.push_back(ci);
+  if (history_.size() > history_cap_) history_.pop_front();
+
+  if (interp_.halted()) {
+    fail("timing core committed " + to_string(ci.instr) + " at " +
+         hex(ci.pc) + " after the functional model halted");
+  }
+  if (interp_.pc() != ci.pc) {
+    fail("PC divergence: functional model at " + hex(interp_.pc()) +
+         ", timing core committed " + hex(ci.pc));
+  }
+  try {
+    interp_.step();
+  } catch (const SimError& e) {
+    fail(std::string("functional model rejected the commit stream: ") +
+         e.what());
+  }
+  ++replayed_;
+
+  const OpcodeInfo& info = opcode_info(ci.instr.op);
+  if (info.dst == RegFile::kInt && ci.instr.rd != 0) {
+    const Word golden = interp_.int_reg(ci.instr.rd);
+    if (golden != ci.result) {
+      fail("register divergence at " + hex(ci.pc) + " (" +
+           to_string(ci.instr) + "): functional r" +
+           std::to_string(ci.instr.rd) + " = " + hex(golden) +
+           ", timing committed " + hex(ci.result));
+    }
+  } else if (info.dst == RegFile::kFp) {
+    const Word golden = interp_.fp_reg(ci.instr.rd);
+    if (golden != ci.result) {
+      fail("register divergence at " + hex(ci.pc) + " (" +
+           to_string(ci.instr) + "): functional f" +
+           std::to_string(ci.instr.rd) + " = " + hex(golden) +
+           ", timing committed " + hex(ci.result));
+    }
+  }
+
+  if (ci.is_store) {
+    // The interpreter just performed the golden store into shadow memory;
+    // read it back and compare against what the timing core committed.
+    const uint32_t n = ci.mem_bytes > 8 ? 8 : ci.mem_bytes;
+    const uint64_t golden = shadow_.read(ci.mem_addr, n);
+    const uint64_t committed = ci.store_value & low_mask(8 * n);
+    if (golden != committed) {
+      fail("store divergence at " + hex(ci.pc) + " (" + to_string(ci.instr) +
+           "): functional mem[" + hex(ci.mem_addr) + "] = " + hex(golden) +
+           ", timing committed " + hex(committed));
+    }
+  }
+}
+
+void LockstepChecker::finalize(
+    const FlatMemory& timing_memory,
+    const std::array<Word, kNumIntRegs>& int_regs,
+    const std::array<Word, kNumFpRegs>& fp_regs) {
+  if (!interp_.halted()) {
+    fail("timing simulation halted but the functional model did not (at pc " +
+         hex(interp_.pc()) + " after " + std::to_string(replayed_) +
+         " replayed commits)");
+  }
+  for (RegId r = 1; r < kNumIntRegs; ++r) {
+    if (interp_.int_reg(r) != int_regs[r]) {
+      fail("final state divergence: r" + std::to_string(r) +
+           " functional = " + hex(interp_.int_reg(r)) + ", timing = " +
+           hex(int_regs[r]));
+    }
+  }
+  for (RegId r = 0; r < kNumFpRegs; ++r) {
+    if (interp_.fp_reg(r) != fp_regs[r]) {
+      fail("final state divergence: f" + std::to_string(r) +
+           " functional = " + hex(interp_.fp_reg(r)) + ", timing = " +
+           hex(fp_regs[r]));
+    }
+  }
+  if (auto diff = shadow_.first_difference(timing_memory)) {
+    fail("final memory divergence at " + hex(*diff) + ": functional = " +
+         hex(shadow_.read(*diff, 8)) + ", timing = " +
+         hex(timing_memory.read(*diff, 8)));
+  }
+}
+
+}  // namespace wecsim

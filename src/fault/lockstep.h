@@ -1,0 +1,73 @@
+// Lockstep architectural checking (WECSIM_CHECK=lockstep): replay the timing
+// simulator's commit stream against the functional interpreter and fail
+// loudly on any divergence.
+//
+// Why the commit stream is comparable at all: the superthreaded execution
+// model preserves sequential memory semantics (target-store forwarding plus
+// in-order write-back), so the instructions committed by *correct* threads,
+// concatenated in iteration order, are exactly the sequential instruction
+// stream the interpreter executes. ThreadUnit buffers each parallel
+// iteration's commits and flushes them at THEND/ENDPAR — which the WB_DONE
+// chain already serializes in iteration order — while sequential commits
+// replay immediately. Wrong threads and wrong-path work never reach the
+// checker.
+//
+// The checker owns a private clone of post-init architectural memory: the
+// timing simulator's FlatMemory runs ahead of the replay point (write-back
+// drains whole iterations at once), so sharing it would poison the golden
+// model's loads.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <string>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "fault/committed_instr.h"
+#include "func/interpreter.h"
+#include "isa/program.h"
+#include "mem/flat_memory.h"
+
+namespace wecsim {
+
+/// Structured lockstep divergence: the reason, the last N committed
+/// instructions, and the WEC provenance books at the moment of failure.
+class CheckFailure : public SimError {
+ public:
+  explicit CheckFailure(const std::string& what) : SimError(what) {}
+};
+
+class LockstepChecker {
+ public:
+  /// Clones `memory` (the post-workload-init architectural image) as the
+  /// golden model's private memory. `stats` (may be null) supplies the WEC
+  /// provenance snapshot attached to failures.
+  LockstepChecker(const Program& program, const FlatMemory& memory,
+                  const StatsRegistry* stats, size_t history = 32);
+
+  /// Replay one committed instruction. Throws CheckFailure on divergence
+  /// (PC, register result, or stored value).
+  void replay(const CommittedInstr& ci);
+
+  /// End-of-run check: the golden model must have halted, every committed
+  /// register must match the sequential thread's, and the two memory images
+  /// must be identical. Throws CheckFailure on divergence.
+  void finalize(const FlatMemory& timing_memory,
+                const std::array<Word, kNumIntRegs>& int_regs,
+                const std::array<Word, kNumFpRegs>& fp_regs);
+
+  uint64_t replayed() const { return replayed_; }
+
+ private:
+  [[noreturn]] void fail(const std::string& reason) const;
+
+  FlatMemory shadow_;
+  Interpreter interp_;
+  const StatsRegistry* stats_;
+  size_t history_cap_;
+  std::deque<CommittedInstr> history_;
+  uint64_t replayed_ = 0;
+};
+
+}  // namespace wecsim

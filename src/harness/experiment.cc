@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "common/error.h"
 #include "common/log.h"
@@ -10,12 +11,35 @@
 
 namespace wecsim {
 
+namespace {
+
+uint32_t env_u32(const char* name, uint32_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const unsigned long parsed = std::strtoul(value, nullptr, 10);
+  return static_cast<uint32_t>(parsed);
+}
+
+double env_seconds(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const double parsed = std::strtod(value, nullptr);
+  return parsed > 0.0 ? parsed : fallback;
+}
+
+}  // namespace
+
 ExperimentRunner::ExperimentRunner(const WorkloadParams& params,
                                    std::optional<std::string> cache_dir)
-    : params_(params), start_(std::chrono::steady_clock::now()) {
+    : params_(params),
+      fault_plan_(FaultPlan::from_env()),
+      start_(std::chrono::steady_clock::now()) {
   if (const char* dir = std::getenv("WECSIM_TRACE_DIR"); dir != nullptr) {
     trace_dir_ = dir;
   }
+  max_attempts_ = 1 + env_u32("WECSIM_RETRIES", 2);
+  backoff_ms_ = env_u32("WECSIM_RETRY_BACKOFF_MS", 50);
+  point_timeout_ = env_seconds("WECSIM_POINT_TIMEOUT", 0.0);
   disk_cache_ = std::make_unique<ResultCache>(
       cache_dir.has_value() ? *cache_dir : ResultCache::dir_from_env());
 }
@@ -31,9 +55,10 @@ double ExperimentRunner::elapsed_seconds() const {
 ExperimentRunner::PointOutcome ExperimentRunner::simulate_point(
     const std::string& workload_name, const std::string& key,
     const WorkloadParams& params, const StaConfig& config,
-    const std::string& trace_dir) {
+    const std::string& trace_dir, const FaultPlan& faults) {
   Workload w = make_workload(workload_name, params);
   Simulator sim(w.program, config);
+  if (faults.any()) sim.set_fault_plan(faults);
   w.init(sim.memory());
   if (!trace_dir.empty()) sim.trace().enable();
 
@@ -73,34 +98,129 @@ ExperimentRunner::PointOutcome ExperimentRunner::simulate_point(
   return out;
 }
 
-const RunMeasurement& ExperimentRunner::run(const std::string& workload_name,
-                                            const std::string& key,
-                                            const StaConfig& config) {
+std::string ExperimentRunner::fault_salt() const {
+  return fault_plan_.any() ? "faults=" + fault_plan_.describe() + ';'
+                           : std::string();
+}
+
+ExperimentRunner::PointAttempt ExperimentRunner::run_point_failsoft(
+    const std::string& workload_name, const std::string& key,
+    StaConfig config) const {
+  // Per-point wall-clock budget: WECSIM_POINT_TIMEOUT applies unless the
+  // config already carries its own (tighter or looser) budget.
+  if (point_timeout_ > 0.0 && config.wall_timeout_seconds == 0.0) {
+    config.wall_timeout_seconds = point_timeout_;
+  }
+  const std::string point = workload_name + "|" + key;
+
+  PointAttempt attempt;
+  attempt.failure.workload = workload_name;
+  attempt.failure.config_key = key;
+  for (uint32_t n = 0; n < max_attempts_; ++n) {
+    attempt.failure.attempts = n + 1;
+    try {
+      // Injected harness-level faults fire before the simulation so a
+      // "crashed worker" costs nothing to reproduce.
+      if (fault_plan_.should_fail_point(FaultKind::kWorkerTimeout, point, n)) {
+        throw SimTimeout("injected worker timeout: " + point);
+      }
+      if (fault_plan_.should_fail_point(FaultKind::kWorkerCrash, point, n)) {
+        throw FaultInjected("injected worker crash: " + point + " (attempt " +
+                            std::to_string(n + 1) + ")");
+      }
+      attempt.out = simulate_point(workload_name, key, params_, config,
+                                   trace_dir_, fault_plan_);
+      attempt.ok = true;
+      if (attempt.recovered) attempt.failure.status = "recovered";
+      return attempt;
+    } catch (const FaultInjected& e) {
+      // Transient: retry with exponential backoff until the budget runs out.
+      attempt.failure.error = e.what();
+      attempt.recovered = true;  // provisionally; cleared if we never succeed
+      if (n + 1 < max_attempts_ && backoff_ms_ > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(static_cast<uint64_t>(backoff_ms_) << n));
+      }
+    } catch (const SimTimeout& e) {
+      // Persistent by construction: the simulator is deterministic, so the
+      // same point would blow the same budget again.
+      attempt.failure.error = e.what();
+      break;
+    } catch (const SimError& e) {
+      // Simulator errors (bad run, lockstep divergence) are deterministic
+      // too — quarantine immediately and keep the sweep alive.
+      attempt.failure.error = e.what();
+      break;
+    }
+  }
+  attempt.ok = false;
+  attempt.recovered = false;
+  attempt.failure.status = "quarantined";
+  return attempt;
+}
+
+void ExperimentRunner::record_attempt_failure(const MemoKey& memo_key,
+                                              const PointAttempt& attempt) {
+  if (attempt.ok && !attempt.recovered) return;
+  PointFailure failure = attempt.failure;
+  failure.workload = memo_key.first;
+  failure.config_key = memo_key.second;
+  if (!attempt.ok) quarantined_.insert(memo_key);
+  failures_.push_back(std::move(failure));
+}
+
+size_t ExperimentRunner::quarantined_count() const {
+  return quarantined_.size();
+}
+
+const RunMeasurement* ExperimentRunner::try_run(
+    const std::string& workload_name, const std::string& key,
+    const StaConfig& config) {
   const MemoKey memo_key{workload_name, key};
-  if (auto it = cache_.find(memo_key); it != cache_.end()) return it->second;
+  if (auto it = cache_.find(memo_key); it != cache_.end()) return &it->second;
+  if (quarantined_.count(memo_key) != 0) return nullptr;
 
   const std::string description =
       disk_cache_->enabled()
-          ? ResultCache::describe(workload_name, params_, config)
+          ? ResultCache::describe(workload_name, params_, config, fault_salt())
           : std::string();
   if (disk_cache_->enabled()) {
     if (auto cached = disk_cache_->load(description)) {
       // Disk hit: the measurement is served without simulating, and no
       // RunRecord is appended — records() counts fresh simulations only.
-      return cache_.emplace(memo_key, std::move(*cached)).first->second;
+      return &cache_.emplace(memo_key, std::move(*cached)).first->second;
     }
   }
 
-  PointOutcome out =
-      simulate_point(workload_name, key, params_, config, trace_dir_);
-  if (disk_cache_->enabled()) disk_cache_->store(description, out.m);
-  records_.push_back(std::move(out.record));
-  return cache_.emplace(memo_key, std::move(out.m)).first->second;
+  PointAttempt attempt = run_point_failsoft(workload_name, key, config);
+  record_attempt_failure(memo_key, attempt);
+  if (!attempt.ok) return nullptr;
+  if (disk_cache_->enabled()) disk_cache_->store(description, attempt.out.m);
+  records_.push_back(std::move(attempt.out.record));
+  return &cache_.emplace(memo_key, std::move(attempt.out.m)).first->second;
+}
+
+const RunMeasurement& ExperimentRunner::run(const std::string& workload_name,
+                                            const std::string& key,
+                                            const StaConfig& config) {
+  const RunMeasurement* m = try_run(workload_name, key, config);
+  if (m == nullptr) {
+    std::string why;
+    for (const PointFailure& f : failures_) {
+      if (f.workload == workload_name && f.config_key == key &&
+          f.status == "quarantined") {
+        why = f.error;
+      }
+    }
+    throw PointQuarantined("point quarantined: " + workload_name + "|" + key +
+                           (why.empty() ? "" : ": " + why));
+  }
+  return *m;
 }
 
 void ExperimentRunner::write_report(const std::string& path,
                                     const std::string& bench_name) const {
-  write_run_report(path, bench_name, records_);
+  write_run_report(path, bench_name, records_, failures_);
 }
 
 void ExperimentRunner::write_timing(const std::string& path,

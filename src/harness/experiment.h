@@ -22,18 +22,27 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/sim_config.h"
 #include "core/simulator.h"
+#include "fault/fault.h"
 #include "harness/report.h"
 #include "workloads/workload.h"
 
 namespace wecsim {
 
 class ResultCache;
+
+/// Thrown by run() when the requested point has been quarantined by the
+/// fail-soft machinery. Benches that want to keep going use try_run().
+class PointQuarantined : public SimError {
+ public:
+  explicit PointQuarantined(const std::string& what) : SimError(what) {}
+};
 
 /// One simulation's relevant measurements (SimResult plus the parallel-
 /// portion cycles used by Figure 8, plus the wall-clock it cost).
@@ -58,14 +67,46 @@ class ExperimentRunner {
   ExperimentRunner& operator=(const ExperimentRunner&) = delete;
 
   /// Simulate `workload_name` on `config`. `key` must uniquely identify the
-  /// configuration (e.g. "orig/8tu/l1=8k") within this workload.
+  /// configuration (e.g. "orig/8tu/l1=8k") within this workload. Throws
+  /// PointQuarantined when the point's fail-soft budget is exhausted.
   const RunMeasurement& run(const std::string& workload_name,
                             const std::string& key, const StaConfig& config);
+
+  /// Fail-soft variant of run(): transient failures (injected worker
+  /// crashes, I/O blips) are retried with exponential backoff; persistent
+  /// ones (timeouts, simulator errors, lockstep divergence) quarantine the
+  /// point. Returns nullptr for a quarantined point — the failure is
+  /// recorded in failures() and in the run report — and a stable pointer
+  /// into the memo otherwise.
+  const RunMeasurement* try_run(const std::string& workload_name,
+                                const std::string& key,
+                                const StaConfig& config);
 
   const WorkloadParams& params() const { return params_; }
 
   /// One record per fresh (uncached) simulation, in execution order.
   const std::vector<RunRecord>& records() const { return records_; }
+
+  /// Per-point failure records: quarantined points plus transient failures
+  /// that a retry recovered. Empty on a clean run.
+  const std::vector<PointFailure>& failures() const { return failures_; }
+
+  /// Points dropped from the sweep (failures() entries with status
+  /// "quarantined").
+  size_t quarantined_count() const;
+
+  /// Replace the fault plan picked up from WECSIM_FAULTS. Drives both the
+  /// harness-level worker faults and the fault sessions of the simulations
+  /// this runner launches.
+  void set_fault_plan(const FaultPlan& plan) { fault_plan_ = plan; }
+  const FaultPlan& fault_plan() const { return fault_plan_; }
+
+  /// Override the retry budget (default: 1 + WECSIM_RETRIES attempts,
+  /// WECSIM_RETRY_BACKOFF_MS ms initial backoff). Tests use backoff 0.
+  void set_failsoft_limits(uint32_t max_attempts, uint32_t backoff_ms) {
+    max_attempts_ = max_attempts > 0 ? max_attempts : 1;
+    backoff_ms_ = backoff_ms;
+  }
 
   /// Worker count used to execute simulations (1 for the serial runner).
   virtual unsigned jobs() const { return 1; }
@@ -93,18 +134,51 @@ class ExperimentRunner {
   /// string, so user keys containing separator characters cannot collide.
   using MemoKey = std::pair<std::string, std::string>;
 
+  /// Outcome of the fail-soft attempt loop for one point.
+  struct PointAttempt {
+    bool ok = false;          // a measurement was produced
+    PointOutcome out;         // valid when ok
+    PointFailure failure;     // valid when !ok, or when a retry recovered
+    bool recovered = false;   // ok after at least one transient failure
+  };
+
   /// Simulate one point in an isolated Simulator instance. Pure function of
   /// its arguments (no runner state) — safe to call from worker threads.
-  /// Writes trace files into `trace_dir` when non-empty.
+  /// Writes trace files into `trace_dir` when non-empty; `faults` (when
+  /// non-empty) replaces the environment's fault plan inside the simulator.
   static PointOutcome simulate_point(const std::string& workload_name,
                                      const std::string& key,
                                      const WorkloadParams& params,
                                      const StaConfig& config,
-                                     const std::string& trace_dir);
+                                     const std::string& trace_dir,
+                                     const FaultPlan& faults = FaultPlan());
+
+  /// The fail-soft attempt loop: injected worker faults, per-point wall
+  /// timeouts, bounded retry with exponential backoff. Touches no runner
+  /// state besides reading the (immutable during a sweep) fail-soft knobs —
+  /// safe to call from worker threads for distinct points.
+  PointAttempt run_point_failsoft(const std::string& workload_name,
+                                  const std::string& key,
+                                  StaConfig config) const;
+
+  /// Result-cache salt for the active fault plan ("" when no faults).
+  std::string fault_salt() const;
+
+  /// Record the failure side of a finished attempt (quarantine bookkeeping
+  /// plus the recovered-transient audit trail). Call from the merge path
+  /// only — not thread-safe.
+  void record_attempt_failure(const MemoKey& memo_key,
+                              const PointAttempt& attempt);
 
   WorkloadParams params_;
   std::map<MemoKey, RunMeasurement> cache_;
   std::vector<RunRecord> records_;
+  std::vector<PointFailure> failures_;
+  std::set<MemoKey> quarantined_;
+  FaultPlan fault_plan_;        // WECSIM_FAULTS unless set_fault_plan() ran
+  uint32_t max_attempts_ = 3;   // 1 + WECSIM_RETRIES
+  uint32_t backoff_ms_ = 50;    // WECSIM_RETRY_BACKOFF_MS; doubles per retry
+  double point_timeout_ = 0.0;  // WECSIM_POINT_TIMEOUT seconds; 0 = off
   std::string trace_dir_;  // from WECSIM_TRACE_DIR; empty = tracing off
   std::unique_ptr<ResultCache> disk_cache_;
   std::chrono::steady_clock::time_point start_;

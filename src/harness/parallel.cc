@@ -21,16 +21,62 @@ unsigned resolve_jobs(int explicit_jobs) {
   return hw > 0 ? hw : 1;
 }
 
+namespace {
+
+std::string aggregate_header(size_t failures) {
+  return std::to_string(failures) + " parallel worker failure(s):";
+}
+
+std::string render_messages(const std::vector<std::string>& messages) {
+  std::string out = aggregate_header(messages.size());
+  for (const std::string& m : messages) out += "\n  - " + m;
+  return out;
+}
+
+// Rethrow the single failure as-is, or collect ALL of them (index order)
+// into one ParallelError so no worker's diagnosis is lost.
+void rethrow_collected(const std::vector<std::exception_ptr>& errors) {
+  std::vector<std::string> messages;
+  const std::exception_ptr* first = nullptr;
+  for (const std::exception_ptr& e : errors) {
+    if (!e) continue;
+    if (first == nullptr) first = &e;
+    try {
+      std::rethrow_exception(e);
+    } catch (const std::exception& ex) {
+      messages.emplace_back(ex.what());
+    } catch (...) {
+      messages.emplace_back("unknown error");
+    }
+  }
+  if (messages.empty()) return;
+  if (messages.size() == 1) std::rethrow_exception(*first);
+  throw ParallelError(std::move(messages));
+}
+
+}  // namespace
+
+ParallelError::ParallelError(std::vector<std::string> messages)
+    : SimError(render_messages(messages)), messages_(std::move(messages)) {}
+
 void parallel_for(size_t n, unsigned jobs,
                   const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  std::vector<std::exception_ptr> errors(n);
   if (jobs <= 1 || n == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    // Same contract as the pooled path: attempt every index, then report.
+    for (size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+    rethrow_collected(errors);
     return;
   }
 
   std::atomic<size_t> next{0};
-  std::vector<std::exception_ptr> errors(n);
   const unsigned workers = jobs < n ? jobs : static_cast<unsigned>(n);
   std::vector<std::thread> pool;
   pool.reserve(workers);
@@ -48,9 +94,7 @@ void parallel_for(size_t n, unsigned jobs,
     });
   }
   for (std::thread& t : pool) t.join();
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
+  rethrow_collected(errors);
 }
 
 ParallelExperimentRunner::ParallelExperimentRunner(
@@ -63,7 +107,10 @@ void ParallelExperimentRunner::submit(const std::string& workload_name,
                                       const std::string& key,
                                       const StaConfig& config) {
   MemoKey memo_key{workload_name, key};
-  if (cache_.count(memo_key) != 0 || !queued_.insert(memo_key).second) return;
+  if (cache_.count(memo_key) != 0 || quarantined_.count(memo_key) != 0 ||
+      !queued_.insert(memo_key).second) {
+    return;
+  }
   pending_.push_back(Job{workload_name, key, config});
 }
 
@@ -72,8 +119,7 @@ void ParallelExperimentRunner::drain() {
 
   struct JobOutcome {
     bool fresh = false;  // simulated this drain (vs served from disk cache)
-    RunMeasurement m;
-    RunRecord record;
+    PointAttempt attempt;
   };
   std::vector<JobOutcome> outcomes(pending_.size());
 
@@ -85,44 +131,67 @@ void ParallelExperimentRunner::drain() {
   std::vector<std::string> descriptions(pending_.size());
   std::vector<size_t> alias_of(pending_.size(), kNoAlias);
   if (disk_cache_->enabled()) {
+    const std::string salt = fault_salt();
     std::map<std::string, size_t> first_with;
     for (size_t i = 0; i < pending_.size(); ++i) {
       descriptions[i] =
           ResultCache::describe(pending_[i].workload, params_,
-                                pending_[i].config);
+                                pending_[i].config, salt);
       const auto [it, inserted] = first_with.emplace(descriptions[i], i);
       if (!inserted) alias_of[i] = it->second;
     }
   }
 
-  // Thread-safe per job: simulate_point is a pure function, the disk cache
-  // uses atomic renames, and each worker touches only outcomes[i].
+  // Thread-safe per job: run_point_failsoft touches no shared runner state,
+  // the disk cache uses atomic renames, and each worker touches only
+  // outcomes[i]. Failures never escape a worker — run_point_failsoft folds
+  // them into the attempt — so a crashing point cannot take down the drain.
   parallel_for(pending_.size(), jobs_, [&](size_t i) {
     if (alias_of[i] != kNoAlias) return;  // filled from the primary below
     const Job& job = pending_[i];
     JobOutcome& out = outcomes[i];
     if (disk_cache_->enabled()) {
       if (auto cached = disk_cache_->load(descriptions[i])) {
-        out.m = std::move(*cached);
+        out.attempt.ok = true;
+        out.attempt.out.m = std::move(*cached);
         return;
       }
     }
-    PointOutcome fresh =
-        simulate_point(job.workload, job.key, params_, job.config, trace_dir_);
-    if (disk_cache_->enabled()) disk_cache_->store(descriptions[i], fresh.m);
+    out.attempt = run_point_failsoft(job.workload, job.key, job.config);
+    if (!out.attempt.ok) return;
+    if (disk_cache_->enabled()) {
+      disk_cache_->store(descriptions[i], out.attempt.out.m);
+    }
     out.fresh = true;
-    out.m = std::move(fresh.m);
-    out.record = std::move(fresh.record);
   });
 
   // Merge in submission order: because submit() mirrors the serial call
-  // order, records_ and the memo end up byte-identical to a serial run.
+  // order, records_, failures_, and the memo end up byte-identical to a
+  // serial run.
   for (size_t i = 0; i < pending_.size(); ++i) {
     const Job& job = pending_[i];
     JobOutcome& out = outcomes[i];
-    if (alias_of[i] != kNoAlias) out.m = outcomes[alias_of[i]].m;
-    if (out.fresh) records_.push_back(std::move(out.record));
-    cache_.emplace(MemoKey{job.workload, job.key}, std::move(out.m));
+    const MemoKey memo_key{job.workload, job.key};
+    if (alias_of[i] != kNoAlias) {
+      const JobOutcome& primary = outcomes[alias_of[i]];
+      if (primary.attempt.ok) {
+        // Serial equivalent: a disk hit right after the primary stored, so
+        // no record and no failure entry for the alias.
+        cache_.emplace(memo_key, primary.attempt.out.m);
+        continue;
+      }
+      // The primary failed, so nothing reached the disk cache; serial
+      // execution would give this point its own independent attempt.
+      out.attempt = run_point_failsoft(job.workload, job.key, job.config);
+      if (out.attempt.ok && disk_cache_->enabled()) {
+        disk_cache_->store(descriptions[i], out.attempt.out.m);
+      }
+      out.fresh = out.attempt.ok;
+    }
+    record_attempt_failure(memo_key, out.attempt);
+    if (!out.attempt.ok) continue;
+    if (out.fresh) records_.push_back(std::move(out.attempt.out.record));
+    cache_.emplace(memo_key, std::move(out.attempt.out.m));
   }
   pending_.clear();
   queued_.clear();

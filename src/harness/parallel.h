@@ -34,11 +34,23 @@ namespace wecsim {
 /// the hardware concurrency; always at least 1.
 unsigned resolve_jobs(int explicit_jobs = 0);
 
+/// Aggregate failure of a parallel_for: every worker failure, not just the
+/// first. what() lists them all; messages() exposes them individually.
+class ParallelError : public SimError {
+ public:
+  explicit ParallelError(std::vector<std::string> messages);
+  const std::vector<std::string>& messages() const { return messages_; }
+
+ private:
+  std::vector<std::string> messages_;
+};
+
 /// Run fn(0), ..., fn(n-1) on up to `jobs` worker threads. Indices are
 /// handed out atomically; fn must be safe to call concurrently for distinct
-/// indices. If any call throws, the exception for the smallest index is
-/// rethrown after all workers finish (jobs <= 1 degenerates to a plain
-/// in-order loop).
+/// indices. All indices are attempted even when some fail; afterwards a
+/// single failure is rethrown as-is, and two or more are collected (in index
+/// order) into one ParallelError, so no worker's diagnosis is lost. jobs <=
+/// 1 degenerates to an in-order loop with the same failure contract.
 void parallel_for(size_t n, unsigned jobs,
                   const std::function<void(size_t)>& fn);
 

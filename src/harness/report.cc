@@ -70,7 +70,8 @@ void write_result(JsonWriter& w, const SimResult& r) {
 }  // namespace
 
 std::string render_run_report(const std::string& bench_name,
-                              const std::vector<RunRecord>& runs) {
+                              const std::vector<RunRecord>& runs,
+                              const std::vector<PointFailure>& failures) {
   JsonWriter w;
   w.begin_object();
   w.kv("schema", "wecsim.run_report");
@@ -101,6 +102,21 @@ std::string render_run_report(const std::string& bench_name,
     w.end_object();
   }
   w.end_array();
+  // Only present when something actually failed: clean reports must stay
+  // byte-identical to pre-fail-soft output.
+  if (!failures.empty()) {
+    w.key("failures").begin_array();
+    for (const PointFailure& f : failures) {
+      w.begin_object();
+      w.kv("workload", f.workload);
+      w.kv("config", f.config_key);
+      w.kv("status", f.status);
+      w.kv("error", f.error);
+      w.kv("attempts", static_cast<uint64_t>(f.attempts));
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
   std::string out = w.take();
   out.push_back('\n');
@@ -108,10 +124,11 @@ std::string render_run_report(const std::string& bench_name,
 }
 
 void write_run_report(const std::string& path, const std::string& bench_name,
-                      const std::vector<RunRecord>& runs) {
+                      const std::vector<RunRecord>& runs,
+                      const std::vector<PointFailure>& failures) {
   std::ofstream os(path, std::ios::binary);
   if (!os) throw SimError("cannot open report file: " + path);
-  os << render_run_report(bench_name, runs);
+  os << render_run_report(bench_name, runs, failures);
   if (!os) throw SimError("failed writing report file: " + path);
 }
 

@@ -40,14 +40,30 @@ struct RunRecord {
   }
 };
 
+/// One point the fail-soft harness could not (or almost could not) measure.
+/// "quarantined": every attempt failed and the point was dropped from the
+/// sweep. "recovered": a transient failure was retried successfully — the
+/// measurement is good, the record documents the blip.
+struct PointFailure {
+  std::string workload;
+  std::string config_key;
+  std::string status = "quarantined";  // "quarantined" | "recovered"
+  std::string error;                   // last failure's message
+  uint32_t attempts = 0;               // attempts consumed (including retries)
+};
+
 /// Renders the report document for a set of runs. Deterministic: the same
-/// runs in the same order produce byte-identical output.
+/// runs in the same order produce byte-identical output. The "failures"
+/// array is emitted only when `failures` is non-empty, so a clean run's
+/// report is byte-identical to one produced before fail-soft existed.
 std::string render_run_report(const std::string& bench_name,
-                              const std::vector<RunRecord>& runs);
+                              const std::vector<RunRecord>& runs,
+                              const std::vector<PointFailure>& failures = {});
 
 /// Renders and writes the report to `path`. Throws SimError on I/O failure.
 void write_run_report(const std::string& path, const std::string& bench_name,
-                      const std::vector<RunRecord>& runs);
+                      const std::vector<RunRecord>& runs,
+                      const std::vector<PointFailure>& failures = {});
 
 /// Schema version of the timing side-channel ("wecsim.bench_timing").
 inline constexpr int kTimingReportSchemaVersion = 1;

@@ -70,7 +70,8 @@ std::string ResultCache::dir_from_env() {
 
 std::string ResultCache::describe(const std::string& workload_name,
                                   const WorkloadParams& params,
-                                  const StaConfig& c) {
+                                  const StaConfig& c,
+                                  const std::string& salt) {
   std::ostringstream os;
   os << "wecsim-result/v" << kSimulatorVersion << ';';
   os << "workload=" << workload_name << ';';
@@ -112,6 +113,7 @@ std::string ResultCache::describe(const std::string& workload_name,
   os << "side=" << side_kind_tag(mem.side) << '/' << mem.side_entries << ';';
   os << "nlp_tagged=" << mem.nlp_tagged << ';';
   os << "wec_chain=" << mem.wec_chain_prefetch << ';';
+  os << salt;
   return os.str();
 }
 

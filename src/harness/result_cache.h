@@ -41,10 +41,13 @@ class ResultCache {
 
   /// Canonical, human-readable content key for one simulation point. Every
   /// field of StaConfig (core, memory, sta, limits) is serialized; keep in
-  /// sync when configuration structs grow fields.
+  /// sync when configuration structs grow fields. `salt` is appended
+  /// verbatim — the fail-soft harness passes the active fault plan here so
+  /// faulty measurements never collide with clean ones.
   static std::string describe(const std::string& workload_name,
                               const WorkloadParams& params,
-                              const StaConfig& config);
+                              const StaConfig& config,
+                              const std::string& salt = std::string());
 
   /// Entry path for a description: <dir>/wec-<fnv1a64 hex>.json.
   std::string entry_path(const std::string& description) const;

@@ -1,5 +1,6 @@
 #include "mem/flat_memory.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/error.h"
@@ -62,6 +63,31 @@ void FlatMemory::write_f64(Addr addr, double value) {
   uint64_t bits;
   std::memcpy(&bits, &value, sizeof(bits));
   write_u64(addr, bits);
+}
+
+std::optional<Addr> FlatMemory::first_difference(
+    const FlatMemory& other) const {
+  // Compare over the sorted union of resident page numbers; a page mapped on
+  // one side only is compared against zeros (unwritten memory reads as 0).
+  std::vector<Addr> page_nums;
+  page_nums.reserve(pages_.size() + other.pages_.size());
+  for (const auto& [num, page] : pages_) page_nums.push_back(num);
+  for (const auto& [num, page] : other.pages_) page_nums.push_back(num);
+  std::sort(page_nums.begin(), page_nums.end());
+  page_nums.erase(std::unique(page_nums.begin(), page_nums.end()),
+                  page_nums.end());
+  for (Addr num : page_nums) {
+    const auto a_it = pages_.find(num);
+    const auto b_it = other.pages_.find(num);
+    const Page* a = a_it == pages_.end() ? nullptr : &a_it->second;
+    const Page* b = b_it == other.pages_.end() ? nullptr : &b_it->second;
+    for (Addr off = 0; off < kPageSize; ++off) {
+      const uint8_t av = a == nullptr ? 0 : (*a)[off];
+      const uint8_t bv = b == nullptr ? 0 : (*b)[off];
+      if (av != bv) return (num << kPageBits) | off;
+    }
+  }
+  return std::nullopt;
 }
 
 void FlatMemory::load_program(const Program& program) {

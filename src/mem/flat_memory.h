@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -43,6 +44,19 @@ class FlatMemory {
 
   /// Copy a program's initialized data segment into memory.
   void load_program(const Program& program);
+
+  /// Deep copy of the current image (the lockstep checker's private golden
+  /// memory). Explicit rather than a copy constructor: accidental copies of
+  /// a multi-megabyte image should not compile silently.
+  FlatMemory clone() const {
+    FlatMemory copy;
+    copy.pages_ = pages_;
+    return copy;
+  }
+
+  /// Lowest address whose byte differs between the two images (unmapped
+  /// pages compare as zeros), or nullopt when identical.
+  std::optional<Addr> first_difference(const FlatMemory& other) const;
 
   /// Number of resident pages (for tests / footprint reporting).
   size_t resident_pages() const { return pages_.size(); }

@@ -1,6 +1,7 @@
 #include "mem/mem_system.h"
 
 #include "common/error.h"
+#include "fault/fault.h"
 
 namespace wecsim {
 
@@ -57,13 +58,14 @@ void SharedL2::reset() {
 
 TuMemSystem::TuMemSystem(const MemConfig& config, SharedL2& l2,
                          StatsRegistry& stats, const std::string& stat_prefix,
-                         TuId tu, TraceSink* trace)
+                         TuId tu, TraceSink* trace, FaultSession* faults)
     : config_(config),
       l2_(l2),
       l1i_(config.l1i),
       l1d_(config.l1d),
       tu_(tu),
       trace_(trace),
+      faults_(faults),
       l1d_accesses_(stats.counter(stat_prefix + "l1d.accesses")),
       l1d_wrong_accesses_(stats.counter(stat_prefix + "l1d.wrong_accesses")),
       l1d_misses_(stats.counter(stat_prefix + "l1d.misses")),
@@ -120,7 +122,20 @@ void TuMemSystem::side_insert(Addr addr, SideOrigin origin, bool dirty,
 }
 
 Cycle TuMemSystem::fill_l1(Addr addr, bool dirty, Cycle now) {
-  const Cycle done = l2_.access(addr, now);
+  Cycle done = l2_.access(addr, now);
+  if (faults_ != nullptr) {
+    if (faults_->armed(FaultKind::kMemDelay) &&
+        faults_->fire(FaultKind::kMemDelay)) {
+      done += faults_->arg(FaultKind::kMemDelay, config_.mem_lat);
+    }
+    // Dropped fill: the data arrives but the line is never allocated, so the
+    // next access misses again. Clean fills only — dropping a dirty
+    // write-allocate would lose the store.
+    if (!dirty && faults_->armed(FaultKind::kMemDrop) &&
+        faults_->fire(FaultKind::kMemDrop)) {
+      return done;
+    }
+  }
   auto victim = l1d_.insert(addr, dirty, done);
   if (victim.has_value()) {
     if (side_ != nullptr && (config_.side == SideKind::kVictim ||
@@ -224,7 +239,11 @@ MemOutcome TuMemSystem::wrong_load(Addr addr, ExecMode mode, Cycle now) {
     // Fill the WEC from the next level; the L1 is untouched so wrong
     // execution can never pollute it.
     wec_fills_.inc();
-    const Cycle done = l2_.access(addr, now);
+    Cycle done = l2_.access(addr, now);
+    if (faults_ != nullptr && faults_->armed(FaultKind::kMemDelay) &&
+        faults_->fire(FaultKind::kMemDelay)) {
+      done += faults_->arg(FaultKind::kMemDelay, config_.mem_lat);
+    }
     side_insert(addr, side_origin_for(mode), /*dirty=*/false, done, now);
     return {done, false, false};
   }
@@ -263,6 +282,17 @@ MemOutcome TuMemSystem::wrong_load(Addr addr, ExecMode mode, Cycle now) {
 }
 
 MemOutcome TuMemSystem::load(Addr addr, ExecMode mode, Cycle now) {
+  // Injected loss of a side-cache line (models a flushed/corrupted WEC or
+  // victim entry). The exit is fully accounted so the fills == used + unused
+  // provenance invariant survives injection.
+  if (faults_ != nullptr && side_ != nullptr &&
+      faults_->armed(FaultKind::kSideInvalidate) &&
+      faults_->fire(FaultKind::kSideInvalidate)) {
+    if (auto ended = side_->invalidate_lru()) {
+      account_side_exit(ended->origin, /*used=*/false, ended->filled, now);
+      if (ended->dirty) l2_.write_back(ended->block, now);
+    }
+  }
   return is_wrong(mode) ? wrong_load(addr, mode, now)
                         : correct_load(addr, now);
 }

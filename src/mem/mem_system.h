@@ -51,6 +51,8 @@
 
 namespace wecsim {
 
+class FaultSession;
+
 /// Execution provenance of a memory access.
 enum class ExecMode : uint8_t { kCorrect, kWrongPath, kWrongThread };
 
@@ -119,10 +121,12 @@ struct MemOutcome {
 class TuMemSystem {
  public:
   /// stat_prefix is e.g. "tu3." — counters land under "tu3.l1d.*". `tu` and
-  /// `trace` feed the optional event trace (null sink: tracing off).
+  /// `trace` feed the optional event trace (null sink: tracing off);
+  /// `faults` (may be null) injects fill delays/drops and side-cache
+  /// invalidations (src/fault/fault.h).
   TuMemSystem(const MemConfig& config, SharedL2& l2, StatsRegistry& stats,
               const std::string& stat_prefix, TuId tu = 0,
-              TraceSink* trace = nullptr);
+              TraceSink* trace = nullptr, FaultSession* faults = nullptr);
 
   /// Data-side load. The mode selects the routing rules above.
   MemOutcome load(Addr addr, ExecMode mode, Cycle now);
@@ -173,6 +177,7 @@ class TuMemSystem {
   std::unique_ptr<SideCache> side_;
   TuId tu_;
   TraceSink* trace_;
+  FaultSession* faults_;  // may be null: no injection
 
   // Statistics (names mirror the paper's reported quantities).
   StatsRegistry::Counter l1d_accesses_;        // processor<->L1 traffic

@@ -109,6 +109,20 @@ std::optional<SideCache::SideEvicted> SideCache::invalidate(Addr addr) {
   return ended;
 }
 
+std::optional<SideCache::SideEvicted> SideCache::invalidate_lru() {
+  Line* lru = nullptr;
+  for (Line& line : lines_) {
+    if (!line.valid) continue;
+    if (lru == nullptr || line.lru < lru->lru) lru = &line;
+  }
+  if (lru == nullptr) return std::nullopt;
+  SideEvicted ended{lru->block, lru->dirty, lru->origin, lru->filled,
+                    /*displaced=*/true};
+  lru->valid = false;
+  index_.erase(lru->block);
+  return ended;
+}
+
 std::vector<SideCache::SideEvicted> SideCache::drain() {
   std::vector<SideEvicted> ended;
   for (Line& line : lines_) {

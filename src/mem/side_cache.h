@@ -96,6 +96,10 @@ class SideCache {
   /// Remove addr if present, returning its state for accounting.
   std::optional<SideEvicted> invalidate(Addr addr);
 
+  /// Remove the least-recently-used resident line (fault injection: a lost
+  /// WEC/victim line). Returns its state, or nullopt when empty.
+  std::optional<SideEvicted> invalidate_lru();
+
   /// Remove every resident line and return their states — end-of-run
   /// provenance accounting for blocks that were never used.
   std::vector<SideEvicted> drain();

@@ -1,0 +1,90 @@
+#include "sta/sta_config.h"
+
+#include <string>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/error.h"
+
+namespace wecsim {
+
+namespace {
+
+void check_geom(const std::string& name, const CacheGeom& geom,
+                std::vector<std::string>& errors) {
+  if (geom.size_bytes == 0) errors.push_back(name + ".size_bytes must be > 0");
+  if (geom.assoc == 0) errors.push_back(name + ".assoc must be > 0");
+  if (geom.block_bytes == 0 || !is_pow2(geom.block_bytes)) {
+    errors.push_back(name + ".block_bytes must be a power of two (got " +
+                     std::to_string(geom.block_bytes) + ")");
+    return;  // derived checks below would divide by zero / be meaningless
+  }
+  if (geom.size_bytes % geom.block_bytes != 0) {
+    errors.push_back(name + ".size_bytes (" +
+                     std::to_string(geom.size_bytes) +
+                     ") must be a multiple of block_bytes (" +
+                     std::to_string(geom.block_bytes) + ")");
+    return;
+  }
+  if (geom.num_blocks() % geom.assoc != 0) {
+    errors.push_back(name + ": " + std::to_string(geom.num_blocks()) +
+                     " blocks do not divide into " +
+                     std::to_string(geom.assoc) + "-way sets");
+    return;
+  }
+  if (!is_pow2(geom.num_sets())) {
+    errors.push_back(name + ": set count " +
+                     std::to_string(geom.num_sets()) +
+                     " must be a power of two (set indexing is a bit mask)");
+  }
+}
+
+}  // namespace
+
+void validate_sta_config(const StaConfig& config) {
+  std::vector<std::string> errors;
+  auto require = [&errors](bool ok, const char* message) {
+    if (!ok) errors.emplace_back(message);
+  };
+
+  require(config.num_tus >= 1, "num_tus must be >= 1");
+  require(config.membuf_entries >= 1, "membuf_entries must be >= 1");
+  require(config.wb_ports >= 1, "wb_ports must be >= 1");
+  require(config.max_cycles >= 1, "max_cycles must be >= 1");
+  require(config.watchdog_cycles >= 1, "watchdog_cycles must be >= 1");
+  require(config.wall_timeout_seconds >= 0.0,
+          "wall_timeout_seconds must be >= 0 (0 disables)");
+
+  const CoreConfig& core = config.core;
+  require(core.fetch_width >= 1, "core.fetch_width must be >= 1");
+  require(core.issue_width >= 1, "core.issue_width must be >= 1");
+  require(core.rob_size >= 1, "core.rob_size must be >= 1");
+  require(core.lsq_size >= 1, "core.lsq_size must be >= 1");
+  require(core.mem_ports >= 1, "core.mem_ports must be >= 1");
+  require(core.fetch_queue_size >= 1, "core.fetch_queue_size must be >= 1");
+  if (core.ifetch_block_bytes == 0 || !is_pow2(core.ifetch_block_bytes)) {
+    errors.push_back("core.ifetch_block_bytes must be a power of two (got " +
+                     std::to_string(core.ifetch_block_bytes) + ")");
+  }
+
+  const MemConfig& mem = config.mem;
+  check_geom("mem.l1i", mem.l1i, errors);
+  check_geom("mem.l1d", mem.l1d, errors);
+  check_geom("mem.l2", mem.l2, errors);
+  require(mem.l1_hit_lat >= 1, "mem.l1_hit_lat must be >= 1");
+  require(mem.l2_hit_lat >= 1, "mem.l2_hit_lat must be >= 1");
+  require(mem.mem_lat >= 1, "mem.mem_lat must be >= 1");
+  require(mem.l2_occupancy >= 1, "mem.l2_occupancy must be >= 1");
+  if (mem.side != SideKind::kNone) {
+    require(mem.side_entries >= 1,
+            "mem.side_entries must be >= 1 when a side cache is configured");
+  }
+
+  if (errors.empty()) return;
+  std::string message = "invalid StaConfig: " +
+                        std::to_string(errors.size()) + " violation(s):";
+  for (const std::string& error : errors) message += "\n  - " + error;
+  throw SimError(message);
+}
+
+}  // namespace wecsim

@@ -19,6 +19,16 @@ struct StaConfig {
   bool wrong_thread_exec = false;  // wth configurations
   uint64_t max_cycles = 2'000'000'000;
   uint64_t watchdog_cycles = 1'000'000;  // abort if nothing commits this long
+  // Wall-clock budget for one simulation; 0 disables. Raises SimTimeout when
+  // exceeded. Host-dependent, so deliberately NOT part of the result-cache
+  // key (see ResultCache::describe).
+  double wall_timeout_seconds = 0.0;
 };
+
+/// Validate a configuration at processor construction. Collects EVERY
+/// violation (power-of-two cache geometry, nonzero sizes and latencies,
+/// watchdog_cycles > 0, ...) into one SimError so a sweep author fixes a bad
+/// config in a single round trip instead of one field per failure.
+void validate_sta_config(const StaConfig& config);
 
 }  // namespace wecsim

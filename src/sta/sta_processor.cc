@@ -1,15 +1,17 @@
 #include "sta/sta_processor.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/error.h"
 #include "common/log.h"
+#include "fault/fault.h"
 
 namespace wecsim {
 
 StaProcessor::StaProcessor(const StaConfig& config, const Program& program,
                            StatsRegistry& stats, FlatMemory& memory,
-                           TraceSink* trace)
+                           TraceSink* trace, FaultSession* faults)
     : config_(config),
       program_(program),
       stats_(stats),
@@ -23,16 +25,37 @@ StaProcessor::StaProcessor(const StaConfig& config, const Program& program,
       stat_parallel_cycles_(stats.counter("sta.parallel_cycles")),
       gauge_active_tus_(stats.gauge("sta.active_tus")),
       gauge_pending_forks_(stats.gauge("sta.pending_forks")) {
-  WEC_CHECK_MSG(config.num_tus >= 1, "need at least one thread unit");
+  validate_sta_config(config);
+  faults_ = faults;
   for (TuId id = 0; id < config.num_tus; ++id) {
     tus_.push_back(std::make_unique<ThreadUnit>(id, config_, program, *this,
-                                                l2_, stats, memory, trace));
+                                                l2_, stats, memory, trace,
+                                                faults));
   }
   // The sequential thread starts on TU 0.
   tus_[0]->start_thread(program.entry(), {}, {},
                         MemoryBuffer(config.membuf_entries), /*iter=*/0,
                         /*parallel=*/false);
   sequential_tu_ = 0;
+  wall_start_ = std::chrono::steady_clock::now();
+}
+
+void StaProcessor::attach_checker(LockstepChecker* checker) {
+  for (auto& tu : tus_) tu->attach_checker(checker);
+}
+
+std::string StaProcessor::dump_state() const {
+  std::ostringstream os;
+  os << "machine state at cycle " << now_ << ":\n"
+     << "  region: " << (region_.active ? "active" : "inactive")
+     << (region_.aborted ? " (aborted)" : "") << " id=" << region_.id
+     << " next_iter=" << region_.next_iter
+     << " tsag_done_iter=" << region_.tsag_done_iter
+     << " wb_done_iter=" << region_.wb_done_iter
+     << " pending_forks=" << pending_forks_.size()
+     << " ring_msgs=" << ring_.size() << "\n";
+  for (const auto& tu : tus_) os << "  " << tu->describe() << "\n";
+  return os.str();
 }
 
 bool StaProcessor::step() {
@@ -48,6 +71,16 @@ bool StaProcessor::step() {
   for (const auto& tu : tus_) active += tu->idle() ? 0 : 1;
   gauge_active_tus_.set(active);
   gauge_pending_forks_.set(pending_forks_.size());
+  // Injected early kill of wrong threads: exercises abort/cleanup paths and
+  // cuts wrong-thread prefetching short (fault injection only).
+  if (faults_ != nullptr && faults_->armed(FaultKind::kWrongKill)) {
+    for (auto& tu : tus_) {
+      if (!tu->idle() && tu->is_wrong() &&
+          faults_->fire(FaultKind::kWrongKill)) {
+        tu->kill();
+      }
+    }
+  }
   for (auto& tu : tus_) tu->tick(now_);
 
   // Whole-program termination: the sequential thread halted. Any surviving
@@ -73,7 +106,16 @@ bool StaProcessor::step() {
     } else if (now_ - last_progress_cycle_ > config_.watchdog_cycles) {
       throw SimError("deadlock: no instruction committed for " +
                      std::to_string(config_.watchdog_cycles) + " cycles at " +
-                     std::to_string(now_));
+                     std::to_string(now_) + "\n" + dump_state());
+    }
+    if (config_.wall_timeout_seconds > 0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - wall_start_;
+      if (elapsed.count() > config_.wall_timeout_seconds) {
+        throw SimTimeout("simulation exceeded its wall-clock budget of " +
+                         std::to_string(config_.wall_timeout_seconds) +
+                         "s at cycle " + std::to_string(now_));
+      }
     }
   }
   return true;

@@ -4,10 +4,12 @@
 // update-protocol coherence used during sequential execution.
 #pragma once
 
+#include <chrono>
 #include <deque>
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
@@ -27,10 +29,12 @@ struct StaRunResult {
 
 class StaProcessor {
  public:
-  /// `trace` (may be null) receives pipeline events from every thread unit.
+  /// `trace` (may be null) receives pipeline events from every thread unit;
+  /// `faults` (may be null) is threaded through to every core and memory
+  /// hierarchy. Throws SimError listing every configuration violation.
   StaProcessor(const StaConfig& config, const Program& program,
                StatsRegistry& stats, FlatMemory& memory,
-               TraceSink* trace = nullptr);
+               TraceSink* trace = nullptr, FaultSession* faults = nullptr);
 
   /// Run the program to HALT (or the cycle cap). The sequential thread
   /// starts on TU 0 at the program entry.
@@ -47,6 +51,13 @@ class StaProcessor {
 
   /// The TU currently executing (or last to execute) sequential code.
   TuId sequential_tu() const { return sequential_tu_; }
+
+  /// Route every TU's commit stream to a lockstep checker (nullptr detaches).
+  void attach_checker(LockstepChecker* checker);
+
+  /// Multi-line machine-state dump: region/protocol state plus one line per
+  /// thread unit. Appended to the deadlock watchdog's error message.
+  std::string dump_state() const;
 
   // --- protocol hooks called by ThreadUnit ---------------------------------
 
@@ -135,9 +146,12 @@ class StaProcessor {
   std::map<TuId, PendingFork> pending_forks_;    // target TU -> fork
   std::deque<RingMsg> ring_;                     // unsorted; scanned per cycle
 
+  FaultSession* faults_ = nullptr;
+
   // Watchdog.
   uint64_t last_committed_total_ = 0;
   Cycle last_progress_cycle_ = 0;
+  std::chrono::steady_clock::time_point wall_start_;
 
   StatsRegistry::Counter stat_cycles_;
   StatsRegistry::Counter stat_forks_;

@@ -1,8 +1,10 @@
 #include "sta/thread_unit.h"
 
 #include <cstdlib>
+#include <sstream>
 
 #include "common/error.h"
+#include "fault/lockstep.h"
 #include "sta/sta_processor.h"
 
 namespace wecsim {
@@ -14,13 +16,14 @@ std::string tu_prefix(TuId id) { return "tu" + std::to_string(id) + "."; }
 ThreadUnit::ThreadUnit(TuId id, const StaConfig& config,
                        const Program& program, StaProcessor& owner,
                        SharedL2& l2, StatsRegistry& stats, FlatMemory& memory,
-                       TraceSink* trace)
+                       TraceSink* trace, FaultSession* faults)
     : id_(id),
       config_(config),
       owner_(owner),
       memory_(memory),
-      mem_(config.mem, l2, stats, tu_prefix(id), id, trace),
-      core_(config.core, program, *this, stats, tu_prefix(id), id, trace),
+      mem_(config.mem, l2, stats, tu_prefix(id), id, trace, faults),
+      core_(config.core, program, *this, stats, tu_prefix(id), id, trace,
+            faults),
       buffer_(config.membuf_entries) {}
 
 void ThreadUnit::start_thread(Addr pc,
@@ -37,6 +40,7 @@ void ThreadUnit::start_thread(Addr pc,
   wb_state_ = WbState::kIdle;
   drain_.clear();
   drain_pos_ = 0;
+  replay_buf_.clear();
   core_.start(pc, int_regs, fp_regs);
 }
 
@@ -55,9 +59,61 @@ void ThreadUnit::kill() {
   parallel_ = false;
   wrong_ = false;
   wb_state_ = WbState::kIdle;
+  replay_buf_.clear();
 }
 
-void ThreadUnit::mark_wrong() { wrong_ = true; }
+void ThreadUnit::mark_wrong() {
+  wrong_ = true;
+  // Whatever this thread committed so far is off the sequential path.
+  replay_buf_.clear();
+}
+
+void ThreadUnit::attach_checker(LockstepChecker* checker) {
+  checker_ = checker;
+  core_.set_commit_hook(
+      [this](const CommittedInstr& ci) { on_commit(ci); });
+}
+
+void ThreadUnit::flush_replay() {
+  for (const CommittedInstr& ci : replay_buf_) checker_->replay(ci);
+  replay_buf_.clear();
+}
+
+void ThreadUnit::on_commit(const CommittedInstr& ci) {
+  if (wrong_ || checker_ == nullptr) return;
+  CommittedInstr stamped = ci;
+  stamped.iter = iter_;
+  if (!parallel_) {
+    // Sequential execution replays immediately. A leftover buffered segment
+    // belongs to the region that just closed: the ENDPAR committer's own
+    // iteration, flushed here because its hook fires after thread_op already
+    // cleared parallel_.
+    flush_replay();
+    checker_->replay(stamped);
+    return;
+  }
+  replay_buf_.push_back(stamped);
+  // THEND's hook fires only after do_writeback() completed the drain, i.e.
+  // after every older iteration flushed — so flushing here preserves the
+  // write-back (= sequential) order across thread units.
+  if (stamped.instr.op == Opcode::kThend) flush_replay();
+}
+
+std::string ThreadUnit::describe() const {
+  std::ostringstream os;
+  os << "tu" << id_ << ": ";
+  if (idle()) {
+    os << (core_.halted() ? "halted" : "idle");
+    return os.str();
+  }
+  if (parallel_) os << "iter=" << iter_ << " ";
+  if (wrong_) os << "wrong ";
+  if (wb_state_ == WbState::kDraining) {
+    os << "wb-draining(" << drain_pos_ << "/" << drain_.size() << ") ";
+  }
+  os << core_.describe_state();
+  return os.str();
+}
 
 void ThreadUnit::tick(Cycle now) {
   now_ = now;

@@ -20,13 +20,17 @@
 namespace wecsim {
 
 class StaProcessor;
+class FaultSession;
+class LockstepChecker;
 
 class ThreadUnit final : public CoreEnv {
  public:
-  /// `trace` (may be null) receives this unit's pipeline events.
+  /// `trace` (may be null) receives this unit's pipeline events; `faults`
+  /// (may be null) is threaded through to the core and memory hierarchy.
   ThreadUnit(TuId id, const StaConfig& config, const Program& program,
              StaProcessor& owner, SharedL2& l2, StatsRegistry& stats,
-             FlatMemory& memory, TraceSink* trace = nullptr);
+             FlatMemory& memory, TraceSink* trace = nullptr,
+             FaultSession* faults = nullptr);
 
   // --- lifecycle (driven by StaProcessor) --------------------------------
 
@@ -63,6 +67,14 @@ class ThreadUnit final : public CoreEnv {
   MemoryBuffer& buffer() { return buffer_; }
   TuMemSystem& mem() { return mem_; }
 
+  /// Feed this unit's commit stream to a lockstep checker. Committed
+  /// instructions of correct parallel threads are buffered per iteration and
+  /// replayed in write-back (= program) order; wrong threads are dropped.
+  void attach_checker(LockstepChecker* checker);
+
+  /// One-line state dump for deadlock/watchdog diagnostics.
+  std::string describe() const;
+
   // --- CoreEnv ------------------------------------------------------------
 
   Word read_data(Addr addr, uint32_t bytes) override;
@@ -76,6 +88,8 @@ class ThreadUnit final : public CoreEnv {
 
  private:
   ThreadOpAction do_writeback(Cycle now, bool endpar);
+  void on_commit(const CommittedInstr& ci);
+  void flush_replay();
 
   TuId id_;
   const StaConfig& config_;
@@ -96,6 +110,11 @@ class ThreadUnit final : public CoreEnv {
   WbState wb_state_ = WbState::kIdle;
   std::vector<std::pair<Addr, uint64_t>> drain_;
   size_t drain_pos_ = 0;
+
+  // Lockstep checking: commits of a parallel thread buffered until its
+  // write-back fixes their position in the sequential order.
+  LockstepChecker* checker_ = nullptr;
+  std::vector<CommittedInstr> replay_buf_;
 };
 
 }  // namespace wecsim

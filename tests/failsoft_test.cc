@@ -1,0 +1,260 @@
+// Fail-soft sweeps (docs/ROBUSTNESS.md): transient worker failures are
+// retried, persistent ones quarantine the point instead of killing the
+// sweep, quarantined points are recorded in the run report, and the
+// surviving points stay byte-identical to a fault-free run.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/sim_config.h"
+#include "fault/fault.h"
+#include "harness/experiment.h"
+#include "harness/parallel.h"
+#include "harness/report.h"
+#include "harness/result_cache.h"
+#include "workloads/workload.h"
+
+namespace wecsim {
+namespace {
+
+const WorkloadParams kParams{1, 42};
+
+StaConfig orig1() { return make_paper_config(PaperConfig::kOrig, 1); }
+
+// A unique per-test temp directory (std::filesystem; removed on scope exit).
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = std::filesystem::temp_directory_path() /
+            ("wecsim_failsoft_" + tag + "_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+TEST(FailSoft, TransientCrashIsRetriedAndRecovered) {
+  ExperimentRunner runner(kParams, std::string());
+  runner.set_fault_plan(
+      FaultPlan::parse("worker_crash:every=1,count=1,match=181.mcf"));
+  runner.set_failsoft_limits(/*max_attempts=*/3, /*backoff_ms=*/0);
+
+  const RunMeasurement* m = runner.try_run("181.mcf", "orig", orig1());
+  ASSERT_NE(m, nullptr);
+  EXPECT_TRUE(m->sim.halted);
+  EXPECT_EQ(runner.quarantined_count(), 0u);
+  ASSERT_EQ(runner.failures().size(), 1u);
+  const PointFailure& f = runner.failures()[0];
+  EXPECT_EQ(f.status, "recovered");
+  EXPECT_EQ(f.workload, "181.mcf");
+  EXPECT_EQ(f.config_key, "orig");
+  EXPECT_EQ(f.attempts, 2u);  // attempt 1 crashed, attempt 2 succeeded
+  EXPECT_NE(f.error.find("injected worker crash"), std::string::npos);
+}
+
+TEST(FailSoft, PersistentCrashExhaustsRetriesAndQuarantines) {
+  ExperimentRunner runner(kParams, std::string());
+  runner.set_fault_plan(
+      FaultPlan::parse("worker_crash:every=1,match=181.mcf"));
+  runner.set_failsoft_limits(/*max_attempts=*/3, /*backoff_ms=*/0);
+
+  EXPECT_EQ(runner.try_run("181.mcf", "orig", orig1()), nullptr);
+  EXPECT_EQ(runner.quarantined_count(), 1u);
+  ASSERT_EQ(runner.failures().size(), 1u);
+  EXPECT_EQ(runner.failures()[0].status, "quarantined");
+  EXPECT_EQ(runner.failures()[0].attempts, 3u);  // full retry budget spent
+
+  // A second ask is answered from the quarantine set, not re-simulated.
+  EXPECT_EQ(runner.try_run("181.mcf", "orig", orig1()), nullptr);
+  EXPECT_EQ(runner.failures().size(), 1u);
+
+  // run() surfaces the diagnosis for callers that cannot continue.
+  try {
+    runner.run("181.mcf", "orig", orig1());
+    FAIL() << "expected PointQuarantined";
+  } catch (const PointQuarantined& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("181.mcf|orig"), std::string::npos) << message;
+    EXPECT_NE(message.find("injected worker crash"), std::string::npos)
+        << message;
+  }
+}
+
+TEST(FailSoft, InjectedTimeoutIsNeverRetried) {
+  ExperimentRunner runner(kParams, std::string());
+  runner.set_fault_plan(
+      FaultPlan::parse("worker_timeout:every=1,match=181.mcf"));
+  runner.set_failsoft_limits(/*max_attempts=*/3, /*backoff_ms=*/0);
+
+  EXPECT_EQ(runner.try_run("181.mcf", "orig", orig1()), nullptr);
+  ASSERT_EQ(runner.failures().size(), 1u);
+  EXPECT_EQ(runner.failures()[0].status, "quarantined");
+  EXPECT_EQ(runner.failures()[0].attempts, 1u);  // deterministic: no retry
+  EXPECT_NE(runner.failures()[0].error.find("timeout"), std::string::npos);
+}
+
+TEST(FailSoft, WallClockBudgetQuarantinesTheRealSimulation) {
+  ExperimentRunner runner(kParams, std::string());
+  runner.set_failsoft_limits(/*max_attempts=*/3, /*backoff_ms=*/0);
+  StaConfig config = orig1();
+  config.wall_timeout_seconds = 1e-9;  // trips at the first 64-cycle check
+
+  EXPECT_EQ(runner.try_run("181.mcf", "orig", config), nullptr);
+  ASSERT_EQ(runner.failures().size(), 1u);
+  EXPECT_EQ(runner.failures()[0].attempts, 1u);
+  EXPECT_NE(runner.failures()[0].error.find("wall-clock"), std::string::npos);
+}
+
+// The acceptance scenario: a parallel sweep with one persistently crashing
+// workload completes, quarantines exactly that workload's points, records
+// them in the report, and leaves the surviving points byte-identical to a
+// fault-free sweep over the survivors.
+TEST(FailSoft, QuarantinedSweepMatchesFaultFreeRunOnSurvivors) {
+  const std::vector<std::string> names = {"181.mcf", "164.gzip"};
+  const PaperConfig kConfigs[] = {PaperConfig::kOrig, PaperConfig::kWthWpWec};
+
+  ParallelExperimentRunner faulty(kParams, /*jobs=*/4, std::string());
+  faulty.set_fault_plan(
+      FaultPlan::parse("worker_crash:every=1,match=181.mcf"));
+  faulty.set_failsoft_limits(/*max_attempts=*/2, /*backoff_ms=*/0);
+  for (const auto& name : names) {
+    for (PaperConfig config : kConfigs) {
+      faulty.submit(name, paper_config_name(config),
+                    make_paper_config(config, 2));
+    }
+  }
+  EXPECT_NO_THROW(faulty.drain());
+  EXPECT_EQ(faulty.quarantined_count(), 2u);
+  EXPECT_EQ(faulty.records().size(), 2u);  // both gzip points survived
+  for (PaperConfig config : kConfigs) {
+    EXPECT_EQ(faulty.try_run("181.mcf", paper_config_name(config),
+                             make_paper_config(config, 2)),
+              nullptr);
+    EXPECT_NE(faulty.try_run("164.gzip", paper_config_name(config),
+                             make_paper_config(config, 2)),
+              nullptr);
+  }
+
+  // Fault-free reference sweep over the surviving points only.
+  ExperimentRunner clean(kParams, std::string());
+  for (PaperConfig config : kConfigs) {
+    clean.run("164.gzip", paper_config_name(config),
+              make_paper_config(config, 2));
+  }
+  EXPECT_EQ(render_run_report("t", faulty.records()),
+            render_run_report("t", clean.records()));
+
+  // The report's failures array names the quarantined points.
+  const std::string report =
+      render_run_report("t", faulty.records(), faulty.failures());
+  EXPECT_NE(report.find("\"failures\":["), std::string::npos);
+  EXPECT_NE(report.find("\"workload\":\"181.mcf\""), std::string::npos);
+  EXPECT_NE(report.find("\"status\":\"quarantined\""), std::string::npos);
+  EXPECT_NE(report.find("injected worker crash"), std::string::npos);
+}
+
+TEST(FailSoft, CleanReportHasNoFailuresKey) {
+  ExperimentRunner runner(kParams, std::string());
+  runner.run("164.gzip", "orig", orig1());
+  EXPECT_TRUE(runner.failures().empty());
+  const std::string with_failures_arg =
+      render_run_report("t", runner.records(), runner.failures());
+  EXPECT_EQ(with_failures_arg.find("failures"), std::string::npos);
+  // Byte-identical to the pre-fail-soft rendering.
+  EXPECT_EQ(with_failures_arg, render_run_report("t", runner.records()));
+}
+
+TEST(FailSoft, RunnerFaultPlanReachesTheSimulator) {
+  ExperimentRunner clean(kParams, std::string());
+  const RunMeasurement& base = clean.run("181.mcf", "orig", orig1());
+
+  ExperimentRunner delayed(kParams, std::string());
+  delayed.set_fault_plan(FaultPlan::parse("mem_delay:every=3,cycles=300"));
+  const RunMeasurement& slow = delayed.run("181.mcf", "orig", orig1());
+  EXPECT_GT(slow.sim.cycles, base.sim.cycles);
+  EXPECT_TRUE(delayed.failures().empty());  // timing fault, not a failure
+}
+
+TEST(FailSoft, FaultSaltKeepsCacheEntriesApart) {
+  TempDir dir("salt");
+  ExperimentRunner clean(kParams, dir.str());
+  const Cycle clean_cycles = clean.run("181.mcf", "orig", orig1()).sim.cycles;
+  EXPECT_EQ(clean.records().size(), 1u);
+
+  // Same directory, faulty plan: must NOT be served the clean entry.
+  ExperimentRunner faulty(kParams, dir.str());
+  faulty.set_fault_plan(FaultPlan::parse("mem_delay:every=3,cycles=300"));
+  const Cycle faulty_cycles =
+      faulty.run("181.mcf", "orig", orig1()).sim.cycles;
+  EXPECT_EQ(faulty.records().size(), 1u);  // fresh simulation, not a hit
+  EXPECT_GT(faulty_cycles, clean_cycles);
+
+  // And a second clean runner still hits the clean entry.
+  ExperimentRunner warm(kParams, dir.str());
+  EXPECT_EQ(warm.run("181.mcf", "orig", orig1()).sim.cycles, clean_cycles);
+  EXPECT_EQ(warm.records().size(), 0u);
+}
+
+TEST(FailSoft, TruncatedCacheEntryFallsBackToFreshSimulation) {
+  TempDir dir("truncated");
+  ExperimentRunner first(kParams, dir.str());
+  const Cycle cycles = first.run("181.mcf", "orig", orig1()).sim.cycles;
+  EXPECT_EQ(first.records().size(), 1u);
+
+  // Truncate the stored entry mid-document (simulates a torn write from a
+  // crashed process).
+  ResultCache cache(dir.str());
+  const std::string path = cache.entry_path(
+      ResultCache::describe("181.mcf", kParams, orig1()));
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(::ftruncate(fileno(f), 40), 0);
+    std::fclose(f);
+  }
+
+  // A fresh runner must fall back to simulating — and heal the entry.
+  ExperimentRunner second(kParams, dir.str());
+  EXPECT_EQ(second.run("181.mcf", "orig", orig1()).sim.cycles, cycles);
+  EXPECT_EQ(second.records().size(), 1u);
+  EXPECT_TRUE(second.failures().empty());
+
+  ExperimentRunner third(kParams, dir.str());
+  EXPECT_EQ(third.run("181.mcf", "orig", orig1()).sim.cycles, cycles);
+  EXPECT_EQ(third.records().size(), 0u);  // healed: disk hit again
+}
+
+TEST(FailSoft, ReportFailureOrderIsDeterministicAcrossModes) {
+  const std::vector<std::string> names = {"181.mcf", "164.gzip"};
+  const FaultPlan plan =
+      FaultPlan::parse("worker_crash:every=1");  // every point crashes
+
+  ExperimentRunner serial(kParams, std::string());
+  serial.set_fault_plan(plan);
+  serial.set_failsoft_limits(2, 0);
+  for (const auto& name : names) serial.try_run(name, "orig", orig1());
+
+  ParallelExperimentRunner parallel(kParams, /*jobs=*/4, std::string());
+  parallel.set_fault_plan(plan);
+  parallel.set_failsoft_limits(2, 0);
+  for (const auto& name : names) parallel.submit(name, "orig", orig1());
+  parallel.drain();
+
+  EXPECT_EQ(render_run_report("t", serial.records(), serial.failures()),
+            render_run_report("t", parallel.records(), parallel.failures()));
+  EXPECT_EQ(serial.quarantined_count(), 2u);
+  EXPECT_EQ(parallel.quarantined_count(), 2u);
+}
+
+}  // namespace
+}  // namespace wecsim

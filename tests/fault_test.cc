@@ -1,0 +1,149 @@
+// Deterministic fault injection: the WECSIM_FAULTS grammar, the seeded
+// per-kind firing streams, the stateless point-level decisions, and the
+// all-violations-at-once config validation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/sim_config.h"
+#include "fault/fault.h"
+#include "sta/sta_config.h"
+
+namespace wecsim {
+namespace {
+
+TEST(FaultPlan, EmptyAndUnsetPlansAreInert) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.any());
+  EXPECT_EQ(plan.describe(), "");
+  EXPECT_EQ(FaultPlan::parse("").describe(), "");
+}
+
+TEST(FaultPlan, ParsesKindsWithParameters) {
+  const FaultPlan plan = FaultPlan::parse(
+      "seed=42;mem_delay:every=100,cycles=50;worker_crash:p=0.5,match=mcf");
+  EXPECT_TRUE(plan.any());
+  EXPECT_EQ(plan.seed(), 42u);
+  ASSERT_TRUE(plan.has(FaultKind::kMemDelay));
+  EXPECT_EQ(plan.spec(FaultKind::kMemDelay).every, 100u);
+  EXPECT_EQ(plan.spec(FaultKind::kMemDelay).arg, 50u);  // cycles == arg
+  ASSERT_TRUE(plan.has(FaultKind::kWorkerCrash));
+  EXPECT_DOUBLE_EQ(plan.spec(FaultKind::kWorkerCrash).p, 0.5);
+  EXPECT_EQ(plan.spec(FaultKind::kWorkerCrash).match, "mcf");
+  EXPECT_FALSE(plan.has(FaultKind::kMemDrop));
+}
+
+TEST(FaultPlan, DescribeRoundTrips) {
+  const std::string spec =
+      "seed=9;mem_drop:every=7;mispredict:p=0.25;commit_corrupt:after=3,"
+      "count=1,arg=255";
+  const FaultPlan plan = FaultPlan::parse(spec);
+  EXPECT_EQ(FaultPlan::parse(plan.describe()).describe(), plan.describe());
+}
+
+TEST(FaultPlan, ParseCollectsAllErrorsIntoOneMessage) {
+  try {
+    FaultPlan::parse("bogus_kind;mem_delay:nope=1;mispredict:p=2.5");
+    FAIL() << "expected a parse failure";
+  } catch (const SimError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("3 error(s)"), std::string::npos) << message;
+    EXPECT_NE(message.find("bogus_kind"), std::string::npos) << message;
+    EXPECT_NE(message.find("nope"), std::string::npos) << message;
+    EXPECT_NE(message.find("p"), std::string::npos) << message;
+  }
+}
+
+TEST(FaultSession, FiringStreamIsDeterministic) {
+  const FaultPlan plan = FaultPlan::parse("seed=5;mem_delay:p=0.3");
+  std::vector<bool> first, second;
+  FaultSession a(plan), b(plan);
+  for (int i = 0; i < 200; ++i) first.push_back(a.fire(FaultKind::kMemDelay));
+  for (int i = 0; i < 200; ++i) second.push_back(b.fire(FaultKind::kMemDelay));
+  EXPECT_EQ(first, second);
+  EXPECT_GT(a.injected(FaultKind::kMemDelay), 0u);
+  EXPECT_LT(a.injected(FaultKind::kMemDelay), 200u);
+}
+
+TEST(FaultSession, EveryAfterCountWindow) {
+  const FaultPlan plan =
+      FaultPlan::parse("mem_drop:every=10,after=25,count=3");
+  FaultSession session(plan);
+  std::vector<int> fired_at;
+  for (int i = 0; i < 200; ++i) {
+    if (session.fire(FaultKind::kMemDrop)) fired_at.push_back(i);
+  }
+  EXPECT_EQ(fired_at, (std::vector<int>{25, 35, 45}));
+}
+
+TEST(FaultSession, UnarmedKindsNeverFire) {
+  FaultSession session{FaultPlan{}};
+  EXPECT_FALSE(session.armed(FaultKind::kMemDelay));
+  EXPECT_FALSE(session.fire(FaultKind::kMemDelay));
+}
+
+TEST(FaultPlan, PointDecisionsAreStatelessAndDeterministic) {
+  const FaultPlan plan =
+      FaultPlan::parse("seed=11;worker_crash:p=0.5,count=1");
+  int failures = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::string key = "w" + std::to_string(i) + "|cfg";
+    const bool fails = plan.should_fail_point(FaultKind::kWorkerCrash, key, 0);
+    EXPECT_EQ(fails,
+              plan.should_fail_point(FaultKind::kWorkerCrash, key, 0));
+    failures += fails ? 1 : 0;
+    // count=1 models a transient blip: attempt 1 always succeeds.
+    EXPECT_FALSE(plan.should_fail_point(FaultKind::kWorkerCrash, key, 1));
+  }
+  EXPECT_GT(failures, 0);
+  EXPECT_LT(failures, 64);
+}
+
+TEST(FaultPlan, PointMatchFilterSelectsPoints) {
+  const FaultPlan plan =
+      FaultPlan::parse("worker_crash:every=1,match=vpr");
+  EXPECT_TRUE(
+      plan.should_fail_point(FaultKind::kWorkerCrash, "vpr|orig", 0));
+  EXPECT_FALSE(
+      plan.should_fail_point(FaultKind::kWorkerCrash, "mcf|orig", 0));
+}
+
+TEST(StaConfigValidation, DefaultAndPaperConfigsAreValid) {
+  EXPECT_NO_THROW(validate_sta_config(StaConfig{}));
+  for (PaperConfig config : kAllPaperConfigs) {
+    EXPECT_NO_THROW(validate_sta_config(make_paper_config(config)));
+  }
+}
+
+TEST(StaConfigValidation, ReportsEveryViolationAtOnce) {
+  StaConfig config;
+  config.num_tus = 0;
+  config.watchdog_cycles = 0;
+  config.wb_ports = 0;
+  config.core.rob_size = 0;
+  config.mem.l1d.block_bytes = 48;  // not a power of two
+  config.mem.mem_lat = 0;
+  try {
+    validate_sta_config(config);
+    FAIL() << "expected validation to fail";
+  } catch (const SimError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("6 violation(s)"), std::string::npos) << message;
+    EXPECT_NE(message.find("num_tus"), std::string::npos) << message;
+    EXPECT_NE(message.find("watchdog_cycles"), std::string::npos) << message;
+    EXPECT_NE(message.find("wb_ports"), std::string::npos) << message;
+    EXPECT_NE(message.find("rob_size"), std::string::npos) << message;
+    EXPECT_NE(message.find("block_bytes"), std::string::npos) << message;
+    EXPECT_NE(message.find("mem_lat"), std::string::npos) << message;
+  }
+}
+
+TEST(StaConfigValidation, CacheGeometryMustDivideIntoSets) {
+  StaConfig config;
+  config.mem.l2.size_bytes = 100;  // not a multiple of 128B blocks
+  EXPECT_THROW(validate_sta_config(config), SimError);
+}
+
+}  // namespace
+}  // namespace wecsim

@@ -123,13 +123,23 @@ TEST(ParallelHarness, SubmitDeduplicatesAndRunFillsMemo) {
   EXPECT_EQ(runner.pending(), 0u);
 }
 
-TEST(ParallelHarness, WorkerPoolExceptionPropagates) {
-  // An unknown workload throws inside the worker; drain must rethrow.
+TEST(ParallelHarness, WorkerFailureQuarantinesThePointNotTheSweep) {
+  // An unknown workload throws inside the worker; the fail-soft drain
+  // quarantines that point and keeps the rest of the sweep alive.
+  const StaConfig config = make_paper_config(PaperConfig::kOrig, 1);
   ParallelExperimentRunner runner(kParams, /*jobs=*/4, std::string());
-  runner.submit("181.mcf", "orig", make_paper_config(PaperConfig::kOrig, 1));
-  runner.submit("no.such.workload", "orig",
-                make_paper_config(PaperConfig::kOrig, 1));
-  EXPECT_THROW(runner.drain(), std::exception);
+  runner.set_failsoft_limits(/*max_attempts=*/2, /*backoff_ms=*/0);
+  runner.submit("181.mcf", "orig", config);
+  runner.submit("no.such.workload", "orig", config);
+  EXPECT_NO_THROW(runner.drain());
+  EXPECT_NE(runner.try_run("181.mcf", "orig", config), nullptr);
+  EXPECT_EQ(runner.try_run("no.such.workload", "orig", config), nullptr);
+  EXPECT_EQ(runner.quarantined_count(), 1u);
+  EXPECT_THROW(runner.run("no.such.workload", "orig", config),
+               PointQuarantined);
+  // Submitting a quarantined point again queues nothing.
+  runner.submit("no.such.workload", "orig", config);
+  EXPECT_EQ(runner.pending(), 0u);
 }
 
 TEST(ParallelFor, CoversAllIndicesConcurrently) {
@@ -139,15 +149,52 @@ TEST(ParallelFor, CoversAllIndicesConcurrently) {
   for (size_t i = 0; i < kN; ++i) EXPECT_EQ(touched[i].load(), 1) << i;
 }
 
-TEST(ParallelFor, RethrowsSmallestIndexFailure) {
+TEST(ParallelFor, SingleFailureIsRethrownAsIs) {
   try {
     parallel_for(8, 4, [](size_t i) {
-      if (i == 3 || i == 6) throw std::runtime_error(std::to_string(i));
+      if (i == 3) throw std::runtime_error(std::to_string(i));
     });
     FAIL() << "expected an exception";
+  } catch (const ParallelError&) {
+    FAIL() << "a lone failure must keep its original type";
   } catch (const std::runtime_error& e) {
     EXPECT_STREQ(e.what(), "3");
   }
+}
+
+TEST(ParallelFor, CollectsEveryWorkerFailureIntoOneError) {
+  try {
+    parallel_for(8, 4, [](size_t i) {
+      if (i == 3 || i == 6) throw std::runtime_error("worker " +
+                                                     std::to_string(i));
+    });
+    FAIL() << "expected a ParallelError";
+  } catch (const ParallelError& e) {
+    ASSERT_EQ(e.messages().size(), 2u);
+    EXPECT_EQ(e.messages()[0], "worker 3");  // index order, not finish order
+    EXPECT_EQ(e.messages()[1], "worker 6");
+    const std::string message = e.what();
+    EXPECT_NE(message.find("2 parallel worker failure(s)"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("worker 3"), std::string::npos) << message;
+    EXPECT_NE(message.find("worker 6"), std::string::npos) << message;
+  }
+}
+
+TEST(ParallelFor, SerialPathSharesTheFailureContract) {
+  // jobs=1 degenerates to an in-order loop but must still attempt every
+  // index and aggregate, exactly like the pooled path.
+  std::vector<int> attempted;
+  try {
+    parallel_for(4, 1, [&](size_t i) {
+      attempted.push_back(static_cast<int>(i));
+      if (i == 0 || i == 2) throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected a ParallelError";
+  } catch (const ParallelError& e) {
+    EXPECT_EQ(e.messages(), (std::vector<std::string>{"0", "2"}));
+  }
+  EXPECT_EQ(attempted, (std::vector<int>{0, 1, 2, 3}));
 }
 
 TEST(ResultCacheTest, WarmCacheServesWithZeroFreshSimulations) {

@@ -206,7 +206,23 @@ waiter:
   StaConfig config = make_paper_config(PaperConfig::kOrig, 2);
   config.watchdog_cycles = 5000;
   Simulator sim(p, config);
-  EXPECT_THROW(sim.run(), SimError);
+  // The watchdog message must carry enough machine state to debug the hang
+  // from the error alone: the deadlock diagnosis, the region bookkeeping, and
+  // one line per thread unit.
+  try {
+    sim.run();
+    FAIL() << "expected the watchdog to trip";
+  } catch (const SimError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("deadlock: no instruction committed"),
+              std::string::npos)
+        << message;
+    EXPECT_NE(message.find("machine state at cycle"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("region:"), std::string::npos) << message;
+    EXPECT_NE(message.find("tu0:"), std::string::npos) << message;
+    EXPECT_NE(message.find("tu1:"), std::string::npos) << message;
+  }
 }
 
 TEST(StaProtocol, NestedBeginThrows) {
