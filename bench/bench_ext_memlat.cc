@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
       "not evaluated in the paper (named as future work); expectation: the "
       "WEC's indirect prefetching hides more latency as memory gets slower");
 
-  const uint32_t kLats[] = {50, 100, 200, 400};
+  const uint32_t kLats[] = {50, 100, 200, 400, 500};
   ParallelExperimentRunner runner(bench_params(), parse_jobs_flag(argc, argv));
 
   // Submission pre-pass mirroring the measurement loops below.
@@ -38,11 +38,12 @@ int main(int argc, char** argv) {
   }
   runner.drain();
 
-  TextTable table({"benchmark", "50cyc", "100cyc", "200cyc", "400cyc"});
-  std::vector<std::vector<double>> columns(4);
+  TextTable table({"benchmark", "50cyc", "100cyc", "200cyc", "400cyc",
+                   "500cyc"});
+  std::vector<std::vector<double>> columns(5);
   for (const auto& name : workload_names()) {
     std::vector<std::string> row = {name};
-    for (size_t i = 0; i < 4; ++i) {
+    for (size_t i = 0; i < 5; ++i) {
       const auto* base =
           runner.try_run(name, "orig-m" + std::to_string(kLats[i]),
                          with_mem_lat(PaperConfig::kOrig, kLats[i]));

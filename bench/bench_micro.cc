@@ -2,12 +2,25 @@
 // building blocks, plus ablations of the WEC design choices DESIGN.md calls
 // out (victim-role on/off is covered by fig15; here: the chained next-line
 // prefetch rule and the side-structure roles on a conflict-heavy kernel).
+//
+// Besides the google-benchmark suite, `--core[=smoke]` runs the cycle-skip
+// core throughput grid: the memory-bound mcf workload across a memory-latency
+// sweep with event-driven skipping off vs on, verifying the run reports are
+// byte-identical per point and writing per-point sim_cycles_per_second to
+// BENCH_core.json (wecsim.bench_timing schema). `--assert-speedup=N` exits
+// nonzero when the highest-latency point speeds up less than Nx — wired as
+// the perf-smoke ctest `perf_smoke_cycle_skip`.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+
+#include "bench/bench_common.h"
 #include "core/sim_config.h"
 #include "core/simulator.h"
 #include "cpu/bpred.h"
 #include "func/interpreter.h"
+#include "harness/report.h"
 #include "isa/assembler.h"
 #include "mem/cache.h"
 #include "mem/side_cache.h"
@@ -123,6 +136,150 @@ BENCHMARK(BM_WecChainPrefetchAblation)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+// --- Cycle-skip core throughput grid (--core mode) -------------------------
+
+namespace {
+
+/// One timed simulation of the point, with the full registry captured for
+/// the byte-identity check.
+struct CorePoint {
+  RunRecord record;
+  uint64_t skipped = 0;
+  uint64_t jumps = 0;
+};
+
+CorePoint run_core_point(const Workload& w, const WorkloadParams& params,
+                         uint32_t mem_lat, bool skip) {
+  StaConfig config = make_paper_config(PaperConfig::kWthWpWec, 8);
+  config.mem.mem_lat = mem_lat;
+  config.cycle_skip = skip;
+  const auto start = std::chrono::steady_clock::now();
+  Simulator sim(w.program, config);
+  w.init(sim.memory());
+  const SimResult result = sim.run();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  CorePoint point;
+  point.record.workload = w.name;
+  point.record.config_key =
+      "wec-m" + std::to_string(mem_lat) + (skip ? "-skip" : "-noskip");
+  point.record.scale = params.scale;
+  point.record.result = result;
+  point.record.counters = sim.stats().snapshot();
+  point.record.histograms = sim.stats().histogram_snapshot();
+  point.record.gauges = sim.stats().gauge_snapshot();
+  point.record.run_seconds = elapsed.count();
+  point.skipped = sim.processor().skipped_cycles();
+  point.jumps = sim.processor().skip_jumps();
+  return point;
+}
+
+/// The report a point would render under a mode-neutral config key: equal
+/// bytes here means equal SimResult, counters, gauges, and histograms.
+std::string neutral_report(const CorePoint& point, uint32_t mem_lat) {
+  RunRecord rec = point.record;
+  rec.config_key = "wec-m" + std::to_string(mem_lat);
+  return render_run_report("bench_micro_core", {rec});
+}
+
+}  // namespace
+
+int run_core_bench(bool smoke, double assert_speedup) {
+  using bench::bench_params;
+  // The knob under test is the config's; an inherited env override (or the
+  // result cache short-circuiting the second run) would fake the A/B.
+  ::unsetenv("WECSIM_SKIP");
+  ::unsetenv("WECSIM_CACHE_DIR");
+
+  WorkloadParams params = bench_params();
+  std::vector<uint32_t> lats = {50, 100, 200, 400, 500};
+  if (smoke) {
+    params.scale = 1;
+    lats = {500};
+  }
+  const Workload w = make_workload("181.mcf", params);
+
+  std::printf("=== Cycle-skip core throughput: %s scale %u, skip off vs on "
+              "===\n\n",
+              w.name.c_str(), params.scale);
+
+  TextTable table({"mem_lat", "off Mcyc/s", "on Mcyc/s", "speedup",
+                   "skipped", "jumps"});
+  std::vector<RunRecord> records;
+  double last_speedup = 0.0;
+  bool identical = true;
+  for (uint32_t lat : lats) {
+    const CorePoint off = run_core_point(w, params, lat, /*skip=*/false);
+    const CorePoint on = run_core_point(w, params, lat, /*skip=*/true);
+    if (neutral_report(on, lat) != neutral_report(off, lat)) {
+      std::fprintf(stderr,
+                   "FAIL: skip on/off run reports differ at mem_lat=%u\n",
+                   lat);
+      identical = false;
+    }
+    last_speedup = off.record.run_seconds > 0.0 && on.record.run_seconds > 0.0
+                       ? off.record.run_seconds / on.record.run_seconds
+                       : 0.0;
+    const double pct =
+        on.record.result.cycles > 0
+            ? 100.0 * static_cast<double>(on.skipped) /
+                  static_cast<double>(on.record.result.cycles)
+            : 0.0;
+    table.add_row({std::to_string(lat),
+                   TextTable::num(off.record.sim_cycles_per_second() / 1e6, 2),
+                   TextTable::num(on.record.sim_cycles_per_second() / 1e6, 2),
+                   TextTable::num(last_speedup, 2) + "x",
+                   TextTable::pct(pct), std::to_string(on.jumps)});
+    records.push_back(off.record);
+    records.push_back(on.record);
+  }
+  std::fputs(table.render().c_str(), stdout);
+  if (!identical) return 1;
+  std::printf("\ndeterminism: %zu points byte-identical across modes\n",
+              lats.size());
+
+  double wall_seconds = 0.0;
+  for (const RunRecord& rec : records) wall_seconds += rec.run_seconds;
+  const char* dir = std::getenv("WECSIM_REPORT_DIR");
+  const std::string path = (dir != nullptr && *dir != '\0')
+                               ? std::string(dir) + "/BENCH_core.json"
+                               : std::string("BENCH_core.json");
+  try {
+    write_timing_report(path, "bench_micro_core", /*jobs=*/1, wall_seconds,
+                        records);
+    std::printf("timing: %s\n", path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[warn] timing file not written: %s\n", e.what());
+  }
+
+  if (assert_speedup > 0.0 && last_speedup < assert_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: speedup %.2fx at mem_lat=%u is below the required "
+                 "%.2fx\n",
+                 last_speedup, lats.back(), assert_speedup);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace wecsim
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool core = false;
+  bool smoke = false;
+  double assert_speedup = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--core") == 0) core = true;
+    if (std::strcmp(argv[i], "--core=smoke") == 0) core = smoke = true;
+    if (std::strncmp(argv[i], "--assert-speedup=", 17) == 0) {
+      assert_speedup = std::atof(argv[i] + 17);
+    }
+  }
+  if (core) return wecsim::run_core_bench(smoke, assert_speedup);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

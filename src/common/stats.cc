@@ -26,6 +26,15 @@ void HistogramData::record(uint64_t v) {
   if (v > max) max = v;
 }
 
+void HistogramData::record_n(uint64_t v, uint64_t n) {
+  if (n == 0) return;
+  buckets[bucket_index(v)] += n;
+  count += n;
+  sum += v * n;
+  if (v < min) min = v;
+  if (v > max) max = v;
+}
+
 StatsRegistry::Counter StatsRegistry::counter(const std::string& name) {
   auto [it, inserted] = counters_.try_emplace(name, 0);
   (void)inserted;

@@ -37,6 +37,10 @@ struct HistogramData {
   static std::pair<uint64_t, uint64_t> bucket_range(uint32_t i);
 
   void record(uint64_t v);
+  /// Record the same value n times in one update. Bit-identical to calling
+  /// record(v) n times (sum wraps mod 2^64 either way) — used by the cycle
+  /// skipper to replay per-cycle samples across a bulk jump.
+  void record_n(uint64_t v, uint64_t n);
   double mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / count; }
 };
 
@@ -68,6 +72,9 @@ class StatsRegistry {
     Histogram() : data_(nullptr) {}
     void record(uint64_t v) {
       if (data_ != nullptr) data_->record(v);
+    }
+    void record_n(uint64_t v, uint64_t n) {
+      if (data_ != nullptr) data_->record_n(v, n);
     }
     const HistogramData* data() const { return data_; }
 

@@ -18,6 +18,14 @@ Simulator::Simulator(const Program& program, const StaConfig& config)
     }
     lockstep_ = true;
   }
+  // Event-driven cycle skipping is bit-identical to plain stepping (see
+  // docs/PERFORMANCE.md), so toggling it neither bumps kSimulatorVersion nor
+  // enters the result-cache key. The env var, when set, wins over the config
+  // knob: "0" disables, anything else enables.
+  if (const char* skip = std::getenv("WECSIM_SKIP");
+      skip != nullptr && *skip != '\0') {
+    config_.cycle_skip = std::string(skip) != "0";
+  }
   processor_ = std::make_unique<StaProcessor>(config_, program_, stats_,
                                               memory_, &trace_,
                                               faults_.get());

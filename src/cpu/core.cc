@@ -61,6 +61,7 @@ void OooCore::start(Addr pc, const std::array<Word, kNumIntRegs>& int_regs,
   rat_int_.fill(-1);
   rat_fp_.fill(-1);
   rob_.clear();
+  lsq_used_ = 0;
   fetch_queue_.clear();
   recoveries_.clear();
   wrong_path_queue_.clear();
@@ -68,6 +69,7 @@ void OooCore::start(Addr pc, const std::array<Word, kNumIntRegs>& int_regs,
   fetch_blocked_ = false;
   fetch_ready_cycle_ = 0;
   fetch_block_ = kBadAddr;
+  if (!active_ && active_sink_ != nullptr) ++*active_sink_;
   active_ = true;
   halted_ = false;
 }
@@ -78,11 +80,13 @@ void OooCore::start(Addr pc) {
 
 void OooCore::stop() {
   rob_.clear();
+  lsq_used_ = 0;
   fetch_queue_.clear();
   recoveries_.clear();
   wrong_path_queue_.clear();
   rat_int_.fill(-1);
   rat_fp_.fill(-1);
+  if (active_ && active_sink_ != nullptr) --*active_sink_;
   active_ = false;
 }
 
@@ -124,6 +128,12 @@ Word OooCore::operand_value(const Operand& op) {
   // Producer already committed; the committed file holds its value (no
   // younger writer of this register can have committed before us).
   return op.file == RegFile::kInt ? int_regs_[op.reg] : fp_regs_[op.reg];
+}
+
+void OooCore::note_commit() {
+  ++core_stats_.committed;
+  stat_committed_.inc();
+  if (commit_sink_ != nullptr) ++*commit_sink_;
 }
 
 uint32_t OooCore::fu_limit(FuClass fu) const {
@@ -186,16 +196,14 @@ void OooCore::do_commit(Cycle now) {
       const auto action = env_.thread_op(head.instr, head.mem_addr, now);
       if (action == CoreEnv::ThreadOpAction::kRetry) break;
       if (action == CoreEnv::ThreadOpAction::kEndThread) {
-        core_stats_.committed += 1;
-        stat_committed_.inc();
+        note_commit();
         if (commit_hook_) commit_hook_(committed_info(head));
         stop();
         return;
       }
       // kDone falls through to normal retirement.
     } else if (head.instr.op == Opcode::kHalt) {
-      core_stats_.committed += 1;
-      stat_committed_.inc();
+      note_commit();
       halted_ = true;
       if (commit_hook_) commit_hook_(committed_info(head));
       stop();
@@ -226,10 +234,10 @@ void OooCore::do_commit(Cycle now) {
               (unsigned long long)head.seq,
               (unsigned long long)head.pc, opcode_name(head.instr.op));
     }
-    ++core_stats_.committed;
-    stat_committed_.inc();
+    note_commit();
     if (commit_hook_) commit_hook_(committed_info(head));
     ++committed;
+    if (head.instr.is_mem()) --lsq_used_;
     rob_.pop_front();
   }
 }
@@ -240,10 +248,8 @@ std::string OooCore::describe_state() const {
   std::ostringstream os;
   os << "fetch_pc=0x" << std::hex << fetch_pc_ << std::dec;
   if (fetch_blocked_) os << " (blocked)";
-  uint32_t lsq = 0;
-  for (const RobEntry& e : rob_) lsq += e.instr.is_mem() ? 1 : 0;
-  os << " rob=" << rob_.size() << "/" << config_.rob_size << " lsq=" << lsq
-     << "/" << config_.lsq_size;
+  os << " rob=" << rob_.size() << "/" << config_.rob_size
+     << " lsq=" << lsq_used_ << "/" << config_.lsq_size;
   if (rob_.empty()) {
     os << " rob-head=<empty>";
   } else {
@@ -332,6 +338,7 @@ void OooCore::squash_after(SeqNum seq, Cycle now) {
   rat_fp_ = keep->rat_fp_ckpt;
   uint64_t depth = 0;
   while (!rob_.empty() && rob_.back().seq > seq) {
+    if (rob_.back().instr.is_mem()) --lsq_used_;
     rob_.pop_back();
     ++depth;
   }
@@ -361,21 +368,27 @@ void OooCore::redirect_fetch(Addr pc, Cycle when) {
 
 OooCore::LoadOrder OooCore::check_older_stores(const RobEntry& load, Cycle now,
                                                Word* value) {
-  const uint32_t load_bytes = load.instr.mem_bytes();
+  return check_older_stores(load.seq, load.mem_addr, load.instr.mem_bytes(),
+                            now, value);
+}
+
+OooCore::LoadOrder OooCore::check_older_stores(SeqNum load_seq, Addr load_addr,
+                                               uint32_t load_bytes, Cycle now,
+                                               Word* value) {
   // Scan younger→older so the *youngest* older matching store forwards.
   for (auto it = rob_.rbegin(); it != rob_.rend(); ++it) {
     const RobEntry& entry = *it;
-    if (entry.seq >= load.seq) continue;
+    if (entry.seq >= load_seq) continue;
     if (!entry.instr.is_store()) continue;
     if (!entry.addr_known) return LoadOrder::kWait;  // conservative ordering
     const uint32_t store_bytes = entry.instr.mem_bytes();
-    if (!overlaps(entry.mem_addr, store_bytes, load.mem_addr, load_bytes)) {
+    if (!overlaps(entry.mem_addr, store_bytes, load_addr, load_bytes)) {
       continue;
     }
-    if (contains(entry.mem_addr, store_bytes, load.mem_addr, load_bytes) &&
+    if (contains(entry.mem_addr, store_bytes, load_addr, load_bytes) &&
         entry.completed(now)) {
       const uint32_t shift =
-          static_cast<uint32_t>(load.mem_addr - entry.mem_addr) * 8;
+          static_cast<uint32_t>(load_addr - entry.mem_addr) * 8;
       *value = (entry.store_value >> shift) &
                low_mask(8 * std::min(load_bytes, 8u));
       return LoadOrder::kForward;
@@ -573,17 +586,10 @@ void OooCore::drain_wrong_path_loads(Cycle now, uint32_t ports_left) {
 void OooCore::do_dispatch(Cycle now) {
   (void)now;
   uint32_t dispatched = 0;
-  auto lsq_count = [this] {
-    uint32_t n = 0;
-    for (const RobEntry& e : rob_) n += e.instr.is_mem() ? 1 : 0;
-    return n;
-  };
-  uint32_t lsq_used = lsq_count();
-
   while (!fetch_queue_.empty() && dispatched < config_.issue_width &&
          rob_.size() < config_.rob_size) {
     const FetchedInstr& fetched = fetch_queue_.front();
-    if (fetched.instr.is_mem() && lsq_used >= config_.lsq_size) break;
+    if (fetched.instr.is_mem() && lsq_used_ >= config_.lsq_size) break;
 
     RobEntry entry;
     entry.seq = next_seq_++;
@@ -629,7 +635,7 @@ void OooCore::do_dispatch(Cycle now) {
       entry.rat_fp_ckpt = rat_fp_;
     }
 
-    if (entry.instr.is_mem()) ++lsq_used;
+    if (entry.instr.is_mem()) ++lsq_used_;
     rob_.push_back(std::move(entry));
     fetch_queue_.pop_front();
     ++dispatched;
@@ -698,6 +704,106 @@ void OooCore::do_fetch(Cycle now) {
     // A taken control transfer ends the fetch group.
     if (next != f.pc + kInstrBytes) break;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Event-driven cycle skipping
+// ---------------------------------------------------------------------------
+
+Cycle OooCore::next_event_cycle(Cycle now) {
+  if (!active_) return kNoCycle;
+  const Cycle next = now + 1;
+  // Wrong-execution loads drain through spare memory ports every cycle.
+  if (!wrong_path_queue_.empty()) return next;
+
+  Cycle wake = kNoCycle;
+  auto consider = [&wake](Cycle c) {
+    if (c < wake) wake = c;
+  };
+
+  // Scheduled misprediction recoveries fire at their resolution cycle.
+  for (const PendingRecovery& rec : recoveries_) {
+    if (rec.at <= next) return next;
+    consider(rec.at);
+  }
+
+  // Fetch resumes as soon as the I-fill / redirect penalty elapses.
+  if (!fetch_blocked_ && fetch_queue_.size() < config_.fetch_queue_size) {
+    if (fetch_ready_cycle_ <= next) return next;
+    consider(fetch_ready_cycle_);
+  }
+
+  // Dispatch moves fetched instructions into free ROB/LSQ slots.
+  if (!fetch_queue_.empty() && rob_.size() < config_.rob_size &&
+      (!fetch_queue_.front().instr.is_mem() ||
+       lsq_used_ < config_.lsq_size)) {
+    return next;
+  }
+
+  // Region-boundary barrier, exactly as do_issue computes it: loads beyond
+  // it cannot issue until the barrier op commits (an event covered by the
+  // head-of-ROB analysis below).
+  SeqNum barrier_seq = ~SeqNum{0};
+  for (const RobEntry& e : rob_) {
+    if (is_load_barrier(e.instr.op)) {
+      barrier_seq = e.seq;
+      break;
+    }
+  }
+
+  for (RobEntry& entry : rob_) {
+    if (entry.completed_flag) {
+      if (entry.done_cycle > now) {
+        // In-flight result (memory fill / FU latency) lands at done_cycle.
+        consider(entry.done_cycle);
+        continue;
+      }
+      if (&entry != &rob_.front()) continue;
+      // Completed head: commit acts next cycle — unless it is a thread op
+      // stuck on a protocol gate, whose wake-up the environment knows.
+      if (opcode_info(entry.instr.op).kind != InstrKind::kThread) return next;
+      const Cycle at = env_.thread_op_wake_cycle(entry.instr, now);
+      if (at == kNoCycle) continue;  // waits on another TU's progress
+      if (at <= next) return next;
+      consider(at);
+      continue;
+    }
+    // Un-issued. A store's AGU runs as soon as its base operand is ready.
+    if (entry.instr.is_store() && !entry.addr_known &&
+        operand_ready(entry.src1, now)) {
+      return next;
+    }
+    if (!operand_ready(entry.src1, now) || !operand_ready(entry.src2, now)) {
+      // Producers are older ROB entries; their done_cycles are events this
+      // same scan picks up (or they bottom out at an external gate).
+      continue;
+    }
+    if (!entry.instr.is_load()) return next;  // issues when resources free up
+    if (entry.seq > barrier_seq) continue;    // gated by the barrier's commit
+    // Ready load: derive its address (idempotent — do_issue computes the
+    // same value from the same operands) and rerun the ordering checks.
+    const Addr addr = entry.addr_known
+                          ? entry.mem_addr
+                          : eval_mem_addr(entry.instr,
+                                          operand_value(entry.src1));
+    const uint32_t bytes = entry.instr.mem_bytes();
+    Word forwarded = 0;
+    const LoadOrder order =
+        check_older_stores(entry.seq, addr, bytes, now, &forwarded);
+    if (order == LoadOrder::kWait) continue;  // the blocking store's own
+                                              // AGU/completion is an event
+    if (order == LoadOrder::kForward) return next;
+    const Cycle at = env_.load_gate_wake_cycle(addr, bytes, now);
+    if (at == kNoCycle) continue;  // upstream target data not yet forwarded
+    if (at <= next) return next;
+    consider(at);
+  }
+  return wake;
+}
+
+void OooCore::account_skipped_cycles(uint64_t n) {
+  if (!active_) return;
+  hist_rob_occupancy_.record_n(rob_.size(), n);
 }
 
 }  // namespace wecsim

@@ -90,6 +90,28 @@ class CoreEnv {
   /// Thread-level execution mode: kCorrect, or kWrongThread once the thread
   /// has been marked wrong by an upstream abort.
   virtual ExecMode mode() const = 0;
+
+  // --- cycle-skip support --------------------------------------------------
+  // Both hooks answer "when could the gated action stop blocking?" for the
+  // event-driven skipper: `now` (or earlier) means "maybe next cycle — do not
+  // skip"; kNoCycle means "blocked purely on another thread's progress";
+  // anything else is a concrete future wake-up cycle. The defaults are the
+  // conservative "now", so environments that do not implement them never
+  // enable skipping past their gates.
+
+  /// Earliest cycle the thread op at the commit head could stop returning
+  /// kRetry, assuming no other instruction executes in between.
+  virtual Cycle thread_op_wake_cycle(const Instruction& instr, Cycle now) {
+    (void)instr;
+    return now;
+  }
+
+  /// Earliest cycle check_load(addr, bytes) could return kProceed.
+  virtual Cycle load_gate_wake_cycle(Addr addr, uint32_t bytes, Cycle now) {
+    (void)addr;
+    (void)bytes;
+    return now;
+  }
 };
 
 /// Per-run committed-instruction statistics of one core.
@@ -133,6 +155,47 @@ class OooCore {
 
   bool active() const { return active_; }
   bool halted() const { return halted_; }
+
+  /// Conservative earliest cycle at which this core could change any state
+  /// if ticked, or kNoCycle when it is blocked purely on external stimulus
+  /// (another thread unit's progress). Never returns less than now + 1; a
+  /// return of exactly now + 1 means "may act on the very next tick — do not
+  /// skip". Events considered: outstanding memory-fill / FU completions
+  /// (RobEntry::done_cycle), scheduled PendingRecovery resolutions, the
+  /// I-fetch ready cycle, and protocol gate wake-ups via CoreEnv; any
+  /// immediately runnable fetch/dispatch/issue/commit/wrong-path work short-
+  /// circuits to now + 1.
+  Cycle next_event_cycle(Cycle now);
+
+  /// The processor skipped `n` cycles during which this core was provably
+  /// inert: replay the per-cycle ROB-occupancy samples tick() would have
+  /// recorded, keeping histograms bit-identical to the unskipped run. No-op
+  /// when idle.
+  void account_skipped_cycles(uint64_t n);
+
+  /// Incremental bookkeeping for the owning processor's hot loop: when set,
+  /// *sink is incremented once per committed instruction (commit sink) /
+  /// tracks active() transitions (active sink), replacing per-cycle sweeps.
+  void set_commit_sink(uint64_t* sink) { commit_sink_ = sink; }
+  void set_active_sink(int64_t* sink) { active_sink_ = sink; }
+
+  /// Cheap digest of the externally visible pipeline state (committed count,
+  /// queue occupancies, fetch state). The processor probes next_event_cycle()
+  /// for a skip only on ticks where no core's signature changed — running the
+  /// full ROB scan on cycles where the machine visibly progressed would eat
+  /// the very time skipping saves. The signature only gates *when* the
+  /// (authoritative) scan runs, so a collision merely delays a skip attempt.
+  uint64_t activity_signature() const {
+    constexpr uint64_t kMul = 1099511628211ull;  // FNV-1a prime
+    uint64_t sig = core_stats_.committed;
+    sig = sig * kMul + rob_.size();
+    sig = sig * kMul + fetch_queue_.size();
+    sig = sig * kMul + recoveries_.size();
+    sig = sig * kMul + wrong_path_queue_.size();
+    sig = sig * kMul + (active_ ? 2u : 0u) + (halted_ ? 1u : 0u);
+    sig = sig * kMul + fetch_pc_;
+    return sig;
+  }
 
   /// Committed architectural state.
   Word int_reg(RegId r) const { return int_regs_[r]; }
@@ -217,10 +280,13 @@ class OooCore {
   RobEntry* entry_for(SeqNum seq);
   bool operand_ready(const Operand& op, Cycle now);
   Word operand_value(const Operand& op);
+  void note_commit();
   /// Scan older stores for ordering/forwarding. Returns:
   ///   kForward (value set), kWait (must stall), kToCache.
   enum class LoadOrder : uint8_t { kForward, kWait, kToCache };
   LoadOrder check_older_stores(const RobEntry& load, Cycle now, Word* value);
+  LoadOrder check_older_stores(SeqNum load_seq, Addr load_addr,
+                               uint32_t load_bytes, Cycle now, Word* value);
   void execute_entry(RobEntry& entry, Cycle now, uint32_t* mem_ports_used);
   void resolve_control(RobEntry& entry, Cycle now);
   void squash_after(SeqNum seq, Cycle now);
@@ -249,6 +315,7 @@ class OooCore {
   // Reorder buffer: consecutive seq numbers, head at front.
   std::deque<RobEntry> rob_;
   SeqNum next_seq_ = 1;
+  uint32_t lsq_used_ = 0;  // memory entries in rob_, maintained incrementally
 
   // Fetch state.
   std::deque<FetchedInstr> fetch_queue_;
@@ -267,6 +334,8 @@ class OooCore {
   TraceSink* trace_ = nullptr;
   FaultSession* faults_ = nullptr;
   CommitHook commit_hook_;
+  uint64_t* commit_sink_ = nullptr;  // owner's incremental committed total
+  int64_t* active_sink_ = nullptr;   // owner's incremental active-core count
 
   CoreStats core_stats_;
   StatsRegistry::Counter stat_committed_;

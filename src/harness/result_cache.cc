@@ -86,6 +86,10 @@ std::string ResultCache::describe(const std::string& workload_name,
   os << "wth=" << c.wrong_thread_exec << ';';
   os << "max_cycles=" << c.max_cycles << ';';
   os << "watchdog=" << c.watchdog_cycles << ';';
+  // cycle_skip and wall_timeout_seconds are deliberately NOT part of the
+  // key: neither affects results (skipping is bit-identical by contract —
+  // see docs/PERFORMANCE.md), so runs with either setting share cache
+  // entries.
   // CoreConfig.
   const CoreConfig& core = c.core;
   os << "fetch_w=" << core.fetch_width << ';';

@@ -293,8 +293,10 @@ MemOutcome TuMemSystem::load(Addr addr, ExecMode mode, Cycle now) {
       if (ended->dirty) l2_.write_back(ended->block, now);
     }
   }
-  return is_wrong(mode) ? wrong_load(addr, mode, now)
-                        : correct_load(addr, now);
+  const MemOutcome outcome = is_wrong(mode) ? wrong_load(addr, mode, now)
+                                            : correct_load(addr, now);
+  if (outcome.done > fill_horizon_) fill_horizon_ = outcome.done;
+  return outcome;
 }
 
 MemOutcome TuMemSystem::store(Addr addr, Cycle now) {
@@ -323,7 +325,8 @@ MemOutcome TuMemSystem::store(Addr addr, Cycle now) {
   }
   // Write-allocate miss; the store buffer hides the fill latency from the
   // committing thread, so the returned cycle is just the port occupancy.
-  fill_l1(addr, /*dirty=*/true, now);
+  const Cycle fill_done = fill_l1(addr, /*dirty=*/true, now);
+  if (fill_done > fill_horizon_) fill_horizon_ = fill_done;
   return {now + config_.l1_hit_lat, false, false};
 }
 
@@ -336,6 +339,7 @@ Cycle TuMemSystem::ifetch(Addr pc, Cycle now) {
   const Cycle done = l2_.access(pc, now);
   auto victim = l1i_.insert(pc, /*dirty=*/false, done);
   (void)victim;  // instruction blocks are never dirty
+  if (done > fill_horizon_) fill_horizon_ = done;
   return done;
 }
 

@@ -98,6 +98,12 @@ class SharedL2 {
   /// does not return data).
   void write_back(Addr addr, Cycle now);
 
+  /// Cycle the L2 port frees up. Passive bandwidth state: it only delays
+  /// requests that arrive before it, it never acts on its own — so cycle
+  /// skipping treats the L2 as event-free. Exposed for the skip invariant
+  /// checks in tests.
+  Cycle busy_until() const { return next_free_; }
+
   void reset();
 
  private:
@@ -153,6 +159,17 @@ class TuMemSystem {
   SideKind side_kind() const { return config_.side; }
   uint32_t l1d_block_bytes() const { return l1d_.block_bytes(); }
 
+  /// Latest fill/service completion cycle issued by this hierarchy (load
+  /// outcomes, store fills, ifetches). Every outcome is computed
+  /// synchronously at request time and
+  /// scheduled in the requesting core's ROB, so the memory system holds no
+  /// autonomous future events: the cores' next_event_cycle() already covers
+  /// every outstanding fill. Exposed, with SharedL2::busy_until() and
+  /// SideCache::ready_horizon(), for the cycle-skip invariant checks in
+  /// tests (a skip jump may never land past an event only the memory system
+  /// knows about — which is to say, past nothing).
+  Cycle fill_horizon() const { return fill_horizon_; }
+
  private:
   MemOutcome correct_load(Addr addr, Cycle now);
   MemOutcome wrong_load(Addr addr, ExecMode mode, Cycle now);
@@ -178,6 +195,7 @@ class TuMemSystem {
   TuId tu_;
   TraceSink* trace_;
   FaultSession* faults_;  // may be null: no injection
+  Cycle fill_horizon_ = 0;  // max completion cycle returned so far
 
   // Statistics (names mirror the paper's reported quantities).
   StatsRegistry::Counter l1d_accesses_;        // processor<->L1 traffic

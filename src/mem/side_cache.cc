@@ -142,6 +142,14 @@ bool SideCache::touch_update(Addr addr) {
   return true;
 }
 
+Cycle SideCache::ready_horizon() const {
+  Cycle horizon = 0;
+  for (const Line& line : lines_) {
+    if (line.valid && line.ready > horizon) horizon = line.ready;
+  }
+  return horizon;
+}
+
 void SideCache::clear() {
   for (Line& line : lines_) line = Line{};
   index_.clear();

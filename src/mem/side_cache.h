@@ -108,6 +108,13 @@ class SideCache {
   /// traffic by the caller).
   bool touch_update(Addr addr);
 
+  /// Latest data-ready cycle across resident lines (0 when empty): the
+  /// horizon past which no in-flight side-cache fill is still arriving.
+  /// Passive state — fills complete by comparison against `now` on the next
+  /// access, never by an autonomous tick — so cycle skipping needs no event
+  /// from here; the accessor exists for the skip invariant checks in tests.
+  Cycle ready_horizon() const;
+
   void clear();
 
  private:

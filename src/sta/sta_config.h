@@ -23,6 +23,13 @@ struct StaConfig {
   // exceeded. Host-dependent, so deliberately NOT part of the result-cache
   // key (see ResultCache::describe).
   double wall_timeout_seconds = 0.0;
+  // Event-driven cycle skipping: when every thread unit is quiescent, jump
+  // straight to the next event (core timer, ring delivery, fork activation)
+  // instead of ticking dead cycles. Guaranteed bit-identical results (see
+  // docs/PERFORMANCE.md "Cycle skipping"), so — like wall_timeout_seconds —
+  // deliberately NOT part of the result-cache key. Overridable per run with
+  // WECSIM_SKIP=0|1.
+  bool cycle_skip = true;
 };
 
 /// Validate a configuration at processor construction. Collects EVERY

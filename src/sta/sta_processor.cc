@@ -27,10 +27,15 @@ StaProcessor::StaProcessor(const StaConfig& config, const Program& program,
       gauge_pending_forks_(stats.gauge("sta.pending_forks")) {
   validate_sta_config(config);
   faults_ = faults;
+  skip_enabled_ = config_.cycle_skip;
   for (TuId id = 0; id < config.num_tus; ++id) {
     tus_.push_back(std::make_unique<ThreadUnit>(id, config_, program, *this,
                                                 l2_, stats, memory, trace,
                                                 faults));
+    // Sinks must be attached before any core starts so the incremental
+    // active/committed totals track every transition from cycle 0.
+    tus_.back()->core().set_commit_sink(&committed_total_);
+    tus_.back()->core().set_active_sink(&active_tus_);
   }
   // The sequential thread starts on TU 0.
   tus_[0]->start_thread(program.entry(), {}, {},
@@ -67,10 +72,19 @@ bool StaProcessor::step() {
   if (region_.active) stat_parallel_cycles_.inc();
   deliver_ring_msgs();
   start_pending_forks();
-  uint64_t active = 0;
-  for (const auto& tu : tus_) active += tu->idle() ? 0 : 1;
-  gauge_active_tus_.set(active);
-  gauge_pending_forks_.set(pending_forks_.size());
+  // The cores report start/stop transitions through their active sink;
+  // the gauge write is hoisted behind a change check (re-setting the same
+  // value every cycle is idempotent, so the final reported level — and
+  // hence the run report — is unchanged).
+  if (active_tus_ != gauge_active_cache_) {
+    gauge_active_cache_ = active_tus_;
+    gauge_active_tus_.set(active_tus_);
+  }
+  const int64_t forks_pending = static_cast<int64_t>(pending_forks_.size());
+  if (forks_pending != gauge_forks_cache_) {
+    gauge_forks_cache_ = forks_pending;
+    gauge_pending_forks_.set(forks_pending);
+  }
   // Injected early kill of wrong threads: exercises abort/cleanup paths and
   // cuts wrong-thread prefetching short (fault injection only).
   if (faults_ != nullptr && faults_->armed(FaultKind::kWrongKill)) {
@@ -92,33 +106,123 @@ bool StaProcessor::step() {
 
   // Watchdog: if no thread commits anything for a long time, the program
   // (or the protocol) is deadlocked — fail loudly instead of spinning.
-  // Sampling every 64 cycles keeps the commit-counter sweep off the per-cycle
-  // path; watchdog_cycles is orders of magnitude larger than the stride, so
-  // a deadlock is still detected within one stride of the threshold.
+  // Sampling every 64 cycles keeps the check off the per-cycle path (the
+  // committed total itself is maintained incrementally by the commit sinks);
+  // watchdog_cycles is orders of magnitude larger than the stride, so a
+  // deadlock is still detected within one stride of the threshold.
   if ((now_ & 63) == 0) {
-    uint64_t committed_total = 0;
-    for (const auto& tu : tus_) {
-      committed_total += tu->core().core_stats().committed;
-    }
-    if (committed_total != last_committed_total_) {
-      last_committed_total_ = committed_total;
+    if (committed_total_ != last_committed_total_) {
+      last_committed_total_ = committed_total_;
       last_progress_cycle_ = now_;
     } else if (now_ - last_progress_cycle_ > config_.watchdog_cycles) {
       throw SimError("deadlock: no instruction committed for " +
                      std::to_string(config_.watchdog_cycles) + " cycles at " +
                      std::to_string(now_) + "\n" + dump_state());
     }
-    if (config_.wall_timeout_seconds > 0) {
-      const std::chrono::duration<double> elapsed =
-          std::chrono::steady_clock::now() - wall_start_;
-      if (elapsed.count() > config_.wall_timeout_seconds) {
-        throw SimTimeout("simulation exceeded its wall-clock budget of " +
-                         std::to_string(config_.wall_timeout_seconds) +
-                         "s at cycle " + std::to_string(now_));
-      }
-    }
+    check_wall_budget();
   }
+  // Event-driven skipping, gated by a cheap activity digest: the
+  // authoritative next_event_cycle() scan walks every ROB and costs about as
+  // much as a tick, so running it on cycles where the machine visibly
+  // progressed would eat the very time skipping saves. Visible progress
+  // always changes the digest, so a stable digest marks a fully stalled
+  // cycle; the scan stays the sole authority on whether a skip is safe (a
+  // digest collision costs at most a one-cycle-late jump, and any subset of
+  // valid skips is bit-identical by the skip contract).
+  uint64_t sig = 1469598103934665603ull;  // FNV-1a offset basis
+  for (auto& tu : tus_) {
+    sig = (sig ^ tu->core().activity_signature()) * 1099511628211ull;
+  }
+  const bool quiet = sig == last_activity_sig_;
+  last_activity_sig_ = sig;
+  if (quiet) maybe_skip_ahead();
   return true;
+}
+
+void StaProcessor::check_wall_budget() const {
+  if (config_.wall_timeout_seconds <= 0) return;
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - wall_start_;
+  if (elapsed.count() > config_.wall_timeout_seconds) {
+    throw SimTimeout("simulation exceeded its wall-clock budget of " +
+                     std::to_string(config_.wall_timeout_seconds) +
+                     "s at cycle " + std::to_string(now_));
+  }
+}
+
+void StaProcessor::maybe_skip_ahead() {
+  if (!skip_enabled_) return;
+  // kWrongKill rolls its dice once per wrong-thread cycle inside step();
+  // skipping would change the fire() call count and thus the whole injection
+  // schedule, so an armed wrong_kill plan disables skipping entirely.
+  if (faults_ != nullptr && faults_->armed(FaultKind::kWrongKill)) return;
+
+  const Cycle next = now_ + 1;
+  Cycle target = kNoCycle;
+  // In-flight ring messages deliver exactly at their due cycle; until then
+  // the ring does nothing, so due is a first-class event. Messages that went
+  // stale (their region ended) are erased lazily at the next executed cycle
+  // in both modes; keeping their due as an event only shortens the jump.
+  for (const RingMsg& msg : ring_) {
+    if (msg.due <= next) return;
+    if (msg.due < target) target = msg.due;
+  }
+  // A pending fork acts at its activation cycle once the fork delay has been
+  // charged. An uncharged fork (activation == kNoCycle) whose target TU is
+  // busy can only progress after that TU's core acts — covered by the core
+  // scan below; with an idle target it may charge the delay on the very next
+  // cycle, so nothing can be skipped.
+  for (const auto& [tu_id, fork] : pending_forks_) {
+    if (fork.activation == kNoCycle) {
+      if (tus_[fork.target_tu]->idle()) return;
+      continue;
+    }
+    if (fork.activation <= next) return;
+    if (fork.activation < target) target = fork.activation;
+  }
+  for (auto& tu : tus_) {
+    const Cycle at = tu->next_event_cycle(now_);
+    if (at <= next) return;  // may act next cycle: nothing to skip
+    if (at < target) target = at;
+  }
+
+  // Every TU is quiescent: cycles in (now_, target) are provably dead — a
+  // tick would change no state beyond the per-cycle samples replayed below.
+  // Emulate the 64-cycle watchdog stride across the window in closed form:
+  // progress observed since the last boundary is credited at the first
+  // boundary inside the window (exactly when the stride would see it), and
+  // the jump is clamped to the boundary where a deadlock would trip, so the
+  // SimError fires at the identical cycle with the identical state dump.
+  const Cycle first_boundary = ((now_ >> 6) + 1) << 6;
+  // Credit only boundaries the non-skip run would actually execute: the
+  // window is additionally clamped by max_cycles below.
+  const Cycle window_end = std::min(target - 1, config_.max_cycles);
+  if (first_boundary <= window_end &&
+      committed_total_ != last_committed_total_) {
+    last_committed_total_ = committed_total_;
+    last_progress_cycle_ = first_boundary;
+  }
+  const Cycle deadline_base = last_progress_cycle_ + config_.watchdog_cycles;
+  if (deadline_base >= last_progress_cycle_) {  // guard pathological configs
+    // First stride boundary at which `boundary - progress > watchdog` holds.
+    const Cycle deadline_boundary = (deadline_base + 64) & ~Cycle{63};
+    if (deadline_boundary < target) target = deadline_boundary;
+  }
+
+  // Land one cycle short of the event (the event cycle itself must execute
+  // normally), clamped so the run() loop still exits exactly at max_cycles.
+  const Cycle landing = std::min(target - 1, config_.max_cycles);
+  if (landing <= now_) return;
+  const uint64_t skipped = landing - now_;
+  now_ = landing;
+  stat_cycles_.inc(skipped);
+  if (region_.active) stat_parallel_cycles_.inc(skipped);
+  for (auto& tu : tus_) tu->account_skipped_cycles(skipped);
+  skipped_cycles_ += skipped;
+  ++skip_jumps_;
+  // A bulk jump re-checks the wall-clock budget directly: the stride alone
+  // would let one jump sail arbitrarily far past a SimTimeout deadline.
+  check_wall_budget();
 }
 
 StaRunResult StaProcessor::run() {
@@ -268,6 +372,22 @@ bool StaProcessor::wb_ready_for(uint64_t iter, Cycle now) const {
   if (region_.wb_done_iter + 1 < static_cast<int64_t>(iter)) return false;
   if (region_.wb_done_iter + 1 > static_cast<int64_t>(iter)) return true;
   return now >= region_.wb_ready_cycle;
+}
+
+// Cycle-skip views of the two ordering chains, mirroring tsag_ready_for /
+// wb_ready_for exactly: "already open" -> now, "opens on the ring-hop timer"
+// -> that future cycle, "waiting on the predecessor iteration" -> kNoCycle
+// (the predecessor's own commit event covers the wake-up).
+Cycle StaProcessor::tsag_wake_cycle(uint64_t iter, Cycle now) const {
+  if (region_.tsag_done_iter + 1 < static_cast<int64_t>(iter)) return kNoCycle;
+  if (region_.tsag_done_iter + 1 > static_cast<int64_t>(iter)) return now;
+  return std::max(region_.tsag_ready_cycle, now);
+}
+
+Cycle StaProcessor::wb_wake_cycle(uint64_t iter, Cycle now) const {
+  if (region_.wb_done_iter + 1 < static_cast<int64_t>(iter)) return kNoCycle;
+  if (region_.wb_done_iter + 1 > static_cast<int64_t>(iter)) return now;
+  return std::max(region_.wb_ready_cycle, now);
 }
 
 void StaProcessor::set_wb_done(uint64_t iter, Cycle now) {

@@ -52,6 +52,13 @@ class StaProcessor {
   /// The TU currently executing (or last to execute) sequential code.
   TuId sequential_tu() const { return sequential_tu_; }
 
+  /// Cycle-skip introspection (plain members, deliberately NOT registry
+  /// stats: run reports serialize the full registry, and reports must stay
+  /// byte-identical with skipping on or off).
+  bool cycle_skip_enabled() const { return skip_enabled_; }
+  uint64_t skipped_cycles() const { return skipped_cycles_; }
+  uint64_t skip_jumps() const { return skip_jumps_; }
+
   /// Route every TU's commit stream to a lockstep checker (nullptr detaches).
   void attach_checker(LockstepChecker* checker);
 
@@ -88,6 +95,12 @@ class StaProcessor {
   /// WB_DONE chain: may iteration `iter` run its write-back stage?
   bool wb_ready_for(uint64_t iter, Cycle now) const;
   void set_wb_done(uint64_t iter, Cycle now);
+
+  /// Cycle-skip wake-ups for the ordering chains: `now` when the gate is
+  /// already open, a future cycle when it opens on a known ring-hop timer,
+  /// kNoCycle when it waits on the predecessor iteration's progress.
+  Cycle tsag_wake_cycle(uint64_t iter, Cycle now) const;
+  Cycle wb_wake_cycle(uint64_t iter, Cycle now) const;
 
   /// Update-protocol coherence: `from` committed a store; refresh every
   /// other TU's cached copy.
@@ -127,6 +140,11 @@ class StaProcessor {
 
   void start_pending_forks();
   void deliver_ring_msgs();
+  /// Event-driven fast path: when every TU is quiescent, jump now_ to just
+  /// before the earliest next event (core timer, ring delivery, or fork
+  /// activation), bulk-updating cycle stats and the watchdog bookkeeping.
+  void maybe_skip_ahead();
+  void check_wall_budget() const;
   /// Locate iteration `iter`'s memory buffer (live thread or pending fork).
   MemoryBuffer* buffer_for_iter(uint64_t iter);
   bool iter_exists(uint64_t iter) const;
@@ -147,6 +165,19 @@ class StaProcessor {
   std::deque<RingMsg> ring_;                     // unsorted; scanned per cycle
 
   FaultSession* faults_ = nullptr;
+
+  // Incremental bookkeeping (cores report transitions through sinks instead
+  // of step() sweeping every TU per cycle).
+  uint64_t committed_total_ = 0;
+  int64_t active_tus_ = 0;
+  int64_t gauge_active_cache_ = -1;   // last value pushed into the gauge
+  int64_t gauge_forks_cache_ = -1;
+
+  // Cycle skipping.
+  bool skip_enabled_ = true;
+  uint64_t skipped_cycles_ = 0;
+  uint64_t skip_jumps_ = 0;
+  uint64_t last_activity_sig_ = 0;  // combined core digests, previous tick
 
   // Watchdog.
   uint64_t last_committed_total_ = 0;

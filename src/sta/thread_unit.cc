@@ -130,13 +130,39 @@ Word ThreadUnit::read_data(Addr addr, uint32_t bytes) {
 }
 
 CoreEnv::LoadGate ThreadUnit::check_load(Addr addr, uint32_t bytes) {
-  if (!parallel_ || wrong_) return LoadGate::kProceed;
+  // A gate that cannot open this cycle (future wake-up, or waiting on
+  // another thread's progress) is a stall; "wake == now" means proceed.
+  return load_gate_wake_cycle(addr, bytes, now_) == now_ ? LoadGate::kProceed
+                                                         : LoadGate::kStall;
+}
+
+Cycle ThreadUnit::load_gate_wake_cycle(Addr addr, uint32_t bytes, Cycle now) {
+  if (!parallel_ || wrong_) return now;
   // A thread may not run computation loads until its predecessor's TSAG
   // stage is done (all upstream target addresses are in the buffer).
-  if (!owner_.tsag_ready_for(iter_, now_)) return LoadGate::kStall;
-  // Run-time dependence check: upstream target store without data yet.
-  if (buffer_.must_stall(addr, bytes)) return LoadGate::kStall;
-  return LoadGate::kProceed;
+  const Cycle tsag = owner_.tsag_wake_cycle(iter_, now);
+  if (tsag != now) return tsag;  // future gate-open cycle, or kNoCycle
+  // Run-time dependence check: upstream target store without data yet. The
+  // missing value arrives over the ring — another thread's event.
+  if (buffer_.must_stall(addr, bytes)) return kNoCycle;
+  return now;
+}
+
+Cycle ThreadUnit::thread_op_wake_cycle(const Instruction& instr, Cycle now) {
+  switch (instr.op) {
+    case Opcode::kTsagd:
+      if (wrong_ || !parallel_) return now;  // commits immediately
+      return owner_.tsag_wake_cycle(iter_, now);
+    case Opcode::kThend:
+    case Opcode::kEndpar:
+      if (wrong_ || !parallel_) return now;
+      // A draining write-back makes progress every cycle; only the idle
+      // stage waiting on the WB_DONE chain has a real wake-up time.
+      if (wb_state_ == WbState::kDraining) return now;
+      return owner_.wb_wake_cycle(iter_, now);
+    default:
+      return now;  // begin/fork/abort/tsaddr act on their first attempt
+  }
 }
 
 void ThreadUnit::commit_store(Addr addr, Word value, uint32_t bytes,

@@ -56,6 +56,11 @@ class ThreadUnit final : public CoreEnv {
 
   void tick(Cycle now);
 
+  /// Cycle-skip support: conservative earliest cycle this unit could act
+  /// (see OooCore::next_event_cycle), and bulk stat replay across a jump.
+  Cycle next_event_cycle(Cycle now) { return core_.next_event_cycle(now); }
+  void account_skipped_cycles(uint64_t n) { core_.account_skipped_cycles(n); }
+
   bool idle() const { return !core_.active(); }
   bool is_wrong() const { return wrong_; }
   bool is_parallel() const { return parallel_; }
@@ -85,6 +90,8 @@ class ThreadUnit final : public CoreEnv {
   ThreadOpAction thread_op(const Instruction& instr, Addr mem_addr,
                            Cycle now) override;
   ExecMode mode() const override;
+  Cycle thread_op_wake_cycle(const Instruction& instr, Cycle now) override;
+  Cycle load_gate_wake_cycle(Addr addr, uint32_t bytes, Cycle now) override;
 
  private:
   ThreadOpAction do_writeback(Cycle now, bool endpar);

@@ -1,0 +1,352 @@
+// Event-driven cycle skipping (sta/sta_processor.cc: maybe_skip_ahead) is
+// gated on a bit-identical-results contract: with skipping on or off, a run
+// must produce the same SimResult, the same full stats registry (counters,
+// gauges, histograms), the same run-report bytes, the same pipeline trace,
+// the same lockstep-checked commit stream, and fire injected faults at the
+// same cycles. These tests A/B every one of those surfaces with the knob
+// flipped, across memory latencies high enough that the skip path dominates.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/error.h"
+#include "core/sim_config.h"
+#include "core/simulator.h"
+#include "fault/fault.h"
+#include "harness/report.h"
+#include "isa/assembler.h"
+#include "workloads/workload.h"
+
+namespace wecsim {
+namespace {
+
+// Everything observable about one run, rendered to comparable strings.
+struct RunArtifacts {
+  SimResult result;
+  std::string report;       // full-registry run report (byte-comparable)
+  std::string trace_jsonl;  // empty unless tracing was requested
+  uint64_t skipped = 0;
+  uint64_t jumps = 0;
+};
+
+struct RunOptions {
+  bool skip = true;
+  bool trace = false;
+  bool lockstep = false;
+  std::string faults;  // FaultPlan::parse spec; empty = none
+
+  RunOptions& with_skip(bool v) { skip = v; return *this; }
+  RunOptions& with_trace() { trace = true; return *this; }
+  RunOptions& with_lockstep() { lockstep = true; return *this; }
+  RunOptions& with_faults(std::string spec) {
+    faults = std::move(spec);
+    return *this;
+  }
+};
+
+RunArtifacts run_program(const Program& program, StaConfig config,
+                         const RunOptions& opt) {
+  // The env override (parsed in the Simulator ctor) must not leak into A/B
+  // runs driven through the config knob.
+  unsetenv("WECSIM_SKIP");
+  config.cycle_skip = opt.skip;
+  Simulator sim(program, config);
+  if (opt.trace) sim.trace().enable();
+  if (opt.lockstep) sim.enable_lockstep();
+  if (!opt.faults.empty()) sim.set_fault_plan(FaultPlan::parse(opt.faults));
+  RunArtifacts a;
+  a.result = sim.run();
+  RunRecord rec;
+  rec.workload = "program";
+  rec.config_key = "point";  // identical key in both modes: any report
+  rec.scale = 1;             // difference is then a real divergence
+  rec.result = a.result;
+  rec.counters = sim.stats().snapshot();
+  rec.histograms = sim.stats().histogram_snapshot();
+  rec.gauges = sim.stats().gauge_snapshot();
+  a.report = render_run_report("cycle_skip_test", {rec});
+  if (opt.trace) a.trace_jsonl = sim.trace().to_jsonl();
+  a.skipped = sim.processor().skipped_cycles();
+  a.jumps = sim.processor().skip_jumps();
+  return a;
+}
+
+RunArtifacts run_workload(const std::string& name, StaConfig config,
+                          const RunOptions& opt) {
+  unsetenv("WECSIM_SKIP");
+  config.cycle_skip = opt.skip;
+  const Workload w = make_workload(name, {/*scale=*/1, /*seed=*/42});
+  Simulator sim(w.program, config);
+  if (opt.trace) sim.trace().enable();
+  if (opt.lockstep) sim.enable_lockstep();
+  if (!opt.faults.empty()) sim.set_fault_plan(FaultPlan::parse(opt.faults));
+  w.init(sim.memory());
+  RunArtifacts a;
+  a.result = sim.run();
+  RunRecord rec;
+  rec.workload = w.name;
+  rec.config_key = "point";
+  rec.scale = 1;
+  rec.result = a.result;
+  rec.counters = sim.stats().snapshot();
+  rec.histograms = sim.stats().histogram_snapshot();
+  rec.gauges = sim.stats().gauge_snapshot();
+  a.report = render_run_report("cycle_skip_test", {rec});
+  if (opt.trace) a.trace_jsonl = sim.trace().to_jsonl();
+  a.skipped = sim.processor().skipped_cycles();
+  a.jumps = sim.processor().skip_jumps();
+  return a;
+}
+
+StaConfig wec_with_mem_lat(uint32_t lat, uint32_t tus = 8) {
+  StaConfig config = make_paper_config(PaperConfig::kWthWpWec, tus);
+  config.mem.mem_lat = lat;
+  return config;
+}
+
+// The pointer-chasing (cache-miss-bound) workload across a memory-latency
+// sweep: the regime cycle skipping exists for. The whole report — every
+// counter, gauge, and histogram of every TU — must match byte for byte.
+TEST(CycleSkip, MemlatSweepByteIdentical) {
+  for (const uint32_t lat : {60u, 200u, 500u}) {
+    const StaConfig config = wec_with_mem_lat(lat);
+    const RunArtifacts off = run_workload("181.mcf", config, RunOptions{}.with_skip(false));
+    const RunArtifacts on = run_workload("181.mcf", config, RunOptions{});
+    ASSERT_TRUE(on.result.halted);
+    EXPECT_EQ(on.report, off.report) << "divergence at mem_lat=" << lat;
+    EXPECT_EQ(off.skipped, 0u);
+    EXPECT_EQ(off.jumps, 0u);
+  }
+  // At a 500-cycle memory latency the machine is mostly waiting: the skip
+  // path must actually engage (the sweep above would pass vacuously if
+  // next_event_cycle were conservatively "always now+1").
+  const RunArtifacts on =
+      run_workload("181.mcf", wec_with_mem_lat(500), RunOptions{});
+  EXPECT_GT(on.skipped, 0u);
+  EXPECT_GT(on.jumps, 0u);
+}
+
+// Small parallel program with tracing enabled: the JSONL event stream pins
+// every pipeline event to its cycle, so a single event moved by skipping
+// shows up as a byte diff.
+TEST(CycleSkip, TraceByteIdenticalOnParallelProgram) {
+  const Program p = assemble(R"(
+  .data
+out: .space 64
+  .text
+  li r1, 0
+  begin
+  j body
+body:
+  addi r5, r1, 1
+  mv r4, r1
+  mv r1, r5
+  forksp body
+  tsagd
+  la r6, out
+  slli r7, r4, 3
+  add r6, r6, r7
+  addi r8, r4, 100
+  sd r8, 0(r6)
+  addi r9, r4, 1
+  li r10, 4
+  bge r9, r10, exit
+  thend
+exit:
+  abort
+  endpar
+  halt
+)");
+  StaConfig config = make_paper_config(PaperConfig::kWthWpWec, 4);
+  config.mem.mem_lat = 400;  // long dead windows between fills
+  const RunArtifacts off =
+      run_program(p, config, RunOptions{}.with_skip(false).with_trace());
+  const RunArtifacts on = run_program(p, config, RunOptions{}.with_trace());
+  ASSERT_TRUE(on.result.halted);
+  EXPECT_FALSE(on.trace_jsonl.empty());
+  EXPECT_EQ(on.trace_jsonl, off.trace_jsonl);
+  EXPECT_EQ(on.report, off.report);
+}
+
+// Lockstep checking replays every committed instruction against the
+// functional interpreter; both modes must pass it AND leave identical
+// reports (the checker's own counters are part of the registry).
+TEST(CycleSkip, LockstepIdentical) {
+  const StaConfig config = wec_with_mem_lat(300);
+  const RunArtifacts off =
+      run_workload("181.mcf", config, RunOptions{}.with_skip(false).with_lockstep());
+  const RunArtifacts on =
+      run_workload("181.mcf", config, RunOptions{}.with_lockstep());
+  ASSERT_TRUE(on.result.halted);
+  EXPECT_EQ(on.report, off.report);
+}
+
+// mem_delay / mem_drop fire at fill sites, counted per opportunity. Cycle
+// skipping must not change which fills exist or when they are issued, so
+// the injected-fault schedule — and everything downstream of it — is
+// identical. The faulty runs must also differ from the fault-free run, or
+// the comparison proves nothing.
+TEST(CycleSkip, FaultPlansFireCycleExact) {
+  const StaConfig config = wec_with_mem_lat(300);
+  const std::string plan = "seed=7;mem_delay:every=5,cycles=450;mem_drop:every=9";
+  const RunArtifacts off =
+      run_workload("181.mcf", config, RunOptions{}.with_skip(false).with_faults(plan));
+  const RunArtifacts on =
+      run_workload("181.mcf", config, RunOptions{}.with_faults(plan));
+  ASSERT_TRUE(on.result.halted);
+  EXPECT_EQ(on.report, off.report);
+  EXPECT_GT(on.skipped, 0u);
+
+  const RunArtifacts clean = run_workload("181.mcf", config, RunOptions{});
+  EXPECT_NE(on.result.cycles, clean.result.cycles)
+      << "the fault plan had no effect; the A/B above is vacuous";
+}
+
+// wrong_kill rolls its dice once per running wrong thread per cycle inside
+// step(): the fire() call count depends on every cycle being executed, so
+// an armed wrong_kill plan must disable skipping outright (correctness
+// first), and the A/B must still agree.
+TEST(CycleSkip, WrongKillPlanDisablesSkipping) {
+  const StaConfig config = wec_with_mem_lat(300);
+  const std::string plan = "seed=3;wrong_kill:every=40";
+  const RunArtifacts on =
+      run_workload("181.mcf", config, RunOptions{}.with_faults(plan));
+  EXPECT_EQ(on.skipped, 0u);
+  EXPECT_EQ(on.jumps, 0u);
+  const RunArtifacts off =
+      run_workload("181.mcf", config, RunOptions{}.with_skip(false).with_faults(plan));
+  EXPECT_EQ(on.report, off.report);
+}
+
+// The watchdog samples progress on a 64-cycle stride; a skip jump emulates
+// the stride in closed form. A deadlocked program must therefore throw at
+// the identical cycle with the identical machine-state dump.
+TEST(CycleSkip, WatchdogTripsAtIdenticalCycle) {
+  const Program p = assemble(R"(
+  .data
+cell: .dword 0
+  .text
+  begin
+  j body
+body:
+  forksp waiter
+  la r6, cell
+  tsaddr r6, 0
+  tsagd
+  thend               # head ends WITHOUT storing the target
+waiter:
+  la r6, cell
+  tsagd
+  ld r7, 0(r6)        # stalls forever on the dependence
+  thend
+)");
+  StaConfig config = make_paper_config(PaperConfig::kOrig, 2);
+  config.watchdog_cycles = 5000;
+  std::string what_off, what_on;
+  uint64_t skipped_on = 0;
+  for (const bool skip : {false, true}) {
+    unsetenv("WECSIM_SKIP");
+    StaConfig c = config;
+    c.cycle_skip = skip;
+    Simulator sim(p, c);
+    try {
+      sim.run();
+      FAIL() << "expected the watchdog to trip (skip=" << skip << ")";
+    } catch (const SimError& e) {
+      (skip ? what_on : what_off) = e.what();
+    }
+    if (skip) skipped_on = sim.processor().skipped_cycles();
+  }
+  EXPECT_EQ(what_on, what_off);
+  // The deadlock window is pure waiting: the skip run must have jumped
+  // (i.e., the identical message was produced via the closed-form stride
+  // emulation, not by never skipping).
+  EXPECT_GT(skipped_on, 0u);
+}
+
+// A quiescent machine that never deadlocks (watchdog far away) must still
+// stop exactly at max_cycles, with the bulk-incremented cycle counters
+// agreeing with the stepped run.
+TEST(CycleSkip, MaxCyclesClampIdentical) {
+  const Program p = assemble(R"(
+  .data
+cell: .dword 0
+  .text
+  begin
+  j body
+body:
+  forksp waiter
+  la r6, cell
+  tsaddr r6, 0
+  tsagd
+  thend
+waiter:
+  la r6, cell
+  tsagd
+  ld r7, 0(r6)
+  thend
+)");
+  StaConfig config = make_paper_config(PaperConfig::kOrig, 2);
+  config.watchdog_cycles = 1u << 20;  // must not fire before the cap
+  config.max_cycles = 3000;
+  const RunArtifacts off = run_program(p, config, RunOptions{}.with_skip(false));
+  const RunArtifacts on = run_program(p, config, RunOptions{});
+  EXPECT_FALSE(on.result.halted);
+  EXPECT_EQ(on.result.cycles, 3000u);
+  EXPECT_EQ(on.report, off.report);
+  EXPECT_GT(on.skipped, 0u);
+}
+
+// WECSIM_SKIP (read in the Simulator ctor) overrides the config knob in
+// both directions.
+TEST(CycleSkip, EnvVarOverridesConfig) {
+  const Workload w = make_workload("181.mcf", {/*scale=*/1, /*seed=*/42});
+  const StaConfig config = wec_with_mem_lat(500);
+
+  setenv("WECSIM_SKIP", "0", /*overwrite=*/1);
+  {
+    StaConfig c = config;
+    c.cycle_skip = true;
+    Simulator sim(w.program, c);
+    w.init(sim.memory());
+    sim.run();
+    EXPECT_FALSE(sim.processor().cycle_skip_enabled());
+    EXPECT_EQ(sim.processor().skipped_cycles(), 0u);
+  }
+  setenv("WECSIM_SKIP", "1", /*overwrite=*/1);
+  {
+    StaConfig c = config;
+    c.cycle_skip = false;
+    Simulator sim(w.program, c);
+    w.init(sim.memory());
+    sim.run();
+    EXPECT_TRUE(sim.processor().cycle_skip_enabled());
+    EXPECT_GT(sim.processor().skipped_cycles(), 0u);
+  }
+  unsetenv("WECSIM_SKIP");
+}
+
+// The memory system never holds an autonomous future event (outcomes are
+// computed synchronously and parked in the requesting core's ROB), which is
+// the load-bearing assumption behind scanning only the cores for wake-ups.
+// Sanity-check the exposed horizons against it: nothing the hierarchy knows
+// about can lie meaningfully beyond the end of the run.
+TEST(CycleSkip, MemoryHorizonsStayBehindTheRun) {
+  unsetenv("WECSIM_SKIP");
+  const Workload w = make_workload("181.mcf", {/*scale=*/1, /*seed=*/42});
+  StaConfig config = wec_with_mem_lat(500);
+  config.cycle_skip = true;
+  Simulator sim(w.program, config);
+  w.init(sim.memory());
+  const SimResult r = sim.run();
+  ASSERT_TRUE(r.halted);
+  const Cycle slack =
+      config.mem.mem_lat + config.mem.l2_hit_lat + 2 * config.mem.l2_occupancy;
+  for (TuId id = 0; id < sim.processor().num_tus(); ++id) {
+    EXPECT_LE(sim.processor().tu(id).mem().fill_horizon(), r.cycles + slack);
+  }
+}
+
+}  // namespace
+}  // namespace wecsim
