@@ -11,6 +11,7 @@
 #include "core/sim_config.h"
 #include "harness/experiment.h"
 #include "harness/parallel.h"
+#include "harness/state_dir.h"
 #include "harness/table.h"
 #include "workloads/workload.h"
 
@@ -48,6 +49,15 @@ inline int parse_jobs_flag(int argc, char** argv) {
   return 0;
 }
 
+/// Parse a `--resume` flag: replay the WECSIM_STATE_DIR sweep journal
+/// instead of starting the sweep over. Equivalent to WECSIM_RESUME=1.
+inline bool parse_resume_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--resume") return true;
+  }
+  return false;
+}
+
 /// Short benchmark labels in the paper's presentation order.
 inline std::string short_name(const std::string& paper_name) {
   return paper_name.substr(paper_name.find('.') + 1);
@@ -82,6 +92,25 @@ inline void write_report_if_requested(const ExperimentRunner& runner,
   } catch (const std::exception& e) {
     std::fprintf(stderr, "[warn] timing report not written: %s\n", e.what());
   }
+}
+
+/// Standard bench sweep step: honour `--resume`, execute every queued point,
+/// and — when a SIGINT/SIGTERM stopped a crash-safe sweep early — write the
+/// partial run report (marked "interrupted": true), tell the operator how to
+/// resume, and exit with kExitInterrupted (3) instead of returning. The
+/// measurement loops after this call therefore always see a complete sweep.
+inline void run_sweep(ParallelExperimentRunner& runner, int argc, char** argv,
+                      const std::string& bench_name) {
+  if (parse_resume_flag(argc, argv)) runner.set_resume(true);
+  runner.drain();
+  if (!runner.interrupted()) return;
+  std::fprintf(stderr,
+               "\n[interrupted] sweep stopped early; %zu point(s) remain in "
+               "the journal. Re-run with --resume (or WECSIM_RESUME=1) to "
+               "finish.\n",
+               runner.pending());
+  write_report_if_requested(runner, bench_name);
+  std::exit(kExitInterrupted);
 }
 
 /// Standard bench epilogue: write the (report, timing) pair when requested,

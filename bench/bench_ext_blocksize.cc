@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
                     with_block(PaperConfig::kWthWpWec, block));
     }
   }
-  runner.drain();
+  bench::run_sweep(runner, argc, argv, "bench_ext_blocksize");
 
   TextTable table({"benchmark", "32B", "64B", "128B"});
   std::vector<std::vector<double>> columns(3);

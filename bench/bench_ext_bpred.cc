@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
                     with_bpred(PaperConfig::kWthWpWec, kind));
     }
   }
-  runner.drain();
+  bench::run_sweep(runner, argc, argv, "bench_ext_bpred");
 
   std::vector<std::string> header = {"benchmark"};
   for (BpredKind kind : kKinds) {

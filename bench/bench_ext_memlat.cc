@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
                     with_mem_lat(PaperConfig::kWthWpWec, lat));
     }
   }
-  runner.drain();
+  bench::run_sweep(runner, argc, argv, "bench_ext_memlat");
 
   TextTable table({"benchmark", "50cyc", "100cyc", "200cyc", "400cyc",
                    "500cyc"});

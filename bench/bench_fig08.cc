@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
                     make_table3_config(t));
     }
   }
-  runner.drain();
+  bench::run_sweep(runner, argc, argv, "bench_fig08");
 
   TextTable table({"benchmark", "1TU", "2TU", "4TU", "8TU", "16TU"});
   std::vector<std::vector<double>> per_config(5);

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  runner.drain();
+  bench::run_sweep(runner, argc, argv, "bench_fig09");
 
   std::vector<std::string> header = {"benchmark"};
   for (uint32_t t : kTus) header.push_back(std::to_string(t) + "TU-orig");

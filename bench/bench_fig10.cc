@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
                     make_paper_config(PaperConfig::kWthWpWec, t));
     }
   }
-  runner.drain();
+  bench::run_sweep(runner, argc, argv, "bench_fig10");
 
   TextTable table({"benchmark", "1TU", "2TU", "4TU", "8TU", "16TU"});
   std::vector<std::vector<double>> columns(5);

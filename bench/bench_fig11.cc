@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
                     make_paper_config(config, 8));
     }
   }
-  runner.drain();
+  bench::run_sweep(runner, argc, argv, "bench_fig11");
 
   std::vector<std::string> header = {"benchmark"};
   for (PaperConfig config : kConfigs) header.push_back(paper_config_name(config));

@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  runner.drain();
+  bench::run_sweep(runner, argc, argv, "bench_fig12");
 
   std::vector<std::string> header = {"benchmark"};
   for (uint32_t assoc : {1u, 4u}) {

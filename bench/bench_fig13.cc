@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  runner.drain();
+  bench::run_sweep(runner, argc, argv, "bench_fig13");
 
   std::vector<std::string> header = {"benchmark"};
   for (PaperConfig config : {PaperConfig::kOrig, PaperConfig::kWthWpWec}) {

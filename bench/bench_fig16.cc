@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  runner.drain();
+  bench::run_sweep(runner, argc, argv, "bench_fig16");
 
   std::vector<std::string> header = {"benchmark"};
   for (PaperConfig config : kConfigs) {

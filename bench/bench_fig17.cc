@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
     runner.submit(name, "wth-wp-wec",
                   make_paper_config(PaperConfig::kWthWpWec, 8));
   }
-  runner.drain();
+  bench::run_sweep(runner, argc, argv, "bench_fig17");
 
   TextTable table({"benchmark", "traffic increase", "miss reduction",
                    "orig misses", "wec misses", "wrong accesses"});

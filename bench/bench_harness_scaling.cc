@@ -22,9 +22,11 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
   // This bench measures real simulations: the result cache would turn the
-  // second pass into pure disk reads, and tracing would skew both passes.
+  // second pass into pure disk reads, and tracing or crash-safe journaling
+  // would skew both passes.
   ::unsetenv("WECSIM_CACHE_DIR");
   ::unsetenv("WECSIM_TRACE_DIR");
+  ::unsetenv("WECSIM_STATE_DIR");
 
   WorkloadParams params = bench_params();
   std::vector<std::string> names = workload_names();

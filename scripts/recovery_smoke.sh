@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the crash-safety suite (write-ahead sweep journal, interrupt/resume,
+# kill-and-resume byte-identity, artifact quarantine) plus the parallel
+# harness determinism tests under ThreadSanitizer. The journal is appended to
+# concurrently by every worker thread while the signal guard and interrupt
+# flag are poked from outside — exactly where data races hide, so these
+# suites get their own TSan pass on top of the plain-release run in the main
+# test suite.
+#
+# Usage: scripts/recovery_smoke.sh [--release]
+#   --release   run the recovery-smoke label against the release build
+#               instead (faster; no sanitizer)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+preset=recovery-smoke-tsan
+configure=tsan
+if [[ "${1:-}" == "--release" ]]; then
+  preset=recovery-smoke
+  configure=release
+fi
+
+cmake --preset "$configure"
+cmake --build --preset "$configure" -j "$(nproc)" \
+  --target recovery_test parallel_harness_test
+ctest --preset "$preset" --output-on-failure -j "$(nproc)"

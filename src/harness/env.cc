@@ -1,0 +1,88 @@
+#include "harness/env.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace wecsim {
+
+namespace {
+
+std::string lower(const char* s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(c));
+  return out;
+}
+
+void add_error(std::vector<std::string>* errors, const std::string& message) {
+  if (errors != nullptr) errors->push_back(message);
+}
+
+}  // namespace
+
+uint32_t parse_env_u32(const char* name, uint32_t fallback, uint32_t min_value,
+                       uint32_t max_value, std::vector<std::string>* errors) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || std::strchr(value, '-') != nullptr) {
+    add_error(errors, std::string(name) + "='" + value +
+                          "' is not a decimal unsigned integer");
+    return fallback;
+  }
+  if (errno == ERANGE || parsed < min_value || parsed > max_value) {
+    add_error(errors, std::string(name) + "=" + value + " out of range [" +
+                          std::to_string(min_value) + ", " +
+                          std::to_string(max_value) + "]");
+    return fallback;
+  }
+  return static_cast<uint32_t>(parsed);
+}
+
+double parse_env_seconds(const char* name, double fallback,
+                         std::vector<std::string>* errors) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0') {
+    add_error(errors,
+              std::string(name) + "='" + value + "' is not a decimal number");
+    return fallback;
+  }
+  if (!std::isfinite(parsed) || parsed <= 0.0) {
+    add_error(errors, std::string(name) + "=" + value +
+                          " must be a finite number of seconds > 0");
+    return fallback;
+  }
+  return parsed;
+}
+
+bool parse_env_flag(const char* name, bool fallback,
+                    std::vector<std::string>* errors) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const std::string v = lower(value);
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  add_error(errors, std::string(name) + "='" + value +
+                        "' is not a boolean (1/true/yes/on or 0/false/no/off)");
+  return fallback;
+}
+
+void throw_if_env_errors(const std::vector<std::string>& errors) {
+  if (errors.empty()) return;
+  std::string what = std::to_string(errors.size()) +
+                     " invalid WECSIM_* environment setting(s):";
+  for (const std::string& e : errors) what += "\n  - " + e;
+  throw SimError(what);
+}
+
+}  // namespace wecsim

@@ -1,0 +1,34 @@
+// Strict parsing of the numeric/boolean WECSIM_* environment knobs. The old
+// atoi-style parsing silently truncated "8x" to 8 and accepted absurd values;
+// these helpers reject trailing garbage and out-of-range input, and — in the
+// WECSIM_FAULTS all-errors style — collect every problem into one list so a
+// misconfigured environment is reported in a single aggregated SimError
+// instead of one var at a time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wecsim {
+
+/// Parses an unsigned integer env var. Unset or empty returns `fallback`.
+/// A set value must be a pure decimal integer in [min_value, max_value];
+/// otherwise an error naming the variable, the offending text, and the
+/// accepted range is appended to *errors and `fallback` is returned.
+uint32_t parse_env_u32(const char* name, uint32_t fallback, uint32_t min_value,
+                       uint32_t max_value, std::vector<std::string>* errors);
+
+/// Parses a positive duration in seconds. Unset or empty returns `fallback`.
+/// A set value must be a finite decimal > 0 with no trailing garbage.
+double parse_env_seconds(const char* name, double fallback,
+                         std::vector<std::string>* errors);
+
+/// Parses a boolean flag: 1/true/yes/on and 0/false/no/off, case-insensitive.
+bool parse_env_flag(const char* name, bool fallback,
+                    std::vector<std::string>* errors);
+
+/// Throws one SimError listing every collected problem; no-op when empty.
+void throw_if_env_errors(const std::vector<std::string>& errors);
+
+}  // namespace wecsim

@@ -1,5 +1,6 @@
 #include "harness/experiment.h"
 
+#include <csignal>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -7,27 +8,10 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "harness/env.h"
 #include "harness/result_cache.h"
 
 namespace wecsim {
-
-namespace {
-
-uint32_t env_u32(const char* name, uint32_t fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  const unsigned long parsed = std::strtoul(value, nullptr, 10);
-  return static_cast<uint32_t>(parsed);
-}
-
-double env_seconds(const char* name, double fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  const double parsed = std::strtod(value, nullptr);
-  return parsed > 0.0 ? parsed : fallback;
-}
-
-}  // namespace
 
 ExperimentRunner::ExperimentRunner(const WorkloadParams& params,
                                    std::optional<std::string> cache_dir)
@@ -37,9 +21,19 @@ ExperimentRunner::ExperimentRunner(const WorkloadParams& params,
   if (const char* dir = std::getenv("WECSIM_TRACE_DIR"); dir != nullptr) {
     trace_dir_ = dir;
   }
-  max_attempts_ = 1 + env_u32("WECSIM_RETRIES", 2);
-  backoff_ms_ = env_u32("WECSIM_RETRY_BACKOFF_MS", 50);
-  point_timeout_ = env_seconds("WECSIM_POINT_TIMEOUT", 0.0);
+  // Strict, aggregated env validation (harness/env.h): every malformed
+  // WECSIM_* knob is reported in one SimError, nothing is silently
+  // atoi-truncated. WECSIM_JOBS and WECSIM_RESUME are validated here too so
+  // a serial bench also rejects a misconfigured environment.
+  std::vector<std::string> env_errors;
+  max_attempts_ =
+      1 + parse_env_u32("WECSIM_RETRIES", 2, 0, 1000, &env_errors);
+  backoff_ms_ =
+      parse_env_u32("WECSIM_RETRY_BACKOFF_MS", 50, 0, 600000, &env_errors);
+  point_timeout_ = parse_env_seconds("WECSIM_POINT_TIMEOUT", 0.0, &env_errors);
+  parse_env_u32("WECSIM_JOBS", 0, 1, 4096, &env_errors);
+  parse_env_flag("WECSIM_RESUME", false, &env_errors);
+  throw_if_env_errors(env_errors);
   disk_cache_ = std::make_unique<ResultCache>(
       cache_dir.has_value() ? *cache_dir : ResultCache::dir_from_env());
 }
@@ -125,6 +119,13 @@ ExperimentRunner::PointAttempt ExperimentRunner::run_point_failsoft(
         throw SimTimeout("injected worker timeout: " + point);
       }
       if (fault_plan_.should_fail_point(FaultKind::kWorkerCrash, point, n)) {
+        // arg=<signo> escalates the injected crash from an in-process throw
+        // to real process death — the recovery-smoke harness SIGKILLs a
+        // forked sweep child at a deterministic mid-sweep point this way.
+        if (const uint64_t signo = fault_plan_.spec(FaultKind::kWorkerCrash).arg;
+            signo != 0) {
+          std::raise(static_cast<int>(signo));
+        }
         throw FaultInjected("injected worker crash: " + point + " (attempt " +
                             std::to_string(n + 1) + ")");
       }
@@ -220,7 +221,7 @@ const RunMeasurement& ExperimentRunner::run(const std::string& workload_name,
 
 void ExperimentRunner::write_report(const std::string& path,
                                     const std::string& bench_name) const {
-  write_run_report(path, bench_name, records_, failures_);
+  write_run_report(path, bench_name, records_, failures_, interrupted_);
 }
 
 void ExperimentRunner::write_timing(const std::string& path,

@@ -111,6 +111,11 @@ class ExperimentRunner {
   /// Worker count used to execute simulations (1 for the serial runner).
   virtual unsigned jobs() const { return 1; }
 
+  /// True when a sweep was stopped early by SIGINT/SIGTERM (crash-safe mode
+  /// only — see harness/journal.h). write_report marks such a report
+  /// "interrupted": true; the bench exits with kExitInterrupted.
+  bool interrupted() const { return interrupted_; }
+
   /// Wall-clock seconds since this runner was constructed.
   double elapsed_seconds() const;
 
@@ -171,6 +176,7 @@ class ExperimentRunner {
                               const PointAttempt& attempt);
 
   WorkloadParams params_;
+  bool interrupted_ = false;  // set by the parallel drain's signal guard
   std::map<MemoKey, RunMeasurement> cache_;
   std::vector<RunRecord> records_;
   std::vector<PointFailure> failures_;

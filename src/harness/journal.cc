@@ -1,0 +1,241 @@
+#include "harness/journal.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/error.h"
+#include "obs/integrity.h"
+#include "obs/json.h"
+
+namespace wecsim {
+
+namespace {
+
+void begin_entry(JsonWriter& w, const char* ev, const JournalPoint& point) {
+  w.begin_object();
+  w.kv("ev", ev);
+  w.kv("workload", point.workload);
+  w.kv("key", point.key);
+}
+
+std::string finish_entry(JsonWriter& w) {
+  w.kv("integrity", integrity_placeholder());
+  w.end_object();
+  std::string line = w.take();
+  line.push_back('\n');
+  return seal_integrity(std::move(line));
+}
+
+bool pid_is_alive(int64_t pid) {
+  if (pid <= 0) return false;
+  if (::kill(static_cast<pid_t>(pid), 0) == 0) return true;
+  return errno == EPERM;  // exists but not ours
+}
+
+}  // namespace
+
+SweepJournal::SweepJournal(std::string path, size_t truncate_to)
+    : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw SimError("cannot open sweep journal " + path_ + ": " +
+                   std::strerror(errno));
+  }
+  if (truncate_to != static_cast<size_t>(-1)) {
+    // Cut a torn trailing line before the first append lands after it.
+    if (::ftruncate(fd_, static_cast<off_t>(truncate_to)) != 0) {
+      const int e = errno;
+      ::close(fd_);
+      fd_ = -1;
+      throw SimError("cannot truncate sweep journal " + path_ + ": " +
+                     std::strerror(e));
+    }
+  }
+}
+
+SweepJournal::~SweepJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SweepJournal::append_lines_locked(const std::vector<std::string>& lines) {
+  std::string batch;
+  for (const std::string& line : lines) batch += line;
+  size_t off = 0;
+  while (off < batch.size()) {
+    const ssize_t n = ::write(fd_, batch.data() + off, batch.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw SimError("sweep journal append failed: " + path_ + ": " +
+                     std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  // Write-ahead contract: the transition is durable before the work it
+  // describes proceeds (or before the process reports the point finished).
+  if (::fsync(fd_) != 0) {
+    throw SimError("sweep journal fsync failed: " + path_ + ": " +
+                   std::strerror(errno));
+  }
+}
+
+void SweepJournal::append_line(std::string line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  append_lines_locked({std::move(line)});
+}
+
+void SweepJournal::queued(const std::vector<JournalPoint>& points) {
+  if (points.empty()) return;
+  std::vector<std::string> lines;
+  lines.reserve(points.size());
+  for (const JournalPoint& p : points) {
+    JsonWriter w;
+    begin_entry(w, "queued", p);
+    lines.push_back(finish_entry(w));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  append_lines_locked(lines);
+}
+
+void SweepJournal::running(const JournalPoint& point) {
+  JsonWriter w;
+  begin_entry(w, "running", point);
+  w.kv("pid", static_cast<int64_t>(::getpid()));
+  w.kv("worker",
+       static_cast<uint64_t>(
+           std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffff));
+  append_line(finish_entry(w));
+}
+
+void SweepJournal::done(const JournalPoint& point, const RunMeasurement& m,
+                        bool fresh, const RunRecord* record,
+                        const PointFailure* recovered) {
+  JsonWriter w;
+  begin_entry(w, "done", point);
+  w.kv("fresh", fresh);
+  w.key("measurement").begin_object();
+  w.key("sim");
+  write_sim_result_full(w, m.sim);
+  w.kv("parallel_cycles", m.parallel_cycles);
+  w.kv("run_seconds", m.run_seconds);
+  w.end_object();
+  if (record != nullptr) {
+    w.key("record");
+    write_run_record(w, *record, /*include_run_seconds=*/true);
+  }
+  if (recovered != nullptr) {
+    w.key("failure");
+    write_point_failure(w, *recovered);
+  }
+  append_line(finish_entry(w));
+}
+
+void SweepJournal::failed(const JournalPoint& point,
+                          const PointFailure& failure) {
+  JsonWriter w;
+  begin_entry(w, "failed", point);
+  w.key("failure");
+  write_point_failure(w, failure);
+  append_line(finish_entry(w));
+}
+
+JournalReplay JournalReplay::load(const std::string& path) {
+  JournalReplay replay;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return replay;  // no journal yet: empty replay
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+
+  size_t line_start = 0;
+  size_t line_no = 0;
+  while (line_start < content.size()) {
+    const size_t nl = content.find('\n', line_start);
+    if (nl == std::string::npos) {
+      // Torn tail: the crash landed mid-append. Expected; cut on reopen.
+      replay.warnings.push_back("torn trailing journal line (" +
+                                std::to_string(content.size() - line_start) +
+                                " bytes) dropped");
+      break;
+    }
+    ++line_no;
+    const std::string line = content.substr(line_start, nl + 1 - line_start);
+    const size_t line_end = nl + 1;
+    // Every '\n'-terminated line is part of the durable prefix, readable or
+    // not: only the torn tail is ever truncated. A corrupt line mid-file is
+    // left in place (and skipped on every load) so the entries after it
+    // survive future resumes.
+    replay.valid_bytes = line_end;
+    if (check_integrity(line) == IntegrityStatus::kSealed) {
+      try {
+        const JsonValue doc = parse_json(
+            line.substr(0, line.size() - 1));  // strip '\n' for the parser
+        const std::string ev = doc.at("ev").as_string();
+        const PointKey key{doc.at("workload").as_string(),
+                           doc.at("key").as_string()};
+        Entry& entry = replay.points[key];
+        if (ev == "queued") {
+          entry = Entry{};
+        } else if (ev == "running") {
+          entry = Entry{};
+          entry.state = State::kRunning;
+          entry.pid = doc.at("pid").as_i64();
+        } else if (ev == "done") {
+          entry = Entry{};
+          entry.state = State::kDone;
+          entry.fresh = doc.at("fresh").as_bool();
+          const JsonValue& m = doc.at("measurement");
+          entry.measurement.sim = parse_sim_result_full(m.at("sim"));
+          entry.measurement.parallel_cycles = m.at("parallel_cycles").as_u64();
+          entry.measurement.run_seconds = m.at("run_seconds").as_double();
+          if (doc.has("record")) {
+            entry.record = parse_run_record(doc.at("record"));
+          }
+          if (doc.has("failure")) {
+            entry.failure = parse_point_failure(doc.at("failure"));
+            entry.has_failure = true;
+          }
+        } else if (ev == "failed") {
+          entry = Entry{};
+          entry.state = State::kFailed;
+          entry.failure = parse_point_failure(doc.at("failure"));
+          entry.has_failure = true;
+        } else {
+          throw SimError("unknown journal event: " + ev);
+        }
+      } catch (const std::exception& e) {
+        replay.warnings.push_back("journal line " + std::to_string(line_no) +
+                                  " unreadable (" + e.what() + "); skipped");
+      }
+    } else {
+      replay.warnings.push_back("journal line " + std::to_string(line_no) +
+                                " failed its integrity check; skipped");
+    }
+    line_start = line_end;
+  }
+
+  // Stale-lock pass: a "running" point whose owner died mid-simulation is
+  // re-queued. A live foreign owner gets a warning — the resumed sweep owns
+  // the journal and reclaims the point regardless.
+  for (auto& [key, entry] : replay.points) {
+    if (entry.state != State::kRunning) continue;
+    const bool own = entry.pid == static_cast<int64_t>(::getpid());
+    if (!own && pid_is_alive(entry.pid)) {
+      replay.warnings.push_back(
+          "stale lock: point " + key.first + "|" + key.second +
+          " is recorded running under live pid " + std::to_string(entry.pid) +
+          "; reclaiming");
+    }
+    entry.state = State::kQueued;
+    entry.pid = 0;
+  }
+  return replay;
+}
+
+}  // namespace wecsim

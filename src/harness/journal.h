@@ -1,0 +1,116 @@
+// Write-ahead sweep journal: the crash-safety backbone of the parallel
+// sweep engine (docs/ROBUSTNESS.md, "Crash safety & resume").
+//
+// With WECSIM_STATE_DIR set, ParallelExperimentRunner::drain() records every
+// point's lifecycle as one JSONL entry per transition in
+// <state_dir>/sweep.journal.jsonl:
+//
+//   {"ev":"queued",  "workload":W, "key":K, ...}
+//   {"ev":"running", "workload":W, "key":K, "pid":P, "worker":T, ...}
+//   {"ev":"done",    "workload":W, "key":K, "fresh":B, "measurement":{...},
+//                    "record":{...}?, "failure":{...}?, ...}
+//   {"ev":"failed",  "workload":W, "key":K, "failure":{...}, ...}
+//
+// Each line is sealed with an fnv1a64 integrity digest (obs/integrity.h) and
+// fsync'd on append, so after a SIGKILL or power cut the journal is a valid
+// prefix plus at most one torn trailing line. A resumed sweep
+// (WECSIM_RESUME=1 / --resume) replays terminal entries — "done" points
+// rejoin the sweep with their full RunRecord so the final report is
+// byte-identical to an uninterrupted run — and re-queues "queued"/"running"
+// ones. A "running" entry whose recorded pid is still alive in another
+// process is a stale-lock warning; the resumed sweep reclaims it either way.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+namespace wecsim {
+
+/// Identifies one sweep point in journal entries.
+struct JournalPoint {
+  std::string workload;
+  std::string key;
+};
+
+/// Append-only journal writer. Thread-safe: workers append concurrently.
+class SweepJournal {
+ public:
+  /// Opens (creating if needed) the journal for appending. When
+  /// `truncate_to` is not npos the file is first truncated to that many
+  /// bytes — the resume path cuts off a torn trailing line this way.
+  /// Throws SimError when the file cannot be opened.
+  explicit SweepJournal(std::string path,
+                        size_t truncate_to = static_cast<size_t>(-1));
+  ~SweepJournal();
+
+  SweepJournal(const SweepJournal&) = delete;
+  SweepJournal& operator=(const SweepJournal&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// One "queued" entry per point, then a single fsync.
+  void queued(const std::vector<JournalPoint>& points);
+
+  /// "running" entry: this process/thread claimed the point.
+  void running(const JournalPoint& point);
+
+  /// Terminal success. `record` is non-null for a fresh simulation (it is
+  /// what lets a resume rebuild the run report byte-for-byte); `recovered`
+  /// is non-null when a transient failure preceded the success.
+  void done(const JournalPoint& point, const RunMeasurement& m, bool fresh,
+            const RunRecord* record, const PointFailure* recovered);
+
+  /// Terminal failure (the point was quarantined).
+  void failed(const JournalPoint& point, const PointFailure& failure);
+
+ private:
+  void append_line(std::string line);  // seals, writes, fsyncs; locks mu_
+  void append_lines_locked(const std::vector<std::string>& lines);
+
+  std::string path_;
+  int fd_ = -1;
+  std::mutex mu_;
+};
+
+/// The parsed state of a journal: last transition per point, plus what the
+/// loader had to skip or cut to get there.
+struct JournalReplay {
+  enum class State { kQueued, kRunning, kDone, kFailed };
+
+  struct Entry {
+    State state = State::kQueued;
+    int64_t pid = 0;       // from the last "running" entry
+    bool fresh = false;    // "done": simulated (vs served from disk cache)
+    RunMeasurement measurement;  // "done"
+    RunRecord record;            // "done" with fresh=true
+    PointFailure failure;        // "failed", or "done" after a recovery
+    bool has_failure = false;
+  };
+
+  using PointKey = std::pair<std::string, std::string>;  // (workload, key)
+
+  std::map<PointKey, Entry> points;
+  /// Byte length of the intact line prefix; a resume re-opens the journal
+  /// truncated to this, cutting off a torn trailing line.
+  size_t valid_bytes = 0;
+  /// Human-readable notes: torn tail cut, corrupt lines skipped, stale
+  /// locks reclaimed. The runner prints them once on resume.
+  std::vector<std::string> warnings;
+
+  /// Parses a journal file. A missing file yields an empty replay. Lines
+  /// that fail the integrity check or do not parse are skipped with a
+  /// warning — a mid-file bit flip costs one point's replay, never the
+  /// whole journal. "running" entries whose pid is dead (or is this
+  /// process) are demoted to re-queued silently; a live foreign pid adds a
+  /// stale-lock warning but is reclaimed all the same.
+  static JournalReplay load(const std::string& path);
+};
+
+}  // namespace wecsim

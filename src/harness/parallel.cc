@@ -1,27 +1,51 @@
 #include "harness/parallel.h"
 
+#include <signal.h>
+
 #include <atomic>
-#include <cstdlib>
+#include <csignal>
+#include <cstdio>
 #include <exception>
 #include <map>
 #include <thread>
 
 #include "common/error.h"
+#include "harness/env.h"
 #include "harness/result_cache.h"
+#include "harness/state_dir.h"
 
 namespace wecsim {
 
-unsigned resolve_jobs(int explicit_jobs) {
-  if (explicit_jobs > 0) return static_cast<unsigned>(explicit_jobs);
-  if (const char* env = std::getenv("WECSIM_JOBS"); env != nullptr) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed > 0) return static_cast<unsigned>(parsed);
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
-}
-
 namespace {
+
+// Sticky, process-wide interrupt flag. sig_atomic_t is the only type the
+// standard lets a signal handler touch; sticky so every drain after the
+// signal stops immediately instead of starting fresh work.
+volatile std::sig_atomic_t g_sweep_interrupt = 0;
+
+void sweep_signal_handler(int) { g_sweep_interrupt = 1; }
+
+// Installs SIGINT/SIGTERM handlers for the duration of a journaled drain and
+// restores the previous disposition afterwards. Only the crash-safe path
+// hooks signals: an unjournaled bench keeps the default die-on-Ctrl-C.
+class SignalGuard {
+ public:
+  SignalGuard() {
+    struct sigaction sa = {};
+    sa.sa_handler = sweep_signal_handler;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGINT, &sa, &old_int_);
+    ::sigaction(SIGTERM, &sa, &old_term_);
+  }
+  ~SignalGuard() {
+    ::sigaction(SIGINT, &old_int_, nullptr);
+    ::sigaction(SIGTERM, &old_term_, nullptr);
+  }
+
+ private:
+  struct sigaction old_int_ = {};
+  struct sigaction old_term_ = {};
+};
 
 std::string aggregate_header(size_t failures) {
   return std::to_string(failures) + " parallel worker failure(s):";
@@ -55,6 +79,22 @@ void rethrow_collected(const std::vector<std::exception_ptr>& errors) {
 }
 
 }  // namespace
+
+void request_sweep_interrupt() { g_sweep_interrupt = 1; }
+
+bool sweep_interrupt_requested() { return g_sweep_interrupt != 0; }
+
+void clear_sweep_interrupt() { g_sweep_interrupt = 0; }
+
+unsigned resolve_jobs(int explicit_jobs) {
+  if (explicit_jobs > 0) return static_cast<unsigned>(explicit_jobs);
+  std::vector<std::string> errors;
+  const uint32_t env = parse_env_u32("WECSIM_JOBS", 0, 1, 4096, &errors);
+  throw_if_env_errors(errors);
+  if (env > 0) return env;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
 
 ParallelError::ParallelError(std::vector<std::string> messages)
     : SimError(render_messages(messages)), messages_(std::move(messages)) {}
@@ -101,7 +141,9 @@ ParallelExperimentRunner::ParallelExperimentRunner(
     const WorkloadParams& params, int jobs,
     std::optional<std::string> cache_dir)
     : ExperimentRunner(params, std::move(cache_dir)),
-      jobs_(resolve_jobs(jobs)) {}
+      jobs_(resolve_jobs(jobs)),
+      state_dir_(state_dir_from_env()),
+      resume_(resume_from_env()) {}
 
 void ParallelExperimentRunner::submit(const std::string& workload_name,
                                       const std::string& key,
@@ -114,14 +156,86 @@ void ParallelExperimentRunner::submit(const std::string& workload_name,
   pending_.push_back(Job{workload_name, key, config});
 }
 
+void ParallelExperimentRunner::ensure_journal() {
+  if (journal_ready_) return;
+  journal_ready_ = true;
+  if (state_dir_.empty()) {
+    if (resume_) {
+      std::fprintf(stderr,
+                   "[warn] resume requested but WECSIM_STATE_DIR is unset; "
+                   "running the sweep from scratch\n");
+    }
+    return;
+  }
+  const std::string path = journal_path(state_dir_);
+  if (resume_) {
+    replay_ = JournalReplay::load(path);
+    for (const std::string& w : replay_.warnings) {
+      std::fprintf(stderr, "[warn] journal: %s\n", w.c_str());
+    }
+    size_t done = 0;
+    for (const auto& [key, entry] : replay_.points) {
+      if (entry.state == JournalReplay::State::kDone ||
+          entry.state == JournalReplay::State::kFailed) {
+        ++done;
+      }
+    }
+    std::fprintf(stderr,
+                 "[info] resuming sweep from %s: %zu point(s) replayed "
+                 "(%zu finished)\n",
+                 path.c_str(), replay_.points.size(), done);
+    // Reopen truncated to the intact prefix so the torn tail (if any) is
+    // gone before the first new append.
+    journal_ = std::make_unique<SweepJournal>(path, replay_.valid_bytes);
+  } else {
+    // A fresh journaled sweep starts a fresh journal: stale entries from an
+    // earlier sweep must not replay into this one by accident.
+    journal_ = std::make_unique<SweepJournal>(path, 0);
+  }
+}
+
 void ParallelExperimentRunner::drain() {
   if (pending_.empty()) return;
+  ensure_journal();
 
   struct JobOutcome {
     bool fresh = false;  // simulated this drain (vs served from disk cache)
+    bool replayed = false;  // served from the resume journal, not a worker
+    bool skipped = false;   // interrupt arrived before a worker claimed it
     PointAttempt attempt;
   };
   std::vector<JobOutcome> outcomes(pending_.size());
+
+  // Resume pre-pass: points with a terminal journal entry rejoin the sweep
+  // without touching a worker. A replayed "done" carries the measurement,
+  // the RunRecord (for fresh points), and any recovered-transient failure,
+  // so the merge below is indistinguishable from having simulated it here.
+  if (journal_ != nullptr && !replay_.points.empty()) {
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      const auto it = replay_.points.find(
+          JournalReplay::PointKey{pending_[i].workload, pending_[i].key});
+      if (it == replay_.points.end()) continue;
+      const JournalReplay::Entry& entry = it->second;
+      JobOutcome& out = outcomes[i];
+      if (entry.state == JournalReplay::State::kDone) {
+        out.replayed = true;
+        out.fresh = entry.fresh;
+        out.attempt.ok = true;
+        out.attempt.out.m = entry.measurement;
+        if (entry.fresh) out.attempt.out.record = entry.record;
+        if (entry.has_failure) {
+          out.attempt.recovered = true;
+          out.attempt.failure = entry.failure;
+        }
+      } else if (entry.state == JournalReplay::State::kFailed) {
+        out.replayed = true;
+        out.attempt.ok = false;
+        out.attempt.failure = entry.failure;
+      }
+      // kQueued / kRunning (stale lock already demoted by the loader): the
+      // point runs again below.
+    }
+  }
 
   // With the disk cache enabled, two queued points whose configurations are
   // identical (distinct keys, same description) must behave like serial
@@ -142,42 +256,96 @@ void ParallelExperimentRunner::drain() {
     }
   }
 
+  // Write-ahead: every point a worker may claim is journaled "queued" before
+  // any work starts, so a crash at any later instant leaves each point in a
+  // well-defined state.
+  if (journal_ != nullptr) {
+    std::vector<JournalPoint> to_queue;
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      if (outcomes[i].replayed) continue;
+      to_queue.push_back(JournalPoint{pending_[i].workload, pending_[i].key});
+    }
+    journal_->queued(to_queue);
+  }
+
+  // The signal guard turns SIGINT/SIGTERM into a graceful stop — but only
+  // while the journal makes stopping safe to resume from.
+  std::unique_ptr<SignalGuard> guard;
+  if (journal_ != nullptr) guard = std::make_unique<SignalGuard>();
+
   // Thread-safe per job: run_point_failsoft touches no shared runner state,
-  // the disk cache uses atomic renames, and each worker touches only
-  // outcomes[i]. Failures never escape a worker — run_point_failsoft folds
-  // them into the attempt — so a crashing point cannot take down the drain.
+  // the disk cache uses atomic renames, the journal serializes appends
+  // internally, and each worker touches only outcomes[i]. Failures never
+  // escape a worker — run_point_failsoft folds them into the attempt — so a
+  // crashing point cannot take down the drain.
   parallel_for(pending_.size(), jobs_, [&](size_t i) {
+    if (outcomes[i].replayed) return;
     if (alias_of[i] != kNoAlias) return;  // filled from the primary below
+    if (journal_ != nullptr && sweep_interrupt_requested()) {
+      outcomes[i].skipped = true;  // stays "queued" in the journal
+      return;
+    }
     const Job& job = pending_[i];
+    const JournalPoint point{job.workload, job.key};
     JobOutcome& out = outcomes[i];
+    if (journal_ != nullptr) journal_->running(point);
     if (disk_cache_->enabled()) {
       if (auto cached = disk_cache_->load(descriptions[i])) {
         out.attempt.ok = true;
         out.attempt.out.m = std::move(*cached);
+        if (journal_ != nullptr) {
+          journal_->done(point, out.attempt.out.m, /*fresh=*/false, nullptr,
+                         nullptr);
+        }
         return;
       }
     }
     out.attempt = run_point_failsoft(job.workload, job.key, job.config);
-    if (!out.attempt.ok) return;
+    if (!out.attempt.ok) {
+      if (journal_ != nullptr) journal_->failed(point, out.attempt.failure);
+      return;
+    }
     if (disk_cache_->enabled()) {
       disk_cache_->store(descriptions[i], out.attempt.out.m);
     }
     out.fresh = true;
+    if (journal_ != nullptr) {
+      journal_->done(point, out.attempt.out.m, /*fresh=*/true,
+                     &out.attempt.out.record,
+                     out.attempt.recovered ? &out.attempt.failure : nullptr);
+    }
   });
 
   // Merge in submission order: because submit() mirrors the serial call
   // order, records_, failures_, and the memo end up byte-identical to a
-  // serial run.
+  // serial run — whether a point was simulated here, served from the disk
+  // cache, or replayed from the journal.
+  bool any_skipped = false;
   for (size_t i = 0; i < pending_.size(); ++i) {
     const Job& job = pending_[i];
     JobOutcome& out = outcomes[i];
     const MemoKey memo_key{job.workload, job.key};
-    if (alias_of[i] != kNoAlias) {
+    if (out.skipped) {
+      any_skipped = true;
+      continue;
+    }
+    if (!out.replayed && alias_of[i] != kNoAlias) {
       const JobOutcome& primary = outcomes[alias_of[i]];
+      if (primary.skipped) {
+        // Nothing reached the disk cache; the alias stays queued too.
+        out.skipped = true;
+        any_skipped = true;
+        continue;
+      }
+      const JournalPoint point{job.workload, job.key};
       if (primary.attempt.ok) {
         // Serial equivalent: a disk hit right after the primary stored, so
         // no record and no failure entry for the alias.
         cache_.emplace(memo_key, primary.attempt.out.m);
+        if (journal_ != nullptr) {
+          journal_->done(point, primary.attempt.out.m, /*fresh=*/false,
+                         nullptr, nullptr);
+        }
         continue;
       }
       // The primary failed, so nothing reached the disk cache; serial
@@ -187,14 +355,38 @@ void ParallelExperimentRunner::drain() {
         disk_cache_->store(descriptions[i], out.attempt.out.m);
       }
       out.fresh = out.attempt.ok;
+      if (journal_ != nullptr) {
+        if (out.attempt.ok) {
+          journal_->done(point, out.attempt.out.m, /*fresh=*/true,
+                         &out.attempt.out.record,
+                         out.attempt.recovered ? &out.attempt.failure
+                                               : nullptr);
+        } else {
+          journal_->failed(point, out.attempt.failure);
+        }
+      }
     }
     record_attempt_failure(memo_key, out.attempt);
     if (!out.attempt.ok) continue;
     if (out.fresh) records_.push_back(std::move(out.attempt.out.record));
     cache_.emplace(memo_key, std::move(out.attempt.out.m));
   }
-  pending_.clear();
-  queued_.clear();
+  if (any_skipped) interrupted_ = true;
+  // Replayed points are consumed exactly once: a later drain in the same
+  // process must not resurrect them for points it never submitted.
+  replay_.points.clear();
+  // Interrupt-skipped points stay pending (and "queued" in the journal), so
+  // pending() reports what a --resume would pick up and an in-process
+  // re-drain after clear_sweep_interrupt() finishes the sweep.
+  std::vector<Job> remaining;
+  std::set<MemoKey> remaining_keys;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (!outcomes[i].skipped) continue;
+    remaining_keys.insert(MemoKey{pending_[i].workload, pending_[i].key});
+    remaining.push_back(std::move(pending_[i]));
+  }
+  pending_ = std::move(remaining);
+  queued_ = std::move(remaining_keys);
 }
 
 }  // namespace wecsim

@@ -19,20 +19,45 @@
 //
 // Worker count: constructor argument (e.g. a --jobs flag) > WECSIM_JOBS
 // environment variable > std::thread::hardware_concurrency().
+//
+// Crash safety: with WECSIM_STATE_DIR set, drain() write-ahead-journals every
+// point transition (harness/journal.h) and installs a SIGINT/SIGTERM guard
+// that drains cleanly instead of dying mid-sweep; WECSIM_RESUME=1 (or a
+// bench's --resume flag) replays the journal so an interrupted sweep finishes
+// with a report byte-identical to an uninterrupted run. See
+// docs/ROBUSTNESS.md, "Crash safety & resume".
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.h"
+#include "harness/journal.h"
 
 namespace wecsim {
 
 /// Resolve a worker count: `explicit_jobs` > 0 wins, else WECSIM_JOBS, else
-/// the hardware concurrency; always at least 1.
+/// the hardware concurrency; always at least 1. A malformed WECSIM_JOBS is a
+/// SimError (aggregated env validation, harness/env.h), never silently 1.
 unsigned resolve_jobs(int explicit_jobs = 0);
+
+/// Ask the active crash-safe drain to stop: workers finish their current
+/// point, remaining points stay "queued" in the journal, and the runner is
+/// marked interrupted(). This is exactly what the SIGINT/SIGTERM guard calls
+/// from signal context; tests call it directly to interrupt deterministically.
+void request_sweep_interrupt();
+
+/// True once request_sweep_interrupt() (or a guarded signal) fired. The flag
+/// is process-wide and sticky — it is never cleared automatically, so a
+/// sequence of drain() calls after an interrupt all stop immediately.
+bool sweep_interrupt_requested();
+
+/// Reset the interrupt flag (tests that simulate interrupt + resume within
+/// one process).
+void clear_sweep_interrupt();
 
 /// Aggregate failure of a parallel_for: every worker failure, not just the
 /// first. what() lists them all; messages() exposes them individually.
@@ -57,7 +82,9 @@ void parallel_for(size_t n, unsigned jobs,
 class ParallelExperimentRunner : public ExperimentRunner {
  public:
   /// `jobs` <= 0 defers to WECSIM_JOBS / hardware concurrency.
-  /// `cache_dir` as in ExperimentRunner.
+  /// `cache_dir` as in ExperimentRunner. The crash-safe state directory and
+  /// resume flag default from WECSIM_STATE_DIR / WECSIM_RESUME; a bench's
+  /// --resume flag overrides via set_resume().
   explicit ParallelExperimentRunner(
       const WorkloadParams& params = {}, int jobs = 0,
       std::optional<std::string> cache_dir = std::nullopt);
@@ -72,10 +99,23 @@ class ParallelExperimentRunner : public ExperimentRunner {
 
   /// Execute every queued point (worker pool + disk cache), then merge
   /// measurements and records in submission order. After drain(), run() on
-  /// a submitted point is a memo hit.
+  /// a submitted point is a memo hit — unless the sweep was interrupted, in
+  /// which case interrupted() is true and unfinished points were left
+  /// "queued" in the journal for a future --resume.
   void drain();
 
   unsigned jobs() const override { return jobs_; }
+
+  /// Override the journal directory ("" disables journaling). Takes effect
+  /// at the next drain(); tests point this at a temp dir instead of racing
+  /// on the WECSIM_STATE_DIR environment variable.
+  void set_state_dir(std::string dir) { state_dir_ = std::move(dir); }
+  const std::string& state_dir() const { return state_dir_; }
+
+  /// Request (or cancel) journal replay for the next drain(). Replayed
+  /// "done" points rejoin the sweep without re-simulating.
+  void set_resume(bool resume) { resume_ = resume; }
+  bool resume() const { return resume_; }
 
  private:
   struct Job {
@@ -84,9 +124,18 @@ class ParallelExperimentRunner : public ExperimentRunner {
     StaConfig config;
   };
 
+  /// Opens the journal (and, on resume, loads the replay) on the first
+  /// journaled drain. No-op when state_dir_ is empty.
+  void ensure_journal();
+
   unsigned jobs_;
   std::vector<Job> pending_;
   std::set<MemoKey> queued_;
+  std::string state_dir_;  // WECSIM_STATE_DIR; "" = journaling off
+  bool resume_ = false;    // WECSIM_RESUME / --resume
+  bool journal_ready_ = false;
+  std::unique_ptr<SweepJournal> journal_;
+  JournalReplay replay_;
 };
 
 }  // namespace wecsim

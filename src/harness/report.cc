@@ -1,9 +1,9 @@
 #include "harness/report.h"
 
-#include <fstream>
-
 #include "common/error.h"
+#include "harness/state_dir.h"
 #include "mem/side_cache.h"
+#include "obs/integrity.h"
 #include "obs/json.h"
 
 namespace wecsim {
@@ -28,6 +28,24 @@ void write_histogram(JsonWriter& w, const HistogramData& h) {
   w.end_object();
 }
 
+HistogramData parse_histogram(const JsonValue& v) {
+  HistogramData h;
+  h.count = v.at("count").as_u64();
+  h.sum = v.at("sum").as_u64();
+  // The writer clamps an empty histogram's (undefined) min to 0; restore the
+  // in-memory sentinel so a re-render is byte-identical either way.
+  h.min = h.count == 0 ? ~uint64_t{0} : v.at("min").as_u64();
+  h.max = v.at("max").as_u64();
+  for (const JsonValue& pair : v.at("buckets").items()) {
+    const uint64_t index = pair.at(size_t{0}).as_u64();
+    if (index >= HistogramData::kNumBuckets) {
+      throw SimError("histogram bucket index out of range");
+    }
+    h.buckets[index] = pair.at(size_t{1}).as_u64();
+  }
+  return h;
+}
+
 void write_wec_section(JsonWriter& w, const WecProvenance& wec) {
   w.begin_object();
   w.kv("total_fills", wec.total_fills());
@@ -42,6 +60,17 @@ void write_wec_section(JsonWriter& w, const WecProvenance& wec) {
   }
   w.end_object();
   w.end_object();
+}
+
+void parse_wec_section(const JsonValue& v, WecProvenance& wec) {
+  const JsonValue& by_origin = v.at("by_origin");
+  for (size_t i = 0; i < kNumSideOrigins; ++i) {
+    const JsonValue& o =
+        by_origin.at(side_origin_name(static_cast<SideOrigin>(i)));
+    wec.fills[i] = o.at("fills").as_u64();
+    wec.used[i] = o.at("used").as_u64();
+    wec.unused[i] = o.at("unused").as_u64();
+  }
 }
 
 void write_result(JsonWriter& w, const SimResult& r) {
@@ -67,69 +96,180 @@ void write_result(JsonWriter& w, const SimResult& r) {
   w.end_object();
 }
 
+void parse_result_fields(const JsonValue& v, SimResult& r) {
+  r.cycles = v.at("cycles").as_u64();
+  r.halted = v.at("halted").as_bool();
+  r.committed = v.at("committed").as_u64();
+  r.l1d_accesses = v.at("l1d_accesses").as_u64();
+  r.l1d_wrong_accesses = v.at("l1d_wrong_accesses").as_u64();
+  r.l1d_misses = v.at("l1d_misses").as_u64();
+  r.l1d_wrong_misses = v.at("l1d_wrong_misses").as_u64();
+  r.side_hits = v.at("side_hits").as_u64();
+  r.wec_wrong_fills = v.at("wec_wrong_fills").as_u64();
+  r.prefetches = v.at("prefetches").as_u64();
+  r.l2_accesses = v.at("l2_accesses").as_u64();
+  r.l2_misses = v.at("l2_misses").as_u64();
+  r.mispredicts = v.at("mispredicts").as_u64();
+  r.branches = v.at("branches").as_u64();
+  r.forks = v.at("forks").as_u64();
+  r.wrong_threads = v.at("wrong_threads").as_u64();
+  r.wrong_path_loads = v.at("wrong_path_loads").as_u64();
+  r.coherence_updates = v.at("coherence_updates").as_u64();
+}
+
 }  // namespace
+
+void write_sim_result_full(JsonWriter& w, const SimResult& r) {
+  w.begin_object();
+  w.kv("cycles", r.cycles);
+  w.kv("halted", r.halted);
+  w.kv("committed", r.committed);
+  w.kv("l1d_accesses", r.l1d_accesses);
+  w.kv("l1d_wrong_accesses", r.l1d_wrong_accesses);
+  w.kv("l1d_misses", r.l1d_misses);
+  w.kv("l1d_wrong_misses", r.l1d_wrong_misses);
+  w.kv("side_hits", r.side_hits);
+  w.kv("wec_wrong_fills", r.wec_wrong_fills);
+  w.kv("prefetches", r.prefetches);
+  w.kv("l2_accesses", r.l2_accesses);
+  w.kv("l2_misses", r.l2_misses);
+  w.kv("mispredicts", r.mispredicts);
+  w.kv("branches", r.branches);
+  w.kv("forks", r.forks);
+  w.kv("wrong_threads", r.wrong_threads);
+  w.kv("wrong_path_loads", r.wrong_path_loads);
+  w.kv("coherence_updates", r.coherence_updates);
+  auto write_array = [&](const char* key, const auto& values) {
+    w.key(key).begin_array();
+    for (uint64_t v : values) w.value(v);
+    w.end_array();
+  };
+  write_array("wec_fills", r.wec.fills);
+  write_array("wec_used", r.wec.used);
+  write_array("wec_unused", r.wec.unused);
+  w.end_object();
+}
+
+SimResult parse_sim_result_full(const JsonValue& v) {
+  SimResult r;
+  parse_result_fields(v, r);
+  const JsonValue& fills = v.at("wec_fills");
+  const JsonValue& used = v.at("wec_used");
+  const JsonValue& unused = v.at("wec_unused");
+  for (size_t i = 0; i < kNumSideOrigins; ++i) {
+    r.wec.fills[i] = fills.at(i).as_u64();
+    r.wec.used[i] = used.at(i).as_u64();
+    r.wec.unused[i] = unused.at(i).as_u64();
+  }
+  return r;
+}
+
+void write_run_record(JsonWriter& w, const RunRecord& run,
+                      bool include_run_seconds) {
+  w.begin_object();
+  w.kv("workload", run.workload);
+  w.kv("config", run.config_key);
+  w.kv("scale", run.scale);
+  w.key("result");
+  write_result(w, run.result);
+  w.key("wec");
+  write_wec_section(w, run.result.wec);
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : run.counters) w.kv(name, value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : run.gauges) w.kv(name, value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, data] : run.histograms) {
+    w.key(name);
+    write_histogram(w, data);
+  }
+  w.end_object();
+  if (include_run_seconds) w.kv("run_seconds", run.run_seconds);
+  w.end_object();
+}
+
+RunRecord parse_run_record(const JsonValue& v) {
+  RunRecord run;
+  run.workload = v.at("workload").as_string();
+  run.config_key = v.at("config").as_string();
+  run.scale = static_cast<uint32_t>(v.at("scale").as_u64());
+  parse_result_fields(v.at("result"), run.result);
+  parse_wec_section(v.at("wec"), run.result.wec);
+  for (const auto& [name, value] : v.at("counters").fields()) {
+    run.counters.emplace(name, value.as_u64());
+  }
+  for (const auto& [name, value] : v.at("gauges").fields()) {
+    run.gauges.emplace(name, value.as_i64());
+  }
+  for (const auto& [name, value] : v.at("histograms").fields()) {
+    run.histograms.emplace(name, parse_histogram(value));
+  }
+  if (v.has("run_seconds")) run.run_seconds = v.at("run_seconds").as_double();
+  return run;
+}
+
+void write_point_failure(JsonWriter& w, const PointFailure& f) {
+  w.begin_object();
+  w.kv("workload", f.workload);
+  w.kv("config", f.config_key);
+  w.kv("status", f.status);
+  w.kv("error", f.error);
+  w.kv("attempts", static_cast<uint64_t>(f.attempts));
+  w.end_object();
+}
+
+PointFailure parse_point_failure(const JsonValue& v) {
+  PointFailure f;
+  f.workload = v.at("workload").as_string();
+  f.config_key = v.at("config").as_string();
+  f.status = v.at("status").as_string();
+  f.error = v.at("error").as_string();
+  f.attempts = static_cast<uint32_t>(v.at("attempts").as_u64());
+  return f;
+}
 
 std::string render_run_report(const std::string& bench_name,
                               const std::vector<RunRecord>& runs,
-                              const std::vector<PointFailure>& failures) {
+                              const std::vector<PointFailure>& failures,
+                              bool interrupted) {
   JsonWriter w;
   w.begin_object();
   w.kv("schema", "wecsim.run_report");
   w.kv("schema_version", kRunReportSchemaVersion);
   w.kv("bench", bench_name);
+  // Only present on a partial report flushed by the graceful-shutdown path:
+  // a finished sweep's report must stay byte-identical whether or not an
+  // earlier attempt was interrupted and resumed.
+  if (interrupted) w.kv("interrupted", true);
   w.key("runs").begin_array();
-  for (const RunRecord& run : runs) {
-    w.begin_object();
-    w.kv("workload", run.workload);
-    w.kv("config", run.config_key);
-    w.kv("scale", run.scale);
-    w.key("result");
-    write_result(w, run.result);
-    w.key("wec");
-    write_wec_section(w, run.result.wec);
-    w.key("counters").begin_object();
-    for (const auto& [name, value] : run.counters) w.kv(name, value);
-    w.end_object();
-    w.key("gauges").begin_object();
-    for (const auto& [name, value] : run.gauges) w.kv(name, value);
-    w.end_object();
-    w.key("histograms").begin_object();
-    for (const auto& [name, data] : run.histograms) {
-      w.key(name);
-      write_histogram(w, data);
-    }
-    w.end_object();
-    w.end_object();
-  }
+  for (const RunRecord& run : runs) write_run_record(w, run);
   w.end_array();
   // Only present when something actually failed: clean reports must stay
   // byte-identical to pre-fail-soft output.
   if (!failures.empty()) {
     w.key("failures").begin_array();
-    for (const PointFailure& f : failures) {
-      w.begin_object();
-      w.kv("workload", f.workload);
-      w.kv("config", f.config_key);
-      w.kv("status", f.status);
-      w.kv("error", f.error);
-      w.kv("attempts", static_cast<uint64_t>(f.attempts));
-      w.end_object();
-    }
+    for (const PointFailure& f : failures) write_point_failure(w, f);
     w.end_array();
   }
+  w.kv("integrity", integrity_placeholder());
   w.end_object();
+  // Seal AFTER appending the newline: the digest covers the exact bytes a
+  // verifier reads back from disk.
   std::string out = w.take();
   out.push_back('\n');
-  return out;
+  return seal_integrity(std::move(out));
 }
 
 void write_run_report(const std::string& path, const std::string& bench_name,
                       const std::vector<RunRecord>& runs,
-                      const std::vector<PointFailure>& failures) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw SimError("cannot open report file: " + path);
-  os << render_run_report(bench_name, runs, failures);
-  if (!os) throw SimError("failed writing report file: " + path);
+                      const std::vector<PointFailure>& failures,
+                      bool interrupted) {
+  // Atomic: a crash mid-write, or a reader racing the writer, must never see
+  // a truncated report under the final name.
+  write_file_atomic(path,
+                    render_run_report(bench_name, runs, failures, interrupted));
 }
 
 std::string render_timing_report(const std::string& bench_name, unsigned jobs,
@@ -164,19 +304,18 @@ std::string render_timing_report(const std::string& bench_name, unsigned jobs,
     w.end_object();
   }
   w.end_array();
+  w.kv("integrity", integrity_placeholder());
   w.end_object();
   std::string out = w.take();
   out.push_back('\n');
-  return out;
+  return seal_integrity(std::move(out));
 }
 
 void write_timing_report(const std::string& path, const std::string& bench_name,
                          unsigned jobs, double wall_seconds,
                          const std::vector<RunRecord>& runs) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw SimError("cannot open timing file: " + path);
-  os << render_timing_report(bench_name, jobs, wall_seconds, runs);
-  if (!os) throw SimError("failed writing timing file: " + path);
+  write_file_atomic(path,
+                    render_timing_report(bench_name, jobs, wall_seconds, runs));
 }
 
 }  // namespace wecsim

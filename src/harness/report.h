@@ -13,11 +13,14 @@
 
 #include "common/stats.h"
 #include "core/simulator.h"
+#include "obs/json.h"
 
 namespace wecsim {
 
 /// Schema version stamped into every report ("schema_version" field).
-inline constexpr int kRunReportSchemaVersion = 1;
+/// v2: every report carries a self-checksum ("integrity" last field, see
+/// obs/integrity.h) and an interrupted sweep marks itself "interrupted".
+inline constexpr int kRunReportSchemaVersion = 2;
 
 /// Everything recorded about one (workload, configuration) simulation.
 struct RunRecord {
@@ -54,19 +57,46 @@ struct PointFailure {
 
 /// Renders the report document for a set of runs. Deterministic: the same
 /// runs in the same order produce byte-identical output. The "failures"
-/// array is emitted only when `failures` is non-empty, so a clean run's
-/// report is byte-identical to one produced before fail-soft existed.
+/// array is emitted only when `failures` is non-empty, and the
+/// "interrupted" marker only when `interrupted` is true, so a clean
+/// uninterrupted report's shape is stable. The document is sealed with an
+/// integrity checksum (obs/integrity.h) as its last field.
 std::string render_run_report(const std::string& bench_name,
                               const std::vector<RunRecord>& runs,
-                              const std::vector<PointFailure>& failures = {});
+                              const std::vector<PointFailure>& failures = {},
+                              bool interrupted = false);
 
-/// Renders and writes the report to `path`. Throws SimError on I/O failure.
+/// Renders and writes the report to `path` via a unique temp file + atomic
+/// rename, so a reader (or a crash mid-write) can never observe a truncated
+/// report under the final name. Throws SimError on I/O failure.
 void write_run_report(const std::string& path, const std::string& bench_name,
                       const std::vector<RunRecord>& runs,
-                      const std::vector<PointFailure>& failures = {});
+                      const std::vector<PointFailure>& failures = {},
+                      bool interrupted = false);
+
+/// Serializers shared by the run report, the result cache, and the sweep
+/// journal. write_sim_result_full emits every SimResult field including the
+/// WEC provenance arrays as one flat object; parse_sim_result_full is its
+/// exact inverse (throws SimError on missing fields).
+void write_sim_result_full(JsonWriter& w, const SimResult& r);
+SimResult parse_sim_result_full(const JsonValue& v);
+
+/// One element of the report's "runs" array. With `include_run_seconds` the
+/// non-canonical wall-clock field is appended — the sweep journal needs it
+/// to replay timing reports; the canonical run report never carries it.
+void write_run_record(JsonWriter& w, const RunRecord& run,
+                      bool include_run_seconds = false);
+/// Inverse of write_run_record (either form). Throws SimError on a
+/// malformed record.
+RunRecord parse_run_record(const JsonValue& v);
+
+/// One element of the report's "failures" array, and its inverse.
+void write_point_failure(JsonWriter& w, const PointFailure& f);
+PointFailure parse_point_failure(const JsonValue& v);
 
 /// Schema version of the timing side-channel ("wecsim.bench_timing").
-inline constexpr int kTimingReportSchemaVersion = 1;
+/// v2: sealed with the same integrity checksum as the run report.
+inline constexpr int kTimingReportSchemaVersion = 2;
 
 /// Wall-clock / throughput report for a bench invocation: per fresh run
 /// `run_seconds` and `cycles_per_second`, plus bench totals (worker count,
@@ -77,7 +107,8 @@ std::string render_timing_report(const std::string& bench_name, unsigned jobs,
                                  double wall_seconds,
                                  const std::vector<RunRecord>& runs);
 
-/// Renders and writes the timing report. Throws SimError on I/O failure.
+/// Renders and writes the timing report (temp file + atomic rename, like
+/// write_run_report). Throws SimError on I/O failure.
 void write_timing_report(const std::string& path, const std::string& bench_name,
                          unsigned jobs, double wall_seconds,
                          const std::vector<RunRecord>& runs);

@@ -1,15 +1,14 @@
 #include "harness/result_cache.h"
 
-#include <unistd.h>
-
 #include <atomic>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
-#include <thread>
 
+#include "harness/report.h"
+#include "harness/state_dir.h"
 #include "obs/json.h"
 
 namespace wecsim {
@@ -51,15 +50,6 @@ void describe_geom(std::ostringstream& os, const char* name,
 }
 
 }  // namespace
-
-uint64_t fnv1a64(const std::string& s) {
-  uint64_t h = 1469598103934665603ull;
-  for (char c : s) {
-    h ^= static_cast<uint8_t>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
 
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
 
@@ -127,54 +117,51 @@ std::string ResultCache::entry_path(const std::string& description) const {
   return dir_ + "/wec-" + hex + ".json";
 }
 
+void ResultCache::quarantine(const std::string& path, const char* why) const {
+  // Never trust a broken entry: move it aside (the evidence survives for a
+  // postmortem) so the caller's recompute can heal the slot.
+  const std::string corrupt = path + ".corrupt";
+  std::remove(corrupt.c_str());
+  if (std::rename(path.c_str(), corrupt.c_str()) == 0) {
+    std::fprintf(stderr,
+                 "[warn] quarantined corrupt cache entry (%s): %s -> %s\n",
+                 why, path.c_str(), corrupt.c_str());
+  }
+}
+
 std::optional<RunMeasurement> ResultCache::load(
     const std::string& description) const {
   if (!enabled()) return std::nullopt;
-  std::ifstream in(entry_path(description), std::ios::binary);
+  const std::string path = entry_path(description);
+  std::ifstream in(path, std::ios::binary);
   if (!in.good()) return std::nullopt;
   std::stringstream buf;
   buf << in.rdbuf();
+  const std::string content = buf.str();
+  // Integrity gate first: a torn write or bit flip anywhere in the file is
+  // detected before any field is trusted. kUnsealed (a pre-v2 entry) falls
+  // through to the schema check below, which treats it as a stale miss.
+  if (check_integrity(content) == IntegrityStatus::kMismatch) {
+    quarantine(path, "integrity digest mismatch");
+    return std::nullopt;
+  }
   try {
-    const JsonValue doc = parse_json(buf.str());
+    const JsonValue doc = parse_json(content);
     if (doc.at("schema").as_string() != "wecsim.result_cache" ||
         doc.at("schema_version").as_i64() != kResultCacheSchemaVersion ||
         doc.at("description").as_string() != description) {
+      // Intact but stale (old schema) or a filename-hash collision: a plain
+      // miss — the recompute will overwrite the slot.
       return std::nullopt;
     }
     RunMeasurement m;
-    const JsonValue& sim = doc.at("sim");
-    SimResult& r = m.sim;
-    r.cycles = sim.at("cycles").as_u64();
-    r.halted = sim.at("halted").as_bool();
-    r.committed = sim.at("committed").as_u64();
-    r.l1d_accesses = sim.at("l1d_accesses").as_u64();
-    r.l1d_wrong_accesses = sim.at("l1d_wrong_accesses").as_u64();
-    r.l1d_misses = sim.at("l1d_misses").as_u64();
-    r.l1d_wrong_misses = sim.at("l1d_wrong_misses").as_u64();
-    r.side_hits = sim.at("side_hits").as_u64();
-    r.wec_wrong_fills = sim.at("wec_wrong_fills").as_u64();
-    r.prefetches = sim.at("prefetches").as_u64();
-    r.l2_accesses = sim.at("l2_accesses").as_u64();
-    r.l2_misses = sim.at("l2_misses").as_u64();
-    r.mispredicts = sim.at("mispredicts").as_u64();
-    r.branches = sim.at("branches").as_u64();
-    r.forks = sim.at("forks").as_u64();
-    r.wrong_threads = sim.at("wrong_threads").as_u64();
-    r.wrong_path_loads = sim.at("wrong_path_loads").as_u64();
-    r.coherence_updates = sim.at("coherence_updates").as_u64();
-    const JsonValue& fills = sim.at("wec_fills");
-    const JsonValue& used = sim.at("wec_used");
-    const JsonValue& unused = sim.at("wec_unused");
-    for (size_t i = 0; i < kNumSideOrigins; ++i) {
-      r.wec.fills[i] = fills.at(i).as_u64();
-      r.wec.used[i] = used.at(i).as_u64();
-      r.wec.unused[i] = unused.at(i).as_u64();
-    }
+    m.sim = parse_sim_result_full(doc.at("sim"));
     m.parallel_cycles = doc.at("parallel_cycles").as_u64();
     m.run_seconds = doc.at("run_seconds").as_double();
     return m;
-  } catch (const std::exception&) {
-    // Corrupt or foreign file under our name: treat as a miss.
+  } catch (const std::exception& e) {
+    // Unparseable or structurally broken under our name: quarantine it.
+    quarantine(path, e.what());
     return std::nullopt;
   }
 }
@@ -187,65 +174,26 @@ void ResultCache::store(const std::string& description,
   w.kv("schema", "wecsim.result_cache");
   w.kv("schema_version", kResultCacheSchemaVersion);
   w.kv("description", description);
-  w.key("sim").begin_object();
-  const SimResult& r = m.sim;
-  w.kv("cycles", r.cycles);
-  w.kv("halted", r.halted);
-  w.kv("committed", r.committed);
-  w.kv("l1d_accesses", r.l1d_accesses);
-  w.kv("l1d_wrong_accesses", r.l1d_wrong_accesses);
-  w.kv("l1d_misses", r.l1d_misses);
-  w.kv("l1d_wrong_misses", r.l1d_wrong_misses);
-  w.kv("side_hits", r.side_hits);
-  w.kv("wec_wrong_fills", r.wec_wrong_fills);
-  w.kv("prefetches", r.prefetches);
-  w.kv("l2_accesses", r.l2_accesses);
-  w.kv("l2_misses", r.l2_misses);
-  w.kv("mispredicts", r.mispredicts);
-  w.kv("branches", r.branches);
-  w.kv("forks", r.forks);
-  w.kv("wrong_threads", r.wrong_threads);
-  w.kv("wrong_path_loads", r.wrong_path_loads);
-  w.kv("coherence_updates", r.coherence_updates);
-  auto write_array = [&](const char* key, const auto& values) {
-    w.key(key).begin_array();
-    for (uint64_t v : values) w.value(v);
-    w.end_array();
-  };
-  write_array("wec_fills", r.wec.fills);
-  write_array("wec_used", r.wec.used);
-  write_array("wec_unused", r.wec.unused);
-  w.end_object();
+  w.key("sim");
+  write_sim_result_full(w, m.sim);
   w.kv("parallel_cycles", m.parallel_cycles);
   w.kv("run_seconds", m.run_seconds);
+  w.kv("integrity", integrity_placeholder());
   w.end_object();
+  std::string doc = w.take();
+  doc.push_back('\n');
+  doc = seal_integrity(std::move(doc));
 
-  const std::string path = entry_path(description);
-  // Unique-per-writer temp name, then an atomic rename: concurrent workers
-  // and concurrent bench processes may share the cache directory.
-  const std::string tmp =
-      path + ".tmp." + std::to_string(static_cast<uint64_t>(::getpid())) +
-      "." +
-      std::to_string(std::hash<std::thread::id>{}(std::this_thread::get_id()));
-  {
-    std::ofstream os(tmp, std::ios::binary);
-    if (!os) {
-      static std::atomic<bool> warned{false};
-      if (!warned.exchange(true)) {
-        std::fprintf(stderr,
-                     "[warn] result cache not writable: %s (WECSIM_CACHE_DIR "
-                     "missing?)\n",
-                     dir_.c_str());
-      }
-      return;
-    }
-    os << w.take() << '\n';
-    if (!os) {
-      std::remove(tmp.c_str());
-      return;
+  std::string error;
+  if (!try_write_file_atomic(entry_path(description), doc, &error)) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "[warn] result cache not writable: %s (WECSIM_CACHE_DIR "
+                   "missing?): %s\n",
+                   dir_.c_str(), error.c_str());
     }
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) std::remove(tmp.c_str());
 }
 
 }  // namespace wecsim

@@ -21,11 +21,15 @@
 #include <string>
 
 #include "harness/experiment.h"
+#include "obs/integrity.h"
 
 namespace wecsim {
 
 /// Schema version of a cache entry file; part of the entry envelope.
-inline constexpr int kResultCacheSchemaVersion = 1;
+/// v2: entries carry an fnv1a64 integrity digest (obs/integrity.h); load()
+/// quarantines an entry whose digest or structure is broken by renaming it
+/// to <entry>.corrupt and recomputing, instead of trusting or crashing.
+inline constexpr int kResultCacheSchemaVersion = 2;
 
 class ResultCache {
  public:
@@ -54,7 +58,11 @@ class ResultCache {
 
   /// Look up a description. Returns the cached measurement, or nullopt on
   /// miss, corrupt entry, or description mismatch (hash collision / stale
-  /// schema).
+  /// schema). A corrupt entry — failed integrity digest, unparseable JSON,
+  /// missing fields — is additionally quarantined: renamed to
+  /// <entry>.corrupt so the evidence survives while the caller recomputes
+  /// and heals the entry. A stale-but-intact entry (older schema version,
+  /// collision) is a plain miss, not a quarantine.
   std::optional<RunMeasurement> load(const std::string& description) const;
 
   /// Best-effort store; failures are reported to stderr once and swallowed
@@ -62,10 +70,9 @@ class ResultCache {
   void store(const std::string& description, const RunMeasurement& m) const;
 
  private:
+  void quarantine(const std::string& path, const char* why) const;
+
   std::string dir_;
 };
-
-/// FNV-1a 64-bit hash (exposed for tests).
-uint64_t fnv1a64(const std::string& s);
 
 }  // namespace wecsim

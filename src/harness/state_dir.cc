@@ -1,0 +1,87 @@
+#include "harness/state_dir.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "common/error.h"
+#include "harness/env.h"
+
+namespace wecsim {
+
+std::string state_dir_from_env() {
+  const char* dir = std::getenv("WECSIM_STATE_DIR");
+  return dir != nullptr ? std::string(dir) : std::string();
+}
+
+bool resume_from_env() {
+  std::vector<std::string> errors;
+  const bool resume = parse_env_flag("WECSIM_RESUME", false, &errors);
+  throw_if_env_errors(errors);
+  return resume;
+}
+
+std::string journal_path(const std::string& state_dir) {
+  return state_dir + "/sweep.journal.jsonl";
+}
+
+bool try_write_file_atomic(const std::string& path, const std::string& content,
+                           std::string* error) {
+  // Unique-per-writer temp name: concurrent workers and concurrent bench
+  // processes may target the same final path.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<uint64_t>(::getpid())) +
+      "." +
+      std::to_string(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = "cannot open " + tmp + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) {
+        *error = "short write to " + tmp + ": " + std::strerror(errno);
+      }
+      ::close(fd);
+      std::remove(tmp.c_str());
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  // Flush file contents before the rename publishes the name: a crash after
+  // rename must never expose an empty or partial file.
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    if (error != nullptr) {
+      *error = "fsync/close failed for " + tmp + ": " + std::strerror(errno);
+    }
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "rename " + tmp + " -> " + path + ": " + std::strerror(errno);
+    }
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  std::string error;
+  if (!try_write_file_atomic(path, content, &error)) {
+    throw SimError("atomic write failed: " + error);
+  }
+}
+
+}  // namespace wecsim

@@ -1,0 +1,39 @@
+// Crash-safe sweep state: where durable harness artifacts live and how they
+// reach disk. WECSIM_STATE_DIR names a directory for the write-ahead sweep
+// journal (harness/journal.h); WECSIM_RESUME=1 (or a bench's --resume flag)
+// makes the next sweep replay that journal instead of starting over. All
+// final artifacts — run reports, timing reports, cache entries — are written
+// with the unique-tmp + rename pattern so a reader (or a crash) can never
+// observe a truncated file under the final name.
+#pragma once
+
+#include <string>
+
+namespace wecsim {
+
+/// Exit status of a bench whose sweep was interrupted by SIGINT/SIGTERM:
+/// distinct from 0 (clean) and 2 (points quarantined), so supervisors can
+/// tell "re-run with --resume" apart from "inspect the quarantine list".
+inline constexpr int kExitInterrupted = 3;
+
+/// WECSIM_STATE_DIR, or "" when unset (crash-safe journaling disabled).
+std::string state_dir_from_env();
+
+/// True when WECSIM_RESUME requests journal replay. Accepts 1/true/yes/on
+/// and 0/false/no/off (case-insensitive); anything else is a parse error
+/// reported through the aggregated env validation (harness/env.h).
+bool resume_from_env();
+
+/// Path of the sweep journal inside a state directory.
+std::string journal_path(const std::string& state_dir);
+
+/// Writes `content` to a unique sibling temp file, fsyncs it, and renames it
+/// over `path` (atomic on POSIX). Returns false and fills `*error` on
+/// failure; the temp file is cleaned up best-effort.
+bool try_write_file_atomic(const std::string& path, const std::string& content,
+                           std::string* error);
+
+/// Throwing wrapper around try_write_file_atomic (SimError on failure).
+void write_file_atomic(const std::string& path, const std::string& content);
+
+}  // namespace wecsim

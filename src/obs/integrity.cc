@@ -1,0 +1,60 @@
+#include "obs/integrity.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace wecsim {
+
+namespace {
+
+// The marker is searched as a literal byte sequence. JSON string escaping
+// guarantees it cannot occur inside a string *value* (the quotes would be
+// rendered as \"), so the last occurrence is always the real field.
+constexpr char kMarker[] = "\"integrity\":\"fnv1a64:";
+constexpr size_t kMarkerLen = sizeof(kMarker) - 1;
+constexpr size_t kDigestLen = 16;
+
+}  // namespace
+
+uint64_t fnv1a64(const std::string& s) {
+  uint64_t h = 14695981039346656037ull;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string integrity_placeholder() {
+  return std::string("fnv1a64:") + std::string(kDigestLen, '0');
+}
+
+std::string seal_integrity(std::string doc) {
+  const size_t pos = doc.rfind(kMarker);
+  if (pos == std::string::npos) return doc;
+  const size_t digest_at = pos + kMarkerLen;
+  if (digest_at + kDigestLen > doc.size()) return doc;
+  if (doc.compare(digest_at, kDigestLen, std::string(kDigestLen, '0')) != 0) {
+    return doc;  // already sealed (or not a placeholder): leave untouched
+  }
+  char hex[kDigestLen + 1];
+  std::snprintf(hex, sizeof hex, "%016" PRIx64, fnv1a64(doc));
+  doc.replace(digest_at, kDigestLen, hex, kDigestLen);
+  return doc;
+}
+
+IntegrityStatus check_integrity(const std::string& doc) {
+  const size_t pos = doc.rfind(kMarker);
+  if (pos == std::string::npos) return IntegrityStatus::kUnsealed;
+  const size_t digest_at = pos + kMarkerLen;
+  if (digest_at + kDigestLen > doc.size()) return IntegrityStatus::kMismatch;
+  const std::string claimed = doc.substr(digest_at, kDigestLen);
+  std::string zeroed = doc;
+  zeroed.replace(digest_at, kDigestLen, std::string(kDigestLen, '0'));
+  char hex[kDigestLen + 1];
+  std::snprintf(hex, sizeof hex, "%016" PRIx64, fnv1a64(zeroed));
+  return claimed == hex ? IntegrityStatus::kSealed : IntegrityStatus::kMismatch;
+}
+
+}  // namespace wecsim

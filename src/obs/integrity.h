@@ -1,0 +1,42 @@
+// Artifact integrity: every persisted JSON artifact (result-cache entries,
+// run reports, timing reports, sweep-journal lines) carries a self-checksum
+// so a torn write or bit flip is detected on load instead of being trusted.
+//
+// The checksum lives INSIDE the document as its last field,
+//   ,"integrity":"fnv1a64:<16 hex digits>"}
+// so artifacts stay single parseable JSON values. Sealing works by rendering
+// the document with a fixed-width all-zero placeholder digest, hashing the
+// whole rendered string, and splicing the real digest over the zeros; the
+// verifier reverses the splice and re-hashes. Both sides operate on the
+// exact bytes on disk, so any corruption anywhere in the document — before
+// or after the field — flips the digest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wecsim {
+
+/// FNV-1a 64-bit hash of a byte string.
+uint64_t fnv1a64(const std::string& s);
+
+/// The value a writer emits for the "integrity" key before sealing:
+/// "fnv1a64:0000000000000000".
+std::string integrity_placeholder();
+
+/// Replaces the last integrity placeholder in `doc` with the FNV-1a digest
+/// of the placeholder-form document. Returns `doc` unchanged when no
+/// placeholder is present (artifact opted out of sealing).
+std::string seal_integrity(std::string doc);
+
+enum class IntegrityStatus {
+  kSealed,    // integrity field present and the digest matches
+  kUnsealed,  // no integrity field (legacy artifact)
+  kMismatch,  // integrity field present but the digest does not match
+};
+
+/// Verifies a document produced by seal_integrity(). Operates on the exact
+/// byte string, including any trailing newline the writer appended.
+IntegrityStatus check_integrity(const std::string& doc);
+
+}  // namespace wecsim

@@ -1,0 +1,458 @@
+// Crash safety & resume (docs/ROBUSTNESS.md): the write-ahead sweep journal,
+// integrity-sealed artifacts, corruption quarantine, graceful interrupt, and
+// the end-to-end guarantee that a killed-and-resumed sweep produces a run
+// report byte-identical to an uninterrupted one.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sim_config.h"
+#include "fault/fault.h"
+#include "harness/env.h"
+#include "harness/experiment.h"
+#include "harness/journal.h"
+#include "harness/parallel.h"
+#include "harness/report.h"
+#include "harness/result_cache.h"
+#include "harness/state_dir.h"
+#include "obs/integrity.h"
+#include "workloads/workload.h"
+
+namespace wecsim {
+namespace {
+
+const WorkloadParams kParams{1, 42};
+
+StaConfig orig1() { return make_paper_config(PaperConfig::kOrig, 1); }
+
+// A unique per-test temp directory (std::filesystem; removed on scope exit).
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = std::filesystem::temp_directory_path() /
+            ("wecsim_recovery_" + tag + "_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file_raw(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+// One real simulation, so journal round-trips exercise the full RunRecord
+// shape (counters, gauges, histograms, WEC provenance).
+struct MeasuredPoint {
+  RunMeasurement m;
+  RunRecord record;
+};
+
+MeasuredPoint measure(const std::string& workload, const std::string& key) {
+  ExperimentRunner runner(kParams, std::string());
+  MeasuredPoint p;
+  p.m = runner.run(workload, key, orig1());
+  p.record = runner.records().at(0);
+  return p;
+}
+
+TEST(Journal, RoundTripsEveryTransition) {
+  TempDir dir("roundtrip");
+  const std::string path = journal_path(dir.str());
+  const MeasuredPoint point = measure("181.mcf", "orig");
+
+  PointFailure fail;
+  fail.workload = "164.gzip";
+  fail.config_key = "orig";
+  fail.status = "quarantined";
+  fail.error = "injected worker crash: 164.gzip|orig";
+  fail.attempts = 3;
+
+  {
+    SweepJournal journal(path);
+    journal.queued({{"181.mcf", "orig"}, {"164.gzip", "orig"},
+                    {"175.vpr", "orig"}});
+    journal.running({"181.mcf", "orig"});
+    journal.done({"181.mcf", "orig"}, point.m, /*fresh=*/true, &point.record,
+                 nullptr);
+    journal.running({"164.gzip", "orig"});
+    journal.failed({"164.gzip", "orig"}, fail);
+  }
+
+  const JournalReplay replay = JournalReplay::load(path);
+  EXPECT_TRUE(replay.warnings.empty());
+  ASSERT_EQ(replay.points.size(), 3u);
+
+  const auto& done = replay.points.at({"181.mcf", "orig"});
+  EXPECT_EQ(done.state, JournalReplay::State::kDone);
+  EXPECT_TRUE(done.fresh);
+  EXPECT_EQ(done.measurement.sim.cycles, point.m.sim.cycles);
+  EXPECT_EQ(done.measurement.parallel_cycles, point.m.parallel_cycles);
+  // The replayed record must render byte-identically — that is what makes a
+  // resumed report equal an uninterrupted one.
+  EXPECT_EQ(render_run_report("t", {done.record}),
+            render_run_report("t", {point.record}));
+
+  const auto& failed = replay.points.at({"164.gzip", "orig"});
+  EXPECT_EQ(failed.state, JournalReplay::State::kFailed);
+  ASSERT_TRUE(failed.has_failure);
+  EXPECT_EQ(failed.failure.status, "quarantined");
+  EXPECT_EQ(failed.failure.error, fail.error);
+  EXPECT_EQ(failed.failure.attempts, 3u);
+
+  // Queued, never claimed: runs again on resume.
+  EXPECT_EQ(replay.points.at({"175.vpr", "orig"}).state,
+            JournalReplay::State::kQueued);
+}
+
+TEST(Journal, TornTrailingLineIsDroppedAndCutOnReopen) {
+  TempDir dir("torn");
+  const std::string path = journal_path(dir.str());
+  {
+    SweepJournal journal(path);
+    journal.queued({{"181.mcf", "orig"}});
+    journal.running({"181.mcf", "orig"});
+  }
+  const std::string intact = read_file(path);
+  // Simulate a crash mid-append: half a line, no trailing newline.
+  write_file_raw(path, intact + "{\"ev\":\"done\",\"workload\":\"181");
+
+  const JournalReplay replay = JournalReplay::load(path);
+  EXPECT_EQ(replay.valid_bytes, intact.size());
+  ASSERT_EQ(replay.warnings.size(), 1u);
+  EXPECT_NE(replay.warnings[0].find("torn"), std::string::npos);
+  // The torn "done" never happened: the point is back to queued (its
+  // "running" owner — this pid — does not survive a replay either).
+  EXPECT_EQ(replay.points.at({"181.mcf", "orig"}).state,
+            JournalReplay::State::kQueued);
+
+  // The resume path reopens truncated to the intact prefix.
+  { SweepJournal journal(path, replay.valid_bytes); }
+  EXPECT_EQ(read_file(path), intact);
+  EXPECT_TRUE(JournalReplay::load(path).warnings.empty());
+}
+
+TEST(Journal, CorruptMidFileLineCostsOnePointNotTheJournal) {
+  TempDir dir("midcorrupt");
+  const std::string path = journal_path(dir.str());
+  {
+    SweepJournal journal(path);
+    journal.queued({{"181.mcf", "orig"}, {"164.gzip", "orig"}});
+  }
+  std::string content = read_file(path);
+  content[10] ^= 0x40;  // bit-flip inside the first line
+  write_file_raw(path, content);
+
+  const JournalReplay replay = JournalReplay::load(path);
+  ASSERT_EQ(replay.warnings.size(), 1u);
+  EXPECT_NE(replay.warnings[0].find("integrity"), std::string::npos);
+  // Entries after the corrupt line still replay, and the corrupt line is
+  // NOT truncated away — every complete line stays durable.
+  EXPECT_EQ(replay.points.size(), 1u);
+  EXPECT_EQ(replay.points.count({"164.gzip", "orig"}), 1u);
+  EXPECT_EQ(replay.valid_bytes, content.size());
+}
+
+TEST(Journal, DeadOwnerIsReclaimedSilently) {
+  TempDir dir("stale");
+  const std::string path = journal_path(dir.str());
+  {
+    SweepJournal journal(path);
+    journal.queued({{"181.mcf", "orig"}});
+    journal.running({"181.mcf", "orig"});
+  }
+  // Rewrite the running entry's pid to one that cannot exist (beyond
+  // pid_max), preserving the line's integrity seal.
+  std::string content = read_file(path);
+  const std::string self = "\"pid\":" + std::to_string(::getpid());
+  const size_t at = content.find(self);
+  ASSERT_NE(at, std::string::npos);
+  content.replace(at, self.size(), "\"pid\":999999999");
+  // Re-seal the edited line.
+  const size_t line_start = content.rfind('\n', at) + 1;
+  std::string line = content.substr(line_start);
+  const size_t digest_at = line.find("fnv1a64:");
+  ASSERT_NE(digest_at, std::string::npos);
+  line.replace(digest_at + 8, 16, std::string(16, '0'));
+  line = seal_integrity(std::move(line));
+  content = content.substr(0, line_start) + line;
+  write_file_raw(path, content);
+
+  const JournalReplay replay = JournalReplay::load(path);
+  EXPECT_TRUE(replay.warnings.empty());  // dead owner: silent reclaim
+  EXPECT_EQ(replay.points.at({"181.mcf", "orig"}).state,
+            JournalReplay::State::kQueued);
+
+  // A live foreign owner (pid 1 always exists) is reclaimed with a warning.
+  const size_t fake = content.find("\"pid\":999999999");
+  content.replace(fake, std::string("\"pid\":999999999").size(), "\"pid\":1");
+  const size_t ls = content.rfind('\n', fake) + 1;
+  std::string line2 = content.substr(ls);
+  const size_t d2 = line2.find("fnv1a64:");
+  line2.replace(d2 + 8, 16, std::string(16, '0'));
+  write_file_raw(path, content.substr(0, ls) + seal_integrity(std::move(line2)));
+
+  const JournalReplay foreign = JournalReplay::load(path);
+  ASSERT_EQ(foreign.warnings.size(), 1u);
+  EXPECT_NE(foreign.warnings[0].find("stale lock"), std::string::npos);
+  EXPECT_EQ(foreign.points.at({"181.mcf", "orig"}).state,
+            JournalReplay::State::kQueued);
+}
+
+TEST(Artifacts, RunReportIsSealedAndTamperEvident) {
+  TempDir dir("sealed");
+  ExperimentRunner runner(kParams, std::string());
+  runner.run("181.mcf", "orig", orig1());
+  const std::string path = dir.str() + "/report.json";
+  runner.write_report(path, "t");
+
+  std::string content = read_file(path);
+  EXPECT_EQ(check_integrity(content), IntegrityStatus::kSealed);
+  content[content.size() / 2] ^= 0x01;
+  EXPECT_EQ(check_integrity(content), IntegrityStatus::kMismatch);
+  EXPECT_EQ(check_integrity("{\"no\":\"seal\"}"), IntegrityStatus::kUnsealed);
+}
+
+TEST(Artifacts, BitFlippedCacheEntryIsQuarantinedAndHealed) {
+  TempDir dir("bitflip");
+  ExperimentRunner first(kParams, dir.str());
+  const Cycle cycles = first.run("181.mcf", "orig", orig1()).sim.cycles;
+
+  ResultCache cache(dir.str());
+  const std::string path =
+      cache.entry_path(ResultCache::describe("181.mcf", kParams, orig1()));
+  std::string content = read_file(path);
+  ASSERT_EQ(check_integrity(content), IntegrityStatus::kSealed);
+  content[content.size() / 3] ^= 0x04;  // single bit flip mid-document
+  write_file_raw(path, content);
+
+  // The poisoned entry must never be served: quarantined + recomputed.
+  ExperimentRunner second(kParams, dir.str());
+  EXPECT_EQ(second.run("181.mcf", "orig", orig1()).sim.cycles, cycles);
+  EXPECT_EQ(second.records().size(), 1u);  // fresh simulation, not a hit
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+
+  // The recompute healed the slot: a third runner is a disk hit again.
+  ExperimentRunner third(kParams, dir.str());
+  EXPECT_EQ(third.run("181.mcf", "orig", orig1()).sim.cycles, cycles);
+  EXPECT_EQ(third.records().size(), 0u);
+}
+
+TEST(Artifacts, TruncatedCacheEntryIsQuarantined) {
+  TempDir dir("cachetrunc");
+  ExperimentRunner first(kParams, dir.str());
+  first.run("181.mcf", "orig", orig1());
+
+  ResultCache cache(dir.str());
+  const std::string path =
+      cache.entry_path(ResultCache::describe("181.mcf", kParams, orig1()));
+  ASSERT_EQ(::truncate(path.c_str(), 40), 0);
+
+  EXPECT_EQ(cache.load(ResultCache::describe("181.mcf", kParams, orig1())),
+            std::nullopt);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+}
+
+TEST(Env, MalformedSettingsAggregateIntoOneError) {
+  ::setenv("WECSIM_RETRIES", "abc", 1);
+  ::setenv("WECSIM_RETRY_BACKOFF_MS", "50ms", 1);
+  ::setenv("WECSIM_POINT_TIMEOUT", "-3", 1);
+  ::setenv("WECSIM_JOBS", "0", 1);
+  ::setenv("WECSIM_RESUME", "maybe", 1);
+  std::string message;
+  try {
+    ExperimentRunner runner(kParams, std::string());
+  } catch (const SimError& e) {
+    message = e.what();
+  }
+  ::unsetenv("WECSIM_RETRIES");
+  ::unsetenv("WECSIM_RETRY_BACKOFF_MS");
+  ::unsetenv("WECSIM_POINT_TIMEOUT");
+  ::unsetenv("WECSIM_JOBS");
+  ::unsetenv("WECSIM_RESUME");
+  ASSERT_FALSE(message.empty()) << "malformed env must throw";
+  EXPECT_NE(message.find("5 invalid WECSIM_*"), std::string::npos) << message;
+  EXPECT_NE(message.find("WECSIM_RETRIES"), std::string::npos) << message;
+  EXPECT_NE(message.find("WECSIM_RETRY_BACKOFF_MS"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("WECSIM_POINT_TIMEOUT"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("WECSIM_JOBS"), std::string::npos) << message;
+  EXPECT_NE(message.find("WECSIM_RESUME"), std::string::npos) << message;
+}
+
+TEST(Env, TrailingGarbageAndRangeViolationsAreRejected) {
+  std::vector<std::string> errors;
+  ::setenv("WECSIM_RETRIES", "3x", 1);
+  EXPECT_EQ(parse_env_u32("WECSIM_RETRIES", 7, 0, 100, &errors), 7u);
+  ::setenv("WECSIM_RETRIES", "101", 1);
+  EXPECT_EQ(parse_env_u32("WECSIM_RETRIES", 7, 0, 100, &errors), 7u);
+  ::setenv("WECSIM_RETRIES", "-1", 1);
+  EXPECT_EQ(parse_env_u32("WECSIM_RETRIES", 7, 0, 100, &errors), 7u);
+  ::setenv("WECSIM_RETRIES", "100", 1);
+  EXPECT_EQ(parse_env_u32("WECSIM_RETRIES", 7, 0, 100, &errors), 100u);
+  ::unsetenv("WECSIM_RETRIES");
+  EXPECT_EQ(parse_env_u32("WECSIM_RETRIES", 7, 0, 100, &errors), 7u);
+  EXPECT_EQ(errors.size(), 3u);
+}
+
+// In-process interrupt: a drain stopped by request_sweep_interrupt() leaves
+// unfinished points queued in the journal and marks the runner interrupted;
+// a resumed runner finishes the sweep with a byte-identical report.
+TEST(Recovery, InterruptedSweepResumesByteIdentical) {
+  TempDir dir("interrupt");
+  const std::vector<std::string> names = {"181.mcf", "164.gzip", "175.vpr"};
+
+  {
+    ParallelExperimentRunner first(kParams, /*jobs=*/2, std::string());
+    first.set_state_dir(dir.str());
+    // Phase 1: two points finish and land in the journal.
+    first.submit(names[0], "orig", orig1());
+    first.submit(names[1], "orig", orig1());
+    first.drain();
+    EXPECT_FALSE(first.interrupted());
+
+    // Phase 2: the interrupt arrives before any worker claims the rest.
+    request_sweep_interrupt();
+    first.submit(names[2], "orig", orig1());
+    first.drain();
+    EXPECT_TRUE(first.interrupted());
+    EXPECT_EQ(first.pending(), 1u);  // left queued for a resume
+    EXPECT_EQ(first.records().size(), 2u);
+
+    // The partial report is sealed and marked interrupted.
+    const std::string partial = dir.str() + "/partial.json";
+    first.write_report(partial, "t");
+    const std::string content = read_file(partial);
+    EXPECT_EQ(check_integrity(content), IntegrityStatus::kSealed);
+    EXPECT_NE(content.find("\"interrupted\":true"), std::string::npos);
+    clear_sweep_interrupt();
+  }
+
+  // Resume in a fresh runner: replays the two finished points, simulates
+  // the third.
+  ParallelExperimentRunner resumed(kParams, /*jobs=*/2, std::string());
+  resumed.set_state_dir(dir.str());
+  resumed.set_resume(true);
+  for (const auto& name : names) resumed.submit(name, "orig", orig1());
+  resumed.drain();
+  EXPECT_FALSE(resumed.interrupted());
+  EXPECT_EQ(resumed.records().size(), 3u);
+
+  // Reference: the same sweep, never interrupted, no journal.
+  ParallelExperimentRunner clean(kParams, /*jobs=*/2, std::string());
+  clean.set_state_dir(std::string());
+  for (const auto& name : names) clean.submit(name, "orig", orig1());
+  clean.drain();
+  EXPECT_EQ(render_run_report("t", resumed.records()),
+            render_run_report("t", clean.records()));
+}
+
+// The acceptance scenario: fork a sweep child, SIGKILL it at a seeded
+// mid-sweep fault point (PR 3's worker_crash fault escalated via arg=9),
+// resume in the parent, and diff the merged report against a clean run.
+TEST(Recovery, KilledSweepResumesByteIdentical) {
+  TempDir dir("kill");
+  const std::vector<std::string> names = {"181.mcf", "164.gzip", "175.vpr"};
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Serial drain for a deterministic kill point: 181.mcf completes, then
+    // the injected crash raises SIGKILL while 164.gzip is "running".
+    ParallelExperimentRunner sweep(kParams, /*jobs=*/1, std::string());
+    sweep.set_state_dir(dir.str());
+    sweep.set_fault_plan(FaultPlan::parse(
+        "worker_crash:every=1,count=1,match=164.gzip,arg=9"));
+    for (const auto& name : names) sweep.submit(name, "orig", orig1());
+    sweep.drain();
+    ::_exit(42);  // unreachable if the kill fired
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited " << WEXITSTATUS(status);
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+
+  // The journal survived the kill: one point done, one mid-flight.
+  const JournalReplay replay = JournalReplay::load(journal_path(dir.str()));
+  EXPECT_EQ(replay.points.at({"181.mcf", "orig"}).state,
+            JournalReplay::State::kDone);
+  EXPECT_EQ(replay.points.at({"164.gzip", "orig"}).state,
+            JournalReplay::State::kQueued);  // dead owner reclaimed
+
+  // Resume (no fault plan — the "machine" came back healthy).
+  ParallelExperimentRunner resumed(kParams, /*jobs=*/2, std::string());
+  resumed.set_state_dir(dir.str());
+  resumed.set_resume(true);
+  for (const auto& name : names) resumed.submit(name, "orig", orig1());
+  resumed.drain();
+  EXPECT_FALSE(resumed.interrupted());
+  EXPECT_EQ(resumed.records().size(), 3u);
+  EXPECT_TRUE(resumed.failures().empty());
+
+  ParallelExperimentRunner clean(kParams, /*jobs=*/2, std::string());
+  clean.set_state_dir(std::string());
+  for (const auto& name : names) clean.submit(name, "orig", orig1());
+  clean.drain();
+  EXPECT_EQ(render_run_report("t", resumed.records()),
+            render_run_report("t", clean.records()));
+}
+
+// Quarantined points replay too: a resume does not retry a point the journal
+// says failed persistently.
+TEST(Recovery, FailedPointsReplayWithoutRerunning) {
+  TempDir dir("failedreplay");
+  {
+    ParallelExperimentRunner first(kParams, /*jobs=*/2, std::string());
+    first.set_state_dir(dir.str());
+    first.set_fault_plan(
+        FaultPlan::parse("worker_crash:every=1,match=164.gzip"));
+    first.set_failsoft_limits(/*max_attempts=*/2, /*backoff_ms=*/0);
+    first.submit("181.mcf", "orig", orig1());
+    first.submit("164.gzip", "orig", orig1());
+    first.drain();
+    EXPECT_EQ(first.quarantined_count(), 1u);
+  }
+
+  ParallelExperimentRunner resumed(kParams, /*jobs=*/2, std::string());
+  resumed.set_state_dir(dir.str());
+  resumed.set_resume(true);
+  // No fault plan: if the point were re-run it would now succeed — the
+  // journal replay must win instead.
+  resumed.submit("181.mcf", "orig", orig1());
+  resumed.submit("164.gzip", "orig", orig1());
+  resumed.drain();
+  // 181.mcf replays (its record rejoins the report); 164.gzip replays as
+  // quarantined without being retried.
+  EXPECT_EQ(resumed.records().size(), 1u);
+  EXPECT_EQ(resumed.quarantined_count(), 1u);
+  ASSERT_EQ(resumed.failures().size(), 1u);
+  EXPECT_EQ(resumed.failures()[0].workload, "164.gzip");
+  EXPECT_EQ(resumed.failures()[0].status, "quarantined");
+}
+
+}  // namespace
+}  // namespace wecsim
