@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Compare two wecsim benchmark reports and flag performance regressions.
+
+Accepts any pair of wecsim.bench_timing documents (BENCH_*.json,
+<bench>.timing.json) or wecsim.run_report documents; points are keyed by
+(workload, config) and matched across the two files.
+
+Metrics:
+  --metric=cycles (default)  simulated cycles per point. Deterministic and
+                             host-independent, so the default threshold is
+                             0%%: any cycle growth is a regression.
+  --metric=cps               host simulation throughput (cycles/second).
+                             Noisy; default threshold 20%%.
+
+Exit codes: 0 = no regressions, 1 = regressions (or points missing from the
+candidate), 2 = usage or parse error.
+
+Used by the perf-regression ctest label (scripts/perf_regression.sh) against
+the committed baseline under bench/baselines/, and by scripts/obs_smoke.sh
+self-vs-self.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_points(path):
+    """Returns (doc, {(workload, config): point_dict})."""
+    with open(path, "rb") as f:
+        doc = json.load(f)
+    schema = doc.get("schema")
+    points = {}
+    if schema == "wecsim.bench_timing":
+        for run in doc.get("runs", []):
+            key = (run["workload"], run["config"])
+            points[key] = {
+                "cycles": run["cycles"],
+                "cps": run.get("cycles_per_second", 0.0),
+            }
+    elif schema == "wecsim.run_report":
+        for run in doc.get("runs", []):
+            key = (run["workload"], run["config"])
+            points[key] = {
+                "cycles": run["result"]["cycles"],
+                # Run reports carry no wall-clock by design.
+                "cps": 0.0,
+            }
+    else:
+        raise ValueError(f"{path}: unsupported schema {schema!r}")
+    if not points:
+        raise ValueError(f"{path}: no comparable points")
+    return doc, points
+
+
+def verify_integrity(path):
+    """Checks the fnv1a64 integrity seal the C++ side writes."""
+    with open(path, "rb") as f:
+        blob = f.read()
+    marker = b'"integrity":"fnv1a64:'
+    pos = blob.rfind(marker)
+    if pos < 0:
+        raise ValueError(f"{path}: no integrity seal")
+    start = pos + len(marker)
+    digest = blob[start : start + 16]
+    # The digest is computed over the document with the seal field zeroed.
+    zeroed = blob[:start] + b"0" * 16 + blob[start + 16 :]
+    h = 0xCBF29CE484222325
+    for byte in zeroed:
+        h = ((h ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    if digest != b"%016x" % h:
+        raise ValueError(f"{path}: integrity digest mismatch")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff two wecsim benchmark reports"
+    )
+    parser.add_argument("baseline", help="baseline report (JSON)")
+    parser.add_argument("candidate", help="candidate report (JSON)")
+    parser.add_argument(
+        "--metric",
+        choices=["cycles", "cps"],
+        default="cycles",
+        help="what to compare (default: cycles)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="regression tolerance in percent "
+        "(default: 0 for cycles, 20 for cps)",
+    )
+    parser.add_argument(
+        "--verify-integrity",
+        action="store_true",
+        help="check both files' fnv1a64 integrity seals first",
+    )
+    args = parser.parse_args()
+    threshold = args.threshold
+    if threshold is None:
+        threshold = 0.0 if args.metric == "cycles" else 20.0
+
+    try:
+        if args.verify_integrity:
+            verify_integrity(args.baseline)
+            verify_integrity(args.candidate)
+        _, base = load_points(args.baseline)
+        _, cand = load_points(args.candidate)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
+
+    # For cycles, smaller is better; for cps, larger is better. Either way
+    # speedup > 1 means the candidate improved.
+    def speedup(b, c):
+        if args.metric == "cycles":
+            return b["cycles"] / c["cycles"] if c["cycles"] else math.inf
+        return c["cps"] / b["cps"] if b["cps"] else math.inf
+
+    rows = []
+    regressions = []
+    for key in sorted(base):
+        workload, config = key
+        if key not in cand:
+            regressions.append(f"{workload}|{config}: missing from candidate")
+            continue
+        s = speedup(base[key], cand[key])
+        rows.append((workload, config, base[key], cand[key], s))
+        # speedup 1.0 = parity; below 1/(1+threshold) = beyond tolerance.
+        if s < 1.0 / (1.0 + threshold / 100.0) - 1e-12:
+            regressions.append(
+                f"{workload}|{config}: {args.metric} regressed "
+                f"{100.0 * (1.0 / s - 1.0):.2f}% (threshold {threshold:g}%)"
+            )
+    extra = sorted(set(cand) - set(base))
+
+    unit = args.metric
+    print(f"baseline:  {args.baseline}")
+    print(f"candidate: {args.candidate}")
+    print(f"metric: {unit} (threshold {threshold:g}%)")
+    print(f"{'workload':<16} {'config':<24} {'baseline':>14} "
+          f"{'candidate':>14} {'speedup':>8}")
+    for workload, config, b, c, s in rows:
+        bval = b["cycles"] if unit == "cycles" else b["cps"]
+        cval = c["cycles"] if unit == "cycles" else c["cps"]
+        print(f"{workload:<16} {config:<24} {bval:>14.0f} {cval:>14.0f} "
+              f"{s:>8.3f}")
+    if rows:
+        geo = math.exp(sum(math.log(s) for *_, s in rows if s > 0) / len(rows))
+        print(f"geometric-mean speedup: {geo:.3f}")
+    for key in extra:
+        print(f"note: {key[0]}|{key[1]} only in candidate (ignored)")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s):", file=sys.stderr)
+        for r in regressions:
+            print(f"  - {r}", file=sys.stderr)
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

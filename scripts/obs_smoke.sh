@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Observability smoke: end-to-end check of the flight-recorder layer.
+#   1. run the obs-smoke ctest label (progress/profile schema + A/B tests)
+#   2. run a tiny real sweep with telemetry + profiling on, then assert
+#      - every emitted wecsim.progress stream validates (wecsim-top --check)
+#      - the timing side-channel carries the profile phase breakdown
+#   3. run bench_compare self-vs-self on the emitted timing report -> the
+#      gate must report zero regressions on identical input
+#
+# Usage: scripts/obs_smoke.sh [build-dir]   (configures+builds when omitted)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build="${1:-}"
+if [[ -z "$build" ]]; then
+  cmake --preset release
+  cmake --build --preset release -j "$(nproc)" \
+    --target progress_schema_test profile_test bench_harness_scaling \
+    wecsim-top
+  build=build
+fi
+
+(cd "$build" && ctest -L obs-smoke --output-on-failure -j "$(nproc)")
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "--- tiny sweep with telemetry + profiling ---"
+WECSIM_PROGRESS_DIR="$tmp" WECSIM_PROFILE=1 WECSIM_REPORT_DIR="$tmp" \
+  "$build/bench/bench_harness_scaling" --smoke --jobs=2
+
+streams=("$tmp"/*.progress.jsonl)
+if [[ ! -e "${streams[0]}" ]]; then
+  echo "FAIL: no progress stream emitted under $tmp" >&2
+  exit 1
+fi
+for stream in "${streams[@]}"; do
+  "$build/tools/wecsim-top" --check "$stream"
+done
+"$build/tools/wecsim-top" --once "$tmp"
+
+if ! grep -q '"profile"' "$tmp/BENCH_harness.json"; then
+  echo "FAIL: no profile section in $tmp/BENCH_harness.json" >&2
+  exit 1
+fi
+echo "profile section present in BENCH_harness.json"
+
+echo "--- bench_compare self-vs-self ---"
+python3 scripts/bench_compare.py --verify-integrity \
+  "$tmp/BENCH_harness.json" "$tmp/BENCH_harness.json"
+
+echo "obs smoke passed"

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Perf-regression gate: runs the cycle-skip core smoke grid and diffs its
+# deterministic simulated-cycle counts against the committed baseline under
+# bench/baselines/. Simulated cycles are host-independent, so the gate runs
+# with a 0% threshold — any cycle growth on a gated point fails the build.
+#
+# Wired as the `perf-regression` ctest label (bench/CMakeLists.txt); this
+# script is the developer entry point that also configures and builds.
+#
+# Usage: scripts/perf_regression.sh [build-dir]
+#
+# To regenerate the baseline after an intentional perf-relevant change:
+#   WECSIM_REPORT_DIR=bench/baselines <build>/bench/bench_micro --core=smoke
+#   mv bench/baselines/BENCH_core.json bench/baselines/BENCH_core.smoke.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build="${1:-}"
+if [[ -z "$build" ]]; then
+  cmake --preset release
+  cmake --build --preset release -j "$(nproc)" --target bench_micro
+  build=build
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+WECSIM_REPORT_DIR="$tmp" "$build/bench/bench_micro" --core=smoke
+python3 scripts/bench_compare.py --metric=cycles \
+  bench/baselines/BENCH_core.smoke.json "$tmp/BENCH_core.json"

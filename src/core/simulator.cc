@@ -3,11 +3,15 @@
 #include <cstdlib>
 
 #include "common/error.h"
+#include "obs/profile.h"
 
 namespace wecsim {
 
 Simulator::Simulator(const Program& program, const StaConfig& config)
     : program_(program), config_(config) {
+  // Standalone users (unit tests, bench --core) get lenient WECSIM_PROFILE
+  // parsing here; the sweep harness parses it strictly first, which wins.
+  init_profile_from_env();
   memory_.load_program(program);
   faults_ = std::make_unique<FaultSession>(FaultPlan::from_env());
   if (const char* check = std::getenv("WECSIM_CHECK");

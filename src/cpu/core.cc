@@ -8,6 +8,7 @@
 #include "common/error.h"
 #include "fault/fault.h"
 #include "isa/semantics.h"
+#include "obs/profile.h"
 
 namespace wecsim {
 
@@ -94,12 +95,27 @@ void OooCore::tick(Cycle now) {
   if (!active_) return;
   hist_rob_occupancy_.record(rob_.size());
   fu_used_.fill(0);
-  do_recoveries(now);
-  do_commit(now);
+  {
+    WEC_PROFILE_SCOPE(ProfPhase::kCoreRecover);
+    do_recoveries(now);
+  }
+  {
+    WEC_PROFILE_SCOPE(ProfPhase::kCoreCommit);
+    do_commit(now);
+  }
   if (!active_) return;  // thread ended this cycle
-  do_issue(now);
-  do_dispatch(now);
-  do_fetch(now);
+  {
+    WEC_PROFILE_SCOPE(ProfPhase::kCoreIssue);
+    do_issue(now);
+  }
+  {
+    WEC_PROFILE_SCOPE(ProfPhase::kCoreRename);
+    do_dispatch(now);
+  }
+  {
+    WEC_PROFILE_SCOPE(ProfPhase::kCoreFetch);
+    do_fetch(now);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -445,6 +461,7 @@ void OooCore::resolve_control(RobEntry& entry, Cycle now) {
 
 void OooCore::execute_entry(RobEntry& entry, Cycle now,
                             uint32_t* mem_ports_used) {
+  WEC_PROFILE_SCOPE(ProfPhase::kCoreExec);
   const Instruction& instr = entry.instr;
   const OpcodeInfo& info = opcode_info(instr.op);
   entry.issued = true;

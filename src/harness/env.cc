@@ -77,6 +77,22 @@ bool parse_env_flag(const char* name, bool fallback,
   return fallback;
 }
 
+ObsEnv parse_obs_env(std::vector<std::string>* errors) {
+  ObsEnv obs;
+  if (const char* dir = std::getenv("WECSIM_PROGRESS_DIR")) {
+    obs.progress_dir = dir;
+  }
+  if (const char* fifo = std::getenv("WECSIM_PROGRESS_FIFO")) {
+    obs.progress_fifo = fifo;
+  }
+  obs.interval_ms =
+      parse_env_u32("WECSIM_PROGRESS_INTERVAL_MS", 500, 10, 60000, errors);
+  const char* profile = std::getenv("WECSIM_PROFILE");
+  obs.profile_set = profile != nullptr && *profile != '\0';
+  obs.profile = parse_env_flag("WECSIM_PROFILE", false, errors);
+  return obs;
+}
+
 void throw_if_env_errors(const std::vector<std::string>& errors) {
   if (errors.empty()) return;
   std::string what = std::to_string(errors.size()) +

@@ -31,4 +31,20 @@ bool parse_env_flag(const char* name, bool fallback,
 /// Throws one SimError listing every collected problem; no-op when empty.
 void throw_if_env_errors(const std::vector<std::string>& errors);
 
+/// Observability knobs (flight recorder), parsed strictly alongside the
+/// retry/timeout/jobs variables so one aggregated SimError names every
+/// misconfigured WECSIM_* variable.
+struct ObsEnv {
+  std::string progress_dir;    // WECSIM_PROGRESS_DIR (JSONL stream directory)
+  std::string progress_fifo;   // WECSIM_PROGRESS_FIFO (optional named pipe);
+                               // telemetry is off when both are empty
+  uint32_t interval_ms = 500;  // WECSIM_PROGRESS_INTERVAL_MS in [10, 60000]
+  bool profile = false;        // WECSIM_PROFILE (strict boolean)
+  bool profile_set = false;    // WECSIM_PROFILE present in the environment
+};
+
+/// Reads the WECSIM_PROGRESS* / WECSIM_PROFILE variables, appending any
+/// violations to *errors (same contract as the parse_env_* helpers).
+ObsEnv parse_obs_env(std::vector<std::string>* errors);
+
 }  // namespace wecsim

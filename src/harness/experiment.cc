@@ -9,7 +9,9 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "harness/env.h"
+#include "harness/progress.h"
 #include "harness/result_cache.h"
+#include "obs/profile.h"
 
 namespace wecsim {
 
@@ -33,7 +35,15 @@ ExperimentRunner::ExperimentRunner(const WorkloadParams& params,
   point_timeout_ = parse_env_seconds("WECSIM_POINT_TIMEOUT", 0.0, &env_errors);
   parse_env_u32("WECSIM_JOBS", 0, 1, 4096, &env_errors);
   parse_env_flag("WECSIM_RESUME", false, &env_errors);
+  const ObsEnv obs = parse_obs_env(&env_errors);
   throw_if_env_errors(env_errors);
+  // The harness is the strict authority on WECSIM_PROFILE; this overrides
+  // any earlier lenient init_profile_from_env().
+  if (obs.profile_set) set_profile_enabled(obs.profile);
+  if (const auto options = ProgressReporter::options_from(obs);
+      options.enabled()) {
+    progress_ = std::make_unique<ProgressReporter>(options);
+  }
   disk_cache_ = std::make_unique<ResultCache>(
       cache_dir.has_value() ? *cache_dir : ResultCache::dir_from_env());
 }
@@ -50,6 +60,7 @@ ExperimentRunner::PointOutcome ExperimentRunner::simulate_point(
     const std::string& workload_name, const std::string& key,
     const WorkloadParams& params, const StaConfig& config,
     const std::string& trace_dir, const FaultPlan& faults) {
+  WEC_PROFILE_SCOPE(ProfPhase::kHarnessSimulate);
   Workload w = make_workload(workload_name, params);
   Simulator sim(w.program, config);
   if (faults.any()) sim.set_fault_plan(faults);
@@ -185,15 +196,32 @@ const RunMeasurement* ExperimentRunner::try_run(
       disk_cache_->enabled()
           ? ResultCache::describe(workload_name, params_, config, fault_salt())
           : std::string();
+  const std::string point_name = workload_name + "|" + key;
   if (disk_cache_->enabled()) {
     if (auto cached = disk_cache_->load(description)) {
       // Disk hit: the measurement is served without simulating, and no
       // RunRecord is appended — records() counts fresh simulations only.
+      if (progress_ != nullptr) {
+        progress_->point_finished(point_name,
+                                  ProgressReporter::Outcome::kCached,
+                                  cached->sim.cycles, 0.0, 0);
+      }
       return &cache_.emplace(memo_key, std::move(*cached)).first->second;
     }
   }
 
+  if (progress_ != nullptr) progress_->point_started(point_name);
   PointAttempt attempt = run_point_failsoft(workload_name, key, config);
+  if (progress_ != nullptr) {
+    const uint32_t retries =
+        attempt.failure.attempts > 0 ? attempt.failure.attempts - 1 : 0;
+    progress_->point_finished(
+        point_name,
+        attempt.ok ? ProgressReporter::Outcome::kFresh
+                   : ProgressReporter::Outcome::kQuarantined,
+        attempt.ok ? attempt.out.m.sim.cycles : 0, attempt.out.m.run_seconds,
+        retries);
+  }
   record_attempt_failure(memo_key, attempt);
   if (!attempt.ok) return nullptr;
   if (disk_cache_->enabled()) disk_cache_->store(description, attempt.out.m);

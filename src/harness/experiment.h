@@ -35,6 +35,7 @@
 
 namespace wecsim {
 
+class ProgressReporter;
 class ResultCache;
 
 /// Thrown by run() when the requested point has been quarantined by the
@@ -187,6 +188,9 @@ class ExperimentRunner {
   double point_timeout_ = 0.0;  // WECSIM_POINT_TIMEOUT seconds; 0 = off
   std::string trace_dir_;  // from WECSIM_TRACE_DIR; empty = tracing off
   std::unique_ptr<ResultCache> disk_cache_;
+  // Live telemetry (harness/progress.h); null unless WECSIM_PROGRESS_DIR or
+  // WECSIM_PROGRESS_FIFO is set. Pure side-channel: feeds nothing back.
+  std::unique_ptr<ProgressReporter> progress_;
   std::chrono::steady_clock::time_point start_;
 };
 

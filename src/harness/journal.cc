@@ -13,6 +13,7 @@
 #include "common/error.h"
 #include "obs/integrity.h"
 #include "obs/json.h"
+#include "obs/profile.h"
 
 namespace wecsim {
 
@@ -65,6 +66,7 @@ SweepJournal::~SweepJournal() {
 }
 
 void SweepJournal::append_lines_locked(const std::vector<std::string>& lines) {
+  WEC_PROFILE_SCOPE(ProfPhase::kHarnessJournal);
   std::string batch;
   for (const std::string& line : lines) batch += line;
   size_t off = 0;

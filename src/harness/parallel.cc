@@ -11,6 +11,7 @@
 
 #include "common/error.h"
 #include "harness/env.h"
+#include "harness/progress.h"
 #include "harness/result_cache.h"
 #include "harness/state_dir.h"
 
@@ -197,6 +198,20 @@ void ParallelExperimentRunner::ensure_journal() {
 void ParallelExperimentRunner::drain() {
   if (pending_.empty()) return;
   ensure_journal();
+  if (progress_ != nullptr) progress_->sweep_begin(pending_.size(), jobs_);
+
+  // Telemetry helper: reports one point's terminal state, deriving the
+  // retry count from the attempt bookkeeping. A null reporter is a no-op.
+  const auto notify_finished = [this](const Job& job,
+                                      const PointAttempt& attempt,
+                                      ProgressReporter::Outcome outcome) {
+    if (progress_ == nullptr) return;
+    const uint32_t retries =
+        attempt.failure.attempts > 0 ? attempt.failure.attempts - 1 : 0;
+    progress_->point_finished(job.workload + "|" + job.key, outcome,
+                              attempt.ok ? attempt.out.m.sim.cycles : 0,
+                              attempt.out.m.run_seconds, retries);
+  };
 
   struct JobOutcome {
     bool fresh = false;  // simulated this drain (vs served from disk cache)
@@ -234,6 +249,12 @@ void ParallelExperimentRunner::drain() {
       }
       // kQueued / kRunning (stale lock already demoted by the loader): the
       // point runs again below.
+      if (out.replayed) {
+        notify_finished(pending_[i], out.attempt,
+                        out.attempt.ok
+                            ? ProgressReporter::Outcome::kReplayed
+                            : ProgressReporter::Outcome::kQuarantined);
+      }
     }
   }
 
@@ -297,10 +318,17 @@ void ParallelExperimentRunner::drain() {
           journal_->done(point, out.attempt.out.m, /*fresh=*/false, nullptr,
                          nullptr);
         }
+        notify_finished(job, out.attempt, ProgressReporter::Outcome::kCached);
         return;
       }
     }
+    if (progress_ != nullptr) {
+      progress_->point_started(job.workload + "|" + job.key);
+    }
     out.attempt = run_point_failsoft(job.workload, job.key, job.config);
+    notify_finished(job, out.attempt,
+                    out.attempt.ok ? ProgressReporter::Outcome::kFresh
+                                   : ProgressReporter::Outcome::kQuarantined);
     if (!out.attempt.ok) {
       if (journal_ != nullptr) journal_->failed(point, out.attempt.failure);
       return;
@@ -346,11 +374,20 @@ void ParallelExperimentRunner::drain() {
           journal_->done(point, primary.attempt.out.m, /*fresh=*/false,
                          nullptr, nullptr);
         }
+        notify_finished(job, primary.attempt,
+                        ProgressReporter::Outcome::kCached);
         continue;
       }
       // The primary failed, so nothing reached the disk cache; serial
       // execution would give this point its own independent attempt.
+      if (progress_ != nullptr) {
+        progress_->point_started(job.workload + "|" + job.key);
+      }
       out.attempt = run_point_failsoft(job.workload, job.key, job.config);
+      notify_finished(job, out.attempt,
+                      out.attempt.ok
+                          ? ProgressReporter::Outcome::kFresh
+                          : ProgressReporter::Outcome::kQuarantined);
       if (out.attempt.ok && disk_cache_->enabled()) {
         disk_cache_->store(descriptions[i], out.attempt.out.m);
       }
@@ -387,6 +424,7 @@ void ParallelExperimentRunner::drain() {
   }
   pending_ = std::move(remaining);
   queued_ = std::move(remaining_keys);
+  if (progress_ != nullptr) progress_->sweep_end();
 }
 
 }  // namespace wecsim

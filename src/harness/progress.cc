@@ -1,0 +1,277 @@
+#include "harness/progress.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "harness/env.h"
+#include "obs/json.h"
+
+namespace wecsim {
+
+const char* progress_outcome_name(ProgressReporter::Outcome outcome) {
+  switch (outcome) {
+    case ProgressReporter::Outcome::kFresh:
+      return "fresh";
+    case ProgressReporter::Outcome::kCached:
+      return "cached";
+    case ProgressReporter::Outcome::kReplayed:
+      return "replayed";
+    case ProgressReporter::Outcome::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+ProgressReporter::Options ProgressReporter::options_from(const ObsEnv& env) {
+  Options options;
+  options.dir = env.progress_dir;
+  options.fifo = env.progress_fifo;
+  options.interval_ms = env.interval_ms;
+  return options;
+}
+
+namespace {
+
+/// Every event line starts with the same envelope so each line validates
+/// independently of the rest of the stream.
+void envelope(JsonWriter* w, const char* event) {
+  w->begin_object();
+  w->kv("schema", "wecsim.progress");
+  w->kv("schema_version", kProgressSchemaVersion);
+  w->kv("event", event);
+}
+
+}  // namespace
+
+ProgressReporter::ProgressReporter(const Options& options)
+    : options_(options), start_(std::chrono::steady_clock::now()) {
+  if (!options_.dir.empty()) {
+    // One stream file per reporter: a process can host several runners
+    // (serial + parallel A/B benches), so the pid alone is not unique.
+    static std::atomic<uint64_t> next_stream{0};
+    stream_path_ = options_.dir + "/wecsim-" + std::to_string(::getpid()) +
+                   "-" + std::to_string(next_stream++) + ".progress.jsonl";
+    file_ = std::fopen(stream_path_.c_str(), "wb");
+    if (file_ == nullptr) {
+      std::fprintf(stderr,
+                   "[warn] progress stream not written: cannot open %s (%s)\n",
+                   stream_path_.c_str(), std::strerror(errno));
+      stream_path_.clear();
+    }
+  }
+  if (!options_.fifo.empty()) {
+    // O_RDWR keeps a read end open on our side, so open() never blocks
+    // waiting for a reader and writes never raise SIGPIPE; with O_NONBLOCK a
+    // full pipe returns EAGAIN and the line is dropped — telemetry must
+    // never stall the sweep.
+    fifo_fd_ = ::open(options_.fifo.c_str(), O_RDWR | O_NONBLOCK);
+    if (fifo_fd_ < 0) {
+      std::fprintf(stderr,
+                   "[warn] progress FIFO not written: cannot open %s (%s)\n",
+                   options_.fifo.c_str(), std::strerror(errno));
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  emit_start_locked();
+  if (file_ != nullptr || fifo_fd_ >= 0) {
+    emitter_ = std::thread([this] { heartbeat_loop(); });
+  }
+}
+
+ProgressReporter::~ProgressReporter() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (emitter_.joinable()) emitter_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // A final heartbeat before the finish line: even a sweep shorter than
+    // one interval yields a stream with at least one observable beat.
+    emit_heartbeat_locked();
+    emit_finish_locked();
+  }
+  if (file_ != nullptr) std::fclose(file_);
+  if (fifo_fd_ >= 0) ::close(fifo_fd_);
+}
+
+double ProgressReporter::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+void ProgressReporter::emit_locked(const std::string& line) {
+  if (file_ != nullptr) {
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+    std::fflush(file_);  // per-line flush keeps the stream tailable
+  }
+  if (fifo_fd_ >= 0) {
+    const std::string with_newline = line + "\n";
+    // One write per line: POSIX guarantees atomicity below PIPE_BUF, so a
+    // live reader never sees interleaved halves of two events.
+    const ssize_t n =
+        ::write(fifo_fd_, with_newline.data(), with_newline.size());
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && !fifo_warned_) {
+      fifo_warned_ = true;
+      std::fprintf(stderr, "[warn] progress FIFO write failed: %s\n",
+                   std::strerror(errno));
+    }
+  }
+}
+
+void ProgressReporter::emit_start_locked() {
+  JsonWriter w;
+  envelope(&w, "start");
+  w.kv("pid", static_cast<int64_t>(::getpid()));
+  w.kv("interval_ms", options_.interval_ms);
+  w.end_object();
+  emit_locked(w.str());
+}
+
+void ProgressReporter::emit_heartbeat_locked() {
+  size_t running = 0;
+  for (const WorkerState& ws : workers_) {
+    if (!ws.point.empty()) ++running;
+  }
+  // Serial runners never announce a total, so the best lower bound is what
+  // has been seen so far; pending is relative to that bound.
+  const size_t total = std::max(announced_, done_ + running);
+  const size_t pending = total - done_ - running;
+  const double cps =
+      sim_seconds_ > 0.0 ? static_cast<double>(sim_cycles_) / sim_seconds_
+                         : 0.0;
+  const double eta =
+      fresh_ > 0 && pending > 0
+          ? static_cast<double>(pending) * (sim_seconds_ / fresh_) /
+                std::max(1u, jobs_)
+          : 0.0;
+
+  JsonWriter w;
+  envelope(&w, "heartbeat");
+  w.kv("seq", seq_++);
+  w.kv("elapsed_seconds", elapsed_seconds());
+  w.kv("total", static_cast<uint64_t>(total));
+  w.kv("done", static_cast<uint64_t>(done_));
+  w.kv("running", static_cast<uint64_t>(running));
+  w.kv("pending", static_cast<uint64_t>(pending));
+  w.kv("quarantined", static_cast<uint64_t>(quarantined_));
+  w.kv("fresh", static_cast<uint64_t>(fresh_));
+  w.kv("cache_hits", static_cast<uint64_t>(cache_hits_));
+  w.kv("replayed", static_cast<uint64_t>(replayed_));
+  w.kv("retries", retries_);
+  w.kv("sim_cycles_total", sim_cycles_);
+  w.kv("sim_cycles_per_second", cps);
+  w.kv("eta_seconds", eta);
+  w.key("workers").begin_array();
+  const auto now = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    const WorkerState& ws = workers_[i];
+    w.begin_object();
+    w.kv("worker", static_cast<uint64_t>(i));
+    w.kv("state", ws.point.empty() ? "idle" : "running");
+    if (!ws.point.empty()) {
+      w.kv("point", ws.point);
+      w.kv("seconds",
+           std::chrono::duration<double>(now - ws.since).count());
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  emit_locked(w.str());
+}
+
+void ProgressReporter::emit_finish_locked() {
+  JsonWriter w;
+  envelope(&w, "finish");
+  w.kv("total", static_cast<uint64_t>(std::max(announced_, done_)));
+  w.kv("done", static_cast<uint64_t>(done_));
+  w.kv("quarantined", static_cast<uint64_t>(quarantined_));
+  w.kv("fresh", static_cast<uint64_t>(fresh_));
+  w.kv("cache_hits", static_cast<uint64_t>(cache_hits_));
+  w.kv("replayed", static_cast<uint64_t>(replayed_));
+  w.kv("retries", retries_);
+  w.kv("sim_cycles_total", sim_cycles_);
+  w.kv("wall_seconds", elapsed_seconds());
+  w.end_object();
+  emit_locked(w.str());
+}
+
+void ProgressReporter::heartbeat_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutdown_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                 [this] { return shutdown_; });
+    if (shutdown_) return;
+    emit_heartbeat_locked();
+  }
+}
+
+void ProgressReporter::sweep_begin(size_t points, unsigned jobs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  announced_ = done_ + points;
+  jobs_ = std::max(jobs_, jobs);
+  emit_heartbeat_locked();
+}
+
+void ProgressReporter::point_started(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] =
+      slot_of_.emplace(std::this_thread::get_id(), workers_.size());
+  if (inserted) workers_.emplace_back();
+  WorkerState& ws = workers_[it->second];
+  ws.point = point;
+  ws.since = std::chrono::steady_clock::now();
+}
+
+void ProgressReporter::point_finished(const std::string& point,
+                                      Outcome outcome, uint64_t cycles,
+                                      double run_seconds, uint32_t retries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = slot_of_.find(std::this_thread::get_id());
+      it != slot_of_.end() && workers_[it->second].point == point) {
+    workers_[it->second].point.clear();
+  }
+  ++done_;
+  retries_ += retries;
+  switch (outcome) {
+    case Outcome::kFresh:
+      ++fresh_;
+      sim_cycles_ += cycles;
+      sim_seconds_ += run_seconds;
+      break;
+    case Outcome::kCached:
+      ++cache_hits_;
+      break;
+    case Outcome::kReplayed:
+      ++replayed_;
+      break;
+    case Outcome::kQuarantined:
+      ++quarantined_;
+      break;
+  }
+  JsonWriter w;
+  envelope(&w, "point");
+  w.kv("point", point);
+  w.kv("outcome", progress_outcome_name(outcome));
+  w.kv("cycles", cycles);
+  w.kv("run_seconds", run_seconds);
+  w.kv("retries", retries);
+  w.end_object();
+  emit_locked(w.str());
+}
+
+void ProgressReporter::sweep_end() {
+  std::lock_guard<std::mutex> lock(mu_);
+  emit_heartbeat_locked();
+}
+
+}  // namespace wecsim

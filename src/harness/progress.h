@@ -1,0 +1,134 @@
+// Live sweep telemetry. A ProgressReporter is owned by an ExperimentRunner
+// and fed by the serial and parallel execution paths (and, via the replay
+// pre-pass, the resume journal). It emits a versioned `wecsim.progress`
+// JSONL stream — one self-describing event object per line — into
+// WECSIM_PROGRESS_DIR (one file per process) and, optionally, a named pipe
+// (WECSIM_PROGRESS_FIFO) for live consumers like `wecsim-top` or the future
+// wecsimd sweep farm.
+//
+// The stream is an observability side-channel in the same sense as the
+// timing report: it never feeds back into the sweep, and the canonical run
+// report stays byte-identical whether telemetry is on or off.
+//
+// Event grammar (every line carries schema/schema_version/event):
+//   start      once, when the reporter comes up: pid, interval_ms
+//   heartbeat  periodic (WECSIM_PROGRESS_INTERVAL_MS, default 500 ms) plus
+//              one synchronous beat at sweep_begin/sweep_end so even a
+//              sub-interval sweep produces a observable stream: counters
+//              (total/done/running/pending/quarantined/fresh/cache_hits/
+//              replayed/retries), sim-cycle throughput, an ETA estimate,
+//              and one entry per worker slot with its current point
+//   point      one per finished point: outcome fresh|cached|replayed|
+//              quarantined, cycles, run_seconds, retries
+//   finish     once, from the destructor: final counters + wall_seconds
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace wecsim {
+
+struct ObsEnv;
+
+inline constexpr int kProgressSchemaVersion = 1;
+
+class ProgressReporter {
+ public:
+  enum class Outcome {
+    kFresh,        // simulated in this process
+    kCached,       // served from the on-disk result cache
+    kReplayed,     // restored from the resume journal
+    kQuarantined,  // fail-soft budget exhausted; dropped from the sweep
+  };
+
+  struct Options {
+    std::string dir;          // JSONL stream directory ("" = no file)
+    std::string fifo;         // named pipe path ("" = no FIFO)
+    uint32_t interval_ms = 500;
+
+    bool enabled() const { return !dir.empty() || !fifo.empty(); }
+  };
+
+  /// Builds Options from an already-validated ObsEnv.
+  static Options options_from(const ObsEnv& env);
+
+  explicit ProgressReporter(const Options& options);
+  ~ProgressReporter();
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  /// A batch of `points` is about to execute on `jobs` workers. Emits a
+  /// synchronous heartbeat. Serial runners never call this; totals then
+  /// grow as points start.
+  void sweep_begin(size_t points, unsigned jobs);
+
+  /// A worker began simulating `point` ("workload|key"). Thread-safe.
+  void point_started(const std::string& point);
+
+  /// A point reached a terminal state. For kFresh, `cycles`/`run_seconds`
+  /// describe the simulation; `retries` counts attempts beyond the first.
+  /// Pairs with point_started for fresh/quarantined points; cache and
+  /// journal hits may finish without having started. Thread-safe.
+  void point_finished(const std::string& point, Outcome outcome,
+                      uint64_t cycles, double run_seconds, uint32_t retries);
+
+  /// The batch announced by sweep_begin has drained. Emits a synchronous
+  /// heartbeat.
+  void sweep_end();
+
+  /// The path of the JSONL stream file ("" when writing to a FIFO only).
+  const std::string& stream_path() const { return stream_path_; }
+
+ private:
+  struct WorkerState {
+    std::string point;  // empty = idle
+    std::chrono::steady_clock::time_point since;
+  };
+
+  void emit_locked(const std::string& line);
+  void emit_start_locked();
+  void emit_heartbeat_locked();
+  void emit_finish_locked();
+  void heartbeat_loop();
+  double elapsed_seconds() const;
+
+  Options options_;
+  std::string stream_path_;
+  std::FILE* file_ = nullptr;
+  int fifo_fd_ = -1;
+  bool fifo_warned_ = false;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+  uint64_t seq_ = 0;
+
+  // Sweep accounting (all guarded by mu_).
+  size_t announced_ = 0;     // points announced via sweep_begin
+  size_t done_ = 0;          // terminal points (any outcome)
+  size_t fresh_ = 0;         // simulated in this process
+  size_t cache_hits_ = 0;    // disk-cache hits
+  size_t replayed_ = 0;      // journal replays
+  size_t quarantined_ = 0;   // dropped points
+  uint64_t retries_ = 0;     // attempts beyond the first, summed
+  uint64_t sim_cycles_ = 0;  // simulated cycles across fresh points
+  double sim_seconds_ = 0.0;  // host seconds spent simulating fresh points
+  unsigned jobs_ = 1;
+  std::map<std::thread::id, size_t> slot_of_;
+  std::vector<WorkerState> workers_;
+
+  std::chrono::steady_clock::time_point start_;
+  std::thread emitter_;
+};
+
+const char* progress_outcome_name(ProgressReporter::Outcome outcome);
+
+}  // namespace wecsim

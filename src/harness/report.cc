@@ -1,10 +1,13 @@
 #include "harness/report.h"
 
+#include <sys/resource.h>
+
 #include "common/error.h"
 #include "harness/state_dir.h"
 #include "mem/side_cache.h"
 #include "obs/integrity.h"
 #include "obs/json.h"
+#include "obs/profile.h"
 
 namespace wecsim {
 
@@ -266,6 +269,7 @@ void write_run_report(const std::string& path, const std::string& bench_name,
                       const std::vector<RunRecord>& runs,
                       const std::vector<PointFailure>& failures,
                       bool interrupted) {
+  WEC_PROFILE_SCOPE(ProfPhase::kHarnessReportWrite);
   // Atomic: a crash mid-write, or a reader racing the writer, must never see
   // a truncated report under the final name.
   write_file_atomic(path,
@@ -288,6 +292,19 @@ std::string render_timing_report(const std::string& bench_name, unsigned jobs,
   w.kv("bench", bench_name);
   w.kv("jobs", static_cast<uint64_t>(jobs));
   w.kv("wall_seconds", wall_seconds);
+  // Host resource footprint (getrusage). Additive side-channel fields only
+  // (the schema promise allows adding fields without a version bump); on
+  // Linux ru_maxrss is already in kilobytes.
+  struct rusage ru = {};
+  if (::getrusage(RUSAGE_SELF, &ru) == 0) {
+    w.kv("max_rss_kb", static_cast<uint64_t>(ru.ru_maxrss));
+    w.kv("user_cpu_seconds",
+         static_cast<double>(ru.ru_utime.tv_sec) +
+             static_cast<double>(ru.ru_utime.tv_usec) / 1e6);
+    w.kv("sys_cpu_seconds",
+         static_cast<double>(ru.ru_stime.tv_sec) +
+             static_cast<double>(ru.ru_stime.tv_usec) / 1e6);
+  }
   w.kv("fresh_runs", static_cast<uint64_t>(runs.size()));
   w.kv("sim_seconds_total", sim_seconds);
   w.kv("sim_cycles_total", sim_cycles);
@@ -304,6 +321,19 @@ std::string render_timing_report(const std::string& bench_name, unsigned jobs,
     w.end_object();
   }
   w.end_array();
+  // Phase-time breakdown (obs/profile.h), present only when WECSIM_PROFILE
+  // collected anything this process. Phase times are inclusive — nested
+  // phases (mem.* inside core.*) overlap, so they do not sum to wall-clock.
+  if (profile_enabled()) {
+    w.key("profile").begin_object();
+    for (const ProfPhaseTotal& p : profile_snapshot()) {
+      w.key(profile_phase_name(p.phase)).begin_object();
+      w.kv("seconds", static_cast<double>(p.ns) / 1e9);
+      w.kv("calls", p.calls);
+      w.end_object();
+    }
+    w.end_object();
+  }
   w.kv("integrity", integrity_placeholder());
   w.end_object();
   std::string out = w.take();
@@ -314,6 +344,7 @@ std::string render_timing_report(const std::string& bench_name, unsigned jobs,
 void write_timing_report(const std::string& path, const std::string& bench_name,
                          unsigned jobs, double wall_seconds,
                          const std::vector<RunRecord>& runs) {
+  WEC_PROFILE_SCOPE(ProfPhase::kHarnessReportWrite);
   write_file_atomic(path,
                     render_timing_report(bench_name, jobs, wall_seconds, runs));
 }

@@ -10,6 +10,7 @@
 #include "harness/report.h"
 #include "harness/state_dir.h"
 #include "obs/json.h"
+#include "obs/profile.h"
 
 namespace wecsim {
 
@@ -132,6 +133,7 @@ void ResultCache::quarantine(const std::string& path, const char* why) const {
 std::optional<RunMeasurement> ResultCache::load(
     const std::string& description) const {
   if (!enabled()) return std::nullopt;
+  WEC_PROFILE_SCOPE(ProfPhase::kHarnessCacheLookup);
   const std::string path = entry_path(description);
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) return std::nullopt;

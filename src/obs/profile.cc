@@ -1,0 +1,91 @@
+#include "obs/profile.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace wecsim {
+
+namespace detail {
+ProfSlot g_prof_slots[kNumProfPhases];
+std::atomic<bool> g_prof_enabled{false};
+}  // namespace detail
+
+namespace {
+std::atomic<bool> g_env_consulted{false};
+}  // namespace
+
+const char* profile_phase_name(ProfPhase phase) {
+  switch (phase) {
+    case ProfPhase::kCoreFetch:
+      return "core.fetch";
+    case ProfPhase::kCoreRename:
+      return "core.rename";
+    case ProfPhase::kCoreIssue:
+      return "core.issue";
+    case ProfPhase::kCoreExec:
+      return "core.exec";
+    case ProfPhase::kCoreCommit:
+      return "core.commit";
+    case ProfPhase::kCoreRecover:
+      return "core.recover";
+    case ProfPhase::kStaRing:
+      return "sta.ring";
+    case ProfPhase::kStaSkipScan:
+      return "sta.skip_scan";
+    case ProfPhase::kMemAccess:
+      return "mem.access";
+    case ProfPhase::kMemIfetch:
+      return "mem.ifetch";
+    case ProfPhase::kCheckLockstep:
+      return "check.lockstep";
+    case ProfPhase::kHarnessSimulate:
+      return "harness.simulate";
+    case ProfPhase::kHarnessCacheLookup:
+      return "harness.cache_lookup";
+    case ProfPhase::kHarnessJournal:
+      return "harness.journal_append";
+    case ProfPhase::kHarnessReportWrite:
+      return "harness.report_write";
+    case ProfPhase::kNumPhases:
+      break;
+  }
+  return "unknown";
+}
+
+void set_profile_enabled(bool enabled) {
+  g_env_consulted.store(true, std::memory_order_relaxed);
+  detail::g_prof_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void init_profile_from_env() {
+  if (g_env_consulted.exchange(true, std::memory_order_relaxed)) return;
+  const char* raw = std::getenv("WECSIM_PROFILE");
+  if (raw == nullptr) return;
+  std::string value(raw);
+  for (char& c : value) c = static_cast<char>(std::tolower(c));
+  const bool on =
+      value == "1" || value == "true" || value == "yes" || value == "on";
+  detail::g_prof_enabled.store(on, std::memory_order_relaxed);
+}
+
+void reset_profile() {
+  for (auto& slot : detail::g_prof_slots) {
+    slot.ns.store(0, std::memory_order_relaxed);
+    slot.calls.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<ProfPhaseTotal> profile_snapshot() {
+  std::vector<ProfPhaseTotal> out;
+  out.reserve(kNumProfPhases);
+  for (size_t i = 0; i < kNumProfPhases; ++i) {
+    const auto& slot = detail::g_prof_slots[i];
+    out.push_back({static_cast<ProfPhase>(i),
+                   slot.ns.load(std::memory_order_relaxed),
+                   slot.calls.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+}  // namespace wecsim

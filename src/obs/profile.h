@@ -1,0 +1,123 @@
+// Self-profiling: scoped wall-clock phase timers for the simulator hot loop
+// and the sweep harness. Disabled by default; when off each instrumentation
+// site costs one relaxed atomic load and a branch, so the hot loop pays no
+// measurable tax (acceptance budget: <= 2% slowdown with profiling off).
+//
+// Enable with WECSIM_PROFILE=1 (strictly validated by the harness, leniently
+// by standalone Simulator users) or programmatically via
+// set_profile_enabled(true). Accumulators are process-global relaxed atomics,
+// so parallel sweeps aggregate all workers into one profile. Phase times are
+// *inclusive*: mem.access and check.lockstep nest inside the core.* stages,
+// so the per-phase seconds do not sum to wall-clock.
+//
+// The aggregated profile lands in the timing side-channel only
+// (wecsim.bench_timing "profile" section) — never in the canonical run
+// report, which stays byte-identical with profiling on or off.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace wecsim {
+
+// Instrumented phases, simulator first, harness last. Keep in sync with
+// profile_phase_name() and docs/OBSERVABILITY.md.
+enum class ProfPhase : uint8_t {
+  kCoreFetch = 0,       // OooCore::do_fetch (icache + decode + fetch queue)
+  kCoreRename,          // OooCore::do_dispatch (rename + ROB/LSQ allocate)
+  kCoreIssue,           // OooCore::do_issue (wakeup/select, minus execute)
+  kCoreExec,            // OooCore::execute_entry (functional execute + mem)
+  kCoreCommit,          // OooCore::do_commit (retire + checker hook)
+  kCoreRecover,         // OooCore::do_recoveries (squash + recovery walk)
+  kStaRing,             // STA ring delivery + pending fork starts
+  kStaSkipScan,         // activity digest + cycle-skip eligibility scan
+  kMemAccess,           // data-side cache hierarchy access
+  kMemIfetch,           // instruction-side cache hierarchy access
+  kCheckLockstep,       // lockstep reference replay + divergence compare
+  kHarnessSimulate,     // one full simulate_point (build + run + extract)
+  kHarnessCacheLookup,  // result-cache probe (hash + read + verify)
+  kHarnessJournal,      // journal append + fsync
+  kHarnessReportWrite,  // report render + atomic write
+  kNumPhases,
+};
+
+inline constexpr size_t kNumProfPhases =
+    static_cast<size_t>(ProfPhase::kNumPhases);
+
+/// Stable dotted name for a phase ("core.fetch", "harness.journal_append"...).
+const char* profile_phase_name(ProfPhase phase);
+
+namespace detail {
+struct alignas(64) ProfSlot {
+  std::atomic<uint64_t> ns{0};
+  std::atomic<uint64_t> calls{0};
+};
+extern ProfSlot g_prof_slots[kNumProfPhases];
+extern std::atomic<bool> g_prof_enabled;
+}  // namespace detail
+
+/// True when phase timing is collecting. Relaxed load; safe from any thread.
+inline bool profile_enabled() {
+  return detail::g_prof_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turn collection on or off. Authoritative: also marks the environment as
+/// consulted so a later init_profile_from_env() will not override it.
+void set_profile_enabled(bool enabled);
+
+/// One-time lenient WECSIM_PROFILE read (1/true/yes/on, case-insensitive)
+/// for standalone Simulator users. Idempotent; a no-op after
+/// set_profile_enabled() has run. The harness instead parses the variable
+/// strictly (see harness/env.h) and calls set_profile_enabled().
+void init_profile_from_env();
+
+/// Zero all accumulators. Call between measurement windows; scopes still
+/// open while resetting fold their full duration into the new window.
+void reset_profile();
+
+struct ProfPhaseTotal {
+  ProfPhase phase;
+  uint64_t ns = 0;
+  uint64_t calls = 0;
+};
+
+/// Snapshot of every phase accumulator, in enum order (zeros included).
+std::vector<ProfPhaseTotal> profile_snapshot();
+
+/// RAII phase timer. Reads the clock only when profiling is enabled at
+/// construction; destruction adds the elapsed nanoseconds to the slot.
+class ProfileScope {
+ public:
+  explicit ProfileScope(ProfPhase phase) : phase_(phase) {
+    if (profile_enabled()) {
+      start_ = std::chrono::steady_clock::now();
+      armed_ = true;
+    }
+  }
+  ~ProfileScope() {
+    if (armed_) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      auto& slot = detail::g_prof_slots[static_cast<size_t>(phase_)];
+      slot.ns.fetch_add(static_cast<uint64_t>(ns), std::memory_order_relaxed);
+      slot.calls.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  ProfPhase phase_;
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace wecsim
+
+/// Scoped phase timer; the sibling of WEC_TRACE. Usage:
+///   WEC_PROFILE_SCOPE(ProfPhase::kCoreFetch);
+#define WEC_PROFILE_SCOPE(phase) \
+  ::wecsim::ProfileScope wec_profile_scope_##__LINE__ { (phase) }

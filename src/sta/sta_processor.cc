@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "fault/fault.h"
+#include "obs/profile.h"
 
 namespace wecsim {
 
@@ -70,8 +71,11 @@ bool StaProcessor::step() {
   // during which a parallel region is open (wrong threads running past the
   // region's end are glue time, not parallel-portion time).
   if (region_.active) stat_parallel_cycles_.inc();
-  deliver_ring_msgs();
-  start_pending_forks();
+  {
+    WEC_PROFILE_SCOPE(ProfPhase::kStaRing);
+    deliver_ring_msgs();
+    start_pending_forks();
+  }
   // The cores report start/stop transitions through their active sink;
   // the gauge write is hoisted behind a change check (re-setting the same
   // value every cycle is idempotent, so the final reported level — and
@@ -129,6 +133,7 @@ bool StaProcessor::step() {
   // cycle; the scan stays the sole authority on whether a skip is safe (a
   // digest collision costs at most a one-cycle-late jump, and any subset of
   // valid skips is bit-identical by the skip contract).
+  WEC_PROFILE_SCOPE(ProfPhase::kStaSkipScan);
   uint64_t sig = 1469598103934665603ull;  // FNV-1a offset basis
   for (auto& tu : tus_) {
     sig = (sig ^ tu->core().activity_signature()) * 1099511628211ull;

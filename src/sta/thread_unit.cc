@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "fault/lockstep.h"
+#include "obs/profile.h"
 #include "sta/sta_processor.h"
 
 namespace wecsim {
@@ -75,6 +76,7 @@ void ThreadUnit::attach_checker(LockstepChecker* checker) {
 }
 
 void ThreadUnit::flush_replay() {
+  WEC_PROFILE_SCOPE(ProfPhase::kCheckLockstep);
   for (const CommittedInstr& ci : replay_buf_) checker_->replay(ci);
   replay_buf_.clear();
 }
@@ -89,6 +91,7 @@ void ThreadUnit::on_commit(const CommittedInstr& ci) {
     // iteration, flushed here because its hook fires after thread_op already
     // cleared parallel_.
     flush_replay();
+    WEC_PROFILE_SCOPE(ProfPhase::kCheckLockstep);
     checker_->replay(stamped);
     return;
   }
@@ -196,10 +199,12 @@ MemOutcome ThreadUnit::cache_load(Addr addr, ExecMode mode, Cycle now) {
   if (parallel_ && mode == ExecMode::kCorrect && buffer_.covers(addr, 1)) {
     return {now + 1, true, false};
   }
+  WEC_PROFILE_SCOPE(ProfPhase::kMemAccess);
   return mem_.load(addr, mode, now);
 }
 
 Cycle ThreadUnit::cache_ifetch(Addr pc, Cycle now) {
+  WEC_PROFILE_SCOPE(ProfPhase::kMemIfetch);
   return mem_.ifetch(pc, now);
 }
 

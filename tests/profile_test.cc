@@ -1,0 +1,135 @@
+// Self-profiling (obs/profile.h): zero-overhead-when-off phase timers over
+// the simulator hot loop and the harness, surfaced as the timing report's
+// "profile" section. Checks phase coverage, on/off behaviour, and the
+// rusage fields the timing side-channel now carries.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "core/sim_config.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "obs/json.h"
+#include "obs/profile.h"
+
+namespace wecsim {
+namespace {
+
+/// Leaves the global profiler off, whatever a test did with it.
+class ProfileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_profile_enabled(false);
+    reset_profile();
+  }
+  void TearDown() override {
+    set_profile_enabled(false);
+    reset_profile();
+  }
+
+  static std::vector<RunRecord> run_sweep() {
+    WorkloadParams params;
+    params.scale = 1;
+    ExperimentRunner runner(params, std::string());
+    runner.run("mcf", "wth_wp_wec",
+               make_paper_config(PaperConfig::kWthWpWec, 4));
+    return runner.records();
+  }
+};
+
+TEST_F(ProfileTest, PhaseNamesAreStableAndDotted) {
+  for (size_t i = 0; i < kNumProfPhases; ++i) {
+    const std::string name = profile_phase_name(static_cast<ProfPhase>(i));
+    EXPECT_NE(name, "unknown") << i;
+    EXPECT_NE(name.find('.'), std::string::npos) << name;
+  }
+}
+
+TEST_F(ProfileTest, OffModeCollectsNothing) {
+  run_sweep();
+  for (const ProfPhaseTotal& p : profile_snapshot()) {
+    EXPECT_EQ(p.calls, 0u) << profile_phase_name(p.phase);
+    EXPECT_EQ(p.ns, 0u) << profile_phase_name(p.phase);
+  }
+}
+
+TEST_F(ProfileTest, OnModeCoversAtLeastEightPhases) {
+  // Lockstep checking on, so the check.lockstep phase fires too.
+  ::setenv("WECSIM_CHECK", "lockstep", 1);
+  set_profile_enabled(true);
+  run_sweep();
+  ::unsetenv("WECSIM_CHECK");
+  size_t active = 0;
+  for (const ProfPhaseTotal& p : profile_snapshot()) {
+    if (p.calls > 0) ++active;
+  }
+  // The acceptance bar is >= 8 distinct phases; a serial uncached sweep with
+  // lockstep on exercises the whole core/sta/mem/check/harness set.
+  EXPECT_GE(active, 8u);
+  const auto snapshot = profile_snapshot();
+  const auto calls_of = [&](ProfPhase phase) {
+    return snapshot[static_cast<size_t>(phase)].calls;
+  };
+  EXPECT_GT(calls_of(ProfPhase::kCoreFetch), 0u);
+  EXPECT_GT(calls_of(ProfPhase::kCoreCommit), 0u);
+  EXPECT_GT(calls_of(ProfPhase::kStaRing), 0u);
+  EXPECT_GT(calls_of(ProfPhase::kStaSkipScan), 0u);
+  EXPECT_GT(calls_of(ProfPhase::kMemAccess), 0u);
+  EXPECT_GT(calls_of(ProfPhase::kCheckLockstep), 0u);
+  EXPECT_GT(calls_of(ProfPhase::kHarnessSimulate), 0u);
+}
+
+TEST_F(ProfileTest, ResetZeroesAccumulators) {
+  set_profile_enabled(true);
+  run_sweep();
+  reset_profile();
+  for (const ProfPhaseTotal& p : profile_snapshot()) {
+    EXPECT_EQ(p.calls, 0u) << profile_phase_name(p.phase);
+  }
+}
+
+TEST_F(ProfileTest, TimingReportCarriesProfileSectionOnlyWhenEnabled) {
+  set_profile_enabled(true);
+  const std::vector<RunRecord> records = run_sweep();
+
+  const JsonValue with = parse_json(
+      render_timing_report("profile_test", 1, 0.5, records));
+  ASSERT_TRUE(with.has("profile"));
+  const JsonValue& profile = with.at("profile");
+  ASSERT_TRUE(profile.is_object());
+  // Every phase appears (zeros included) so consumers see a stable shape.
+  EXPECT_EQ(profile.fields().size(), kNumProfPhases);
+  size_t active = 0;
+  for (const auto& [name, entry] : profile.fields()) {
+    EXPECT_NE(name.find('.'), std::string::npos) << name;
+    EXPECT_GE(entry.at("seconds").as_double(), 0.0) << name;
+    if (entry.at("calls").as_u64() > 0) ++active;
+  }
+  EXPECT_GE(active, 8u);
+
+  set_profile_enabled(false);
+  const JsonValue without = parse_json(
+      render_timing_report("profile_test", 1, 0.5, records));
+  EXPECT_FALSE(without.has("profile"));
+}
+
+TEST_F(ProfileTest, TimingReportRecordsRusage) {
+  const std::vector<RunRecord> records = run_sweep();
+  const JsonValue doc = parse_json(
+      render_timing_report("profile_test", 1, 0.5, records));
+  EXPECT_EQ(doc.at("schema").as_string(), "wecsim.bench_timing");
+  // Peak RSS of a process that just simulated is far above zero.
+  EXPECT_GT(doc.at("max_rss_kb").as_u64(), 1000u);
+  EXPECT_GT(doc.at("user_cpu_seconds").as_double(), 0.0);
+  EXPECT_GE(doc.at("sys_cpu_seconds").as_double(), 0.0);
+}
+
+TEST_F(ProfileTest, HarnessStrictlyRejectsMalformedProfileFlag) {
+  ::setenv("WECSIM_PROFILE", "maybe", 1);
+  EXPECT_THROW(ExperimentRunner runner, SimError);
+  ::unsetenv("WECSIM_PROFILE");
+}
+
+}  // namespace
+}  // namespace wecsim

@@ -1,0 +1,282 @@
+// Validates the wecsim.progress JSONL telemetry stream (harness/progress.h,
+// docs/OBSERVABILITY.md) against its documented schema — serial and parallel
+// runners — and proves the flight-recorder A/B property: canonical run
+// reports are byte-identical with telemetry and profiling on or off.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sim_config.h"
+#include "harness/experiment.h"
+#include "harness/parallel.h"
+#include "harness/progress.h"
+#include "harness/report.h"
+#include "obs/json.h"
+#include "obs/profile.h"
+
+namespace wecsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Scoped env var: set in the constructor, restored in the destructor.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) old_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (old_.has_value()) {
+      ::setenv(name_.c_str(), old_->c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::optional<std::string> old_;
+};
+
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "/wecsim_progress_" + tag +
+                          "_" + std::to_string(::getpid());
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::vector<std::string> stream_files(const std::string& dir) {
+  std::vector<std::string> out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().string().ends_with(".progress.jsonl")) {
+      out.push_back(entry.path().string());
+    }
+  }
+  return out;
+}
+
+std::vector<JsonValue> read_events(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::vector<JsonValue> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) events.push_back(parse_json(line));
+  }
+  return events;
+}
+
+/// Every event line is independently self-describing.
+void check_envelope(const JsonValue& v) {
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("schema").as_string(), "wecsim.progress");
+  EXPECT_EQ(v.at("schema_version").as_i64(), kProgressSchemaVersion);
+  EXPECT_TRUE(v.at("event").is_string());
+}
+
+void check_heartbeat(const JsonValue& v) {
+  for (const char* key : {"seq", "total", "done", "running", "pending",
+                          "quarantined", "fresh", "cache_hits", "replayed",
+                          "retries", "sim_cycles_total"}) {
+    EXPECT_TRUE(v.at(key).is_number()) << key;
+  }
+  EXPECT_GE(v.at("elapsed_seconds").as_double(), 0.0);
+  EXPECT_GE(v.at("eta_seconds").as_double(), 0.0);
+  EXPECT_GE(v.at("sim_cycles_per_second").as_double(), 0.0);
+  // The counter invariant every consumer relies on for progress bars.
+  EXPECT_EQ(v.at("total").as_u64(),
+            v.at("done").as_u64() + v.at("running").as_u64() +
+                v.at("pending").as_u64());
+  for (const JsonValue& w : v.at("workers").items()) {
+    EXPECT_TRUE(w.at("worker").is_number());
+    const std::string state = w.at("state").as_string();
+    EXPECT_TRUE(state == "idle" || state == "running") << state;
+    if (state == "running") {
+      EXPECT_TRUE(w.at("point").is_string());
+    }
+  }
+}
+
+struct StreamSummary {
+  size_t heartbeats = 0;
+  size_t points = 0;
+  size_t fresh_points = 0;
+  bool started = false;
+  bool finished = false;
+  uint64_t finish_done = 0;
+  uint64_t finish_fresh = 0;
+  uint64_t finish_cache_hits = 0;
+};
+
+StreamSummary validate_stream(const std::string& path) {
+  StreamSummary s;
+  const std::vector<JsonValue> events = read_events(path);
+  EXPECT_FALSE(events.empty()) << path;
+  for (const JsonValue& v : events) {
+    check_envelope(v);
+    const std::string event = v.at("event").as_string();
+    if (event == "start") {
+      EXPECT_FALSE(s.started) << "duplicate start event";
+      s.started = true;
+      EXPECT_GT(v.at("pid").as_i64(), 0);
+      EXPECT_GE(v.at("interval_ms").as_u64(), 10u);
+    } else if (event == "heartbeat") {
+      ++s.heartbeats;
+      check_heartbeat(v);
+    } else if (event == "point") {
+      ++s.points;
+      EXPECT_TRUE(v.at("point").is_string());
+      const std::string outcome = v.at("outcome").as_string();
+      EXPECT_TRUE(outcome == "fresh" || outcome == "cached" ||
+                  outcome == "replayed" || outcome == "quarantined")
+          << outcome;
+      if (outcome == "fresh") {
+        ++s.fresh_points;
+        EXPECT_GT(v.at("cycles").as_u64(), 0u);
+      }
+    } else if (event == "finish") {
+      EXPECT_FALSE(s.finished) << "duplicate finish event";
+      s.finished = true;
+      s.finish_done = v.at("done").as_u64();
+      s.finish_fresh = v.at("fresh").as_u64();
+      s.finish_cache_hits = v.at("cache_hits").as_u64();
+      EXPECT_GE(v.at("wall_seconds").as_double(), 0.0);
+    } else {
+      ADD_FAILURE() << "unknown event: " << event;
+    }
+  }
+  EXPECT_TRUE(events.front().at("event").as_string() == "start") << path;
+  EXPECT_TRUE(s.finished) << path;
+  EXPECT_GE(s.heartbeats, 1u) << path;
+  return s;
+}
+
+TEST(ProgressSchemaTest, SerialSweepEmitsWellFormedStream) {
+  const std::string dir = fresh_dir("serial");
+  WorkloadParams params;
+  params.scale = 1;
+  {
+    ScopedEnv progress("WECSIM_PROGRESS_DIR", dir.c_str());
+    ExperimentRunner runner(params, std::string());
+    runner.run("mcf", "orig", make_paper_config(PaperConfig::kOrig, 4));
+    runner.run("mcf", "wth_wp_wec",
+               make_paper_config(PaperConfig::kWthWpWec, 4));
+  }  // reporter destructor flushes the final heartbeat + finish
+  const std::vector<std::string> streams = stream_files(dir);
+  ASSERT_EQ(streams.size(), 1u);
+  const StreamSummary s = validate_stream(streams[0]);
+  EXPECT_EQ(s.points, 2u);
+  EXPECT_EQ(s.fresh_points, 2u);
+  EXPECT_EQ(s.finish_done, 2u);
+  EXPECT_EQ(s.finish_fresh, 2u);
+  fs::remove_all(dir);
+}
+
+TEST(ProgressSchemaTest, ParallelSweepEmitsWellFormedStream) {
+  const std::string dir = fresh_dir("parallel");
+  WorkloadParams params;
+  params.scale = 1;
+  {
+    ScopedEnv progress("WECSIM_PROGRESS_DIR", dir.c_str());
+    ParallelExperimentRunner runner(params, /*jobs=*/2, std::string());
+    runner.submit("mcf", "orig", make_paper_config(PaperConfig::kOrig, 4));
+    runner.submit("mcf", "wth_wp_wec",
+                  make_paper_config(PaperConfig::kWthWpWec, 4));
+    runner.drain();
+  }
+  const std::vector<std::string> streams = stream_files(dir);
+  ASSERT_EQ(streams.size(), 1u);
+  const StreamSummary s = validate_stream(streams[0]);
+  EXPECT_EQ(s.points, 2u);
+  EXPECT_EQ(s.fresh_points, 2u);
+  EXPECT_EQ(s.finish_done, 2u);
+  fs::remove_all(dir);
+}
+
+TEST(ProgressSchemaTest, DiskCacheHitsAreReportedAsCached) {
+  const std::string dir = fresh_dir("cached");
+  const std::string cache = fresh_dir("cached_cache");
+  WorkloadParams params;
+  params.scale = 1;
+  const auto sweep = [&] {
+    ScopedEnv progress("WECSIM_PROGRESS_DIR", dir.c_str());
+    ExperimentRunner runner(params, cache);
+    runner.run("mcf", "orig", make_paper_config(PaperConfig::kOrig, 4));
+  };
+  sweep();  // cold: fresh simulation
+  sweep();  // warm: disk hit
+  const std::vector<std::string> streams = stream_files(dir);
+  ASSERT_EQ(streams.size(), 2u);
+  size_t cached_total = 0;
+  for (const std::string& path : streams) {
+    cached_total += validate_stream(path).finish_cache_hits;
+  }
+  EXPECT_EQ(cached_total, 1u);
+  fs::remove_all(dir);
+  fs::remove_all(cache);
+}
+
+TEST(ProgressSchemaTest, RunReportsByteIdenticalWithFlightRecorderOnVsOff) {
+  WorkloadParams params;
+  params.scale = 1;
+  const auto sweep_report = [&params](bool features_on) {
+    const std::string dir = fresh_dir(features_on ? "ab_on" : "ab_off");
+    std::string report;
+    {
+      std::optional<ScopedEnv> progress, profile;
+      if (features_on) {
+        progress.emplace("WECSIM_PROGRESS_DIR", dir.c_str());
+        profile.emplace("WECSIM_PROFILE", "1");
+      }
+      ExperimentRunner runner(params, std::string());
+      runner.run("mcf", "orig", make_paper_config(PaperConfig::kOrig, 4));
+      runner.run("mcf", "wth_wp_wec",
+                 make_paper_config(PaperConfig::kWthWpWec, 4));
+      report = render_run_report("ab", runner.records(), runner.failures(),
+                                 runner.interrupted());
+    }
+    set_profile_enabled(false);  // do not leak into later tests
+    if (features_on) {
+      // The telemetry must actually have been on for the A/B to mean much.
+      EXPECT_FALSE(stream_files(dir).empty());
+    }
+    fs::remove_all(dir);
+    return report;
+  };
+  const std::string off = sweep_report(false);
+  const std::string on = sweep_report(true);
+  EXPECT_EQ(off, on);
+}
+
+TEST(ProgressSchemaTest, ObsEnvViolationsAggregateIntoOneError) {
+  ScopedEnv interval("WECSIM_PROGRESS_INTERVAL_MS", "soon");
+  ScopedEnv profile("WECSIM_PROFILE", "maybe");
+  ScopedEnv retries("WECSIM_RETRIES", "many");
+  try {
+    ExperimentRunner runner;
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    const std::string what = e.what();
+    // One aggregated error names every offender, old knobs and new alike.
+    EXPECT_NE(what.find("WECSIM_PROGRESS_INTERVAL_MS"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("WECSIM_PROFILE"), std::string::npos) << what;
+    EXPECT_NE(what.find("WECSIM_RETRIES"), std::string::npos) << what;
+  }
+}
+
+TEST(ProgressSchemaTest, IntervalOutOfRangeIsRejected) {
+  ScopedEnv interval("WECSIM_PROGRESS_INTERVAL_MS", "5");  // below 10 ms floor
+  EXPECT_THROW(ExperimentRunner runner, SimError);
+}
+
+}  // namespace
+}  // namespace wecsim

@@ -1,0 +1,268 @@
+// wecsim-top — tail and render a wecsim.progress JSONL stream (see
+// harness/progress.h and docs/OBSERVABILITY.md).
+//
+//   wecsim-top <file-or-dir>            follow the stream, render each beat
+//   wecsim-top --once <file-or-dir>     render the latest state and exit
+//   wecsim-top --check <file-or-dir>    validate every line against the
+//                                       schema; exit 0 iff well-formed
+//
+// Given a directory (e.g. $WECSIM_PROGRESS_DIR), the newest
+// *.progress.jsonl inside it is selected. Follow mode exits when the stream
+// emits its "finish" event.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/json.h"
+
+namespace wecsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: wecsim-top [--once|--check] <progress-file-or-dir>\n");
+  return 2;
+}
+
+/// Directory argument -> newest *.progress.jsonl inside it.
+std::string resolve_stream(const std::string& arg) {
+  std::error_code ec;
+  if (!fs::is_directory(arg, ec)) return arg;
+  std::string best;
+  fs::file_time_type best_time{};
+  for (const auto& entry : fs::directory_iterator(arg, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 15 ||
+        name.compare(name.size() - 15, 15, ".progress.jsonl") != 0) {
+      continue;
+    }
+    const auto t = entry.last_write_time(ec);
+    if (best.empty() || t > best_time) {
+      best = entry.path().string();
+      best_time = t;
+    }
+  }
+  return best;
+}
+
+/// Throws SimError when `line` is not a well-formed wecsim.progress event.
+JsonValue validate_line(const std::string& line) {
+  const JsonValue v = parse_json(line);
+  if (!v.is_object()) throw SimError("event is not an object");
+  if (v.at("schema").as_string() != "wecsim.progress") {
+    throw SimError("schema is not wecsim.progress");
+  }
+  if (v.at("schema_version").as_i64() != 1) {
+    throw SimError("unsupported schema_version");
+  }
+  const std::string event = v.at("event").as_string();
+  if (event == "start") {
+    v.at("pid").as_i64();
+    v.at("interval_ms").as_u64();
+  } else if (event == "heartbeat") {
+    for (const char* key : {"seq", "total", "done", "running", "pending",
+                            "quarantined", "fresh", "cache_hits", "replayed",
+                            "retries", "sim_cycles_total"}) {
+      v.at(key).as_u64();
+    }
+    v.at("elapsed_seconds").as_double();
+    v.at("sim_cycles_per_second").as_double();
+    v.at("eta_seconds").as_double();
+    for (const JsonValue& worker : v.at("workers").items()) {
+      worker.at("worker").as_u64();
+      const std::string state = worker.at("state").as_string();
+      if (state != "idle" && state != "running") {
+        throw SimError("unknown worker state: " + state);
+      }
+      if (state == "running") worker.at("point").as_string();
+    }
+  } else if (event == "point") {
+    v.at("point").as_string();
+    const std::string outcome = v.at("outcome").as_string();
+    if (outcome != "fresh" && outcome != "cached" && outcome != "replayed" &&
+        outcome != "quarantined") {
+      throw SimError("unknown point outcome: " + outcome);
+    }
+    v.at("cycles").as_u64();
+    v.at("run_seconds").as_double();
+    v.at("retries").as_u64();
+  } else if (event == "finish") {
+    for (const char* key : {"total", "done", "quarantined", "fresh",
+                            "cache_hits", "replayed", "retries",
+                            "sim_cycles_total"}) {
+      v.at(key).as_u64();
+    }
+    v.at("wall_seconds").as_double();
+  } else {
+    throw SimError("unknown event: " + event);
+  }
+  return v;
+}
+
+std::string human_cycles(double cps) {
+  char buf[32];
+  if (cps >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1fM", cps / 1e6);
+  } else if (cps >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1fk", cps / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", cps);
+  }
+  return buf;
+}
+
+void render(const JsonValue& v) {
+  const std::string event = v.at("event").as_string();
+  if (event == "start") {
+    std::printf("wecsim-top: stream from pid %lld (interval %llu ms)\n",
+                static_cast<long long>(v.at("pid").as_i64()),
+                static_cast<unsigned long long>(v.at("interval_ms").as_u64()));
+  } else if (event == "heartbeat") {
+    std::printf(
+        "[%8.1fs] %llu/%llu done | %llu running, %llu pending, "
+        "%llu quarantined | cache %llu, replay %llu, retries %llu | "
+        "%s cyc/s | ETA %.0fs\n",
+        v.at("elapsed_seconds").as_double(),
+        static_cast<unsigned long long>(v.at("done").as_u64()),
+        static_cast<unsigned long long>(v.at("total").as_u64()),
+        static_cast<unsigned long long>(v.at("running").as_u64()),
+        static_cast<unsigned long long>(v.at("pending").as_u64()),
+        static_cast<unsigned long long>(v.at("quarantined").as_u64()),
+        static_cast<unsigned long long>(v.at("cache_hits").as_u64()),
+        static_cast<unsigned long long>(v.at("replayed").as_u64()),
+        static_cast<unsigned long long>(v.at("retries").as_u64()),
+        human_cycles(v.at("sim_cycles_per_second").as_double()).c_str(),
+        v.at("eta_seconds").as_double());
+    for (const JsonValue& worker : v.at("workers").items()) {
+      if (worker.at("state").as_string() != "running") continue;
+      std::printf("    w%llu: %s (%.1fs)\n",
+                  static_cast<unsigned long long>(worker.at("worker").as_u64()),
+                  worker.at("point").as_string().c_str(),
+                  worker.at("seconds").as_double());
+    }
+  } else if (event == "point") {
+    std::printf("  %-11s %s (%llu cycles)\n",
+                (v.at("outcome").as_string() + ":").c_str(),
+                v.at("point").as_string().c_str(),
+                static_cast<unsigned long long>(v.at("cycles").as_u64()));
+  } else if (event == "finish") {
+    std::printf(
+        "finished in %.1fs: %llu point(s), %llu fresh, %llu cached, "
+        "%llu replayed, %llu quarantined\n",
+        v.at("wall_seconds").as_double(),
+        static_cast<unsigned long long>(v.at("done").as_u64()),
+        static_cast<unsigned long long>(v.at("fresh").as_u64()),
+        static_cast<unsigned long long>(v.at("cache_hits").as_u64()),
+        static_cast<unsigned long long>(v.at("replayed").as_u64()),
+        static_cast<unsigned long long>(v.at("quarantined").as_u64()));
+  }
+  std::fflush(stdout);
+}
+
+int run_check(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "wecsim-top: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  size_t lines = 0, heartbeats = 0;
+  bool saw_start = false, saw_finish = false;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    try {
+      const JsonValue v = validate_line(line);
+      const std::string event = v.at("event").as_string();
+      if (event == "start") saw_start = true;
+      if (event == "heartbeat") ++heartbeats;
+      if (event == "finish") saw_finish = true;
+      ++lines;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "wecsim-top: %s:%zu: %s\n", path.c_str(), lineno,
+                   e.what());
+      return 1;
+    }
+  }
+  if (!saw_start || heartbeats == 0) {
+    std::fprintf(stderr,
+                 "wecsim-top: %s: incomplete stream (start: %s, "
+                 "heartbeats: %zu)\n",
+                 path.c_str(), saw_start ? "yes" : "no", heartbeats);
+    return 1;
+  }
+  std::printf("%s: %zu well-formed event(s), %zu heartbeat(s)%s\n",
+              path.c_str(), lines, heartbeats,
+              saw_finish ? ", finished" : "");
+  return 0;
+}
+
+int run_render(const std::string& path, bool follow) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "wecsim-top: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string line;
+  for (;;) {
+    if (std::getline(in, line)) {
+      if (line.empty()) continue;
+      try {
+        const JsonValue v = validate_line(line);
+        render(v);
+        if (v.at("event").as_string() == "finish") return 0;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "wecsim-top: skipping bad line: %s\n", e.what());
+      }
+      continue;
+    }
+    if (!follow) return 0;
+    // Tail mode: clear EOF and poll; the writer flushes per line.
+    in.clear();
+    ::usleep(200 * 1000);
+  }
+}
+
+int top_main(int argc, char** argv) {
+  bool once = false, check = false;
+  std::string target;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--once") {
+      once = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (target.empty()) {
+      target = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (target.empty()) return usage();
+  const std::string path = resolve_stream(target);
+  if (path.empty()) {
+    std::fprintf(stderr, "wecsim-top: no *.progress.jsonl under %s\n",
+                 target.c_str());
+    return 1;
+  }
+  if (check) return run_check(path);
+  return run_render(path, /*follow=*/!once);
+}
+
+}  // namespace
+}  // namespace wecsim
+
+int main(int argc, char** argv) { return wecsim::top_main(argc, argv); }
