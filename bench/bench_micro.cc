@@ -10,12 +10,20 @@
 // BENCH_core.json (wecsim.bench_timing schema). `--assert-speedup=N` exits
 // nonzero when the highest-latency point speeds up less than Nx — wired as
 // the perf-smoke ctest `perf_smoke_cycle_skip`.
+//
+// `--core-sampled[=smoke]` runs the same sweep full-fidelity vs sampled
+// (WECSIM_SAMPLE-style windowed simulation), gates per-point IPC error at
+// 2%, and writes the BENCH_core_full.json / BENCH_core_sampled.json pair
+// for scripts/bench_compare.py.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 
 #include "bench/bench_common.h"
+#include "core/sampled.h"
 #include "core/sim_config.h"
 #include "core/simulator.h"
 #include "cpu/bpred.h"
@@ -263,20 +271,192 @@ int run_core_bench(bool smoke, double assert_speedup) {
   return 0;
 }
 
+// --- Sampled-vs-full core throughput grid (--core-sampled mode) ------------
+//
+// The same memory-latency sweep, full fidelity vs sampled simulation
+// (core/sampled.h, auto-planned windows). Per point it checks the sampled
+// architectural-IPC estimate against the full run (≤2% absolute error) and
+// measures the throughput gain (extrapolated cycles per wall second over
+// full cycles per wall second). Writes a *pair* of timing reports with
+// matching (workload, config) keys — BENCH_core_full.json and
+// BENCH_core_sampled.json — so scripts/bench_compare.py --metric=ipc can
+// re-verify the accuracy gate offline, and --metric=cycles can pin the
+// (deterministic) sampled cycle counts against a committed baseline.
+// `--assert-speedup=N` exits nonzero when the geometric-mean throughput gain
+// falls below Nx.
+
+int run_core_sampled_bench(bool smoke, double assert_speedup) {
+  using bench::bench_params;
+  ::unsetenv("WECSIM_SKIP");
+  ::unsetenv("WECSIM_CACHE_DIR");
+
+  WorkloadParams params = bench_params();
+  // Sampling needs enough dynamic instructions for non-degenerate windows
+  // (tiny programs collapse to the exact-mode fallback, which measures
+  // everything and speeds up nothing) — the grid pins a larger scale than
+  // the full-fidelity smoke grid. The smoke variant trims the latency sweep,
+  // not the scale.
+  params.scale = 32;
+  std::vector<uint32_t> lats = {50, 100, 200, 400, 500};
+  if (smoke) lats = {500};
+  const Workload w = make_workload("181.mcf", params);
+
+  std::printf(
+      "=== Sampled vs full-fidelity core throughput: %s scale %u ===\n\n",
+      w.name.c_str(), params.scale);
+
+  TextTable table({"mem_lat", "full Mcyc/s", "sampled Mcyc/s", "gain",
+                   "ipc err", "ci95", "windows"});
+  std::vector<RunRecord> full_records;
+  std::vector<RunRecord> sampled_records;
+  std::vector<double> gains;
+  bool accurate = true;
+  for (uint32_t lat : lats) {
+    StaConfig config = make_paper_config(PaperConfig::kWthWpWec, 8);
+    config.mem.mem_lat = lat;
+
+    // Full-fidelity reference (cycle skipping on: that IS the fast full
+    // mode whose throughput sampling must beat).
+    const auto full_start = std::chrono::steady_clock::now();
+    Simulator full_sim(w.program, config);
+    w.init(full_sim.memory());
+    const SimResult full = full_sim.run();
+    const std::chrono::duration<double> full_sec =
+        std::chrono::steady_clock::now() - full_start;
+
+    // Sampled estimate of the same point.
+    StaConfig sampled_config = config;
+    sampled_config.sampling.enabled = true;
+    const auto sampled_start = std::chrono::steady_clock::now();
+    SampledSimulator sampled_sim(w.program, sampled_config);
+    w.init(sampled_sim.memory());
+    const SampledResult sampled = sampled_sim.run();
+    const std::chrono::duration<double> sampled_sec =
+        std::chrono::steady_clock::now() - sampled_start;
+
+    const std::string key = "wec-m" + std::to_string(lat);
+    RunRecord full_rec;
+    full_rec.workload = w.name;
+    full_rec.config_key = key;
+    full_rec.scale = params.scale;
+    full_rec.result = full;
+    full_rec.run_seconds = full_sec.count();
+    // Both sides of the A/B carry the whole-program architectural
+    // instruction count (the interpreter's N is exact and mode-independent),
+    // so the timing report emits the same IPC basis for each: N / cycles.
+    full_rec.sampling.func_instrs = sampled.func_instrs;
+
+    RunRecord sampled_rec;
+    sampled_rec.workload = w.name;
+    sampled_rec.config_key = key;
+    sampled_rec.scale = params.scale;
+    sampled_rec.result.cycles = sampled.extrapolated_cycles;
+    sampled_rec.result.committed = sampled.extrapolated_committed;
+    sampled_rec.result.halted = sampled.halted;
+    sampled_rec.run_seconds = sampled_sec.count();
+    sampled_rec.sampling.enabled = true;
+    sampled_rec.sampling.func_instrs = sampled.func_instrs;
+    sampled_rec.sampling.detailed_cycles = sampled.detailed_cycles;
+    sampled_rec.sampling.cpi = sampled.cpi;
+    sampled_rec.sampling.ipc = sampled.ipc;
+    sampled_rec.sampling.ci95_pct = sampled.ci95_pct;
+    sampled_rec.sampling.windows = sampled.windows;
+
+    const double full_ipc = static_cast<double>(sampled.func_instrs) /
+                            static_cast<double>(full.cycles);
+    const double ipc_err_pct =
+        100.0 * std::abs(sampled.ipc - full_ipc) / full_ipc;
+    // Per-point statistical gate, same form as tests/sampling_test.cc: the
+    // window-level 95% CI when it is meaningful, never tighter than the 2%
+    // acceptance floor. The HARD 2% gate runs downstream: perf_regression.sh
+    // feeds the smoke-grid report pair to bench_compare.py --metric=ipc.
+    const double tolerance = std::max(sampled.ci95_pct, 2.0);
+    if (ipc_err_pct > tolerance) {
+      std::fprintf(stderr,
+                   "FAIL: sampled IPC error %.2f%% exceeds %.2f%% at "
+                   "mem_lat=%u (sampled %.4f vs full %.4f)\n",
+                   ipc_err_pct, tolerance, lat, sampled.ipc, full_ipc);
+      accurate = false;
+    }
+    const double gain =
+        full_rec.sim_cycles_per_second() > 0.0
+            ? sampled_rec.sim_cycles_per_second() /
+                  full_rec.sim_cycles_per_second()
+            : 0.0;
+    gains.push_back(gain);
+    table.add_row({std::to_string(lat),
+                   TextTable::num(full_rec.sim_cycles_per_second() / 1e6, 2),
+                   TextTable::num(sampled_rec.sim_cycles_per_second() / 1e6, 2),
+                   TextTable::num(gain, 2) + "x",
+                   TextTable::pct(ipc_err_pct),
+                   TextTable::pct(sampled.ci95_pct),
+                   std::to_string(sampled.windows.size())});
+    full_records.push_back(std::move(full_rec));
+    sampled_records.push_back(std::move(sampled_rec));
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  double geomean = 0.0;
+  if (!gains.empty()) {
+    double log_sum = 0.0;
+    for (double g : gains) log_sum += std::log(g);
+    geomean = std::exp(log_sum / static_cast<double>(gains.size()));
+  }
+  std::printf("\ngeometric-mean throughput gain: %.2fx\n", geomean);
+
+  const char* dir = std::getenv("WECSIM_REPORT_DIR");
+  const std::string base = (dir != nullptr && *dir != '\0')
+                               ? std::string(dir) + "/"
+                               : std::string();
+  try {
+    double full_wall = 0.0, sampled_wall = 0.0;
+    for (const RunRecord& r : full_records) full_wall += r.run_seconds;
+    for (const RunRecord& r : sampled_records) sampled_wall += r.run_seconds;
+    write_timing_report(base + "BENCH_core_full.json",
+                        "bench_micro_core_full", /*jobs=*/1, full_wall,
+                        full_records);
+    write_timing_report(base + "BENCH_core_sampled.json",
+                        "bench_micro_core_sampled", /*jobs=*/1, sampled_wall,
+                        sampled_records);
+    std::printf("timing: %sBENCH_core_full.json + %sBENCH_core_sampled.json\n",
+                base.c_str(), base.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[warn] timing files not written: %s\n", e.what());
+  }
+
+  if (!accurate) return 1;
+  if (assert_speedup > 0.0 && geomean < assert_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: geomean throughput gain %.2fx is below the required "
+                 "%.2fx\n",
+                 geomean, assert_speedup);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace wecsim
 
 int main(int argc, char** argv) {
   bool core = false;
+  bool core_sampled = false;
   bool smoke = false;
   double assert_speedup = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--core") == 0) core = true;
     if (std::strcmp(argv[i], "--core=smoke") == 0) core = smoke = true;
+    if (std::strcmp(argv[i], "--core-sampled") == 0) core_sampled = true;
+    if (std::strcmp(argv[i], "--core-sampled=smoke") == 0) {
+      core_sampled = smoke = true;
+    }
     if (std::strncmp(argv[i], "--assert-speedup=", 17) == 0) {
       assert_speedup = std::atof(argv[i] + 17);
     }
   }
   if (core) return wecsim::run_core_bench(smoke, assert_speedup);
+  if (core_sampled) {
+    return wecsim::run_core_sampled_bench(smoke, assert_speedup);
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

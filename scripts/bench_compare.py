@@ -11,12 +11,24 @@ Metrics:
                              0%%: any cycle growth is a regression.
   --metric=cps               host simulation throughput (cycles/second).
                              Noisy; default threshold 20%%.
+  --metric=ipc               architectural IPC (instructions/cycle). Two-
+                             sided: a point regresses when |candidate /
+                             baseline - 1| exceeds the threshold (default
+                             2%%) in EITHER direction — used to pin a
+                             sampled estimate against its full-fidelity
+                             reference, where over-prediction is as wrong
+                             as under-prediction. Points lacking an "ipc"
+                             field are a usage error.
 
-Exit codes: 0 = no regressions, 1 = regressions (or points missing from the
-candidate), 2 = usage or parse error.
+A point present in only one file is reported as an explicit `missing` row
+and is always fatal (exit 2, either direction): a silently shrinking or
+growing grid would let real regressions hide behind key churn.
+
+Exit codes: 0 = no regressions, 1 = regressions, 2 = usage or parse error
+or mismatched point sets.
 
 Used by the perf-regression ctest label (scripts/perf_regression.sh) against
-the committed baseline under bench/baselines/, and by scripts/obs_smoke.sh
+the committed baselines under bench/baselines/, and by scripts/obs_smoke.sh
 self-vs-self.
 """
 
@@ -38,6 +50,7 @@ def load_points(path):
             points[key] = {
                 "cycles": run["cycles"],
                 "cps": run.get("cycles_per_second", 0.0),
+                "ipc": run.get("ipc"),
             }
     elif schema == "wecsim.run_report":
         for run in doc.get("runs", []):
@@ -46,6 +59,7 @@ def load_points(path):
                 "cycles": run["result"]["cycles"],
                 # Run reports carry no wall-clock by design.
                 "cps": 0.0,
+                "ipc": None,
             }
     else:
         raise ValueError(f"{path}: unsupported schema {schema!r}")
@@ -81,7 +95,7 @@ def main():
     parser.add_argument("candidate", help="candidate report (JSON)")
     parser.add_argument(
         "--metric",
-        choices=["cycles", "cps"],
+        choices=["cycles", "cps", "ipc"],
         default="cycles",
         help="what to compare (default: cycles)",
     )
@@ -90,7 +104,7 @@ def main():
         type=float,
         default=None,
         help="regression tolerance in percent "
-        "(default: 0 for cycles, 20 for cps)",
+        "(default: 0 for cycles, 20 for cps, 2 for ipc)",
     )
     parser.add_argument(
         "--verify-integrity",
@@ -100,7 +114,7 @@ def main():
     args = parser.parse_args()
     threshold = args.threshold
     if threshold is None:
-        threshold = 0.0 if args.metric == "cycles" else 20.0
+        threshold = {"cycles": 0.0, "cps": 20.0, "ipc": 2.0}[args.metric]
 
     try:
         if args.verify_integrity:
@@ -113,28 +127,50 @@ def main():
         return 2
 
     # For cycles, smaller is better; for cps, larger is better. Either way
-    # speedup > 1 means the candidate improved.
+    # speedup > 1 means the candidate improved. For ipc the comparison is
+    # two-sided, so "speedup" is just the ratio and the gate is |ratio - 1|.
     def speedup(b, c):
         if args.metric == "cycles":
             return b["cycles"] / c["cycles"] if c["cycles"] else math.inf
+        if args.metric == "ipc":
+            return c["ipc"] / b["ipc"] if b["ipc"] else math.inf
         return c["cps"] / b["cps"] if b["cps"] else math.inf
 
     rows = []
+    missing = []
     regressions = []
-    for key in sorted(base):
+    usage_errors = []
+    for key in sorted(set(base) | set(cand)):
         workload, config = key
         if key not in cand:
-            regressions.append(f"{workload}|{config}: missing from candidate")
+            missing.append((workload, config, "candidate"))
+            continue
+        if key not in base:
+            missing.append((workload, config, "baseline"))
+            continue
+        if args.metric == "ipc" and (
+            base[key]["ipc"] is None or cand[key]["ipc"] is None
+        ):
+            usage_errors.append(
+                f"{workload}|{config}: point has no ipc field "
+                "(only sampled/instrumented timing reports carry ipc)"
+            )
             continue
         s = speedup(base[key], cand[key])
         rows.append((workload, config, base[key], cand[key], s))
+        if args.metric == "ipc":
+            deviation = 100.0 * abs(s - 1.0)
+            if deviation > threshold + 1e-12:
+                regressions.append(
+                    f"{workload}|{config}: ipc deviates {deviation:.2f}% "
+                    f"from baseline (threshold {threshold:g}%)"
+                )
         # speedup 1.0 = parity; below 1/(1+threshold) = beyond tolerance.
-        if s < 1.0 / (1.0 + threshold / 100.0) - 1e-12:
+        elif s < 1.0 / (1.0 + threshold / 100.0) - 1e-12:
             regressions.append(
                 f"{workload}|{config}: {args.metric} regressed "
                 f"{100.0 * (1.0 / s - 1.0):.2f}% (threshold {threshold:g}%)"
             )
-    extra = sorted(set(cand) - set(base))
 
     unit = args.metric
     print(f"baseline:  {args.baseline}")
@@ -142,17 +178,27 @@ def main():
     print(f"metric: {unit} (threshold {threshold:g}%)")
     print(f"{'workload':<16} {'config':<24} {'baseline':>14} "
           f"{'candidate':>14} {'speedup':>8}")
+    fmt = "14.4f" if unit == "ipc" else "14.0f"
     for workload, config, b, c, s in rows:
-        bval = b["cycles"] if unit == "cycles" else b["cps"]
-        cval = c["cycles"] if unit == "cycles" else c["cps"]
-        print(f"{workload:<16} {config:<24} {bval:>14.0f} {cval:>14.0f} "
-              f"{s:>8.3f}")
+        print(f"{workload:<16} {config:<24} {b[unit]:>{fmt}} "
+              f"{c[unit]:>{fmt}} {s:>8.3f}")
+    for workload, config, side in missing:
+        print(f"{workload:<16} {config:<24} {'missing from ' + side:>37}")
     if rows:
         geo = math.exp(sum(math.log(s) for *_, s in rows if s > 0) / len(rows))
         print(f"geometric-mean speedup: {geo:.3f}")
-    for key in extra:
-        print(f"note: {key[0]}|{key[1]} only in candidate (ignored)")
 
+    if missing or usage_errors:
+        print(
+            f"\n{len(missing) + len(usage_errors)} fatal mismatch(es):",
+            file=sys.stderr,
+        )
+        for workload, config, side in missing:
+            print(f"  - {workload}|{config}: missing from {side}",
+                  file=sys.stderr)
+        for e in usage_errors:
+            print(f"  - {e}", file=sys.stderr)
+        return 2
     if regressions:
         print(f"\n{len(regressions)} regression(s):", file=sys.stderr)
         for r in regressions:

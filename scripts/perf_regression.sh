@@ -1,17 +1,29 @@
 #!/usr/bin/env bash
-# Perf-regression gate: runs the cycle-skip core smoke grid and diffs its
-# deterministic simulated-cycle counts against the committed baseline under
-# bench/baselines/. Simulated cycles are host-independent, so the gate runs
-# with a 0% threshold — any cycle growth on a gated point fails the build.
+# Perf-regression gate, two stages:
+#
+#  1. Cycle-skip core smoke grid: diffs its deterministic simulated-cycle
+#     counts against the committed baseline under bench/baselines/.
+#     Simulated cycles are host-independent, so the gate runs with a 0%
+#     threshold — any cycle growth on a gated point fails the build.
+#  2. Sampled-simulation smoke grid: reruns the grid full-fidelity vs
+#     sampled (--core-sampled=smoke), requiring a >= 5x throughput gain,
+#     <= 2% architectural-IPC error on every point (bench_compare.py
+#     --metric=ipc over the report pair), and bit-stable extrapolated
+#     cycle counts against the committed sampled baseline.
 #
 # Wired as the `perf-regression` ctest label (bench/CMakeLists.txt); this
 # script is the developer entry point that also configures and builds.
 #
 # Usage: scripts/perf_regression.sh [build-dir]
 #
-# To regenerate the baseline after an intentional perf-relevant change:
+# To regenerate the baselines after an intentional perf-relevant change:
 #   WECSIM_REPORT_DIR=bench/baselines <build>/bench/bench_micro --core=smoke
 #   mv bench/baselines/BENCH_core.json bench/baselines/BENCH_core.smoke.json
+#   WECSIM_REPORT_DIR=bench/baselines \
+#     <build>/bench/bench_micro --core-sampled=smoke
+#   mv bench/baselines/BENCH_core_sampled.json \
+#     bench/baselines/BENCH_core.sampled.smoke.json
+#   rm bench/baselines/BENCH_core_full.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,3 +40,11 @@ trap 'rm -rf "$tmp"' EXIT
 WECSIM_REPORT_DIR="$tmp" "$build/bench/bench_micro" --core=smoke
 python3 scripts/bench_compare.py --metric=cycles \
   bench/baselines/BENCH_core.smoke.json "$tmp/BENCH_core.json"
+
+WECSIM_REPORT_DIR="$tmp" "$build/bench/bench_micro" \
+  --core-sampled=smoke --assert-speedup=5
+python3 scripts/bench_compare.py --metric=ipc \
+  "$tmp/BENCH_core_full.json" "$tmp/BENCH_core_sampled.json"
+python3 scripts/bench_compare.py --metric=cycles \
+  bench/baselines/BENCH_core.sampled.smoke.json \
+  "$tmp/BENCH_core_sampled.json"

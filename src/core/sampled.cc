@@ -1,0 +1,339 @@
+#include "core/sampled.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.h"
+#include "obs/profile.h"
+#include "sta/sta_processor.h"
+#include "sta/thread_unit.h"
+
+namespace wecsim {
+
+namespace {
+
+/// Functional warming: architectural accesses replayed from the master
+/// interpreter into TU 0's cache tags during fast-forward, so the long-lived
+/// cache working set tracks the program between windows (a window-local
+/// warmup alone cannot rebuild a working set built over many periods). TU 0
+/// is the right target: reseed restarts the sequential thread there.
+class WarmSink final : public Interpreter::MemTouchSink {
+ public:
+  explicit WarmSink(TuMemSystem& mem) : mem_(mem) {}
+  bool enabled = false;
+  void touch(Addr addr, bool store, bool parallel) override {
+    if (!enabled) return;
+    if (parallel) {
+      mem_.warm_shared(addr);
+    } else {
+      mem_.warm_access(addr, store);
+    }
+  }
+
+ private:
+  TuMemSystem& mem_;
+};
+
+constexpr uint64_t kFuncInstrCap = 2'000'000'000;
+
+/// Two-sided 95% Student-t critical value for `dof` degrees of freedom.
+/// Sampled runs typically produce 4–10 windows, so the small-n values
+/// matter; beyond 30 the normal approximation is within 2%.
+double student_t95(size_t dof) {
+  static constexpr double kSmall[] = {0.0,   12.706, 4.303, 3.182, 2.776,
+                                      2.571, 2.447,  2.365, 2.306, 2.262,
+                                      2.228};
+  if (dof == 0) return 0.0;
+  if (dof <= 10) return kSmall[dof];
+  if (dof <= 20) return 2.086;
+  if (dof <= 30) return 2.042;
+  return 1.960;
+}
+
+}  // namespace
+
+SampledSimulator::SampledSimulator(const Program& program,
+                                   const StaConfig& config)
+    : program_(program), config_(config) {
+  // Standalone users get lenient env parsing, like Simulator; the sweep
+  // harness parses strictly first, which wins.
+  init_profile_from_env();
+  memory_.load_program(program);
+  // The detailed windows run on the normal core, so the bit-identical
+  // event-driven skip applies inside them too; WECSIM_SKIP wins over the
+  // config knob exactly as in full-fidelity mode.
+  if (const char* skip = std::getenv("WECSIM_SKIP");
+      skip != nullptr && *skip != '\0') {
+    config_.cycle_skip = std::string(skip) != "0";
+  }
+  config_.sampling.enabled = true;
+  validate_sta_config(config_);
+}
+
+SampledSimulator::~SampledSimulator() = default;
+
+uint64_t SampledSimulator::skipped_cycles() const {
+  return proc_ != nullptr ? proc_->skipped_cycles() : 0;
+}
+
+SampledSimulator::Plan SampledSimulator::plan_for(
+    const FuncResult& probe) const {
+  const StaConfig::Sampling& s = config_.sampling;
+  const uint64_t n = std::max<uint64_t>(probe.instrs_total, 1);
+  Plan p;
+  p.warmup = s.warmup_instrs;
+  p.measure = s.measure_instrs;
+  p.ff = s.ff_instrs;
+  if (p.measure == 0) {
+    // Span targets are minimums: window boundaries snap forward to the next
+    // interpreter safe point, so every window grows to end just past a
+    // parallel-region boundary. The target must cover whole glue+region
+    // PERIODS (n / regions): from any safe point, a period-length span
+    // crosses the next region and the snap lands in the glue right after
+    // it, so every window's sequential-vs-parallel instruction mix matches
+    // the whole program's. A shorter target can fit entirely inside the
+    // sequential glue — such windows never see a region and the estimator
+    // oversamples glue, badly overestimating CPI. Four periods per window:
+    // per-period CPI fluctuates on a super-period of a few regions
+    // (empirically ±8% on mcf), and single-period windows alias it.
+    uint64_t measure = std::max<uint64_t>(n / 100, 400);
+    if (probe.parallel_regions > 0) {
+      measure = std::max(measure, 4 * (n / probe.parallel_regions));
+    }
+    p.measure = std::min(measure, n);
+  }
+  if (p.warmup == 0) {
+    // Functional warming keeps the cache working set current across
+    // fast-forward gaps, so the detailed warmup only has to refill the
+    // pipeline, local predictors, and — crucially — cross one parallel
+    // region: the machine's steady state includes wrong threads spawned at
+    // the previous region's end, whose wrong-path execution prefetches the
+    // upcoming glue's data (the WEC effect under study). Half a period
+    // reaches the next region from most safe points; the boundary snap
+    // extends it through that region when it does.
+    p.warmup = probe.parallel_regions > 0
+                   ? std::max(p.measure / 8, (n / probe.parallel_regions) / 2)
+                   : std::max<uint64_t>(p.measure / 4, 100);
+  }
+  if (p.ff == 0) {
+    // Aim for ~8 windows across the run. Sampling only pays when the
+    // detailed windows cover well under half the program; below that, fall
+    // back to one exact window over the whole program: zero sampling error,
+    // full-fidelity cost.
+    constexpr uint64_t kTargetWindows = 8;
+    const uint64_t span = p.warmup + p.measure;
+    p.exact = kTargetWindows * span > n / 2;
+    p.ff = p.exact ? 0 : n / kTargetWindows - span;
+  }
+  return p;
+}
+
+SampledResult SampledSimulator::run() {
+  WEC_CHECK_MSG(!ran_, "SampledSimulator::run may only be called once");
+  ran_ = true;
+  SampledResult r;
+
+  // Functional pre-pass on a throwaway clone: window placement needs the
+  // dynamic instruction count before the master interpreter consumes the
+  // program (the workload's input data is already in memory_ by now).
+  FuncResult probe;
+  {
+    FlatMemory probe_mem = memory_.clone();
+    Interpreter pre(program_, probe_mem);
+    probe = pre.run(kFuncInstrCap);
+    if (!probe.halted) {
+      throw SimError(
+          "sampled mode: functional pre-pass did not halt within " +
+          std::to_string(kFuncInstrCap) + " instructions");
+    }
+  }
+  const Plan plan = plan_for(probe);
+
+  // One persistent detailed machine for every window: its branch predictors
+  // and cache tags stay warm across windows (data correctness is unaffected
+  // — the timing caches are tag-only, values come from FlatMemory, and
+  // window_mem_ is re-cloned from the master image at each window entry).
+  window_mem_ = memory_.clone();
+  proc_ = std::make_unique<StaProcessor>(config_, program_, stats_,
+                                         window_mem_);
+
+  Interpreter master(program_, memory_);
+  TuMemSystem& mem0 = proc_->tu(0).mem();
+  WarmSink warm(mem0);
+  master.set_mem_touch_sink(&warm);
+  const Addr iblock_mask = ~static_cast<Addr>(config_.core.ifetch_block_bytes - 1);
+  // Fast-forward the master to the next safe point at/after `target`.
+  // `warming` replays the skipped slice's data accesses and fetch blocks
+  // into the detailed machine's cache tags; it must be OFF while planning a
+  // window's interior boundaries (the detailed machine executes that slice
+  // itself — pre-touching its own working set would hand the window future
+  // knowledge and understate its CPI).
+  Addr last_iblock = ~static_cast<Addr>(0);
+  auto advance_master = [&](uint64_t target, bool warming) {
+    warm.enabled = warming;
+    while (!master.halted() && (master.result().instrs_total < target ||
+                                !master.at_safe_point())) {
+      if (warming) {
+        const Addr blk = master.pc() & iblock_mask;
+        if (blk != last_iblock) {
+          last_iblock = blk;
+          mem0.warm_ifetch(blk);
+        }
+      }
+      master.step();
+    }
+    warm.enabled = false;
+  };
+
+  uint64_t next_window = 0;
+  bool capped = false;
+  while (!capped) {
+    advance_master(next_window, /*warming=*/true);
+    if (master.halted()) break;
+
+    // Snapshot the architectural state at the window entry (A0); the master
+    // then runs AHEAD of the detailed machine to plan the window's interior
+    // boundaries, so copy what reseed needs by value.
+    const uint64_t start_instr = master.result().instrs_total;
+    const Addr start_pc = master.pc();
+    const std::array<Word, kNumIntRegs> start_int = master.int_regs();
+    const std::array<Word, kNumFpRegs> start_fp = master.fp_regs();
+    window_mem_ = memory_.clone();
+
+    // Plan the warmup/measure boundaries on the master: the first safe
+    // points at/after the span targets. Boundaries therefore fall between
+    // glue+region periods, so each window measures whole periods — the only
+    // placement whose instruction mix (sequential glue vs parallel region)
+    // matches the whole program's. The first window starts cold at
+    // instruction 0 with no warmup phase: its real cold-start cycles are
+    // measured, just as a full-fidelity run pays them.
+    const uint64_t warmup_target = r.windows.empty() ? 0 : plan.warmup;
+    if (warmup_target > 0) {
+      advance_master(start_instr + warmup_target, /*warming=*/false);
+    }
+    uint64_t warmup_end = master.result().instrs_total;
+    if (master.halted()) {
+      // The warmup span already reaches program end: measure the whole tail
+      // instead of warming across all of it.
+      warmup_end = start_instr;
+    } else if (!plan.exact) {
+      advance_master(warmup_end + plan.measure, /*warming=*/false);
+    }
+    const uint64_t measure_end =
+        plan.exact ? start_instr + kFuncInstrCap : master.result().instrs_total;
+
+    proc_->reseed(start_pc, start_int, start_fp);
+
+    SampleWindow win;
+    win.start_instr = start_instr;
+    bool window_halted = false;
+
+    // Pace the detailed machine to the planned boundaries by architectural
+    // commit count. Deltas are compared signed: an abort retracts the killed
+    // iterations' commits, so the counter can step backwards transiently —
+    // it equals the interpreter's instruction count exactly at safe points,
+    // which is where both boundaries sit. The region gate keeps stepping
+    // through any region still open when the count is reached (speculative
+    // not-yet-retracted commits can hit the target mid-region).
+    const uint64_t a0 = proc_->arch_committed_total();
+    auto drive_to = [&](uint64_t boundary_instr) {
+      const int64_t target = static_cast<int64_t>(boundary_instr - start_instr);
+      while (static_cast<int64_t>(proc_->arch_committed_total() - a0) <
+                 target ||
+             proc_->region_active()) {
+        if (proc_->now() >= config_.max_cycles) {
+          capped = true;
+          return;
+        }
+        if (!proc_->step()) {
+          window_halted = true;
+          return;
+        }
+      }
+    };
+
+    const Cycle c0 = proc_->now();
+    drive_to(warmup_end);
+    const Cycle c1 = proc_->now();
+    const uint64_t a1 = proc_->arch_committed_total();
+    const uint64_t all1 = proc_->committed_total();
+    const uint64_t par1 = proc_->parallel_cycles_total();
+    win.warmup_cycles = c1 - c0;
+    win.warmup_commits = static_cast<int64_t>(a1 - a0);
+    if (!window_halted && !capped) drive_to(measure_end);
+    win.measure_cycles = proc_->now() - c1;
+    win.measure_commits =
+        static_cast<int64_t>(proc_->arch_committed_total() - a1);
+    win.measure_commits_all = proc_->committed_total() - all1;
+    win.measure_parallel_cycles = proc_->parallel_cycles_total() - par1;
+    r.windows.push_back(win);
+    if (window_hook_) window_hook_();
+    if (capped) break;
+    if (window_halted || plan.exact || master.halted()) {
+      // The detailed machine reached the program end: drain the master for
+      // the exact whole-program instruction count and stop sampling.
+      next_window = ~0ull;
+    } else {
+      // The master is already at the window's end boundary (it planned it);
+      // skip the fast-forward gap from there.
+      next_window = measure_end + plan.ff;
+    }
+  }
+
+  r.func = master.result();
+  r.func_instrs = r.func.instrs_total;
+  r.halted = !capped && master.halted();
+  if (!r.halted) return r;
+
+  // Pooled ratio estimators over the usable windows (positive measured
+  // commit delta). Pooling weights windows by their measured instruction
+  // count, which is what extrapolating a whole-program total wants.
+  double sum_cycles = 0.0;
+  double sum_arch = 0.0;
+  double sum_all = 0.0;
+  double sum_parallel = 0.0;
+  std::vector<double> cpis;
+  for (const SampleWindow& w : r.windows) {
+    r.detailed_cycles += w.warmup_cycles + w.measure_cycles;
+    if (w.measure_commits <= 0 || w.measure_cycles == 0) continue;
+    sum_cycles += static_cast<double>(w.measure_cycles);
+    sum_arch += static_cast<double>(w.measure_commits);
+    sum_all += static_cast<double>(w.measure_commits_all);
+    sum_parallel += static_cast<double>(w.measure_parallel_cycles);
+    cpis.push_back(static_cast<double>(w.measure_cycles) /
+                   static_cast<double>(w.measure_commits));
+  }
+  if (cpis.empty()) {
+    throw SimError("sampled mode produced no usable measurement windows");
+  }
+  r.cpi = sum_cycles / sum_arch;
+  r.ipc = sum_arch / sum_cycles;
+  r.extrapolated_cycles = static_cast<uint64_t>(
+      std::llround(static_cast<double>(r.func_instrs) * r.cpi));
+  r.extrapolated_committed = static_cast<uint64_t>(std::llround(
+      static_cast<double>(r.func_instrs) * (sum_all / sum_arch)));
+  // Parallel cycles extrapolate as a fraction of total cycles (windows
+  // measure whole glue+region periods, so the measured region-open fraction
+  // is representative), clamped so the estimate stays internally consistent.
+  r.extrapolated_parallel_cycles = std::min(
+      r.extrapolated_cycles,
+      static_cast<uint64_t>(std::llround(
+          static_cast<double>(r.extrapolated_cycles) *
+          (sum_parallel / sum_cycles))));
+  if (cpis.size() >= 2) {
+    const size_t n = cpis.size();
+    double mean = 0.0;
+    for (double c : cpis) mean += c;
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (double c : cpis) var += (c - mean) * (c - mean);
+    var /= static_cast<double>(n - 1);
+    r.ci95_pct = 100.0 * student_t95(n - 1) * std::sqrt(var) /
+                 (std::sqrt(static_cast<double>(n)) * mean);
+  }
+  return r;
+}
+
+}  // namespace wecsim

@@ -1,0 +1,122 @@
+// SimPoint-style sampled simulation: alternate functional fast-forward (the
+// ISA interpreter, which the lockstep checker proves architecturally
+// equivalent to the timing machine) with detailed warmup + measurement
+// windows on the full OoO+STA processor, then extrapolate whole-program
+// cycles and IPC from the measured windows.
+//
+// State carried across the functional/detailed boundary:
+//   * registers + PC       — reseeded exactly from the interpreter snapshot;
+//   * memory               — the detailed machine's FlatMemory is re-cloned
+//                            from the master image at every window entry;
+//   * branch predictors and cache tags — deliberately NOT reset between
+//     windows (one persistent StaProcessor serves every window), so the
+//     microarchitectural warm state accumulated by earlier windows survives,
+//     and each window's warmup phase corrects the working set before
+//     measurement starts.
+//
+// Windows may only start at interpreter safe points (outside parallel
+// regions, no pending forked threads — Interpreter::at_safe_point), where
+// (pc, registers, memory) fully describe the architectural state.
+//
+// Results are estimates with confidence intervals, not bit-exact cycle
+// counts: sampled runs bypass the result cache and emit a run-report variant
+// with per-window measurements (see harness/report.h RunRecord::sampling and
+// docs/PERFORMANCE.md "Sampled simulation").
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "func/interpreter.h"
+#include "isa/program.h"
+#include "mem/flat_memory.h"
+#include "sta/sta_config.h"
+
+namespace wecsim {
+
+class StaProcessor;
+
+/// One detailed window's measurements. Commit counts are architectural
+/// (correct-path, aborted iterations netted out — see
+/// OooCore::set_arch_commit_sink) unless suffixed _all.
+struct SampleWindow {
+  uint64_t start_instr = 0;   // dynamic instruction index at window entry
+  Cycle warmup_cycles = 0;
+  int64_t warmup_commits = 0;
+  Cycle measure_cycles = 0;
+  int64_t measure_commits = 0;      // extrapolation basis
+  uint64_t measure_commits_all = 0;  // incl. wrong-execution commits
+  Cycle measure_parallel_cycles = 0;  // region-open subset of measure_cycles
+};
+
+struct SampledResult {
+  bool halted = false;        // program ran to HALT within max_cycles
+  uint64_t func_instrs = 0;   // N: whole-program dynamic instruction count
+  Cycle detailed_cycles = 0;  // detailed cycles spent (warmup + measure)
+  uint64_t extrapolated_cycles = 0;     // llround(N * cpi)
+  uint64_t extrapolated_committed = 0;  // llround(N * all/arch ratio)
+  uint64_t extrapolated_parallel_cycles = 0;  // extrapolated_cycles scaled by
+                                              // the measured parallel fraction
+  double cpi = 0.0;      // pooled measure_cycles / measure_commits
+  double ipc = 0.0;      // architectural IPC, 1/cpi: useful (correct-path)
+                         // instructions per cycle. The comparable full-run
+                         // quantity is func_instrs / cycles — NOT the run
+                         // report's committed/cycles, whose committed also
+                         // counts wrong-execution commits
+  double ci95_pct = 0.0;  // 95% CI half-width of the per-window CPI, as a
+                          // percent of the mean; 0 when fewer than 2 windows
+  FuncResult func;        // the master interpreter's whole-program accounting
+  std::vector<SampleWindow> windows;
+};
+
+class SampledSimulator {
+ public:
+  /// Validates the configuration up front (same contract as Simulator).
+  /// Honours the lenient WECSIM_SKIP override for the detailed windows.
+  SampledSimulator(const Program& program, const StaConfig& config);
+  ~SampledSimulator();
+
+  SampledSimulator(const SampledSimulator&) = delete;
+  SampledSimulator& operator=(const SampledSimulator&) = delete;
+
+  /// The master architectural memory. Workloads write their input data here
+  /// before run(), exactly like Simulator::memory().
+  FlatMemory& memory() { return memory_; }
+
+  /// Invoked once per completed measurement window (live progress ticks).
+  void set_window_hook(std::function<void()> hook) {
+    window_hook_ = std::move(hook);
+  }
+
+  /// Cycles the detailed machine's event-driven skip fast-forwarded inside
+  /// windows (telemetry; 0 before run or with WECSIM_SKIP=0).
+  uint64_t skipped_cycles() const;
+
+  /// Run the whole program once. Throws SimError when the functional
+  /// pre-pass does not halt or no usable measurement window was produced;
+  /// returns halted=false when max_cycles expired inside a window.
+  SampledResult run();
+
+ private:
+  struct Plan {
+    uint64_t warmup = 0;
+    uint64_t measure = 0;
+    uint64_t ff = 0;
+    bool exact = false;  // single window measuring the entire program
+  };
+  Plan plan_for(const FuncResult& probe) const;
+
+  const Program& program_;
+  StaConfig config_;
+  FlatMemory memory_;      // master architectural image (interpreter-owned)
+  FlatMemory window_mem_;  // detailed machine's image, re-cloned per window
+  StatsRegistry stats_;    // detailed machine stats (cumulative; not reported)
+  std::unique_ptr<StaProcessor> proc_;
+  std::function<void()> window_hook_;
+  bool ran_ = false;
+};
+
+}  // namespace wecsim

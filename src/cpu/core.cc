@@ -52,6 +52,7 @@ OooCore::OooCore(const CoreConfig& config, const Program& program,
       hist_squash_depth_(stats.histogram(stat_prefix + "core.squash_depth")) {
   rat_int_.fill(-1);
   rat_fp_.fill(-1);
+  rob_.init(config.rob_size);
 }
 
 void OooCore::start(Addr pc, const std::array<Word, kNumIntRegs>& int_regs,
@@ -61,8 +62,10 @@ void OooCore::start(Addr pc, const std::array<Word, kNumIntRegs>& int_regs,
   int_regs_[0] = 0;
   rat_int_.fill(-1);
   rat_fp_.fill(-1);
+  flush_stats();
   rob_.clear();
   lsq_used_ = 0;
+  stores_in_rob_ = 0;
   fetch_queue_.clear();
   recoveries_.clear();
   wrong_path_queue_.clear();
@@ -80,8 +83,10 @@ void OooCore::start(Addr pc) {
 }
 
 void OooCore::stop() {
+  flush_stats();
   rob_.clear();
   lsq_used_ = 0;
+  stores_in_rob_ = 0;
   fetch_queue_.clear();
   recoveries_.clear();
   wrong_path_queue_.clear();
@@ -93,7 +98,7 @@ void OooCore::stop() {
 
 void OooCore::tick(Cycle now) {
   if (!active_) return;
-  hist_rob_occupancy_.record(rob_.size());
+  record_occupancy(1);
   fu_used_.fill(0);
   {
     WEC_PROFILE_SCOPE(ProfPhase::kCoreRecover);
@@ -129,11 +134,15 @@ OooCore::RobEntry* OooCore::entry_for(SeqNum seq) {
   return &rob_[seq - head];
 }
 
-bool OooCore::operand_ready(const Operand& op, Cycle now) {
-  if (op.file == RegFile::kNone || !op.from_rob) return true;
+bool OooCore::operand_ready(Operand& op, Cycle now) {
+  if (op.ready) return true;  // kNone/latched operands short-circuit here
   const RobEntry* producer = entry_for(op.producer);
-  if (producer == nullptr) return true;  // producer committed
-  return producer->completed(now);
+  if (producer != nullptr && !producer->completed(now)) return false;
+  // Committed (gone from the ROB) or complete: readiness is monotonic — a
+  // consumer only ever references strictly older producers, which a squash
+  // of the consumer's suffix cannot remove — so latch the answer.
+  op.ready = true;
+  return true;
 }
 
 Word OooCore::operand_value(const Operand& op) {
@@ -150,6 +159,7 @@ void OooCore::note_commit() {
   ++core_stats_.committed;
   stat_committed_.inc();
   if (commit_sink_ != nullptr) ++*commit_sink_;
+  if (arch_commit_sink_ != nullptr) ++*arch_commit_sink_;
 }
 
 uint32_t OooCore::fu_limit(FuClass fu) const {
@@ -254,6 +264,7 @@ void OooCore::do_commit(Cycle now) {
     if (commit_hook_) commit_hook_(committed_info(head));
     ++committed;
     if (head.instr.is_mem()) --lsq_used_;
+    if (head.instr.is_store()) --stores_in_rob_;
     rob_.pop_front();
   }
 }
@@ -321,7 +332,8 @@ void OooCore::do_recoveries(Cycle now) {
 }
 
 void OooCore::harvest_wrong_path_loads(SeqNum branch_seq, Cycle now) {
-  for (RobEntry& entry : rob_) {
+  for (size_t i = 0, n = rob_.size(); i < n; ++i) {
+    RobEntry& entry = rob_[i];
     if (entry.seq <= branch_seq) continue;
     if (!entry.instr.is_load() || entry.issued) continue;
     // The load's effective address must be computable from state that
@@ -355,6 +367,7 @@ void OooCore::squash_after(SeqNum seq, Cycle now) {
   uint64_t depth = 0;
   while (!rob_.empty() && rob_.back().seq > seq) {
     if (rob_.back().instr.is_mem()) --lsq_used_;
+    if (rob_.back().instr.is_store()) --stores_in_rob_;
     rob_.pop_back();
     ++depth;
   }
@@ -391,9 +404,11 @@ OooCore::LoadOrder OooCore::check_older_stores(const RobEntry& load, Cycle now,
 OooCore::LoadOrder OooCore::check_older_stores(SeqNum load_seq, Addr load_addr,
                                                uint32_t load_bytes, Cycle now,
                                                Word* value) {
+  // The common case on store-free windows: nothing to scan at all.
+  if (stores_in_rob_ == 0) return LoadOrder::kToCache;
   // Scan younger→older so the *youngest* older matching store forwards.
-  for (auto it = rob_.rbegin(); it != rob_.rend(); ++it) {
-    const RobEntry& entry = *it;
+  for (size_t i = rob_.size(); i-- > 0;) {
+    const RobEntry& entry = rob_[i];
     if (entry.seq >= load_seq) continue;
     if (!entry.instr.is_store()) continue;
     if (!entry.addr_known) return LoadOrder::kWait;  // conservative ordering
@@ -528,15 +543,17 @@ bool is_load_barrier(Opcode op) {
 void OooCore::do_issue(Cycle now) {
   uint32_t issued = 0;
   uint32_t mem_ports_used = 0;
+  const size_t rob_n = rob_.size();
   SeqNum barrier_seq = ~SeqNum{0};
-  for (const RobEntry& entry : rob_) {
-    if (is_load_barrier(entry.instr.op)) {
-      barrier_seq = entry.seq;  // oldest uncommitted barrier
+  for (size_t i = 0; i < rob_n; ++i) {
+    if (is_load_barrier(rob_[i].instr.op)) {
+      barrier_seq = rob_[i].seq;  // oldest uncommitted barrier
       break;
     }
   }
 
-  for (RobEntry& entry : rob_) {
+  for (size_t i = 0; i < rob_n; ++i) {
+    RobEntry& entry = rob_[i];
     if (issued >= config_.issue_width) break;
     if (entry.issued) continue;
     const OpcodeInfo& info = opcode_info(entry.instr.op);
@@ -608,10 +625,21 @@ void OooCore::do_dispatch(Cycle now) {
     const FetchedInstr& fetched = fetch_queue_.front();
     if (fetched.instr.is_mem() && lsq_used_ >= config_.lsq_size) break;
 
-    RobEntry entry;
-    entry.seq = next_seq_++;
-    WEC_CHECK_MSG(rob_.empty() || rob_.back().seq + 1 == entry.seq,
+    WEC_CHECK_MSG(rob_.empty() || rob_.back().seq + 1 == next_seq_,
                   "ROB sequence numbers must stay contiguous");
+    // Recycle the ring slot in place: reset every field a previous occupant
+    // could have dirtied (the RAT checkpoint arrays stay stale — they are
+    // only read under has_rat_ckpt, which is re-set below for control ops).
+    RobEntry& entry = rob_.push_slot();
+    entry.seq = next_seq_++;
+    entry.issued = false;
+    entry.completed_flag = false;
+    entry.done_cycle = kNoCycle;
+    entry.result = 0;
+    entry.mem_addr = 0;
+    entry.addr_known = false;
+    entry.store_value = 0;
+    entry.has_rat_ckpt = false;
     entry.pc = fetched.pc;
     entry.instr = fetched.instr;
     entry.predicted_taken = fetched.predicted_taken;
@@ -628,6 +656,7 @@ void OooCore::do_dispatch(Cycle now) {
           file == RegFile::kInt ? rat_int_[reg] : rat_fp_[reg];
       if (producer >= 0) {
         op.from_rob = true;
+        op.ready = false;  // latched lazily once the producer completes
         op.producer = static_cast<SeqNum>(producer);
       } else {
         op.value = file == RegFile::kInt ? int_regs_[reg] : fp_regs_[reg];
@@ -653,7 +682,7 @@ void OooCore::do_dispatch(Cycle now) {
     }
 
     if (entry.instr.is_mem()) ++lsq_used_;
-    rob_.push_back(std::move(entry));
+    if (entry.instr.is_store()) ++stores_in_rob_;
     fetch_queue_.pop_front();
     ++dispatched;
   }
@@ -760,22 +789,24 @@ Cycle OooCore::next_event_cycle(Cycle now) {
   // Region-boundary barrier, exactly as do_issue computes it: loads beyond
   // it cannot issue until the barrier op commits (an event covered by the
   // head-of-ROB analysis below).
+  const size_t rob_n = rob_.size();
   SeqNum barrier_seq = ~SeqNum{0};
-  for (const RobEntry& e : rob_) {
-    if (is_load_barrier(e.instr.op)) {
-      barrier_seq = e.seq;
+  for (size_t i = 0; i < rob_n; ++i) {
+    if (is_load_barrier(rob_[i].instr.op)) {
+      barrier_seq = rob_[i].seq;
       break;
     }
   }
 
-  for (RobEntry& entry : rob_) {
+  for (size_t i = 0; i < rob_n; ++i) {
+    RobEntry& entry = rob_[i];
     if (entry.completed_flag) {
       if (entry.done_cycle > now) {
         // In-flight result (memory fill / FU latency) lands at done_cycle.
         consider(entry.done_cycle);
         continue;
       }
-      if (&entry != &rob_.front()) continue;
+      if (i != 0) continue;
       // Completed head: commit acts next cycle — unless it is a thread op
       // stuck on a protocol gate, whose wake-up the environment knows.
       if (opcode_info(entry.instr.op).kind != InstrKind::kThread) return next;
@@ -820,7 +851,27 @@ Cycle OooCore::next_event_cycle(Cycle now) {
 
 void OooCore::account_skipped_cycles(uint64_t n) {
   if (!active_) return;
-  hist_rob_occupancy_.record_n(rob_.size(), n);
+  record_occupancy(n);
+}
+
+void OooCore::record_occupancy(uint64_t n) {
+  const uint64_t size = rob_.size();
+  if (size == occ_run_value_) {
+    occ_run_len_ += n;
+    return;
+  }
+  if (occ_run_len_ > 0) {
+    hist_rob_occupancy_.record_n(occ_run_value_, occ_run_len_);
+  }
+  occ_run_value_ = size;
+  occ_run_len_ = n;
+}
+
+void OooCore::flush_stats() {
+  if (occ_run_len_ > 0) {
+    hist_rob_occupancy_.record_n(occ_run_value_, occ_run_len_);
+    occ_run_len_ = 0;
+  }
 }
 
 }  // namespace wecsim

@@ -173,11 +173,26 @@ class OooCore {
   /// when idle.
   void account_skipped_cycles(uint64_t n);
 
+  /// Drain run-length-batched histogram samples into the stats registry.
+  /// Occupancy samples are accumulated as (value, run-length) pairs and only
+  /// flushed when the occupancy changes; callers that snapshot stats while a
+  /// core is still active (end-of-run aggregation, watchdog dumps) must
+  /// flush first. stop() flushes automatically.
+  void flush_stats();
+
   /// Incremental bookkeeping for the owning processor's hot loop: when set,
   /// *sink is incremented once per committed instruction (commit sink) /
   /// tracks active() transitions (active sink), replacing per-cycle sweeps.
   void set_commit_sink(uint64_t* sink) { commit_sink_ = sink; }
   void set_active_sink(int64_t* sink) { active_sink_ = sink; }
+
+  /// Architectural-commit sink: like the commit sink, but the owner connects
+  /// it only while this core runs a correct-path thread (ThreadUnit detaches
+  /// it on mark_wrong), so the counter tracks commits that correspond to the
+  /// sequential program — the pacing basis for sampled simulation windows.
+  /// The plain commit sink keeps counting everything (wrong threads
+  /// included); it drives the watchdog and must not change meaning.
+  void set_arch_commit_sink(uint64_t* sink) { arch_commit_sink_ = sink; }
 
   /// Cheap digest of the externally visible pipeline state (committed count,
   /// queue occupancies, fetch state). The processor probes next_event_cycle()
@@ -225,6 +240,11 @@ class OooCore {
   /// latched from the committed register file at dispatch.
   struct Operand {
     bool from_rob = false;
+    // Memoized readiness latch: once the producer is observed complete (or
+    // committed) the answer can never change back, so the per-cycle issue
+    // scan stops re-walking the ROB for it. from_rob/producer stay intact —
+    // wrong-path harvesting still needs the producer's identity.
+    bool ready = true;    // false only while a ROB producer is outstanding
     SeqNum producer = 0;  // valid when from_rob
     Word value = 0;       // valid when !from_rob
     RegFile file = RegFile::kNone;
@@ -266,6 +286,53 @@ class OooCore {
     bool actual_taken;
   };
 
+  /// Fixed-capacity ring of ROB slots over contiguous storage. RobEntry is
+  /// large (two RAT checkpoint arrays ≈ 0.5 KiB), so slots are recycled in
+  /// place: push_slot() hands back the next slot with its checkpoint arrays
+  /// untouched (they are only read under has_rat_ckpt, which dispatch
+  /// re-sets) and the caller overwrites the small fields. Indexing is by
+  /// logical position from the head, which keeps the ROB's seq-contiguity
+  /// invariant a simple offset: entry i holds seq front().seq + i.
+  class RobRing {
+   public:
+    void init(size_t capacity) {
+      slots_.resize(capacity);
+      head_ = 0;
+      count_ = 0;
+    }
+    size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    void clear() {
+      head_ = 0;
+      count_ = 0;
+    }
+    RobEntry& operator[](size_t i) { return slots_[index(i)]; }
+    const RobEntry& operator[](size_t i) const { return slots_[index(i)]; }
+    RobEntry& front() { return slots_[head_]; }
+    const RobEntry& front() const { return slots_[head_]; }
+    RobEntry& back() { return slots_[index(count_ - 1)]; }
+    const RobEntry& back() const { return slots_[index(count_ - 1)]; }
+    /// Next slot at the tail, contents stale from its previous occupant.
+    RobEntry& push_slot() {
+      ++count_;
+      return slots_[index(count_ - 1)];
+    }
+    void pop_front() {
+      head_ = head_ + 1 == slots_.size() ? 0 : head_ + 1;
+      --count_;
+    }
+    void pop_back() { --count_; }
+
+   private:
+    size_t index(size_t i) const {
+      const size_t p = head_ + i;
+      return p >= slots_.size() ? p - slots_.size() : p;
+    }
+    std::vector<RobEntry> slots_;
+    size_t head_ = 0;
+    size_t count_ = 0;
+  };
+
   // --- stages --------------------------------------------------------------
 
   void do_commit(Cycle now);
@@ -278,7 +345,8 @@ class OooCore {
   // --- helpers -------------------------------------------------------------
 
   RobEntry* entry_for(SeqNum seq);
-  bool operand_ready(const Operand& op, Cycle now);
+  /// Non-const: latches Operand::ready once the producer is seen complete.
+  bool operand_ready(Operand& op, Cycle now);
   Word operand_value(const Operand& op);
   void note_commit();
   /// Scan older stores for ordering/forwarding. Returns:
@@ -288,6 +356,9 @@ class OooCore {
   LoadOrder check_older_stores(SeqNum load_seq, Addr load_addr,
                                uint32_t load_bytes, Cycle now, Word* value);
   void execute_entry(RobEntry& entry, Cycle now, uint32_t* mem_ports_used);
+  /// Record `n` ROB-occupancy samples at the current size, run-length
+  /// batched: consecutive same-size samples coalesce into one record_n call.
+  void record_occupancy(uint64_t n);
   void resolve_control(RobEntry& entry, Cycle now);
   void squash_after(SeqNum seq, Cycle now);
   void harvest_wrong_path_loads(SeqNum branch_seq, Cycle now);
@@ -313,9 +384,12 @@ class OooCore {
   std::array<int64_t, kNumFpRegs> rat_fp_{};
 
   // Reorder buffer: consecutive seq numbers, head at front.
-  std::deque<RobEntry> rob_;
+  RobRing rob_;
   SeqNum next_seq_ = 1;
   uint32_t lsq_used_ = 0;  // memory entries in rob_, maintained incrementally
+  uint32_t stores_in_rob_ = 0;  // store entries in rob_, ditto — lets
+                                // check_older_stores skip its reverse ROB
+                                // scan entirely on store-free windows
 
   // Fetch state.
   std::deque<FetchedInstr> fetch_queue_;
@@ -336,6 +410,7 @@ class OooCore {
   CommitHook commit_hook_;
   uint64_t* commit_sink_ = nullptr;  // owner's incremental committed total
   int64_t* active_sink_ = nullptr;   // owner's incremental active-core count
+  uint64_t* arch_commit_sink_ = nullptr;  // correct-path commits only
 
   CoreStats core_stats_;
   StatsRegistry::Counter stat_committed_;
@@ -344,6 +419,11 @@ class OooCore {
   StatsRegistry::Counter stat_wrong_path_loads_;
   StatsRegistry::Histogram hist_rob_occupancy_;  // sampled every active cycle
   StatsRegistry::Histogram hist_squash_depth_;   // ROB entries per recovery
+
+  // Run-length batch for hist_rob_occupancy_: `occ_run_len_` pending samples
+  // at value `occ_run_value_`, flushed on change / flush_stats().
+  uint64_t occ_run_value_ = 0;
+  uint64_t occ_run_len_ = 0;
 };
 
 }  // namespace wecsim

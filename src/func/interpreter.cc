@@ -125,6 +125,9 @@ bool Interpreter::step() {
       const uint64_t raw = memory_.read(addr, instr->mem_bytes());
       write_dst(extend_loaded(instr->op, raw));
       ++result_.loads;
+      if (mem_touch_ != nullptr) {
+        mem_touch_->touch(addr, /*store=*/false, in_parallel_);
+      }
       break;
     }
     case InstrKind::kStore: {
@@ -132,6 +135,9 @@ bool Interpreter::step() {
       const Word data = src(info.src2, instr->rs2);
       memory_.write(addr, data, instr->mem_bytes());
       ++result_.stores;
+      if (mem_touch_ != nullptr) {
+        mem_touch_->touch(addr, /*store=*/true, in_parallel_);
+      }
       break;
     }
     case InstrKind::kBranch: {

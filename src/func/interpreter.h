@@ -71,6 +71,30 @@ class Interpreter {
 
   const FuncResult& result() const { return result_; }
 
+  /// True when the architectural state is fully described by (pc, registers,
+  /// memory): outside any parallel region with no pending forked threads.
+  /// Sampled simulation (core/sampled.h) may only hand state to the detailed
+  /// machine at such points — mid-region state would also need the pending
+  /// thread queue and speculative buffers.
+  bool at_safe_point() const { return !in_parallel_ && pending_.empty(); }
+
+  const std::array<Word, kNumIntRegs>& int_regs() const { return int_regs_; }
+  const std::array<Word, kNumFpRegs>& fp_regs() const { return fp_regs_; }
+
+  /// Observer for every architectural data access (sampled fast-forward
+  /// feeds these into the detailed machine's cache tags — functional
+  /// warming). Raw pointers, not std::function: the call sits on the
+  /// interpreter's hot loop. nullptr (the default) disables the hook.
+  /// `parallel` reports whether the access executed inside a parallel
+  /// region — such accesses are spread across thread units by the real
+  /// machine, so warming must not attribute them all to one private L1.
+  class MemTouchSink {
+   public:
+    virtual ~MemTouchSink() = default;
+    virtual void touch(Addr addr, bool store, bool parallel) = 0;
+  };
+  void set_mem_touch_sink(MemTouchSink* sink) { mem_touch_ = sink; }
+
  private:
   struct PendingThread {
     Addr start_pc;
@@ -90,6 +114,7 @@ class Interpreter {
   std::array<Word, kNumFpRegs> fp_regs_{};
   std::deque<PendingThread> pending_;
   FuncResult result_;
+  MemTouchSink* mem_touch_ = nullptr;
 };
 
 }  // namespace wecsim

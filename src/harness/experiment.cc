@@ -8,6 +8,7 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "core/sampled.h"
 #include "harness/env.h"
 #include "harness/progress.h"
 #include "harness/result_cache.h"
@@ -35,6 +36,16 @@ ExperimentRunner::ExperimentRunner(const WorkloadParams& params,
   point_timeout_ = parse_env_seconds("WECSIM_POINT_TIMEOUT", 0.0, &env_errors);
   parse_env_u32("WECSIM_JOBS", 0, 1, 4096, &env_errors);
   parse_env_flag("WECSIM_RESUME", false, &env_errors);
+  // Sampled-mode override (core/sampled.h): strict like every other knob,
+  // so WECSIM_SAMPLE=2 or WECSIM_SAMPLE_FF=1e6 is a hard error, not a
+  // silently-ignored estimate setting.
+  env_sampling_.enabled = parse_env_flag("WECSIM_SAMPLE", false, &env_errors);
+  env_sampling_.ff_instrs =
+      parse_env_u32("WECSIM_SAMPLE_FF", 0, 0, 4294967295u, &env_errors);
+  env_sampling_.warmup_instrs =
+      parse_env_u32("WECSIM_SAMPLE_WARMUP", 0, 0, 4294967295u, &env_errors);
+  env_sampling_.measure_instrs =
+      parse_env_u32("WECSIM_SAMPLE_MEASURE", 0, 0, 4294967295u, &env_errors);
   const ObsEnv obs = parse_obs_env(&env_errors);
   throw_if_env_errors(env_errors);
   // The harness is the strict authority on WECSIM_PROFILE; this overrides
@@ -59,8 +70,63 @@ double ExperimentRunner::elapsed_seconds() const {
 ExperimentRunner::PointOutcome ExperimentRunner::simulate_point(
     const std::string& workload_name, const std::string& key,
     const WorkloadParams& params, const StaConfig& config,
-    const std::string& trace_dir, const FaultPlan& faults) {
+    const std::string& trace_dir, const FaultPlan& faults,
+    ProgressReporter* progress) {
   WEC_PROFILE_SCOPE(ProfPhase::kHarnessSimulate);
+  if (config.sampling.enabled) {
+    // Sampled runs produce estimates, so the machinery that depends on exact
+    // per-cycle behaviour is rejected up front rather than silently skewed:
+    // fault injection fires at precise points the fast-forward never
+    // executes, and the lockstep checker compares a commit stream the
+    // sampled run only produces inside windows.
+    if (faults.any()) {
+      throw SimError("sampled simulation (WECSIM_SAMPLE) is incompatible "
+                     "with fault injection (WECSIM_FAULTS)");
+    }
+    if (const char* check = std::getenv("WECSIM_CHECK");
+        check != nullptr && *check != '\0') {
+      throw SimError("sampled simulation (WECSIM_SAMPLE) is incompatible "
+                     "with architectural checking (WECSIM_CHECK)");
+    }
+    Workload w = make_workload(workload_name, params);
+    SampledSimulator sim(w.program, config);
+    w.init(sim.memory());
+    if (progress != nullptr) {
+      sim.set_window_hook([progress] { progress->note_sample_window(); });
+    }
+    PointOutcome out;
+    const auto t0 = std::chrono::steady_clock::now();
+    const SampledResult s = sim.run();
+    out.m.run_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (!s.halted) {
+      throw SimError("sampled simulation did not finish: " + workload_name +
+                     "|" + key);
+    }
+    if (progress != nullptr) progress->note_skipped_cycles(sim.skipped_cycles());
+    // Only the extrapolated headline quantities are meaningful: the window-
+    // local cache/branch counters cover a fraction of the program, so the
+    // record's counters/gauges/histograms stay empty and the per-window
+    // detail lives in record.sampling.
+    out.m.sim.cycles = s.extrapolated_cycles;
+    out.m.sim.committed = s.extrapolated_committed;
+    out.m.sim.halted = true;
+    out.m.parallel_cycles = s.extrapolated_parallel_cycles;
+    out.record.workload = w.name;
+    out.record.config_key = key;
+    out.record.scale = params.scale;
+    out.record.result = out.m.sim;
+    out.record.run_seconds = out.m.run_seconds;
+    out.record.sampling.enabled = true;
+    out.record.sampling.func_instrs = s.func_instrs;
+    out.record.sampling.detailed_cycles = s.detailed_cycles;
+    out.record.sampling.cpi = s.cpi;
+    out.record.sampling.ipc = s.ipc;
+    out.record.sampling.ci95_pct = s.ci95_pct;
+    out.record.sampling.windows = s.windows;
+    return out;
+  }
   Workload w = make_workload(workload_name, params);
   Simulator sim(w.program, config);
   if (faults.any()) sim.set_fault_plan(faults);
@@ -75,6 +141,9 @@ ExperimentRunner::PointOutcome ExperimentRunner::simulate_point(
           .count();
   if (!out.m.sim.halted) {
     throw SimError("simulation did not finish: " + workload_name + "|" + key);
+  }
+  if (progress != nullptr) {
+    progress->note_skipped_cycles(sim.processor().skipped_cycles());
   }
   out.m.parallel_cycles = sim.stats().value("sta.parallel_cycles");
 
@@ -106,6 +175,14 @@ ExperimentRunner::PointOutcome ExperimentRunner::simulate_point(
 std::string ExperimentRunner::fault_salt() const {
   return fault_plan_.any() ? "faults=" + fault_plan_.describe() + ';'
                            : std::string();
+}
+
+StaConfig ExperimentRunner::effective_config(const StaConfig& config) const {
+  StaConfig out = config;
+  if (env_sampling_.enabled && !out.sampling.enabled) {
+    out.sampling = env_sampling_;
+  }
+  return out;
 }
 
 ExperimentRunner::PointAttempt ExperimentRunner::run_point_failsoft(
@@ -141,7 +218,7 @@ ExperimentRunner::PointAttempt ExperimentRunner::run_point_failsoft(
                             std::to_string(n + 1) + ")");
       }
       attempt.out = simulate_point(workload_name, key, params_, config,
-                                   trace_dir_, fault_plan_);
+                                   trace_dir_, fault_plan_, progress_.get());
       attempt.ok = true;
       if (attempt.recovered) attempt.failure.status = "recovered";
       return attempt;
@@ -192,12 +269,18 @@ const RunMeasurement* ExperimentRunner::try_run(
   if (auto it = cache_.find(memo_key); it != cache_.end()) return &it->second;
   if (quarantined_.count(memo_key) != 0) return nullptr;
 
+  // The sampled override lands BEFORE any cache decision: a sampled point's
+  // estimates must neither be served from nor stored into the byte-identity
+  // result cache (the in-process memo above is fine — sampled runs are
+  // deterministic within a process).
+  const StaConfig effective = effective_config(config);
+  const bool use_disk = disk_cache_->enabled() && !effective.sampling.enabled;
   const std::string description =
-      disk_cache_->enabled()
+      use_disk
           ? ResultCache::describe(workload_name, params_, config, fault_salt())
           : std::string();
   const std::string point_name = workload_name + "|" + key;
-  if (disk_cache_->enabled()) {
+  if (use_disk) {
     if (auto cached = disk_cache_->load(description)) {
       // Disk hit: the measurement is served without simulating, and no
       // RunRecord is appended — records() counts fresh simulations only.
@@ -211,7 +294,7 @@ const RunMeasurement* ExperimentRunner::try_run(
   }
 
   if (progress_ != nullptr) progress_->point_started(point_name);
-  PointAttempt attempt = run_point_failsoft(workload_name, key, config);
+  PointAttempt attempt = run_point_failsoft(workload_name, key, effective);
   if (progress_ != nullptr) {
     const uint32_t retries =
         attempt.failure.attempts > 0 ? attempt.failure.attempts - 1 : 0;
@@ -224,7 +307,7 @@ const RunMeasurement* ExperimentRunner::try_run(
   }
   record_attempt_failure(memo_key, attempt);
   if (!attempt.ok) return nullptr;
-  if (disk_cache_->enabled()) disk_cache_->store(description, attempt.out.m);
+  if (use_disk) disk_cache_->store(description, attempt.out.m);
   records_.push_back(std::move(attempt.out.record));
   return &cache_.emplace(memo_key, std::move(attempt.out.m)).first->second;
 }

@@ -152,12 +152,20 @@ class ExperimentRunner {
   /// its arguments (no runner state) — safe to call from worker threads.
   /// Writes trace files into `trace_dir` when non-empty; `faults` (when
   /// non-empty) replaces the environment's fault plan inside the simulator.
+  /// With config.sampling.enabled the point runs on the SampledSimulator
+  /// instead: result.cycles/committed are extrapolated estimates, the
+  /// record's counters/gauges/histograms stay empty (window-level detail
+  /// lives in record.sampling), and fault injection or WECSIM_CHECK raise a
+  /// SimError — neither is meaningful on an estimated run. `progress` (may
+  /// be null; thread-safe) receives live sampled-window ticks and the run's
+  /// cycle-skip total.
   static PointOutcome simulate_point(const std::string& workload_name,
                                      const std::string& key,
                                      const WorkloadParams& params,
                                      const StaConfig& config,
                                      const std::string& trace_dir,
-                                     const FaultPlan& faults = FaultPlan());
+                                     const FaultPlan& faults = FaultPlan(),
+                                     ProgressReporter* progress = nullptr);
 
   /// The fail-soft attempt loop: injected worker faults, per-point wall
   /// timeouts, bounded retry with exponential backoff. Touches no runner
@@ -169,6 +177,12 @@ class ExperimentRunner {
 
   /// Result-cache salt for the active fault plan ("" when no faults).
   std::string fault_salt() const;
+
+  /// The configuration a point actually runs with: `config`, overridden to
+  /// sampled mode when WECSIM_SAMPLE is set. Applied before any cache
+  /// decision — a sampled point must never load from or store into the
+  /// byte-identity result cache.
+  StaConfig effective_config(const StaConfig& config) const;
 
   /// Record the failure side of a finished attempt (quarantine bookkeeping
   /// plus the recovered-transient audit trail). Call from the merge path
@@ -187,6 +201,11 @@ class ExperimentRunner {
   uint32_t backoff_ms_ = 50;    // WECSIM_RETRY_BACKOFF_MS; doubles per retry
   double point_timeout_ = 0.0;  // WECSIM_POINT_TIMEOUT seconds; 0 = off
   std::string trace_dir_;  // from WECSIM_TRACE_DIR; empty = tracing off
+  // WECSIM_SAMPLE / WECSIM_SAMPLE_{FF,WARMUP,MEASURE}: when enabled, every
+  // point this runner simulates is overridden to sampled mode (applied in
+  // try_run BEFORE any cache decision — sampled estimates must neither be
+  // served from nor stored into the byte-identity result cache).
+  StaConfig::Sampling env_sampling_;
   std::unique_ptr<ResultCache> disk_cache_;
   // Live telemetry (harness/progress.h); null unless WECSIM_PROGRESS_DIR or
   // WECSIM_PROGRESS_FIFO is set. Pure side-channel: feeds nothing back.

@@ -154,7 +154,9 @@ void ParallelExperimentRunner::submit(const std::string& workload_name,
       !queued_.insert(memo_key).second) {
     return;
   }
-  pending_.push_back(Job{workload_name, key, config});
+  // The sampled override is applied at submit time so the drain's disk-cache
+  // and alias decisions see the configuration the point actually runs with.
+  pending_.push_back(Job{workload_name, key, effective_config(config)});
 }
 
 void ParallelExperimentRunner::ensure_journal() {
@@ -269,6 +271,10 @@ void ParallelExperimentRunner::drain() {
     const std::string salt = fault_salt();
     std::map<std::string, size_t> first_with;
     for (size_t i = 0; i < pending_.size(); ++i) {
+      // Sampled points never touch the disk cache: their description stays
+      // empty, which also keeps them out of the alias map (every sampled
+      // point simulates independently, as in serial execution).
+      if (pending_[i].config.sampling.enabled) continue;
       descriptions[i] =
           ResultCache::describe(pending_[i].workload, params_,
                                 pending_[i].config, salt);
@@ -310,7 +316,7 @@ void ParallelExperimentRunner::drain() {
     const JournalPoint point{job.workload, job.key};
     JobOutcome& out = outcomes[i];
     if (journal_ != nullptr) journal_->running(point);
-    if (disk_cache_->enabled()) {
+    if (disk_cache_->enabled() && !descriptions[i].empty()) {
       if (auto cached = disk_cache_->load(descriptions[i])) {
         out.attempt.ok = true;
         out.attempt.out.m = std::move(*cached);
@@ -333,7 +339,7 @@ void ParallelExperimentRunner::drain() {
       if (journal_ != nullptr) journal_->failed(point, out.attempt.failure);
       return;
     }
-    if (disk_cache_->enabled()) {
+    if (disk_cache_->enabled() && !descriptions[i].empty()) {
       disk_cache_->store(descriptions[i], out.attempt.out.m);
     }
     out.fresh = true;

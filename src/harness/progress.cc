@@ -10,6 +10,7 @@
 
 #include "harness/env.h"
 #include "obs/json.h"
+#include "obs/profile.h"
 
 namespace wecsim {
 
@@ -170,6 +171,31 @@ void ProgressReporter::emit_heartbeat_locked() {
   w.kv("sim_cycles_total", sim_cycles_);
   w.kv("sim_cycles_per_second", cps);
   w.kv("eta_seconds", eta);
+  w.kv("skipped_cycles_total", skipped_cycles_);
+  w.kv("skipped_pct", sim_cycles_ > 0
+                          ? 100.0 * static_cast<double>(skipped_cycles_) /
+                                static_cast<double>(sim_cycles_)
+                          : 0.0);
+  w.kv("sample_windows", sample_windows_);
+  // Top self-profile phases by inclusive time (obs/profile.h), so a live
+  // consumer can show where the host cycles are going without waiting for
+  // the timing report. Only under WECSIM_PROFILE.
+  if (profile_enabled()) {
+    std::vector<ProfPhaseTotal> phases = profile_snapshot();
+    std::sort(phases.begin(), phases.end(),
+              [](const ProfPhaseTotal& a, const ProfPhaseTotal& b) {
+                return a.ns > b.ns;
+              });
+    if (phases.size() > 3) phases.resize(3);
+    w.key("profile_top").begin_array();
+    for (const ProfPhaseTotal& p : phases) {
+      w.begin_object();
+      w.kv("phase", profile_phase_name(p.phase));
+      w.kv("seconds", static_cast<double>(p.ns) / 1e9);
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.key("workers").begin_array();
   const auto now = std::chrono::steady_clock::now();
   for (size_t i = 0; i < workers_.size(); ++i) {
@@ -200,9 +226,21 @@ void ProgressReporter::emit_finish_locked() {
   w.kv("replayed", static_cast<uint64_t>(replayed_));
   w.kv("retries", retries_);
   w.kv("sim_cycles_total", sim_cycles_);
+  w.kv("skipped_cycles_total", skipped_cycles_);
+  w.kv("sample_windows", sample_windows_);
   w.kv("wall_seconds", elapsed_seconds());
   w.end_object();
   emit_locked(w.str());
+}
+
+void ProgressReporter::note_skipped_cycles(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  skipped_cycles_ += n;
+}
+
+void ProgressReporter::note_sample_window() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sample_windows_ += 1;
 }
 
 void ProgressReporter::heartbeat_loop() {

@@ -17,10 +17,14 @@
 //              sub-interval sweep produces a observable stream: counters
 //              (total/done/running/pending/quarantined/fresh/cache_hits/
 //              replayed/retries), sim-cycle throughput, an ETA estimate,
-//              and one entry per worker slot with its current point
+//              cycle-skip totals (skipped_cycles_total + skipped_pct),
+//              sampled-window count (sample_windows), the top self-profile
+//              phases when WECSIM_PROFILE is on (profile_top), and one
+//              entry per worker slot with its current point
 //   point      one per finished point: outcome fresh|cached|replayed|
 //              quarantined, cycles, run_seconds, retries
 //   finish     once, from the destructor: final counters + wall_seconds
+//              (v2: plus skipped_cycles_total and sample_windows)
 #pragma once
 
 #include <condition_variable>
@@ -37,7 +41,11 @@ namespace wecsim {
 
 struct ObsEnv;
 
-inline constexpr int kProgressSchemaVersion = 1;
+/// v2: heartbeats carry skipped_cycles_total / skipped_pct / sample_windows
+/// (and profile_top under WECSIM_PROFILE); finish carries the skip/window
+/// totals. Additive only — a v1 consumer that ignores unknown keys still
+/// parses a v2 stream.
+inline constexpr int kProgressSchemaVersion = 2;
 
 class ProgressReporter {
  public:
@@ -84,6 +92,15 @@ class ProgressReporter {
   /// heartbeat.
   void sweep_end();
 
+  /// A fresh run fast-forwarded `n` simulated cycles through the
+  /// event-driven skip. Accumulates; heartbeats report the running total and
+  /// its share of all fresh simulated cycles. Thread-safe.
+  void note_skipped_cycles(uint64_t n);
+
+  /// One sampled-mode measurement window completed (live tick while a
+  /// sampled point is still running). Thread-safe.
+  void note_sample_window();
+
   /// The path of the JSONL stream file ("" when writing to a FIFO only).
   const std::string& stream_path() const { return stream_path_; }
 
@@ -121,6 +138,8 @@ class ProgressReporter {
   uint64_t retries_ = 0;     // attempts beyond the first, summed
   uint64_t sim_cycles_ = 0;  // simulated cycles across fresh points
   double sim_seconds_ = 0.0;  // host seconds spent simulating fresh points
+  uint64_t skipped_cycles_ = 0;  // cycles fast-forwarded by the event skip
+  uint64_t sample_windows_ = 0;  // sampled-mode measurement windows done
   unsigned jobs_ = 1;
   std::map<std::thread::id, size_t> slot_of_;
   std::vector<WorkerState> workers_;

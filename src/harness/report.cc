@@ -189,6 +189,31 @@ void write_run_record(JsonWriter& w, const RunRecord& run,
     write_histogram(w, data);
   }
   w.end_object();
+  // Only present on sampled-mode runs: a full-fidelity record's byte shape
+  // is unchanged by the field's existence.
+  if (run.sampling.enabled) {
+    const SamplingInfo& s = run.sampling;
+    w.key("sampling").begin_object();
+    w.kv("func_instrs", s.func_instrs);
+    w.kv("detailed_cycles", s.detailed_cycles);
+    w.kv("cpi", s.cpi);
+    w.kv("ipc", s.ipc);
+    w.kv("ci95_pct", s.ci95_pct);
+    w.key("windows").begin_array();
+    for (const SampleWindow& win : s.windows) {
+      w.begin_object();
+      w.kv("start_instr", win.start_instr);
+      w.kv("warmup_cycles", win.warmup_cycles);
+      w.kv("warmup_commits", win.warmup_commits);
+      w.kv("measure_cycles", win.measure_cycles);
+      w.kv("measure_commits", win.measure_commits);
+      w.kv("measure_commits_all", win.measure_commits_all);
+      w.kv("measure_parallel_cycles", win.measure_parallel_cycles);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
   if (include_run_seconds) w.kv("run_seconds", run.run_seconds);
   w.end_object();
 }
@@ -208,6 +233,26 @@ RunRecord parse_run_record(const JsonValue& v) {
   }
   for (const auto& [name, value] : v.at("histograms").fields()) {
     run.histograms.emplace(name, parse_histogram(value));
+  }
+  if (v.has("sampling")) {
+    const JsonValue& s = v.at("sampling");
+    run.sampling.enabled = true;
+    run.sampling.func_instrs = s.at("func_instrs").as_u64();
+    run.sampling.detailed_cycles = s.at("detailed_cycles").as_u64();
+    run.sampling.cpi = s.at("cpi").as_double();
+    run.sampling.ipc = s.at("ipc").as_double();
+    run.sampling.ci95_pct = s.at("ci95_pct").as_double();
+    for (const JsonValue& win : s.at("windows").items()) {
+      SampleWindow sw;
+      sw.start_instr = win.at("start_instr").as_u64();
+      sw.warmup_cycles = win.at("warmup_cycles").as_u64();
+      sw.warmup_commits = win.at("warmup_commits").as_i64();
+      sw.measure_cycles = win.at("measure_cycles").as_u64();
+      sw.measure_commits = win.at("measure_commits").as_i64();
+      sw.measure_commits_all = win.at("measure_commits_all").as_u64();
+      sw.measure_parallel_cycles = win.at("measure_parallel_cycles").as_u64();
+      run.sampling.windows.push_back(sw);
+    }
   }
   if (v.has("run_seconds")) run.run_seconds = v.at("run_seconds").as_double();
   return run;
@@ -318,6 +363,19 @@ std::string render_timing_report(const std::string& bench_name, unsigned jobs,
     w.kv("cycles", run.result.cycles);
     w.kv("run_seconds", run.run_seconds);
     w.kv("cycles_per_second", run.sim_cycles_per_second());
+    // Additive fields (allowed without a version bump). "ipc" is the
+    // architectural IPC — correct-path instructions per cycle — and appears
+    // only when the record knows its architectural instruction count
+    // (sampled runs always do; full-fidelity runs only when the bench also
+    // measured the point functionally). Comparing a full and a sampled
+    // report through bench_compare --metric=ipc therefore compares like
+    // with like; "committed" (all commits, wrong execution included) is
+    // emitted unconditionally for context.
+    w.kv("committed", run.result.committed);
+    if (run.sampling.func_instrs > 0 && run.result.cycles > 0) {
+      w.kv("ipc", static_cast<double>(run.sampling.func_instrs) /
+                      static_cast<double>(run.result.cycles));
+    }
     w.end_object();
   }
   w.end_array();

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "core/sampled.h"
 #include "core/simulator.h"
 #include "obs/json.h"
 
@@ -22,6 +23,23 @@ namespace wecsim {
 /// obs/integrity.h) and an interrupted sweep marks itself "interrupted".
 inline constexpr int kRunReportSchemaVersion = 2;
 
+/// Sampled-simulation section of a run record. Present (serialized) only
+/// when `enabled` — full-fidelity reports keep their exact byte shape. A
+/// bench may instead fill just `func_instrs` (leaving enabled=false) for a
+/// full-fidelity run whose architectural instruction count it measured:
+/// nothing is serialized into the canonical run report, but the timing
+/// report derives its additive per-run "ipc" field from it, giving the
+/// full and sampled sides of an A/B comparison the same IPC basis.
+struct SamplingInfo {
+  bool enabled = false;
+  uint64_t func_instrs = 0;   // N: whole-program architectural instructions
+  Cycle detailed_cycles = 0;  // detailed cycles actually simulated
+  double cpi = 0.0;           // pooled estimator (see core/sampled.h)
+  double ipc = 0.0;           // architectural IPC, 1/cpi
+  double ci95_pct = 0.0;      // 95% CI half-width, percent of mean
+  std::vector<SampleWindow> windows;
+};
+
 /// Everything recorded about one (workload, configuration) simulation.
 struct RunRecord {
   std::string workload;    // paper name, e.g. "181.mcf"
@@ -31,6 +49,11 @@ struct RunRecord {
   StatsSnapshot counters;
   std::map<std::string, HistogramData> histograms;
   std::map<std::string, int64_t> gauges;
+
+  // Sampled-mode measurements; serialized (after "histograms") only when
+  // sampling.enabled, so full-fidelity reports are byte-identical to before
+  // the field existed.
+  SamplingInfo sampling;
 
   // Host wall-clock of the simulation. Deliberately NOT serialized into the
   // canonical run report (which must stay byte-identical across runs and

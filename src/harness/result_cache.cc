@@ -80,7 +80,10 @@ std::string ResultCache::describe(const std::string& workload_name,
   // cycle_skip and wall_timeout_seconds are deliberately NOT part of the
   // key: neither affects results (skipping is bit-identical by contract —
   // see docs/PERFORMANCE.md), so runs with either setting share cache
-  // entries.
+  // entries. `sampling` is excluded for the opposite reason: sampled runs
+  // produce estimates and are kept out of the cache entirely (the harness
+  // never calls load/store for them), so serializing the knobs here would
+  // only pollute the full-fidelity key space.
   // CoreConfig.
   const CoreConfig& core = c.core;
   os << "fetch_w=" << core.fetch_width << ';';

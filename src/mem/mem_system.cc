@@ -47,6 +47,12 @@ void SharedL2::write_back(Addr addr, Cycle now) {
   }
 }
 
+void SharedL2::warm(Addr addr) {
+  if (!tags_.access(addr, /*mark_dirty=*/false, /*now=*/0).has_value()) {
+    tags_.insert(addr, /*dirty=*/false, /*ready_cycle=*/0);
+  }
+}
+
 void SharedL2::reset() {
   tags_.clear();
   next_free_ = 0;
@@ -341,6 +347,22 @@ Cycle TuMemSystem::ifetch(Addr pc, Cycle now) {
   (void)victim;  // instruction blocks are never dirty
   if (done > fill_horizon_) fill_horizon_ = done;
   return done;
+}
+
+void TuMemSystem::warm_access(Addr addr, bool store) {
+  if (l1d_.access(addr, /*mark_dirty=*/store, /*now=*/0).has_value()) return;
+  l2_.warm(addr);
+  // Displaced victims vanish silently: warming is cost-free by definition,
+  // so their write-back bandwidth is deliberately not modelled.
+  l1d_.insert(addr, /*dirty=*/store, /*ready_cycle=*/0);
+}
+
+void TuMemSystem::warm_shared(Addr addr) { l2_.warm(addr); }
+
+void TuMemSystem::warm_ifetch(Addr pc) {
+  if (l1i_.access(pc, /*mark_dirty=*/false, /*now=*/0).has_value()) return;
+  l2_.warm(pc);
+  l1i_.insert(pc, /*dirty=*/false, /*ready_cycle=*/0);
 }
 
 void TuMemSystem::coherence_update(Addr addr) {

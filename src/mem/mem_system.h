@@ -98,6 +98,10 @@ class SharedL2 {
   /// does not return data).
   void write_back(Addr addr, Cycle now);
 
+  /// Functional warming (sampled fast-forward): make the block resident and
+  /// most-recently-used without consuming bandwidth or touching statistics.
+  void warm(Addr addr);
+
   /// Cycle the L2 port frees up. Passive bandwidth state: it only delays
   /// requests that arrive before it, it never acts on its own — so cycle
   /// skipping treats the L2 as event-free. Exposed for the skip invariant
@@ -148,6 +152,17 @@ class TuMemSystem {
   /// addr. Refreshes any local copy; counts the shared-bus update. Per the
   /// paper this adds no delay — traffic goes to otherwise idle caches.
   void coherence_update(Addr addr);
+
+  /// Functional warming (sampled fast-forward): replay an architectural
+  /// access into the L1d + shared-L2 tag arrays — residency and LRU only, no
+  /// latency, no bandwidth, no statistics, no side-cache involvement. Keeps
+  /// the long-lived cache working set tracking the program between detailed
+  /// windows, which a window-local warmup phase alone cannot rebuild.
+  void warm_access(Addr addr, bool store);
+  void warm_ifetch(Addr pc);
+  /// Warm only the shared L2: for accesses made inside parallel regions,
+  /// whose L1 residency the real machine spreads across thread units.
+  void warm_shared(Addr addr);
 
   /// End-of-run provenance close-out: every block still resident in the side
   /// cache is accounted as an unused fill, so that per origin

@@ -30,6 +30,25 @@ struct StaConfig {
   // deliberately NOT part of the result-cache key. Overridable per run with
   // WECSIM_SKIP=0|1.
   bool cycle_skip = true;
+
+  /// Sampled simulation (SimPoint-style interval sampling): alternate
+  /// functional fast-forward with detailed warmup + measurement windows and
+  /// extrapolate whole-program cycles/IPC from the measured windows (see
+  /// core/sampled.h and docs/PERFORMANCE.md "Sampled simulation"). Results
+  /// are estimates with confidence intervals, NOT bit-exact cycle counts, so
+  /// sampled runs are excluded from the byte-identity result-cache key space
+  /// entirely: the harness never loads or stores a disk-cache entry for a
+  /// sampled point, and `sampling` is deliberately NOT serialized by
+  /// ResultCache::describe (full-fidelity keys stay stable). Overridable per
+  /// run with WECSIM_SAMPLE / WECSIM_SAMPLE_FF / WECSIM_SAMPLE_WARMUP /
+  /// WECSIM_SAMPLE_MEASURE.
+  struct Sampling {
+    bool enabled = false;
+    uint64_t ff_instrs = 0;       // fast-forward between windows; 0 = auto
+    uint64_t warmup_instrs = 0;   // detailed warmup per window; 0 = auto
+    uint64_t measure_instrs = 0;  // measured commits per window; 0 = auto
+  };
+  Sampling sampling;
 };
 
 /// Validate a configuration at processor construction. Collects EVERY

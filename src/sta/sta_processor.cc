@@ -37,6 +37,7 @@ StaProcessor::StaProcessor(const StaConfig& config, const Program& program,
     // active/committed totals track every transition from cycle 0.
     tus_.back()->core().set_commit_sink(&committed_total_);
     tus_.back()->core().set_active_sink(&active_tus_);
+    tus_.back()->set_arch_commit_counter(&arch_committed_total_);
   }
   // The sequential thread starts on TU 0.
   tus_[0]->start_thread(program.entry(), {}, {},
@@ -44,6 +45,31 @@ StaProcessor::StaProcessor(const StaConfig& config, const Program& program,
                         /*parallel=*/false);
   sequential_tu_ = 0;
   wall_start_ = std::chrono::steady_clock::now();
+}
+
+void StaProcessor::reseed(Addr pc,
+                          const std::array<Word, kNumIntRegs>& int_regs,
+                          const std::array<Word, kNumFpRegs>& fp_regs) {
+  for (auto& tu : tus_) {
+    if (!tu->idle()) tu->kill();
+  }
+  pending_forks_.clear();
+  ring_.clear();
+  live_iters_.clear();
+  // Close the region but keep its id monotonic: a stale ring message can
+  // never alias a post-reseed region even if one slipped past the clear.
+  const uint64_t region_id = region_.id;
+  region_ = RegionState{};
+  region_.id = region_id;
+  sequential_tu_ = 0;
+  tus_[0]->start_thread(pc, int_regs, fp_regs,
+                        MemoryBuffer(config_.membuf_entries), /*iter=*/0,
+                        /*parallel=*/false);
+  // The jump in architectural state is not watchdog progress; restart its
+  // window so a long fast-forward cannot trip the deadlock detector.
+  last_committed_total_ = committed_total_;
+  last_progress_cycle_ = now_;
+  last_activity_sig_ = 0;
 }
 
 void StaProcessor::attach_checker(LockstepChecker* checker) {
@@ -177,7 +203,7 @@ void StaProcessor::maybe_skip_ahead() {
   // busy can only progress after that TU's core acts — covered by the core
   // scan below; with an idle target it may charge the delay on the very next
   // cycle, so nothing can be skipped.
-  for (const auto& [tu_id, fork] : pending_forks_) {
+  for (const PendingFork& fork : pending_forks_) {
     if (fork.activation == kNoCycle) {
       if (tus_[fork.target_tu]->idle()) return;
       continue;
@@ -242,6 +268,9 @@ StaRunResult StaProcessor::run() {
   result.cycles = now_;
   result.halted = halted;
   for (const auto& tu : tus_) {
+    // Cores still active at the cycle cap hold run-length-batched histogram
+    // samples; drain them before the caller snapshots the stats registry.
+    tu->core().flush_stats();
     result.committed += tu->core().core_stats().committed;
   }
   return result;
@@ -254,7 +283,11 @@ StaRunResult StaProcessor::run() {
 void StaProcessor::queue_fork(ThreadUnit& parent, Addr target_pc, Cycle now) {
   if (region_.aborted) return;  // the region is over; nothing may fork
   const TuId target = (parent.id() + 1) % num_tus();
-  WEC_CHECK_MSG(!pending_forks_.contains(target),
+  // Sorted insert by target TU (the old std::map's iteration order).
+  const auto pos = std::find_if(
+      pending_forks_.begin(), pending_forks_.end(),
+      [target](const PendingFork& f) { return f.target_tu >= target; });
+  WEC_CHECK_MSG(pos == pending_forks_.end() || pos->target_tu != target,
                 "two pending forks target the same thread unit");
   PendingFork fork;
   fork.target_tu = target;
@@ -268,20 +301,20 @@ void StaProcessor::queue_fork(ThreadUnit& parent, Addr target_pc, Cycle now) {
   // arrives over the ring).
   parent.buffer().copy_targets_to(fork.buffer);
   (void)now;
-  pending_forks_.emplace(target, std::move(fork));
+  pending_forks_.insert(pos, std::move(fork));
   stat_forks_.inc();
 }
 
 void StaProcessor::start_pending_forks() {
-  for (auto it = pending_forks_.begin(); it != pending_forks_.end();) {
-    PendingFork& fork = it->second;
+  for (size_t i = 0; i < pending_forks_.size();) {
+    PendingFork& fork = pending_forks_[i];
     if (fork.region_id != region_.id || !region_.active || region_.aborted) {
-      it = pending_forks_.erase(it);
+      pending_forks_.erase(pending_forks_.begin() + i);
       continue;
     }
     ThreadUnit& tu = *tus_[fork.target_tu];
     if (!tu.idle()) {
-      ++it;
+      ++i;
       continue;
     }
     if (fork.activation == kNoCycle) {
@@ -289,13 +322,13 @@ void StaProcessor::start_pending_forks() {
       fork.activation = now_ + config_.fork_delay;
     }
     if (now_ < fork.activation) {
-      ++it;
+      ++i;
       continue;
     }
     tu.start_thread(fork.pc, fork.int_regs, fork.fp_regs,
                     std::move(fork.buffer), fork.iter, /*parallel=*/true);
-    live_iters_[fork.iter] = fork.target_tu;
-    it = pending_forks_.erase(it);
+    live_iters_.emplace_back(fork.iter, fork.target_tu);
+    pending_forks_.erase(pending_forks_.begin() + i);
   }
 }
 
@@ -327,7 +360,7 @@ void StaProcessor::begin_region(ThreadUnit& head, Cycle now) {
   region_.wb_ready_cycle = 0;
 
   head.start_region_as_head();
-  live_iters_[0] = head.id();
+  live_iters_.emplace_back(0, head.id());
 }
 
 void StaProcessor::abort_successors(ThreadUnit& aborter, Cycle now) {
@@ -339,11 +372,18 @@ void StaProcessor::abort_successors(ThreadUnit& aborter, Cycle now) {
     if (tu->idle() || tu.get() == &aborter) continue;
     if (!tu->is_parallel()) continue;
     if (tu->iter() <= aborter.iter()) continue;
-    live_iters_.erase(tu->iter());
+    const uint64_t dead_iter = tu->iter();
+    std::erase_if(live_iters_,
+                  [dead_iter](const std::pair<uint64_t, TuId>& live) {
+                    return live.first == dead_iter;
+                  });
     if (config_.wrong_thread_exec) {
       tu->mark_wrong();
       stat_wrong_threads_.inc();
     } else {
+      // Discarded outright: net its commits out of the architectural total
+      // (mark_wrong does the same internally for the wth path).
+      tu->retract_arch_commits();
       tu->kill();
     }
   }
@@ -421,10 +461,10 @@ void StaProcessor::send_ts_data(uint64_t from_iter, Addr granule,
 }
 
 MemoryBuffer* StaProcessor::buffer_for_iter(uint64_t iter) {
-  if (auto it = live_iters_.find(iter); it != live_iters_.end()) {
-    return &tus_[it->second]->buffer();
+  for (const auto& [live_iter, tu] : live_iters_) {
+    if (live_iter == iter) return &tus_[tu]->buffer();
   }
-  for (auto& [target_tu, fork] : pending_forks_) {
+  for (auto& fork : pending_forks_) {
     if (fork.iter == iter && fork.region_id == region_.id) {
       return &fork.buffer;
     }
@@ -433,22 +473,28 @@ MemoryBuffer* StaProcessor::buffer_for_iter(uint64_t iter) {
 }
 
 bool StaProcessor::iter_exists(uint64_t iter) const {
-  if (live_iters_.contains(iter)) return true;
-  for (const auto& [target_tu, fork] : pending_forks_) {
+  for (const auto& [live_iter, tu] : live_iters_) {
+    if (live_iter == iter) return true;
+  }
+  for (const auto& fork : pending_forks_) {
     if (fork.iter == iter && fork.region_id == region_.id) return true;
   }
   return false;
 }
 
 void StaProcessor::deliver_ring_msgs() {
-  for (size_t i = 0; i < ring_.size();) {
-    RingMsg& msg = ring_[i];
-    if (msg.region_id != region_.id || !region_.active) {
-      ring_.erase(ring_.begin() + i);
-      continue;
-    }
+  // Two-pointer compaction: kept messages slide down in order, delivered and
+  // stale ones are dropped, all in one pass (the deque version erased each
+  // one individually, shifting the tail per message). Chain-forwarded
+  // messages appended mid-scan are visited by this same pass — their due
+  // cycle is in the future, so they are simply kept, exactly as before.
+  size_t kept = 0;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    // Copy: the chain-forward push_back below may reallocate the vector.
+    const RingMsg msg = ring_[i];
+    if (msg.region_id != region_.id || !region_.active) continue;  // stale
     if (msg.due > now_) {
-      ++i;
+      ring_[kept++] = msg;
       continue;
     }
     MemoryBuffer* buffer = buffer_for_iter(msg.target_iter);
@@ -470,8 +516,8 @@ void StaProcessor::deliver_ring_msgs() {
         stat_ring_msgs_.inc();
       }
     }
-    ring_.erase(ring_.begin() + i);
   }
+  ring_.erase(ring_.begin() + kept, ring_.end());
 }
 
 // ---------------------------------------------------------------------------

@@ -5,11 +5,10 @@
 #pragma once
 
 #include <chrono>
-#include <deque>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
@@ -40,8 +39,26 @@ class StaProcessor {
   /// starts on TU 0 at the program entry.
   StaRunResult run();
 
-  /// Step one cycle manually (tests). Returns false once halted.
+  /// Step one cycle manually (tests, sampled windows). Returns false once
+  /// halted.
   bool step();
+
+  /// Re-aim the machine at a new architectural state (sampled simulation):
+  /// kill every thread unit, drop all in-flight protocol state (pending
+  /// forks, ring traffic, live iterations), and restart the sequential
+  /// thread on TU 0 at `pc` with the given registers. Deliberately NOT
+  /// reset: the cycle counter (windows measure deltas), branch predictors
+  /// and cache tags (the warm state sampling carries across windows), and
+  /// all statistics. The caller is responsible for making memory() hold the
+  /// architectural memory image for `pc`.
+  void reseed(Addr pc, const std::array<Word, kNumIntRegs>& int_regs,
+              const std::array<Word, kNumFpRegs>& fp_regs);
+
+  /// Running totals behind the incremental commit sinks: everything a core
+  /// committed (wrong threads included — the watchdog's notion of progress),
+  /// and the correct-path subset that paces sampled windows.
+  uint64_t committed_total() const { return committed_total_; }
+  uint64_t arch_committed_total() const { return arch_committed_total_; }
 
   Cycle now() const { return now_; }
   ThreadUnit& tu(TuId id) { return *tus_[id]; }
@@ -52,12 +69,22 @@ class StaProcessor {
   /// The TU currently executing (or last to execute) sequential code.
   TuId sequential_tu() const { return sequential_tu_; }
 
+  /// True while a parallel region is open. Sampled windows end only outside
+  /// a region, so a window's composition covers whole glue+region periods.
+  bool region_active() const { return region_.active; }
+
   /// Cycle-skip introspection (plain members, deliberately NOT registry
   /// stats: run reports serialize the full registry, and reports must stay
   /// byte-identical with skipping on or off).
   bool cycle_skip_enabled() const { return skip_enabled_; }
   uint64_t skipped_cycles() const { return skipped_cycles_; }
   uint64_t skip_jumps() const { return skip_jumps_; }
+
+  /// Running parallel-region cycle total (reads the registry counter).
+  /// Sampled windows difference it to extrapolate parallel cycles.
+  uint64_t parallel_cycles_total() const {
+    return stat_parallel_cycles_.value();
+  }
 
   /// Route every TU's commit stream to a lockstep checker (nullptr detaches).
   void attach_checker(LockstepChecker* checker);
@@ -160,15 +187,21 @@ class StaProcessor {
   Cycle now_ = 0;
   TuId sequential_tu_ = 0;
   RegionState region_;
-  std::map<uint64_t, TuId> live_iters_;          // iteration -> TU
-  std::map<TuId, PendingFork> pending_forks_;    // target TU -> fork
-  std::deque<RingMsg> ring_;                     // unsorted; scanned per cycle
+  // Flat, small-N protocol state (the ring and fork queues are scanned every
+  // executed cycle): at most num_tus live iterations / pending forks exist at
+  // once, so contiguous vectors with linear scans replace the node-based
+  // maps the hot loop used to chase. pending_forks_ stays sorted by target
+  // TU, preserving the old std::map iteration (fork start) order exactly.
+  std::vector<std::pair<uint64_t, TuId>> live_iters_;  // (iteration, TU)
+  std::vector<PendingFork> pending_forks_;             // sorted by target_tu
+  std::vector<RingMsg> ring_;  // unsorted; compacted in place per cycle
 
   FaultSession* faults_ = nullptr;
 
   // Incremental bookkeeping (cores report transitions through sinks instead
   // of step() sweeping every TU per cycle).
   uint64_t committed_total_ = 0;
+  uint64_t arch_committed_total_ = 0;
   int64_t active_tus_ = 0;
   int64_t gauge_active_cache_ = -1;   // last value pushed into the gauge
   int64_t gauge_forks_cache_ = -1;

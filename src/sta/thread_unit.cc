@@ -42,7 +42,19 @@ void ThreadUnit::start_thread(Addr pc,
   drain_.clear();
   drain_pos_ = 0;
   replay_buf_.clear();
+  arch_commits_at_start_ = core_.core_stats().committed;
+  core_.set_arch_commit_sink(arch_sink_);
   core_.start(pc, int_regs, fp_regs);
+}
+
+void ThreadUnit::retract_arch_commits() {
+  // Between start_thread and here the core's every commit also bumped the
+  // arch sink (they attach and detach together), so the core's cumulative
+  // committed delta is exactly this thread's arch contribution.
+  if (arch_sink_ != nullptr) {
+    *arch_sink_ -= core_.core_stats().committed - arch_commits_at_start_;
+  }
+  arch_commits_at_start_ = core_.core_stats().committed;
 }
 
 void ThreadUnit::start_region_as_head() {
@@ -64,9 +76,19 @@ void ThreadUnit::kill() {
 }
 
 void ThreadUnit::mark_wrong() {
+  // A second abort from an even older iteration may hit a thread that is
+  // already wrong; re-marking must not retract its (uncounted) wrong-path
+  // commits a second time.
+  if (wrong_) return;
   wrong_ = true;
   // Whatever this thread committed so far is off the sequential path.
   replay_buf_.clear();
+  // Stop counting this thread toward the architectural commit total — from
+  // here on its commits are wrong-execution prefetch work — and net out what
+  // it already contributed: an aborted iteration is not part of the
+  // sequential instruction stream.
+  retract_arch_commits();
+  core_.set_arch_commit_sink(nullptr);
 }
 
 void ThreadUnit::attach_checker(LockstepChecker* checker) {

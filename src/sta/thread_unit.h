@@ -56,6 +56,21 @@ class ThreadUnit final : public CoreEnv {
 
   void tick(Cycle now);
 
+  /// Where architectural (correct-path) commits are counted. The core's arch
+  /// sink is attached on start_thread and detached by mark_wrong, so the
+  /// counter never includes commits made after a thread went wrong; commits a
+  /// thread made *before* its abort stay counted (they were correct-path work
+  /// at the time, and sampled-window pacing only needs an approximate
+  /// sequential-instruction clock).
+  void set_arch_commit_counter(uint64_t* sink) { arch_sink_ = sink; }
+
+  /// Net this thread's commits since start_thread back out of the
+  /// architectural total — its work is being discarded (abort). After the
+  /// retraction the counter equals the commit count of the surviving
+  /// sequential instruction stream, i.e. what the lockstep checker would
+  /// replay, which is the basis sampled extrapolation divides by.
+  void retract_arch_commits();
+
   /// Cycle-skip support: conservative earliest cycle this unit could act
   /// (see OooCore::next_event_cycle), and bulk stat replay across a jump.
   Cycle next_event_cycle(Cycle now) { return core_.next_event_cycle(now); }
@@ -111,6 +126,8 @@ class ThreadUnit final : public CoreEnv {
   bool wrong_ = false;
   bool forked_ = false;
   uint64_t iter_ = 0;
+  uint64_t* arch_sink_ = nullptr;  // owner's correct-path commit total
+  uint64_t arch_commits_at_start_ = 0;  // core committed count at start_thread
 
   // Write-back stage state machine (thend / endpar).
   enum class WbState : uint8_t { kIdle, kDraining };

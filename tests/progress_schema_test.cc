@@ -91,6 +91,11 @@ void check_heartbeat(const JsonValue& v) {
   EXPECT_GE(v.at("elapsed_seconds").as_double(), 0.0);
   EXPECT_GE(v.at("eta_seconds").as_double(), 0.0);
   EXPECT_GE(v.at("sim_cycles_per_second").as_double(), 0.0);
+  // v2 additions: cycle-skip and sampled-window telemetry on every beat.
+  EXPECT_TRUE(v.at("skipped_cycles_total").is_number());
+  EXPECT_GE(v.at("skipped_pct").as_double(), 0.0);
+  EXPECT_LE(v.at("skipped_pct").as_double(), 100.0);
+  EXPECT_TRUE(v.at("sample_windows").is_number());
   // The counter invariant every consumer relies on for progress bars.
   EXPECT_EQ(v.at("total").as_u64(),
             v.at("done").as_u64() + v.at("running").as_u64() +
@@ -114,6 +119,7 @@ struct StreamSummary {
   uint64_t finish_done = 0;
   uint64_t finish_fresh = 0;
   uint64_t finish_cache_hits = 0;
+  uint64_t finish_sample_windows = 0;
 };
 
 StreamSummary validate_stream(const std::string& path) {
@@ -148,6 +154,8 @@ StreamSummary validate_stream(const std::string& path) {
       s.finish_done = v.at("done").as_u64();
       s.finish_fresh = v.at("fresh").as_u64();
       s.finish_cache_hits = v.at("cache_hits").as_u64();
+      s.finish_sample_windows = v.at("sample_windows").as_u64();
+      EXPECT_TRUE(v.at("skipped_cycles_total").is_number());
       EXPECT_GE(v.at("wall_seconds").as_double(), 0.0);
     } else {
       ADD_FAILURE() << "unknown event: " << event;
@@ -198,6 +206,24 @@ TEST(ProgressSchemaTest, ParallelSweepEmitsWellFormedStream) {
   EXPECT_EQ(s.points, 2u);
   EXPECT_EQ(s.fresh_points, 2u);
   EXPECT_EQ(s.finish_done, 2u);
+  fs::remove_all(dir);
+}
+
+TEST(ProgressSchemaTest, SampledSweepCountsWindows) {
+  const std::string dir = fresh_dir("sampled");
+  WorkloadParams params;
+  params.scale = 1;
+  {
+    ScopedEnv progress("WECSIM_PROGRESS_DIR", dir.c_str());
+    ScopedEnv sample("WECSIM_SAMPLE", "1");
+    ExperimentRunner runner(params, std::string());
+    runner.run("mcf", "orig", make_paper_config(PaperConfig::kOrig, 4));
+  }
+  const std::vector<std::string> streams = stream_files(dir);
+  ASSERT_EQ(streams.size(), 1u);
+  const StreamSummary s = validate_stream(streams[0]);
+  EXPECT_EQ(s.fresh_points, 1u);
+  EXPECT_GE(s.finish_sample_windows, 1u);
   fs::remove_all(dir);
 }
 

@@ -1,0 +1,282 @@
+// Sampled simulation (core/sampled.h + harness wiring):
+//   * accuracy property over every kernel — the sampled estimate's error
+//     against the full-fidelity run stays within the reported confidence
+//     interval (or the 2% acceptance floor, whichever is larger);
+//   * bit-for-bit determinism of repeated sampled runs;
+//   * A/B byte-diff of a full-fidelity run report against the checked-in
+//     golden — proves the batched hot-path refactor changed no reported bit;
+//   * sampled points bypass the on-disk result cache in both directions;
+//   * sampled mode rejects fault injection / lockstep checking / malformed
+//     WECSIM_SAMPLE_* environment values with a SimError.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "core/sampled.h"
+#include "core/sim_config.h"
+#include "core/simulator.h"
+#include "fault/fault.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "workloads/workload.h"
+
+namespace wecsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+std::string fresh_dir(const std::string& tag) {
+  static int counter = 0;
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("wecsim_sampling_" + tag + "_" + std::to_string(::getpid()) + "_" +
+        std::to_string(counter++)))
+          .string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+StaConfig sampled_config() {
+  StaConfig config = make_paper_config(PaperConfig::kOrig, 4);
+  config.sampling.enabled = true;  // auto-planned windows
+  return config;
+}
+
+SampledResult run_sampled(const std::string& workload, uint32_t scale) {
+  WorkloadParams params;
+  params.scale = scale;
+  Workload w = make_workload(workload, params);
+  SampledSimulator sim(w.program, sampled_config());
+  w.init(sim.memory());
+  return sim.run();
+}
+
+// ---------------------------------------------------------------------------
+// Accuracy: every kernel, smoke scale. The comparable full-run IPC basis is
+// architectural instructions over cycles (func_instrs / cycles) — the run
+// report's `committed` also counts wrong-execution commits.
+// ---------------------------------------------------------------------------
+
+TEST(SamplingTest, ExtrapolationWithinConfidenceIntervalOnEveryKernel) {
+  for (const std::string& name : workload_names()) {
+    SCOPED_TRACE(name);
+    WorkloadParams params;
+    params.scale = 1;
+    Workload w = make_workload(name, params);
+    Simulator full(w.program, make_paper_config(PaperConfig::kOrig, 4));
+    w.init(full.memory());
+    const SimResult full_result = full.run();
+    ASSERT_TRUE(full_result.halted);
+
+    const SampledResult sampled = run_sampled(name, params.scale);
+    ASSERT_TRUE(sampled.halted);
+    ASSERT_GT(sampled.func_instrs, 0u);
+    ASSERT_GT(sampled.windows.size(), 0u);
+
+    const double full_ipc = static_cast<double>(sampled.func_instrs) /
+                            static_cast<double>(full_result.cycles);
+    const double ipc_err_pct =
+        100.0 * std::abs(sampled.ipc - full_ipc) / full_ipc;
+    const double cycles_err_pct =
+        100.0 *
+        std::abs(static_cast<double>(sampled.extrapolated_cycles) -
+                 static_cast<double>(full_result.cycles)) /
+        static_cast<double>(full_result.cycles);
+    // Statistical tolerance: the window-level CI when it is meaningful,
+    // never tighter than the 2% acceptance floor.
+    const double tolerance = std::max(sampled.ci95_pct, 2.0);
+    EXPECT_LE(ipc_err_pct, tolerance)
+        << "sampled ipc " << sampled.ipc << " vs full " << full_ipc;
+    EXPECT_LE(cycles_err_pct, tolerance)
+        << "extrapolated " << sampled.extrapolated_cycles << " vs full "
+        << full_result.cycles;
+
+    // Parallel cycles extrapolate as a fraction of total cycles (benches
+    // like fig08 derive region speedups from them). Internal consistency
+    // plus a loose accuracy bound against the full run's counter: the
+    // parallel FRACTION carries both placement variance and the total-cycle
+    // error, so its tolerance is twice the headline one.
+    EXPECT_LE(sampled.extrapolated_parallel_cycles,
+              sampled.extrapolated_cycles);
+    const uint64_t full_parallel =
+        full.stats().snapshot().at("sta.parallel_cycles");
+    if (full_parallel > 0) {
+      EXPECT_GT(sampled.extrapolated_parallel_cycles, 0u);
+      const double par_err_pct =
+          100.0 *
+          std::abs(static_cast<double>(sampled.extrapolated_parallel_cycles) -
+                   static_cast<double>(full_parallel)) /
+          static_cast<double>(full_parallel);
+      EXPECT_LE(par_err_pct, 2.0 * tolerance)
+          << "extrapolated parallel " << sampled.extrapolated_parallel_cycles
+          << " vs full " << full_parallel;
+    }
+  }
+}
+
+TEST(SamplingTest, SampledRunIsDeterministic) {
+  const SampledResult a = run_sampled("mcf", 1);
+  const SampledResult b = run_sampled("mcf", 1);
+  EXPECT_EQ(a.func_instrs, b.func_instrs);
+  EXPECT_EQ(a.detailed_cycles, b.detailed_cycles);
+  EXPECT_EQ(a.extrapolated_cycles, b.extrapolated_cycles);
+  EXPECT_EQ(a.extrapolated_committed, b.extrapolated_committed);
+  EXPECT_EQ(a.extrapolated_parallel_cycles, b.extrapolated_parallel_cycles);
+  EXPECT_EQ(a.cpi, b.cpi);  // exact: same arithmetic on same integers
+  ASSERT_EQ(a.windows.size(), b.windows.size());
+  for (size_t i = 0; i < a.windows.size(); ++i) {
+    EXPECT_EQ(a.windows[i].start_instr, b.windows[i].start_instr);
+    EXPECT_EQ(a.windows[i].measure_cycles, b.windows[i].measure_cycles);
+    EXPECT_EQ(a.windows[i].measure_commits, b.windows[i].measure_commits);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// A/B byte-diff: a full-fidelity run report must match the checked-in golden
+// byte for byte. This pins the batched/SoA hot-path refactor (RobRing,
+// operand ready latch, run-length occupancy batching, flat protocol queues)
+// to "zero observable change" — any drift in cycles, stats, histograms, or
+// serialization shows up as a diff here.
+// ---------------------------------------------------------------------------
+
+TEST(SamplingTest, FullFidelityReportMatchesGolden) {
+  WorkloadParams params;
+  params.scale = 1;
+  Workload w = make_workload("mcf", params);
+  Simulator sim(w.program, make_paper_config(PaperConfig::kWthWpWec));
+  w.init(sim.memory());
+  sim.trace().enable();
+  const SimResult result = sim.run();
+  ASSERT_TRUE(result.halted);
+
+  RunRecord record;
+  record.workload = w.name;
+  record.config_key = paper_config_name(PaperConfig::kWthWpWec);
+  record.scale = params.scale;
+  record.result = result;
+  record.counters = sim.stats().snapshot();
+  record.histograms = sim.stats().histogram_snapshot();
+  record.gauges = sim.stats().gauge_snapshot();
+  const std::string report = render_run_report("golden", {record});
+
+  const std::string golden_path =
+      std::string(WECSIM_TESTS_DIR) + "/golden/run_report_full_fidelity.json";
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden: " << golden_path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(report, buf.str());
+}
+
+// ---------------------------------------------------------------------------
+// Cache bypass: a sampled point must neither store into nor load from the
+// byte-identity result cache. The same directory then serves a full-fidelity
+// point, proving the cache itself works.
+// ---------------------------------------------------------------------------
+
+namespace {
+size_t cache_entries(const std::string& dir) {
+  size_t n = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".json") ++n;
+  }
+  return n;
+}
+}  // namespace
+
+TEST(SamplingTest, SampledPointsBypassResultCache) {
+  const std::string dir = fresh_dir("cache");
+  WorkloadParams params;
+  params.scale = 1;
+  {
+    ScopedEnv sample("WECSIM_SAMPLE", "1");
+    ExperimentRunner runner(params, dir);
+    runner.run("mcf", "orig", make_paper_config(PaperConfig::kOrig, 4));
+    ASSERT_EQ(runner.records().size(), 1u);
+    EXPECT_TRUE(runner.records()[0].sampling.enabled);
+  }
+  EXPECT_EQ(cache_entries(dir), 0u) << "sampled point wrote a cache entry";
+  {
+    ExperimentRunner runner(params, dir);
+    runner.run("mcf", "orig", make_paper_config(PaperConfig::kOrig, 4));
+  }
+  EXPECT_EQ(cache_entries(dir), 1u) << "full-fidelity point did not cache";
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Incompatibilities and env validation.
+// ---------------------------------------------------------------------------
+
+TEST(SamplingTest, SampledRejectsFaultInjection) {
+  WorkloadParams params;
+  params.scale = 1;
+  ExperimentRunner runner(params, std::string());
+  runner.set_failsoft_limits(1, 0);
+  runner.set_fault_plan(FaultPlan::parse("mispredict:every=100"));
+  EXPECT_THROW(
+      runner.run("mcf", "sampled", sampled_config()),
+      SimError);
+}
+
+TEST(SamplingTest, SampledRejectsLockstepChecking) {
+  WorkloadParams params;
+  params.scale = 1;
+  ScopedEnv check("WECSIM_CHECK", "1");
+  ExperimentRunner runner(params, std::string());
+  runner.set_failsoft_limits(1, 0);
+  EXPECT_THROW(
+      runner.run("mcf", "sampled", sampled_config()),
+      SimError);
+}
+
+TEST(SamplingTest, MalformedSampleEnvIsRejectedUpFront) {
+  WorkloadParams params;
+  params.scale = 1;
+  {
+    ScopedEnv sample("WECSIM_SAMPLE", "1");
+    ScopedEnv ff("WECSIM_SAMPLE_FF", "banana");
+    EXPECT_THROW(ExperimentRunner(params, std::string()), SimError);
+  }
+  {
+    ScopedEnv sample("WECSIM_SAMPLE", "maybe");
+    EXPECT_THROW(ExperimentRunner(params, std::string()), SimError);
+  }
+}
+
+}  // namespace
+}  // namespace wecsim

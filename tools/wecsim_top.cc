@@ -60,7 +60,10 @@ JsonValue validate_line(const std::string& line) {
   if (v.at("schema").as_string() != "wecsim.progress") {
     throw SimError("schema is not wecsim.progress");
   }
-  if (v.at("schema_version").as_i64() != 1) {
+  // v1 streams (no skip/sampling telemetry) are accepted alongside v2:
+  // every v2 addition is validated only when present.
+  const int64_t version = v.at("schema_version").as_i64();
+  if (version != 1 && version != 2) {
     throw SimError("unsupported schema_version");
   }
   const std::string event = v.at("event").as_string();
@@ -76,6 +79,17 @@ JsonValue validate_line(const std::string& line) {
     v.at("elapsed_seconds").as_double();
     v.at("sim_cycles_per_second").as_double();
     v.at("eta_seconds").as_double();
+    if (version >= 2) {
+      v.at("skipped_cycles_total").as_u64();
+      v.at("skipped_pct").as_double();
+      v.at("sample_windows").as_u64();
+      if (v.has("profile_top")) {
+        for (const JsonValue& p : v.at("profile_top").items()) {
+          p.at("phase").as_string();
+          p.at("seconds").as_double();
+        }
+      }
+    }
     for (const JsonValue& worker : v.at("workers").items()) {
       worker.at("worker").as_u64();
       const std::string state = worker.at("state").as_string();
@@ -99,6 +113,10 @@ JsonValue validate_line(const std::string& line) {
                             "cache_hits", "replayed", "retries",
                             "sim_cycles_total"}) {
       v.at(key).as_u64();
+    }
+    if (version >= 2) {
+      v.at("skipped_cycles_total").as_u64();
+      v.at("sample_windows").as_u64();
     }
     v.at("wall_seconds").as_double();
   } else {
@@ -141,6 +159,27 @@ void render(const JsonValue& v) {
         static_cast<unsigned long long>(v.at("retries").as_u64()),
         human_cycles(v.at("sim_cycles_per_second").as_double()).c_str(),
         v.at("eta_seconds").as_double());
+    if (v.has("skipped_cycles_total")) {
+      const double skipped_pct = v.at("skipped_pct").as_double();
+      const uint64_t windows = v.at("sample_windows").as_u64();
+      if (skipped_pct > 0.0 || windows > 0) {
+        std::printf("    skip: %.1f%% of cycles fast-forwarded",
+                    skipped_pct);
+        if (windows > 0) {
+          std::printf(" | sampled windows: %llu",
+                      static_cast<unsigned long long>(windows));
+        }
+        std::printf("\n");
+      }
+    }
+    if (v.has("profile_top")) {
+      std::printf("    profile:");
+      for (const JsonValue& p : v.at("profile_top").items()) {
+        std::printf(" %s=%.2fs", p.at("phase").as_string().c_str(),
+                    p.at("seconds").as_double());
+      }
+      std::printf("\n");
+    }
     for (const JsonValue& worker : v.at("workers").items()) {
       if (worker.at("state").as_string() != "running") continue;
       std::printf("    w%llu: %s (%.1fs)\n",
