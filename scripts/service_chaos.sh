@@ -1,0 +1,172 @@
+#!/usr/bin/env bash
+# Chaos harness for wecsimd (docs/SERVICE.md): builds the service, runs the
+# service-smoke suite, then drives an end-to-end kill storm — SIGKILL worker
+# processes mid-simulation, SIGKILL the daemon itself, restart it on the same
+# state dir — and asserts the final run report is byte-identical to an
+# uninterrupted baseline. Also checks the admission-control exit code (4 for
+# a quota rejection) and the graceful-drain contract (SIGTERM exits 3 with
+# work journaled, 0 when idle).
+#
+# Usage: scripts/service_chaos.sh [--asan|--tsan]
+#   --asan   run everything under ASan/UBSan (build-asan)
+#   --tsan   run everything under TSan (build-tsan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+configure=release
+case "${1:-}" in
+  --asan) configure=asan ;;
+  --tsan) configure=tsan ;;
+  "") ;;
+  *) echo "usage: $0 [--asan|--tsan]" >&2; exit 1 ;;
+esac
+builddir=build
+[[ "$configure" == release ]] || builddir="build-$configure"
+
+cmake --preset "$configure"
+cmake --build --preset "$configure" -j "$(nproc)" \
+  --target wecsimd wecsimctl service_test
+ctest --test-dir "$builddir" -L service-smoke --output-on-failure \
+  -j "$(nproc)"
+
+WECSIMD="$builddir/tools/wecsimd"
+CTL="$builddir/tools/wecsimctl"
+work="$(mktemp -d "${TMPDIR:-/tmp}/wecsim_chaos.XXXXXX")"
+daemon_pid=""
+cleanup() {
+  [[ -n "$daemon_pid" ]] && kill -9 "$daemon_pid" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+json_field() {  # json_field FIELD <<< '{"json":...}'
+  python3 -c "import json,sys; print(json.load(sys.stdin)[sys.argv[1]])" "$1"
+}
+
+wait_ready() {  # wait_ready SOCKET
+  for _ in $(seq 1 400); do
+    if "$CTL" --socket "$1" health >/dev/null 2>&1; then return 0; fi
+    sleep 0.05
+  done
+  echo "service_chaos: daemon on $1 never became ready" >&2
+  return 1
+}
+
+# The job every phase submits: identical spec -> identical report bytes.
+# (The report embeds the job name, not the client, so different tenants
+# submitting this spec must produce the same bytes.)
+submit_job() {  # submit_job SOCKET [CLIENT]
+  "$CTL" --socket "$1" submit --client "${2:-chaos}" --name chaos \
+    --workload 181.mcf --scale 1 --seed 42 \
+    --point orig=orig:1 --point wp=wth-wp:1 --point wec=wth-wp-wec:1
+}
+
+wait_report() {  # wait_report STATE_DIR JOB  (poll the report file itself:
+                 # robust whether finalize happened before or after a kill)
+  local report="$1/jobs/$2/report.json"
+  for _ in $(seq 1 1200); do
+    [[ -s "$report" ]] && { echo "$report"; return 0; }
+    sleep 0.1
+  done
+  echo "service_chaos: no report for job $2 under $1" >&2
+  return 1
+}
+
+echo "== baseline: uninterrupted run =="
+state="$work/base"
+sock="$state.sock"
+mkdir -p "$state"
+"$WECSIMD" --socket "$sock" --workers 2 --backoff-ms 10 "$state" \
+  2>"$work/base.log" &
+daemon_pid=$!
+wait_ready "$sock"
+job="$(submit_job "$sock" | json_field job)"
+"$CTL" --socket "$sock" wait "$job" --timeout 300 >/dev/null
+baseline="$(wait_report "$state" "$job")"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" && rc=0 || rc=$?
+[[ "$rc" -eq 0 ]] || { echo "FAIL: idle drain exited $rc, want 0" >&2; exit 1; }
+daemon_pid=""
+
+echo "== chaos: multi-client sweep, SIGKILL workers, then the daemon, restart =="
+state="$work/chaos"
+sock="$state.sock"
+mkdir -p "$state"
+"$WECSIMD" --socket "$sock" --workers 1 --backoff-ms 10 "$state" \
+  2>"$work/chaos.log" &
+daemon_pid=$!
+wait_ready "$sock"
+job="$(submit_job "$sock" alice | json_field job)"
+job2="$(submit_job "$sock" bob | json_field job)"
+# Kill whatever worker is busy, a few times, while the sweep runs.
+for _ in 1 2 3; do
+  sleep 0.2
+  pids="$("$CTL" --socket "$sock" health 2>/dev/null | python3 -c \
+    'import json,sys; print(" ".join(str(p) for p in json.load(sys.stdin)["worker_pids"]))' \
+    2>/dev/null || true)"
+  for pid in $pids; do kill -9 "$pid" 2>/dev/null || true; done
+done
+# Now the daemon itself, no warning.
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+"$WECSIMD" --socket "$sock" --workers 2 --backoff-ms 10 "$state" \
+  2>>"$work/chaos.log" &
+daemon_pid=$!
+wait_ready "$sock"
+report="$(wait_report "$state" "$job")"
+cmp "$baseline" "$report" || {
+  echo "FAIL: chaos report differs from baseline" >&2; exit 1; }
+report2="$(wait_report "$state" "$job2")"
+cmp "$baseline" "$report2" || {
+  echo "FAIL: second tenant's chaos report differs from baseline" >&2; exit 1; }
+kill -TERM "$daemon_pid"; wait "$daemon_pid" || true; daemon_pid=""
+
+echo "== admission control: quota rejection exits 4 =="
+state="$work/quota"
+sock="$state.sock"
+mkdir -p "$state"
+"$WECSIMD" --socket "$sock" --workers 1 --quota 1 "$state" \
+  2>"$work/quota.log" &
+daemon_pid=$!
+wait_ready "$sock"
+submit_job "$sock" >"$work/quota.out" && rc=0 || rc=$?
+[[ "$rc" -eq 4 ]] || {
+  echo "FAIL: over-quota submit exited $rc, want 4" >&2
+  cat "$work/quota.out" >&2
+  exit 1
+}
+grep -q quota_exceeded "$work/quota.out"
+grep -q retry_after_ms "$work/quota.out"
+kill -TERM "$daemon_pid"; wait "$daemon_pid" || true; daemon_pid=""
+
+echo "== graceful drain: SIGTERM mid-sweep exits 3, restart resumes =="
+state="$work/drain"
+sock="$state.sock"
+mkdir -p "$state"
+"$WECSIMD" --socket "$sock" --workers 1 --backoff-ms 10 "$state" \
+  2>"$work/drain.log" &
+daemon_pid=$!
+wait_ready "$sock"
+# SIGTERM the instant the submit reply lands — parsing the job id first
+# would give the one worker time to finish the whole sweep.
+submit_out="$(submit_job "$sock")"
+kill -TERM "$daemon_pid"
+job="$(json_field job <<<"$submit_out")"
+wait "$daemon_pid" && rc=0 || rc=$?
+daemon_pid=""
+[[ "$rc" -eq 3 ]] || {
+  echo "FAIL: mid-sweep drain exited $rc, want 3 (kExitInterrupted)" >&2
+  exit 1
+}
+"$WECSIMD" --socket "$sock" --workers 2 --backoff-ms 10 "$state" \
+  2>>"$work/drain.log" &
+daemon_pid=$!
+wait_ready "$sock"
+report="$(wait_report "$state" "$job")"
+cmp "$baseline" "$report" || {
+  echo "FAIL: post-drain report differs from baseline" >&2; exit 1; }
+kill -TERM "$daemon_pid"; wait "$daemon_pid" || true; daemon_pid=""
+
+echo "service_chaos: all phases passed ($configure)"

@@ -93,6 +93,25 @@ ObsEnv parse_obs_env(std::vector<std::string>* errors) {
   return obs;
 }
 
+ServiceEnv parse_service_env(std::vector<std::string>* errors) {
+  ServiceEnv service;
+  if (const char* sock = std::getenv("WECSIM_SERVICE_SOCKET")) {
+    service.socket = sock;
+  }
+  service.workers =
+      parse_env_u32("WECSIM_SERVICE_WORKERS", 0, 0, 4096, errors);
+  service.max_queue =
+      parse_env_u32("WECSIM_SERVICE_MAX_QUEUE", 1024, 1, 1000000, errors);
+  service.quota =
+      parse_env_u32("WECSIM_SERVICE_QUOTA", 256, 1, 1000000, errors);
+  service.retries = parse_env_u32("WECSIM_SERVICE_RETRIES", 2, 0, 100, errors);
+  service.backoff_ms =
+      parse_env_u32("WECSIM_SERVICE_BACKOFF_MS", 100, 0, 600000, errors);
+  service.retry_after_ms =
+      parse_env_u32("WECSIM_SERVICE_RETRY_AFTER_MS", 500, 1, 600000, errors);
+  return service;
+}
+
 void throw_if_env_errors(const std::vector<std::string>& errors) {
   if (errors.empty()) return;
   std::string what = std::to_string(errors.size()) +

@@ -47,4 +47,24 @@ struct ObsEnv {
 /// violations to *errors (same contract as the parse_env_* helpers).
 ObsEnv parse_obs_env(std::vector<std::string>* errors);
 
+/// wecsimd sweep-service knobs (docs/SERVICE.md), parsed with the same
+/// strict aggregated contract. Flag-style overrides on the daemon/ctl
+/// command line win over the environment; everything here has a sane
+/// default so `wecsimd <state_dir>` alone is a working deployment.
+struct ServiceEnv {
+  std::string socket;            // WECSIM_SERVICE_SOCKET; default
+                                 // <state_dir>/wecsimd.sock when empty
+  uint32_t workers = 0;          // WECSIM_SERVICE_WORKERS; 0 = hw threads
+  uint32_t max_queue = 1024;     // WECSIM_SERVICE_MAX_QUEUE queued points
+  uint32_t quota = 256;          // WECSIM_SERVICE_QUOTA per-client queued pts
+  uint32_t retries = 2;          // WECSIM_SERVICE_RETRIES per crashed point
+  uint32_t backoff_ms = 100;     // WECSIM_SERVICE_BACKOFF_MS restart backoff
+  uint32_t retry_after_ms = 500; // WECSIM_SERVICE_RETRY_AFTER_MS hint in
+                                 // backpressure rejections
+};
+
+/// Reads the WECSIM_SERVICE_* variables, appending any violations to
+/// *errors (same contract as the parse_env_* helpers).
+ServiceEnv parse_service_env(std::vector<std::string>* errors);
+
 }  // namespace wecsim

@@ -12,9 +12,26 @@
 #include "harness/env.h"
 #include "harness/progress.h"
 #include "harness/result_cache.h"
+#include "obs/integrity.h"
 #include "obs/profile.h"
 
 namespace wecsim {
+
+uint64_t failsoft_backoff_ms(uint32_t base_ms, uint32_t attempt,
+                             uint64_t fault_seed,
+                             const std::string& point_key) {
+  if (base_ms == 0) return 0;
+  const uint64_t exp = static_cast<uint64_t>(base_ms)
+                       << (attempt < 63 ? attempt : 63);
+  // Keep the exponential floor (exp/2) so a retry still waits out the blip,
+  // and spread the rest deterministically: the jitter is a pure function of
+  // (fault seed, point, attempt), never of wall clock or thread identity.
+  const uint64_t floor_ms = exp / 2;
+  const uint64_t span = exp - floor_ms + 1;
+  const uint64_t h = fnv1a64(std::to_string(fault_seed) + "|" + point_key +
+                             "|" + std::to_string(attempt));
+  return floor_ms + h % span;
+}
 
 ExperimentRunner::ExperimentRunner(const WorkloadParams& params,
                                    std::optional<std::string> cache_dir)
@@ -227,8 +244,8 @@ ExperimentRunner::PointAttempt ExperimentRunner::run_point_failsoft(
       attempt.failure.error = e.what();
       attempt.recovered = true;  // provisionally; cleared if we never succeed
       if (n + 1 < max_attempts_ && backoff_ms_ > 0) {
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(static_cast<uint64_t>(backoff_ms_) << n));
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            failsoft_backoff_ms(backoff_ms_, n, fault_plan_.seed(), point)));
       }
     } catch (const SimTimeout& e) {
       // Persistent by construction: the simulator is deterministic, so the

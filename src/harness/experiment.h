@@ -53,6 +53,17 @@ struct RunMeasurement {
   double run_seconds = 0.0;  // host wall-clock of the simulation run
 };
 
+/// Backoff before fail-soft retry `attempt` (0-based) of `point_key`
+/// ("workload|key"): exponential base `base_ms << attempt`, with the upper
+/// half replaced by deterministic jitter derived from (`fault_seed`,
+/// `point_key`, `attempt`). Parallel workers retrying the same transient
+/// blip therefore spread out instead of stampeding in lockstep, while any
+/// given point's schedule is a pure function of the fault-plan seed —
+/// reports stay byte-identical run over run. base_ms == 0 disables backoff.
+uint64_t failsoft_backoff_ms(uint32_t base_ms, uint32_t attempt,
+                             uint64_t fault_seed,
+                             const std::string& point_key);
+
 /// Runs simulations and memoizes them by (workload, key) so sweeps that
 /// share a baseline don't re-simulate it.
 class ExperimentRunner {

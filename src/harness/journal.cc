@@ -12,7 +12,6 @@
 
 #include "common/error.h"
 #include "obs/integrity.h"
-#include "obs/json.h"
 #include "obs/profile.h"
 
 namespace wecsim {
@@ -26,13 +25,7 @@ void begin_entry(JsonWriter& w, const char* ev, const JournalPoint& point) {
   w.kv("key", point.key);
 }
 
-std::string finish_entry(JsonWriter& w) {
-  w.kv("integrity", integrity_placeholder());
-  w.end_object();
-  std::string line = w.take();
-  line.push_back('\n');
-  return seal_integrity(std::move(line));
-}
+}  // namespace
 
 bool pid_is_alive(int64_t pid) {
   if (pid <= 0) return false;
@@ -40,9 +33,93 @@ bool pid_is_alive(int64_t pid) {
   return errno == EPERM;  // exists but not ours
 }
 
-}  // namespace
+uint64_t process_start_ticks(int64_t pid) {
+  if (pid <= 0) return 0;
+  std::ifstream in("/proc/" + std::to_string(pid) + "/stat",
+                   std::ios::binary);
+  if (!in.good()) return 0;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string stat = buf.str();
+  // comm (field 2) is parenthesized and may contain spaces; everything
+  // after the LAST ')' is space-separated. starttime is field 22 overall,
+  // i.e. the 20th token after the comm.
+  const size_t paren = stat.rfind(')');
+  if (paren == std::string::npos) return 0;
+  std::istringstream rest(stat.substr(paren + 1));
+  std::string tok;
+  for (int i = 0; i < 20; ++i) {
+    if (!(rest >> tok)) return 0;
+  }
+  uint64_t ticks = 0;
+  for (const char c : tok) {
+    if (c < '0' || c > '9') return 0;
+    ticks = ticks * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return ticks;
+}
 
-SweepJournal::SweepJournal(std::string path, size_t truncate_to)
+uint64_t worker_token(int64_t pid) {
+  const uint64_t ticks = process_start_ticks(pid);
+  if (ticks == 0) return 0;
+  return fnv1a64(std::to_string(pid) + ":" + std::to_string(ticks));
+}
+
+std::string finish_sealed_line(JsonWriter& w) {
+  w.kv("integrity", integrity_placeholder());
+  w.end_object();
+  std::string line = w.take();
+  line.push_back('\n');
+  return seal_integrity(std::move(line));
+}
+
+size_t scan_sealed_lines(const std::string& path,
+                         const std::function<void(const JsonValue& doc)>& fn,
+                         std::vector<std::string>& warnings) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return 0;  // no file yet: empty scan
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+
+  size_t valid_bytes = 0;
+  size_t line_start = 0;
+  size_t line_no = 0;
+  while (line_start < content.size()) {
+    const size_t nl = content.find('\n', line_start);
+    if (nl == std::string::npos) {
+      // Torn tail: the crash landed mid-append. Expected; cut on reopen.
+      warnings.push_back("torn trailing journal line (" +
+                         std::to_string(content.size() - line_start) +
+                         " bytes) dropped");
+      break;
+    }
+    ++line_no;
+    const std::string line = content.substr(line_start, nl + 1 - line_start);
+    const size_t line_end = nl + 1;
+    // Every '\n'-terminated line is part of the durable prefix, readable or
+    // not: only the torn tail is ever truncated. A corrupt line mid-file is
+    // left in place (and skipped on every load) so the entries after it
+    // survive future resumes.
+    valid_bytes = line_end;
+    if (check_integrity(line) == IntegrityStatus::kSealed) {
+      try {
+        // Strip '\n' for the parser.
+        fn(parse_json(line.substr(0, line.size() - 1)));
+      } catch (const std::exception& e) {
+        warnings.push_back("journal line " + std::to_string(line_no) +
+                           " unreadable (" + e.what() + "); skipped");
+      }
+    } else {
+      warnings.push_back("journal line " + std::to_string(line_no) +
+                         " failed its integrity check; skipped");
+    }
+    line_start = line_end;
+  }
+  return valid_bytes;
+}
+
+SealedAppendLog::SealedAppendLog(std::string path, size_t truncate_to)
     : path_(std::move(path)) {
   fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (fd_ < 0) {
@@ -61,12 +138,13 @@ SweepJournal::SweepJournal(std::string path, size_t truncate_to)
   }
 }
 
-SweepJournal::~SweepJournal() {
+SealedAppendLog::~SealedAppendLog() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-void SweepJournal::append_lines_locked(const std::vector<std::string>& lines) {
+void SealedAppendLog::append_batch(const std::vector<std::string>& lines) {
   WEC_PROFILE_SCOPE(ProfPhase::kHarnessJournal);
+  std::lock_guard<std::mutex> lock(mu_);
   std::string batch;
   for (const std::string& line : lines) batch += line;
   size_t off = 0;
@@ -87,10 +165,12 @@ void SweepJournal::append_lines_locked(const std::vector<std::string>& lines) {
   }
 }
 
-void SweepJournal::append_line(std::string line) {
-  std::lock_guard<std::mutex> lock(mu_);
-  append_lines_locked({std::move(line)});
+void SealedAppendLog::append(std::string line) {
+  append_batch({std::move(line)});
 }
+
+SweepJournal::SweepJournal(std::string path, size_t truncate_to)
+    : log_(std::move(path), truncate_to) {}
 
 void SweepJournal::queued(const std::vector<JournalPoint>& points) {
   if (points.empty()) return;
@@ -99,20 +179,26 @@ void SweepJournal::queued(const std::vector<JournalPoint>& points) {
   for (const JournalPoint& p : points) {
     JsonWriter w;
     begin_entry(w, "queued", p);
-    lines.push_back(finish_entry(w));
+    lines.push_back(finish_sealed_line(w));
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  append_lines_locked(lines);
+  log_.append_batch(lines);
 }
 
 void SweepJournal::running(const JournalPoint& point) {
+  const int64_t pid = static_cast<int64_t>(::getpid());
+  running(point, pid, worker_token(pid));
+}
+
+void SweepJournal::running(const JournalPoint& point, int64_t pid,
+                           uint64_t token) {
   JsonWriter w;
   begin_entry(w, "running", point);
-  w.kv("pid", static_cast<int64_t>(::getpid()));
+  w.kv("pid", pid);
   w.kv("worker",
        static_cast<uint64_t>(
            std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffff));
-  append_line(finish_entry(w));
+  w.kv("token", token);
+  log_.append(finish_sealed_line(w));
 }
 
 void SweepJournal::done(const JournalPoint& point, const RunMeasurement& m,
@@ -135,7 +221,7 @@ void SweepJournal::done(const JournalPoint& point, const RunMeasurement& m,
     w.key("failure");
     write_point_failure(w, *recovered);
   }
-  append_line(finish_entry(w));
+  log_.append(finish_sealed_line(w));
 }
 
 void SweepJournal::failed(const JournalPoint& point,
@@ -144,98 +230,153 @@ void SweepJournal::failed(const JournalPoint& point,
   begin_entry(w, "failed", point);
   w.key("failure");
   write_point_failure(w, failure);
-  append_line(finish_entry(w));
+  log_.append(finish_sealed_line(w));
+}
+
+uint64_t measurement_digest(const RunMeasurement& m) {
+  JsonWriter w;
+  write_sim_result_full(w, m.sim);
+  // Deterministic content only: run_seconds is wall-clock and legitimately
+  // differs between a worker and its re-run; it must not flag a conflict.
+  return fnv1a64(w.take() + ":" + std::to_string(m.parallel_cycles));
 }
 
 JournalReplay JournalReplay::load(const std::string& path) {
   JournalReplay replay;
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return replay;  // no journal yet: empty replay
-  std::stringstream buf;
-  buf << in.rdbuf();
-  const std::string content = buf.str();
-
-  size_t line_start = 0;
-  size_t line_no = 0;
-  while (line_start < content.size()) {
-    const size_t nl = content.find('\n', line_start);
-    if (nl == std::string::npos) {
-      // Torn tail: the crash landed mid-append. Expected; cut on reopen.
-      replay.warnings.push_back("torn trailing journal line (" +
-                                std::to_string(content.size() - line_start) +
-                                " bytes) dropped");
-      break;
-    }
-    ++line_no;
-    const std::string line = content.substr(line_start, nl + 1 - line_start);
-    const size_t line_end = nl + 1;
-    // Every '\n'-terminated line is part of the durable prefix, readable or
-    // not: only the torn tail is ever truncated. A corrupt line mid-file is
-    // left in place (and skipped on every load) so the entries after it
-    // survive future resumes.
-    replay.valid_bytes = line_end;
-    if (check_integrity(line) == IntegrityStatus::kSealed) {
-      try {
-        const JsonValue doc = parse_json(
-            line.substr(0, line.size() - 1));  // strip '\n' for the parser
+  replay.valid_bytes = scan_sealed_lines(
+      path,
+      [&replay](const JsonValue& doc) {
         const std::string ev = doc.at("ev").as_string();
         const PointKey key{doc.at("workload").as_string(),
                            doc.at("key").as_string()};
         Entry& entry = replay.points[key];
         if (ev == "queued") {
+          // An explicit re-queue legitimizes whatever terminal event comes
+          // next (the service re-queues a point after a worker crash).
           entry = Entry{};
         } else if (ev == "running") {
           entry = Entry{};
           entry.state = State::kRunning;
           entry.pid = doc.at("pid").as_i64();
+          if (doc.has("token")) entry.token = doc.at("token").as_u64();
         } else if (ev == "done") {
-          entry = Entry{};
-          entry.state = State::kDone;
-          entry.fresh = doc.at("fresh").as_bool();
+          Entry incoming;
+          incoming.state = State::kDone;
+          incoming.fresh = doc.at("fresh").as_bool();
           const JsonValue& m = doc.at("measurement");
-          entry.measurement.sim = parse_sim_result_full(m.at("sim"));
-          entry.measurement.parallel_cycles = m.at("parallel_cycles").as_u64();
-          entry.measurement.run_seconds = m.at("run_seconds").as_double();
+          incoming.measurement.sim = parse_sim_result_full(m.at("sim"));
+          incoming.measurement.parallel_cycles =
+              m.at("parallel_cycles").as_u64();
+          incoming.measurement.run_seconds = m.at("run_seconds").as_double();
           if (doc.has("record")) {
-            entry.record = parse_run_record(doc.at("record"));
+            incoming.record = parse_run_record(doc.at("record"));
           }
           if (doc.has("failure")) {
+            incoming.failure = parse_point_failure(doc.at("failure"));
+            incoming.has_failure = true;
+          }
+          if (entry.state == State::kDone) {
+            // Duplicate terminal "done" with no re-queue between: two
+            // racing writers (e.g. an orphaned worker of a killed daemon
+            // and its replacement). The simulator is deterministic, so
+            // their measurements must agree — keep the record-bearing copy
+            // so a resume can still rebuild the report. A payload mismatch
+            // means the journal cannot be trusted for this point.
+            if (measurement_digest(entry.measurement) ==
+                measurement_digest(incoming.measurement)) {
+              if (!entry.fresh && incoming.fresh) entry = incoming;
+            } else {
+              PointFailure f;
+              f.workload = key.first;
+              f.config_key = key.second;
+              f.status = "quarantined";
+              f.error =
+                  "conflicting duplicate \"done\" journal entries with "
+                  "differing measurements";
+              entry = Entry{};
+              entry.state = State::kFailed;
+              entry.failure = f;
+              entry.has_failure = true;
+              replay.warnings.push_back(
+                  "point " + key.first + "|" + key.second +
+                  " has conflicting duplicate terminal journal entries; "
+                  "quarantined");
+            }
+          } else if (entry.state == State::kFailed) {
+            // "done" after "failed" without a re-queue: conflicting
+            // terminal kinds. Quarantine rather than silently picking one.
+            PointFailure f;
+            f.workload = key.first;
+            f.config_key = key.second;
+            f.status = "quarantined";
+            f.error =
+                "conflicting terminal journal entries (\"done\" after "
+                "\"failed\")";
+            entry = Entry{};
+            entry.state = State::kFailed;
+            entry.failure = f;
+            entry.has_failure = true;
+            replay.warnings.push_back(
+                "point " + key.first + "|" + key.second +
+                " has conflicting duplicate terminal journal entries; "
+                "quarantined");
+          } else {
+            entry = incoming;
+          }
+        } else if (ev == "failed") {
+          if (entry.state == State::kDone) {
+            PointFailure f;
+            f.workload = key.first;
+            f.config_key = key.second;
+            f.status = "quarantined";
+            f.error =
+                "conflicting terminal journal entries (\"failed\" after "
+                "\"done\")";
+            entry = Entry{};
+            entry.state = State::kFailed;
+            entry.failure = f;
+            entry.has_failure = true;
+            replay.warnings.push_back(
+                "point " + key.first + "|" + key.second +
+                " has conflicting duplicate terminal journal entries; "
+                "quarantined");
+          } else {
+            entry = Entry{};
+            entry.state = State::kFailed;
             entry.failure = parse_point_failure(doc.at("failure"));
             entry.has_failure = true;
           }
-        } else if (ev == "failed") {
-          entry = Entry{};
-          entry.state = State::kFailed;
-          entry.failure = parse_point_failure(doc.at("failure"));
-          entry.has_failure = true;
         } else {
           throw SimError("unknown journal event: " + ev);
         }
-      } catch (const std::exception& e) {
-        replay.warnings.push_back("journal line " + std::to_string(line_no) +
-                                  " unreadable (" + e.what() + "); skipped");
-      }
-    } else {
-      replay.warnings.push_back("journal line " + std::to_string(line_no) +
-                                " failed its integrity check; skipped");
-    }
-    line_start = line_end;
-  }
+      },
+      replay.warnings);
 
   // Stale-lock pass: a "running" point whose owner died mid-simulation is
   // re-queued. A live foreign owner gets a warning — the resumed sweep owns
-  // the journal and reclaims the point regardless.
+  // the journal and reclaims the point regardless. The incarnation token
+  // distinguishes a real live holder from an unrelated process that
+  // recycled the holder's pid (kill(pid,0) succeeds, holder is gone).
   for (auto& [key, entry] : replay.points) {
     if (entry.state != State::kRunning) continue;
     const bool own = entry.pid == static_cast<int64_t>(::getpid());
     if (!own && pid_is_alive(entry.pid)) {
-      replay.warnings.push_back(
-          "stale lock: point " + key.first + "|" + key.second +
-          " is recorded running under live pid " + std::to_string(entry.pid) +
-          "; reclaiming");
+      const uint64_t live = worker_token(entry.pid);
+      if (entry.token != 0 && live != 0 && live != entry.token) {
+        replay.warnings.push_back(
+            "stale lock: point " + key.first + "|" + key.second +
+            " holder pid " + std::to_string(entry.pid) +
+            " was recycled by an unrelated process; reclaiming");
+      } else {
+        replay.warnings.push_back(
+            "stale lock: point " + key.first + "|" + key.second +
+            " is recorded running under live pid " +
+            std::to_string(entry.pid) + "; reclaiming");
+      }
     }
     entry.state = State::kQueued;
     entry.pid = 0;
+    entry.token = 0;
   }
   return replay;
 }

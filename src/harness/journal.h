@@ -6,7 +6,7 @@
 // <state_dir>/sweep.journal.jsonl:
 //
 //   {"ev":"queued",  "workload":W, "key":K, ...}
-//   {"ev":"running", "workload":W, "key":K, "pid":P, "worker":T, ...}
+//   {"ev":"running", "workload":W, "key":K, "pid":P, "worker":T, "token":U,...}
 //   {"ev":"done",    "workload":W, "key":K, "fresh":B, "measurement":{...},
 //                    "record":{...}?, "failure":{...}?, ...}
 //   {"ev":"failed",  "workload":W, "key":K, "failure":{...}, ...}
@@ -19,9 +19,16 @@
 // byte-identical to an uninterrupted run — and re-queues "queued"/"running"
 // ones. A "running" entry whose recorded pid is still alive in another
 // process is a stale-lock warning; the resumed sweep reclaims it either way.
+// The "token" field binds the lock to one incarnation of that pid (pid +
+// /proc start time), so a recycled pid is recognized as a dead holder.
+//
+// The sealed-append-line machinery (SealedAppendLog / finish_sealed_line /
+// scan_sealed_lines) is exposed separately: the wecsimd service queue uses
+// the same fsync'd, checksummed, torn-tail-tolerant format for its own WAL.
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -30,8 +37,67 @@
 
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "obs/json.h"
 
 namespace wecsim {
+
+/// True when `pid` names a live process (kill(pid,0), EPERM counts as live).
+bool pid_is_alive(int64_t pid);
+
+/// starttime (clock ticks since boot, /proc/<pid>/stat field 22) of a live
+/// process, or 0 when the pid is gone or /proc is unreadable. Two processes
+/// sharing a recycled pid always differ in start ticks.
+uint64_t process_start_ticks(int64_t pid);
+
+/// Identity token for one incarnation of a process: fnv1a64 over
+/// "<pid>:<start_ticks>". 0 when the process cannot be identified. Journal
+/// "running" entries record the claimer's token so a stale-lock scan can
+/// tell a live holder from an unrelated process that recycled its pid.
+uint64_t worker_token(int64_t pid);
+
+/// Closes the JSON object under construction with a sealed "integrity"
+/// field, appends the trailing '\n', and returns the sealed line — the
+/// common tail of every sealed-JSONL append (journal + service queue).
+std::string finish_sealed_line(JsonWriter& w);
+
+/// Scans a sealed-JSONL file, invoking `fn` once per intact sealed line
+/// (already parsed). Returns the byte length of the '\n'-terminated prefix;
+/// a torn trailing line is excluded (and noted in `warnings`) so the caller
+/// can truncate it on reopen. A line that fails its integrity check, does
+/// not parse, or makes `fn` throw is skipped with a warning — one bad line
+/// never costs the rest of the file. A missing file scans as empty.
+size_t scan_sealed_lines(const std::string& path,
+                         const std::function<void(const JsonValue& doc)>& fn,
+                         std::vector<std::string>& warnings);
+
+/// Append-only sealed-JSONL log file: O_APPEND writes, fsync per append so
+/// each line is durable before the caller proceeds. Thread-safe. The lines
+/// themselves must already be sealed (finish_sealed_line).
+class SealedAppendLog {
+ public:
+  /// Opens (creating if needed) the log for appending. When `truncate_to`
+  /// is not npos the file is first truncated to that many bytes — the
+  /// resume path cuts off a torn trailing line this way. Throws SimError
+  /// when the file cannot be opened.
+  explicit SealedAppendLog(std::string path,
+                           size_t truncate_to = static_cast<size_t>(-1));
+  ~SealedAppendLog();
+
+  SealedAppendLog(const SealedAppendLog&) = delete;
+  SealedAppendLog& operator=(const SealedAppendLog&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Appends one sealed line, then fsyncs.
+  void append(std::string sealed_line);
+  /// Appends a batch of sealed lines with a single fsync.
+  void append_batch(const std::vector<std::string>& sealed_lines);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::mutex mu_;
+};
 
 /// Identifies one sweep point in journal entries.
 struct JournalPoint {
@@ -48,18 +114,18 @@ class SweepJournal {
   /// Throws SimError when the file cannot be opened.
   explicit SweepJournal(std::string path,
                         size_t truncate_to = static_cast<size_t>(-1));
-  ~SweepJournal();
 
-  SweepJournal(const SweepJournal&) = delete;
-  SweepJournal& operator=(const SweepJournal&) = delete;
-
-  const std::string& path() const { return path_; }
+  const std::string& path() const { return log_.path(); }
 
   /// One "queued" entry per point, then a single fsync.
   void queued(const std::vector<JournalPoint>& points);
 
   /// "running" entry: this process/thread claimed the point.
   void running(const JournalPoint& point);
+
+  /// "running" entry for an out-of-process claimer (the wecsimd supervisor
+  /// records the worker child's pid + incarnation token, not its own).
+  void running(const JournalPoint& point, int64_t pid, uint64_t token);
 
   /// Terminal success. `record` is non-null for a fresh simulation (it is
   /// what lets a resume rebuild the run report byte-for-byte); `recovered`
@@ -71,13 +137,15 @@ class SweepJournal {
   void failed(const JournalPoint& point, const PointFailure& failure);
 
  private:
-  void append_line(std::string line);  // seals, writes, fsyncs; locks mu_
-  void append_lines_locked(const std::vector<std::string>& lines);
-
-  std::string path_;
-  int fd_ = -1;
-  std::mutex mu_;
+  SealedAppendLog log_;
 };
+
+/// Digest of the deterministic content of a measurement (SimResult +
+/// parallel_cycles; wall-clock `run_seconds` deliberately excluded). Two
+/// journal "done" entries for the same point must agree on this digest —
+/// re-runs of a deterministic simulator do — or the replay quarantines the
+/// point instead of silently picking one.
+uint64_t measurement_digest(const RunMeasurement& m);
 
 /// The parsed state of a journal: last transition per point, plus what the
 /// loader had to skip or cut to get there.
@@ -87,6 +155,7 @@ struct JournalReplay {
   struct Entry {
     State state = State::kQueued;
     int64_t pid = 0;       // from the last "running" entry
+    uint64_t token = 0;    // claimer incarnation token ("running")
     bool fresh = false;    // "done": simulated (vs served from disk cache)
     RunMeasurement measurement;  // "done"
     RunRecord record;            // "done" with fresh=true
@@ -101,15 +170,20 @@ struct JournalReplay {
   /// truncated to this, cutting off a torn trailing line.
   size_t valid_bytes = 0;
   /// Human-readable notes: torn tail cut, corrupt lines skipped, stale
-  /// locks reclaimed. The runner prints them once on resume.
+  /// locks reclaimed, conflicting duplicates quarantined. The runner prints
+  /// them once on resume.
   std::vector<std::string> warnings;
 
   /// Parses a journal file. A missing file yields an empty replay. Lines
   /// that fail the integrity check or do not parse are skipped with a
   /// warning — a mid-file bit flip costs one point's replay, never the
-  /// whole journal. "running" entries whose pid is dead (or is this
-  /// process) are demoted to re-queued silently; a live foreign pid adds a
-  /// stale-lock warning but is reclaimed all the same.
+  /// whole journal. "running" entries whose pid is dead, is this process,
+  /// or carries a token that no longer matches the live pid (pid recycled
+  /// by an unrelated process) are demoted to re-queued; a genuinely live
+  /// foreign holder adds a stale-lock warning but is reclaimed all the
+  /// same. Duplicate terminal events for one point (no re-queue between)
+  /// are tolerated when their measurements agree — the record-bearing copy
+  /// wins — and quarantine the point when they conflict.
   static JournalReplay load(const std::string& path);
 };
 

@@ -1,0 +1,30 @@
+#include "obs/jsonl.h"
+
+namespace wecsim {
+
+JsonlTailReader::JsonlTailReader(const std::string& path)
+    : in_(path, std::ios::binary) {}
+
+JsonlTailReader::Status JsonlTailReader::next(std::string& line) {
+  for (;;) {
+    const size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      line.assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      return Status::kLine;
+    }
+    // Need more bytes. A previous read latched eofbit, but the writer may
+    // have appended since; clear and read on from the current offset.
+    in_.clear();
+    char chunk[4096];
+    in_.read(chunk, sizeof chunk);
+    const std::streamsize n = in_.gcount();
+    if (n > 0) {
+      buf_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    return buf_.empty() ? Status::kEof : Status::kTorn;
+  }
+}
+
+}  // namespace wecsim

@@ -1,0 +1,40 @@
+// Incremental reader for a JSONL stream that may still be growing (a
+// follower tailing a live progress file) or may end mid-line (a crash tore
+// the final append, or the writer is mid-write() right now). Yields only
+// '\n'-terminated lines; an unterminated tail is reported as kTorn, kept
+// buffered, and completed transparently once the writer finishes it — a
+// torn line is never surfaced as garbage the way a naive getline-at-EOF
+// loop surfaces it (once as a truncated line, then again as the remainder).
+#pragma once
+
+#include <fstream>
+#include <string>
+
+namespace wecsim {
+
+class JsonlTailReader {
+ public:
+  enum class Status {
+    kLine,  // `line` holds the next complete line (without its '\n')
+    kTorn,  // an unterminated partial line is pending at EOF; retry later
+    kEof,   // end of stream, no partial line pending
+  };
+
+  explicit JsonlTailReader(const std::string& path);
+
+  /// False when the file could not be opened.
+  bool ok() const { return in_.is_open(); }
+
+  /// Pulls the next complete line. Never blocks: at end-of-file it reports
+  /// kTorn / kEof and the follower decides whether to poll again.
+  Status next(std::string& line);
+
+  /// Bytes of the pending unterminated tail (meaningful after kTorn).
+  size_t torn_bytes() const { return buf_.size(); }
+
+ private:
+  std::ifstream in_;
+  std::string buf_;
+};
+
+}  // namespace wecsim

@@ -1,0 +1,121 @@
+#include "service/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/error.h"
+
+namespace wecsim {
+
+ServiceClient::ServiceClient(std::string socket_path)
+    : socket_path_(std::move(socket_path)) {}
+
+ServiceClient::~ServiceClient() { disconnect(); }
+
+void ServiceClient::disconnect() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buf_.clear();
+}
+
+void ServiceClient::ensure_connected() {
+  if (fd_ >= 0) return;
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof addr.sun_path) {
+    throw SimError("socket path too long: " + socket_path_);
+  }
+  std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof addr.sun_path - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw SimError(std::string("socket() failed: ") + std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int e = errno;
+    disconnect();
+    throw SimError("cannot connect to wecsimd at " + socket_path_ + ": " +
+                   std::strerror(e));
+  }
+}
+
+JsonValue ServiceClient::request(const std::string& line, std::string* raw) {
+  ensure_connected();
+  std::string payload = line;
+  payload.push_back('\n');
+  size_t off = 0;
+  while (off < payload.size()) {
+    const ssize_t n =
+        ::write(fd_, payload.data() + off, payload.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int e = errno;
+      disconnect();
+      throw SimError("wecsimd request failed: " + std::string(strerror(e)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  for (;;) {
+    const size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      const std::string reply = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      if (raw != nullptr) *raw = reply;
+      return parse_json(reply);
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n > 0) {
+      buf_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    disconnect();
+    throw SimError("wecsimd closed the connection mid-reply");
+  }
+}
+
+JsonValue ServiceClient::wait(const std::string& job_id, double timeout_s) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  for (;;) {
+    try {
+      JsonValue reply = status(job_id);
+      if (reply.at("ok").as_bool() &&
+          reply.at("state").as_string() == "done") {
+        return reply;
+      }
+    } catch (const SimError&) {
+      // Daemon restarting (chaos mode): keep polling until the deadline.
+      disconnect();
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw SimError("timed out waiting for job " + job_id);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+bool ServiceClient::wait_ready(const std::string& socket_path,
+                               double timeout_s) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  for (;;) {
+    try {
+      ServiceClient probe(socket_path);
+      const JsonValue reply = probe.health();
+      if (reply.at("ok").as_bool()) return true;
+    } catch (const SimError&) {
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+}
+
+}  // namespace wecsim

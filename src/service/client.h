@@ -1,0 +1,54 @@
+// Blocking client for the wecsimd NDJSON protocol (service/protocol.h).
+// Used by wecsimctl, the service tests, and the chaos harness. One request
+// per call: send a line, read the one-line reply, parse it.
+#pragma once
+
+#include <string>
+
+#include "obs/json.h"
+#include "service/protocol.h"
+
+namespace wecsim {
+
+class ServiceClient {
+ public:
+  explicit ServiceClient(std::string socket_path);
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  const std::string& socket_path() const { return socket_path_; }
+
+  /// Sends one request line and returns the parsed reply. Connects lazily
+  /// and reconnects after an error. Throws SimError when the daemon cannot
+  /// be reached or the reply is malformed. When `raw` is non-null it
+  /// receives the exact reply line (wecsimctl prints it verbatim).
+  JsonValue request(const std::string& line, std::string* raw = nullptr);
+
+  JsonValue submit(const JobSpec& spec) { return request(submit_request(spec)); }
+  JsonValue status(const std::string& job_id) {
+    return request(status_request(job_id));
+  }
+  JsonValue health() { return request(health_request()); }
+  JsonValue drain() { return request(drain_request()); }
+
+  /// Polls status until the job reports "done" or `timeout_s` elapses.
+  /// Returns the final status reply; throws SimError on timeout or when
+  /// the daemon disappears and does not come back.
+  JsonValue wait(const std::string& job_id, double timeout_s);
+
+  /// True once the daemon accepts connections and answers a health request,
+  /// polling up to `timeout_s`.
+  static bool wait_ready(const std::string& socket_path, double timeout_s);
+
+ private:
+  void ensure_connected();
+  void disconnect();
+
+  std::string socket_path_;
+  int fd_ = -1;
+  std::string buf_;  // bytes read past the last reply line
+};
+
+}  // namespace wecsim

@@ -1,0 +1,788 @@
+#include "service/daemon.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "common/error.h"
+#include "harness/experiment.h"
+#include "harness/state_dir.h"
+#include "service/protocol.h"
+
+namespace wecsim {
+
+namespace {
+
+// Self-pipe signal plumbing: handlers set a flag and poke the event loop.
+volatile sig_atomic_t g_sigchld = 0;
+volatile sig_atomic_t g_sigterm = 0;
+int g_wake_fd = -1;
+
+void on_signal(int sig) {
+  if (sig == SIGCHLD) {
+    g_sigchld = 1;
+  } else {
+    g_sigterm = 1;
+  }
+  if (g_wake_fd >= 0) {
+    const char byte = 0;
+    [[maybe_unused]] const ssize_t n = ::write(g_wake_fd, &byte, 1);
+  }
+}
+
+void install_signals() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGCHLD, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+  // The parent's signal mask is inherited: some launchers (ctest among
+  // them) spawn children with SIGCHLD blocked, which would leave worker
+  // exits undelivered and the event loop asleep in poll() forever.
+  sigset_t unblock;
+  sigemptyset(&unblock);
+  sigaddset(&unblock, SIGCHLD);
+  sigaddset(&unblock, SIGTERM);
+  sigaddset(&unblock, SIGINT);
+  ::sigprocmask(SIG_UNBLOCK, &unblock, nullptr);
+}
+
+void reset_signals_in_child() {
+  ::signal(SIGCHLD, SIG_DFL);
+  ::signal(SIGTERM, SIG_DFL);
+  ::signal(SIGINT, SIG_DFL);
+  ::signal(SIGPIPE, SIG_DFL);
+  sigset_t none;
+  sigemptyset(&none);
+  ::sigprocmask(SIG_SETMASK, &none, nullptr);
+}
+
+std::string describe_worker_death(int status) {
+  if (WIFSIGNALED(status)) {
+    return "worker killed by signal " + std::to_string(WTERMSIG(status));
+  }
+  if (WIFEXITED(status)) {
+    return "worker exited with status " + std::to_string(WEXITSTATUS(status));
+  }
+  return "worker died (wait status " + std::to_string(status) + ")";
+}
+
+std::string error_reply(const std::string& error) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("ok", false);
+  w.kv("error", error);
+  w.end_object();
+  return w.take();
+}
+
+std::string backpressure_reply(const std::string& error,
+                               uint32_t retry_after_ms) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("ok", false);
+  w.kv("error", error);
+  w.kv("retry_after_ms", retry_after_ms);
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace
+
+ServiceConfig service_config_from_env(const std::string& state_dir) {
+  std::vector<std::string> errors;
+  const ServiceEnv env = parse_service_env(&errors);
+  throw_if_env_errors(errors);
+  ServiceConfig config;
+  config.state_dir = state_dir;
+  config.socket =
+      env.socket.empty() ? state_dir + "/wecsimd.sock" : env.socket;
+  config.workers = env.workers != 0
+                       ? env.workers
+                       : std::max(1u, std::thread::hardware_concurrency());
+  config.max_queue = env.max_queue;
+  config.quota = env.quota;
+  config.retries = env.retries;
+  config.backoff_ms = env.backoff_ms;
+  config.retry_after_ms = env.retry_after_ms;
+  return config;
+}
+
+ServiceDaemon::ServiceDaemon(ServiceConfig config)
+    : config_(std::move(config)),
+      queue_(config_.state_dir),
+      started_(Clock::now()) {
+  workers_.resize(config_.workers);
+}
+
+ServiceDaemon::~ServiceDaemon() {
+  for (Conn& conn : conns_) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(config_.socket.c_str());
+  }
+  if (wake_rd_ >= 0) ::close(wake_rd_);
+  if (wake_wr_ >= 0) ::close(wake_wr_);
+  g_wake_fd = -1;
+}
+
+void ServiceDaemon::open_socket() {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  if (config_.socket.size() >= sizeof addr.sun_path) {
+    throw SimError("socket path too long: " + config_.socket);
+  }
+  std::strncpy(addr.sun_path, config_.socket.c_str(),
+               sizeof addr.sun_path - 1);
+  // A previous daemon that was SIGKILLed leaves its socket file behind;
+  // this daemon owns the state dir now, so replace it.
+  ::unlink(config_.socket.c_str());
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) {
+    throw SimError(std::string("socket() failed: ") + std::strerror(errno));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    throw SimError("cannot bind " + config_.socket + ": " +
+                   std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    throw SimError("cannot listen on " + config_.socket + ": " +
+                   std::strerror(errno));
+  }
+}
+
+ServiceDaemon::Job& ServiceDaemon::add_job(const std::string& id,
+                                           JobSpec spec, bool recovered) {
+  jobs_.push_back(Job{});
+  Job& job = jobs_.back();
+  job.id = id;
+  job.spec = std::move(spec);
+  job_index_[id] = jobs_.size() - 1;
+
+  const std::string path = job_journal_path(config_.state_dir, id);
+  JournalReplay replay;
+  if (recovered) {
+    replay = JournalReplay::load(path);
+    for (const std::string& w : replay.warnings) {
+      std::fprintf(stderr, "wecsimd: %s: %s\n", id.c_str(), w.c_str());
+    }
+  }
+  job.journal = std::make_unique<SweepJournal>(
+      path, recovered ? replay.valid_bytes : static_cast<size_t>(-1));
+
+  std::vector<JournalPoint> to_queue;
+  for (const PointSpec& ps : job.spec.points) {
+    Point pt;
+    pt.spec = ps;
+    const auto it =
+        replay.points.find(JournalReplay::PointKey{job.spec.workload, ps.key});
+    if (it == replay.points.end()) {
+      // Never journaled (fresh admit, or the daemon died between the WAL
+      // append and the queued batch): journal it now, before any worker
+      // could record a terminal event for it.
+      to_queue.push_back(JournalPoint{job.spec.workload, ps.key});
+    } else if (it->second.state == JournalReplay::State::kDone) {
+      pt.st = Point::St::kDone;
+      ++job.terminal;
+    } else if (it->second.state == JournalReplay::State::kFailed) {
+      pt.st = Point::St::kFailed;
+      ++job.terminal;
+      ++job.failed;
+    }
+    job.points.push_back(std::move(pt));
+  }
+  if (!to_queue.empty()) job.journal->queued(to_queue);
+  maybe_finalize(job);
+  return job;
+}
+
+void ServiceDaemon::recover() {
+  for (const std::string& w : queue_.warnings()) {
+    std::fprintf(stderr, "wecsimd: queue WAL: %s\n", w.c_str());
+  }
+  for (const ServiceQueue::PendingJob& pending : queue_.pending()) {
+    Job& job = add_job(pending.id, pending.spec, /*recovered=*/true);
+    std::fprintf(stderr,
+                 "wecsimd: recovered job %s (%zu/%zu point(s) finished)\n",
+                 job.id.c_str(), job.terminal, job.points.size());
+  }
+}
+
+size_t ServiceDaemon::busy_workers() const {
+  size_t n = 0;
+  for (const Worker& w : workers_) {
+    if (w.busy) ++n;
+  }
+  return n;
+}
+
+bool ServiceDaemon::unfinished_work() const {
+  for (const Job& job : jobs_) {
+    if (!job.finalized) return true;
+  }
+  return false;
+}
+
+size_t ServiceDaemon::queue_depth() const {
+  size_t n = 0;
+  for (const Job& job : jobs_) {
+    if (job.finalized) continue;
+    for (const Point& pt : job.points) {
+      if (pt.st != Point::St::kDone && pt.st != Point::St::kFailed) ++n;
+    }
+  }
+  return n;
+}
+
+size_t ServiceDaemon::client_queued(const std::string& client) const {
+  size_t n = 0;
+  for (const Job& job : jobs_) {
+    if (job.finalized || job.spec.client != client) continue;
+    for (const Point& pt : job.points) {
+      if (pt.st != Point::St::kDone && pt.st != Point::St::kFailed) ++n;
+    }
+  }
+  return n;
+}
+
+void ServiceDaemon::apply_terminal(Job& job, Point& pt,
+                                   const JournalReplay::Entry& entry) {
+  if (entry.state == JournalReplay::State::kFailed) {
+    pt.st = Point::St::kFailed;
+    ++job.failed;
+  } else {
+    pt.st = Point::St::kDone;
+  }
+  ++job.terminal;
+}
+
+void ServiceDaemon::maybe_finalize(Job& job) {
+  if (job.finalized || job.terminal != job.points.size() ||
+      job.points.empty()) {
+    return;
+  }
+  // Rebuild the report from the journal in SPEC order — the same
+  // submission-order merge the parallel runner uses — so the bytes are
+  // identical however completion interleaved (or resumed, or raced an
+  // orphaned worker).
+  const JournalReplay replay =
+      JournalReplay::load(job_journal_path(config_.state_dir, job.id));
+  std::vector<RunRecord> records;
+  std::vector<PointFailure> failures;
+  for (const Point& pt : job.points) {
+    const auto it = replay.points.find(
+        JournalReplay::PointKey{job.spec.workload, pt.spec.key});
+    if (it == replay.points.end()) {
+      std::fprintf(stderr, "wecsimd: %s: point %s vanished from the journal\n",
+                   job.id.c_str(), pt.spec.key.c_str());
+      continue;
+    }
+    const JournalReplay::Entry& e = it->second;
+    if (e.state == JournalReplay::State::kDone) {
+      if (e.fresh) records.push_back(e.record);
+      if (e.has_failure) failures.push_back(e.failure);
+    } else if (e.state == JournalReplay::State::kFailed) {
+      failures.push_back(e.failure);
+    }
+  }
+  write_run_report(job_report_path(config_.state_dir, job.id), job.spec.name,
+                   records, failures);
+  queue_.mark_done(job.id);
+  job.finalized = true;
+  std::fprintf(stderr, "wecsimd: job %s finished (%zu record(s), %zu failure(s))\n",
+               job.id.c_str(), records.size(), failures.size());
+}
+
+void ServiceDaemon::worker_main(const Job& job, const Point& pt) {
+  reset_signals_in_child();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_rd_ >= 0) ::close(wake_rd_);
+  if (wake_wr_ >= 0) ::close(wake_wr_);
+  g_wake_fd = -1;
+  for (const Conn& conn : conns_) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  try {
+    // The worker journals its own lifecycle so "running" (with this
+    // process's pid + incarnation token) is durably ordered before the
+    // terminal event it writes later. O_APPEND keeps concurrent whole-line
+    // appends from distinct processes intact.
+    SweepJournal journal(job_journal_path(config_.state_dir, job.id));
+    const JournalPoint jp{job.spec.workload, pt.spec.key};
+    journal.running(jp);
+    ExperimentRunner runner(
+        WorkloadParams{job.spec.scale, job.spec.seed});
+    const StaConfig config = point_config(pt.spec);
+    const RunMeasurement* m =
+        runner.try_run(job.spec.workload, pt.spec.key, config);
+    if (m == nullptr) {
+      journal.failed(jp, runner.failures().back());
+    } else {
+      const bool fresh = !runner.records().empty();
+      const RunRecord* record = fresh ? &runner.records().back() : nullptr;
+      const PointFailure* recovered = nullptr;
+      if (!runner.failures().empty() &&
+          runner.failures().back().status == "recovered") {
+        recovered = &runner.failures().back();
+      }
+      journal.done(jp, *m, fresh, record, recovered);
+    }
+    ::_exit(0);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "wecsimd worker (%s|%s): %s\n",
+                 job.spec.workload.c_str(), pt.spec.key.c_str(), e.what());
+    ::_exit(1);
+  } catch (...) {
+    ::_exit(1);
+  }
+}
+
+void ServiceDaemon::spawn_worker(size_t ji, size_t pi) {
+  Job& job = jobs_[ji];
+  Point& pt = job.points[pi];
+  std::fflush(stderr);
+  std::fflush(stdout);
+  const pid_t pid = ::fork();
+  if (pid == 0) worker_main(job, pt);
+  if (pid < 0) {
+    std::fprintf(stderr, "wecsimd: fork failed: %s\n", std::strerror(errno));
+    pt.st = Point::St::kBackoff;
+    pt.earliest = Clock::now() + std::chrono::milliseconds(
+                                     std::max(config_.backoff_ms, 100u));
+    return;
+  }
+  pt.st = Point::St::kRunning;
+  for (Worker& w : workers_) {
+    if (!w.busy) {
+      w = Worker{pid, ji, pi, true};
+      return;
+    }
+  }
+}
+
+void ServiceDaemon::promote_backoff(Clock::time_point now) {
+  for (Job& job : jobs_) {
+    if (job.finalized) continue;
+    for (Point& pt : job.points) {
+      if (pt.st == Point::St::kBackoff && pt.earliest <= now) {
+        pt.st = Point::St::kReady;
+      }
+    }
+  }
+}
+
+void ServiceDaemon::schedule(Clock::time_point now) {
+  if (draining_) return;
+  for (;;) {
+    Worker* slot = nullptr;
+    for (Worker& w : workers_) {
+      if (!w.busy) {
+        slot = &w;
+        break;
+      }
+    }
+    if (slot == nullptr) return;
+    // Highest priority first; FIFO (admission order, then spec order)
+    // within a priority so one job's report sees its points complete in
+    // submission order whenever it runs alone.
+    size_t best_ji = jobs_.size(), best_pi = 0;
+    uint32_t best_prio = 0;
+    for (size_t ji = 0; ji < jobs_.size(); ++ji) {
+      Job& job = jobs_[ji];
+      if (job.finalized) continue;
+      for (size_t pi = 0; pi < job.points.size(); ++pi) {
+        if (job.points[pi].st != Point::St::kReady) continue;
+        if (best_ji == jobs_.size() || job.spec.priority > best_prio) {
+          best_ji = ji;
+          best_pi = pi;
+          best_prio = job.spec.priority;
+        }
+        break;  // first ready point of this job is its FIFO head
+      }
+    }
+    if (best_ji == jobs_.size()) return;
+    (void)now;
+    spawn_worker(best_ji, best_pi);
+  }
+}
+
+void ServiceDaemon::reap_workers() {
+  for (;;) {
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+    if (pid <= 0) return;
+    Worker* slot = nullptr;
+    for (Worker& w : workers_) {
+      if (w.busy && w.pid == pid) {
+        slot = &w;
+        break;
+      }
+    }
+    if (slot == nullptr) continue;  // not one of ours (shouldn't happen)
+    Job& job = jobs_[slot->job];
+    Point& pt = job.points[slot->point];
+    slot->busy = false;
+    slot->pid = -1;
+
+    bool terminal = false;
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+      // The worker's exit means nothing by itself — the journal is the
+      // source of truth. Reload it and sync this point's state.
+      const JournalReplay replay =
+          JournalReplay::load(job_journal_path(config_.state_dir, job.id));
+      const auto it = replay.points.find(
+          JournalReplay::PointKey{job.spec.workload, pt.spec.key});
+      if (it != replay.points.end() &&
+          (it->second.state == JournalReplay::State::kDone ||
+           it->second.state == JournalReplay::State::kFailed)) {
+        apply_terminal(job, pt, it->second);
+        maybe_finalize(job);
+        terminal = true;
+      }
+    }
+    if (terminal) continue;
+
+    // Crash: clean exit without a terminal journal entry counts too (the
+    // worker lost its fight with something before recording an outcome).
+    ++pt.crashes;
+    const std::string death = describe_worker_death(status);
+    if (pt.crashes > config_.retries) {
+      PointFailure failure;
+      failure.workload = job.spec.workload;
+      failure.config_key = pt.spec.key;
+      failure.status = "quarantined";
+      failure.error = death + " (after " + std::to_string(pt.crashes) +
+                      " attempt(s))";
+      failure.attempts = pt.crashes;
+      job.journal->failed(JournalPoint{job.spec.workload, pt.spec.key},
+                          failure);
+      pt.st = Point::St::kFailed;
+      ++job.terminal;
+      ++job.failed;
+      std::fprintf(stderr, "wecsimd: %s|%s quarantined: %s\n",
+                   job.spec.workload.c_str(), pt.spec.key.c_str(),
+                   death.c_str());
+      maybe_finalize(job);
+    } else {
+      // Re-queue durably: the explicit "queued" line legitimizes the
+      // retry's terminal event during replay (journal duplicate-terminal
+      // hardening) and keeps the drain contract — a drained journal holds
+      // only queued/done/failed lines as the LAST entry per point.
+      job.journal->queued({JournalPoint{job.spec.workload, pt.spec.key}});
+      pt.st = Point::St::kBackoff;
+      const uint32_t shift = std::min(pt.crashes - 1, 10u);
+      pt.earliest = Clock::now() + std::chrono::milliseconds(
+                                       static_cast<uint64_t>(config_.backoff_ms)
+                                       << shift);
+      std::fprintf(stderr, "wecsimd: %s|%s %s; retry %u/%u in %llu ms\n",
+                   job.spec.workload.c_str(), pt.spec.key.c_str(),
+                   death.c_str(), pt.crashes, config_.retries,
+                   static_cast<unsigned long long>(
+                       static_cast<uint64_t>(config_.backoff_ms) << shift));
+    }
+  }
+}
+
+std::string ServiceDaemon::handle_submit(const JsonValue& req) {
+  JobSpec spec = parse_job_spec(req.at("job"));
+  const std::vector<std::string> problems = validate_job(spec);
+  if (!problems.empty()) {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("ok", false);
+    w.kv("error", "invalid_request");
+    w.key("detail").begin_array();
+    for (const std::string& p : problems) w.value(p);
+    w.end_array();
+    w.end_object();
+    return w.take();
+  }
+  if (draining_) return error_reply("draining");
+  if (queue_depth() + spec.points.size() > config_.max_queue) {
+    return backpressure_reply("queue_full", config_.retry_after_ms);
+  }
+  if (client_queued(spec.client) + spec.points.size() > config_.quota) {
+    return backpressure_reply("quota_exceeded", config_.retry_after_ms);
+  }
+  const size_t n_points = spec.points.size();
+  const std::string id = queue_.admit(spec);  // fsync'd before the reply
+  add_job(id, std::move(spec), /*recovered=*/false);
+  JsonWriter w;
+  w.begin_object();
+  w.kv("ok", true);
+  w.kv("job", id);
+  w.kv("points", static_cast<uint64_t>(n_points));
+  w.end_object();
+  return w.take();
+}
+
+std::string ServiceDaemon::handle_status(const JsonValue& req) {
+  const std::string id = req.at("job").as_string();
+  const auto it = job_index_.find(id);
+  if (it == job_index_.end()) return error_reply("unknown_job");
+  const Job& job = jobs_[it->second];
+  size_t running = 0;
+  for (const Point& pt : job.points) {
+    if (pt.st == Point::St::kRunning) ++running;
+  }
+  JsonWriter w;
+  w.begin_object();
+  w.kv("ok", true);
+  w.kv("job", id);
+  w.kv("state", job.finalized ? "done"
+                              : (job.terminal > 0 || running > 0 ? "running"
+                                                                 : "queued"));
+  w.kv("total", static_cast<uint64_t>(job.points.size()));
+  w.kv("done", static_cast<uint64_t>(job.terminal - job.failed));
+  w.kv("failed", static_cast<uint64_t>(job.failed));
+  w.kv("running", static_cast<uint64_t>(running));
+  if (job.finalized) {
+    w.kv("report", job_report_path(config_.state_dir, job.id));
+  }
+  w.end_object();
+  return w.take();
+}
+
+std::string ServiceDaemon::handle_health() {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("ok", true);
+  w.kv("state", draining_ ? "draining" : "serving");
+  w.kv("pid", static_cast<int64_t>(::getpid()));
+  w.kv("workers", config_.workers);
+  w.kv("busy", static_cast<uint64_t>(busy_workers()));
+  w.kv("queue_depth", static_cast<uint64_t>(queue_depth()));
+  size_t live = 0;
+  for (const Job& job : jobs_) {
+    if (!job.finalized) ++live;
+  }
+  w.kv("jobs_pending", static_cast<uint64_t>(live));
+  w.key("worker_pids").begin_array();
+  for (const Worker& worker : workers_) {
+    if (worker.busy) w.value(static_cast<int64_t>(worker.pid));
+  }
+  w.end_array();
+  w.kv("uptime_seconds",
+       std::chrono::duration<double>(Clock::now() - started_).count());
+  w.end_object();
+  return w.take();
+}
+
+std::string ServiceDaemon::handle_drain() {
+  if (!draining_) {
+    draining_ = true;
+    std::fprintf(stderr, "wecsimd: drain requested; no longer admitting\n");
+  }
+  JsonWriter w;
+  w.begin_object();
+  w.kv("ok", true);
+  w.kv("state", "draining");
+  w.end_object();
+  return w.take();
+}
+
+std::string ServiceDaemon::handle_request(const std::string& line) {
+  try {
+    const JsonValue req = parse_json(line);
+    const std::string op = req.at("op").as_string();
+    if (op == "submit") return handle_submit(req);
+    if (op == "status") return handle_status(req);
+    if (op == "health") return handle_health();
+    if (op == "drain") return handle_drain();
+    return error_reply("unknown_op");
+  } catch (const std::exception& e) {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("ok", false);
+    w.kv("error", "bad_request");
+    w.key("detail").begin_array().value(std::string(e.what())).end_array();
+    w.end_object();
+    return w.take();
+  }
+}
+
+void ServiceDaemon::accept_conns() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    conns_.push_back(Conn{fd, "", ""});
+  }
+}
+
+bool ServiceDaemon::service_conn(Conn& conn) {
+  // Flush pending output first.
+  while (!conn.out.empty()) {
+    const ssize_t n = ::write(conn.fd, conn.out.data(), conn.out.size());
+    if (n > 0) {
+      conn.out.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  // Read whatever is available; process complete request lines.
+  bool eof = false;
+  for (;;) {
+    char buf[4096];
+    const ssize_t n = ::read(conn.fd, buf, sizeof buf);
+    if (n > 0) {
+      conn.in.append(buf, static_cast<size_t>(n));
+      if (conn.in.size() > (1u << 22)) return false;  // 4MB request cap
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {
+      eof = true;  // keep the conn only long enough to flush responses
+      break;
+    }
+    return false;
+  }
+  size_t nl;
+  while ((nl = conn.in.find('\n')) != std::string::npos) {
+    const std::string line = conn.in.substr(0, nl);
+    conn.in.erase(0, nl + 1);
+    if (line.empty()) continue;
+    conn.out += handle_request(line);
+    conn.out.push_back('\n');
+  }
+  // Retry the flush so a small response goes out this round trip.
+  while (!conn.out.empty()) {
+    const ssize_t n = ::write(conn.fd, conn.out.data(), conn.out.size());
+    if (n > 0) {
+      conn.out.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  // After peer EOF nothing more can arrive: close once replies are out (a
+  // trailing partial line is the client's bug, not a reason to linger).
+  if (eof && conn.out.empty()) return false;
+  return true;
+}
+
+int ServiceDaemon::run() {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    throw SimError(std::string("pipe() failed: ") + std::strerror(errno));
+  }
+  wake_rd_ = pipe_fds[0];
+  wake_wr_ = pipe_fds[1];
+  // Nonblocking on both ends: the handler must never block, and the drain
+  // read must never stall the loop.
+  for (const int fd : {wake_rd_, wake_wr_}) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+  g_wake_fd = wake_wr_;
+  g_sigchld = 0;
+  g_sigterm = 0;
+  install_signals();
+  open_socket();
+  recover();
+  std::fprintf(stderr,
+               "wecsimd: serving on %s (state %s, %u worker(s), queue %u, "
+               "quota %u)\n",
+               config_.socket.c_str(), config_.state_dir.c_str(),
+               config_.workers, config_.max_queue, config_.quota);
+
+  for (;;) {
+    if (g_sigchld) {
+      g_sigchld = 0;
+      reap_workers();
+    }
+    if (g_sigterm && !draining_) {
+      draining_ = true;
+      std::fprintf(stderr,
+                   "wecsimd: SIGTERM/SIGINT; draining (%zu worker(s) busy)\n",
+                   busy_workers());
+    }
+    const Clock::time_point now = Clock::now();
+    promote_backoff(now);
+    schedule(now);
+    if (draining_ && busy_workers() == 0) break;
+
+    // Poll timeout: the nearest backoff deadline, else block on I/O.
+    int timeout_ms = -1;
+    for (const Job& job : jobs_) {
+      if (job.finalized) continue;
+      for (const Point& pt : job.points) {
+        if (pt.st != Point::St::kBackoff) continue;
+        const auto delta = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               pt.earliest - now)
+                               .count();
+        const int ms = delta < 1 ? 1 : static_cast<int>(
+                                           std::min<long long>(delta, 60000));
+        timeout_ms = timeout_ms < 0 ? ms : std::min(timeout_ms, ms);
+      }
+    }
+
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{wake_rd_, POLLIN, 0});
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const Conn& conn : conns_) {
+      short events = POLLIN;
+      if (!conn.out.empty()) events |= POLLOUT;
+      fds.push_back(pollfd{conn.fd, events, 0});
+    }
+    const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (rc < 0 && errno != EINTR) {
+      throw SimError(std::string("poll() failed: ") + std::strerror(errno));
+    }
+    if (rc > 0) {
+      if ((fds[0].revents & POLLIN) != 0) {
+        char drain[256];
+        while (::read(wake_rd_, drain, sizeof drain) > 0) {
+        }
+      }
+      // Service only the connections that were actually polled: accept()
+      // grows conns_ past fds, and indexing fds for a conn accepted this
+      // round would read past the end (garbage revents closed fresh
+      // connections at random).
+      const size_t n_polled = conns_.size();
+      if ((fds[1].revents & POLLIN) != 0) accept_conns();
+      // Service connections back-to-front so erase() stays simple.
+      for (size_t i = n_polled; i-- > 0;) {
+        const pollfd& pfd = fds[2 + i];
+        if (pfd.revents == 0) continue;
+        if ((pfd.revents & (POLLERR | POLLNVAL)) != 0 ||
+            !service_conn(conns_[i])) {
+          ::close(conns_[i].fd);
+          conns_.erase(conns_.begin() + static_cast<long>(i));
+        }
+      }
+    }
+  }
+
+  const bool leftover = unfinished_work();
+  std::fprintf(stderr, "wecsimd: drained%s\n",
+               leftover ? "; journaled work remains (restart to resume)"
+                        : " idle");
+  // kExitInterrupted is the PR 5 contract: "re-run (restart) to resume",
+  // distinct from clean-idle 0.
+  return leftover ? kExitInterrupted : 0;
+}
+
+}  // namespace wecsim

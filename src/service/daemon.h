@@ -1,0 +1,146 @@
+// wecsimd — the long-lived sweep service (docs/SERVICE.md).
+//
+// Single-threaded poll() event loop over a local Unix stream socket plus a
+// signal self-pipe. Sweep points run in forked worker processes (one point
+// per process, no exec): the worker journals running -> done/failed into
+// its job's sweep journal (harness/journal.h) and exits; the daemon reaps
+// it and re-queues or quarantines on a crash. All durable state — the
+// admission WAL (service/queue.h) and the per-job sweep journals — is
+// fsync'd before the daemon acknowledges anything, so a kill -9 of the
+// daemon or any worker loses zero accepted work and a restart with the
+// same state dir completes every accepted job with a byte-identical
+// report.
+//
+// Robustness contract:
+//   * worker crash (signal / nonzero exit / exit-0-without-terminal-entry):
+//     re-queued with exponential backoff, escalating to a quarantined
+//     "failed" journal entry after `retries` crashes;
+//   * admission control: per-client quota and global queue-depth caps
+//     reject with an explicit retry_after_ms — memory is bounded, the
+//     daemon never blocks a client on capacity;
+//   * graceful drain (SIGTERM / SIGINT / "drain" op): stop admitting and
+//     scheduling, let running workers finish their current points, exit
+//     kExitInterrupted when journaled work remains (0 when idle).
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/env.h"
+#include "harness/journal.h"
+#include "service/queue.h"
+
+namespace wecsim {
+
+/// Resolved daemon configuration: WECSIM_SERVICE_* (strict aggregated
+/// validation, harness/env.h) with defaults anchored to the state dir.
+struct ServiceConfig {
+  std::string state_dir;
+  std::string socket;         // default <state_dir>/wecsimd.sock
+  uint32_t workers = 1;       // resolved to >= 1
+  uint32_t max_queue = 1024;  // global cap on non-terminal points
+  uint32_t quota = 256;       // per-client cap on non-terminal points
+  uint32_t retries = 2;       // crash retries per point before quarantine
+  uint32_t backoff_ms = 100;  // base worker-restart backoff (doubles)
+  uint32_t retry_after_ms = 500;  // hint in backpressure rejections
+};
+
+/// Builds a ServiceConfig for `state_dir` from the environment; throws one
+/// aggregated SimError naming every invalid WECSIM_SERVICE_* variable.
+ServiceConfig service_config_from_env(const std::string& state_dir);
+
+class ServiceDaemon {
+ public:
+  explicit ServiceDaemon(ServiceConfig config);
+  ~ServiceDaemon();
+
+  ServiceDaemon(const ServiceDaemon&) = delete;
+  ServiceDaemon& operator=(const ServiceDaemon&) = delete;
+
+  /// Binds the socket, recovers WAL'd jobs, serves until drained. Returns
+  /// the process exit code: 0 when drained idle, kExitInterrupted when
+  /// accepted work remains journaled for the next start.
+  int run();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Point {
+    enum class St { kReady, kBackoff, kRunning, kDone, kFailed };
+    PointSpec spec;
+    St st = St::kReady;
+    uint32_t crashes = 0;       // worker deaths, not in-process retries
+    Clock::time_point earliest{};  // kBackoff: do not restart before this
+  };
+
+  struct Job {
+    std::string id;
+    JobSpec spec;
+    std::vector<Point> points;
+    std::unique_ptr<SweepJournal> journal;
+    size_t terminal = 0;  // kDone + kFailed points
+    size_t failed = 0;    // kFailed points
+    bool finalized = false;
+  };
+
+  struct Worker {
+    pid_t pid = -1;
+    size_t job = 0;
+    size_t point = 0;
+    bool busy = false;
+  };
+
+  struct Conn {
+    int fd = -1;
+    std::string in;   // unparsed request bytes
+    std::string out;  // unwritten response bytes
+  };
+
+  // --- setup / recovery ---
+  void open_socket();
+  void recover();
+  Job& add_job(const std::string& id, JobSpec spec, bool recovered);
+
+  // --- event loop ---
+  void reap_workers();
+  void promote_backoff(Clock::time_point now);
+  void schedule(Clock::time_point now);
+  void spawn_worker(size_t ji, size_t pi);
+  [[noreturn]] void worker_main(const Job& job, const Point& pt);
+  void accept_conns();
+  bool service_conn(Conn& conn);  // false: close this connection
+  size_t busy_workers() const;
+  bool unfinished_work() const;
+
+  // --- requests ---
+  std::string handle_request(const std::string& line);
+  std::string handle_submit(const JsonValue& req);
+  std::string handle_status(const JsonValue& req);
+  std::string handle_health();
+  std::string handle_drain();
+  size_t queue_depth() const;  // non-terminal points across live jobs
+  size_t client_queued(const std::string& client) const;
+
+  // --- job lifecycle ---
+  void apply_terminal(Job& job, Point& pt, const JournalReplay::Entry& entry);
+  void maybe_finalize(Job& job);
+
+  ServiceConfig config_;
+  ServiceQueue queue_;
+  std::vector<Job> jobs_;
+  std::map<std::string, size_t> job_index_;
+  std::vector<Worker> workers_;
+  std::vector<Conn> conns_;
+  int listen_fd_ = -1;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+  bool draining_ = false;
+  Clock::time_point started_;
+};
+
+}  // namespace wecsim

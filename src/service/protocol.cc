@@ -1,0 +1,156 @@
+#include "service/protocol.h"
+
+#include <set>
+
+#include "common/error.h"
+#include "core/sim_config.h"
+
+namespace wecsim {
+
+namespace {
+
+bool known_workload(const std::string& name) {
+  static const std::set<std::string> names = {
+      "175.vpr",    "vpr",    "164.gzip",   "gzip",   "181.mcf",  "mcf",
+      "197.parser", "parser", "183.equake", "equake", "177.mesa", "mesa"};
+  return names.count(name) != 0;
+}
+
+bool known_config(const std::string& name) {
+  try {
+    paper_config_from_name(name);
+    return true;
+  } catch (const SimError&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate_job(const JobSpec& spec) {
+  std::vector<std::string> errors;
+  if (spec.client.empty()) errors.push_back("client must be non-empty");
+  if (spec.name.empty()) errors.push_back("name must be non-empty");
+  if (spec.workload.empty()) {
+    errors.push_back("workload must be non-empty");
+  } else if (!known_workload(spec.workload)) {
+    errors.push_back("unknown workload: " + spec.workload);
+  }
+  if (spec.scale < 1 || spec.scale > 1024) {
+    errors.push_back("scale " + std::to_string(spec.scale) +
+                     " out of range [1, 1024]");
+  }
+  if (spec.priority > 1000000) {
+    errors.push_back("priority " + std::to_string(spec.priority) +
+                     " out of range [0, 1000000]");
+  }
+  if (spec.points.empty()) errors.push_back("job has no points");
+  std::set<std::string> keys;
+  for (size_t i = 0; i < spec.points.size(); ++i) {
+    const PointSpec& p = spec.points[i];
+    const std::string where = "points[" + std::to_string(i) + "]";
+    if (p.key.empty()) errors.push_back(where + ".key must be non-empty");
+    if (!keys.insert(p.key).second) {
+      errors.push_back(where + ".key '" + p.key + "' duplicates another point");
+    }
+    if (!known_config(p.config)) {
+      errors.push_back(where + ".config '" + p.config +
+                       "' is not a paper configuration");
+    }
+    if (p.tus < 1 || p.tus > 16) {
+      errors.push_back(where + ".tus " + std::to_string(p.tus) +
+                       " out of range [1, 16]");
+    }
+    if (p.mem_latency > 100000) {
+      errors.push_back(where + ".mem_latency " + std::to_string(p.mem_latency) +
+                       " out of range [0, 100000]");
+    }
+  }
+  return errors;
+}
+
+StaConfig point_config(const PointSpec& point) {
+  StaConfig config = make_paper_config(paper_config_from_name(point.config),
+                                       point.tus);
+  if (point.mem_latency != 0) config.mem.mem_lat = point.mem_latency;
+  return config;
+}
+
+void write_job_spec(JsonWriter& w, const JobSpec& spec) {
+  w.begin_object();
+  w.kv("client", spec.client);
+  w.kv("name", spec.name);
+  w.kv("priority", spec.priority);
+  w.kv("workload", spec.workload);
+  w.kv("scale", spec.scale);
+  w.kv("seed", spec.seed);
+  w.key("points").begin_array();
+  for (const PointSpec& p : spec.points) {
+    w.begin_object();
+    w.kv("key", p.key);
+    w.kv("config", p.config);
+    w.kv("tus", p.tus);
+    if (p.mem_latency != 0) w.kv("mem_latency", p.mem_latency);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+JobSpec parse_job_spec(const JsonValue& v) {
+  JobSpec spec;
+  spec.client = v.at("client").as_string();
+  spec.name = v.at("name").as_string();
+  spec.priority = static_cast<uint32_t>(v.at("priority").as_u64());
+  spec.workload = v.at("workload").as_string();
+  spec.scale = static_cast<uint32_t>(v.at("scale").as_u64());
+  spec.seed = static_cast<uint32_t>(v.at("seed").as_u64());
+  for (const JsonValue& p : v.at("points").items()) {
+    PointSpec point;
+    point.key = p.at("key").as_string();
+    point.config = p.at("config").as_string();
+    point.tus = static_cast<uint32_t>(p.at("tus").as_u64());
+    if (p.has("mem_latency")) {
+      point.mem_latency = static_cast<uint32_t>(p.at("mem_latency").as_u64());
+    }
+    spec.points.push_back(std::move(point));
+  }
+  return spec;
+}
+
+std::string submit_request(const JobSpec& spec) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("op", "submit");
+  w.key("job");
+  write_job_spec(w, spec);
+  w.end_object();
+  return w.take();
+}
+
+std::string status_request(const std::string& job_id) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("op", "status");
+  w.kv("job", job_id);
+  w.end_object();
+  return w.take();
+}
+
+std::string health_request() {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("op", "health");
+  w.end_object();
+  return w.take();
+}
+
+std::string drain_request() {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("op", "drain");
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace wecsim

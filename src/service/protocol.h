@@ -1,0 +1,68 @@
+// wecsimd wire protocol (docs/SERVICE.md): newline-delimited JSON over a
+// local Unix stream socket. Every request is one JSON object on one line
+// with an "op" field; every response is one JSON object on one line with an
+// "ok" field. Admission errors carry "error" (stable identifier) and, for
+// backpressure rejections, "retry_after_ms".
+//
+//   {"op":"submit","job":{...JobSpec...}}
+//       -> {"ok":true,"job":"j-000001","points":N}
+//       -> {"ok":false,"error":"invalid_request","detail":["..."]}
+//       -> {"ok":false,"error":"quota_exceeded","retry_after_ms":500}
+//       -> {"ok":false,"error":"queue_full","retry_after_ms":500}
+//       -> {"ok":false,"error":"draining"}
+//   {"op":"status","job":"j-000001"}
+//       -> {"ok":true,"job":...,"state":"queued|running|done",...}
+//   {"op":"health"}   -> {"ok":true,"state":"serving|draining",...}
+//   {"op":"drain"}    -> {"ok":true,"state":"draining"}
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "sta/sta_config.h"
+
+namespace wecsim {
+
+/// One sweep point of a job: a paper configuration (core/sim_config.h) at a
+/// TU count, with an optional main-memory-latency override.
+struct PointSpec {
+  std::string key;           // config key, unique within the job
+  std::string config;        // paper config name, e.g. "wth-wp-wec"
+  uint32_t tus = 8;          // thread units
+  uint32_t mem_latency = 0;  // round-trip memory latency; 0 = paper default
+};
+
+/// A sweep request: one workload swept over `points`, reported as one run
+/// report named `name`. `client` identifies the submitter for quotas.
+struct JobSpec {
+  std::string client;
+  std::string name;       // report bench_name; also shown in status
+  uint32_t priority = 0;  // higher drains first across jobs
+  std::string workload;   // paper name ("181.mcf") or short name ("mcf")
+  uint32_t scale = 1;     // WorkloadParams::scale
+  uint32_t seed = 42;     // WorkloadParams::seed
+  std::vector<PointSpec> points;
+};
+
+/// All validation problems with a job spec, in the WECSIM_FAULTS all-errors
+/// style: empty list means admissible. Checks identity fields, workload and
+/// config names, ranges, and key uniqueness.
+std::vector<std::string> validate_job(const JobSpec& spec);
+
+/// The simulator configuration a point runs with. `validate_job` must have
+/// passed; throws SimError on an unknown config name.
+StaConfig point_config(const PointSpec& point);
+
+/// JobSpec <-> JSON (the "job" object of a submit request, and the "spec"
+/// object of a queue WAL entry).
+void write_job_spec(JsonWriter& w, const JobSpec& spec);
+JobSpec parse_job_spec(const JsonValue& v);
+
+/// One-line JSON requests (client side).
+std::string submit_request(const JobSpec& spec);
+std::string status_request(const std::string& job_id);
+std::string health_request();
+std::string drain_request();
+
+}  // namespace wecsim

@@ -1,0 +1,116 @@
+#include "service/queue.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <map>
+
+#include "common/error.h"
+
+namespace wecsim {
+
+namespace {
+
+void ensure_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return;
+  throw SimError("cannot create directory " + path + ": " +
+                 std::strerror(errno));
+}
+
+std::string wal_path(const std::string& state_dir) {
+  return state_dir + "/service.queue.jsonl";
+}
+
+std::string format_job_id(uint64_t seq) {
+  std::string digits = std::to_string(seq);
+  if (digits.size() < 6) digits.insert(0, 6 - digits.size(), '0');
+  return "j-" + digits;
+}
+
+uint64_t job_id_seq(const std::string& id) {
+  if (id.size() < 3 || id.compare(0, 2, "j-") != 0) return 0;
+  uint64_t seq = 0;
+  for (size_t i = 2; i < id.size(); ++i) {
+    const char c = id[i];
+    if (c < '0' || c > '9') return 0;
+    seq = seq * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+}  // namespace
+
+std::string job_dir(const std::string& state_dir, const std::string& job_id) {
+  return state_dir + "/jobs/" + job_id;
+}
+
+std::string job_journal_path(const std::string& state_dir,
+                             const std::string& job_id) {
+  return job_dir(state_dir, job_id) + "/sweep.journal.jsonl";
+}
+
+std::string job_report_path(const std::string& state_dir,
+                            const std::string& job_id) {
+  return job_dir(state_dir, job_id) + "/report.json";
+}
+
+ServiceQueue::ServiceQueue(std::string state_dir)
+    : state_dir_(std::move(state_dir)) {
+  ensure_dir(state_dir_);
+  ensure_dir(state_dir_ + "/jobs");
+
+  // Replay first: open jobs in admission order, highest seq seen + 1 as the
+  // next id (ids of finished jobs are never reused).
+  std::vector<std::string> order;
+  std::map<std::string, JobSpec> open;
+  const size_t valid_bytes = scan_sealed_lines(
+      wal_path(state_dir_),
+      [&](const JsonValue& doc) {
+        const std::string ev = doc.at("ev").as_string();
+        const std::string id = doc.at("id").as_string();
+        next_seq_ = std::max(next_seq_, job_id_seq(id) + 1);
+        if (ev == "job") {
+          if (open.emplace(id, parse_job_spec(doc.at("spec"))).second) {
+            order.push_back(id);
+          }
+        } else if (ev == "job_done") {
+          open.erase(id);
+        } else {
+          throw SimError("unknown queue event: " + ev);
+        }
+      },
+      warnings_);
+  for (const std::string& id : order) {
+    if (auto it = open.find(id); it != open.end()) {
+      pending_.push_back(PendingJob{id, std::move(it->second)});
+    }
+  }
+  // Reopen truncated to the intact prefix — a torn trailing line was never
+  // acknowledged to any client, so cutting it loses nothing accepted.
+  wal_ = std::make_unique<SealedAppendLog>(wal_path(state_dir_), valid_bytes);
+}
+
+std::string ServiceQueue::admit(const JobSpec& spec) {
+  const std::string id = format_job_id(next_seq_++);
+  JsonWriter w;
+  w.begin_object();
+  w.kv("ev", "job");
+  w.kv("id", id);
+  w.key("spec");
+  write_job_spec(w, spec);
+  wal_->append(finish_sealed_line(w));  // durable before the "ok" reply
+  ensure_dir(job_dir(state_dir_, id));
+  return id;
+}
+
+void ServiceQueue::mark_done(const std::string& id) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("ev", "job_done");
+  w.kv("id", id);
+  wal_->append(finish_sealed_line(w));
+}
+
+}  // namespace wecsim

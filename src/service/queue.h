@@ -1,0 +1,68 @@
+// Persistent service job queue: the admission WAL of wecsimd. Accepted
+// jobs are appended to <state_dir>/service.queue.jsonl as sealed, fsync'd
+// JSONL lines (the same format as the sweep journal — harness/journal.h)
+// BEFORE the daemon acknowledges the submit, so a kill -9 at any point
+// loses zero accepted work:
+//
+//   {"ev":"job","id":"j-000001","spec":{...JobSpec...},"integrity":...}
+//   {"ev":"job_done","id":"j-000001","integrity":...}
+//
+// On restart the WAL is replayed: jobs without a "job_done" marker are the
+// recovery set, re-run against their per-job sweep journals under
+// <state_dir>/jobs/<id>/. The WAL inherits the journal's robustness
+// properties — per-line integrity seals, a torn tail costs only the
+// unacknowledged trailing append, a corrupt line costs one job's replay.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/journal.h"
+#include "service/protocol.h"
+
+namespace wecsim {
+
+/// Directory holding one job's sweep journal and final report.
+std::string job_dir(const std::string& state_dir, const std::string& job_id);
+/// The job's sweep journal (SweepJournal / JournalReplay format).
+std::string job_journal_path(const std::string& state_dir,
+                             const std::string& job_id);
+/// The job's final run report (written atomically at finalize).
+std::string job_report_path(const std::string& state_dir,
+                            const std::string& job_id);
+
+class ServiceQueue {
+ public:
+  struct PendingJob {
+    std::string id;
+    JobSpec spec;
+  };
+
+  /// Opens (creating state_dir if needed) and replays the WAL. Unfinished
+  /// jobs land in pending() in admission order; replay problems (torn
+  /// tail, corrupt lines) land in warnings(). Throws SimError when the
+  /// state dir or WAL cannot be created.
+  explicit ServiceQueue(std::string state_dir);
+
+  const std::string& state_dir() const { return state_dir_; }
+  const std::vector<PendingJob>& pending() const { return pending_; }
+  const std::vector<std::string>& warnings() const { return warnings_; }
+
+  /// Durably admits a job: assigns the next id, appends + fsyncs the WAL
+  /// entry, creates the job directory. Returns the job id. The caller
+  /// replies "ok" to the client only after this returns.
+  std::string admit(const JobSpec& spec);
+
+  /// Durably marks a job finished (its report is on disk).
+  void mark_done(const std::string& id);
+
+ private:
+  std::string state_dir_;
+  std::unique_ptr<SealedAppendLog> wal_;
+  std::vector<PendingJob> pending_;
+  std::vector<std::string> warnings_;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace wecsim

@@ -256,5 +256,33 @@ TEST(FailSoft, ReportFailureOrderIsDeterministicAcrossModes) {
   EXPECT_EQ(parallel.quarantined_count(), 2u);
 }
 
+// Retry backoff is deterministic: derived from the fault-plan seed, the
+// point, and the attempt number — never wall clock or a global RNG — so a
+// replayed sweep waits the same way and reports stay byte-identical.
+TEST(FailsoftBackoff, IsDeterministicAndBounded) {
+  const uint64_t a = failsoft_backoff_ms(100, 2, 42, "164.gzip|orig");
+  EXPECT_EQ(a, failsoft_backoff_ms(100, 2, 42, "164.gzip|orig"));
+  // Jittered within [exp/2, exp] of the exponential schedule.
+  for (uint32_t attempt = 0; attempt < 6; ++attempt) {
+    const uint64_t exp = 100ull << attempt;
+    const uint64_t ms = failsoft_backoff_ms(100, attempt, 42, "p");
+    EXPECT_GE(ms, exp / 2) << "attempt " << attempt;
+    EXPECT_LE(ms, exp) << "attempt " << attempt;
+  }
+}
+
+TEST(FailsoftBackoff, ZeroBaseMeansNoSleep) {
+  EXPECT_EQ(failsoft_backoff_ms(0, 0, 42, "p"), 0u);
+  EXPECT_EQ(failsoft_backoff_ms(0, 5, 7, "q"), 0u);
+}
+
+TEST(FailsoftBackoff, JitterVariesAcrossSeedAndPoint) {
+  // With a jitter span of 4000ms, distinct seeds/points colliding on the
+  // same value would make the hash suspect.
+  const uint64_t base = failsoft_backoff_ms(1000, 3, 42, "164.gzip|orig");
+  EXPECT_NE(failsoft_backoff_ms(1000, 3, 43, "164.gzip|orig"), base);
+  EXPECT_NE(failsoft_backoff_ms(1000, 3, 42, "181.mcf|orig"), base);
+}
+
 }  // namespace
 }  // namespace wecsim

@@ -18,6 +18,7 @@
 #include "harness/progress.h"
 #include "harness/report.h"
 #include "obs/json.h"
+#include "obs/jsonl.h"
 #include "obs/profile.h"
 
 namespace wecsim {
@@ -302,6 +303,70 @@ TEST(ProgressSchemaTest, ObsEnvViolationsAggregateIntoOneError) {
 TEST(ProgressSchemaTest, IntervalOutOfRangeIsRejected) {
   ScopedEnv interval("WECSIM_PROGRESS_INTERVAL_MS", "5");  // below 10 ms floor
   EXPECT_THROW(ExperimentRunner runner, SimError);
+}
+
+// wecsim-top follows live progress files through obs/jsonl.h: a torn tail
+// (crash mid-append, or the writer is inside write() right now) must read as
+// "not yet", never as a schema error or a garbage half-line.
+TEST(JsonlTailReader, TornTailIsHeldBackThenCompletedTransparently) {
+  const std::string dir = fresh_dir("jsonltorn");
+  const std::string path = dir + "/stream.jsonl";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"n\":1}\n{\"n\":2}\n{\"n\":3";  // torn mid-append
+  }
+
+  JsonlTailReader reader(path);
+  ASSERT_TRUE(reader.ok());
+  std::string line;
+  ASSERT_EQ(reader.next(line), JsonlTailReader::Status::kLine);
+  EXPECT_EQ(line, "{\"n\":1}");
+  ASSERT_EQ(reader.next(line), JsonlTailReader::Status::kLine);
+  EXPECT_EQ(line, "{\"n\":2}");
+  // The partial third line is pending, not surfaced.
+  EXPECT_EQ(reader.next(line), JsonlTailReader::Status::kTorn);
+  EXPECT_EQ(reader.torn_bytes(), std::string("{\"n\":3").size());
+  // Polling again without new bytes stays kTorn (never a duplicate).
+  EXPECT_EQ(reader.next(line), JsonlTailReader::Status::kTorn);
+
+  // The writer finishes the line: the follower sees exactly one whole line.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "3}\n";
+  }
+  ASSERT_EQ(reader.next(line), JsonlTailReader::Status::kLine);
+  EXPECT_EQ(line, "{\"n\":33}");
+  EXPECT_EQ(reader.next(line), JsonlTailReader::Status::kEof);
+  fs::remove_all(dir);
+}
+
+TEST(JsonlTailReader, CleanEofHasNoPendingTail) {
+  const std::string dir = fresh_dir("jsonleof");
+  const std::string path = dir + "/stream.jsonl";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"n\":1}\n";
+  }
+  JsonlTailReader reader(path);
+  ASSERT_TRUE(reader.ok());
+  std::string line;
+  ASSERT_EQ(reader.next(line), JsonlTailReader::Status::kLine);
+  EXPECT_EQ(reader.next(line), JsonlTailReader::Status::kEof);
+  EXPECT_EQ(reader.torn_bytes(), 0u);
+
+  // A growing file resumes from where the reader stopped.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "{\"n\":2}\n";
+  }
+  ASSERT_EQ(reader.next(line), JsonlTailReader::Status::kLine);
+  EXPECT_EQ(line, "{\"n\":2}");
+  fs::remove_all(dir);
+}
+
+TEST(JsonlTailReader, MissingFileReportsNotOk) {
+  JsonlTailReader reader("/nonexistent/wecsim/stream.jsonl");
+  EXPECT_FALSE(reader.ok());
 }
 
 }  // namespace

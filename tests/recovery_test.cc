@@ -221,6 +221,189 @@ TEST(Journal, DeadOwnerIsReclaimedSilently) {
             JournalReplay::State::kQueued);
 }
 
+// A pid that is alive but belongs to an unrelated process (the original
+// holder's pid was recycled) must not look like a live holder. The
+// incarnation token — pid + /proc start ticks — disambiguates.
+TEST(Journal, RecycledPidIsRecognizedByIncarnationToken) {
+  const uint64_t live = worker_token(1);  // pid 1 always exists
+  if (live == 0) GTEST_SKIP() << "/proc/1/stat unreadable here";
+  TempDir dir("recycled");
+  const std::string path = journal_path(dir.str());
+  {
+    SweepJournal journal(path);
+    journal.queued({{"181.mcf", "orig"}});
+    // The recorded token belongs to a process that no longer exists; pid 1
+    // merely recycled its pid.
+    journal.running({"181.mcf", "orig"}, 1, live ^ 0x5eedu);
+  }
+  const JournalReplay replay = JournalReplay::load(path);
+  ASSERT_EQ(replay.warnings.size(), 1u);
+  EXPECT_NE(replay.warnings[0].find("recycled"), std::string::npos)
+      << replay.warnings[0];
+  EXPECT_EQ(replay.points.at({"181.mcf", "orig"}).state,
+            JournalReplay::State::kQueued);
+
+  // The same pid with its real token is a genuinely live holder: still
+  // reclaimed, but reported as such.
+  {
+    SweepJournal journal(path);
+    journal.running({"181.mcf", "orig"}, 1, live);
+  }
+  const JournalReplay holder = JournalReplay::load(path);
+  ASSERT_EQ(holder.warnings.size(), 1u);
+  EXPECT_NE(holder.warnings[0].find("running under live pid"),
+            std::string::npos)
+      << holder.warnings[0];
+  EXPECT_EQ(holder.points.at({"181.mcf", "orig"}).state,
+            JournalReplay::State::kQueued);
+}
+
+// Duplicate "done" entries happen when an orphaned worker of a SIGKILLed
+// daemon races its replacement. The simulator is deterministic, so the
+// measurements agree — the replay keeps the record-bearing copy (wall-clock
+// run_seconds differs and must not flag a conflict).
+TEST(Journal, DuplicateDoneWithAgreeingMeasurementKeepsRecordBearingCopy) {
+  TempDir dir("dupdone");
+  const std::string path = journal_path(dir.str());
+  const MeasuredPoint point = measure("181.mcf", "orig");
+  RunMeasurement cached = point.m;
+  cached.run_seconds = point.m.run_seconds + 10.0;
+
+  {
+    SweepJournal journal(path);
+    journal.queued({{"181.mcf", "orig"}});
+    // Cache-served copy (no record) lands first, fresh copy second.
+    journal.done({"181.mcf", "orig"}, cached, /*fresh=*/false, nullptr,
+                 nullptr);
+    journal.done({"181.mcf", "orig"}, point.m, /*fresh=*/true, &point.record,
+                 nullptr);
+  }
+  const JournalReplay replay = JournalReplay::load(path);
+  EXPECT_TRUE(replay.warnings.empty());
+  const auto& entry = replay.points.at({"181.mcf", "orig"});
+  EXPECT_EQ(entry.state, JournalReplay::State::kDone);
+  EXPECT_TRUE(entry.fresh);
+  EXPECT_EQ(render_run_report("t", {entry.record}),
+            render_run_report("t", {point.record}));
+
+  // Reverse arrival order: the record-bearing copy still wins.
+  const std::string path2 = dir.str() + "/reverse.journal.jsonl";
+  {
+    SweepJournal journal(path2);
+    journal.queued({{"181.mcf", "orig"}});
+    journal.done({"181.mcf", "orig"}, point.m, /*fresh=*/true, &point.record,
+                 nullptr);
+    journal.done({"181.mcf", "orig"}, cached, /*fresh=*/false, nullptr,
+                 nullptr);
+  }
+  const JournalReplay reverse = JournalReplay::load(path2);
+  EXPECT_TRUE(reverse.warnings.empty());
+  const auto& kept = reverse.points.at({"181.mcf", "orig"});
+  EXPECT_TRUE(kept.fresh);
+  EXPECT_EQ(render_run_report("t", {kept.record}),
+            render_run_report("t", {point.record}));
+}
+
+// Duplicate "done" entries whose measurement payloads differ mean the
+// journal cannot be trusted for that point: quarantine, never silently pick.
+TEST(Journal, ConflictingDuplicateDoneQuarantinesThePoint) {
+  TempDir dir("dupconflict");
+  const std::string path = journal_path(dir.str());
+  const MeasuredPoint point = measure("181.mcf", "orig");
+  RunMeasurement other = point.m;
+  other.sim.cycles += 1;
+
+  {
+    SweepJournal journal(path);
+    journal.queued({{"181.mcf", "orig"}});
+    journal.done({"181.mcf", "orig"}, point.m, /*fresh=*/true, &point.record,
+                 nullptr);
+    journal.done({"181.mcf", "orig"}, other, /*fresh=*/true, &point.record,
+                 nullptr);
+  }
+  const JournalReplay replay = JournalReplay::load(path);
+  ASSERT_EQ(replay.warnings.size(), 1u);
+  EXPECT_NE(replay.warnings[0].find("quarantined"), std::string::npos);
+  const auto& entry = replay.points.at({"181.mcf", "orig"});
+  EXPECT_EQ(entry.state, JournalReplay::State::kFailed);
+  ASSERT_TRUE(entry.has_failure);
+  EXPECT_EQ(entry.failure.status, "quarantined");
+  EXPECT_NE(entry.failure.error.find("differing measurements"),
+            std::string::npos);
+}
+
+// Mixed terminal kinds with no re-queue between them conflict too.
+TEST(Journal, ConflictingTerminalKindsQuarantineThePoint) {
+  TempDir dir("mixedterminal");
+  const MeasuredPoint point = measure("181.mcf", "orig");
+  PointFailure fail;
+  fail.workload = "181.mcf";
+  fail.config_key = "orig";
+  fail.status = "quarantined";
+  fail.error = "injected";
+  fail.attempts = 1;
+
+  const std::string done_then_failed = dir.str() + "/df.journal.jsonl";
+  {
+    SweepJournal journal(done_then_failed);
+    journal.queued({{"181.mcf", "orig"}});
+    journal.done({"181.mcf", "orig"}, point.m, /*fresh=*/true, &point.record,
+                 nullptr);
+    journal.failed({"181.mcf", "orig"}, fail);
+  }
+  const JournalReplay df = JournalReplay::load(done_then_failed);
+  ASSERT_EQ(df.warnings.size(), 1u);
+  const auto& df_entry = df.points.at({"181.mcf", "orig"});
+  EXPECT_EQ(df_entry.state, JournalReplay::State::kFailed);
+  EXPECT_NE(df_entry.failure.error.find("\"failed\" after \"done\""),
+            std::string::npos);
+
+  const std::string failed_then_done = dir.str() + "/fd.journal.jsonl";
+  {
+    SweepJournal journal(failed_then_done);
+    journal.queued({{"181.mcf", "orig"}});
+    journal.failed({"181.mcf", "orig"}, fail);
+    journal.done({"181.mcf", "orig"}, point.m, /*fresh=*/true, &point.record,
+                 nullptr);
+  }
+  const JournalReplay fd = JournalReplay::load(failed_then_done);
+  ASSERT_EQ(fd.warnings.size(), 1u);
+  const auto& fd_entry = fd.points.at({"181.mcf", "orig"});
+  EXPECT_EQ(fd_entry.state, JournalReplay::State::kFailed);
+  EXPECT_NE(fd_entry.failure.error.find("\"done\" after \"failed\""),
+            std::string::npos);
+}
+
+// An explicit re-queue between terminal events is the legitimate retry path
+// (the service re-queues after a worker crash): the later terminal simply
+// wins, whatever the earlier one said.
+TEST(Journal, RequeueLegitimizesTheNextTerminalEvent) {
+  TempDir dir("requeue");
+  const std::string path = journal_path(dir.str());
+  const MeasuredPoint point = measure("181.mcf", "orig");
+  PointFailure fail;
+  fail.workload = "181.mcf";
+  fail.config_key = "orig";
+  fail.status = "quarantined";
+  fail.error = "worker crashed";
+  fail.attempts = 1;
+
+  {
+    SweepJournal journal(path);
+    journal.queued({{"181.mcf", "orig"}});
+    journal.failed({"181.mcf", "orig"}, fail);
+    journal.queued({{"181.mcf", "orig"}});  // supervisor re-queued the point
+    journal.done({"181.mcf", "orig"}, point.m, /*fresh=*/true, &point.record,
+                 nullptr);
+  }
+  const JournalReplay replay = JournalReplay::load(path);
+  EXPECT_TRUE(replay.warnings.empty());
+  const auto& entry = replay.points.at({"181.mcf", "orig"});
+  EXPECT_EQ(entry.state, JournalReplay::State::kDone);
+  EXPECT_EQ(render_run_report("t", {entry.record}),
+            render_run_report("t", {point.record}));
+}
+
 TEST(Artifacts, RunReportIsSealedAndTamperEvident) {
   TempDir dir("sealed");
   ExperimentRunner runner(kParams, std::string());

@@ -1,0 +1,478 @@
+// wecsimd, the fault-tolerant multi-tenant sweep service (docs/SERVICE.md):
+// protocol validation, the fsync'd admission WAL, worker supervision with
+// crash quarantine, per-client quotas and queue-depth backpressure, graceful
+// SIGTERM drain, and the chaos contract — SIGKILL the workers or the daemon
+// itself mid-sweep and a restart with the same state dir completes every
+// accepted job with a report byte-identical to an uninterrupted run.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "harness/env.h"
+#include "harness/experiment.h"
+#include "harness/journal.h"
+#include "harness/report.h"
+#include "harness/state_dir.h"
+#include "service/client.h"
+#include "service/daemon.h"
+#include "service/protocol.h"
+#include "service/queue.h"
+
+namespace wecsim {
+namespace {
+
+// A unique per-test temp directory (std::filesystem; removed on scope exit).
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = std::filesystem::temp_directory_path() /
+            ("wecsim_service_" + tag + "_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+JobSpec small_job(const std::string& client, const std::string& name) {
+  JobSpec spec;
+  spec.client = client;
+  spec.name = name;
+  spec.workload = "181.mcf";
+  spec.scale = 1;
+  spec.seed = 42;
+  spec.points.push_back(PointSpec{"orig", "orig", 1, 0});
+  spec.points.push_back(PointSpec{"wec", "wth-wp-wec", 1, 0});
+  return spec;
+}
+
+// What an uninterrupted run of `spec` reports: the points simulated in spec
+// order by a plain serial runner (cache disabled, like the daemon workers in
+// these tests), rendered through the same write_run_report path the daemon's
+// finalize uses. Byte-comparing against this is the acceptance criterion.
+std::string expected_report(const JobSpec& spec, const std::string& dir) {
+  ExperimentRunner direct(WorkloadParams{spec.scale, spec.seed},
+                          std::string());
+  for (const PointSpec& p : spec.points) {
+    direct.try_run(spec.workload, p.key, point_config(p));
+  }
+  const std::string path = dir + "/expected_" + spec.name + ".json";
+  write_run_report(path, spec.name, direct.records(), direct.failures());
+  return read_file(path);
+}
+
+ServiceConfig test_config(const std::string& state_dir) {
+  ServiceConfig config;
+  config.state_dir = state_dir;
+  config.socket = state_dir + "/wecsimd.sock";
+  config.workers = 2;
+  config.backoff_ms = 1;  // retry fast; tests should not sleep
+  return config;
+}
+
+// Runs a ServiceDaemon in a forked child (the tests play the role of
+// wecsimd's main()). The child's exit status is the daemon's run() result.
+pid_t spawn_daemon(const ServiceConfig& config) {
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // The daemon logs to a file, not the inherited stdio: ctest reads the
+    // test's output pipe until EOF, so a daemon that outlived a failed
+    // test would hang the whole run if it kept the pipe open.
+    const std::string log = config.state_dir + "/daemon.log";
+    const int fd = ::open(log.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, STDOUT_FILENO);
+      ::dup2(fd, STDERR_FILENO);
+      ::close(fd);
+    }
+    // Workers must simulate, not serve cache hits, for the byte-identity
+    // comparisons here (a disk hit journals no RunRecord).
+    ::unsetenv("WECSIM_CACHE_DIR");
+    try {
+      ServiceDaemon daemon(config);
+      ::_exit(daemon.run());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "daemon child: %s\n", e.what());
+      ::_exit(100);
+    }
+  }
+  return pid;
+}
+
+int wait_exit(pid_t pid) {
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+}
+
+void stop_daemon(pid_t pid) {
+  if (pid <= 0) return;
+  ::kill(pid, SIGTERM);
+  for (int i = 0; i < 200; ++i) {
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) return;
+    ::usleep(50 * 1000);
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+}
+
+// SIGKILLs the daemon on scope exit so an early ASSERT failure can never
+// leak a live daemon. Tests that shut down deliberately call release()
+// (or reap via wait_exit) first.
+struct DaemonGuard {
+  pid_t pid = -1;
+  explicit DaemonGuard(pid_t p) : pid(p) {}
+  DaemonGuard(const DaemonGuard&) = delete;
+  DaemonGuard& operator=(const DaemonGuard&) = delete;
+  ~DaemonGuard() {
+    if (pid <= 0) return;
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+  }
+  pid_t release() {
+    const pid_t p = pid;
+    pid = -1;
+    return p;
+  }
+};
+
+TEST(ServiceProtocol, JobSpecRoundTripsThroughJson) {
+  JobSpec spec = small_job("alice", "roundtrip");
+  spec.priority = 7;
+  spec.seed = 1234;
+  spec.points[1].mem_latency = 777;
+
+  JsonWriter w;
+  write_job_spec(w, spec);
+  const JobSpec back = parse_job_spec(parse_json(w.take()));
+  EXPECT_EQ(back.client, "alice");
+  EXPECT_EQ(back.name, "roundtrip");
+  EXPECT_EQ(back.priority, 7u);
+  EXPECT_EQ(back.workload, "181.mcf");
+  EXPECT_EQ(back.seed, 1234u);
+  ASSERT_EQ(back.points.size(), 2u);
+  EXPECT_EQ(back.points[0].key, "orig");
+  EXPECT_EQ(back.points[0].mem_latency, 0u);
+  EXPECT_EQ(back.points[1].config, "wth-wp-wec");
+  EXPECT_EQ(back.points[1].mem_latency, 777u);
+}
+
+TEST(ServiceProtocol, ValidateJobAggregatesAllProblems) {
+  JobSpec spec;  // empty client/name/workload, no points
+  EXPECT_EQ(validate_job(small_job("c", "n")).size(), 0u);
+  std::vector<std::string> errors = validate_job(spec);
+  EXPECT_GE(errors.size(), 4u);
+
+  spec = small_job("c", "n");
+  spec.workload = "999.nope";
+  spec.points.push_back(PointSpec{"orig", "orig", 1, 0});      // dup key
+  spec.points.push_back(PointSpec{"bad", "no_such", 1, 0});    // bad config
+  spec.points.push_back(PointSpec{"deep", "orig", 99, 0});     // tus range
+  errors = validate_job(spec);
+  ASSERT_EQ(errors.size(), 4u);
+  EXPECT_NE(errors[0].find("unknown workload"), std::string::npos);
+}
+
+TEST(ServiceProtocol, PointConfigAppliesMemoryLatencyOverride) {
+  const StaConfig paper = point_config(PointSpec{"a", "orig", 1, 0});
+  EXPECT_GT(paper.mem.mem_lat, 0u);  // 0 keeps the paper default
+  const StaConfig overridden = point_config(PointSpec{"a", "orig", 1, 777});
+  EXPECT_EQ(overridden.mem.mem_lat, 777u);
+  EXPECT_THROW(point_config(PointSpec{"a", "no_such", 1, 0}), SimError);
+}
+
+TEST(ServiceQueueTest, AdmitsReplaysAndMarksDoneDurably) {
+  TempDir dir("queue");
+  std::string first, second;
+  {
+    ServiceQueue queue(dir.str());
+    EXPECT_TRUE(queue.pending().empty());
+    first = queue.admit(small_job("alice", "one"));
+    second = queue.admit(small_job("bob", "two"));
+    EXPECT_NE(first, second);
+    EXPECT_TRUE(std::filesystem::is_directory(job_dir(dir.str(), first)));
+  }
+  {
+    // Replay: both jobs pending, admission order preserved.
+    ServiceQueue queue(dir.str());
+    EXPECT_TRUE(queue.warnings().empty());
+    ASSERT_EQ(queue.pending().size(), 2u);
+    EXPECT_EQ(queue.pending()[0].id, first);
+    EXPECT_EQ(queue.pending()[0].spec.client, "alice");
+    EXPECT_EQ(queue.pending()[1].id, second);
+    queue.mark_done(first);
+  }
+  {
+    // job_done survives; new ids never collide with replayed ones.
+    ServiceQueue queue(dir.str());
+    ASSERT_EQ(queue.pending().size(), 1u);
+    EXPECT_EQ(queue.pending()[0].id, second);
+    const std::string third = queue.admit(small_job("carol", "three"));
+    EXPECT_NE(third, first);
+    EXPECT_NE(third, second);
+  }
+}
+
+TEST(ServiceEnvTest, InvalidSettingsAggregateIntoOneError) {
+  ::setenv("WECSIM_SERVICE_WORKERS", "lots", 1);
+  ::setenv("WECSIM_SERVICE_MAX_QUEUE", "0", 1);
+  ::setenv("WECSIM_SERVICE_RETRY_AFTER_MS", "-5", 1);
+  std::string message;
+  try {
+    service_config_from_env("/tmp/unused");
+  } catch (const SimError& e) {
+    message = e.what();
+  }
+  ::unsetenv("WECSIM_SERVICE_WORKERS");
+  ::unsetenv("WECSIM_SERVICE_MAX_QUEUE");
+  ::unsetenv("WECSIM_SERVICE_RETRY_AFTER_MS");
+  ASSERT_FALSE(message.empty()) << "invalid WECSIM_SERVICE_* must throw";
+  EXPECT_NE(message.find("WECSIM_SERVICE_WORKERS"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("WECSIM_SERVICE_MAX_QUEUE"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("WECSIM_SERVICE_RETRY_AFTER_MS"), std::string::npos)
+      << message;
+}
+
+// The baseline service contract: submit over the socket, the daemon shards
+// the points across workers, the finalized report is byte-identical to a
+// direct serial run, and SIGTERM on an idle daemon exits 0.
+TEST(ServiceDaemonTest, CompletesJobByteIdenticalToDirectRun) {
+  TempDir dir("basic");
+  const ServiceConfig config = test_config(dir.str());
+  DaemonGuard daemon(spawn_daemon(config));
+  ASSERT_TRUE(ServiceClient::wait_ready(config.socket, 30.0));
+
+  const JobSpec spec = small_job("alice", "basic");
+  ServiceClient client(config.socket);
+  const JsonValue accepted = client.submit(spec);
+  ASSERT_TRUE(accepted.at("ok").as_bool());
+  const std::string job = accepted.at("job").as_string();
+  EXPECT_EQ(accepted.at("points").as_u64(), 2u);
+
+  const JsonValue done = client.wait(job, 300.0);
+  EXPECT_EQ(done.at("done").as_u64(), 2u);
+  EXPECT_EQ(done.at("failed").as_u64(), 0u);
+  const std::string report = done.at("report").as_string();
+  EXPECT_EQ(read_file(report), expected_report(spec, dir.str()));
+
+  // Idle drain: exit 0, nothing left behind.
+  ::kill(daemon.pid, SIGTERM);
+  EXPECT_EQ(wait_exit(daemon.release()), 0);
+}
+
+// Admission control: per-client quotas and the global queue-depth cap reject
+// with an explicit retry_after_ms — and the daemon keeps serving.
+TEST(ServiceDaemonTest, BackpressureRejectsWithRetryAfter) {
+  TempDir dir("quota");
+  ServiceConfig config = test_config(dir.str());
+  config.quota = 2;
+  config.max_queue = 3;
+  DaemonGuard daemon(spawn_daemon(config));
+  ASSERT_TRUE(ServiceClient::wait_ready(config.socket, 30.0));
+  ServiceClient client(config.socket);
+
+  // Three points from one client exceed its quota of 2.
+  JobSpec big = small_job("alice", "big");
+  big.points.push_back(PointSpec{"wp", "wth-wp", 1, 0});
+  const JsonValue quota = client.submit(big);
+  EXPECT_FALSE(quota.at("ok").as_bool());
+  EXPECT_EQ(quota.at("error").as_string(), "quota_exceeded");
+  EXPECT_EQ(quota.at("retry_after_ms").as_u64(), config.retry_after_ms);
+
+  // Four points exceed the global depth cap of 3 (checked before quota).
+  big.points.push_back(PointSpec{"base", "wth", 1, 0});
+  const JsonValue full = client.submit(big);
+  EXPECT_FALSE(full.at("ok").as_bool());
+  EXPECT_EQ(full.at("error").as_string(), "queue_full");
+  EXPECT_EQ(full.at("retry_after_ms").as_u64(), config.retry_after_ms);
+
+  // Malformed specs are named problems, not crashes.
+  JobSpec bad = small_job("alice", "bad");
+  bad.workload = "999.nope";
+  const JsonValue invalid = client.submit(bad);
+  EXPECT_FALSE(invalid.at("ok").as_bool());
+  EXPECT_EQ(invalid.at("error").as_string(), "invalid_request");
+  EXPECT_GE(invalid.at("detail").items().size(), 1u);
+
+  const JsonValue unknown = client.status("j-999999");
+  EXPECT_FALSE(unknown.at("ok").as_bool());
+  EXPECT_EQ(unknown.at("error").as_string(), "unknown_job");
+
+  // None of the rejections hurt the daemon: a conforming job still runs.
+  const JsonValue health = client.health();
+  EXPECT_TRUE(health.at("ok").as_bool());
+  EXPECT_EQ(health.at("state").as_string(), "serving");
+  const JsonValue accepted = client.submit(small_job("alice", "ok"));
+  ASSERT_TRUE(accepted.at("ok").as_bool());
+  client.wait(accepted.at("job").as_string(), 300.0);
+  stop_daemon(daemon.release());
+}
+
+// Worker supervision: a point whose worker is SIGKILLed on every attempt
+// (via the PR 3 fault plan, inherited through the environment) is retried
+// with backoff, then quarantined — while the healthy point completes and
+// the job still finalizes with a report.
+TEST(ServiceDaemonTest, CrashLoopingPointIsQuarantinedJobStillFinishes) {
+  TempDir dir("crashloop");
+  ServiceConfig config = test_config(dir.str());
+  config.retries = 1;
+  ::setenv("WECSIM_FAULTS", "worker_crash:every=1,match=crashme,arg=9", 1);
+  DaemonGuard daemon(spawn_daemon(config));
+  ::unsetenv("WECSIM_FAULTS");
+  ASSERT_TRUE(ServiceClient::wait_ready(config.socket, 30.0));
+
+  JobSpec spec = small_job("alice", "crashloop");
+  spec.points[1] = PointSpec{"crashme", "wth-wp-wec", 1, 0};
+  ServiceClient client(config.socket);
+  const JsonValue accepted = client.submit(spec);
+  ASSERT_TRUE(accepted.at("ok").as_bool());
+  const JsonValue done = client.wait(accepted.at("job").as_string(), 300.0);
+  EXPECT_EQ(done.at("done").as_u64(), 1u);
+  EXPECT_EQ(done.at("failed").as_u64(), 1u);
+
+  const std::string report = read_file(done.at("report").as_string());
+  EXPECT_NE(report.find("\"quarantined\""), std::string::npos);
+  EXPECT_NE(report.find("signal 9"), std::string::npos);
+  // The journal records the escalation: the last entry for the crashing
+  // point is a terminal "failed" after two attempts.
+  const JournalReplay replay = JournalReplay::load(job_journal_path(
+      dir.str(), accepted.at("job").as_string()));
+  const auto& entry = replay.points.at({"181.mcf", "crashme"});
+  EXPECT_EQ(entry.state, JournalReplay::State::kFailed);
+  EXPECT_EQ(entry.failure.attempts, 2u);
+  stop_daemon(daemon.release());
+}
+
+// The acceptance chaos scenario: kill -9 the daemon AND its workers with a
+// submitted job in flight, restart on the same state dir, and the job
+// completes with a report byte-identical to an uninterrupted run.
+TEST(ServiceDaemonTest, Kill9DaemonMidSweepResumesByteIdentical) {
+  TempDir dir("kill9");
+  const ServiceConfig config = test_config(dir.str());
+  DaemonGuard first(spawn_daemon(config));
+  ASSERT_TRUE(ServiceClient::wait_ready(config.socket, 30.0));
+
+  JobSpec spec = small_job("alice", "chaos");
+  spec.points.push_back(PointSpec{"wp", "wth-wp", 1, 0});
+  std::string job;
+  std::vector<int64_t> worker_pids;
+  {
+    ServiceClient client(config.socket);
+    const JsonValue accepted = client.submit(spec);
+    ASSERT_TRUE(accepted.at("ok").as_bool());  // reply implies WAL fsync'd
+    job = accepted.at("job").as_string();
+    // Bind the reply first: iterating `client.health().at(...).items()`
+    // directly would walk references into a destroyed temporary.
+    const JsonValue health = client.health();
+    for (const JsonValue& pid : health.at("worker_pids").items()) {
+      worker_pids.push_back(pid.as_i64());
+    }
+  }
+
+  // No drain, no warning: SIGKILL the daemon, then any workers it left
+  // orphaned mid-simulation.
+  ::kill(first.pid, SIGKILL);
+  ASSERT_EQ(wait_exit(first.release()), -SIGKILL);
+  for (const int64_t pid : worker_pids) {
+    ::kill(static_cast<pid_t>(pid), SIGKILL);
+  }
+
+  DaemonGuard second(spawn_daemon(config));
+  ASSERT_TRUE(ServiceClient::wait_ready(config.socket, 30.0));
+  ServiceClient client(config.socket);
+  const JsonValue done = client.wait(job, 300.0);
+  EXPECT_EQ(done.at("done").as_u64(), 3u);
+  EXPECT_EQ(done.at("failed").as_u64(), 0u);
+  EXPECT_EQ(read_file(done.at("report").as_string()),
+            expected_report(spec, dir.str()));
+  stop_daemon(second.release());
+}
+
+// Graceful drain: SIGTERM with work in flight stops admission, finishes the
+// running points, exits kExitInterrupted with the rest journaled as queued —
+// and a restart completes the job byte-identically.
+TEST(ServiceDaemonTest, SigtermDrainIsResumableAndExitsInterrupted) {
+  TempDir dir("drain");
+  ServiceConfig config = test_config(dir.str());
+  config.workers = 1;  // guarantees work remains when the drain lands
+  DaemonGuard first(spawn_daemon(config));
+  ASSERT_TRUE(ServiceClient::wait_ready(config.socket, 30.0));
+
+  JobSpec spec = small_job("alice", "drain");
+  spec.points.push_back(PointSpec{"wp", "wth-wp", 1, 0});
+  std::string job;
+  {
+    ServiceClient client(config.socket);
+    const JsonValue accepted = client.submit(spec);
+    ASSERT_TRUE(accepted.at("ok").as_bool());
+    job = accepted.at("job").as_string();
+    // The daemon reports itself draining while it finishes the in-flight
+    // point, and refuses new admissions. It may finish the drain and exit
+    // under us at any moment — a dropped connection refuses admission just
+    // as hard.
+    ::kill(first.pid, SIGTERM);
+    try {
+      for (int i = 0; i < 200; ++i) {
+        if (client.health().at("state").as_string() == "draining") break;
+        ::usleep(10 * 1000);
+      }
+      const JsonValue rejected = client.submit(small_job("bob", "late"));
+      EXPECT_FALSE(rejected.at("ok").as_bool());
+      EXPECT_EQ(rejected.at("error").as_string(), "draining");
+    } catch (const SimError&) {
+    }
+  }
+  EXPECT_EQ(wait_exit(first.release()), kExitInterrupted);
+
+  // Drain contract: no point is left "running" — the journal holds only
+  // queued / terminal states.
+  const JournalReplay replay =
+      JournalReplay::load(job_journal_path(dir.str(), job));
+  EXPECT_TRUE(replay.warnings.empty()) << replay.warnings[0];
+  size_t queued = 0;
+  for (const auto& [key, entry] : replay.points) {
+    EXPECT_NE(entry.state, JournalReplay::State::kRunning);
+    if (entry.state == JournalReplay::State::kQueued) ++queued;
+  }
+  EXPECT_GE(queued, 1u);  // workers=1, 3 points: something was left over
+
+  DaemonGuard second(spawn_daemon(config));
+  ASSERT_TRUE(ServiceClient::wait_ready(config.socket, 30.0));
+  ServiceClient client(config.socket);
+  const JsonValue done = client.wait(job, 300.0);
+  EXPECT_EQ(done.at("done").as_u64(), 3u);
+  EXPECT_EQ(read_file(done.at("report").as_string()),
+            expected_report(spec, dir.str()));
+  stop_daemon(second.release());
+}
+
+}  // namespace
+}  // namespace wecsim

@@ -20,6 +20,7 @@
 
 #include "common/error.h"
 #include "obs/json.h"
+#include "obs/jsonl.h"
 
 namespace wecsim {
 namespace {
@@ -207,8 +208,8 @@ void render(const JsonValue& v) {
 }
 
 int run_check(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) {
+  JsonlTailReader reader(path);
+  if (!reader.ok()) {
     std::fprintf(stderr, "wecsim-top: cannot open %s\n", path.c_str());
     return 1;
   }
@@ -216,7 +217,17 @@ int run_check(const std::string& path) {
   bool saw_start = false, saw_finish = false;
   std::string line;
   size_t lineno = 0;
-  while (std::getline(in, line)) {
+  for (;;) {
+    const JsonlTailReader::Status st = reader.next(line);
+    if (st == JsonlTailReader::Status::kTorn) {
+      // A torn tail is a write in progress (or a crash mid-append), not a
+      // schema violation: every validated event is '\n'-terminated.
+      std::fprintf(stderr,
+                   "wecsim-top: %s: ignoring torn trailing line (%zu bytes)\n",
+                   path.c_str(), reader.torn_bytes());
+      break;
+    }
+    if (st == JsonlTailReader::Status::kEof) break;
     ++lineno;
     if (line.empty()) continue;
     try {
@@ -246,14 +257,15 @@ int run_check(const std::string& path) {
 }
 
 int run_render(const std::string& path, bool follow) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) {
+  JsonlTailReader reader(path);
+  if (!reader.ok()) {
     std::fprintf(stderr, "wecsim-top: cannot open %s\n", path.c_str());
     return 1;
   }
   std::string line;
   for (;;) {
-    if (std::getline(in, line)) {
+    const JsonlTailReader::Status st = reader.next(line);
+    if (st == JsonlTailReader::Status::kLine) {
       if (line.empty()) continue;
       try {
         const JsonValue v = validate_line(line);
@@ -264,9 +276,16 @@ int run_render(const std::string& path, bool follow) {
       }
       continue;
     }
-    if (!follow) return 0;
-    // Tail mode: clear EOF and poll; the writer flushes per line.
-    in.clear();
+    if (!follow) {
+      if (st == JsonlTailReader::Status::kTorn) {
+        std::fprintf(stderr,
+                     "wecsim-top: ignoring torn trailing line (%zu bytes)\n",
+                     reader.torn_bytes());
+      }
+      return 0;
+    }
+    // Tail mode: poll until the writer appends more. A torn tail is a
+    // write in progress — wait for its '\n' rather than mis-parsing it.
     ::usleep(200 * 1000);
   }
 }

@@ -1,0 +1,187 @@
+// wecsimctl — command-line client for wecsimd (docs/SERVICE.md).
+//
+//   wecsimctl --socket PATH submit --client C --name N --workload W
+//             [--scale S] [--seed S] [--priority P]
+//             --point KEY=CONFIG[:TUS[:MEMLAT]] [--point ...]
+//   wecsimctl --socket PATH status <job>
+//   wecsimctl --socket PATH wait <job> [--timeout SEC]
+//   wecsimctl --socket PATH health
+//   wecsimctl --socket PATH drain
+//
+// --socket defaults to WECSIM_SERVICE_SOCKET. The daemon's one-line JSON
+// reply is printed verbatim to stdout. Exit codes: 0 success, 1
+// usage/transport errors, 4 submission rejected (quota / queue depth /
+// draining) — retriable, see the reply's retry_after_ms.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "service/client.h"
+
+namespace wecsim {
+namespace {
+
+constexpr int kExitRejected = 4;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: wecsimctl --socket PATH <command> [...]\n"
+      "  submit --client C --name N --workload W [--scale S] [--seed S]\n"
+      "         [--priority P] --point KEY=CONFIG[:TUS[:MEMLAT]] ...\n"
+      "  status <job>\n"
+      "  wait <job> [--timeout SEC]\n"
+      "  health\n"
+      "  drain\n");
+  return 1;
+}
+
+bool parse_point(const std::string& text, PointSpec* out, std::string* error) {
+  const size_t eq = text.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    *error = "--point expects KEY=CONFIG[:TUS[:MEMLAT]], got '" + text + "'";
+    return false;
+  }
+  out->key = text.substr(0, eq);
+  const std::string rest = text.substr(eq + 1);
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (;;) {
+    const size_t colon = rest.find(':', start);
+    parts.push_back(rest.substr(start, colon == std::string::npos
+                                           ? std::string::npos
+                                           : colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  if (parts.size() > 3 || parts[0].empty()) {
+    *error = "--point expects KEY=CONFIG[:TUS[:MEMLAT]], got '" + text + "'";
+    return false;
+  }
+  out->config = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(parts[i].c_str(), &end, 10);
+    if (end == parts[i].c_str() || *end != '\0') {
+      *error = "--point: '" + parts[i] + "' is not an integer in '" + text +
+               "'";
+      return false;
+    }
+    if (i == 1) out->tus = static_cast<uint32_t>(v);
+    if (i == 2) out->mem_latency = static_cast<uint32_t>(v);
+  }
+  return true;
+}
+
+/// Prints the raw reply; maps it to the documented exit code.
+int finish(const JsonValue& reply, const std::string& raw) {
+  std::printf("%s\n", raw.c_str());
+  if (reply.at("ok").as_bool()) return 0;
+  const std::string error = reply.at("error").as_string();
+  if (error == "quota_exceeded" || error == "queue_full" ||
+      error == "draining") {
+    return kExitRejected;
+  }
+  return 1;
+}
+
+int ctl_main(int argc, char** argv) {
+  std::string socket;
+  if (const char* env = std::getenv("WECSIM_SERVICE_SOCKET")) socket = env;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket") {
+      if (i + 1 >= argc) return usage();
+      socket = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (socket.empty() || args.empty()) return usage();
+  const std::string command = args[0];
+
+  try {
+    ServiceClient client(socket);
+    std::string raw;
+    if (command == "submit") {
+      JobSpec spec;
+      spec.scale = 1;
+      for (size_t i = 1; i < args.size(); ++i) {
+        auto next = [&]() -> const std::string* {
+          return i + 1 < args.size() ? &args[++i] : nullptr;
+        };
+        const std::string& a = args[i];
+        const std::string* v = nullptr;
+        if (a == "--client" && (v = next()) != nullptr) {
+          spec.client = *v;
+        } else if (a == "--name" && (v = next()) != nullptr) {
+          spec.name = *v;
+        } else if (a == "--workload" && (v = next()) != nullptr) {
+          spec.workload = *v;
+        } else if (a == "--scale" && (v = next()) != nullptr) {
+          spec.scale =
+              static_cast<uint32_t>(std::strtoul(v->c_str(), nullptr, 10));
+        } else if (a == "--seed" && (v = next()) != nullptr) {
+          spec.seed =
+              static_cast<uint32_t>(std::strtoul(v->c_str(), nullptr, 10));
+        } else if (a == "--priority" && (v = next()) != nullptr) {
+          spec.priority =
+              static_cast<uint32_t>(std::strtoul(v->c_str(), nullptr, 10));
+        } else if (a == "--point" && (v = next()) != nullptr) {
+          PointSpec point;
+          std::string error;
+          if (!parse_point(*v, &point, &error)) {
+            std::fprintf(stderr, "wecsimctl: %s\n", error.c_str());
+            return 1;
+          }
+          spec.points.push_back(std::move(point));
+        } else {
+          return usage();
+        }
+      }
+      const JsonValue reply = client.request(submit_request(spec), &raw);
+      return finish(reply, raw);
+    }
+    if (command == "status") {
+      if (args.size() != 2) return usage();
+      const JsonValue reply = client.request(status_request(args[1]), &raw);
+      return finish(reply, raw);
+    }
+    if (command == "wait") {
+      if (args.size() < 2) return usage();
+      double timeout_s = 600.0;
+      for (size_t i = 2; i + 1 < args.size(); i += 2) {
+        if (args[i] == "--timeout") {
+          timeout_s = std::strtod(args[i + 1].c_str(), nullptr);
+        } else {
+          return usage();
+        }
+      }
+      client.wait(args[1], timeout_s);  // throws on timeout
+      const JsonValue reply = client.request(status_request(args[1]), &raw);
+      return finish(reply, raw);
+    }
+    if (command == "health") {
+      const JsonValue reply = client.request(health_request(), &raw);
+      return finish(reply, raw);
+    }
+    if (command == "drain") {
+      const JsonValue reply = client.request(drain_request(), &raw);
+      return finish(reply, raw);
+    }
+    return usage();
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "wecsimctl: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace
+}  // namespace wecsim
+
+int main(int argc, char** argv) { return wecsim::ctl_main(argc, argv); }

@@ -1,0 +1,115 @@
+// wecsimd — fault-tolerant multi-tenant sweep service (docs/SERVICE.md).
+//
+//   wecsimd [options] <state_dir>
+//
+//   --socket PATH      Unix socket to serve on (default <state_dir>/
+//                      wecsimd.sock, or WECSIM_SERVICE_SOCKET)
+//   --workers N        worker processes (default: hardware threads)
+//   --max-queue N      global cap on queued points (backpressure)
+//   --quota N          per-client cap on queued points
+//   --retries N        crashed-worker retries before quarantine
+//   --backoff-ms N     base worker-restart backoff
+//
+// Every flag has a WECSIM_SERVICE_* twin (harness/env.h); flags win.
+// Exit: 0 drained idle, 3 (kExitInterrupted) drained with journaled work
+// remaining — restart with the same state dir to resume — and 1 on setup
+// or configuration errors.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.h"
+#include "service/daemon.h"
+
+namespace wecsim {
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: wecsimd [--socket PATH] [--workers N] [--max-queue N] "
+               "[--quota N]\n"
+               "               [--retries N] [--backoff-ms N] <state_dir>\n");
+  return 1;
+}
+
+bool parse_u32_arg(const char* flag, const char* text, uint32_t min_value,
+                   uint32_t max_value, uint32_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || v < min_value || v > max_value) {
+    std::fprintf(stderr, "wecsimd: %s expects an integer in [%u, %u], got '%s'\n",
+                 flag, min_value, max_value, text);
+    return false;
+  }
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+int daemon_main(int argc, char** argv) {
+  std::string state_dir;
+  std::string socket_override;
+  uint32_t workers = 0, max_queue = 0, quota = 0, backoff_ms = 0;
+  uint32_t retries = static_cast<uint32_t>(-1);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--socket") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      socket_override = v;
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr || !parse_u32_arg("--workers", v, 1, 4096, &workers))
+        return usage();
+    } else if (arg == "--max-queue") {
+      const char* v = next();
+      if (v == nullptr ||
+          !parse_u32_arg("--max-queue", v, 1, 1000000, &max_queue))
+        return usage();
+    } else if (arg == "--quota") {
+      const char* v = next();
+      if (v == nullptr || !parse_u32_arg("--quota", v, 1, 1000000, &quota))
+        return usage();
+    } else if (arg == "--retries") {
+      const char* v = next();
+      if (v == nullptr || !parse_u32_arg("--retries", v, 0, 100, &retries))
+        return usage();
+    } else if (arg == "--backoff-ms") {
+      const char* v = next();
+      if (v == nullptr ||
+          !parse_u32_arg("--backoff-ms", v, 0, 600000, &backoff_ms))
+        return usage();
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (state_dir.empty()) {
+      state_dir = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (state_dir.empty()) return usage();
+
+  try {
+    ServiceConfig config = service_config_from_env(state_dir);
+    if (!socket_override.empty()) config.socket = socket_override;
+    if (workers != 0) config.workers = workers;
+    if (max_queue != 0) config.max_queue = max_queue;
+    if (quota != 0) config.quota = quota;
+    if (retries != static_cast<uint32_t>(-1)) config.retries = retries;
+    if (backoff_ms != 0) config.backoff_ms = backoff_ms;
+    ServiceDaemon daemon(std::move(config));
+    return daemon.run();
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "wecsimd: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace
+}  // namespace wecsim
+
+int main(int argc, char** argv) { return wecsim::daemon_main(argc, argv); }
