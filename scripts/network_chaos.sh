@@ -1,0 +1,310 @@
+#!/usr/bin/env bash
+# Network/federation chaos harness for wecsimd (docs/SERVICE.md,
+# "Multi-host deployment"). Builds the service, runs the federation suite
+# (ctest -L 'service-smoke|network-chaos'), then drives the multi-daemon
+# failure matrix end to end:
+#
+#   1. kill -9 one of two daemons sharing a state dir (and its workers)
+#      mid-sweep: the survivor steals the lease-expired points and the
+#      report is byte-identical to an uninterrupted single-daemon run —
+#      zero points lost, zero points duplicated.
+#   2. SIGSTOP a daemon past lease expiry (frozen peer / partition): the
+#      survivor steals, finishes byte-identically, and the stolen
+#      provenance is visible in wecsim-top; the frozen peer is then
+#      SIGCONT'd and its late duplicate work must not corrupt anything.
+#   3. torn and half-open TCP frames from raw sockets, plus a submit whose
+#      reply line is lost mid-connection and retried under the same
+#      --request-id: exactly one job in the admission WAL.
+#   4. wecsimctl --timeout-ms against a silent endpoint exits 5.
+#   5. a daemon with a failing state dir reports itself degraded (exit 4)
+#      and wecsimctl fails over to the next endpoint in --endpoints.
+#
+# Usage: scripts/network_chaos.sh [--asan|--tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+configure=release
+case "${1:-}" in
+  --asan) configure=asan ;;
+  --tsan) configure=tsan ;;
+  "") ;;
+  *) echo "usage: $0 [--asan|--tsan]" >&2; exit 1 ;;
+esac
+builddir=build
+[[ "$configure" == release ]] || builddir="build-$configure"
+
+cmake --preset "$configure"
+cmake --build --preset "$configure" -j "$(nproc)" \
+  --target wecsimd wecsimctl wecsim-top service_test federation_test
+ctest --test-dir "$builddir" -L 'service-smoke|network-chaos' \
+  --output-on-failure -j "$(nproc)"
+
+WECSIMD="$builddir/tools/wecsimd"
+CTL="$builddir/tools/wecsimctl"
+TOP="$builddir/tools/wecsim-top"
+work="$(mktemp -d "${TMPDIR:-/tmp}/wecsim_netchaos.XXXXXX")"
+pids=()
+cleanup() {
+  for p in "${pids[@]:-}"; do
+    kill -CONT "$p" 2>/dev/null || true
+    kill -9 "$p" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+json_field() {  # json_field FIELD <<< '{"json":...}'
+  python3 -c "import json,sys; print(json.load(sys.stdin)[sys.argv[1]])" "$1"
+}
+
+wait_ready() {  # wait_ready ENDPOINT
+  for _ in $(seq 1 600); do
+    if "$CTL" --socket "$1" health >/dev/null 2>&1; then return 0; fi
+    sleep 0.05
+  done
+  echo "network_chaos: daemon on $1 never became ready" >&2
+  return 1
+}
+
+# The sweep every phase submits: big enough (~1s/point in release) that a
+# kill or freeze lands mid-simulation. Identical spec -> identical bytes.
+submit_job() {  # submit_job ENDPOINT [EXTRA CTL ARGS...]
+  local ep="$1"; shift
+  "$CTL" --socket "$ep" submit "$@" --client chaos --name netchaos \
+    --workload 181.mcf --scale 16 --seed 42 \
+    --point orig=orig:4 --point wp=wth-wp:4 --point wec=wth-wp-wec:4
+}
+
+wait_report() {  # wait_report STATE_DIR JOB
+  local report="$1/jobs/$2/report.json"
+  for _ in $(seq 1 2400); do
+    [[ -s "$report" ]] && { echo "$report"; return 0; }
+    sleep 0.1
+  done
+  echo "network_chaos: no report for job $2 under $1" >&2
+  return 1
+}
+
+# Kills (-9 / -STOP / -CONT) a daemon and every worker it forked: workers
+# share the daemon's command line, which names its unique socket path.
+signal_tree() {  # signal_tree SIG SOCKET_PATH
+  pkill "-$1" -f -- "$2" 2>/dev/null || true
+}
+
+wait_tree_gone() {  # wait_tree_gone SOCKET_PATH
+  for _ in $(seq 1 100); do
+    pgrep -f -- "$1" >/dev/null 2>&1 || return 0
+    sleep 0.05
+  done
+  echo "network_chaos: process tree for $1 refused to die" >&2
+  return 1
+}
+
+# Asserts every point in the job journal has EXACTLY `want` intact "done"
+# entries (zero lost, zero duplicated), ignoring torn/corrupt lines.
+check_done_counts() {  # check_done_counts STATE_DIR JOB WANT
+  python3 - "$1/jobs/$2/sweep.journal.jsonl" "$3" <<'PY'
+import collections, json, sys
+counts = collections.Counter()
+for line in open(sys.argv[1], "rb"):
+    try:
+        doc = json.loads(line)
+    except ValueError:
+        continue  # torn tail from a SIGKILLed writer: healed, not counted
+    if doc.get("ev") == "done":
+        counts[doc["key"]] += 1
+want = int(sys.argv[2])
+expected = {"orig", "wp", "wec"}
+assert set(counts) == expected, f"points lost: {expected - set(counts)}"
+bad = {k: n for k, n in counts.items() if n != want}
+assert not bad, f"duplicated/missing done entries: {bad}"
+print(f"  done counts OK: {dict(counts)}")
+PY
+}
+
+echo "== baseline: uninterrupted single-daemon run =="
+state="$work/base"; sock="$state.sock"; mkdir -p "$state"
+"$WECSIMD" --socket "$sock" --workers 2 --backoff-ms 10 "$state" \
+  2>"$work/base.log" &
+pids+=($!)
+wait_ready "$sock"
+job="$(submit_job "$sock" | json_field job)"
+"$CTL" --socket "$sock" wait "$job" --timeout 600 >/dev/null
+baseline="$(wait_report "$state" "$job")"
+signal_tree TERM "$sock"; wait_tree_gone "$sock"
+
+echo "== federation: kill -9 one of two daemons sharing a state dir =="
+state="$work/twod"; mkdir -p "$state"
+socka="$state/a.sock"; sockb="$state/b.sock"
+"$WECSIMD" --socket "$socka" --workers 2 --backoff-ms 10 --lease-ms 300 \
+  "$state" 2>"$work/twod-a.log" &
+pids+=($!)
+"$WECSIMD" --socket "$sockb" --workers 2 --backoff-ms 10 --lease-ms 300 \
+  "$state" 2>"$work/twod-b.log" &
+pids+=($!)
+wait_ready "$socka"; wait_ready "$sockb"
+job="$(submit_job "$socka" | json_field job)"
+sleep 0.3  # let daemon A's workers take their leases mid-simulation
+signal_tree KILL "$socka"
+wait_tree_gone "$socka"  # daemon AND workers: nobody left to duplicate
+report="$(wait_report "$state" "$job")"
+cmp "$baseline" "$report" || {
+  echo "FAIL: survivor's report differs from baseline" >&2; exit 1; }
+check_done_counts "$state" "$job" 1
+grep -q "expired lease\|stole" "$work/twod-b.log" || {
+  echo "FAIL: survivor never logged a lease steal" >&2
+  cat "$work/twod-b.log" >&2; exit 1; }
+signal_tree TERM "$sockb"; wait_tree_gone "$sockb"
+
+echo "== federation: SIGSTOP-frozen peer past lease expiry =="
+state="$work/frozen"; mkdir -p "$state"
+socka="$state/a.sock"; sockb="$state/b.sock"
+"$WECSIMD" --socket "$socka" --workers 2 --backoff-ms 10 --lease-ms 300 \
+  "$state" 2>"$work/frozen-a.log" &
+pids+=($!)
+"$WECSIMD" --socket "$sockb" --workers 2 --backoff-ms 10 --lease-ms 300 \
+  "$state" 2>"$work/frozen-b.log" &
+pids+=($!)
+wait_ready "$socka"; wait_ready "$sockb"
+job="$(submit_job "$socka" | json_field job)"
+sleep 0.3
+signal_tree STOP "$socka"  # frozen, not dead: leases expire, holders linger
+report="$(wait_report "$state" "$job")"
+cmp "$baseline" "$report" || {
+  echo "FAIL: report after freeze differs from baseline" >&2; exit 1; }
+# Stolen provenance is an operator-visible fact (checked BEFORE thawing the
+# frozen peer, whose late finalize may rewrite the sidecar with its view).
+"$TOP" --service "$state" >"$work/frozen.top"
+grep -q "stolen" "$work/frozen.top" || {
+  echo "FAIL: no stolen provenance in wecsim-top --service output" >&2
+  cat "$work/frozen.top" >&2; exit 1; }
+signal_tree CONT "$socka"
+# The thawed peer's workers finish their in-flight (now duplicated) points;
+# the journal dedups, so the report on disk must remain byte-identical.
+sleep 2
+cmp "$baseline" "$report" || {
+  echo "FAIL: thawed peer corrupted the finalized report" >&2; exit 1; }
+signal_tree TERM "$socka"; signal_tree TERM "$sockb"
+wait_tree_gone "$socka"; wait_tree_gone "$sockb"
+
+echo "== TCP: torn frames, half-open peers, lost-reply submit retry =="
+state="$work/tcp"; sock="$state.sock"; mkdir -p "$state"
+"$WECSIMD" --socket "$sock" --listen 127.0.0.1:0 --workers 2 \
+  --backoff-ms 10 "$state" 2>"$work/tcp.log" &
+pids+=($!)
+wait_ready "$sock"
+for _ in $(seq 1 100); do [[ -s "$sock.tcp" ]] && break; sleep 0.05; done
+endpoint="$(tr -d '\n' <"$sock.tcp")"
+echo "  TCP endpoint: $endpoint"
+rid="netchaos-$$-lostreply"
+python3 - "$endpoint" "$rid" <<'PY'
+import json, socket, sys
+host, port = sys.argv[1].rsplit(":", 1)
+rid = sys.argv[2]
+
+def conn():
+    s = socket.create_connection((host, int(port)), timeout=10)
+    s.settimeout(10)
+    return s
+
+# Torn frame: half a JSON line, then a hard close mid-request.
+s = conn(); s.sendall(b'{"op":"sub'); s.close()
+# Garbage line: must get the aggregated invalid_request error, not a reset.
+s = conn(); s.sendall(b"\x00\xff not json\n")
+reply = json.loads(s.makefile().readline())
+assert reply["error"] == "invalid_request", reply
+s.close()
+# Half-open peer: connect, send nothing, abandon the socket.
+abandoned = conn()
+# Lost reply: a COMPLETE submit under a request id, connection torn down
+# before reading the reply line. The job is admitted; the client never
+# learns. The retry below must find it instead of duplicating it.
+spec = {"client": "chaos", "name": "netchaos", "priority": 0,
+        "workload": "181.mcf", "scale": 16, "seed": 42,
+        "points": [{"key": "orig", "config": "orig", "tus": 4},
+                   {"key": "wp", "config": "wth-wp", "tus": 4},
+                   {"key": "wec", "config": "wth-wp-wec", "tus": 4}]}
+s = conn()
+s.sendall(json.dumps({"op": "submit", "rid": rid, "job": spec}).encode()
+          + b"\n")
+s.close()  # reply line dropped on the floor
+abandoned.close()
+print("  torn/half-open probes OK")
+PY
+# The retried submit, same request id, over the same TCP transport: must be
+# flagged duplicate and admit nothing new.
+submit_job "$endpoint" --request-id "$rid" >"$work/tcp-retry.out"
+grep -q '"duplicate":true' "$work/tcp-retry.out" || {
+  echo "FAIL: retried submit not flagged duplicate" >&2
+  cat "$work/tcp-retry.out" >&2; exit 1; }
+job="$(json_field job <"$work/tcp-retry.out")"
+njobs="$(python3 - "$state/service.queue.jsonl" <<'PY'
+import json, sys
+n = 0
+for line in open(sys.argv[1], "rb"):
+    try:
+        doc = json.loads(line)
+    except ValueError:
+        continue
+    n += doc.get("ev") == "job"
+print(n)
+PY
+)"
+[[ "$njobs" == 1 ]] || {
+  echo "FAIL: WAL holds $njobs job entries after the retry, want 1" >&2
+  exit 1; }
+"$CTL" --socket "$endpoint" wait "$job" --timeout 600 >/dev/null
+report="$(wait_report "$state" "$job")"
+cmp "$baseline" "$report" || {
+  echo "FAIL: TCP-submitted report differs from baseline" >&2; exit 1; }
+signal_tree TERM "$sock"; wait_tree_gone "$sock"
+
+echo "== wecsimctl --timeout-ms: silent endpoint exits 5 =="
+python3 - >"$work/silent.port" <<'PY' &
+import socket, time
+s = socket.socket()
+s.bind(("127.0.0.1", 0))
+s.listen(8)  # accepts pile up in the backlog; nobody ever answers
+print(s.getsockname()[1], flush=True)
+time.sleep(120)
+PY
+pids+=($!)
+for _ in $(seq 1 100); do [[ -s "$work/silent.port" ]] && break; sleep 0.05; done
+silent_port="$(tr -d '\n' <"$work/silent.port")"
+"$CTL" --endpoints "127.0.0.1:$silent_port" --timeout-ms 500 health \
+  >/dev/null 2>&1 && rc=0 || rc=$?
+[[ "$rc" -eq 5 ]] || {
+  echo "FAIL: --timeout-ms against a silent endpoint exited $rc, want 5" >&2
+  exit 1; }
+
+echo "== degraded state dir: exit 4, failover to the next endpoint =="
+statea="$work/dega"; stateb="$work/degb"; mkdir -p "$statea" "$stateb"
+socka="$statea.sock"; sockb="$stateb.sock"
+"$WECSIMD" --socket "$socka" --workers 2 "$statea" 2>"$work/dega.log" &
+pids+=($!)
+"$WECSIMD" --socket "$sockb" --workers 2 "$stateb" 2>"$work/degb.log" &
+pids+=($!)
+wait_ready "$socka"; wait_ready "$sockb"
+# Break daemon A's state dir under it: its jobs dir becomes a plain file,
+# so the next admission fails the way ENOSPC/EIO would.
+rm -rf "$statea/jobs"; : >"$statea/jobs"
+# Failover: A answers "degraded", wecsimctl moves on to B and succeeds.
+submit_job "$socka" --endpoints "$sockb" >"$work/failover.out" || {
+  echo "FAIL: failover submit did not succeed" >&2
+  cat "$work/failover.out" >&2; exit 1; }
+job="$(json_field job <"$work/failover.out")"
+"$CTL" --socket "$sockb" status "$job" >/dev/null || {
+  echo "FAIL: failover job not on daemon B" >&2; exit 1; }
+# A alone: rejected retriable, exit 4, and health says degraded + why.
+submit_job "$socka" >"$work/degraded.out" && rc=0 || rc=$?
+[[ "$rc" -eq 4 ]] || {
+  echo "FAIL: submit to degraded daemon exited $rc, want 4" >&2; exit 1; }
+grep -q '"error":"degraded"' "$work/degraded.out"
+"$CTL" --socket "$socka" health | grep -q '"state":"degraded"' || {
+  echo "FAIL: degraded daemon's health does not say so" >&2; exit 1; }
+"$CTL" --socket "$sockb" wait "$job" --timeout 600 >/dev/null
+signal_tree TERM "$socka"; signal_tree TERM "$sockb"
+wait_tree_gone "$socka"; wait_tree_gone "$sockb"
+
+echo "network_chaos: all phases passed ($configure)"

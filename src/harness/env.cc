@@ -22,6 +22,23 @@ void add_error(std::vector<std::string>* errors, const std::string& message) {
   if (errors != nullptr) errors->push_back(message);
 }
 
+// "host:port" with a non-empty host and a decimal port in [0, 65535].
+// Port 0 is allowed on the listen side (the daemon binds an ephemeral
+// port and publishes it in <state_dir>/wecsimd.endpoint for tests).
+bool valid_host_port(const std::string& s) {
+  const size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size()) {
+    return false;
+  }
+  unsigned long port = 0;
+  for (size_t i = colon + 1; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+    port = port * 10 + static_cast<unsigned long>(s[i] - '0');
+    if (port > 65535) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 uint32_t parse_env_u32(const char* name, uint32_t fallback, uint32_t min_value,
@@ -109,7 +126,65 @@ ServiceEnv parse_service_env(std::vector<std::string>* errors) {
       parse_env_u32("WECSIM_SERVICE_BACKOFF_MS", 100, 0, 600000, errors);
   service.retry_after_ms =
       parse_env_u32("WECSIM_SERVICE_RETRY_AFTER_MS", 500, 1, 600000, errors);
+  if (const char* listen = std::getenv("WECSIM_SERVICE_LISTEN")) {
+    if (*listen != '\0') {
+      if (!valid_host_port(listen)) {
+        add_error(errors, std::string("WECSIM_SERVICE_LISTEN='") + listen +
+                              "' is not host:port with port in [0, 65535]");
+      } else {
+        service.listen = listen;
+      }
+    }
+  }
+  service.lease_ms =
+      parse_env_u32("WECSIM_SERVICE_LEASE_MS", 5000, 50, 600000, errors);
+  if (const char* eps = std::getenv("WECSIM_SERVICE_ENDPOINTS")) {
+    if (*eps != '\0') {
+      service.endpoints =
+          parse_endpoint_list(eps, "WECSIM_SERVICE_ENDPOINTS", errors);
+    }
+  }
   return service;
+}
+
+bool valid_service_endpoint(const std::string& endpoint) {
+  if (endpoint.empty()) return false;
+  if (endpoint.find('/') != std::string::npos) return true;  // unix path
+  return valid_host_port(endpoint);
+}
+
+std::vector<std::string> parse_endpoint_list(const std::string& text,
+                                             const std::string& what,
+                                             std::vector<std::string>* errors) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    std::string item = text.substr(start, comma - start);
+    // Trim surrounding whitespace so "a, b" lists read naturally.
+    while (!item.empty() && std::isspace(static_cast<unsigned char>(
+                                item.front()))) {
+      item.erase(item.begin());
+    }
+    while (!item.empty() &&
+           std::isspace(static_cast<unsigned char>(item.back()))) {
+      item.pop_back();
+    }
+    if (item.empty()) {
+      add_error(errors, what + " has an empty endpoint entry in '" + text +
+                            "' (expected comma-separated socket paths or "
+                            "host:port addresses)");
+    } else if (!valid_service_endpoint(item)) {
+      add_error(errors, what + " entry '" + item +
+                            "' is neither a socket path (contains '/') nor "
+                            "host:port with port in [0, 65535]");
+    } else {
+      out.push_back(item);
+    }
+    start = comma + 1;
+  }
+  return out;
 }
 
 void throw_if_env_errors(const std::vector<std::string>& errors) {

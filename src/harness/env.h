@@ -54,6 +54,8 @@ ObsEnv parse_obs_env(std::vector<std::string>* errors);
 struct ServiceEnv {
   std::string socket;            // WECSIM_SERVICE_SOCKET; default
                                  // <state_dir>/wecsimd.sock when empty
+  std::string listen;            // WECSIM_SERVICE_LISTEN "host:port" TCP
+                                 // endpoint; empty = Unix socket only
   uint32_t workers = 0;          // WECSIM_SERVICE_WORKERS; 0 = hw threads
   uint32_t max_queue = 1024;     // WECSIM_SERVICE_MAX_QUEUE queued points
   uint32_t quota = 256;          // WECSIM_SERVICE_QUOTA per-client queued pts
@@ -61,10 +63,24 @@ struct ServiceEnv {
   uint32_t backoff_ms = 100;     // WECSIM_SERVICE_BACKOFF_MS restart backoff
   uint32_t retry_after_ms = 500; // WECSIM_SERVICE_RETRY_AFTER_MS hint in
                                  // backpressure rejections
+  uint32_t lease_ms = 5000;      // WECSIM_SERVICE_LEASE_MS point-lease TTL
+                                 // shared-state-dir daemons steal after
+  std::vector<std::string> endpoints;  // WECSIM_SERVICE_ENDPOINTS comma list
+                                       // (client failover order)
 };
 
 /// Reads the WECSIM_SERVICE_* variables, appending any violations to
 /// *errors (same contract as the parse_env_* helpers).
 ServiceEnv parse_service_env(std::vector<std::string>* errors);
+
+/// True when `endpoint` is syntactically a daemon endpoint: a Unix socket
+/// path (contains '/') or a numeric "host:port" TCP address.
+bool valid_service_endpoint(const std::string& endpoint);
+
+/// Splits a comma-separated endpoint list, validating each element;
+/// violations are appended to *errors naming `what` (the variable or flag).
+std::vector<std::string> parse_endpoint_list(const std::string& text,
+                                             const std::string& what,
+                                             std::vector<std::string>* errors);
 
 }  // namespace wecsim

@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <signal.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -121,7 +122,10 @@ size_t scan_sealed_lines(const std::string& path,
 
 SealedAppendLog::SealedAppendLog(std::string path, size_t truncate_to)
     : path_(std::move(path)) {
-  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  // O_RDWR (not O_WRONLY): the torn-tail heal in append_batch preads the
+  // current last byte. Writes still go through O_APPEND, i.e. atomically to
+  // the end of the file whoever else is appending.
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
   if (fd_ < 0) {
     throw SimError("cannot open sweep journal " + path_ + ": " +
                    std::strerror(errno));
@@ -146,6 +150,17 @@ void SealedAppendLog::append_batch(const std::vector<std::string>& lines) {
   WEC_PROFILE_SCOPE(ProfPhase::kHarnessJournal);
   std::lock_guard<std::mutex> lock(mu_);
   std::string batch;
+  // Heal a torn tail left by a crashed peer: if the file does not end in
+  // '\n', lead with one so the partial line stays an isolated corrupt line
+  // instead of swallowing this append. (Two healers racing produce at worst
+  // one blank line, which the scan skips.)
+  struct stat st;
+  if (::fstat(fd_, &st) == 0 && st.st_size > 0) {
+    char last = '\n';
+    if (::pread(fd_, &last, 1, st.st_size - 1) == 1 && last != '\n') {
+      batch.push_back('\n');
+    }
+  }
   for (const std::string& line : lines) batch += line;
   size_t off = 0;
   while (off < batch.size()) {
@@ -203,10 +218,11 @@ void SweepJournal::running(const JournalPoint& point, int64_t pid,
 
 void SweepJournal::done(const JournalPoint& point, const RunMeasurement& m,
                         bool fresh, const RunRecord* record,
-                        const PointFailure* recovered) {
+                        const PointFailure* recovered, const char* via) {
   JsonWriter w;
   begin_entry(w, "done", point);
   w.kv("fresh", fresh);
+  if (via != nullptr && *via != '\0') w.kv("via", std::string(via));
   w.key("measurement").begin_object();
   w.key("sim");
   write_sim_result_full(w, m.sim);
@@ -263,6 +279,7 @@ JournalReplay JournalReplay::load(const std::string& path) {
           Entry incoming;
           incoming.state = State::kDone;
           incoming.fresh = doc.at("fresh").as_bool();
+          if (doc.has("via")) incoming.via = doc.at("via").as_string();
           const JsonValue& m = doc.at("measurement");
           incoming.measurement.sim = parse_sim_result_full(m.at("sim"));
           incoming.measurement.parallel_cycles =

@@ -73,6 +73,15 @@ size_t scan_sealed_lines(const std::string& path,
 /// Append-only sealed-JSONL log file: O_APPEND writes, fsync per append so
 /// each line is durable before the caller proceeds. Thread-safe. The lines
 /// themselves must already be sealed (finish_sealed_line).
+///
+/// Safe for MULTIPLE PROCESSES appending to one file: O_APPEND keeps
+/// whole-line appends intact, and every append first checks that the file
+/// currently ends in '\n' — if a peer crashed mid-append and left a torn
+/// tail, the next writer prepends a newline so the torn bytes become one
+/// isolated corrupt line (skipped by scan_sealed_lines) instead of fusing
+/// with, and destroying, the fresh append. Truncation-on-reopen remains the
+/// single-writer resume path; shared writers must NOT truncate (a peer's
+/// in-flight append looks exactly like a torn tail to a reader).
 class SealedAppendLog {
  public:
   /// Opens (creating if needed) the log for appending. When `truncate_to`
@@ -129,9 +138,14 @@ class SweepJournal {
 
   /// Terminal success. `record` is non-null for a fresh simulation (it is
   /// what lets a resume rebuild the run report byte-for-byte); `recovered`
-  /// is non-null when a transient failure preceded the success.
+  /// is non-null when a transient failure preceded the success. `via`
+  /// (optional) tags how the run came to happen — the wecsimd federation
+  /// records "stolen" for a point completed under a lease taken from an
+  /// expired peer; it never affects replay semantics, only provenance
+  /// reporting.
   void done(const JournalPoint& point, const RunMeasurement& m, bool fresh,
-            const RunRecord* record, const PointFailure* recovered);
+            const RunRecord* record, const PointFailure* recovered,
+            const char* via = nullptr);
 
   /// Terminal failure (the point was quarantined).
   void failed(const JournalPoint& point, const PointFailure& failure);
@@ -157,6 +171,7 @@ struct JournalReplay {
     int64_t pid = 0;       // from the last "running" entry
     uint64_t token = 0;    // claimer incarnation token ("running")
     bool fresh = false;    // "done": simulated (vs served from disk cache)
+    std::string via;       // "done" provenance tag (e.g. "stolen"); may be ""
     RunMeasurement measurement;  // "done"
     RunRecord record;            // "done" with fresh=true
     PointFailure failure;        // "failed", or "done" after a recovery

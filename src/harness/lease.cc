@@ -1,0 +1,196 @@
+#include "harness/lease.h"
+
+#include <fcntl.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "harness/journal.h"
+#include "obs/json.h"
+
+namespace wecsim {
+
+namespace {
+
+// A unique sibling name for temp/stale files: pid + a per-process counter
+// keeps two threads (and two processes) from colliding.
+std::string unique_sibling(const std::string& path, const char* tag) {
+  static int counter = 0;
+  return path + "." + tag + "." + std::to_string(::getpid()) + "." +
+         std::to_string(++counter);
+}
+
+std::string render_lease(int64_t pid, uint64_t token, int64_t expires_ms,
+                         int64_t ttl_ms) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("pid", pid);
+  w.kv("token", token);
+  w.kv("expires_ms", expires_ms);
+  w.kv("ttl_ms", ttl_ms);
+  w.end_object();
+  std::string doc = w.take();
+  doc.push_back('\n');
+  return doc;
+}
+
+// Writes `content` to a unique temp sibling of `path` and returns its name;
+// "" on I/O failure. The content is fully on disk (fsync'd) before return,
+// so the subsequent link()/rename() publishes a complete lease — a peer can
+// never observe a half-written file under a published name.
+std::string write_temp(const std::string& path, const std::string& content) {
+  const std::string tmp = unique_sibling(path, "tmp");
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) return "";
+  size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return "";
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return "";
+  }
+  ::close(fd);
+  return tmp;
+}
+
+}  // namespace
+
+int64_t wall_clock_ms() {
+  timespec ts;
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 +
+         static_cast<int64_t>(ts.tv_nsec) / 1000000;
+}
+
+PointLease::PointLease(PointLease&& other) noexcept
+    : path_(std::move(other.path_)), token_(other.token_), pid_(other.pid_) {
+  other.path_.clear();
+}
+
+PointLease& PointLease::operator=(PointLease&& other) noexcept {
+  if (this != &other) {
+    release();
+    path_ = std::move(other.path_);
+    token_ = other.token_;
+    pid_ = other.pid_;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+PointLease::~PointLease() { release(); }
+
+bool PointLease::peek(const std::string& path, LeaseInfo* info) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+  *info = LeaseInfo{};
+  try {
+    const JsonValue v = parse_json(content);
+    info->pid = v.at("pid").as_i64();
+    info->token = v.at("token").as_u64();
+    info->expires_ms = v.at("expires_ms").as_i64();
+    info->ttl_ms = v.at("ttl_ms").as_i64();
+  } catch (const std::exception&) {
+    // Unreadable lease: report it as long expired so it can be stolen — a
+    // corrupted lease file must never wedge its point forever.
+    info->expires_ms = 0;
+  }
+  return true;
+}
+
+PointLease::Outcome PointLease::try_acquire(const std::string& path,
+                                            int64_t ttl_ms, PointLease* out,
+                                            int64_t* held_remaining_ms) {
+  const int64_t pid = static_cast<int64_t>(::getpid());
+  const uint64_t token = worker_token(pid);
+  bool stole = false;
+  // A few contention rounds: each iteration either links a fresh lease,
+  // observes a live holder, or evicts an expired one and re-contends.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const std::string content =
+        render_lease(pid, token, wall_clock_ms() + ttl_ms, ttl_ms);
+    const std::string tmp = write_temp(path, content);
+    if (tmp.empty()) return Outcome::kError;
+    const int rc = ::link(tmp.c_str(), path.c_str());
+    const int link_errno = errno;
+    ::unlink(tmp.c_str());
+    if (rc == 0) {
+      out->release();
+      out->path_ = path;
+      out->token_ = token;
+      out->pid_ = pid;
+      return stole ? Outcome::kStolen : Outcome::kAcquired;
+    }
+    if (link_errno != EEXIST) return Outcome::kError;
+    LeaseInfo info;
+    if (!peek(path, &info)) continue;  // vanished under us: re-contend
+    const int64_t now = wall_clock_ms();
+    if (info.expires_ms > now && info.token != token) {
+      if (held_remaining_ms != nullptr) {
+        *held_remaining_ms = info.expires_ms - now;
+      }
+      return Outcome::kHeld;
+    }
+    // Expired (or an earlier lease of this very incarnation, e.g. leaked
+    // by a crashed spawn path): evict. rename() of the existing file to a
+    // unique stale name succeeds for exactly one concurrent stealer; the
+    // losers land in ENOENT and re-contend against the winner's fresh
+    // lease.
+    const std::string stale = unique_sibling(path, "stale");
+    if (::rename(path.c_str(), stale.c_str()) == 0) {
+      ::unlink(stale.c_str());
+      if (info.token != token) stole = true;
+    }
+  }
+  if (held_remaining_ms != nullptr) *held_remaining_ms = ttl_ms;
+  return Outcome::kHeld;  // lost every contention round: someone holds it
+}
+
+bool PointLease::renew(int64_t ttl_ms) {
+  if (!held()) return false;
+  LeaseInfo info;
+  if (!peek(path_, &info) || info.token != token_) {
+    // Stolen while this holder was frozen (or the file vanished): the
+    // point belongs to a peer now. Forget the path — releasing would
+    // unlink the peer's lease.
+    path_.clear();
+    return false;
+  }
+  const std::string content =
+      render_lease(pid_, token_, wall_clock_ms() + ttl_ms, ttl_ms);
+  const std::string tmp = write_temp(path_, content);
+  if (tmp.empty()) return true;  // still held; renewal retried next beat
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+  }
+  return true;
+}
+
+void PointLease::release() {
+  if (!held()) return;
+  LeaseInfo info;
+  // Only unlink a lease this holder still owns: after a steal the file at
+  // this path is the peer's.
+  if (peek(path_, &info) && info.token == token_) {
+    ::unlink(path_.c_str());
+  }
+  path_.clear();
+}
+
+}  // namespace wecsim

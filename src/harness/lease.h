@@ -1,0 +1,95 @@
+// Time-bounded point leases: the mutual-exclusion layer that lets multiple
+// wecsimd daemons share one state dir without running the same sweep point
+// twice (docs/SERVICE.md, "Sharing a state dir across daemons").
+//
+// A lease is one small JSON file per point under <job_dir>/leases/. It is
+// acquired atomically (write a unique temp file, link(2) it to the lease
+// name — link fails with EEXIST when someone else holds it), renewed by the
+// holder before `ttl_ms` elapses (temp file + rename), and released by
+// unlink. A holder that stops renewing — SIGKILLed, SIGSTOP-frozen, or
+// partitioned away from the filesystem — lets the lease expire, after which
+// any peer may STEAL it: the stealer first renames the expired file to a
+// unique stale name (exactly one concurrent stealer wins the rename; the
+// losers see ENOENT and re-contend), then acquires fresh.
+//
+// Leases are an efficiency mechanism, not the correctness mechanism: the
+// sweep journal's duplicate-terminal dedup (harness/journal.h) keeps the
+// final report byte-identical even if a frozen holder wakes up and finishes
+// a point its peer already re-ran. What the lease buys is that the
+// duplicated work window is bounded by ttl_ms instead of unbounded.
+//
+// Expiry compares wall-clock milliseconds (CLOCK_REALTIME): daemons sharing
+// a state dir across hosts must keep their clocks within the lease TTL of
+// each other (see the failure matrix in docs/SERVICE.md for the skew row).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wecsim {
+
+/// Wall-clock milliseconds since the epoch (CLOCK_REALTIME).
+int64_t wall_clock_ms();
+
+/// What a lease file says about its holder.
+struct LeaseInfo {
+  int64_t pid = 0;         // holder process
+  uint64_t token = 0;      // holder incarnation token (harness/journal.h)
+  int64_t expires_ms = 0;  // wall-clock expiry; past this anyone may steal
+  int64_t ttl_ms = 0;      // TTL the holder acquired/renewed with
+};
+
+/// One held lease. Default-constructed = not held. Move-only: the holder
+/// identity lives in the object, and release() must happen exactly once.
+class PointLease {
+ public:
+  /// Outcome of try_acquire.
+  enum class Outcome {
+    kAcquired,  // fresh lease created (no live holder)
+    kStolen,    // an expired peer lease was evicted first
+    kHeld,      // a live (unexpired) holder owns the point
+    kError,     // lease dir unwritable (degraded state dir)
+  };
+
+  PointLease() = default;
+  PointLease(PointLease&& other) noexcept;
+  PointLease& operator=(PointLease&& other) noexcept;
+  PointLease(const PointLease&) = delete;
+  PointLease& operator=(const PointLease&) = delete;
+  /// Destroying a still-held lease releases it (best effort).
+  ~PointLease();
+
+  /// Attempts to take the lease at `path` (parent dir must exist) for
+  /// `ttl_ms`. On kAcquired/kStolen the returned object holds the lease;
+  /// on kHeld, `held_remaining_ms` (when non-null) receives how long the
+  /// live holder's lease has left.
+  static Outcome try_acquire(const std::string& path, int64_t ttl_ms,
+                             PointLease* out,
+                             int64_t* held_remaining_ms = nullptr);
+
+  /// Extends the lease by ttl_ms from now. Returns false when the lease
+  /// was lost (stolen by a peer while this holder was frozen, or the file
+  /// vanished) — the caller no longer owns the point.
+  bool renew(int64_t ttl_ms);
+
+  /// Releases (unlinks) the lease if still owned. Safe to call when not
+  /// held.
+  void release();
+
+  bool held() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+  uint64_t token() const { return token_; }
+
+  /// Reads a lease file. Returns false when the file is missing or
+  /// unreadable; a syntactically broken file yields info with token 0 and
+  /// an already-passed expiry (stealable — a torn lease must not wedge the
+  /// point forever).
+  static bool peek(const std::string& path, LeaseInfo* info);
+
+ private:
+  std::string path_;   // empty = not held
+  uint64_t token_ = 0; // our incarnation token at acquire time
+  int64_t pid_ = 0;
+};
+
+}  // namespace wecsim

@@ -1,22 +1,68 @@
 #include "service/client.h"
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <time.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
-#include "common/error.h"
+#include "harness/experiment.h"
+#include "harness/journal.h"
 
 namespace wecsim {
 
-ServiceClient::ServiceClient(std::string socket_path)
-    : socket_path_(std::move(socket_path)) {}
+namespace {
+
+int64_t mono_ms() {
+  timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 +
+         static_cast<int64_t>(ts.tv_nsec) / 1000000;
+}
+
+bool is_unix_endpoint(const std::string& endpoint) {
+  return endpoint.find('/') != std::string::npos;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+std::string make_request_id() {
+  static std::atomic<uint64_t> counter{0};
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "r-%016llx-%llu",
+                static_cast<unsigned long long>(
+                    worker_token(static_cast<int64_t>(::getpid()))),
+                static_cast<unsigned long long>(++counter));
+  return buf;
+}
+
+ServiceClient::ServiceClient(std::string endpoint)
+    : endpoint_(std::move(endpoint)) {}
 
 ServiceClient::~ServiceClient() { disconnect(); }
+
+void ServiceClient::set_retries(uint32_t retries, uint32_t backoff_ms,
+                                uint64_t seed) {
+  retries_ = retries;
+  retry_backoff_ms_ = backoff_ms;
+  retry_seed_ = seed;
+}
 
 void ServiceClient::disconnect() {
   if (fd_ >= 0) ::close(fd_);
@@ -24,42 +70,126 @@ void ServiceClient::disconnect() {
   buf_.clear();
 }
 
-void ServiceClient::ensure_connected() {
-  if (fd_ >= 0) return;
-  sockaddr_un addr;
-  std::memset(&addr, 0, sizeof addr);
-  addr.sun_family = AF_UNIX;
-  if (socket_path_.size() >= sizeof addr.sun_path) {
-    throw SimError("socket path too long: " + socket_path_);
+int ServiceClient::remaining_ms(int64_t deadline_ms) const {
+  if (deadline_ms < 0) return -1;  // no deadline: poll() blocks
+  const int64_t left = deadline_ms - mono_ms();
+  if (left <= 0) {
+    throw ServiceTimeout("wecsimd at " + endpoint_ + " did not answer within " +
+                         std::to_string(timeout_ms_) + "ms");
   }
-  std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof addr.sun_path - 1);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    throw SimError(std::string("socket() failed: ") + std::strerror(errno));
-  }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    const int e = errno;
-    disconnect();
-    throw SimError("cannot connect to wecsimd at " + socket_path_ + ": " +
-                   std::strerror(e));
-  }
+  return left > 1000000 ? 1000000 : static_cast<int>(left);
 }
 
-JsonValue ServiceClient::request(const std::string& line, std::string* raw) {
-  ensure_connected();
-  std::string payload = line;
-  payload.push_back('\n');
+void ServiceClient::connect_once(int64_t deadline_ms) {
+  if (fd_ >= 0) return;
+  int fd = -1;
+  int rc = -1;
+  if (is_unix_endpoint(endpoint_)) {
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    if (endpoint_.size() >= sizeof addr.sun_path) {
+      throw SimError("socket path too long: " + endpoint_);
+    }
+    std::strncpy(addr.sun_path, endpoint_.c_str(), sizeof addr.sun_path - 1);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw SimError(std::string("socket() failed: ") + std::strerror(errno));
+    }
+    set_nonblocking(fd);
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } else {
+    const size_t colon = endpoint_.rfind(':');
+    if (colon == std::string::npos) {
+      throw SimError("bad endpoint '" + endpoint_ +
+                     "': expected socket path or host:port");
+    }
+    std::string host = endpoint_.substr(0, colon);
+    if (host == "localhost") host = "127.0.0.1";
+    const int port = std::atoi(endpoint_.c_str() + colon + 1);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      throw SimError("bad endpoint '" + endpoint_ +
+                     "': host must be a numeric IPv4 address or 'localhost'");
+    }
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw SimError(std::string("socket() failed: ") + std::strerror(errno));
+    }
+    set_nonblocking(fd);
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  }
+  if (rc != 0 && errno != EINPROGRESS && errno != EAGAIN) {
+    const int e = errno;
+    ::close(fd);
+    throw SimError("cannot connect to wecsimd at " + endpoint_ + ": " +
+                   std::strerror(e));
+  }
+  if (rc != 0) {
+    // Connection in progress: wait for writability within the deadline.
+    pollfd pfd{fd, POLLOUT, 0};
+    for (;;) {
+      int left;
+      try {
+        left = remaining_ms(deadline_ms);
+      } catch (...) {
+        ::close(fd);
+        throw;
+      }
+      const int n = ::poll(&pfd, 1, left);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        ::close(fd);
+        if (n == 0) {
+          throw ServiceTimeout("connect to wecsimd at " + endpoint_ +
+                               " timed out after " +
+                               std::to_string(timeout_ms_) + "ms");
+        }
+        throw SimError(std::string("poll() failed: ") + std::strerror(errno));
+      }
+      break;
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      throw SimError("cannot connect to wecsimd at " + endpoint_ + ": " +
+                     std::strerror(err != 0 ? err : errno));
+    }
+  }
+  fd_ = fd;
+}
+
+JsonValue ServiceClient::request_once(const std::string& payload,
+                                      std::string* raw, int64_t deadline_ms) {
+  connect_once(deadline_ms);
   size_t off = 0;
   while (off < payload.size()) {
     const ssize_t n =
         ::write(fd_, payload.data() + off, payload.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      const int e = errno;
-      disconnect();
-      throw SimError("wecsimd request failed: " + std::string(strerror(e)));
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
     }
-    off += static_cast<size_t>(n);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      const int rc = ::poll(&pfd, 1, remaining_ms(deadline_ms));
+      if (rc < 0 && errno != EINTR) {
+        throw SimError(std::string("poll() failed: ") + std::strerror(errno));
+      }
+      if (rc == 0) {
+        throw ServiceTimeout("send to wecsimd at " + endpoint_ +
+                             " timed out after " + std::to_string(timeout_ms_) +
+                             "ms");
+      }
+      continue;
+    }
+    throw SimError("wecsimd request failed: " +
+                   std::string(std::strerror(errno)));
   }
   for (;;) {
     const size_t nl = buf_.find('\n');
@@ -76,8 +206,50 @@ JsonValue ServiceClient::request(const std::string& line, std::string* raw) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    disconnect();
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd_, POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, remaining_ms(deadline_ms));
+      if (rc < 0 && errno != EINTR) {
+        throw SimError(std::string("poll() failed: ") + std::strerror(errno));
+      }
+      if (rc == 0) {
+        // A half-open peer (e.g. the daemon's host vanished mid-reply)
+        // lands here rather than hanging forever.
+        throw ServiceTimeout("reply from wecsimd at " + endpoint_ +
+                             " timed out after " + std::to_string(timeout_ms_) +
+                             "ms");
+      }
+      continue;
+    }
     throw SimError("wecsimd closed the connection mid-reply");
+  }
+}
+
+JsonValue ServiceClient::request(const std::string& line, std::string* raw) {
+  std::string payload = line;
+  payload.push_back('\n');
+  const int64_t deadline_ms =
+      timeout_ms_ > 0 ? mono_ms() + static_cast<int64_t>(timeout_ms_) : -1;
+  for (uint32_t attempt = 0;; ++attempt) {
+    try {
+      return request_once(payload, raw, deadline_ms);
+    } catch (const ServiceTimeout&) {
+      disconnect();
+      throw;  // the deadline bounds retries too
+    } catch (const SimError&) {
+      disconnect();
+      if (attempt >= retries_) throw;
+    }
+    // Exponential backoff with seeded jitter so a thundering herd of
+    // retrying clients spreads out; the deadline still caps the sleep.
+    int64_t sleep_ms = static_cast<int64_t>(
+        failsoft_backoff_ms(retry_backoff_ms_, attempt, retry_seed_,
+                            endpoint_));
+    if (deadline_ms >= 0) {
+      const int left = remaining_ms(deadline_ms);  // throws when spent
+      if (sleep_ms > left) sleep_ms = left;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
   }
 }
 
@@ -102,13 +274,13 @@ JsonValue ServiceClient::wait(const std::string& job_id, double timeout_s) {
   }
 }
 
-bool ServiceClient::wait_ready(const std::string& socket_path,
-                               double timeout_s) {
+bool ServiceClient::wait_ready(const std::string& endpoint, double timeout_s) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(timeout_s);
   for (;;) {
     try {
-      ServiceClient probe(socket_path);
+      ServiceClient probe(endpoint);
+      probe.set_timeout_ms(2000);
       const JsonValue reply = probe.health();
       if (reply.at("ok").as_bool()) return true;
     } catch (const SimError&) {

@@ -1,32 +1,68 @@
 // Blocking client for the wecsimd NDJSON protocol (service/protocol.h).
 // Used by wecsimctl, the service tests, and the chaos harness. One request
 // per call: send a line, read the one-line reply, parse it.
+//
+// Endpoints: a string containing '/' is a Unix socket path; anything else
+// is a "host:port" TCP address (numeric IPv4 or "localhost"). Every
+// connect/read/write honours an optional per-request deadline
+// (set_timeout_ms) — a blown deadline throws ServiceTimeout, which
+// wecsimctl maps to its own exit code so scripts can tell "daemon said no"
+// from "daemon unreachable". Transport errors (refused, reset, half-open
+// peer) are retried up to `retries` times with exponential backoff and
+// seeded jitter; pairing retries with a submit request id keeps the retry
+// safe — the daemon dedups on the rid, so "retried" never means
+// "duplicated".
 #pragma once
 
+#include <cstdint>
 #include <string>
 
+#include "common/error.h"
 #include "obs/json.h"
 #include "service/protocol.h"
 
 namespace wecsim {
 
+/// A client-side deadline expired before the daemon answered.
+struct ServiceTimeout : SimError {
+  using SimError::SimError;
+};
+
+/// A fresh request id for idempotent submits: unique across processes and
+/// across restarts of one pid (worker_token incarnation + counter).
+std::string make_request_id();
+
 class ServiceClient {
  public:
-  explicit ServiceClient(std::string socket_path);
+  explicit ServiceClient(std::string endpoint);
   ~ServiceClient();
 
   ServiceClient(const ServiceClient&) = delete;
   ServiceClient& operator=(const ServiceClient&) = delete;
 
-  const std::string& socket_path() const { return socket_path_; }
+  const std::string& endpoint() const { return endpoint_; }
+
+  /// Deadline for each subsequent request() — connect, send, and the full
+  /// reply must land within `ms`. 0 (the default) blocks indefinitely.
+  void set_timeout_ms(uint32_t ms) { timeout_ms_ = ms; }
+
+  /// Transport-error retry budget for each subsequent request(): up to
+  /// `retries` reconnect attempts, sleeping failsoft-style (exponential
+  /// backoff from `backoff_ms`, jittered by `seed`) between them. The
+  /// request deadline, when set, caps the whole affair.
+  void set_retries(uint32_t retries, uint32_t backoff_ms = 100,
+                   uint64_t seed = 0);
 
   /// Sends one request line and returns the parsed reply. Connects lazily
-  /// and reconnects after an error. Throws SimError when the daemon cannot
-  /// be reached or the reply is malformed. When `raw` is non-null it
-  /// receives the exact reply line (wecsimctl prints it verbatim).
+  /// and reconnects after an error. Throws ServiceTimeout when the deadline
+  /// expires, SimError when the daemon cannot be reached (after retries)
+  /// or the reply is malformed. When `raw` is non-null it receives the
+  /// exact reply line (wecsimctl prints it verbatim).
   JsonValue request(const std::string& line, std::string* raw = nullptr);
 
-  JsonValue submit(const JobSpec& spec) { return request(submit_request(spec)); }
+  JsonValue submit(const JobSpec& spec, const std::string& rid = "") {
+    return request(submit_request(spec, rid));
+  }
   JsonValue status(const std::string& job_id) {
     return request(status_request(job_id));
   }
@@ -40,13 +76,22 @@ class ServiceClient {
 
   /// True once the daemon accepts connections and answers a health request,
   /// polling up to `timeout_s`.
-  static bool wait_ready(const std::string& socket_path, double timeout_s);
+  static bool wait_ready(const std::string& endpoint, double timeout_s);
 
  private:
-  void ensure_connected();
+  /// Remaining ms until `deadline_ms` on the monotonic clock; -1 when no
+  /// deadline is set. Throws ServiceTimeout at/after the deadline.
+  int remaining_ms(int64_t deadline_ms) const;
+  void connect_once(int64_t deadline_ms);
+  JsonValue request_once(const std::string& payload, std::string* raw,
+                         int64_t deadline_ms);
   void disconnect();
 
-  std::string socket_path_;
+  std::string endpoint_;
+  uint32_t timeout_ms_ = 0;
+  uint32_t retries_ = 0;
+  uint32_t retry_backoff_ms_ = 100;
+  uint64_t retry_seed_ = 0;
   int fd_ = -1;
   std::string buf_;  // bytes read past the last reply line
 };

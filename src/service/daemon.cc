@@ -1,9 +1,12 @@
 #include "service/daemon.h"
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -17,6 +20,7 @@
 #include "common/error.h"
 #include "harness/experiment.h"
 #include "harness/state_dir.h"
+#include "obs/integrity.h"
 #include "service/protocol.h"
 
 namespace wecsim {
@@ -89,6 +93,19 @@ std::string error_reply(const std::string& error) {
   return w.take();
 }
 
+std::string detail_reply(const std::string& error,
+                         const std::vector<std::string>& detail) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("ok", false);
+  w.kv("error", error);
+  w.key("detail").begin_array();
+  for (const std::string& d : detail) w.value(d);
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
 std::string backpressure_reply(const std::string& error,
                                uint32_t retry_after_ms) {
   JsonWriter w;
@@ -98,6 +115,36 @@ std::string backpressure_reply(const std::string& error,
   w.kv("retry_after_ms", retry_after_ms);
   w.end_object();
   return w.take();
+}
+
+void ensure_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return;
+  throw SimError("cannot create directory " + path + ": " +
+                 std::strerror(errno));
+}
+
+int64_t file_size(const std::string& path) {
+  struct stat sb;
+  return ::stat(path.c_str(), &sb) == 0 ? static_cast<int64_t>(sb.st_size)
+                                        : -1;
+}
+
+int64_t mono_ms() {
+  timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 +
+         static_cast<int64_t>(ts.tv_nsec) / 1000000;
+}
+
+const char* point_state_name(int st) {
+  switch (st) {
+    case 0: return "queued";   // kReady
+    case 1: return "queued";   // kBackoff (a scheduling detail, not a state)
+    case 2: return "running";  // kRunning
+    case 3: return "done";     // kDone
+    case 4: return "failed";   // kFailed
+  }
+  return "unknown";
 }
 
 }  // namespace
@@ -110,6 +157,7 @@ ServiceConfig service_config_from_env(const std::string& state_dir) {
   config.state_dir = state_dir;
   config.socket =
       env.socket.empty() ? state_dir + "/wecsimd.sock" : env.socket;
+  config.listen = env.listen;
   config.workers = env.workers != 0
                        ? env.workers
                        : std::max(1u, std::thread::hardware_concurrency());
@@ -118,6 +166,7 @@ ServiceConfig service_config_from_env(const std::string& state_dir) {
   config.retries = env.retries;
   config.backoff_ms = env.backoff_ms;
   config.retry_after_ms = env.retry_after_ms;
+  config.lease_ms = env.lease_ms;
   return config;
 }
 
@@ -136,6 +185,10 @@ ServiceDaemon::~ServiceDaemon() {
     ::close(listen_fd_);
     ::unlink(config_.socket.c_str());
   }
+  if (tcp_fd_ >= 0) {
+    ::close(tcp_fd_);
+    ::unlink((config_.socket + ".tcp").c_str());
+  }
   if (wake_rd_ >= 0) ::close(wake_rd_);
   if (wake_wr_ >= 0) ::close(wake_wr_);
   g_wake_fd = -1;
@@ -151,7 +204,7 @@ void ServiceDaemon::open_socket() {
   std::strncpy(addr.sun_path, config_.socket.c_str(),
                sizeof addr.sun_path - 1);
   // A previous daemon that was SIGKILLed leaves its socket file behind;
-  // this daemon owns the state dir now, so replace it.
+  // this daemon owns the socket path now, so replace it.
   ::unlink(config_.socket.c_str());
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (listen_fd_ < 0) {
@@ -165,6 +218,86 @@ void ServiceDaemon::open_socket() {
   if (::listen(listen_fd_, 64) != 0) {
     throw SimError("cannot listen on " + config_.socket + ": " +
                    std::strerror(errno));
+  }
+}
+
+void ServiceDaemon::open_tcp() {
+  if (config_.listen.empty()) return;
+  const size_t colon = config_.listen.rfind(':');
+  std::string host = config_.listen.substr(0, colon);
+  const int port = std::atoi(config_.listen.c_str() + colon + 1);
+  if (host == "localhost") host = "127.0.0.1";
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw SimError("cannot listen on '" + config_.listen +
+                   "': host must be a numeric IPv4 address or 'localhost'");
+  }
+  tcp_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (tcp_fd_ < 0) {
+    throw SimError(std::string("socket() failed: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    throw SimError("cannot bind " + config_.listen + ": " +
+                   std::strerror(errno));
+  }
+  if (::listen(tcp_fd_, 64) != 0) {
+    throw SimError("cannot listen on " + config_.listen + ": " +
+                   std::strerror(errno));
+  }
+  // Resolve the actual port (--listen host:0 binds an ephemeral one) and
+  // publish it next to the Unix socket so tests and scripts can find it.
+  sockaddr_in bound;
+  socklen_t len = sizeof bound;
+  std::string endpoint = config_.listen;
+  if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    const std::string pub_host =
+        host == "0.0.0.0" ? std::string("127.0.0.1") : host;
+    endpoint = pub_host + ":" + std::to_string(ntohs(bound.sin_port));
+  }
+  std::string error;
+  if (!try_write_file_atomic(config_.socket + ".tcp", endpoint + "\n",
+                             &error)) {
+    std::fprintf(stderr, "wecsimd: cannot publish TCP endpoint: %s\n",
+                 error.c_str());
+  }
+  std::fprintf(stderr, "wecsimd: TCP listener on %s\n", endpoint.c_str());
+}
+
+std::string ServiceDaemon::lease_path(const Job& job, const Point& pt) const {
+  const std::string ident = job.spec.workload + "|" + pt.spec.key;
+  char digest[24];
+  std::snprintf(digest, sizeof digest, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(ident)));
+  return job_dir(config_.state_dir, job.id) + "/leases/" +
+         sanitize_run_name(ident) + "-" + digest + ".lease";
+}
+
+void ServiceDaemon::apply_terminal(Job& job, Point& pt,
+                                   const JournalReplay::Entry& entry,
+                                   bool resumed) {
+  if (entry.state == JournalReplay::State::kFailed) {
+    pt.st = Point::St::kFailed;
+    ++job.failed;
+  } else {
+    pt.st = Point::St::kDone;
+  }
+  ++job.terminal;
+  // Provenance, most-specific first: a point completed under a stolen
+  // lease is "stolen" even across a restart; then "resumed" (terminal at
+  // recovery time), then disk-cache hits, then a plain fresh run.
+  if (entry.via == "stolen") {
+    pt.provenance = "stolen";
+  } else if (resumed) {
+    pt.provenance = "resumed";
+  } else if (entry.state == JournalReplay::State::kDone && !entry.fresh) {
+    pt.provenance = "cached";
+  } else {
+    pt.provenance = "hot";
   }
 }
 
@@ -184,8 +317,14 @@ ServiceDaemon::Job& ServiceDaemon::add_job(const std::string& id,
       std::fprintf(stderr, "wecsimd: %s: %s\n", id.c_str(), w.c_str());
     }
   }
-  job.journal = std::make_unique<SweepJournal>(
-      path, recovered ? replay.valid_bytes : static_cast<size_t>(-1));
+  // The journal is NEVER truncated: a peer daemon sharing this state dir
+  // (or an orphaned worker of a killed one) may be mid-append, and its
+  // fresh line is indistinguishable from a torn tail. A genuinely torn
+  // tail is healed by the next append instead (SealedAppendLog).
+  ensure_dir(job_dir(config_.state_dir, id));
+  ensure_dir(job_dir(config_.state_dir, id) + "/leases");
+  job.journal = std::make_unique<SweepJournal>(path);
+  job.journal_bytes = file_size(path);
 
   std::vector<JournalPoint> to_queue;
   for (const PointSpec& ps : job.spec.points) {
@@ -198,13 +337,9 @@ ServiceDaemon::Job& ServiceDaemon::add_job(const std::string& id,
       // append and the queued batch): journal it now, before any worker
       // could record a terminal event for it.
       to_queue.push_back(JournalPoint{job.spec.workload, ps.key});
-    } else if (it->second.state == JournalReplay::State::kDone) {
-      pt.st = Point::St::kDone;
-      ++job.terminal;
-    } else if (it->second.state == JournalReplay::State::kFailed) {
-      pt.st = Point::St::kFailed;
-      ++job.terminal;
-      ++job.failed;
+    } else if (it->second.state == JournalReplay::State::kDone ||
+               it->second.state == JournalReplay::State::kFailed) {
+      apply_terminal(job, pt, it->second, /*resumed=*/true);
     }
     job.points.push_back(std::move(pt));
   }
@@ -262,15 +397,44 @@ size_t ServiceDaemon::client_queued(const std::string& client) const {
   return n;
 }
 
-void ServiceDaemon::apply_terminal(Job& job, Point& pt,
-                                   const JournalReplay::Entry& entry) {
-  if (entry.state == JournalReplay::State::kFailed) {
-    pt.st = Point::St::kFailed;
-    ++job.failed;
-  } else {
-    pt.st = Point::St::kDone;
+void ServiceDaemon::enter_degraded(const std::string& reason) {
+  if (degraded_) return;
+  degraded_ = true;
+  degraded_reason_ = reason;
+  std::fprintf(stderr,
+               "wecsimd: DEGRADED (state dir failing): %s\n"
+               "wecsimd: no longer admitting or scheduling; status/health "
+               "remain available\n",
+               reason.c_str());
+}
+
+void ServiceDaemon::write_provenance(const Job& job) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("job", job.id);
+  w.kv("name", job.spec.name);
+  w.kv("workload", job.spec.workload);
+  w.key("points").begin_array();
+  for (const Point& pt : job.points) {
+    w.begin_object();
+    w.kv("key", pt.spec.key);
+    w.kv("state", std::string(point_state_name(static_cast<int>(pt.st))));
+    w.kv("provenance", pt.provenance);
+    w.end_object();
   }
-  ++job.terminal;
+  w.end_array();
+  w.end_object();
+  std::string doc = w.take();
+  doc.push_back('\n');
+  // Best-effort: provenance is an observability sidecar, deliberately NOT
+  // part of report.json so the report stays byte-identical whatever path
+  // (hot/cached/resumed/stolen) each point took.
+  std::string error;
+  if (!try_write_file_atomic(job_provenance_path(config_.state_dir, job.id),
+                             doc, &error)) {
+    std::fprintf(stderr, "wecsimd: %s: provenance sidecar: %s\n",
+                 job.id.c_str(), error.c_str());
+  }
 }
 
 void ServiceDaemon::maybe_finalize(Job& job) {
@@ -281,38 +445,48 @@ void ServiceDaemon::maybe_finalize(Job& job) {
   // Rebuild the report from the journal in SPEC order — the same
   // submission-order merge the parallel runner uses — so the bytes are
   // identical however completion interleaved (or resumed, or raced an
-  // orphaned worker).
-  const JournalReplay replay =
-      JournalReplay::load(job_journal_path(config_.state_dir, job.id));
-  std::vector<RunRecord> records;
-  std::vector<PointFailure> failures;
-  for (const Point& pt : job.points) {
-    const auto it = replay.points.find(
-        JournalReplay::PointKey{job.spec.workload, pt.spec.key});
-    if (it == replay.points.end()) {
-      std::fprintf(stderr, "wecsimd: %s: point %s vanished from the journal\n",
-                   job.id.c_str(), pt.spec.key.c_str());
-      continue;
+  // orphaned worker, or was stolen by a peer daemon).
+  try {
+    const JournalReplay replay =
+        JournalReplay::load(job_journal_path(config_.state_dir, job.id));
+    std::vector<RunRecord> records;
+    std::vector<PointFailure> failures;
+    for (const Point& pt : job.points) {
+      const auto it = replay.points.find(
+          JournalReplay::PointKey{job.spec.workload, pt.spec.key});
+      if (it == replay.points.end()) {
+        std::fprintf(stderr,
+                     "wecsimd: %s: point %s vanished from the journal\n",
+                     job.id.c_str(), pt.spec.key.c_str());
+        continue;
+      }
+      const JournalReplay::Entry& e = it->second;
+      if (e.state == JournalReplay::State::kDone) {
+        if (e.fresh) records.push_back(e.record);
+        if (e.has_failure) failures.push_back(e.failure);
+      } else if (e.state == JournalReplay::State::kFailed) {
+        failures.push_back(e.failure);
+      }
     }
-    const JournalReplay::Entry& e = it->second;
-    if (e.state == JournalReplay::State::kDone) {
-      if (e.fresh) records.push_back(e.record);
-      if (e.has_failure) failures.push_back(e.failure);
-    } else if (e.state == JournalReplay::State::kFailed) {
-      failures.push_back(e.failure);
-    }
+    write_run_report(job_report_path(config_.state_dir, job.id),
+                     job.spec.name, records, failures);
+    write_provenance(job);
+    queue_.mark_done(job.id);
+    job.finalized = true;
+    std::fprintf(stderr,
+                 "wecsimd: job %s finished (%zu record(s), %zu failure(s))\n",
+                 job.id.c_str(), records.size(), failures.size());
+  } catch (const SimError& e) {
+    // Report or WAL write failed (ENOSPC/EIO): the job stays unfinalized
+    // — a peer daemon or a restart finishes it once the storage heals.
+    enter_degraded(e.what());
   }
-  write_run_report(job_report_path(config_.state_dir, job.id), job.spec.name,
-                   records, failures);
-  queue_.mark_done(job.id);
-  job.finalized = true;
-  std::fprintf(stderr, "wecsimd: job %s finished (%zu record(s), %zu failure(s))\n",
-               job.id.c_str(), records.size(), failures.size());
 }
 
-void ServiceDaemon::worker_main(const Job& job, const Point& pt) {
+void ServiceDaemon::worker_main(const Job& job, const Point& pt, bool stolen) {
   reset_signals_in_child();
   if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (tcp_fd_ >= 0) ::close(tcp_fd_);
   if (wake_rd_ >= 0) ::close(wake_rd_);
   if (wake_wr_ >= 0) ::close(wake_wr_);
   g_wake_fd = -1;
@@ -342,7 +516,8 @@ void ServiceDaemon::worker_main(const Job& job, const Point& pt) {
           runner.failures().back().status == "recovered") {
         recovered = &runner.failures().back();
       }
-      journal.done(jp, *m, fresh, record, recovered);
+      journal.done(jp, *m, fresh, record, recovered,
+                   stolen ? "stolen" : nullptr);
     }
     ::_exit(0);
   } catch (const std::exception& e) {
@@ -354,24 +529,30 @@ void ServiceDaemon::worker_main(const Job& job, const Point& pt) {
   }
 }
 
-void ServiceDaemon::spawn_worker(size_t ji, size_t pi) {
+void ServiceDaemon::spawn_worker(size_t ji, size_t pi, PointLease lease,
+                                 bool stolen) {
   Job& job = jobs_[ji];
   Point& pt = job.points[pi];
   std::fflush(stderr);
   std::fflush(stdout);
   const pid_t pid = ::fork();
-  if (pid == 0) worker_main(job, pt);
+  if (pid == 0) worker_main(job, pt, stolen);
   if (pid < 0) {
     std::fprintf(stderr, "wecsimd: fork failed: %s\n", std::strerror(errno));
     pt.st = Point::St::kBackoff;
     pt.earliest = Clock::now() + std::chrono::milliseconds(
                                      std::max(config_.backoff_ms, 100u));
-    return;
+    return;  // `lease` releases on scope exit
   }
   pt.st = Point::St::kRunning;
   for (Worker& w : workers_) {
     if (!w.busy) {
-      w = Worker{pid, ji, pi, true};
+      w.pid = pid;
+      w.job = ji;
+      w.point = pi;
+      w.busy = true;
+      w.lease = std::move(lease);
+      w.renew_at_ms = mono_ms() + static_cast<int64_t>(config_.lease_ms) / 3;
       return;
     }
   }
@@ -389,7 +570,7 @@ void ServiceDaemon::promote_backoff(Clock::time_point now) {
 }
 
 void ServiceDaemon::schedule(Clock::time_point now) {
-  if (draining_) return;
+  if (draining_ || degraded_) return;
   for (;;) {
     Worker* slot = nullptr;
     for (Worker& w : workers_) {
@@ -418,8 +599,142 @@ void ServiceDaemon::schedule(Clock::time_point now) {
       }
     }
     if (best_ji == jobs_.size()) return;
-    (void)now;
-    spawn_worker(best_ji, best_pi);
+    Job& job = jobs_[best_ji];
+    Point& pt = job.points[best_pi];
+    // Take the point's lease before forking: in a shared state dir a peer
+    // daemon may already be running this point. Holding peers make us back
+    // off until about when their lease expires; an expired lease is stolen
+    // (its holder crashed, froze, or lost the filesystem).
+    PointLease lease;
+    int64_t held_remaining_ms = 0;
+    const PointLease::Outcome outcome =
+        PointLease::try_acquire(lease_path(job, pt), config_.lease_ms, &lease,
+                                &held_remaining_ms);
+    if (outcome == PointLease::Outcome::kHeld) {
+      pt.st = Point::St::kBackoff;
+      const int64_t wait_ms = std::max<int64_t>(
+          25, std::min<int64_t>(held_remaining_ms + 10, config_.lease_ms));
+      pt.earliest = now + std::chrono::milliseconds(wait_ms);
+      continue;
+    }
+    if (outcome == PointLease::Outcome::kError) {
+      // Lease-file I/O failure: back off rather than stampede. Repeated
+      // failures surface via the journal/WAL paths as degraded mode.
+      std::fprintf(stderr, "wecsimd: cannot take lease for %s|%s: %s\n",
+                   job.spec.workload.c_str(), pt.spec.key.c_str(),
+                   std::strerror(errno));
+      pt.st = Point::St::kBackoff;
+      pt.earliest = now + std::chrono::milliseconds(500);
+      continue;
+    }
+    if (outcome == PointLease::Outcome::kStolen) {
+      std::fprintf(stderr,
+                   "wecsimd: stole expired lease for %s|%s from a dead or "
+                   "frozen peer\n",
+                   job.spec.workload.c_str(), pt.spec.key.c_str());
+    }
+    spawn_worker(best_ji, best_pi, std::move(lease),
+                 outcome == PointLease::Outcome::kStolen);
+  }
+}
+
+void ServiceDaemon::renew_leases() {
+  const int64_t now = mono_ms();
+  for (Worker& w : workers_) {
+    if (!w.busy || now < w.renew_at_ms) continue;
+    if (w.lease.held() && !w.lease.renew(config_.lease_ms)) {
+      // A peer stole the lease (we were frozen or the clock skewed past
+      // the TTL). Let the worker finish anyway: the journal tolerates the
+      // duplicate terminal — agreeing measurements keep one copy — so the
+      // report is unaffected; only some work was duplicated.
+      const Job& job = jobs_[w.job];
+      std::fprintf(stderr,
+                   "wecsimd: lease for %s|%s was stolen by a peer; letting "
+                   "the worker finish (journal dedups)\n",
+                   job.spec.workload.c_str(),
+                   job.points[w.point].spec.key.c_str());
+    }
+    w.renew_at_ms = now + static_cast<int64_t>(config_.lease_ms) / 3;
+  }
+}
+
+void ServiceDaemon::reconcile() {
+  // 1. Tail the admission WAL for jobs/completions from peer daemons.
+  ServiceQueue::WalNews news;
+  try {
+    news = queue_.poll_new();
+  } catch (const SimError& e) {
+    enter_degraded(e.what());
+    return;
+  }
+  for (const ServiceQueue::PendingJob& pending : news.jobs) {
+    if (job_index_.count(pending.id) != 0) continue;
+    try {
+      Job& job = add_job(pending.id, pending.spec, /*recovered=*/true);
+      std::fprintf(stderr,
+                   "wecsimd: discovered job %s admitted by a peer (%zu/%zu "
+                   "point(s) finished)\n",
+                   job.id.c_str(), job.terminal, job.points.size());
+    } catch (const SimError& e) {
+      enter_degraded(e.what());
+      return;
+    }
+  }
+  for (const std::string& id : news.done) {
+    const auto it = job_index_.find(id);
+    if (it == job_index_.end()) continue;
+    Job& job = jobs_[it->second];
+    if (job.finalized) continue;
+    // A peer wrote the report and the WAL marker; adopt its terminal
+    // states and stop working on this job.
+    const JournalReplay replay =
+        JournalReplay::load(job_journal_path(config_.state_dir, job.id));
+    for (Point& pt : job.points) {
+      if (pt.st == Point::St::kDone || pt.st == Point::St::kFailed ||
+          pt.st == Point::St::kRunning) {
+        continue;
+      }
+      const auto pit = replay.points.find(
+          JournalReplay::PointKey{job.spec.workload, pt.spec.key});
+      if (pit != replay.points.end() &&
+          (pit->second.state == JournalReplay::State::kDone ||
+           pit->second.state == JournalReplay::State::kFailed)) {
+        apply_terminal(job, pt, pit->second, /*resumed=*/true);
+      }
+    }
+    job.finalized = true;
+    std::fprintf(stderr, "wecsimd: job %s finalized by a peer\n",
+                 job.id.c_str());
+  }
+  // 2. Tail each live job's journal: adopt terminal entries written by
+  // peer daemons (or orphaned workers of dead ones) for points we are not
+  // running ourselves. Points we ARE running reconcile at reap time.
+  for (Job& job : jobs_) {
+    if (job.finalized) continue;
+    const std::string path = job_journal_path(config_.state_dir, job.id);
+    const int64_t size = file_size(path);
+    if (size == job.journal_bytes) continue;
+    job.journal_bytes = size;
+    const JournalReplay replay = JournalReplay::load(path);
+    bool changed = false;
+    for (Point& pt : job.points) {
+      if (pt.st == Point::St::kDone || pt.st == Point::St::kFailed ||
+          pt.st == Point::St::kRunning) {
+        continue;
+      }
+      const auto it = replay.points.find(
+          JournalReplay::PointKey{job.spec.workload, pt.spec.key});
+      if (it == replay.points.end()) continue;
+      if (it->second.state == JournalReplay::State::kDone ||
+          it->second.state == JournalReplay::State::kFailed) {
+        // A terminal this daemon did not produce (peer daemon or an
+        // orphaned worker of a dead one): provenance "resumed" unless the
+        // entry itself says "stolen".
+        apply_terminal(job, pt, it->second, /*resumed=*/true);
+        changed = true;
+      }
+    }
+    if (changed) maybe_finalize(job);
   }
 }
 
@@ -440,19 +755,28 @@ void ServiceDaemon::reap_workers() {
     Point& pt = job.points[slot->point];
     slot->busy = false;
     slot->pid = -1;
+    slot->lease.release();
+
+    if (pt.st == Point::St::kDone || pt.st == Point::St::kFailed) {
+      // Already terminal (a peer's entry was adopted while our duplicate
+      // worker ran): nothing to account.
+      continue;
+    }
 
     bool terminal = false;
     if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
       // The worker's exit means nothing by itself — the journal is the
       // source of truth. Reload it and sync this point's state.
-      const JournalReplay replay =
-          JournalReplay::load(job_journal_path(config_.state_dir, job.id));
+      const std::string path =
+          job_journal_path(config_.state_dir, job.id);
+      const JournalReplay replay = JournalReplay::load(path);
+      job.journal_bytes = file_size(path);
       const auto it = replay.points.find(
           JournalReplay::PointKey{job.spec.workload, pt.spec.key});
       if (it != replay.points.end() &&
           (it->second.state == JournalReplay::State::kDone ||
            it->second.state == JournalReplay::State::kFailed)) {
-        apply_terminal(job, pt, it->second);
+        apply_terminal(job, pt, it->second, /*resumed=*/false);
         maybe_finalize(job);
         terminal = true;
       }
@@ -463,39 +787,48 @@ void ServiceDaemon::reap_workers() {
     // worker lost its fight with something before recording an outcome).
     ++pt.crashes;
     const std::string death = describe_worker_death(status);
-    if (pt.crashes > config_.retries) {
-      PointFailure failure;
-      failure.workload = job.spec.workload;
-      failure.config_key = pt.spec.key;
-      failure.status = "quarantined";
-      failure.error = death + " (after " + std::to_string(pt.crashes) +
-                      " attempt(s))";
-      failure.attempts = pt.crashes;
-      job.journal->failed(JournalPoint{job.spec.workload, pt.spec.key},
-                          failure);
-      pt.st = Point::St::kFailed;
-      ++job.terminal;
-      ++job.failed;
-      std::fprintf(stderr, "wecsimd: %s|%s quarantined: %s\n",
-                   job.spec.workload.c_str(), pt.spec.key.c_str(),
-                   death.c_str());
-      maybe_finalize(job);
-    } else {
-      // Re-queue durably: the explicit "queued" line legitimizes the
-      // retry's terminal event during replay (journal duplicate-terminal
-      // hardening) and keeps the drain contract — a drained journal holds
-      // only queued/done/failed lines as the LAST entry per point.
-      job.journal->queued({JournalPoint{job.spec.workload, pt.spec.key}});
+    try {
+      if (pt.crashes > config_.retries) {
+        PointFailure failure;
+        failure.workload = job.spec.workload;
+        failure.config_key = pt.spec.key;
+        failure.status = "quarantined";
+        failure.error = death + " (after " + std::to_string(pt.crashes) +
+                        " attempt(s))";
+        failure.attempts = pt.crashes;
+        job.journal->failed(JournalPoint{job.spec.workload, pt.spec.key},
+                            failure);
+        pt.st = Point::St::kFailed;
+        pt.provenance = "hot";
+        ++job.terminal;
+        ++job.failed;
+        std::fprintf(stderr, "wecsimd: %s|%s quarantined: %s\n",
+                     job.spec.workload.c_str(), pt.spec.key.c_str(),
+                     death.c_str());
+        maybe_finalize(job);
+      } else {
+        // Re-queue durably: the explicit "queued" line legitimizes the
+        // retry's terminal event during replay (journal duplicate-terminal
+        // hardening) and keeps the drain contract — a drained journal holds
+        // only queued/done/failed lines as the LAST entry per point.
+        job.journal->queued({JournalPoint{job.spec.workload, pt.spec.key}});
+        pt.st = Point::St::kBackoff;
+        const uint32_t shift = std::min(pt.crashes - 1, 10u);
+        pt.earliest = Clock::now() +
+                      std::chrono::milliseconds(
+                          static_cast<uint64_t>(config_.backoff_ms) << shift);
+        std::fprintf(stderr, "wecsimd: %s|%s %s; retry %u/%u in %llu ms\n",
+                     job.spec.workload.c_str(), pt.spec.key.c_str(),
+                     death.c_str(), pt.crashes, config_.retries,
+                     static_cast<unsigned long long>(
+                         static_cast<uint64_t>(config_.backoff_ms) << shift));
+      }
+    } catch (const SimError& e) {
+      // The journal append failed (ENOSPC/EIO): park the point and stop
+      // promising durability.
       pt.st = Point::St::kBackoff;
-      const uint32_t shift = std::min(pt.crashes - 1, 10u);
-      pt.earliest = Clock::now() + std::chrono::milliseconds(
-                                       static_cast<uint64_t>(config_.backoff_ms)
-                                       << shift);
-      std::fprintf(stderr, "wecsimd: %s|%s %s; retry %u/%u in %llu ms\n",
-                   job.spec.workload.c_str(), pt.spec.key.c_str(),
-                   death.c_str(), pt.crashes, config_.retries,
-                   static_cast<unsigned long long>(
-                       static_cast<uint64_t>(config_.backoff_ms) << shift));
+      pt.earliest = Clock::now() + std::chrono::hours(24);
+      enter_degraded(e.what());
     }
   }
 }
@@ -503,17 +836,8 @@ void ServiceDaemon::reap_workers() {
 std::string ServiceDaemon::handle_submit(const JsonValue& req) {
   JobSpec spec = parse_job_spec(req.at("job"));
   const std::vector<std::string> problems = validate_job(spec);
-  if (!problems.empty()) {
-    JsonWriter w;
-    w.begin_object();
-    w.kv("ok", false);
-    w.kv("error", "invalid_request");
-    w.key("detail").begin_array();
-    for (const std::string& p : problems) w.value(p);
-    w.end_array();
-    w.end_object();
-    return w.take();
-  }
+  if (!problems.empty()) return detail_reply("invalid_request", problems);
+  if (degraded_) return detail_reply("degraded", {degraded_reason_});
   if (draining_) return error_reply("draining");
   if (queue_depth() + spec.points.size() > config_.max_queue) {
     return backpressure_reply("queue_full", config_.retry_after_ms);
@@ -521,14 +845,31 @@ std::string ServiceDaemon::handle_submit(const JsonValue& req) {
   if (client_queued(spec.client) + spec.points.size() > config_.quota) {
     return backpressure_reply("quota_exceeded", config_.retry_after_ms);
   }
+  std::string rid;
+  if (req.has("rid")) rid = req.at("rid").as_string();
   const size_t n_points = spec.points.size();
-  const std::string id = queue_.admit(spec);  // fsync'd before the reply
-  add_job(id, std::move(spec), /*recovered=*/false);
+  std::string id;
+  bool duplicate = false;
+  try {
+    id = queue_.admit(spec, rid, &duplicate);  // fsync'd before the reply
+    if (!duplicate) {
+      add_job(id, std::move(spec), /*recovered=*/false);
+    } else if (job_index_.count(id) == 0) {
+      // The original admission was a peer's (or raced a previous life of
+      // this daemon): pick the job up right away so a follow-up status
+      // request on this connection finds it.
+      reconcile();
+    }
+  } catch (const SimError& e) {
+    enter_degraded(e.what());
+    return detail_reply("degraded", {degraded_reason_});
+  }
   JsonWriter w;
   w.begin_object();
   w.kv("ok", true);
   w.kv("job", id);
   w.kv("points", static_cast<uint64_t>(n_points));
+  if (duplicate) w.kv("duplicate", true);
   w.end_object();
   return w.take();
 }
@@ -553,6 +894,15 @@ std::string ServiceDaemon::handle_status(const JsonValue& req) {
   w.kv("done", static_cast<uint64_t>(job.terminal - job.failed));
   w.kv("failed", static_cast<uint64_t>(job.failed));
   w.kv("running", static_cast<uint64_t>(running));
+  w.key("points").begin_array();
+  for (const Point& pt : job.points) {
+    w.begin_object();
+    w.kv("key", pt.spec.key);
+    w.kv("state", std::string(point_state_name(static_cast<int>(pt.st))));
+    if (!pt.provenance.empty()) w.kv("provenance", pt.provenance);
+    w.end_object();
+  }
+  w.end_array();
   if (job.finalized) {
     w.kv("report", job_report_path(config_.state_dir, job.id));
   }
@@ -564,7 +914,9 @@ std::string ServiceDaemon::handle_health() {
   JsonWriter w;
   w.begin_object();
   w.kv("ok", true);
-  w.kv("state", draining_ ? "draining" : "serving");
+  w.kv("state", degraded_ ? "degraded"
+                          : (draining_ ? "draining" : "serving"));
+  if (degraded_) w.kv("reason", degraded_reason_);
   w.kv("pid", static_cast<int64_t>(::getpid()));
   w.kv("workers", config_.workers);
   w.kv("busy", static_cast<uint64_t>(busy_workers()));
@@ -579,6 +931,7 @@ std::string ServiceDaemon::handle_health() {
     if (worker.busy) w.value(static_cast<int64_t>(worker.pid));
   }
   w.end_array();
+  w.kv("lease_ms", config_.lease_ms);
   w.kv("uptime_seconds",
        std::chrono::duration<double>(Clock::now() - started_).count());
   w.end_object();
@@ -608,23 +961,20 @@ std::string ServiceDaemon::handle_request(const std::string& line) {
     if (op == "drain") return handle_drain();
     return error_reply("unknown_op");
   } catch (const std::exception& e) {
-    JsonWriter w;
-    w.begin_object();
-    w.kv("ok", false);
-    w.kv("error", "bad_request");
-    w.key("detail").begin_array().value(std::string(e.what())).end_array();
-    w.end_object();
-    return w.take();
+    // Malformed JSON, wrong types, missing fields — anything a fuzzer (or
+    // a confused client) sends lands here with the same stable error id
+    // the validation path uses. The connection stays healthy.
+    return detail_reply("invalid_request", {std::string(e.what())});
   }
 }
 
-void ServiceDaemon::accept_conns() {
+void ServiceDaemon::accept_conns(int listen_fd) {
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) return;
     const int flags = ::fcntl(fd, F_GETFL, 0);
     ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-    conns_.push_back(Conn{fd, "", ""});
+    conns_.push_back(Conn{fd, "", "", false});
   }
 }
 
@@ -640,6 +990,7 @@ bool ServiceDaemon::service_conn(Conn& conn) {
     if (n < 0 && errno == EINTR) continue;
     return false;
   }
+  if (conn.close_after_flush) return !conn.out.empty();
   // Read whatever is available; process complete request lines.
   bool eof = false;
   for (;;) {
@@ -647,7 +998,17 @@ bool ServiceDaemon::service_conn(Conn& conn) {
     const ssize_t n = ::read(conn.fd, buf, sizeof buf);
     if (n > 0) {
       conn.in.append(buf, static_cast<size_t>(n));
-      if (conn.in.size() > (1u << 22)) return false;  // 4MB request cap
+      if (conn.in.size() > (1u << 22)) {
+        // Oversized request: reply with the stable error id, then close —
+        // a silent close looks like a crash to the client and (worse)
+        // like a daemon bug to a fuzzer.
+        conn.in.clear();
+        conn.out += detail_reply("invalid_request",
+                                 {"request exceeds the 4MB line limit"});
+        conn.out.push_back('\n');
+        conn.close_after_flush = true;
+        break;
+      }
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -658,13 +1019,15 @@ bool ServiceDaemon::service_conn(Conn& conn) {
     }
     return false;
   }
-  size_t nl;
-  while ((nl = conn.in.find('\n')) != std::string::npos) {
-    const std::string line = conn.in.substr(0, nl);
-    conn.in.erase(0, nl + 1);
-    if (line.empty()) continue;
-    conn.out += handle_request(line);
-    conn.out.push_back('\n');
+  if (!conn.close_after_flush) {
+    size_t nl;
+    while ((nl = conn.in.find('\n')) != std::string::npos) {
+      const std::string line = conn.in.substr(0, nl);
+      conn.in.erase(0, nl + 1);
+      if (line.empty()) continue;
+      conn.out += handle_request(line);
+      conn.out.push_back('\n');
+    }
   }
   // Retry the flush so a small response goes out this round trip.
   while (!conn.out.empty()) {
@@ -677,6 +1040,7 @@ bool ServiceDaemon::service_conn(Conn& conn) {
     if (n < 0 && errno == EINTR) continue;
     return false;
   }
+  if (conn.close_after_flush) return !conn.out.empty();
   // After peer EOF nothing more can arrive: close once replies are out (a
   // trailing partial line is the client's bug, not a reason to linger).
   if (eof && conn.out.empty()) return false;
@@ -701,12 +1065,20 @@ int ServiceDaemon::run() {
   g_sigterm = 0;
   install_signals();
   open_socket();
+  open_tcp();
   recover();
   std::fprintf(stderr,
                "wecsimd: serving on %s (state %s, %u worker(s), queue %u, "
-               "quota %u)\n",
+               "quota %u, lease %u ms)\n",
                config_.socket.c_str(), config_.state_dir.c_str(),
-               config_.workers, config_.max_queue, config_.quota);
+               config_.workers, config_.max_queue, config_.quota,
+               config_.lease_ms);
+
+  // Federation housekeeping cadence: WAL/journal tailing and lease
+  // renewal both ride this tick. Renewal must fire well inside the TTL.
+  const int64_t tick_ms =
+      std::max<int64_t>(10, std::min<int64_t>(config_.lease_ms / 3, 1000));
+  int64_t next_reconcile_ms = 0;
 
   for (;;) {
     if (g_sigchld) {
@@ -720,28 +1092,43 @@ int ServiceDaemon::run() {
                    busy_workers());
     }
     const Clock::time_point now = Clock::now();
+    renew_leases();
+    const int64_t mnow = mono_ms();
+    if (mnow >= next_reconcile_ms) {
+      reconcile();
+      next_reconcile_ms = mnow + tick_ms;
+    }
     promote_backoff(now);
     schedule(now);
     if (draining_ && busy_workers() == 0) break;
 
-    // Poll timeout: the nearest backoff deadline, else block on I/O.
+    // Poll timeout: the nearest of backoff deadlines, lease renewals, and
+    // the federation tick; block on I/O alone only when nothing is due.
     int timeout_ms = -1;
+    const auto consider = [&timeout_ms](long long ms) {
+      const int v = ms < 1 ? 1 : static_cast<int>(std::min<long long>(
+                                     ms, 60000));
+      timeout_ms = timeout_ms < 0 ? v : std::min(timeout_ms, v);
+    };
     for (const Job& job : jobs_) {
       if (job.finalized) continue;
       for (const Point& pt : job.points) {
         if (pt.st != Point::St::kBackoff) continue;
-        const auto delta = std::chrono::duration_cast<std::chrono::milliseconds>(
-                               pt.earliest - now)
-                               .count();
-        const int ms = delta < 1 ? 1 : static_cast<int>(
-                                           std::min<long long>(delta, 60000));
-        timeout_ms = timeout_ms < 0 ? ms : std::min(timeout_ms, ms);
+        consider(std::chrono::duration_cast<std::chrono::milliseconds>(
+                     pt.earliest - now)
+                     .count());
       }
     }
+    for (const Worker& w : workers_) {
+      if (w.busy) consider(w.renew_at_ms - mnow);
+    }
+    consider(next_reconcile_ms - mnow);
 
     std::vector<pollfd> fds;
     fds.push_back(pollfd{wake_rd_, POLLIN, 0});
     fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    if (tcp_fd_ >= 0) fds.push_back(pollfd{tcp_fd_, POLLIN, 0});
+    const size_t conn_base = fds.size();
     for (const Conn& conn : conns_) {
       short events = POLLIN;
       if (!conn.out.empty()) events |= POLLOUT;
@@ -762,10 +1149,13 @@ int ServiceDaemon::run() {
       // round would read past the end (garbage revents closed fresh
       // connections at random).
       const size_t n_polled = conns_.size();
-      if ((fds[1].revents & POLLIN) != 0) accept_conns();
+      if ((fds[1].revents & POLLIN) != 0) accept_conns(listen_fd_);
+      if (tcp_fd_ >= 0 && (fds[2].revents & POLLIN) != 0) {
+        accept_conns(tcp_fd_);
+      }
       // Service connections back-to-front so erase() stays simple.
       for (size_t i = n_polled; i-- > 0;) {
-        const pollfd& pfd = fds[2 + i];
+        const pollfd& pfd = fds[conn_base + i];
         if (pfd.revents == 0) continue;
         if ((pfd.revents & (POLLERR | POLLNVAL)) != 0 ||
             !service_conn(conns_[i])) {

@@ -1,15 +1,29 @@
 // wecsimd — the long-lived sweep service (docs/SERVICE.md).
 //
-// Single-threaded poll() event loop over a local Unix stream socket plus a
-// signal self-pipe. Sweep points run in forked worker processes (one point
-// per process, no exec): the worker journals running -> done/failed into
-// its job's sweep journal (harness/journal.h) and exits; the daemon reaps
-// it and re-queues or quarantines on a crash. All durable state — the
-// admission WAL (service/queue.h) and the per-job sweep journals — is
-// fsync'd before the daemon acknowledges anything, so a kill -9 of the
-// daemon or any worker loses zero accepted work and a restart with the
-// same state dir completes every accepted job with a byte-identical
-// report.
+// Single-threaded poll() event loop over a local Unix stream socket — plus
+// an optional TCP listener (--listen / WECSIM_SERVICE_LISTEN) speaking the
+// same NDJSON protocol — and a signal self-pipe. Sweep points run in forked
+// worker processes (one point per process, no exec): the worker journals
+// running -> done/failed into its job's sweep journal (harness/journal.h)
+// and exits; the daemon reaps it and re-queues or quarantines on a crash.
+// All durable state — the admission WAL (service/queue.h) and the per-job
+// sweep journals — is fsync'd before the daemon acknowledges anything, so a
+// kill -9 of the daemon or any worker loses zero accepted work and a
+// restart with the same state dir completes every accepted job with a
+// byte-identical report.
+//
+// Federation: several daemons may share one state dir (same host or a
+// shared filesystem). They coordinate through the WAL (flock'd admission,
+// tailed for peer-admitted jobs) and per-point leases (harness/lease.h):
+// a daemon only spawns a worker for a point it holds the lease on, renews
+// the lease while the worker runs, and a peer steals the point once the
+// lease expires — which is exactly what happens when a daemon is killed,
+// frozen past the TTL, or partitioned from the shared filesystem. Leases
+// bound duplicated work; they are NOT the correctness mechanism. The
+// journal's duplicate-terminal hardening is: a frozen daemon that wakes up
+// and finishes a stolen point writes a second "done" whose measurement
+// digest agrees with the thief's, and the replay keeps one copy — so the
+// merged report stays byte-identical to a single-daemon run.
 //
 // Robustness contract:
 //   * worker crash (signal / nonzero exit / exit-0-without-terminal-entry):
@@ -20,7 +34,12 @@
 //     daemon never blocks a client on capacity;
 //   * graceful drain (SIGTERM / SIGINT / "drain" op): stop admitting and
 //     scheduling, let running workers finish their current points, exit
-//     kExitInterrupted when journaled work remains (0 when idle).
+//     kExitInterrupted when journaled work remains (0 when idle);
+//   * graceful degradation: a state-dir I/O failure (ENOSPC, EIO, a dir
+//     swapped out from under the daemon) flips it to "degraded" — it stops
+//     admitting and scheduling (durability can no longer be promised) but
+//     keeps answering status/health so operators and failover clients can
+//     see exactly what is wrong.
 #pragma once
 
 #include <sys/types.h>
@@ -33,6 +52,7 @@
 
 #include "harness/env.h"
 #include "harness/journal.h"
+#include "harness/lease.h"
 #include "service/queue.h"
 
 namespace wecsim {
@@ -42,12 +62,16 @@ namespace wecsim {
 struct ServiceConfig {
   std::string state_dir;
   std::string socket;         // default <state_dir>/wecsimd.sock
+  std::string listen;         // TCP "host:port"; empty = Unix socket only.
+                              // Port 0 binds an ephemeral port, published
+                              // in <socket>.tcp for tests/scripts.
   uint32_t workers = 1;       // resolved to >= 1
   uint32_t max_queue = 1024;  // global cap on non-terminal points
   uint32_t quota = 256;       // per-client cap on non-terminal points
   uint32_t retries = 2;       // crash retries per point before quarantine
   uint32_t backoff_ms = 100;  // base worker-restart backoff (doubles)
   uint32_t retry_after_ms = 500;  // hint in backpressure rejections
+  uint32_t lease_ms = 5000;   // point-lease TTL; peers steal after expiry
 };
 
 /// Builds a ServiceConfig for `state_dir` from the environment; throws one
@@ -62,9 +86,9 @@ class ServiceDaemon {
   ServiceDaemon(const ServiceDaemon&) = delete;
   ServiceDaemon& operator=(const ServiceDaemon&) = delete;
 
-  /// Binds the socket, recovers WAL'd jobs, serves until drained. Returns
-  /// the process exit code: 0 when drained idle, kExitInterrupted when
-  /// accepted work remains journaled for the next start.
+  /// Binds the socket(s), recovers WAL'd jobs, serves until drained.
+  /// Returns the process exit code: 0 when drained idle, kExitInterrupted
+  /// when accepted work remains journaled for the next start.
   int run();
 
  private:
@@ -76,6 +100,7 @@ class ServiceDaemon {
     St st = St::kReady;
     uint32_t crashes = 0;       // worker deaths, not in-process retries
     Clock::time_point earliest{};  // kBackoff: do not restart before this
+    std::string provenance;     // terminal: hot|cached|resumed|stolen
   };
 
   struct Job {
@@ -86,6 +111,7 @@ class ServiceDaemon {
     size_t terminal = 0;  // kDone + kFailed points
     size_t failed = 0;    // kFailed points
     bool finalized = false;
+    int64_t journal_bytes = -1;  // stat size at the last reconcile scan
   };
 
   struct Worker {
@@ -93,16 +119,20 @@ class ServiceDaemon {
     size_t job = 0;
     size_t point = 0;
     bool busy = false;
+    PointLease lease;           // held + renewed while the worker runs
+    int64_t renew_at_ms = 0;    // monotonic ms of the next renewal
   };
 
   struct Conn {
     int fd = -1;
     std::string in;   // unparsed request bytes
     std::string out;  // unwritten response bytes
+    bool close_after_flush = false;  // oversized request: reply, then close
   };
 
   // --- setup / recovery ---
   void open_socket();
+  void open_tcp();
   void recover();
   Job& add_job(const std::string& id, JobSpec spec, bool recovered);
 
@@ -110,12 +140,15 @@ class ServiceDaemon {
   void reap_workers();
   void promote_backoff(Clock::time_point now);
   void schedule(Clock::time_point now);
-  void spawn_worker(size_t ji, size_t pi);
-  [[noreturn]] void worker_main(const Job& job, const Point& pt);
-  void accept_conns();
+  void spawn_worker(size_t ji, size_t pi, PointLease lease, bool stolen);
+  [[noreturn]] void worker_main(const Job& job, const Point& pt, bool stolen);
+  void renew_leases();
+  void reconcile();  // tail the WAL + job journals for peer activity
+  void accept_conns(int listen_fd);
   bool service_conn(Conn& conn);  // false: close this connection
   size_t busy_workers() const;
   bool unfinished_work() const;
+  void enter_degraded(const std::string& reason);
 
   // --- requests ---
   std::string handle_request(const std::string& line);
@@ -127,8 +160,11 @@ class ServiceDaemon {
   size_t client_queued(const std::string& client) const;
 
   // --- job lifecycle ---
-  void apply_terminal(Job& job, Point& pt, const JournalReplay::Entry& entry);
+  std::string lease_path(const Job& job, const Point& pt) const;
+  void apply_terminal(Job& job, Point& pt, const JournalReplay::Entry& entry,
+                      bool resumed);
   void maybe_finalize(Job& job);
+  void write_provenance(const Job& job);
 
   ServiceConfig config_;
   ServiceQueue queue_;
@@ -136,10 +172,13 @@ class ServiceDaemon {
   std::map<std::string, size_t> job_index_;
   std::vector<Worker> workers_;
   std::vector<Conn> conns_;
-  int listen_fd_ = -1;
+  int listen_fd_ = -1;       // Unix socket
+  int tcp_fd_ = -1;          // optional TCP listener
   int wake_rd_ = -1;
   int wake_wr_ = -1;
   bool draining_ = false;
+  bool degraded_ = false;
+  std::string degraded_reason_;
   Clock::time_point started_;
 };
 

@@ -118,12 +118,13 @@ JobSpec parse_job_spec(const JsonValue& v) {
   return spec;
 }
 
-std::string submit_request(const JobSpec& spec) {
+std::string submit_request(const JobSpec& spec, const std::string& rid) {
   JsonWriter w;
   w.begin_object();
   w.kv("op", "submit");
   w.key("job");
   write_job_spec(w, spec);
+  if (!rid.empty()) w.kv("rid", rid);
   w.end_object();
   return w.take();
 }

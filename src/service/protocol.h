@@ -4,16 +4,26 @@
 // "ok" field. Admission errors carry "error" (stable identifier) and, for
 // backpressure rejections, "retry_after_ms".
 //
-//   {"op":"submit","job":{...JobSpec...}}
+//   {"op":"submit","job":{...JobSpec...},"rid":"..."?}
 //       -> {"ok":true,"job":"j-000001","points":N}
+//       -> {"ok":true,"job":"j-000001","points":N,"duplicate":true}
 //       -> {"ok":false,"error":"invalid_request","detail":["..."]}
 //       -> {"ok":false,"error":"quota_exceeded","retry_after_ms":500}
 //       -> {"ok":false,"error":"queue_full","retry_after_ms":500}
 //       -> {"ok":false,"error":"draining"}
+//       -> {"ok":false,"error":"degraded","detail":["..."]}
 //   {"op":"status","job":"j-000001"}
-//       -> {"ok":true,"job":...,"state":"queued|running|done",...}
-//   {"op":"health"}   -> {"ok":true,"state":"serving|draining",...}
+//       -> {"ok":true,"job":...,"state":"queued|running|done",
+//           "points":[{"key":K,"state":S,"provenance":P}...],...}
+//   {"op":"health"}   -> {"ok":true,"state":"serving|draining|degraded",...}
 //   {"op":"drain"}    -> {"ok":true,"state":"draining"}
+//
+// The optional submit "rid" is a client-chosen request id that makes
+// admission idempotent: a retried submit (e.g. after a dropped TCP reply)
+// with the same rid returns the originally admitted job instead of
+// duplicating it. The same protocol runs over the Unix socket and the
+// optional TCP listener (--listen / WECSIM_SERVICE_LISTEN) — the transport
+// carries no semantics.
 #pragma once
 
 #include <string>
@@ -59,8 +69,9 @@ StaConfig point_config(const PointSpec& point);
 void write_job_spec(JsonWriter& w, const JobSpec& spec);
 JobSpec parse_job_spec(const JsonValue& v);
 
-/// One-line JSON requests (client side).
-std::string submit_request(const JobSpec& spec);
+/// One-line JSON requests (client side). A non-empty `rid` rides along as
+/// the idempotency token.
+std::string submit_request(const JobSpec& spec, const std::string& rid = "");
 std::string status_request(const std::string& job_id);
 std::string health_request();
 std::string drain_request();

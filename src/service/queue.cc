@@ -1,6 +1,9 @@
 #include "service/queue.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
@@ -23,6 +26,10 @@ std::string wal_path(const std::string& state_dir) {
   return state_dir + "/service.queue.jsonl";
 }
 
+std::string lock_path(const std::string& state_dir) {
+  return state_dir + "/service.lock";
+}
+
 std::string format_job_id(uint64_t seq) {
   std::string digits = std::to_string(seq);
   if (digits.size() < 6) digits.insert(0, 6 - digits.size(), '0');
@@ -40,6 +47,34 @@ uint64_t job_id_seq(const std::string& id) {
   return seq;
 }
 
+// Exclusive inter-daemon admission lock. flock (not fcntl) so the lock is
+// tied to the open file description: a kill -9 releases it automatically.
+class AdmitLock {
+ public:
+  explicit AdmitLock(const std::string& state_dir) {
+    const std::string path = lock_path(state_dir);
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ < 0) {
+      throw SimError("cannot open " + path + ": " + std::strerror(errno));
+    }
+    while (::flock(fd_, LOCK_EX) != 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd_);
+      fd_ = -1;
+      throw SimError("cannot lock " + path + ": " + std::strerror(err));
+    }
+  }
+  ~AdmitLock() {
+    if (fd_ >= 0) ::close(fd_);  // close releases the flock
+  }
+  AdmitLock(const AdmitLock&) = delete;
+  AdmitLock& operator=(const AdmitLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
+
 }  // namespace
 
 std::string job_dir(const std::string& state_dir, const std::string& job_id) {
@@ -56,52 +91,126 @@ std::string job_report_path(const std::string& state_dir,
   return job_dir(state_dir, job_id) + "/report.json";
 }
 
-ServiceQueue::ServiceQueue(std::string state_dir)
-    : state_dir_(std::move(state_dir)) {
-  ensure_dir(state_dir_);
-  ensure_dir(state_dir_ + "/jobs");
+std::string job_provenance_path(const std::string& state_dir,
+                                const std::string& job_id) {
+  return job_dir(state_dir, job_id) + "/provenance.json";
+}
 
-  // Replay first: open jobs in admission order, highest seq seen + 1 as the
-  // next id (ids of finished jobs are never reused).
-  std::vector<std::string> order;
-  std::map<std::string, JobSpec> open;
+ServiceQueue::ScanState ServiceQueue::scan(
+    std::vector<std::string>* new_warnings) {
+  ScanState st;
+  std::map<std::string, size_t> index;  // id -> position in st.order
+  std::vector<std::string> raw_warnings;
   const size_t valid_bytes = scan_sealed_lines(
       wal_path(state_dir_),
       [&](const JsonValue& doc) {
         const std::string ev = doc.at("ev").as_string();
         const std::string id = doc.at("id").as_string();
-        next_seq_ = std::max(next_seq_, job_id_seq(id) + 1);
+        st.max_seq = std::max(st.max_seq, job_id_seq(id));
         if (ev == "job") {
-          if (open.emplace(id, parse_job_spec(doc.at("spec"))).second) {
-            order.push_back(id);
+          if (index.emplace(id, st.order.size()).second) {
+            PendingJob job;
+            job.id = id;
+            if (doc.has("rid")) job.rid = doc.at("rid").as_string();
+            job.spec = parse_job_spec(doc.at("spec"));
+            st.order.push_back(std::move(job));
           }
         } else if (ev == "job_done") {
-          open.erase(id);
+          st.done.insert(id);
         } else {
           throw SimError("unknown queue event: " + ev);
         }
       },
-      warnings_);
-  for (const std::string& id : order) {
-    if (auto it = open.find(id); it != open.end()) {
-      pending_.push_back(PendingJob{id, std::move(it->second)});
+      raw_warnings);
+  struct stat sb;
+  last_wal_size_ = ::stat(wal_path(state_dir_).c_str(), &sb) == 0
+                       ? static_cast<int64_t>(sb.st_size)
+                       : -1;
+  (void)valid_bytes;
+  // Peers rescan the same file over and over; report each distinct
+  // problem once. A "torn tail" note is usually just a peer mid-append
+  // and heals by the next scan, but a persistent one is worth seeing.
+  for (const std::string& warning : raw_warnings) {
+    if (warned_.insert(warning).second && new_warnings != nullptr) {
+      new_warnings->push_back(warning);
     }
   }
-  // Reopen truncated to the intact prefix — a torn trailing line was never
-  // acknowledged to any client, so cutting it loses nothing accepted.
-  wal_ = std::make_unique<SealedAppendLog>(wal_path(state_dir_), valid_bytes);
+  return st;
 }
 
-std::string ServiceQueue::admit(const JobSpec& spec) {
+void ServiceQueue::merge(const ScanState& st) {
+  next_seq_ = std::max(next_seq_, st.max_seq + 1);
+  for (const PendingJob& job : st.order) {
+    if (known_ids_.insert(job.id).second) {
+      if (!job.rid.empty()) rids_.emplace_back(job.rid, job.id);
+      mirror_.push_back(job);
+    }
+  }
+  done_ids_.insert(st.done.begin(), st.done.end());
+}
+
+ServiceQueue::ServiceQueue(std::string state_dir)
+    : state_dir_(std::move(state_dir)) {
+  ensure_dir(state_dir_);
+  ensure_dir(state_dir_ + "/jobs");
+
+  // Replay: open jobs in admission order, highest seq seen + 1 as the next
+  // id candidate (ids of finished jobs are never reused). The WAL is NOT
+  // truncated — a peer daemon sharing this state dir may be appending, and
+  // what looks like a torn tail could be its in-flight admit. Torn bytes
+  // from a real crash are isolated by the next append's newline heal.
+  merge(scan(&warnings_));
+  for (const PendingJob& job : mirror_) {
+    // Everything present at startup is handed over via pending() (or is
+    // already done): delivered, as far as poll_new() is concerned.
+    delivered_.insert(job.id);
+    if (done_ids_.count(job.id) == 0) pending_.push_back(job);
+  }
+  delivered_done_ = done_ids_;
+  wal_ = std::make_unique<SealedAppendLog>(wal_path(state_dir_));
+}
+
+std::string ServiceQueue::admit(const JobSpec& spec, const std::string& rid,
+                                bool* duplicate) {
+  if (duplicate != nullptr) *duplicate = false;
+  // Serialize against peer daemons: id assignment and request-id dedup
+  // must see every admission that won the lock before us.
+  AdmitLock lock(state_dir_);
+  merge(scan(nullptr));
+  if (!rid.empty()) {
+    for (const auto& [r, id] : rids_) {
+      if (r == rid) {
+        // A retried submit: the original admission is durable, so the
+        // only correct answer is its id — admitting again would duplicate
+        // the sweep. Deliberately NOT marked delivered: if a peer admitted
+        // it, this daemon still needs to discover it via poll_new().
+        if (duplicate != nullptr) *duplicate = true;
+        return id;
+      }
+    }
+  }
   const std::string id = format_job_id(next_seq_++);
+  // Job directory before the WAL entry: if the state dir is failing
+  // (ENOSPC/EIO) this throws before anything durable exists, so a rejected
+  // submit never leaves a half-admitted job behind.
+  ensure_dir(job_dir(state_dir_, id));
   JsonWriter w;
   w.begin_object();
   w.kv("ev", "job");
   w.kv("id", id);
+  if (!rid.empty()) w.kv("rid", rid);
   w.key("spec");
   write_job_spec(w, spec);
   wal_->append(finish_sealed_line(w));  // durable before the "ok" reply
-  ensure_dir(job_dir(state_dir_, id));
+  if (known_ids_.insert(id).second) {
+    if (!rid.empty()) rids_.emplace_back(rid, id);
+    PendingJob job;
+    job.id = id;
+    job.rid = rid;
+    job.spec = spec;
+    mirror_.push_back(std::move(job));
+  }
+  delivered_.insert(id);  // the caller materializes its own admission
   return id;
 }
 
@@ -111,6 +220,37 @@ void ServiceQueue::mark_done(const std::string& id) {
   w.kv("ev", "job_done");
   w.kv("id", id);
   wal_->append(finish_sealed_line(w));
+  done_ids_.insert(id);
+  delivered_done_.insert(id);  // our own completion is not peer news
+}
+
+std::string ServiceQueue::find_request(const std::string& rid) const {
+  if (rid.empty()) return "";
+  for (const auto& [r, id] : rids_) {
+    if (r == rid) return id;
+  }
+  return "";
+}
+
+ServiceQueue::WalNews ServiceQueue::poll_new() {
+  WalNews news;
+  struct stat sb;
+  const int64_t size = ::stat(wal_path(state_dir_).c_str(), &sb) == 0
+                           ? static_cast<int64_t>(sb.st_size)
+                           : -1;
+  // The size gate only skips the RESCAN; undelivered jobs already in the
+  // mirror (observed by an admit() rescan under the lock) are still handed
+  // over below.
+  if (size != last_wal_size_) merge(scan(&warnings_));
+  for (const PendingJob& job : mirror_) {
+    if (delivered_.count(job.id) != 0) continue;
+    delivered_.insert(job.id);
+    if (done_ids_.count(job.id) == 0) news.jobs.push_back(job);
+  }
+  for (const std::string& id : done_ids_) {
+    if (delivered_done_.insert(id).second) news.done.push_back(id);
+  }
+  return news;
 }
 
 }  // namespace wecsim

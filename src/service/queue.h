@@ -4,7 +4,7 @@
 // BEFORE the daemon acknowledges the submit, so a kill -9 at any point
 // loses zero accepted work:
 //
-//   {"ev":"job","id":"j-000001","spec":{...JobSpec...},"integrity":...}
+//   {"ev":"job","id":"j-000001","rid":"...","spec":{...JobSpec...},...}
 //   {"ev":"job_done","id":"j-000001","integrity":...}
 //
 // On restart the WAL is replayed: jobs without a "job_done" marker are the
@@ -12,9 +12,21 @@
 // <state_dir>/jobs/<id>/. The WAL inherits the journal's robustness
 // properties — per-line integrity seals, a torn tail costs only the
 // unacknowledged trailing append, a corrupt line costs one job's replay.
+//
+// Federation (docs/SERVICE.md, "Multi-host deployment"): several daemons
+// may share one state dir. The WAL is their common admission ledger —
+// admit() serializes id assignment under an flock on <state_dir>/
+// service.lock and rescans the WAL inside the critical section, so two
+// daemons never mint the same job id; poll_new() tails the WAL so each
+// daemon discovers jobs its peers admitted. Because peers may be
+// mid-append at any moment, a shared WAL is NEVER truncated on reopen —
+// a torn tail is healed by the next appender (SealedAppendLog) instead.
+// The "rid" (client request id) makes admission idempotent: a retried
+// submit that raced a dropped reply finds its original job.
 #pragma once
 
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -31,38 +43,87 @@ std::string job_journal_path(const std::string& state_dir,
 /// The job's final run report (written atomically at finalize).
 std::string job_report_path(const std::string& state_dir,
                             const std::string& job_id);
+/// Per-point provenance sidecar (hot/cached/resumed/stolen), written next
+/// to the report at finalize. Deliberately NOT part of report.json so the
+/// report stays byte-identical whatever path the points took.
+std::string job_provenance_path(const std::string& state_dir,
+                                const std::string& job_id);
 
 class ServiceQueue {
  public:
   struct PendingJob {
     std::string id;
+    std::string rid;  // client request id; "" for legacy entries
     JobSpec spec;
   };
 
+  /// Jobs and completions newly observed in the shared WAL since the last
+  /// scan (admitted or finished by a peer daemon).
+  struct WalNews {
+    std::vector<PendingJob> jobs;
+    std::vector<std::string> done;
+  };
+
   /// Opens (creating state_dir if needed) and replays the WAL. Unfinished
-  /// jobs land in pending() in admission order; replay problems (torn
-  /// tail, corrupt lines) land in warnings(). Throws SimError when the
-  /// state dir or WAL cannot be created.
+  /// jobs land in pending() in admission order; replay problems (corrupt
+  /// lines) land in warnings(). Throws SimError when the state dir or WAL
+  /// cannot be created. The WAL is never truncated: peers of this daemon
+  /// may be appending concurrently.
   explicit ServiceQueue(std::string state_dir);
 
   const std::string& state_dir() const { return state_dir_; }
   const std::vector<PendingJob>& pending() const { return pending_; }
   const std::vector<std::string>& warnings() const { return warnings_; }
 
-  /// Durably admits a job: assigns the next id, appends + fsyncs the WAL
-  /// entry, creates the job directory. Returns the job id. The caller
-  /// replies "ok" to the client only after this returns.
-  std::string admit(const JobSpec& spec);
+  /// Durably admits a job: takes the admission flock, rescans the WAL for
+  /// peer admissions, assigns the next unused id, creates the job
+  /// directory, appends + fsyncs the WAL entry. Returns the job id. The
+  /// caller replies "ok" to the client only after this returns. When `rid`
+  /// is non-empty and a job with that request id already exists (this
+  /// daemon or a peer admitted it — the client is retrying a submit whose
+  /// reply was lost), the existing id is returned and *duplicate is set.
+  std::string admit(const JobSpec& spec, const std::string& rid = "",
+                    bool* duplicate = nullptr);
 
   /// Durably marks a job finished (its report is on disk).
   void mark_done(const std::string& id);
 
+  /// The job id admitted under client request id `rid`, or "" if none.
+  std::string find_request(const std::string& rid) const;
+
+  /// Tails the WAL: returns jobs/completions appended by peer daemons
+  /// since the last scan. Cheap when the file has not grown. New replay
+  /// warnings (never ones already reported) are appended to warnings().
+  WalNews poll_new();
+
  private:
+  struct ScanState {
+    std::vector<PendingJob> order;   // "job" entries in admission order
+    std::set<std::string> done;      // ids with a "job_done" marker
+    uint64_t max_seq = 0;
+  };
+
+  ScanState scan(std::vector<std::string>* new_warnings);
+  /// Folds a scan into the in-memory WAL mirror (mirror_/known_ids_/
+  /// done_ids_/rids_/next_seq_). Scanning and DELIVERING are separate:
+  /// admit()'s under-lock rescan may observe a peer's job long before
+  /// poll_new() hands it to the daemon — observation must not eat the
+  /// delivery.
+  void merge(const ScanState& st);
+
   std::string state_dir_;
   std::unique_ptr<SealedAppendLog> wal_;
   std::vector<PendingJob> pending_;
   std::vector<std::string> warnings_;
+  std::set<std::string> warned_;     // dedup across repeated scans
+  std::vector<PendingJob> mirror_;   // every "job" entry, admission order
+  std::set<std::string> known_ids_;  // ids present in mirror_
+  std::set<std::string> done_ids_;   // every "job_done" id observed
+  std::set<std::string> delivered_;       // job ids handed to the daemon
+  std::set<std::string> delivered_done_;  // done ids handed to the daemon
+  std::vector<std::pair<std::string, std::string>> rids_;  // (rid, id)
   uint64_t next_seq_ = 1;
+  int64_t last_wal_size_ = -1;       // stat size at the last scan
 };
 
 }  // namespace wecsim

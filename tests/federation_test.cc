@@ -1,0 +1,676 @@
+// Federated wecsimd (docs/SERVICE.md, "Multi-host deployment"): point
+// leases with expiry-steal, the TCP transport with client deadlines,
+// idempotent submit request ids, protocol fuzz over both transports,
+// degraded-state-dir admission stop, and the two-daemon chaos contract —
+// SIGKILL one of two daemons sharing a state dir mid-sweep and the
+// survivor completes the job with a report byte-identical to an
+// uninterrupted single-daemon run.
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "harness/env.h"
+#include "harness/experiment.h"
+#include "harness/journal.h"
+#include "harness/lease.h"
+#include "harness/report.h"
+#include "service/client.h"
+#include "service/daemon.h"
+#include "service/protocol.h"
+#include "service/queue.h"
+
+namespace wecsim {
+namespace {
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = std::filesystem::temp_directory_path() /
+            ("wecsim_fed_" + tag + "_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+JobSpec small_job(const std::string& client, const std::string& name) {
+  JobSpec spec;
+  spec.client = client;
+  spec.name = name;
+  spec.workload = "181.mcf";
+  spec.scale = 1;
+  spec.seed = 42;
+  spec.points.push_back(PointSpec{"orig", "orig", 1, 0});
+  spec.points.push_back(PointSpec{"wec", "wth-wp-wec", 1, 0});
+  return spec;
+}
+
+std::string expected_report(const JobSpec& spec, const std::string& dir) {
+  ExperimentRunner direct(WorkloadParams{spec.scale, spec.seed},
+                          std::string());
+  for (const PointSpec& p : spec.points) {
+    direct.try_run(spec.workload, p.key, point_config(p));
+  }
+  const std::string path = dir + "/expected_" + spec.name + ".json";
+  write_run_report(path, spec.name, direct.records(), direct.failures());
+  return read_file(path);
+}
+
+ServiceConfig test_config(const std::string& state_dir) {
+  ServiceConfig config;
+  config.state_dir = state_dir;
+  config.socket = state_dir + "/wecsimd.sock";
+  config.workers = 2;
+  config.backoff_ms = 1;
+  return config;
+}
+
+pid_t spawn_daemon(const ServiceConfig& config) {
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // Log to a per-socket file: two daemons share the state dir here, and
+    // ctest reads the test's stdio pipe until EOF.
+    const std::string log = config.socket + ".log";
+    const int fd = ::open(log.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, STDOUT_FILENO);
+      ::dup2(fd, STDERR_FILENO);
+      ::close(fd);
+    }
+    ::unsetenv("WECSIM_CACHE_DIR");  // byte-identity needs fresh simulation
+    try {
+      ServiceDaemon daemon(config);
+      ::_exit(daemon.run());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "daemon child: %s\n", e.what());
+      ::_exit(100);
+    }
+  }
+  return pid;
+}
+
+int wait_exit(pid_t pid) {
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+}
+
+void stop_daemon(pid_t pid) {
+  if (pid <= 0) return;
+  ::kill(pid, SIGTERM);
+  for (int i = 0; i < 200; ++i) {
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) return;
+    ::usleep(50 * 1000);
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+}
+
+struct DaemonGuard {
+  pid_t pid = -1;
+  explicit DaemonGuard(pid_t p) : pid(p) {}
+  DaemonGuard(const DaemonGuard&) = delete;
+  DaemonGuard& operator=(const DaemonGuard&) = delete;
+  ~DaemonGuard() {
+    if (pid <= 0) return;
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+  }
+  pid_t release() {
+    const pid_t p = pid;
+    pid = -1;
+    return p;
+  }
+};
+
+/// Waits for the daemon to publish its ephemeral TCP endpoint in
+/// <socket>.tcp; "" on timeout.
+std::string wait_tcp_endpoint(const std::string& socket_path,
+                              double timeout_s) {
+  const std::string path = socket_path + ".tcp";
+  for (int i = 0; i < static_cast<int>(timeout_s * 100); ++i) {
+    std::string text = read_file(path);
+    if (!text.empty() && text.back() == '\n') {
+      text.pop_back();
+      return text;
+    }
+    ::usleep(10 * 1000);
+  }
+  return "";
+}
+
+// ---- raw-socket fuzz plumbing (deliberately NOT ServiceClient: the point
+// is to send bytes the client would never frame) ----------------------------
+
+int raw_connect(const std::string& endpoint) {
+  int fd = -1;
+  if (endpoint.find('/') != std::string::npos) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, endpoint.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      return -1;
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    const size_t colon = endpoint.rfind(':');
+    std::string host = endpoint.substr(0, colon);
+    if (host == "localhost") host = "127.0.0.1";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port =
+        htons(static_cast<uint16_t>(std::atoi(endpoint.c_str() + colon + 1)));
+    ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  timeval tv{10, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  return fd;
+}
+
+/// Sends as much of `data` as the peer will take (MSG_NOSIGNAL: the daemon
+/// may legitimately close mid-send on oversized input). Returns bytes sent.
+size_t raw_send(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EPIPE / ECONNRESET / timeout: peer closed on us
+  }
+  return off;
+}
+
+/// Reads one '\n'-terminated reply line; "" on EOF, reset, or timeout.
+std::string raw_reply(int fd) {
+  std::string buf;
+  char c = 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return "";
+    }
+    if (c == '\n') return buf;
+    buf.push_back(c);
+    if (buf.size() > (1u << 20)) return "";  // runaway reply: fail the test
+  }
+}
+
+/// One fuzz probe on a fresh connection: sends `payload`, expects a reply
+/// whose "error" is `want_error` ("" = any reply or clean close accepted).
+void fuzz_probe(const std::string& endpoint, const std::string& payload,
+                const std::string& want_error, const std::string& what) {
+  const int fd = raw_connect(endpoint);
+  ASSERT_GE(fd, 0) << what << ": connect to " << endpoint;
+  raw_send(fd, payload);
+  if (!want_error.empty()) {  // no reply owed otherwise: don't sit in recv
+    const std::string reply = raw_reply(fd);
+    ASSERT_FALSE(reply.empty()) << what << ": no reply over " << endpoint;
+    const JsonValue parsed = parse_json(reply);
+    EXPECT_FALSE(parsed.at("ok").as_bool()) << what;
+    EXPECT_EQ(parsed.at("error").as_string(), want_error)
+        << what << ": " << reply;
+  }
+  ::close(fd);
+}
+
+// ---- point leases ---------------------------------------------------------
+
+/// Plants a lease file as a (fake) peer daemon would leave it. Tests run in
+/// one process, and try_acquire deliberately evicts leftovers of its OWN
+/// incarnation token — so a peer must be modelled with a foreign token.
+void write_peer_lease(const std::string& path, int64_t expires_ms,
+                      int64_t ttl_ms) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << "{\"pid\":999999,\"token\":12345,\"expires_ms\":" << expires_ms
+      << ",\"ttl_ms\":" << ttl_ms << "}\n";
+}
+
+TEST(PointLeaseTest, AcquireHeldRenewRelease) {
+  TempDir dir("lease");
+  const std::string path = dir.str() + "/point.lease";
+
+  PointLease mine;
+  ASSERT_EQ(PointLease::try_acquire(path, 60000, &mine),
+            PointLease::Outcome::kAcquired);
+  EXPECT_TRUE(mine.held());
+
+  LeaseInfo info;
+  ASSERT_TRUE(PointLease::peek(path, &info));
+  EXPECT_EQ(info.pid, static_cast<int64_t>(::getpid()));
+  EXPECT_EQ(info.ttl_ms, 60000);
+
+  EXPECT_TRUE(mine.renew(60000));
+  mine.release();
+  EXPECT_FALSE(mine.held());
+  EXPECT_FALSE(PointLease::peek(path, &info));  // release unlinked it
+
+  // A live PEER holder blocks this daemon, and says how long to back off.
+  const std::string held_path = dir.str() + "/held.lease";
+  write_peer_lease(held_path, wall_clock_ms() + 60000, 60000);
+  PointLease blocked;
+  int64_t remaining = 0;
+  EXPECT_EQ(PointLease::try_acquire(held_path, 60000, &blocked, &remaining),
+            PointLease::Outcome::kHeld);
+  EXPECT_FALSE(blocked.held());
+  EXPECT_GT(remaining, 0);
+  EXPECT_LE(remaining, 60000);
+
+  // A leftover of this very incarnation (leaked by a crashed spawn path)
+  // is evicted and re-acquired fresh, never reported as held.
+  PointLease leaked;
+  ASSERT_EQ(PointLease::try_acquire(path, 60000, &leaked),
+            PointLease::Outcome::kAcquired);
+  PointLease again;
+  EXPECT_EQ(PointLease::try_acquire(path, 60000, &again),
+            PointLease::Outcome::kAcquired);
+}
+
+TEST(PointLeaseTest, ExpiredLeaseIsStolenAndLoserCannotRenew) {
+  TempDir dir("steal");
+  const std::string path = dir.str() + "/point.lease";
+
+  // A peer that stopped renewing (SIGKILLed or SIGSTOP-frozen) and let the
+  // TTL lapse: stolen, not held.
+  write_peer_lease(path, wall_clock_ms() - 1000, 80);
+  PointLease thief;
+  ASSERT_EQ(PointLease::try_acquire(path, 60000, &thief),
+            PointLease::Outcome::kStolen);
+  EXPECT_TRUE(thief.held());
+  EXPECT_TRUE(thief.renew(60000));
+
+  // Now the roles reverse: a peer steals OUR lease while we are frozen
+  // (modelled by overwriting the file with the peer's). Our renew must
+  // fail — the point belongs to the peer, and our in-flight run relies on
+  // the journal's duplicate-terminal dedup.
+  write_peer_lease(path, wall_clock_ms() + 60000, 60000);
+  EXPECT_FALSE(thief.renew(60000));
+  EXPECT_FALSE(thief.held());
+
+  // And release() after a lost lease must NOT unlink the peer's file.
+  thief.release();
+  LeaseInfo info;
+  EXPECT_TRUE(PointLease::peek(path, &info));
+  EXPECT_EQ(info.token, 12345u);
+}
+
+TEST(PointLeaseTest, CorruptLeaseFileIsStealableNotWedged) {
+  TempDir dir("corrupt");
+  const std::string path = dir.str() + "/point.lease";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "\x7f not json at all";
+  }
+  // A torn/garbage lease parses as already-expired: stolen, never a wedge.
+  LeaseInfo info;
+  ASSERT_TRUE(PointLease::peek(path, &info));
+  EXPECT_LE(info.expires_ms, wall_clock_ms());
+
+  PointLease lease;
+  EXPECT_EQ(PointLease::try_acquire(path, 60000, &lease),
+            PointLease::Outcome::kStolen);
+  EXPECT_TRUE(lease.held());
+  lease.release();
+}
+
+// ---- TCP transport --------------------------------------------------------
+
+TEST(FederationTest, TcpTransportCompletesJobByteIdentical) {
+  TempDir dir("tcp");
+  ServiceConfig config = test_config(dir.str());
+  config.listen = "127.0.0.1:0";  // ephemeral port, published in <socket>.tcp
+  DaemonGuard daemon(spawn_daemon(config));
+  ASSERT_TRUE(ServiceClient::wait_ready(config.socket, 30.0));
+
+  const std::string endpoint = wait_tcp_endpoint(config.socket, 30.0);
+  ASSERT_FALSE(endpoint.empty()) << "daemon never published " << config.socket
+                                 << ".tcp";
+  ASSERT_TRUE(ServiceClient::wait_ready(endpoint, 30.0));
+
+  const JobSpec spec = small_job("alice", "tcp");
+  ServiceClient client(endpoint);
+  client.set_timeout_ms(30000);
+  const JsonValue health = client.health();
+  EXPECT_EQ(health.at("state").as_string(), "serving");
+
+  const JsonValue accepted = client.submit(spec);
+  ASSERT_TRUE(accepted.at("ok").as_bool());
+  const JsonValue done = client.wait(accepted.at("job").as_string(), 300.0);
+  EXPECT_EQ(done.at("done").as_u64(), 2u);
+  EXPECT_EQ(done.at("failed").as_u64(), 0u);
+  // The transport must not leak into the artifact: a job submitted over
+  // TCP reports byte-identically to one submitted over the Unix socket.
+  EXPECT_EQ(read_file(done.at("report").as_string()),
+            expected_report(spec, dir.str()));
+  stop_daemon(daemon.release());
+}
+
+TEST(ServiceClientTest, DeadlineOnHalfOpenPeerThrowsServiceTimeout) {
+  // A listener that never accepts: connects land in the backlog and the
+  // request is swallowed — the classic half-open peer. The client deadline
+  // must cut through it with ServiceTimeout, not block forever.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 8), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+
+  ServiceClient client("127.0.0.1:" + std::to_string(ntohs(addr.sin_port)));
+  client.set_timeout_ms(300);
+  EXPECT_THROW(client.health(), ServiceTimeout);
+  ::close(lfd);
+}
+
+// ---- idempotent submit ----------------------------------------------------
+
+TEST(FederationTest, RetriedSubmitWithSameRequestIdIsExactlyOneJob) {
+  TempDir dir("rid");
+  const ServiceConfig config = test_config(dir.str());
+  DaemonGuard daemon(spawn_daemon(config));
+  ASSERT_TRUE(ServiceClient::wait_ready(config.socket, 30.0));
+
+  const JobSpec spec = small_job("alice", "rid");
+  const std::string rid = make_request_id();
+  ServiceClient client(config.socket);
+
+  const JsonValue first = client.submit(spec, rid);
+  ASSERT_TRUE(first.at("ok").as_bool());
+  const std::string job = first.at("job").as_string();
+  EXPECT_FALSE(first.has("duplicate"));
+
+  // The retry a client sends when the original reply was lost: same rid,
+  // same job back, flagged duplicate, and nothing new admitted.
+  const JsonValue retry = client.submit(spec, rid);
+  ASSERT_TRUE(retry.at("ok").as_bool());
+  EXPECT_EQ(retry.at("job").as_string(), job);
+  ASSERT_TRUE(retry.has("duplicate"));
+  EXPECT_TRUE(retry.at("duplicate").as_bool());
+
+  // A different rid is a different request: new job.
+  const JsonValue other = client.submit(spec, make_request_id());
+  ASSERT_TRUE(other.at("ok").as_bool());
+  EXPECT_NE(other.at("job").as_string(), job);
+
+  client.wait(job, 300.0);
+  client.wait(other.at("job").as_string(), 300.0);
+
+  // The WAL is the ground truth: exactly two "job" entries ever existed.
+  size_t jobs = 0, with_rid = 0;
+  std::vector<std::string> warnings;
+  scan_sealed_lines(dir.str() + "/service.queue.jsonl",
+                    [&](const JsonValue& doc) {
+                      if (doc.at("ev").as_string() != "job") return;
+                      ++jobs;
+                      if (doc.has("rid") && doc.at("rid").as_string() == rid) {
+                        ++with_rid;
+                      }
+                    },
+                    warnings);
+  EXPECT_EQ(jobs, 2u);
+  EXPECT_EQ(with_rid, 1u);
+  stop_daemon(daemon.release());
+}
+
+// ---- protocol fuzz --------------------------------------------------------
+
+TEST(FederationTest, ProtocolFuzzGetsInvalidRequestOverBothTransports) {
+  TempDir dir("fuzz");
+  ServiceConfig config = test_config(dir.str());
+  config.listen = "127.0.0.1:0";
+  DaemonGuard daemon(spawn_daemon(config));
+  ASSERT_TRUE(ServiceClient::wait_ready(config.socket, 30.0));
+  const std::string tcp = wait_tcp_endpoint(config.socket, 30.0);
+  ASSERT_FALSE(tcp.empty());
+
+  for (const std::string& endpoint : {config.socket, tcp}) {
+    fuzz_probe(endpoint, "this is not json\n", "invalid_request",
+               "plain text");
+    fuzz_probe(endpoint, "{\"op\":42}\n", "unknown_op", "op not string");
+    fuzz_probe(endpoint, "{\"op\":\"frobnicate\"}\n", "unknown_op",
+               "unknown op");
+    fuzz_probe(endpoint, "{\"op\":\"submit\"}\n", "invalid_request",
+               "submit without job");
+    fuzz_probe(endpoint, "{\"op\":\"submit\",\"job\":{\"client\":123}}\n",
+               "invalid_request", "job with wrong types");
+    fuzz_probe(endpoint, std::string("\x00\x01\xff\xfe\n", 5),
+               "invalid_request", "binary garbage");
+    fuzz_probe(endpoint, "{\"op\":\"health\"", "",
+               "truncated line, no newline");  // no reply owed; no crash
+    fuzz_probe(endpoint, "\n\n\n{\"op\":\"health\"}\n", "",
+               "blank lines then health");
+
+    // Oversized line (past the 4MB cap): the daemon replies
+    // invalid_request and closes — it may close while we are still
+    // sending, so a reset here is acceptable; a wedge or crash is not.
+    {
+      const int fd = raw_connect(endpoint);
+      ASSERT_GE(fd, 0);
+      const std::string chunk(1u << 16, 'x');
+      for (size_t sent = 0; sent < (1u << 22) + (1u << 17);) {
+        const size_t n = raw_send(fd, chunk);
+        if (n == 0) break;
+        sent += n;
+      }
+      const std::string reply = raw_reply(fd);
+      if (!reply.empty()) {
+        EXPECT_EQ(parse_json(reply).at("error").as_string(),
+                  "invalid_request");
+        EXPECT_EQ(raw_reply(fd), "");  // then the daemon closes
+      }
+      ::close(fd);
+    }
+
+    // After every probe the daemon is still serving real clients.
+    ServiceClient client(endpoint);
+    client.set_timeout_ms(10000);
+    EXPECT_EQ(client.health().at("state").as_string(), "serving")
+        << "daemon wedged after fuzz over " << endpoint;
+  }
+
+  // And still does real work end to end.
+  ServiceClient client(config.socket);
+  const JsonValue accepted = client.submit(small_job("alice", "postfuzz"));
+  ASSERT_TRUE(accepted.at("ok").as_bool());
+  const JsonValue done = client.wait(accepted.at("job").as_string(), 300.0);
+  EXPECT_EQ(done.at("done").as_u64(), 2u);
+  stop_daemon(daemon.release());
+}
+
+// ---- graceful degradation -------------------------------------------------
+
+TEST(FederationTest, DegradedStateDirStopsAdmissionButKeepsServing) {
+  TempDir dir("degraded");
+  const ServiceConfig config = test_config(dir.str());
+  DaemonGuard daemon(spawn_daemon(config));
+  ASSERT_TRUE(ServiceClient::wait_ready(config.socket, 30.0));
+
+  // Break the state dir under the daemon: the jobs dir becomes a plain
+  // file, so the next admission's mkdir fails the way ENOSPC/EIO would.
+  // (chmod tricks don't work here — tests may run as root.)
+  std::filesystem::remove_all(dir.str() + "/jobs");
+  { std::ofstream out(dir.str() + "/jobs"); }
+
+  ServiceClient client(config.socket);
+  client.set_timeout_ms(10000);
+  const JsonValue rejected = client.submit(small_job("alice", "doomed"));
+  EXPECT_FALSE(rejected.at("ok").as_bool());
+  EXPECT_EQ(rejected.at("error").as_string(), "degraded");
+  ASSERT_GE(rejected.at("detail").items().size(), 1u);
+
+  // Degraded is sticky and visible: health names the state and the reason,
+  // and further submits are refused without touching the sick disk again.
+  const JsonValue health = client.health();
+  EXPECT_TRUE(health.at("ok").as_bool());
+  EXPECT_EQ(health.at("state").as_string(), "degraded");
+  EXPECT_FALSE(health.at("reason").as_string().empty());
+
+  const JsonValue again = client.submit(small_job("bob", "also-doomed"));
+  EXPECT_EQ(again.at("error").as_string(), "degraded");
+
+  // The daemon did NOT exit: read-only ops still answer, so operators and
+  // failover clients can see what is wrong.
+  EXPECT_EQ(::kill(daemon.pid, 0), 0);
+  const JsonValue unknown = client.status("j-999999");
+  EXPECT_EQ(unknown.at("error").as_string(), "unknown_job");
+  stop_daemon(daemon.release());
+}
+
+// ---- two daemons, one state dir -------------------------------------------
+
+TEST(FederationTest, SurvivorDaemonCompletesJobAfterPeerKill9) {
+  TempDir dir("twod");
+  ServiceConfig a = test_config(dir.str());
+  a.lease_ms = 300;  // steal fast; the test should not idle
+  ServiceConfig b = a;
+  b.socket = dir.str() + "/wecsimd-b.sock";
+
+  DaemonGuard victim(spawn_daemon(a));
+  ASSERT_TRUE(ServiceClient::wait_ready(a.socket, 30.0));
+  DaemonGuard survivor(spawn_daemon(b));
+  ASSERT_TRUE(ServiceClient::wait_ready(b.socket, 30.0));
+
+  JobSpec spec = small_job("alice", "federated");
+  spec.points.push_back(PointSpec{"wp", "wth-wp", 1, 0});
+  spec.points.push_back(PointSpec{"base", "wth", 1, 0});
+
+  const std::string rid = make_request_id();
+  std::string job;
+  std::vector<int64_t> worker_pids;
+  {
+    ServiceClient client(a.socket);
+    const JsonValue accepted = client.submit(spec, rid);
+    ASSERT_TRUE(accepted.at("ok").as_bool());
+    job = accepted.at("job").as_string();
+    const JsonValue health = client.health();
+    for (const JsonValue& pid : health.at("worker_pids").items()) {
+      worker_pids.push_back(pid.as_i64());
+    }
+  }
+
+  // kill -9 the admitting daemon, then the workers it left behind: their
+  // leases stop being renewed and expire within lease_ms.
+  ::kill(victim.pid, SIGKILL);
+  ASSERT_EQ(wait_exit(victim.release()), -SIGKILL);
+  for (const int64_t pid : worker_pids) {
+    ::kill(static_cast<pid_t>(pid), SIGKILL);
+  }
+
+  ServiceClient client(b.socket);
+  // Failover re-submit with the same request id: the survivor finds the
+  // peer-admitted job in the shared WAL instead of duplicating it.
+  const JsonValue dup = client.submit(spec, rid);
+  ASSERT_TRUE(dup.at("ok").as_bool());
+  EXPECT_EQ(dup.at("job").as_string(), job);
+  ASSERT_TRUE(dup.has("duplicate"));
+  EXPECT_TRUE(dup.at("duplicate").as_bool());
+
+  // The survivor discovers, steals, and finishes every point — and the
+  // report is byte-identical to an uninterrupted single-daemon run.
+  const JsonValue done = client.wait(job, 300.0);
+  EXPECT_EQ(done.at("done").as_u64(), 4u);
+  EXPECT_EQ(done.at("failed").as_u64(), 0u);
+  EXPECT_EQ(read_file(done.at("report").as_string()),
+            expected_report(spec, dir.str()));
+
+  // Zero lost points: every key reached a terminal "done" in the journal.
+  // (A point the victim finished before the kill is adopted, not re-run;
+  // an orphan worker racing the thief can legally leave a second entry —
+  // the journal's duplicate-terminal dedup keeps the report identical.)
+  std::map<std::string, size_t> done_per_key;
+  std::vector<std::string> warnings;
+  scan_sealed_lines(job_journal_path(dir.str(), job),
+                    [&](const JsonValue& doc) {
+                      if (doc.at("ev").as_string() == "done") {
+                        ++done_per_key[doc.at("key").as_string()];
+                      }
+                    },
+                    warnings);
+  EXPECT_EQ(done_per_key.size(), spec.points.size());
+  for (const PointSpec& p : spec.points) {
+    EXPECT_GE(done_per_key[p.key], 1u) << "point lost: " << p.key;
+  }
+
+  // Exactly one "job" WAL entry despite the re-submit.
+  size_t jobs = 0;
+  scan_sealed_lines(dir.str() + "/service.queue.jsonl",
+                    [&](const JsonValue& doc) {
+                      if (doc.at("ev").as_string() == "job") ++jobs;
+                    },
+                    warnings);
+  EXPECT_EQ(jobs, 1u);
+
+  // Status carries per-point provenance; the finalize also leaves the
+  // provenance sidecar next to the report (and never inside it).
+  const JsonValue status = client.status(job);
+  ASSERT_TRUE(status.has("points"));
+  EXPECT_EQ(status.at("points").items().size(), spec.points.size());
+  for (const JsonValue& pt : status.at("points").items()) {
+    EXPECT_EQ(pt.at("state").as_string(), "done");
+    const std::string prov = pt.at("provenance").as_string();
+    EXPECT_TRUE(prov == "hot" || prov == "cached" || prov == "resumed" ||
+                prov == "stolen")
+        << prov;
+  }
+  const std::string sidecar =
+      read_file(job_provenance_path(dir.str(), job));
+  ASSERT_FALSE(sidecar.empty());
+  EXPECT_EQ(parse_json(sidecar).at("points").items().size(),
+            spec.points.size());
+  stop_daemon(survivor.release());
+}
+
+}  // namespace
+}  // namespace wecsim

@@ -5,20 +5,28 @@
 //   wecsim-top --once <file-or-dir>     render the latest state and exit
 //   wecsim-top --check <file-or-dir>    validate every line against the
 //                                       schema; exit 0 iff well-formed
+//   wecsim-top --service <state_dir>    one-shot view of a wecsimd state
+//                                       dir: per-job point states and
+//                                       provenance (hot / cached / resumed
+//                                       / stolen)
 //
 // Given a directory (e.g. $WECSIM_PROGRESS_DIR), the newest
 // *.progress.jsonl inside it is selected. Follow mode exits when the stream
 // emits its "finish" event.
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/error.h"
+#include "harness/journal.h"
 #include "obs/json.h"
 #include "obs/jsonl.h"
 
@@ -29,7 +37,8 @@ namespace fs = std::filesystem;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: wecsim-top [--once|--check] <progress-file-or-dir>\n");
+               "usage: wecsim-top [--once|--check] <progress-file-or-dir>\n"
+               "       wecsim-top --service <state_dir>\n");
   return 2;
 }
 
@@ -290,8 +299,100 @@ int run_render(const std::string& path, bool follow) {
   }
 }
 
+/// --service: a one-shot federation dashboard for a wecsimd state dir.
+/// Finalized jobs render from their provenance.json sidecar; in-flight
+/// jobs render live from their sweep journal (done entries tagged
+/// "stolen"/cached are classified the same way the daemon does).
+int run_service_view(const std::string& state_dir) {
+  const fs::path jobs_dir = fs::path(state_dir) / "jobs";
+  std::error_code ec;
+  if (!fs::is_directory(jobs_dir, ec)) {
+    std::fprintf(stderr, "wecsim-top: %s is not a wecsimd state dir\n",
+                 state_dir.c_str());
+    return 1;
+  }
+  std::vector<std::string> ids;
+  for (const auto& entry : fs::directory_iterator(jobs_dir, ec)) {
+    if (entry.is_directory()) ids.push_back(entry.path().filename().string());
+  }
+  std::sort(ids.begin(), ids.end());
+  if (ids.empty()) {
+    std::printf("no jobs under %s\n", state_dir.c_str());
+    return 0;
+  }
+  for (const std::string& id : ids) {
+    std::map<std::string, uint64_t> by_provenance;
+    std::vector<std::pair<std::string, std::string>> points;  // key -> tag
+    uint64_t done = 0, failed = 0, pending = 0;
+    const fs::path prov_path = jobs_dir / id / "provenance.json";
+    std::ifstream prov(prov_path, std::ios::binary);
+    if (prov.good()) {
+      std::stringstream buf;
+      buf << prov.rdbuf();
+      try {
+        const JsonValue v = parse_json(buf.str());
+        for (const JsonValue& p : v.at("points").items()) {
+          const std::string state = p.at("state").as_string();
+          const std::string tag = p.at("provenance").as_string();
+          state == "failed" ? ++failed : ++done;
+          ++by_provenance[tag.empty() ? "unknown" : tag];
+          points.emplace_back(p.at("key").as_string(), tag);
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "wecsim-top: %s: %s\n", prov_path.c_str(),
+                     e.what());
+        continue;
+      }
+    } else {
+      // No sidecar yet: the job is still in flight somewhere. Classify
+      // straight from the journal.
+      const JournalReplay replay = JournalReplay::load(
+          (jobs_dir / id / "sweep.journal.jsonl").string());
+      for (const auto& [key, entry] : replay.points) {
+        std::string tag;
+        if (entry.state == JournalReplay::State::kDone) {
+          ++done;
+          tag = entry.via == "stolen" ? "stolen"
+                                      : (entry.fresh ? "hot" : "cached");
+        } else if (entry.state == JournalReplay::State::kFailed) {
+          ++failed;
+          tag = "hot";
+        } else {
+          ++pending;
+          tag = entry.state == JournalReplay::State::kRunning ? "running"
+                                                              : "queued";
+        }
+        if (entry.state == JournalReplay::State::kDone ||
+            entry.state == JournalReplay::State::kFailed) {
+          ++by_provenance[tag];
+        }
+        points.emplace_back(key.second, tag);
+      }
+    }
+    std::printf("%s: %llu done, %llu failed", id.c_str(),
+                static_cast<unsigned long long>(done),
+                static_cast<unsigned long long>(failed));
+    if (pending > 0) {
+      std::printf(", %llu pending", static_cast<unsigned long long>(pending));
+    }
+    std::printf(" |");
+    for (const char* tag : {"hot", "cached", "resumed", "stolen"}) {
+      const auto it = by_provenance.find(tag);
+      if (it != by_provenance.end()) {
+        std::printf(" %s=%llu", tag,
+                    static_cast<unsigned long long>(it->second));
+      }
+    }
+    std::printf("\n");
+    for (const auto& [key, tag] : points) {
+      std::printf("    %-9s %s\n", (tag + ":").c_str(), key.c_str());
+    }
+  }
+  return 0;
+}
+
 int top_main(int argc, char** argv) {
-  bool once = false, check = false;
+  bool once = false, check = false, service = false;
   std::string target;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -299,6 +400,8 @@ int top_main(int argc, char** argv) {
       once = true;
     } else if (arg == "--check") {
       check = true;
+    } else if (arg == "--service") {
+      service = true;
     } else if (arg == "--help" || arg == "-h") {
       return usage();
     } else if (!arg.empty() && arg[0] == '-') {
@@ -310,6 +413,7 @@ int top_main(int argc, char** argv) {
     }
   }
   if (target.empty()) return usage();
+  if (service) return run_service_view(target);
   const std::string path = resolve_stream(target);
   if (path.empty()) {
     std::fprintf(stderr, "wecsim-top: no *.progress.jsonl under %s\n",

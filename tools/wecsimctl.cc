@@ -1,36 +1,55 @@
 // wecsimctl — command-line client for wecsimd (docs/SERVICE.md).
 //
-//   wecsimctl --socket PATH submit --client C --name N --workload W
-//             [--scale S] [--seed S] [--priority P]
+//   wecsimctl [conn] submit --client C --name N --workload W
+//             [--scale S] [--seed S] [--priority P] [--request-id RID]
 //             --point KEY=CONFIG[:TUS[:MEMLAT]] [--point ...]
-//   wecsimctl --socket PATH status <job>
-//   wecsimctl --socket PATH wait <job> [--timeout SEC]
-//   wecsimctl --socket PATH health
-//   wecsimctl --socket PATH drain
+//   wecsimctl [conn] status <job>
+//   wecsimctl [conn] wait <job> [--timeout SEC]
+//   wecsimctl [conn] health
+//   wecsimctl [conn] drain
 //
-// --socket defaults to WECSIM_SERVICE_SOCKET. The daemon's one-line JSON
-// reply is printed verbatim to stdout. Exit codes: 0 success, 1
-// usage/transport errors, 4 submission rejected (quota / queue depth /
-// draining) — retriable, see the reply's retry_after_ms.
+// Connection options ([conn], before the command):
+//   --socket PATH       one endpoint: Unix socket path
+//   --endpoints LIST    comma-separated failover list; each entry is a
+//                       socket path (contains '/') or a TCP host:port
+//   --timeout-ms N      per-request deadline (connect + send + reply)
+//   --retries N         transport-error retries per endpoint (default 2,
+//                       exponential backoff with seeded jitter)
+//
+// Defaults come from WECSIM_SERVICE_ENDPOINTS, then WECSIM_SERVICE_SOCKET.
+// Endpoints are tried in order; the next one is tried when the current is
+// unreachable, times out, or reports itself degraded. A submit is assigned
+// a request id (yours via --request-id, or a generated one) so retries and
+// failover re-sends are idempotent — the daemons dedup on it, so a retried
+// submit never duplicates a job.
+//
+// The daemon's one-line JSON reply is printed verbatim to stdout. Exit
+// codes: 0 success, 1 usage/hard errors, 4 submission rejected but
+// retriable (quota / queue depth / draining / degraded — see the reply's
+// retry_after_ms), 5 deadline expired or every endpoint unreachable.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "common/error.h"
+#include "harness/env.h"
 #include "service/client.h"
 
 namespace wecsim {
 namespace {
 
 constexpr int kExitRejected = 4;
+constexpr int kExitUnreachable = 5;
 
 int usage() {
   std::fprintf(
       stderr,
-      "usage: wecsimctl --socket PATH <command> [...]\n"
+      "usage: wecsimctl [--socket PATH | --endpoints LIST] [--timeout-ms N]\n"
+      "                 [--retries N] <command> [...]\n"
       "  submit --client C --name N --workload W [--scale S] [--seed S]\n"
-      "         [--priority P] --point KEY=CONFIG[:TUS[:MEMLAT]] ...\n"
+      "         [--priority P] [--request-id RID]\n"
+      "         --point KEY=CONFIG[:TUS[:MEMLAT]] ...\n"
       "  status <job>\n"
       "  wait <job> [--timeout SEC]\n"
       "  health\n"
@@ -81,36 +100,131 @@ int finish(const JsonValue& reply, const std::string& raw) {
   if (reply.at("ok").as_bool()) return 0;
   const std::string error = reply.at("error").as_string();
   if (error == "quota_exceeded" || error == "queue_full" ||
-      error == "draining") {
+      error == "draining" || error == "degraded") {
     return kExitRejected;
   }
   return 1;
 }
 
+struct ConnOptions {
+  std::vector<std::string> endpoints;
+  uint32_t timeout_ms = 0;
+  uint32_t retries = 2;
+};
+
+/// Sends `line` to the first endpoint that answers, failing over on
+/// transport errors, timeouts, and "degraded" replies. A degraded reply is
+/// printed (exit 4) only when no healthier endpoint exists.
+int run_request(const ConnOptions& conn, const std::string& line) {
+  std::string degraded_raw;
+  JsonValue degraded_reply;
+  bool have_degraded = false;
+  std::string last_error;
+  bool timed_out = false;
+  for (const std::string& endpoint : conn.endpoints) {
+    try {
+      ServiceClient client(endpoint);
+      client.set_timeout_ms(conn.timeout_ms);
+      client.set_retries(conn.retries);
+      std::string raw;
+      const JsonValue reply = client.request(line, &raw);
+      if (!reply.at("ok").as_bool() &&
+          reply.at("error").as_string() == "degraded") {
+        // This daemon can no longer persist anything; remember the reply
+        // but prefer a peer that still can.
+        degraded_raw = raw;
+        degraded_reply = reply;
+        have_degraded = true;
+        continue;
+      }
+      return finish(reply, raw);
+    } catch (const ServiceTimeout& e) {
+      timed_out = true;
+      last_error = e.what();
+    } catch (const SimError& e) {
+      last_error = e.what();
+    }
+  }
+  if (have_degraded) return finish(degraded_reply, degraded_raw);
+  std::fprintf(stderr, "wecsimctl: %s\n",
+               last_error.empty() ? "no endpoints configured"
+                                  : last_error.c_str());
+  return timed_out ? kExitUnreachable
+                   : (conn.endpoints.empty() ? 1 : kExitUnreachable);
+}
+
 int ctl_main(int argc, char** argv) {
-  std::string socket;
-  if (const char* env = std::getenv("WECSIM_SERVICE_SOCKET")) socket = env;
+  ConnOptions conn;
   std::vector<std::string> args;
+  std::vector<std::string> errors;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--socket") {
       if (i + 1 >= argc) return usage();
-      socket = argv[++i];
+      conn.endpoints.push_back(argv[++i]);
+    } else if (arg == "--endpoints") {
+      if (i + 1 >= argc) return usage();
+      for (std::string& ep :
+           parse_endpoint_list(argv[++i], "--endpoints", &errors)) {
+        conn.endpoints.push_back(std::move(ep));
+      }
+    } else if (arg == "--timeout-ms") {
+      if (i + 1 >= argc) return usage();
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < 1 || v > 3600000) {
+        std::fprintf(stderr,
+                     "wecsimctl: --timeout-ms expects an integer in "
+                     "[1, 3600000], got '%s'\n",
+                     argv[i]);
+        return 1;
+      }
+      conn.timeout_ms = static_cast<uint32_t>(v);
+    } else if (arg == "--retries") {
+      if (i + 1 >= argc) return usage();
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v > 100) {
+        std::fprintf(stderr,
+                     "wecsimctl: --retries expects an integer in [0, 100], "
+                     "got '%s'\n",
+                     argv[i]);
+        return 1;
+      }
+      conn.retries = static_cast<uint32_t>(v);
     } else if (arg == "--help" || arg == "-h") {
       return usage();
     } else {
       args.push_back(arg);
     }
   }
-  if (socket.empty() || args.empty()) return usage();
+  if (conn.endpoints.empty()) {
+    if (const char* env = std::getenv("WECSIM_SERVICE_ENDPOINTS")) {
+      if (*env != '\0') {
+        conn.endpoints = parse_endpoint_list(env, "WECSIM_SERVICE_ENDPOINTS",
+                                             &errors);
+      }
+    }
+  }
+  if (conn.endpoints.empty()) {
+    if (const char* env = std::getenv("WECSIM_SERVICE_SOCKET")) {
+      if (*env != '\0') conn.endpoints.push_back(env);
+    }
+  }
+  if (!errors.empty()) {
+    for (const std::string& e : errors) {
+      std::fprintf(stderr, "wecsimctl: %s\n", e.c_str());
+    }
+    return 1;
+  }
+  if (conn.endpoints.empty() || args.empty()) return usage();
   const std::string command = args[0];
 
   try {
-    ServiceClient client(socket);
-    std::string raw;
     if (command == "submit") {
       JobSpec spec;
       spec.scale = 1;
+      std::string rid;
       for (size_t i = 1; i < args.size(); ++i) {
         auto next = [&]() -> const std::string* {
           return i + 1 < args.size() ? &args[++i] : nullptr;
@@ -132,6 +246,8 @@ int ctl_main(int argc, char** argv) {
         } else if (a == "--priority" && (v = next()) != nullptr) {
           spec.priority =
               static_cast<uint32_t>(std::strtoul(v->c_str(), nullptr, 10));
+        } else if (a == "--request-id" && (v = next()) != nullptr) {
+          rid = *v;
         } else if (a == "--point" && (v = next()) != nullptr) {
           PointSpec point;
           std::string error;
@@ -144,13 +260,15 @@ int ctl_main(int argc, char** argv) {
           return usage();
         }
       }
-      const JsonValue reply = client.request(submit_request(spec), &raw);
-      return finish(reply, raw);
+      // Always submit under a request id: with retries and failover in
+      // play, the send may be repeated, and the rid is what keeps "sent
+      // twice" from becoming "admitted twice".
+      if (rid.empty()) rid = make_request_id();
+      return run_request(conn, submit_request(spec, rid));
     }
     if (command == "status") {
       if (args.size() != 2) return usage();
-      const JsonValue reply = client.request(status_request(args[1]), &raw);
-      return finish(reply, raw);
+      return run_request(conn, status_request(args[1]));
     }
     if (command == "wait") {
       if (args.size() < 2) return usage();
@@ -162,19 +280,33 @@ int ctl_main(int argc, char** argv) {
           return usage();
         }
       }
-      client.wait(args[1], timeout_s);  // throws on timeout
-      const JsonValue reply = client.request(status_request(args[1]), &raw);
-      return finish(reply, raw);
+      std::string last_error;
+      for (const std::string& endpoint : conn.endpoints) {
+        try {
+          ServiceClient client(endpoint);
+          client.set_timeout_ms(conn.timeout_ms);
+          client.wait(args[1], timeout_s);  // throws on timeout
+          std::string raw;
+          const JsonValue reply = client.request(status_request(args[1]),
+                                                 &raw);
+          return finish(reply, raw);
+        } catch (const SimError& e) {
+          last_error = e.what();
+        }
+      }
+      std::fprintf(stderr, "wecsimctl: %s\n", last_error.c_str());
+      return kExitUnreachable;
     }
     if (command == "health") {
-      const JsonValue reply = client.request(health_request(), &raw);
-      return finish(reply, raw);
+      return run_request(conn, health_request());
     }
     if (command == "drain") {
-      const JsonValue reply = client.request(drain_request(), &raw);
-      return finish(reply, raw);
+      return run_request(conn, drain_request());
     }
     return usage();
+  } catch (const ServiceTimeout& e) {
+    std::fprintf(stderr, "wecsimctl: %s\n", e.what());
+    return kExitUnreachable;
   } catch (const SimError& e) {
     std::fprintf(stderr, "wecsimctl: %s\n", e.what());
     return 1;

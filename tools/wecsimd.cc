@@ -4,11 +4,15 @@
 //
 //   --socket PATH      Unix socket to serve on (default <state_dir>/
 //                      wecsimd.sock, or WECSIM_SERVICE_SOCKET)
+//   --listen HOST:PORT additional TCP listener, same protocol; port 0
+//                      binds an ephemeral port, published in <socket>.tcp
 //   --workers N        worker processes (default: hardware threads)
 //   --max-queue N      global cap on queued points (backpressure)
 //   --quota N          per-client cap on queued points
 //   --retries N        crashed-worker retries before quarantine
 //   --backoff-ms N     base worker-restart backoff
+//   --lease-ms N       point-lease TTL; peer daemons sharing the state dir
+//                      steal a point once its holder stops renewing
 //
 // Every flag has a WECSIM_SERVICE_* twin (harness/env.h); flags win.
 // Exit: 0 drained idle, 3 (kExitInterrupted) drained with journaled work
@@ -16,9 +20,11 @@
 // or configuration errors.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "common/error.h"
+#include "harness/env.h"
 #include "service/daemon.h"
 
 namespace wecsim {
@@ -26,9 +32,10 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: wecsimd [--socket PATH] [--workers N] [--max-queue N] "
-               "[--quota N]\n"
-               "               [--retries N] [--backoff-ms N] <state_dir>\n");
+               "usage: wecsimd [--socket PATH] [--listen HOST:PORT] "
+               "[--workers N]\n"
+               "               [--max-queue N] [--quota N] [--retries N]\n"
+               "               [--backoff-ms N] [--lease-ms N] <state_dir>\n");
   return 1;
 }
 
@@ -48,7 +55,10 @@ bool parse_u32_arg(const char* flag, const char* text, uint32_t min_value,
 int daemon_main(int argc, char** argv) {
   std::string state_dir;
   std::string socket_override;
+  std::string listen_override;
+  bool listen_set = false;
   uint32_t workers = 0, max_queue = 0, quota = 0, backoff_ms = 0;
+  uint32_t lease_ms = 0;
   uint32_t retries = static_cast<uint32_t>(-1);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -59,6 +69,21 @@ int daemon_main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       socket_override = v;
+    } else if (arg == "--listen") {
+      const char* v = next();
+      if (v == nullptr || !valid_service_endpoint(v) ||
+          std::strchr(v, '/') != nullptr) {
+        std::fprintf(stderr, "wecsimd: --listen expects HOST:PORT, got '%s'\n",
+                     v == nullptr ? "" : v);
+        return usage();
+      }
+      listen_override = v;
+      listen_set = true;
+    } else if (arg == "--lease-ms") {
+      const char* v = next();
+      if (v == nullptr ||
+          !parse_u32_arg("--lease-ms", v, 50, 600000, &lease_ms))
+        return usage();
     } else if (arg == "--workers") {
       const char* v = next();
       if (v == nullptr || !parse_u32_arg("--workers", v, 1, 4096, &workers))
@@ -101,6 +126,8 @@ int daemon_main(int argc, char** argv) {
     if (quota != 0) config.quota = quota;
     if (retries != static_cast<uint32_t>(-1)) config.retries = retries;
     if (backoff_ms != 0) config.backoff_ms = backoff_ms;
+    if (listen_set) config.listen = listen_override;
+    if (lease_ms != 0) config.lease_ms = lease_ms;
     ServiceDaemon daemon(std::move(config));
     return daemon.run();
   } catch (const SimError& e) {
